@@ -1,0 +1,317 @@
+//! The §4.2 dictionary as a simulator client — lets the deterministic
+//! scheduler drive dictionary workloads under controlled/adversarial
+//! interleavings, with the recorded execution checked against the
+//! specification.
+
+use std::sync::Arc;
+
+use dsm_sim::{Client, ClientOp, Outcome};
+use memcore::{Location, Word};
+use parking_lot::Mutex;
+
+use crate::dictionary::DictLayout;
+
+/// One high-level dictionary operation for a scripted process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DictOp {
+    /// Insert an item into this process's own row.
+    Insert(i64),
+    /// Delete an item wherever this process's view finds it.
+    Delete(i64),
+    /// Look an item up in this process's view.
+    Lookup(i64),
+    /// Discard all cached (non-owned) slots, restoring view liveness.
+    Refresh,
+}
+
+/// The boolean results of each completed [`DictOp`], in script order
+/// (`Refresh` records `true`).
+pub type DictResults = Arc<Mutex<Vec<(DictOp, bool)>>>;
+
+enum Phase {
+    /// Scanning slots; `cursor` is the next flat slot index to read.
+    Scan { cursor: usize },
+    /// Writing the operation's final value to a found slot.
+    Commit,
+    /// Discarding non-owned slots starting at `cursor`.
+    Discarding { cursor: usize },
+}
+
+/// A scripted dictionary process for the deterministic simulator.
+///
+/// Scans are performed exactly as [`Dictionary`](crate::Dictionary) does
+/// on the threaded engine: row-major reads, first match wins, inserts
+/// confined to the owner's row.
+pub struct DictClient {
+    layout: DictLayout,
+    row: usize,
+    script: std::vec::IntoIter<DictOp>,
+    current: Option<DictOp>,
+    phase: Phase,
+    target: Option<Location>,
+    results: DictResults,
+}
+
+impl DictClient {
+    /// A client for process `row`, running `script`; outcomes are pushed
+    /// into `results`.
+    #[must_use]
+    pub fn new(layout: DictLayout, row: usize, script: Vec<DictOp>, results: DictResults) -> Self {
+        assert!(row < layout.rows(), "row out of range");
+        DictClient {
+            layout,
+            row,
+            script: script.into_iter(),
+            current: None,
+            phase: Phase::Scan { cursor: 0 },
+            target: None,
+            results,
+        }
+    }
+
+    fn slot_at(&self, flat: usize) -> Location {
+        let (row, col) = (flat / self.layout.cols(), flat % self.layout.cols());
+        self.layout.slot(row, col)
+    }
+
+    fn total_slots(&self) -> usize {
+        self.layout.rows() * self.layout.cols()
+    }
+
+    /// The flat index range an operation scans: inserts stay in the own
+    /// row; lookups and deletes scan everything.
+    fn scan_range(&self, op: DictOp) -> (usize, usize) {
+        match op {
+            DictOp::Insert(_) => {
+                let start = self.row * self.layout.cols();
+                (start, start + self.layout.cols())
+            }
+            _ => (0, self.total_slots()),
+        }
+    }
+
+    fn finish(&mut self, outcome: bool) {
+        if let Some(op) = self.current.take() {
+            self.results.lock().push((op, outcome));
+        }
+        self.phase = Phase::Scan { cursor: 0 };
+        self.target = None;
+    }
+}
+
+impl Client<Word> for DictClient {
+    fn next(&mut self, last: Option<&Outcome<Word>>) -> Option<ClientOp<Word>> {
+        loop {
+            let Some(op) = self.current else {
+                // Start the next scripted operation.
+                let op = self.script.next()?;
+                self.current = Some(op);
+                self.phase = match op {
+                    DictOp::Refresh => Phase::Discarding { cursor: 0 },
+                    _ => {
+                        let (start, _) = self.scan_range(op);
+                        Phase::Scan { cursor: start }
+                    }
+                };
+                continue;
+            };
+
+            match (&self.phase, op) {
+                (Phase::Discarding { cursor }, DictOp::Refresh) => {
+                    let mut cursor = *cursor;
+                    // Skip own-row slots (never discarded).
+                    while cursor < self.total_slots() && cursor / self.layout.cols() == self.row {
+                        cursor += 1;
+                    }
+                    if cursor >= self.total_slots() {
+                        self.finish(true);
+                        continue;
+                    }
+                    self.phase = Phase::Discarding { cursor: cursor + 1 };
+                    return Some(ClientOp::Discard(self.slot_at(cursor)));
+                }
+                (Phase::Scan { cursor }, op) => {
+                    let cursor = *cursor;
+                    let (_, end) = self.scan_range(op);
+                    // Interpret the previous read, if we were mid-scan.
+                    if cursor > self.scan_range(op).0 {
+                        let value = match last {
+                            Some(Outcome::Read { value, .. }) => *value,
+                            _ => panic!("scan step expects a read outcome"),
+                        };
+                        let hit = match op {
+                            DictOp::Insert(_) => matches!(value, Word::Zero),
+                            DictOp::Lookup(v) | DictOp::Delete(v) => value == Word::Int(v),
+                            DictOp::Refresh => unreachable!(),
+                        };
+                        if hit {
+                            let found = self.slot_at(cursor - 1);
+                            match op {
+                                DictOp::Lookup(_) => {
+                                    self.finish(true);
+                                    continue;
+                                }
+                                _ => {
+                                    self.target = Some(found);
+                                    self.phase = Phase::Commit;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    if cursor >= end {
+                        self.finish(false);
+                        continue;
+                    }
+                    self.phase = Phase::Scan { cursor: cursor + 1 };
+                    return Some(ClientOp::Read(self.slot_at(cursor)));
+                }
+                (Phase::Commit, op) => {
+                    let target = self.target.expect("commit follows a found slot");
+                    let value = match op {
+                        DictOp::Insert(v) => Word::Int(v),
+                        DictOp::Delete(_) => Word::Zero,
+                        _ => unreachable!("only inserts and deletes commit"),
+                    };
+                    self.finish(true);
+                    return Some(ClientOp::Write(target, value));
+                }
+                (Phase::Discarding { .. }, _) => unreachable!("discard phase is refresh-only"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_dsm::{CausalConfig, WritePolicy};
+    use causal_spec::{check_causal, Execution};
+    use dsm_sim::{causal_sim, Actor, RunLimits, SimOpts};
+    use memcore::Recorder;
+    use simnet::latency::Uniform;
+
+    fn results() -> DictResults {
+        Arc::new(Mutex::new(Vec::new()))
+    }
+
+    struct ScriptRun {
+        log: Vec<(DictOp, bool)>,
+        slots: Vec<Option<Word>>,
+        exec: Execution<Word>,
+    }
+
+    fn run_scripts(layout: DictLayout, scripts: Vec<Vec<DictOp>>, seed: u64) -> ScriptRun {
+        let recorder: Recorder<Word> = Recorder::new(layout.rows());
+        let config = CausalConfig::<Word>::builder(layout.rows() as u32, layout.locations())
+            .owners(layout.owners())
+            .policy(WritePolicy::OwnerFavored)
+            .build();
+        let mut sim = causal_sim(
+            &config,
+            SimOpts {
+                latency: Box::new(Uniform::new(1, 12)),
+                seed,
+                recorder: Some(recorder.clone()),
+                ..SimOpts::default()
+            },
+        );
+        let shared = results();
+        for (row, script) in scripts.into_iter().enumerate() {
+            sim.set_client(row, DictClient::new(layout, row, script, shared.clone()));
+        }
+        let report = sim.run(RunLimits::default());
+        assert!(report.all_done, "{report:?}");
+        // Ground truth: owner copies of every slot.
+        let slots = (0..layout.rows() * layout.cols())
+            .map(|flat| {
+                let row = flat / layout.cols();
+                sim.actor(row).peek(layout.slot(row, flat % layout.cols()))
+            })
+            .collect();
+        let log = shared.lock().clone();
+        ScriptRun {
+            log,
+            slots,
+            exec: Execution::from_recorder(&recorder),
+        }
+    }
+
+    #[test]
+    fn scripted_insert_lookup_delete_flow() {
+        let layout = DictLayout::new(2, 4);
+        let ScriptRun { log, slots, exec } = run_scripts(
+            layout,
+            vec![
+                vec![DictOp::Insert(10), DictOp::Lookup(10)],
+                vec![DictOp::Refresh, DictOp::Lookup(10)],
+            ],
+            0,
+        );
+        // P0's insert and own lookup must succeed.
+        assert!(log.contains(&(DictOp::Insert(10), true)));
+        assert_eq!(
+            log.iter()
+                .filter(|(op, _)| *op == DictOp::Lookup(10))
+                .count(),
+            2
+        );
+        // The item sits in P0's row at the owner.
+        assert!(slots.contains(&Some(Word::Int(10))));
+        assert!(check_causal(&exec).unwrap().is_correct());
+    }
+
+    #[test]
+    fn random_schedules_keep_dictionary_executions_causal() {
+        let layout = DictLayout::new(3, 6);
+        for seed in 0..25u64 {
+            let scripts = vec![
+                vec![
+                    DictOp::Insert(1),
+                    DictOp::Insert(2),
+                    DictOp::Lookup(20),
+                    DictOp::Delete(1),
+                    DictOp::Refresh,
+                    DictOp::Lookup(30),
+                ],
+                vec![
+                    DictOp::Insert(10),
+                    DictOp::Refresh,
+                    DictOp::Delete(2),
+                    DictOp::Insert(20),
+                    DictOp::Lookup(1),
+                ],
+                vec![
+                    DictOp::Insert(30),
+                    DictOp::Refresh,
+                    DictOp::Lookup(10),
+                    DictOp::Delete(30),
+                    DictOp::Insert(31),
+                ],
+            ];
+            let exec = run_scripts(layout, scripts, seed).exec;
+            let verdict = check_causal(&exec).unwrap();
+            assert!(verdict.is_correct(), "seed {seed}:\n{verdict}");
+        }
+    }
+
+    #[test]
+    fn own_row_survives_foreign_delete_then_reinsert_races() {
+        // All processes hammer the same item id owned by P0, racing
+        // deletes against P0's re-inserts across many schedules. Whatever
+        // interleaving happens, executions stay causal and the final
+        // owner state is one of the legal outcomes (7 present or absent).
+        let layout = DictLayout::new(3, 2);
+        for seed in 0..25u64 {
+            let scripts = vec![
+                vec![DictOp::Insert(7), DictOp::Delete(7), DictOp::Insert(7)],
+                vec![DictOp::Refresh, DictOp::Delete(7)],
+                vec![DictOp::Refresh, DictOp::Delete(7)],
+            ];
+            let ScriptRun { slots, exec, .. } = run_scripts(layout, scripts, seed);
+            assert!(check_causal(&exec).unwrap().is_correct(), "seed {seed}");
+            let sevens = slots.iter().filter(|s| **s == Some(Word::Int(7))).count();
+            assert!(sevens <= 1, "seed {seed}: duplicate item after races");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The distributed dictionary of §4.2.
+//!
+//! An association table maintained cooperatively by `n` processes with
+//! *no synchronization around operations*: the dictionary is an `n × m`
+//! array; process `P_i` **owns row `i`** and inserts only there (so
+//! concurrent inserts never conflict), while deletes may write the free
+//! marker `λ` into any row. The one remaining conflict — a delete racing a
+//! re-insert into the same slot — is resolved by the causal engine's
+//! owner-favored write policy ("writes by the owner are always favored"),
+//! which is exactly why the paper introduces that policy.
+//!
+//! Restrictions R1/R2 from the paper (items unique; deletes follow their
+//! inserts) are the caller's responsibility, as in Fischer & Michael.
+
+use memcore::{ExplicitOwners, Location, MemoryError, NodeId, SharedMemory, Word};
+
+/// The dictionary's shared-memory layout: `n` rows of `m` slots, row `i`
+/// owned by `P_i`, page size 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DictLayout {
+    n: usize,
+    m: usize,
+}
+
+impl DictLayout {
+    /// A layout for `n` processes with `m` slots per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `m` is zero.
+    #[must_use]
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n > 0, "dictionary needs at least one process");
+        assert!(m > 0, "dictionary rows need at least one slot");
+        DictLayout { n, m }
+    }
+
+    /// Number of processes (rows).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Slots per row.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    /// The location of slot `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn slot(&self, row: usize, col: usize) -> Location {
+        assert!(row < self.n && col < self.m, "slot out of range");
+        Location::new((row * self.m + col) as u32)
+    }
+
+    /// Total locations.
+    #[must_use]
+    pub fn locations(&self) -> u32 {
+        (self.n * self.m) as u32
+    }
+
+    /// Owner map: `P_i` owns every slot of row `i`.
+    #[must_use]
+    pub fn owners(&self) -> ExplicitOwners {
+        let table = (0..self.n)
+            .flat_map(|row| std::iter::repeat_n(NodeId::new(row as u32), self.m))
+            .collect();
+        ExplicitOwners::new(self.n as u32, 1, table)
+    }
+}
+
+/// The free marker `λ`: a slot holding this (or the initial 0) is empty.
+#[must_use]
+pub fn is_free(w: &Word) -> bool {
+    matches!(w, Word::Zero)
+}
+
+/// One process's interface to the shared dictionary.
+///
+/// Generic over the memory, per the paper's programming claim; the
+/// conflict-resolution guarantee needs the causal engine configured with
+/// [`WritePolicy::OwnerFavored`](causal_dsm::WritePolicy::OwnerFavored).
+///
+/// # Examples
+///
+/// ```
+/// use causal_dsm::{CausalCluster, WritePolicy};
+/// use dsm_apps::{DictLayout, Dictionary};
+/// use memcore::Word;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let layout = DictLayout::new(2, 4);
+/// let cluster = CausalCluster::<Word>::builder(2, layout.locations())
+///     .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
+///     .build()?;
+/// let d0 = Dictionary::new(cluster.handle(0), layout);
+/// let d1 = Dictionary::new(cluster.handle(1), layout);
+///
+/// assert!(d0.insert(7)?);
+/// assert!(d1.lookup(7)?); // P1 sees P0's insert
+/// assert!(d1.delete(7)?); // deletes may act on any row
+/// assert!(!d1.lookup(7)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Dictionary<M> {
+    mem: M,
+    layout: DictLayout,
+    row: usize,
+}
+
+impl<M: SharedMemory<Word>> Dictionary<M> {
+    /// Wraps `mem` (whose node index selects this process's row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index exceeds the layout's rows.
+    #[must_use]
+    pub fn new(mem: M, layout: DictLayout) -> Self {
+        let row = mem.node().index();
+        assert!(row < layout.rows(), "node outside dictionary layout");
+        Dictionary { mem, layout, row }
+    }
+
+    /// This process's row.
+    #[must_use]
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// Inserts `item` into the first free slot of this process's own row.
+    /// Returns `false` if the row is full.
+    ///
+    /// Per R1, callers insert each item at most once across the system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is zero (reserved for the free marker `λ`).
+    pub fn insert(&self, item: i64) -> Result<bool, MemoryError> {
+        assert_ne!(item, 0, "item 0 is reserved for the free marker");
+        for col in 0..self.layout.cols() {
+            let loc = self.layout.slot(self.row, col);
+            // Own row: reads are local and authoritative.
+            if is_free(&self.mem.read(loc)?) {
+                self.mem.write(loc, Word::Int(item))?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// `true` iff `item` has been inserted and not deleted, *according to
+    /// this process's view* (the paper's correctness condition). Scans
+    /// every row systematically, which is what gives lookups the
+    /// knowledge-monotonicity property.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn lookup(&self, item: i64) -> Result<bool, MemoryError> {
+        Ok(self.find(item)?.is_some())
+    }
+
+    /// Deletes `item` wherever it is found in this process's view (R2:
+    /// only delete items whose insert you have seen). Returns `false` if
+    /// not visible.
+    ///
+    /// The write of `λ` may race the owner re-inserting into the same
+    /// slot; owner-favored resolution keeps the dictionary correct (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn delete(&self, item: i64) -> Result<bool, MemoryError> {
+        match self.find(item)? {
+            Some(loc) => {
+                self.mem.write(loc, Word::Zero)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// All items in this process's current view, row by row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn items(&self) -> Result<Vec<i64>, MemoryError> {
+        let mut out = Vec::new();
+        for row in 0..self.layout.rows() {
+            for col in 0..self.layout.cols() {
+                if let Word::Int(v) = self.mem.read(self.layout.slot(row, col))? {
+                    out.push(v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Discards every cached (non-owned) slot, forcing the next scan to
+    /// fetch fresh copies — the paper's `discard`-based liveness: views
+    /// converge after quiescence once processes refresh.
+    pub fn refresh(&self) {
+        for row in 0..self.layout.rows() {
+            if row == self.row {
+                continue;
+            }
+            for col in 0..self.layout.cols() {
+                self.mem.discard(self.layout.slot(row, col));
+            }
+        }
+    }
+
+    fn find(&self, item: i64) -> Result<Option<Location>, MemoryError> {
+        for row in 0..self.layout.rows() {
+            for col in 0..self.layout.cols() {
+                let loc = self.layout.slot(row, col);
+                if self.mem.read(loc)? == Word::Int(item) {
+                    return Ok(Some(loc));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_dsm::{CausalCluster, WritePolicy};
+
+    fn cluster(layout: DictLayout) -> CausalCluster<Word> {
+        CausalCluster::<Word>::builder(layout.rows() as u32, layout.locations())
+            .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
+            .build()
+            .expect("cluster")
+    }
+
+    #[test]
+    fn layout_assigns_rows_to_their_owners() {
+        use memcore::OwnerMap;
+        let layout = DictLayout::new(3, 4);
+        let owners = layout.owners();
+        for row in 0..3 {
+            for col in 0..4 {
+                assert_eq!(
+                    owners.owner_of(layout.slot(row, col)),
+                    NodeId::new(row as u32)
+                );
+            }
+        }
+        assert_eq!(layout.locations(), 12);
+    }
+
+    #[test]
+    fn insert_lookup_delete_round_trip() {
+        let layout = DictLayout::new(2, 4);
+        let cluster = cluster(layout);
+        let d0 = Dictionary::new(cluster.handle(0), layout);
+        let d1 = Dictionary::new(cluster.handle(1), layout);
+
+        assert!(d0.insert(10).unwrap());
+        assert!(d0.lookup(10).unwrap()); // own operations visible at once
+        assert!(d1.lookup(10).unwrap()); // lookup fetches uncached rows
+        assert!(d1.delete(10).unwrap());
+        assert!(!d1.lookup(10).unwrap());
+        // P0 learns of the delete: its own row was written through the
+        // owner (itself), so its local read sees λ.
+        assert!(!d0.lookup(10).unwrap());
+    }
+
+    #[test]
+    fn row_fills_up_and_rejects_further_inserts() {
+        let layout = DictLayout::new(2, 2);
+        let cluster = cluster(layout);
+        let d0 = Dictionary::new(cluster.handle(0), layout);
+        assert!(d0.insert(1).unwrap());
+        assert!(d0.insert(2).unwrap());
+        assert!(!d0.insert(3).unwrap());
+        // Deleting frees a slot for reuse.
+        assert!(d0.delete(1).unwrap());
+        assert!(d0.insert(3).unwrap());
+        let mut items = d0.items().unwrap();
+        items.sort_unstable();
+        assert_eq!(items, vec![2, 3]);
+    }
+
+    #[test]
+    fn views_converge_after_refresh() {
+        let layout = DictLayout::new(3, 4);
+        let cluster = cluster(layout);
+        let dicts: Vec<_> = (0..3)
+            .map(|i| Dictionary::new(cluster.handle(i), layout))
+            .collect();
+        dicts[0].insert(100).unwrap();
+        dicts[1].insert(200).unwrap();
+        dicts[2].insert(300).unwrap();
+        for d in &dicts {
+            d.refresh();
+            let mut items = d.items().unwrap();
+            items.sort_unstable();
+            assert_eq!(items, vec![100, 200, 300]);
+        }
+        dicts[1].delete(100).unwrap();
+        for d in &dicts {
+            d.refresh();
+            assert!(!d.lookup(100).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn zero_item_is_rejected() {
+        let layout = DictLayout::new(2, 2);
+        let cluster = cluster(layout);
+        let d0 = Dictionary::new(cluster.handle(0), layout);
+        let _ = d0.insert(0);
+    }
+}

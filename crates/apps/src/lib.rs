@@ -1,0 +1,39 @@
+//! The paper's applications (§4), written once against
+//! [`memcore::SharedMemory`] and run unchanged on causal and atomic DSM.
+//!
+//! * [`run_worker`] / [`run_coordinator`] — the Figure-6 synchronous
+//!   iterative linear solver, blocking (thread-per-process) form;
+//!   [`SolverWorker`] / [`SolverCoordinator`] — the same programs as
+//!   simulator clients, used by the E6 message-count experiment
+//!   ([`run_causal_solver_sim`] / [`run_atomic_solver_sim`]).
+//! * [`run_async_worker`] / [`AsyncWorker`] — the asynchronous,
+//!   handshake-free solver variant (§4.1 last paragraph, E7).
+//! * [`Dictionary`] — the §4.2 distributed dictionary, relying on the
+//!   causal engine's owner-favored write policy (E8).
+//! * [`WorkloadSpec`] — synthetic read/write mixes for throughput benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod async_solver;
+mod dict_sim;
+mod dictionary;
+mod solver;
+mod solver_sim;
+mod sync;
+mod system;
+mod workload;
+
+pub use async_solver::{
+    run_async_solver_sim, run_async_worker, AsyncLayout, AsyncRun, AsyncWorker,
+};
+pub use dict_sim::{DictClient, DictOp, DictResults};
+pub use dictionary::{is_free, DictLayout, Dictionary};
+pub use solver::{publish_system, run_coordinator, run_worker, SolverLayout};
+pub use solver_sim::{
+    run_atomic_solver_sim, run_broadcast_solver_sim, run_causal_solver_sim, SolverCoordinator,
+    SolverRun, SolverSimConfig, SolverWorker,
+};
+pub use sync::{CausalBarrier, EventCount};
+pub use system::LinearSystem;
+pub use workload::{WorkloadOp, WorkloadSpec};

@@ -1,0 +1,201 @@
+//! Linear systems `Ax = b` for the solver experiments.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A dense linear system `Ax = b`.
+///
+/// The iterative (Jacobi) method the paper's §4.1 solver implements
+/// converges for strictly diagonally dominant matrices, so the random
+/// generator produces those.
+///
+/// # Examples
+///
+/// ```
+/// use dsm_apps::LinearSystem;
+///
+/// let system = LinearSystem::random(4, 42);
+/// let x = system.solve_jacobi(100);
+/// assert!(system.residual(&x) < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearSystem {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl LinearSystem {
+    /// Builds a system from row-major coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions disagree or `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, a: Vec<f64>, b: Vec<f64>) -> Self {
+        assert!(n > 0, "system must have at least one unknown");
+        assert_eq!(a.len(), n * n, "A must be n x n");
+        assert_eq!(b.len(), n, "b must have n entries");
+        for i in 0..n {
+            assert!(
+                a[i * n + i].abs() > f64::EPSILON,
+                "zero diagonal entry at row {i}"
+            );
+        }
+        LinearSystem { n, a, b }
+    }
+
+    /// A random strictly diagonally dominant system (deterministic per
+    /// seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn random(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "system must have at least one unknown");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            let mut off_diag_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    a[i * n + j] = v;
+                    off_diag_sum += v.abs();
+                }
+            }
+            // Strict dominance with margin: |a_ii| > Σ|a_ij|.
+            a[i * n + i] = off_diag_sum + rng.gen_range(1.0..2.0);
+            b[i] = rng.gen_range(-10.0..10.0);
+        }
+        LinearSystem { n, a, b }
+    }
+
+    /// Number of unknowns.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Coefficient `A[i][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn a(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n);
+        self.a[i * self.n + j]
+    }
+
+    /// Right-hand side `b[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn b(&self, i: usize) -> f64 {
+        self.b[i]
+    }
+
+    /// One Jacobi update: `x_i' = (b_i − Σ_{j≠i} a_ij x_j) / a_ii` — the
+    /// equation in the paper's §4.1.
+    #[must_use]
+    pub fn jacobi_step(&self, i: usize, x: &[f64]) -> f64 {
+        let row = &self.a[i * self.n..(i + 1) * self.n];
+        let mut sum = self.b[i];
+        for (j, (&a, &xv)) in row.iter().zip(x).enumerate() {
+            if j != i {
+                sum -= a * xv;
+            }
+        }
+        sum / row[i]
+    }
+
+    /// Reference sequential Jacobi iteration from `x = 0`, `phases` rounds.
+    #[must_use]
+    pub fn solve_jacobi(&self, phases: usize) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        let mut next = vec![0.0; self.n];
+        for _ in 0..phases {
+            for (i, slot) in next.iter_mut().enumerate() {
+                *slot = self.jacobi_step(i, &x);
+            }
+            std::mem::swap(&mut x, &mut next);
+        }
+        x
+    }
+
+    /// `‖Ax − b‖∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    #[must_use]
+    pub fn residual(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| {
+                let row: f64 = (0..self.n).map(|j| self.a[i * self.n + j] * x[j]).sum();
+                (row - self.b[i]).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_systems_are_diagonally_dominant() {
+        let s = LinearSystem::random(8, 1);
+        for i in 0..8 {
+            let off: f64 = (0..8).filter(|&j| j != i).map(|j| s.a(i, j).abs()).sum();
+            assert!(s.a(i, i).abs() > off);
+        }
+    }
+
+    #[test]
+    fn jacobi_converges_on_random_systems() {
+        for seed in 0..5 {
+            let s = LinearSystem::random(6, seed);
+            let x = s.solve_jacobi(200);
+            assert!(
+                s.residual(&x) < 1e-8,
+                "seed {seed}: residual {}",
+                s.residual(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_solves_a_known_system() {
+        // 4x + y = 9, x + 3y = 7  →  x = 20/11, y = 19/11.
+        let s = LinearSystem::new(2, vec![4.0, 1.0, 1.0, 3.0], vec![9.0, 7.0]);
+        let x = s.solve_jacobi(100);
+        assert!((x[0] - 20.0 / 11.0).abs() < 1e-9);
+        assert!((x[1] - 19.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(LinearSystem::random(5, 7), LinearSystem::random(5, 7));
+        assert_ne!(LinearSystem::random(5, 7), LinearSystem::random(5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be n x n")]
+    fn dimension_mismatch_panics() {
+        let _ = LinearSystem::new(2, vec![1.0; 3], vec![0.0; 2]);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let s = LinearSystem::new(2, vec![2.0, 0.0, 0.0, 2.0], vec![4.0, 6.0]);
+        assert!(s.residual(&[2.0, 3.0]) < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Random read/write workloads for throughput and message-cost benches.
+
+use memcore::Location;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One generated operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkloadOp {
+    /// Read a location.
+    Read(Location),
+    /// Write a value to a location.
+    Write(Location, i64),
+}
+
+/// Parameters of a synthetic workload over an owner-partitioned namespace.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Number of processes.
+    pub nodes: usize,
+    /// Locations per process's partition (round-robin ownership assumed:
+    /// location `l` is owned by `l mod nodes`).
+    pub locations_per_node: usize,
+    /// Operations generated per process.
+    pub ops_per_node: usize,
+    /// Fraction of reads in `[0, 1]`.
+    pub read_ratio: f64,
+    /// Probability that an operation targets the process's *own*
+    /// partition (owner-local operations are the causal protocol's fast
+    /// path).
+    pub locality: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            nodes: 4,
+            locations_per_node: 16,
+            ops_per_node: 1000,
+            read_ratio: 0.9,
+            locality: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Total locations in the namespace.
+    #[must_use]
+    pub fn locations(&self) -> u32 {
+        (self.nodes * self.locations_per_node) as u32
+    }
+
+    /// Generates each process's operation sequence (deterministic per
+    /// seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ratios are outside `[0, 1]` or any dimension is zero.
+    #[must_use]
+    pub fn generate(&self) -> Vec<Vec<WorkloadOp>> {
+        assert!(self.nodes > 0 && self.locations_per_node > 0);
+        assert!(
+            (0.0..=1.0).contains(&self.read_ratio),
+            "read_ratio in [0,1]"
+        );
+        assert!((0.0..=1.0).contains(&self.locality), "locality in [0,1]");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut value = 1i64;
+        (0..self.nodes)
+            .map(|node| {
+                (0..self.ops_per_node)
+                    .map(|_| {
+                        // Pick the owning partition, then a slot within it.
+                        // Round-robin ownership: owner p's locations are
+                        // p, p + nodes, p + 2·nodes, …
+                        let owner = if rng.gen_bool(self.locality) {
+                            node
+                        } else {
+                            rng.gen_range(0..self.nodes)
+                        };
+                        let slot = rng.gen_range(0..self.locations_per_node);
+                        let loc = Location::new((slot * self.nodes + owner) as u32);
+                        if rng.gen_bool(self.read_ratio) {
+                            WorkloadOp::Read(loc)
+                        } else {
+                            value += 1;
+                            WorkloadOp::Write(loc, value)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn dimensions_match_spec() {
+        let spec = WorkloadSpec {
+            nodes: 3,
+            ops_per_node: 50,
+            ..WorkloadSpec::default()
+        };
+        let ops = spec.generate();
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|o| o.len() == 50));
+        let max_loc = spec.locations();
+        for op in ops.iter().flatten() {
+            let loc = match op {
+                WorkloadOp::Read(l) | WorkloadOp::Write(l, _) => *l,
+            };
+            assert!((loc.index() as u32) < max_loc);
+        }
+    }
+
+    #[test]
+    fn read_ratio_zero_yields_only_writes() {
+        let spec = WorkloadSpec {
+            read_ratio: 0.0,
+            ops_per_node: 20,
+            ..WorkloadSpec::default()
+        };
+        assert!(spec
+            .generate()
+            .iter()
+            .flatten()
+            .all(|op| matches!(op, WorkloadOp::Write(..))));
+    }
+
+    #[test]
+    fn full_locality_targets_own_partition() {
+        let spec = WorkloadSpec {
+            locality: 1.0,
+            nodes: 4,
+            ops_per_node: 100,
+            ..WorkloadSpec::default()
+        };
+        for (node, ops) in spec.generate().iter().enumerate() {
+            for op in ops {
+                let loc = match op {
+                    WorkloadOp::Read(l) | WorkloadOp::Write(l, _) => *l,
+                };
+                assert_eq!(loc.index() % 4, node, "op {op:?} not node-local");
+            }
+        }
+    }
+
+    #[test]
+    fn write_values_are_unique() {
+        let spec = WorkloadSpec {
+            read_ratio: 0.0,
+            ops_per_node: 100,
+            ..WorkloadSpec::default()
+        };
+        let mut values: Vec<i64> = spec
+            .generate()
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                WorkloadOp::Write(_, v) => Some(*v),
+                WorkloadOp::Read(_) => None,
+            })
+            .collect();
+        let len = values.len();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), len);
+    }
+}

@@ -1,0 +1,213 @@
+//! Configuration of the atomic baseline.
+
+use std::fmt;
+use std::sync::Arc;
+
+use memcore::{OwnerMap, RoundRobinOwners, Value};
+
+/// How invalidations are performed on writes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum InvalMode {
+    /// Invalidation messages are sent but not acknowledged; the write
+    /// completes as soon as they are *sent*. This is the accounting the
+    /// paper's §4.1 analysis uses (`n − 1` extra messages per owner write)
+    /// — cheaper, but in-flight invalidations can race reads.
+    #[default]
+    FireAndForget,
+    /// The write blocks until every cached copy acknowledges invalidation
+    /// (invalidate-before-write): the properly atomic protocol.
+    Acknowledged,
+}
+
+/// Full configuration of an atomic DSM instance.
+#[derive(Clone)]
+pub struct AtomicConfig<V> {
+    nodes: u32,
+    locations: u32,
+    owners: Arc<dyn OwnerMap>,
+    initial: V,
+    inval_mode: InvalMode,
+}
+
+impl<V: Value> AtomicConfig<V> {
+    /// Starts building a configuration (round-robin ownership, page size 1,
+    /// fire-and-forget invalidation by default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `locations` is zero.
+    #[must_use]
+    pub fn builder(nodes: u32, locations: u32) -> AtomicConfigBuilder<V>
+    where
+        V: Default,
+    {
+        assert!(nodes > 0, "at least one node required");
+        assert!(locations > 0, "at least one location required");
+        AtomicConfigBuilder {
+            nodes,
+            locations,
+            page_size: 1,
+            owners: None,
+            initial: V::default(),
+            inval_mode: InvalMode::default(),
+        }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Size of the shared namespace, in locations.
+    #[must_use]
+    pub fn locations(&self) -> u32 {
+        self.locations
+    }
+
+    /// The ownership assignment.
+    #[must_use]
+    pub fn owners(&self) -> &Arc<dyn OwnerMap> {
+        &self.owners
+    }
+
+    /// Locations per page.
+    #[must_use]
+    pub fn page_size(&self) -> u32 {
+        self.owners.page_size()
+    }
+
+    /// Number of pages in the namespace.
+    #[must_use]
+    pub fn page_count(&self) -> u32 {
+        self.locations.div_ceil(self.page_size())
+    }
+
+    /// The initial value of every location.
+    #[must_use]
+    pub fn initial(&self) -> &V {
+        &self.initial
+    }
+
+    /// The invalidation mode.
+    #[must_use]
+    pub fn inval_mode(&self) -> InvalMode {
+        self.inval_mode
+    }
+}
+
+impl<V> fmt::Debug for AtomicConfig<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicConfig")
+            .field("nodes", &self.nodes)
+            .field("locations", &self.locations)
+            .field("page_size", &self.owners.page_size())
+            .field("inval_mode", &self.inval_mode)
+            .finish()
+    }
+}
+
+/// Builder for [`AtomicConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use atomic_dsm::{AtomicConfig, InvalMode};
+/// use memcore::Word;
+///
+/// let config = AtomicConfig::<Word>::builder(4, 16)
+///     .inval_mode(InvalMode::Acknowledged)
+///     .build();
+/// assert_eq!(config.page_count(), 16);
+/// ```
+pub struct AtomicConfigBuilder<V> {
+    nodes: u32,
+    locations: u32,
+    page_size: u32,
+    owners: Option<Arc<dyn OwnerMap>>,
+    initial: V,
+    inval_mode: InvalMode,
+}
+
+impl<V: Value> AtomicConfigBuilder<V> {
+    /// Sets the unit of sharing (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    #[must_use]
+    pub fn page_size(mut self, page_size: u32) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        self.page_size = page_size;
+        self
+    }
+
+    /// Sets an explicit ownership assignment.
+    #[must_use]
+    pub fn owners(mut self, owners: impl OwnerMap) -> Self {
+        self.owners = Some(Arc::new(owners));
+        self
+    }
+
+    /// Sets the initial value of every location.
+    #[must_use]
+    pub fn initial(mut self, initial: V) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Sets the invalidation mode.
+    #[must_use]
+    pub fn inval_mode(mut self, mode: InvalMode) -> Self {
+        self.inval_mode = mode;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit owner map disagrees with the node count.
+    #[must_use]
+    pub fn build(self) -> AtomicConfig<V> {
+        let owners = self
+            .owners
+            .unwrap_or_else(|| Arc::new(RoundRobinOwners::new(self.nodes, self.page_size)));
+        assert_eq!(
+            owners.nodes(),
+            self.nodes,
+            "owner map node count disagrees with configuration"
+        );
+        AtomicConfig {
+            nodes: self.nodes,
+            locations: self.locations,
+            owners,
+            initial: self.initial,
+            inval_mode: self.inval_mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcore::Word;
+
+    #[test]
+    fn defaults_match_paper_accounting() {
+        let config = AtomicConfig::<Word>::builder(3, 6).build();
+        assert_eq!(config.inval_mode(), InvalMode::FireAndForget);
+        assert_eq!(config.page_size(), 1);
+        assert_eq!(config.page_count(), 6);
+        assert_eq!(config.initial(), &Word::Zero);
+        assert!(format!("{config:?}").contains("AtomicConfig"));
+    }
+
+    #[test]
+    fn acknowledged_mode_is_selectable() {
+        let config = AtomicConfig::<Word>::builder(2, 2)
+            .inval_mode(InvalMode::Acknowledged)
+            .build();
+        assert_eq!(config.inval_mode(), InvalMode::Acknowledged);
+    }
+}

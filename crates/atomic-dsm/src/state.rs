@@ -1,0 +1,963 @@
+//! The atomic baseline as a pure state machine.
+//!
+//! A fixed-ownership, write-invalidate protocol in the style of Li &
+//! Hudak's shared virtual memory (the comparator the paper names): owners
+//! keep a *copyset* per page — every node holding a cached copy — and a
+//! write invalidates all of them before (Acknowledged) or while
+//! (FireAndForget) installing. This is the "potential global
+//! synchronization" on writes that the causal protocol avoids.
+//!
+//! Like [`causal_dsm::CausalState`], this state machine performs no I/O;
+//! the threaded engine and the deterministic simulator drive it.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use memcore::{Location, NodeId, OwnerMap, PageId, Value, WriteId};
+
+use crate::config::{AtomicConfig, InvalMode};
+use crate::msg::AMsg;
+
+#[derive(Clone, Debug)]
+struct APage<V> {
+    slots: Vec<(V, WriteId)>,
+}
+
+/// Who initiated a pending (awaiting-acks) write.
+#[derive(Clone, Debug)]
+enum Initiator {
+    /// The owner's own application.
+    Local,
+    /// A remote writer to reply to.
+    Remote { node: NodeId, has_copy: bool },
+}
+
+#[derive(Clone, Debug)]
+struct Pending<V> {
+    initiator: Initiator,
+    loc: Location,
+    value: V,
+    wid: WriteId,
+    awaiting: HashSet<NodeId>,
+}
+
+#[derive(Clone, Debug)]
+enum Queued<V> {
+    Remote(NodeId, AMsg<V>),
+    LocalWrite {
+        loc: Location,
+        value: V,
+        wid: WriteId,
+    },
+}
+
+/// Result of starting a read.
+#[derive(Clone, Debug)]
+pub enum AReadStep<V> {
+    /// Owned or cached: complete.
+    Hit {
+        /// The value read.
+        value: V,
+        /// The write it reads from.
+        wid: WriteId,
+    },
+    /// Fetch from the owner; feed the reply to
+    /// [`AtomicState::finish_read`].
+    Miss {
+        /// The page's owner.
+        owner: NodeId,
+        /// The fetch request.
+        request: AMsg<V>,
+    },
+}
+
+/// Result of starting a write.
+#[derive(Clone, Debug)]
+pub enum AWriteStep<V> {
+    /// Completed immediately (possibly after firing invalidations).
+    Done {
+        /// The write's tag.
+        wid: WriteId,
+        /// Invalidations to send (fire-and-forget mode).
+        outgoing: Vec<(NodeId, AMsg<V>)>,
+    },
+    /// Owner write blocked until invalidation acks arrive; completion is
+    /// signalled by a [`Transition::local_write_done`].
+    Blocked {
+        /// The write's tag.
+        wid: WriteId,
+        /// Invalidations to send.
+        outgoing: Vec<(NodeId, AMsg<V>)>,
+    },
+    /// Non-owner write: send to the owner; feed the reply to
+    /// [`AtomicState::finish_write`].
+    Remote {
+        /// The write's tag.
+        wid: WriteId,
+        /// The page's owner.
+        owner: NodeId,
+        /// The certification request.
+        request: AMsg<V>,
+    },
+}
+
+/// Effects of delivering one protocol message.
+#[derive(Clone, Debug, Default)]
+pub struct Transition<V> {
+    /// Messages to send, with destinations.
+    pub outgoing: Vec<(NodeId, AMsg<V>)>,
+    /// Set when a *local* blocked write (of this node's own application)
+    /// has completed.
+    pub local_write_done: Option<WriteId>,
+}
+
+impl<V> Transition<V> {
+    fn none() -> Self {
+        Transition {
+            outgoing: Vec::new(),
+            local_write_done: None,
+        }
+    }
+}
+
+/// One processor's state in the atomic owner protocol.
+///
+/// # Examples
+///
+/// ```
+/// use atomic_dsm::{AtomicConfig, AtomicState, AReadStep};
+/// use memcore::{NodeId, Location, Word};
+///
+/// let config = AtomicConfig::<Word>::builder(2, 2).build();
+/// let mut p0 = AtomicState::new(NodeId::new(0), config.clone());
+/// let mut p1 = AtomicState::new(NodeId::new(1), config);
+///
+/// // P1 fetches x0 from P0 and lands in its copyset.
+/// let AReadStep::Miss { owner, request } = p1.begin_read(Location::new(0)) else {
+///     unreachable!()
+/// };
+/// let t = p0.on_message(NodeId::new(1), request);
+/// let (_, reply) = t.outgoing.into_iter().next().unwrap();
+/// let (value, _) = p1.finish_read(Location::new(0), reply);
+/// assert_eq!(value, Word::Zero);
+/// assert_eq!(p0.copyset_size(Location::new(0).page(1)), 1);
+/// # let _ = owner;
+/// ```
+#[derive(Clone, Debug)]
+pub struct AtomicState<V> {
+    id: NodeId,
+    config: AtomicConfig<V>,
+    pages: HashMap<PageId, APage<V>>,
+    copysets: HashMap<PageId, HashSet<NodeId>>,
+    pending: HashMap<PageId, Pending<V>>,
+    queued: HashMap<PageId, VecDeque<Queued<V>>>,
+    /// Bumped whenever an `Inval` for the page arrives; guards against
+    /// installing a fetched copy that was invalidated while in flight.
+    epochs: HashMap<PageId, u64>,
+    /// Epoch of the page the single outstanding operation concerns, at the
+    /// time the request was sent.
+    op_epoch: u64,
+    write_seq: u64,
+    invalidations: u64,
+}
+
+impl<V: Value> AtomicState<V> {
+    /// Creates processor `id`'s state with owned pages initialized.
+    #[must_use]
+    pub fn new(id: NodeId, config: AtomicConfig<V>) -> Self {
+        let mut pages = HashMap::new();
+        let mut copysets = HashMap::new();
+        for page_index in 0..config.page_count() {
+            let page = PageId::new(page_index);
+            if config.owners().owner_of_page(page) == id {
+                let slots = page
+                    .locations(config.page_size())
+                    .map(|loc| (config.initial().clone(), WriteId::initial(loc)))
+                    .collect();
+                pages.insert(page, APage { slots });
+                copysets.insert(page, HashSet::new());
+            }
+        }
+        AtomicState {
+            id,
+            config,
+            pages,
+            copysets,
+            pending: HashMap::new(),
+            queued: HashMap::new(),
+            epochs: HashMap::new(),
+            op_epoch: 0,
+            write_seq: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// This processor's identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &AtomicConfig<V> {
+        &self.config
+    }
+
+    /// Number of nodes currently in an owned page's copyset.
+    #[must_use]
+    pub fn copyset_size(&self, page: PageId) -> usize {
+        self.copysets.get(&page).map_or(0, HashSet::len)
+    }
+
+    /// Cumulative invalidations this node has received (cache drops).
+    #[must_use]
+    pub fn invalidation_count(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// `true` iff `loc` is readable locally.
+    #[must_use]
+    pub fn has_valid_copy(&self, loc: Location) -> bool {
+        self.pages.contains_key(&self.page_of(loc))
+    }
+
+    /// The locally visible value, without protocol side effects.
+    #[must_use]
+    pub fn peek(&self, loc: Location) -> Option<(&V, WriteId)> {
+        let entry = self.pages.get(&self.page_of(loc))?;
+        let (v, wid) = &entry.slots[self.offset_of(loc)];
+        Some((v, *wid))
+    }
+
+    fn page_of(&self, loc: Location) -> PageId {
+        loc.page(self.config.page_size())
+    }
+
+    fn offset_of(&self, loc: Location) -> usize {
+        loc.page_offset(self.config.page_size())
+    }
+
+    fn epoch(&self, page: PageId) -> u64 {
+        self.epochs.get(&page).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Application side
+    // ------------------------------------------------------------------
+
+    /// Starts a read of `loc`.
+    pub fn begin_read(&mut self, loc: Location) -> AReadStep<V> {
+        let page = self.page_of(loc);
+        if let Some(entry) = self.pages.get(&page) {
+            let (value, wid) = &entry.slots[self.offset_of(loc)];
+            AReadStep::Hit {
+                value: value.clone(),
+                wid: *wid,
+            }
+        } else {
+            self.op_epoch = self.epoch(page);
+            AReadStep::Miss {
+                owner: self.config.owners().owner_of_page(page),
+                request: AMsg::Read { page },
+            }
+        }
+    }
+
+    /// Completes a read miss. The fetched page is cached unless an
+    /// invalidation overtook the reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reply` is not a `ReadReply` for `loc`'s page.
+    pub fn finish_read(&mut self, loc: Location, reply: AMsg<V>) -> (V, WriteId) {
+        let AMsg::ReadReply { page, slots } = reply else {
+            panic!("finish_read fed a non-ReadReply message");
+        };
+        assert_eq!(page, self.page_of(loc), "reply for wrong page");
+        let offset = self.offset_of(loc);
+        let result = slots[offset].clone();
+        if self.epoch(page) == self.op_epoch {
+            self.pages.insert(page, APage { slots });
+        }
+        result
+    }
+
+    /// Starts a write of `value` to `loc`.
+    pub fn begin_write(&mut self, loc: Location, value: V) -> AWriteStep<V> {
+        let wid = WriteId::new(self.id, self.write_seq);
+        self.write_seq += 1;
+        let page = self.page_of(loc);
+        let owner = self.config.owners().owner_of_page(page);
+        if owner != self.id {
+            self.op_epoch = self.epoch(page);
+            let has_copy = self.pages.contains_key(&page);
+            return AWriteStep::Remote {
+                wid,
+                owner,
+                request: AMsg::Write {
+                    loc,
+                    value,
+                    wid,
+                    has_copy,
+                },
+            };
+        }
+
+        if self.pending.contains_key(&page) {
+            // A remote-initiated write is mid-invalidation on this page;
+            // queue behind it.
+            self.queued
+                .entry(page)
+                .or_default()
+                .push_back(Queued::LocalWrite { loc, value, wid });
+            return AWriteStep::Blocked {
+                wid,
+                outgoing: Vec::new(),
+            };
+        }
+
+        let members: Vec<NodeId> = self
+            .copysets
+            .get(&page)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        if members.is_empty() {
+            self.install(page, loc, value, wid);
+            return AWriteStep::Done {
+                wid,
+                outgoing: Vec::new(),
+            };
+        }
+
+        let outgoing: Vec<_> = members.iter().map(|&m| (m, AMsg::Inval { page })).collect();
+        self.copysets.insert(page, HashSet::new());
+        match self.config.inval_mode() {
+            InvalMode::FireAndForget => {
+                self.install(page, loc, value, wid);
+                AWriteStep::Done { wid, outgoing }
+            }
+            InvalMode::Acknowledged => {
+                self.pending.insert(
+                    page,
+                    Pending {
+                        initiator: Initiator::Local,
+                        loc,
+                        value,
+                        wid,
+                        awaiting: members.into_iter().collect(),
+                    },
+                );
+                AWriteStep::Blocked { wid, outgoing }
+            }
+        }
+    }
+
+    /// Completes a remote write with the owner's confirmation. The written
+    /// value is cached unless an invalidation overtook the reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reply` is not a `WriteReply`.
+    pub fn finish_write(&mut self, reply: AMsg<V>) -> WriteId {
+        let AMsg::WriteReply { loc, wid, value } = reply else {
+            panic!("finish_write fed a non-WriteReply message");
+        };
+        let page = self.page_of(loc);
+        if self.epoch(page) == self.op_epoch {
+            let offset = self.offset_of(loc);
+            if let Some(entry) = self.pages.get_mut(&page) {
+                entry.slots[offset] = (value, wid);
+            } else if self.config.page_size() == 1 {
+                self.pages.insert(
+                    page,
+                    APage {
+                        slots: vec![(value, wid)],
+                    },
+                );
+            }
+        }
+        wid
+    }
+
+    /// Drops the cached copy of `loc`'s page (voluntary discard).
+    pub fn discard(&mut self, loc: Location) -> bool {
+        let page = self.page_of(loc);
+        if self.config.owners().owner_of_page(page) == self.id {
+            return false;
+        }
+        self.pages.remove(&page).is_some()
+        // Note: the owner's copyset still lists this node; the next Inval
+        // for the page is then redundant but harmless (and acked).
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling (server side)
+    // ------------------------------------------------------------------
+
+    /// Delivers one protocol message (`Read`, `Write`, `Inval`,
+    /// `InvalAck`), producing outgoing messages and possibly completing a
+    /// blocked local write.
+    ///
+    /// `ReadReply`/`WriteReply` must instead be routed to the blocked
+    /// operation ([`AtomicState::finish_read`] /
+    /// [`AtomicState::finish_write`]); feeding them here is a no-op.
+    pub fn on_message(&mut self, from: NodeId, msg: AMsg<V>) -> Transition<V> {
+        match msg {
+            AMsg::Read { page } => self.on_read_request(from, page),
+            AMsg::Write {
+                loc,
+                value,
+                wid,
+                has_copy,
+            } => self.on_write_request(from, loc, value, wid, has_copy),
+            AMsg::Inval { page } => self.on_inval(from, page),
+            AMsg::InvalAck { page } => self.on_inval_ack(from, page),
+            _ => Transition::none(),
+        }
+    }
+
+    fn on_read_request(&mut self, from: NodeId, page: PageId) -> Transition<V> {
+        debug_assert_eq!(self.config.owners().owner_of_page(page), self.id);
+        if self.pending.contains_key(&page) {
+            self.queued
+                .entry(page)
+                .or_default()
+                .push_back(Queued::Remote(from, AMsg::Read { page }));
+            return Transition::none();
+        }
+        Transition {
+            outgoing: vec![(from, self.read_reply(from, page))],
+            local_write_done: None,
+        }
+    }
+
+    fn read_reply(&mut self, from: NodeId, page: PageId) -> AMsg<V> {
+        self.copysets.entry(page).or_default().insert(from);
+        let entry = &self.pages[&page];
+        AMsg::ReadReply {
+            page,
+            slots: entry.slots.clone(),
+        }
+    }
+
+    fn on_write_request(
+        &mut self,
+        from: NodeId,
+        loc: Location,
+        value: V,
+        wid: WriteId,
+        has_copy: bool,
+    ) -> Transition<V> {
+        let page = self.page_of(loc);
+        debug_assert_eq!(self.config.owners().owner_of_page(page), self.id);
+        if self.pending.contains_key(&page) {
+            self.queued
+                .entry(page)
+                .or_default()
+                .push_back(Queued::Remote(
+                    from,
+                    AMsg::Write {
+                        loc,
+                        value,
+                        wid,
+                        has_copy,
+                    },
+                ));
+            return Transition::none();
+        }
+        self.start_remote_write(from, loc, value, wid, has_copy)
+    }
+
+    fn start_remote_write(
+        &mut self,
+        from: NodeId,
+        loc: Location,
+        value: V,
+        wid: WriteId,
+        has_copy: bool,
+    ) -> Transition<V> {
+        let page = self.page_of(loc);
+        let members: Vec<NodeId> = self
+            .copysets
+            .get(&page)
+            .map(|s| s.iter().copied().filter(|&m| m != from).collect())
+            .unwrap_or_default();
+        let writer_caches = has_copy || self.config.page_size() == 1;
+
+        if members.is_empty() || self.config.inval_mode() == InvalMode::FireAndForget {
+            let mut outgoing: Vec<_> = members.iter().map(|&m| (m, AMsg::Inval { page })).collect();
+            self.install(page, loc, value.clone(), wid);
+            let copyset = self.copysets.entry(page).or_default();
+            copyset.clear();
+            if writer_caches {
+                copyset.insert(from);
+            }
+            outgoing.push((from, AMsg::WriteReply { loc, wid, value }));
+            return Transition {
+                outgoing,
+                local_write_done: None,
+            };
+        }
+
+        // Acknowledged mode with live copies: invalidate-before-write.
+        let outgoing: Vec<_> = members.iter().map(|&m| (m, AMsg::Inval { page })).collect();
+        self.copysets.insert(page, HashSet::new());
+        self.pending.insert(
+            page,
+            Pending {
+                initiator: Initiator::Remote {
+                    node: from,
+                    has_copy: writer_caches,
+                },
+                loc,
+                value,
+                wid,
+                awaiting: members.into_iter().collect(),
+            },
+        );
+        Transition {
+            outgoing,
+            local_write_done: None,
+        }
+    }
+
+    fn on_inval(&mut self, from: NodeId, page: PageId) -> Transition<V> {
+        if self.pages.remove(&page).is_some() {
+            self.invalidations += 1;
+        }
+        *self.epochs.entry(page).or_insert(0) += 1;
+        match self.config.inval_mode() {
+            InvalMode::Acknowledged => Transition {
+                outgoing: vec![(from, AMsg::InvalAck { page })],
+                local_write_done: None,
+            },
+            InvalMode::FireAndForget => Transition::none(),
+        }
+    }
+
+    fn on_inval_ack(&mut self, from: NodeId, page: PageId) -> Transition<V> {
+        let Some(pending) = self.pending.get_mut(&page) else {
+            return Transition::none();
+        };
+        pending.awaiting.remove(&from);
+        if !pending.awaiting.is_empty() {
+            return Transition::none();
+        }
+        let Pending {
+            initiator,
+            loc,
+            value,
+            wid,
+            ..
+        } = self.pending.remove(&page).expect("checked above");
+        self.install(page, loc, value.clone(), wid);
+        let mut transition = Transition::none();
+        match initiator {
+            Initiator::Local => transition.local_write_done = Some(wid),
+            Initiator::Remote { node, has_copy } => {
+                if has_copy {
+                    self.copysets.entry(page).or_default().insert(node);
+                }
+                transition
+                    .outgoing
+                    .push((node, AMsg::WriteReply { loc, wid, value }));
+            }
+        }
+        self.drain_queue(page, &mut transition);
+        transition
+    }
+
+    /// Serve queued requests after a pending write completes; stops if a
+    /// queued write opens a new pending window.
+    fn drain_queue(&mut self, page: PageId, transition: &mut Transition<V>) {
+        while let Some(item) = self.queued.get_mut(&page).and_then(VecDeque::pop_front) {
+            match item {
+                Queued::Remote(from, AMsg::Read { .. }) => {
+                    let reply = self.read_reply(from, page);
+                    transition.outgoing.push((from, reply));
+                }
+                Queued::Remote(
+                    from,
+                    AMsg::Write {
+                        loc,
+                        value,
+                        wid,
+                        has_copy,
+                    },
+                ) => {
+                    let t = self.start_remote_write(from, loc, value, wid, has_copy);
+                    transition.outgoing.extend(t.outgoing);
+                    if self.pending.contains_key(&page) {
+                        return;
+                    }
+                }
+                Queued::Remote(..) => {}
+                Queued::LocalWrite { loc, value, wid } => {
+                    let members: Vec<NodeId> = self
+                        .copysets
+                        .get(&page)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    if members.is_empty() {
+                        self.install(page, loc, value, wid);
+                        transition.local_write_done = Some(wid);
+                    } else {
+                        transition
+                            .outgoing
+                            .extend(members.iter().map(|&m| (m, AMsg::Inval { page })));
+                        self.copysets.insert(page, HashSet::new());
+                        self.pending.insert(
+                            page,
+                            Pending {
+                                initiator: Initiator::Local,
+                                loc,
+                                value,
+                                wid,
+                                awaiting: members.into_iter().collect(),
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn install(&mut self, page: PageId, loc: Location, value: V, wid: WriteId) {
+        let offset = self.offset_of(loc);
+        let entry = self
+            .pages
+            .get_mut(&page)
+            .expect("owned pages are always present");
+        entry.slots[offset] = (value, wid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcore::Word;
+
+    fn p(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn loc(i: u32) -> Location {
+        Location::new(i)
+    }
+
+    fn pair(mode: InvalMode) -> (AtomicState<Word>, AtomicState<Word>) {
+        let config = AtomicConfig::<Word>::builder(2, 4).inval_mode(mode).build();
+        (
+            AtomicState::new(p(0), config.clone()),
+            AtomicState::new(p(1), config),
+        )
+    }
+
+    /// Drive a full read, delivering messages synchronously.
+    fn read(reader: &mut AtomicState<Word>, owner: &mut AtomicState<Word>, l: Location) -> Word {
+        match reader.begin_read(l) {
+            AReadStep::Hit { value, .. } => value,
+            AReadStep::Miss { request, .. } => {
+                let t = owner.on_message(reader.id(), request);
+                let (dst, reply) = t.outgoing.into_iter().next().unwrap();
+                assert_eq!(dst, reader.id());
+                reader.finish_read(l, reply).0
+            }
+        }
+    }
+
+    #[test]
+    fn read_miss_populates_copyset() {
+        let (mut p0, mut p1) = pair(InvalMode::FireAndForget);
+        assert_eq!(read(&mut p1, &mut p0, loc(0)), Word::Zero);
+        assert_eq!(p0.copyset_size(loc(0).page(1)), 1);
+        assert!(p1.has_valid_copy(loc(0)));
+    }
+
+    #[test]
+    fn owner_write_with_empty_copyset_is_free() {
+        let (mut p0, _) = pair(InvalMode::Acknowledged);
+        match p0.begin_write(loc(0), Word::Int(5)) {
+            AWriteStep::Done { outgoing, .. } => assert!(outgoing.is_empty()),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(5));
+    }
+
+    #[test]
+    fn fire_and_forget_owner_write_sends_invals_and_completes() {
+        let (mut p0, mut p1) = pair(InvalMode::FireAndForget);
+        let _ = read(&mut p1, &mut p0, loc(0));
+        match p0.begin_write(loc(0), Word::Int(7)) {
+            AWriteStep::Done { outgoing, .. } => {
+                assert_eq!(outgoing.len(), 1);
+                let (dst, msg) = &outgoing[0];
+                assert_eq!(*dst, p(1));
+                assert!(matches!(msg, AMsg::Inval { .. }));
+                // Deliver the inval: P1 drops its copy.
+                let t = p1.on_message(p(0), msg.clone());
+                assert!(t.outgoing.is_empty()); // no ack in this mode
+                assert!(!p1.has_valid_copy(loc(0)));
+                assert_eq!(p1.invalidation_count(), 1);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acknowledged_owner_write_blocks_until_acks() {
+        let (mut p0, mut p1) = pair(InvalMode::Acknowledged);
+        let _ = read(&mut p1, &mut p0, loc(0));
+        let AWriteStep::Blocked { wid, outgoing } = p0.begin_write(loc(0), Word::Int(7)) else {
+            panic!("expected Blocked");
+        };
+        // Old value still installed while pending.
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Zero);
+        // Deliver inval to P1, route its ack back.
+        let (_, inval) = outgoing.into_iter().next().unwrap();
+        let t1 = p1.on_message(p(0), inval);
+        let (_, ack) = t1.outgoing.into_iter().next().unwrap();
+        let t0 = p0.on_message(p(1), ack);
+        assert_eq!(t0.local_write_done, Some(wid));
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(7));
+    }
+
+    #[test]
+    fn remote_write_round_trip() {
+        let (mut p0, mut p1) = pair(InvalMode::Acknowledged);
+        let AWriteStep::Remote { request, .. } = p1.begin_write(loc(0), Word::Int(3)) else {
+            panic!("expected Remote");
+        };
+        let t = p0.on_message(p(1), request);
+        let (dst, reply) = t.outgoing.into_iter().next().unwrap();
+        assert_eq!(dst, p(1));
+        p1.finish_write(reply);
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(3));
+        // Writer caches the written value and is in the copyset.
+        assert_eq!(p1.peek(loc(0)).unwrap().0, &Word::Int(3));
+        assert_eq!(p0.copyset_size(loc(0).page(1)), 1);
+    }
+
+    #[test]
+    fn remote_write_invalidates_other_readers() {
+        let config = AtomicConfig::<Word>::builder(3, 3)
+            .inval_mode(InvalMode::Acknowledged)
+            .build();
+        let mut p0 = AtomicState::new(p(0), config.clone());
+        let mut p1 = AtomicState::new(p(1), config.clone());
+        let mut p2 = AtomicState::new(p(2), config);
+        let _ = read(&mut p2, &mut p0, loc(0)); // P2 caches x0
+
+        let AWriteStep::Remote { request, wid, .. } = p1.begin_write(loc(0), Word::Int(9)) else {
+            panic!("expected Remote");
+        };
+        // Owner must invalidate P2 before replying.
+        let t = p0.on_message(p(1), request);
+        assert_eq!(t.outgoing.len(), 1);
+        let (dst, inval) = t.outgoing.into_iter().next().unwrap();
+        assert_eq!(dst, p(2));
+        let t2 = p2.on_message(p(0), inval);
+        assert!(!p2.has_valid_copy(loc(0)));
+        let (_, ack) = t2.outgoing.into_iter().next().unwrap();
+        let t0 = p0.on_message(p(2), ack);
+        // Now the reply to the writer flows.
+        let (dst, reply) = t0.outgoing.into_iter().next().unwrap();
+        assert_eq!(dst, p(1));
+        assert_eq!(p1.finish_write(reply), wid);
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(9));
+    }
+
+    #[test]
+    fn reads_queue_behind_pending_writes() {
+        let config = AtomicConfig::<Word>::builder(3, 3)
+            .inval_mode(InvalMode::Acknowledged)
+            .build();
+        let mut p0 = AtomicState::new(p(0), config.clone());
+        let mut p1 = AtomicState::new(p(1), config.clone());
+        let mut p2 = AtomicState::new(p(2), config);
+        let _ = read(&mut p2, &mut p0, loc(0));
+
+        // Owner's own write pends on P2's ack.
+        let AWriteStep::Blocked { outgoing, .. } = p0.begin_write(loc(0), Word::Int(5)) else {
+            panic!("expected Blocked");
+        };
+        // Meanwhile P1's read request arrives: queued, no reply yet.
+        let AReadStep::Miss { request, .. } = p1.begin_read(loc(0)) else {
+            panic!()
+        };
+        let t = p0.on_message(p(1), request);
+        assert!(t.outgoing.is_empty());
+
+        // Ack arrives: write completes AND the queued read is served with
+        // the new value.
+        let (_, inval) = outgoing.into_iter().next().unwrap();
+        let t2 = p2.on_message(p(0), inval);
+        let (_, ack) = t2.outgoing.into_iter().next().unwrap();
+        let t0 = p0.on_message(p(2), ack);
+        assert!(t0.local_write_done.is_some());
+        let (dst, reply) = t0.outgoing.into_iter().next().unwrap();
+        assert_eq!(dst, p(1));
+        assert_eq!(p1.finish_read(loc(0), reply).0, Word::Int(5));
+    }
+
+    #[test]
+    fn queued_write_cascades_into_a_new_pending_window() {
+        // Owner P0; P2 caches the page. P1's remote write opens a pending
+        // window (P2 must ack). While pending, ANOTHER write (from P3) and
+        // a read (from P1... use P3's read) queue up. When the ack lands:
+        // the first write completes, the queued write immediately opens a
+        // second pending window (P1 now holds a copy), and the queued read
+        // waits behind it.
+        let config = AtomicConfig::<Word>::builder(4, 4)
+            .inval_mode(InvalMode::Acknowledged)
+            .build();
+        let mut p0 = AtomicState::new(p(0), config.clone());
+        let mut p1 = AtomicState::new(p(1), config.clone());
+        let mut p2 = AtomicState::new(p(2), config.clone());
+        let mut p3 = AtomicState::new(p(3), config);
+
+        // P2 caches x0.
+        let AReadStep::Miss { request, .. } = p2.begin_read(loc(0)) else {
+            panic!()
+        };
+        let t = p0.on_message(p(2), request);
+        let (_, reply) = t.outgoing.into_iter().next().unwrap();
+        p2.finish_read(loc(0), reply);
+
+        // P1's write opens the pending window (inval to P2).
+        let AWriteStep::Remote { request: w1, .. } = p1.begin_write(loc(0), Word::Int(1)) else {
+            panic!()
+        };
+        let t = p0.on_message(p(1), w1);
+        let (dst, inval) = t.outgoing.into_iter().next().unwrap();
+        assert_eq!(dst, p(2));
+
+        // P3's write and read queue behind it.
+        let AWriteStep::Remote { request: w3, .. } = p3.begin_write(loc(0), Word::Int(3)) else {
+            panic!()
+        };
+        assert!(p0.on_message(p(3), w3).outgoing.is_empty(), "queued");
+
+        // P2's ack releases the window: P1 gets its reply AND the queued
+        // write starts a new pending window invalidating P1's fresh copy.
+        let t2 = p2.on_message(p(0), inval);
+        let (_, ack) = t2.outgoing.into_iter().next().unwrap();
+        let t0 = p0.on_message(p(2), ack);
+        let mut reply_to_p1 = None;
+        let mut inval_to_p1 = None;
+        for (dst, msg) in t0.outgoing {
+            match msg {
+                AMsg::WriteReply { .. } => {
+                    assert_eq!(dst, p(1));
+                    reply_to_p1 = Some(msg);
+                }
+                AMsg::Inval { .. } => {
+                    assert_eq!(dst, p(1), "P1 cached its write; must be invalidated");
+                    inval_to_p1 = Some(msg);
+                }
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        p1.finish_write(reply_to_p1.expect("reply for P1"));
+        assert_eq!(p1.peek(loc(0)).unwrap().0, &Word::Int(1));
+
+        // P1 acks the second window; P3's write completes.
+        let t1 = p1.on_message(p(0), inval_to_p1.expect("inval for P1"));
+        assert!(!p1.has_valid_copy(loc(0)));
+        let (_, ack) = t1.outgoing.into_iter().next().unwrap();
+        let t0 = p0.on_message(p(1), ack);
+        let (dst, reply) = t0.outgoing.into_iter().next().unwrap();
+        assert_eq!(dst, p(3));
+        p3.finish_write(reply);
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(3));
+    }
+
+    #[test]
+    fn local_write_queues_behind_remote_pending() {
+        // A remote-initiated pending window is open; the owner's own
+        // application write must queue and complete via local_write_done.
+        let config = AtomicConfig::<Word>::builder(3, 3)
+            .inval_mode(InvalMode::Acknowledged)
+            .build();
+        let mut p0 = AtomicState::new(p(0), config.clone());
+        let mut p1 = AtomicState::new(p(1), config.clone());
+        let mut p2 = AtomicState::new(p(2), config);
+
+        // P2 caches x0; P1's write opens the window (inval to P2).
+        let AReadStep::Miss { request, .. } = p2.begin_read(loc(0)) else {
+            panic!()
+        };
+        let t = p0.on_message(p(2), request);
+        let (_, reply) = t.outgoing.into_iter().next().unwrap();
+        p2.finish_read(loc(0), reply);
+        let AWriteStep::Remote { request: w1, .. } = p1.begin_write(loc(0), Word::Int(1)) else {
+            panic!()
+        };
+        let t = p0.on_message(p(1), w1);
+        let (_, inval_p2) = t.outgoing.into_iter().next().unwrap();
+
+        // Owner's own write queues behind the window.
+        let AWriteStep::Blocked { wid, outgoing } = p0.begin_write(loc(0), Word::Int(9)) else {
+            panic!("expected Blocked behind the pending window");
+        };
+        assert!(outgoing.is_empty());
+
+        // P2 acks: P1's write completes (reply sent, P1 enters the
+        // copyset), and the queued LOCAL write opens a second window that
+        // must invalidate P1.
+        let t2 = p2.on_message(p(0), inval_p2);
+        let (_, ack) = t2.outgoing.into_iter().next().unwrap();
+        let t0 = p0.on_message(p(2), ack);
+        assert!(t0.local_write_done.is_none(), "still awaiting P1's ack");
+        let mut reply_to_p1 = None;
+        let mut inval_to_p1 = None;
+        for (dst, msg) in t0.outgoing {
+            assert_eq!(dst, p(1));
+            match msg {
+                AMsg::WriteReply { .. } => reply_to_p1 = Some(msg),
+                AMsg::Inval { .. } => inval_to_p1 = Some(msg),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        p1.finish_write(reply_to_p1.expect("P1's reply"));
+        let t1 = p1.on_message(p(0), inval_to_p1.expect("P1's inval"));
+        let (_, ack) = t1.outgoing.into_iter().next().unwrap();
+
+        // P1's ack completes the owner's queued local write.
+        let t0 = p0.on_message(p(1), ack);
+        assert_eq!(t0.local_write_done, Some(wid));
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(9));
+    }
+
+    #[test]
+    fn overtaken_read_reply_is_not_cached() {
+        let (mut p0, mut p1) = pair(InvalMode::FireAndForget);
+        // P1 sends a read request; owner replies; BEFORE P1 processes the
+        // reply, an inval arrives (from a racing write).
+        let AReadStep::Miss { request, .. } = p1.begin_read(loc(0)) else {
+            panic!()
+        };
+        let t = p0.on_message(p(1), request);
+        let (_, reply) = t.outgoing.into_iter().next().unwrap();
+        // Racing write at owner fires an inval at P1.
+        let AWriteStep::Done { outgoing, .. } = p0.begin_write(loc(0), Word::Int(8)) else {
+            panic!()
+        };
+        let (_, inval) = outgoing.into_iter().next().unwrap();
+        let _ = p1.on_message(p(0), inval);
+        // Stale reply completes the read but is NOT installed.
+        let (v, _) = p1.finish_read(loc(0), reply);
+        assert_eq!(v, Word::Zero);
+        assert!(!p1.has_valid_copy(loc(0)));
+    }
+
+    #[test]
+    fn discard_drops_cached_copy() {
+        let (mut p0, mut p1) = pair(InvalMode::FireAndForget);
+        let _ = read(&mut p1, &mut p0, loc(0));
+        assert!(p1.discard(loc(0)));
+        assert!(!p1.has_valid_copy(loc(0)));
+        assert!(!p0.discard(loc(0)));
+    }
+}

@@ -1,0 +1,49 @@
+//! A1–A4 — ablation benches: wall-clock cost of the design-choice sweeps
+//! (the counters themselves are deterministic; see the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_apps::WorkloadSpec;
+use dsm_bench::{
+    ack_mode_ablation, const_segments_ablation, invalidation_mode_ablation, page_size_ablation,
+    wait_mode_ablation,
+};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+
+    let spec = WorkloadSpec {
+        nodes: 4,
+        locations_per_node: 8,
+        ops_per_node: 200,
+        read_ratio: 0.7,
+        locality: 0.3,
+        seed: 5,
+    };
+    group.bench_function("A1_invalidation_modes", |b| {
+        b.iter(|| black_box(invalidation_mode_ablation(&spec)));
+    });
+
+    for &size in &[1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("A2_page_size", size), &size, |b, &size| {
+            b.iter(|| black_box(page_size_ablation(&[size])));
+        });
+    }
+
+    group.bench_function("A3_const_segments", |b| {
+        b.iter(|| black_box(const_segments_ablation(4, 4)));
+    });
+    group.bench_function("A4a_wait_modes", |b| {
+        b.iter(|| black_box(wait_mode_ablation(4, 4, 2)));
+    });
+    group.bench_function("A4b_ack_modes", |b| {
+        b.iter(|| black_box(ack_mode_ablation(4, 4)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

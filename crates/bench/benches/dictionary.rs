@@ -1,0 +1,56 @@
+//! E8 — distributed dictionary operation cost on causal memory (threaded
+//! engine), insert/lookup/delete mixes.
+
+use causal_dsm::{CausalCluster, WritePolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsm_apps::{DictLayout, Dictionary};
+use memcore::Word;
+use std::hint::black_box;
+
+fn bench_dictionary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dictionary");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &nodes in &[2usize, 4] {
+        let layout = DictLayout::new(nodes, 64);
+        let items_per_node = 32i64;
+        group.throughput(Throughput::Elements(
+            (nodes as u64) * items_per_node as u64 * 3,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("insert_lookup_delete", nodes),
+            &nodes,
+            |b, &nodes| {
+                b.iter(|| {
+                    let cluster = CausalCluster::<Word>::builder(nodes as u32, layout.locations())
+                        .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
+                        .build()
+                        .expect("cluster");
+                    std::thread::scope(|scope| {
+                        for node in 0..nodes {
+                            let handle = cluster.handle(node as u32);
+                            scope.spawn(move || {
+                                let dict = Dictionary::new(handle, layout);
+                                let base = node as i64 * 1_000;
+                                for k in 1..=items_per_node {
+                                    dict.insert(base + k).expect("insert");
+                                }
+                                for k in 1..=items_per_node {
+                                    black_box(dict.lookup(base + k).expect("lookup"));
+                                }
+                                for k in 1..=items_per_node {
+                                    dict.delete(base + k).expect("delete");
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionary);
+criterion_main!(benches);

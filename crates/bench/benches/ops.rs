@@ -1,0 +1,80 @@
+//! P1 — operation throughput on the threaded engines: causal vs atomic vs
+//! broadcast, across read ratios.
+
+use atomic_dsm::{AtomicCluster, InvalMode};
+use broadcast_mem::BroadcastCluster;
+use causal_dsm::CausalCluster;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsm_apps::{WorkloadOp, WorkloadSpec};
+use memcore::{SharedMemory, Word};
+use std::hint::black_box;
+
+fn run_ops<M: SharedMemory<Word> + Send>(handles: Vec<M>, workload: &[Vec<WorkloadOp>]) {
+    std::thread::scope(|scope| {
+        for (mem, ops) in handles.into_iter().zip(workload) {
+            scope.spawn(move || {
+                for op in ops {
+                    match op {
+                        WorkloadOp::Read(loc) => {
+                            black_box(mem.read(*loc).expect("read"));
+                        }
+                        WorkloadOp::Write(loc, v) => {
+                            mem.write(*loc, Word::Int(*v)).expect("write");
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_ops");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &read_ratio in &[0.5f64, 0.95] {
+        let spec = WorkloadSpec {
+            nodes: 4,
+            locations_per_node: 16,
+            ops_per_node: 2_000,
+            read_ratio,
+            locality: 0.5,
+            seed: 3,
+        };
+        let workload = spec.generate();
+        let total_ops = (spec.nodes * spec.ops_per_node) as u64;
+        group.throughput(Throughput::Elements(total_ops));
+        let tag = format!("r{}", (read_ratio * 100.0) as u32);
+
+        group.bench_with_input(BenchmarkId::new("causal", &tag), &spec, |b, spec| {
+            b.iter(|| {
+                let cluster = CausalCluster::<Word>::builder(spec.nodes as u32, spec.locations())
+                    .build()
+                    .expect("cluster");
+                run_ops(cluster.handles(), &workload);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("atomic_acked", &tag), &spec, |b, spec| {
+            b.iter(|| {
+                let cluster = AtomicCluster::<Word>::builder(spec.nodes as u32, spec.locations())
+                    .configure(|c| c.inval_mode(InvalMode::Acknowledged))
+                    .build()
+                    .expect("cluster");
+                run_ops(cluster.handles(), &workload);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("broadcast", &tag), &spec, |b, spec| {
+            b.iter(|| {
+                let cluster = BroadcastCluster::<Word>::new(spec.nodes as u32, spec.locations())
+                    .expect("cluster");
+                let handles: Vec<_> = (0..spec.nodes as u32).map(|i| cluster.handle(i)).collect();
+                run_ops(handles, &workload);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-bench of the vector-timestamp operations every protocol message
+//! pays for — the per-`n` overhead behind the owner protocol's metadata.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vclock::VectorClock;
+
+fn bench_vclock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vclock");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[4usize, 16, 64, 256] {
+        let a: VectorClock = (0..n as u64).collect();
+        let b: VectorClock = (0..n as u64).rev().collect();
+        group.bench_with_input(BenchmarkId::new("update", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut vt = black_box(&a).clone();
+                vt.update(black_box(&b));
+                black_box(vt)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("partial_cmp", n), &n, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).partial_cmp(black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("dominated_by", n), &n, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).dominated_by(black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vclock);
+criterion_main!(benches);

@@ -1,0 +1,271 @@
+//! The E6/E7 quantitative experiments: solver message counts and
+//! latency sweeps, causal vs atomic.
+
+use std::fmt::Write as _;
+
+use atomic_dsm::InvalMode;
+use dsm_apps::{
+    run_async_solver_sim, run_atomic_solver_sim, run_broadcast_solver_sim, run_causal_solver_sim,
+    LinearSystem, SolverSimConfig,
+};
+
+/// One row of the E6 message-count table.
+#[derive(Clone, Debug)]
+pub struct SolverRow {
+    /// Worker count.
+    pub n: usize,
+    /// Measured messages per worker per phase, causal protocol, ideal
+    /// signaling.
+    pub causal: f64,
+    /// The paper's analytic causal cost: `2n + 6`.
+    pub causal_analytic: f64,
+    /// Measured messages per worker per phase, atomic protocol,
+    /// fire-and-forget invalidation (the paper's accounting).
+    pub atomic_ff: f64,
+    /// The paper's analytic atomic lower bound: `3n + 5`.
+    pub atomic_bound: f64,
+    /// Measured messages per worker per phase, atomic protocol,
+    /// acknowledged invalidation (properly atomic).
+    pub atomic_acked: f64,
+    /// Measured messages per worker per phase on full-replication
+    /// causal-broadcast memory (ours; every write costs `n` updates).
+    pub broadcast: f64,
+    /// Measured messages per worker per round, asynchronous solver
+    /// (causal, no handshakes).
+    pub async_msgs: f64,
+    /// The async analytic cost: `2(n − 1)`.
+    pub async_analytic: f64,
+}
+
+/// Steady-state messages per worker per phase, measured by differencing a
+/// short and a long run (cancels warm-up traffic: publishing `A`/`b`,
+/// first-touch fetches).
+fn steady_state(total_short: u64, total_long: u64, extra_phases: usize, n: usize) -> f64 {
+    (total_long - total_short) as f64 / extra_phases as f64 / n as f64
+}
+
+/// Computes one row of the E6 table for `n` workers.
+///
+/// # Panics
+///
+/// Panics if any run fails to complete (a protocol liveness bug).
+#[must_use]
+pub fn solver_row(n: usize, seed: u64) -> SolverRow {
+    let system = LinearSystem::random(n, seed);
+    let (short_phases, long_phases) = (4, 8);
+    let extra = long_phases - short_phases;
+
+    let causal_total = |phases: usize| {
+        let run = run_causal_solver_sim(
+            &system,
+            &SolverSimConfig {
+                workers: n,
+                phases,
+                ..SolverSimConfig::default()
+            },
+        );
+        assert!(run.all_done, "causal solver stuck at n={n}");
+        run.messages.total()
+    };
+    let atomic_total = |phases: usize, mode: InvalMode| {
+        let run = run_atomic_solver_sim(
+            &system,
+            &SolverSimConfig {
+                workers: n,
+                phases,
+                ..SolverSimConfig::default()
+            },
+            mode,
+        );
+        assert!(run.all_done, "atomic solver stuck at n={n}");
+        run.messages.total()
+    };
+    let async_total = |rounds: usize| {
+        let run = run_async_solver_sim(&system, n, rounds, 1, 0);
+        assert!(run.all_done, "async solver stuck at n={n}");
+        run.messages.total()
+    };
+    let broadcast_total = |phases: usize| {
+        let run = run_broadcast_solver_sim(
+            &system,
+            &SolverSimConfig {
+                workers: n,
+                phases,
+                ..SolverSimConfig::default()
+            },
+        );
+        assert!(run.all_done, "broadcast solver stuck at n={n}");
+        run.messages.total()
+    };
+
+    SolverRow {
+        n,
+        causal: steady_state(
+            causal_total(short_phases),
+            causal_total(long_phases),
+            extra,
+            n,
+        ),
+        causal_analytic: (2 * n + 6) as f64,
+        atomic_ff: steady_state(
+            atomic_total(short_phases, InvalMode::FireAndForget),
+            atomic_total(long_phases, InvalMode::FireAndForget),
+            extra,
+            n,
+        ),
+        atomic_bound: (3 * n + 5) as f64,
+        atomic_acked: steady_state(
+            atomic_total(short_phases, InvalMode::Acknowledged),
+            atomic_total(long_phases, InvalMode::Acknowledged),
+            extra,
+            n,
+        ),
+        broadcast: steady_state(
+            broadcast_total(short_phases),
+            broadcast_total(long_phases),
+            extra,
+            n,
+        ),
+        async_msgs: steady_state(
+            async_total(short_phases),
+            async_total(long_phases),
+            extra,
+            n,
+        ),
+        async_analytic: (2 * (n - 1)) as f64,
+    }
+}
+
+/// The full E6 table across worker counts.
+#[must_use]
+pub fn solver_table(ns: &[usize]) -> Vec<SolverRow> {
+    ns.iter().map(|&n| solver_row(n, 40 + n as u64)).collect()
+}
+
+/// Renders the E6 table in the paper's terms.
+#[must_use]
+pub fn render_solver_table(rows: &[SolverRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} | {:>13} {:>8} | {:>13} {:>8} {:>12} | {:>10} | {:>11} {:>8}",
+        "n",
+        "causal meas.",
+        "2n+6",
+        "atomic meas.",
+        "3n+5",
+        "atomic+acks",
+        "broadcast",
+        "async meas.",
+        "2(n-1)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(110));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>4} | {:>13.1} {:>8.0} | {:>13.1} {:>8.0} {:>12.1} | {:>10.1} | {:>11.1} {:>8.0}",
+            r.n,
+            r.causal,
+            r.causal_analytic,
+            r.atomic_ff,
+            r.atomic_bound,
+            r.atomic_acked,
+            r.broadcast,
+            r.async_msgs,
+            r.async_analytic
+        );
+    }
+    out
+}
+
+/// One row of the latency sweep: simulated makespan of a fixed solve.
+#[derive(Clone, Debug)]
+pub struct LatencyRow {
+    /// One-way link latency (simulated time units).
+    pub latency: u64,
+    /// Causal solver makespan.
+    pub causal_time: u64,
+    /// Atomic (acknowledged) solver makespan.
+    pub atomic_time: u64,
+    /// Asynchronous solver makespan (same number of rounds).
+    pub async_time: u64,
+}
+
+/// Sweeps link latency for a fixed problem size — the "high latency
+/// favours causal memory" claim of the introduction, quantified.
+#[must_use]
+pub fn latency_sweep(n: usize, phases: usize, latencies: &[u64]) -> Vec<LatencyRow> {
+    let system = LinearSystem::random(n, 77);
+    latencies
+        .iter()
+        .map(|&latency| {
+            let cfg = SolverSimConfig {
+                workers: n,
+                phases,
+                latency,
+                ..SolverSimConfig::default()
+            };
+            let causal = run_causal_solver_sim(&system, &cfg);
+            let atomic = run_atomic_solver_sim(&system, &cfg, InvalMode::Acknowledged);
+            let asynchronous = run_async_solver_sim(&system, n, phases, latency, 0);
+            LatencyRow {
+                latency,
+                causal_time: causal.time,
+                atomic_time: atomic.time,
+                async_time: asynchronous.time,
+            }
+        })
+        .collect()
+}
+
+/// Renders the latency sweep.
+#[must_use]
+pub fn render_latency_sweep(rows: &[LatencyRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} | {:>12} {:>12} {:>12}",
+        "latency", "causal", "atomic+acks", "async"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(52));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} | {:>12} {:>12} {:>12}",
+            r.latency, r.causal_time, r.atomic_time, r.async_time
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_row_matches_paper_formulas() {
+        let row = solver_row(3, 1);
+        assert!((row.causal - row.causal_analytic).abs() < 1e-9);
+        assert!(row.atomic_ff >= row.atomic_bound);
+        assert!(row.atomic_acked >= row.atomic_ff);
+        assert!((row.async_msgs - row.async_analytic).abs() < 1e-9);
+        assert!(row.causal < row.atomic_ff, "causal must win");
+    }
+
+    #[test]
+    fn gap_grows_with_n() {
+        let rows = solver_table(&[3, 6]);
+        let gap = |r: &SolverRow| r.atomic_ff - r.causal;
+        assert!(gap(&rows[1]) > gap(&rows[0]));
+        let text = render_solver_table(&rows);
+        assert!(text.contains("2n+6"));
+    }
+
+    #[test]
+    fn latency_scales_makespan_linearly_ish() {
+        let rows = latency_sweep(3, 3, &[1, 10]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].causal_time > rows[0].causal_time * 5);
+        assert!(!render_latency_sweep(&rows).is_empty());
+    }
+}

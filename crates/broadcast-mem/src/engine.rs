@@ -1,0 +1,234 @@
+//! Threaded engine for the causal-broadcast replica memory.
+//!
+//! Unlike the owner protocols, no operation ever blocks: writes broadcast
+//! and return, reads are local. The cost is full replication and an
+//! `n − 1`-message broadcast per write — and, as Figure 3 of the paper
+//! shows, the result is *not* causal memory.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use memcore::{Location, MemoryError, NetStats, NodeId, OpRecord, Recorder, SharedMemory, Value};
+use parking_lot::Mutex;
+use simnet::Network;
+
+use crate::state::{BMsg, BroadcastState};
+
+struct ClusterInner<V: Value> {
+    locations: u32,
+    net: Network<BMsg<V>>,
+    nodes: Vec<Arc<Mutex<BroadcastState<V>>>>,
+    recorder: Option<Recorder<V>>,
+    servers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running causal-broadcast memory: full replicas updated by
+/// causally-ordered broadcasts.
+///
+/// # Examples
+///
+/// ```
+/// use broadcast_mem::BroadcastCluster;
+/// use memcore::{Location, SharedMemory, Word};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cluster = BroadcastCluster::<Word>::new(2, 4)?;
+/// let p0 = cluster.handle(0);
+/// let p1 = cluster.handle(1);
+/// p0.write(Location::new(0), Word::Int(1))?;
+/// // Replication is asynchronous; wait for the update to land.
+/// let v = p1.wait_until(Location::new(0), &|v| *v == Word::Int(1))?;
+/// assert_eq!(v, Word::Int(1));
+/// # Ok(())
+/// # }
+/// ```
+pub struct BroadcastCluster<V: Value> {
+    inner: Arc<ClusterInner<V>>,
+}
+
+impl<V: Value + Default> BroadcastCluster<V> {
+    /// Builds a cluster of `nodes` full replicas of `locations` locations.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `locations` is zero.
+    pub fn new(nodes: u32, locations: u32) -> Result<Self, MemoryError> {
+        Self::with_recorder(nodes, locations, None)
+    }
+
+    /// Builds a cluster that records operations into `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    pub fn with_recorder(
+        nodes: u32,
+        locations: u32,
+        recorder: Option<Recorder<V>>,
+    ) -> Result<Self, MemoryError> {
+        let n = nodes as usize;
+        let net: Network<BMsg<V>> = Network::new(n);
+        let states: Vec<_> = (0..nodes)
+            .map(|i| {
+                Arc::new(Mutex::new(BroadcastState::new(
+                    NodeId::new(i),
+                    n,
+                    locations,
+                )))
+            })
+            .collect();
+
+        let mut servers = Vec::with_capacity(n);
+        for (i, state) in states.iter().enumerate() {
+            let me = NodeId::new(i as u32);
+            let mailbox = net.take_mailbox(me);
+            let state = Arc::clone(state);
+            servers.push(
+                std::thread::Builder::new()
+                    .name(format!("bcast-node-{i}"))
+                    .spawn(move || {
+                        while let Some(env) = mailbox.recv() {
+                            if matches!(env.payload, BMsg::Halt) {
+                                break;
+                            }
+                            state.lock().on_message(env.src, env.payload);
+                        }
+                    })
+                    .expect("spawning server thread"),
+            );
+        }
+
+        Ok(BroadcastCluster {
+            inner: Arc::new(ClusterInner {
+                locations,
+                net,
+                nodes: states,
+                recorder,
+                servers: Mutex::new(servers),
+            }),
+        })
+    }
+}
+
+impl<V: Value> BroadcastCluster<V> {
+    /// A handle performing operations as process `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn handle(&self, node: u32) -> BroadcastHandle<V> {
+        assert!(
+            (node as usize) < self.inner.nodes.len(),
+            "node {node} out of range"
+        );
+        BroadcastHandle {
+            inner: Arc::clone(&self.inner),
+            node: NodeId::new(node),
+        }
+    }
+
+    /// Per-(node, kind) message counters.
+    #[must_use]
+    pub fn messages(&self) -> &NetStats {
+        self.inner.net.messages()
+    }
+
+    /// Stops all server threads.
+    pub fn shutdown(&self) {
+        let handles: Vec<_> = self.inner.servers.lock().drain(..).collect();
+        if handles.is_empty() {
+            return;
+        }
+        for i in 0..self.inner.nodes.len() {
+            let dst = NodeId::new(i as u32);
+            let _ = self.inner.net.send(dst, dst, BMsg::Halt);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<V: Value> Drop for BroadcastCluster<V> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<V: Value> std::fmt::Debug for BroadcastCluster<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BroadcastCluster({} nodes)", self.inner.nodes.len())
+    }
+}
+
+/// A per-process handle onto a [`BroadcastCluster`]; implements
+/// [`SharedMemory`].
+pub struct BroadcastHandle<V: Value> {
+    inner: Arc<ClusterInner<V>>,
+    node: NodeId,
+}
+
+impl<V: Value> Clone for BroadcastHandle<V> {
+    fn clone(&self) -> Self {
+        BroadcastHandle {
+            inner: Arc::clone(&self.inner),
+            node: self.node,
+        }
+    }
+}
+
+impl<V: Value> std::fmt::Debug for BroadcastHandle<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BroadcastHandle({})", self.node)
+    }
+}
+
+impl<V: Value> SharedMemory<V> for BroadcastHandle<V> {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn read(&self, loc: Location) -> Result<V, MemoryError> {
+        if loc.index() >= self.inner.locations as usize {
+            return Err(MemoryError::OutOfRange {
+                loc,
+                namespace: self.inner.locations as usize,
+            });
+        }
+        let (value, wid) = self.inner.nodes[self.node.index()].lock().read(loc);
+        if let Some(rec) = &self.inner.recorder {
+            rec.record(self.node, OpRecord::read(loc, value.clone(), wid));
+        }
+        Ok(value)
+    }
+
+    fn write(&self, loc: Location, value: V) -> Result<(), MemoryError> {
+        if loc.index() >= self.inner.locations as usize {
+            return Err(MemoryError::OutOfRange {
+                loc,
+                namespace: self.inner.locations as usize,
+            });
+        }
+        let (wid, outgoing) = self.inner.nodes[self.node.index()]
+            .lock()
+            .write(loc, value.clone());
+        for (dst, msg) in outgoing {
+            self.inner
+                .net
+                .send(self.node, dst, msg)
+                .map_err(|_| MemoryError::Shutdown)?;
+        }
+        if let Some(rec) = &self.inner.recorder {
+            rec.record(self.node, OpRecord::write(loc, value, wid));
+        }
+        Ok(())
+    }
+
+    /// Replicas hold no caches; discard is a no-op.
+    fn discard(&self, _loc: Location) {}
+}

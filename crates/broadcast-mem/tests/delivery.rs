@@ -1,0 +1,152 @@
+//! Property tests for the BSS causal delivery machinery: under *any*
+//! delivery interleaving that respects per-link FIFO, updates apply in
+//! causal order at every replica.
+
+use broadcast_mem::{BMsg, BroadcastState};
+use memcore::{Location, NodeId, Word};
+use proptest::prelude::*;
+
+fn p(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Scenario: P0 issues `k0` writes to location 0; P1 relays (it receives
+/// P0's updates at random points interleaved with its own writes to
+/// location 1). P2 receives everything in a random FIFO-respecting merge.
+/// At the end, P2 must hold P0's last write at loc 0 and P1's last at
+/// loc 1, and nothing may remain in the holdback queue.
+fn run_case(k0: usize, k1: usize, interleave: Vec<bool>, merge: Vec<u8>) {
+    let locations = 2u32;
+    let mut p0 = BroadcastState::<Word>::new(p(0), 3, locations);
+    let mut p1 = BroadcastState::<Word>::new(p(1), 3, locations);
+    let mut p2 = BroadcastState::<Word>::new(p(2), 3, locations);
+
+    // Queues of messages in flight, per (sender → receiver) link: FIFO.
+    let mut q0_to_2: Vec<BMsg<Word>> = Vec::new();
+    let mut q1_to_2: Vec<BMsg<Word>> = Vec::new();
+    let mut q0_to_1: Vec<BMsg<Word>> = Vec::new();
+
+    let take = |out: Vec<(NodeId, BMsg<Word>)>, dst: NodeId| {
+        out.into_iter()
+            .find(|(d, _)| *d == dst)
+            .map(|(_, m)| m)
+            .expect("message for destination")
+    };
+
+    // P0's writes.
+    for v in 1..=k0 {
+        let (_, out) = p0.write(Location::new(0), Word::Int(v as i64));
+        q0_to_1.push(take(out.clone(), p(1)));
+        q0_to_2.push(take(out, p(2)));
+    }
+    // P1 interleaves receiving P0's updates with its own writes.
+    let mut received = 0usize;
+    let mut written = 0usize;
+    for recv_first in interleave {
+        if recv_first && received < q0_to_1.len() {
+            p1.on_message(p(0), q0_to_1[received].clone());
+            received += 1;
+        } else if written < k1 {
+            written += 1;
+            let (_, out) = p1.write(Location::new(1), Word::Int(1000 + written as i64));
+            q1_to_2.push(take(out, p(2)));
+        }
+    }
+    while written < k1 {
+        written += 1;
+        let (_, out) = p1.write(Location::new(1), Word::Int(1000 + written as i64));
+        q1_to_2.push(take(out, p(2)));
+    }
+    while received < q0_to_1.len() {
+        p1.on_message(p(0), q0_to_1[received].clone());
+        received += 1;
+    }
+
+    // P2 receives the two FIFO streams in a random merge.
+    let (mut i0, mut i1) = (0usize, 0usize);
+    for pick in merge {
+        if pick % 2 == 0 && i0 < q0_to_2.len() {
+            p2.on_message(p(0), q0_to_2[i0].clone());
+            i0 += 1;
+        } else if i1 < q1_to_2.len() {
+            p2.on_message(p(1), q1_to_2[i1].clone());
+            i1 += 1;
+        }
+    }
+    while i0 < q0_to_2.len() {
+        p2.on_message(p(0), q0_to_2[i0].clone());
+        i0 += 1;
+    }
+    while i1 < q1_to_2.len() {
+        p2.on_message(p(1), q1_to_2[i1].clone());
+        i1 += 1;
+    }
+
+    // Everything deliverable must have been delivered...
+    assert_eq!(p2.holdback_len(), 0, "stuck updates in holdback");
+    assert_eq!(p2.delivered().get(0), k0 as u64);
+    assert_eq!(p2.delivered().get(1), k1 as u64);
+    // ...and per-sender FIFO means final values are the last writes.
+    if k0 > 0 {
+        assert_eq!(p2.read(Location::new(0)).0, Word::Int(k0 as i64));
+    }
+    if k1 > 0 {
+        assert_eq!(p2.read(Location::new(1)).0, Word::Int(1000 + k1 as i64));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_fifo_merges_always_deliver_causally(
+        k0 in 0usize..8,
+        k1 in 0usize..8,
+        interleave in proptest::collection::vec(any::<bool>(), 0..16),
+        merge in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        run_case(k0, k1, interleave, merge);
+    }
+}
+
+/// Deterministic worst case: P2 receives P1's stream entirely before
+/// P0's, even though P1's later writes causally depend on P0's. The
+/// holdback queue must park them and release in order.
+#[test]
+fn fully_inverted_arrival_order_is_repaired() {
+    let mut p0 = BroadcastState::<Word>::new(p(0), 3, 2);
+    let mut p1 = BroadcastState::<Word>::new(p(1), 3, 2);
+    let mut p2 = BroadcastState::<Word>::new(p(2), 3, 2);
+
+    let take = |out: Vec<(NodeId, BMsg<Word>)>, dst: NodeId| {
+        out.into_iter()
+            .find(|(d, _)| *d == dst)
+            .map(|(_, m)| m)
+            .unwrap()
+    };
+
+    // P0 writes x=1..3; P1 sees them all, then writes y.
+    let mut to_p1 = Vec::new();
+    let mut to_p2 = Vec::new();
+    for v in 1..=3i64 {
+        let (_, out) = p0.write(Location::new(0), Word::Int(v));
+        to_p1.push(take(out.clone(), p(1)));
+        to_p2.push(take(out, p(2)));
+    }
+    for m in to_p1 {
+        p1.on_message(p(0), m);
+    }
+    let (_, out) = p1.write(Location::new(1), Word::Int(42));
+    let y_update = take(out, p(2));
+
+    // P2 gets y first: must hold it back (depends on all three x writes).
+    assert_eq!(p2.on_message(p(1), y_update), 0);
+    assert_eq!(p2.holdback_len(), 1);
+    assert_eq!(p2.read(Location::new(1)).0, Word::Zero);
+    // x updates arrive; delivering the third releases y too.
+    assert_eq!(p2.on_message(p(0), to_p2.remove(0)), 1);
+    assert_eq!(p2.on_message(p(0), to_p2.remove(0)), 1);
+    assert_eq!(p2.on_message(p(0), to_p2.remove(0)), 2);
+    assert_eq!(p2.read(Location::new(1)).0, Word::Int(42));
+    assert_eq!(p2.read(Location::new(0)).0, Word::Int(3));
+}

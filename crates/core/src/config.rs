@@ -1,0 +1,338 @@
+//! Configuration of the causal owner protocol.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use memcore::{OwnerMap, PageId, RoundRobinOwners, Value};
+
+/// Which cache sweeps run when a new value is introduced.
+///
+/// The paper's prose says values are invalidated "each time a new value is
+/// introduced into local memory by a read or write", but its Figure 4
+/// pseudocode only sweeps on read-miss completion and at the owner when
+/// servicing a remote `WRITE` — the *writer* of a remote write does not
+/// sweep on `W_REPLY`. Both readings are implemented; the difference is an
+/// ablation (A1 in `DESIGN.md`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum InvalidationMode {
+    /// Exactly Figure 4: no sweep at the writer on `W_REPLY`.
+    #[default]
+    PaperExact,
+    /// Additionally sweep the writer's cache with the merged timestamp when
+    /// a remote write completes.
+    WriterInvalidate,
+}
+
+/// How an owner resolves a remote write that is *concurrent* with the value
+/// currently installed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Always install the incoming write (the arriving write's merged
+    /// timestamp dominates, so owner memory remains monotone).
+    #[default]
+    LastArrival,
+    /// §4.2: "writes by the owner are always favored when resolving
+    /// concurrent writes" — an incoming write concurrent with a value the
+    /// owner itself wrote is rejected, and the reply carries the surviving
+    /// value so the loser's cache converges. The distributed dictionary
+    /// relies on this policy.
+    OwnerFavored,
+}
+
+/// Full configuration of a causal DSM instance.
+///
+/// Build with [`CausalConfig::builder`].
+#[derive(Clone)]
+pub struct CausalConfig<V> {
+    nodes: u32,
+    locations: u32,
+    owners: Arc<dyn OwnerMap>,
+    initial: V,
+    invalidation: InvalidationMode,
+    policy: WritePolicy,
+    cache_capacity: Option<usize>,
+    const_pages: HashSet<PageId>,
+}
+
+impl<V: Value> CausalConfig<V> {
+    /// Starts building a configuration for `nodes` processors sharing
+    /// `locations` locations (round-robin page ownership by default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `locations` is zero.
+    #[must_use]
+    pub fn builder(nodes: u32, locations: u32) -> CausalConfigBuilder<V>
+    where
+        V: Default,
+    {
+        CausalConfigBuilder::new(nodes, locations)
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Size of the shared namespace, in locations.
+    #[must_use]
+    pub fn locations(&self) -> u32 {
+        self.locations
+    }
+
+    /// The ownership assignment.
+    #[must_use]
+    pub fn owners(&self) -> &Arc<dyn OwnerMap> {
+        &self.owners
+    }
+
+    /// Locations per page.
+    #[must_use]
+    pub fn page_size(&self) -> u32 {
+        self.owners.page_size()
+    }
+
+    /// Number of pages in the namespace.
+    #[must_use]
+    pub fn page_count(&self) -> u32 {
+        self.locations.div_ceil(self.page_size())
+    }
+
+    /// The distinguished initial value every location starts with.
+    #[must_use]
+    pub fn initial(&self) -> &V {
+        &self.initial
+    }
+
+    /// The configured invalidation mode.
+    #[must_use]
+    pub fn invalidation(&self) -> InvalidationMode {
+        self.invalidation
+    }
+
+    /// The configured concurrent-write resolution policy.
+    #[must_use]
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Maximum number of cached (non-owned) pages per node, if bounded.
+    #[must_use]
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache_capacity
+    }
+
+    /// `true` iff `page` is marked constant (never invalidated or evicted —
+    /// the paper's footnote-2 enhancement for the solver's `A` and `b`).
+    #[must_use]
+    pub fn is_const_page(&self, page: PageId) -> bool {
+        self.const_pages.contains(&page)
+    }
+}
+
+impl<V> fmt::Debug for CausalConfig<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CausalConfig")
+            .field("nodes", &self.nodes)
+            .field("locations", &self.locations)
+            .field("page_size", &self.owners.page_size())
+            .field("invalidation", &self.invalidation)
+            .field("policy", &self.policy)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("const_pages", &self.const_pages.len())
+            .finish()
+    }
+}
+
+/// Builder for [`CausalConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use causal_dsm::{CausalConfig, InvalidationMode, WritePolicy};
+/// use memcore::Word;
+///
+/// let config = CausalConfig::<Word>::builder(4, 64)
+///     .page_size(4)
+///     .policy(WritePolicy::OwnerFavored)
+///     .invalidation(InvalidationMode::PaperExact)
+///     .cache_capacity(8)
+///     .build();
+/// assert_eq!(config.page_count(), 16);
+/// ```
+pub struct CausalConfigBuilder<V> {
+    nodes: u32,
+    locations: u32,
+    page_size: u32,
+    owners: Option<Arc<dyn OwnerMap>>,
+    initial: V,
+    invalidation: InvalidationMode,
+    policy: WritePolicy,
+    cache_capacity: Option<usize>,
+    const_pages: HashSet<PageId>,
+}
+
+impl<V: Value + Default> CausalConfigBuilder<V> {
+    fn new(nodes: u32, locations: u32) -> Self {
+        assert!(nodes > 0, "at least one node required");
+        assert!(locations > 0, "at least one location required");
+        CausalConfigBuilder {
+            nodes,
+            locations,
+            page_size: 1,
+            owners: None,
+            initial: V::default(),
+            invalidation: InvalidationMode::default(),
+            policy: WritePolicy::default(),
+            cache_capacity: None,
+            const_pages: HashSet::new(),
+        }
+    }
+}
+
+impl<V: Value> CausalConfigBuilder<V> {
+    /// Sets the unit of sharing (default 1 — the paper-exact protocol).
+    ///
+    /// Ignored if [`CausalConfigBuilder::owners`] is also set (the owner
+    /// map carries its own page size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    #[must_use]
+    pub fn page_size(mut self, page_size: u32) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        self.page_size = page_size;
+        self
+    }
+
+    /// Sets an explicit ownership assignment (default round-robin).
+    #[must_use]
+    pub fn owners(mut self, owners: impl OwnerMap) -> Self {
+        self.owners = Some(Arc::new(owners));
+        self
+    }
+
+    /// Sets the initial value of every location (default `V::default()`).
+    #[must_use]
+    pub fn initial(mut self, initial: V) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Sets the invalidation mode (default [`InvalidationMode::PaperExact`]).
+    #[must_use]
+    pub fn invalidation(mut self, mode: InvalidationMode) -> Self {
+        self.invalidation = mode;
+        self
+    }
+
+    /// Sets the concurrent-write policy (default
+    /// [`WritePolicy::LastArrival`]).
+    #[must_use]
+    pub fn policy(mut self, policy: WritePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bounds the number of cached (non-owned) pages per node; the oldest
+    /// cached page is discarded to make room (the paper's `discard` as a
+    /// replacement policy).
+    #[must_use]
+    pub fn cache_capacity(mut self, pages: usize) -> Self {
+        self.cache_capacity = Some(pages);
+        self
+    }
+
+    /// Marks pages as constant: cached copies are never invalidated or
+    /// evicted. Safe only for data written once before sharing (the
+    /// solver's `A` and `b`).
+    #[must_use]
+    pub fn const_pages(mut self, pages: impl IntoIterator<Item = PageId>) -> Self {
+        self.const_pages.extend(pages);
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit owner map disagrees with the node count.
+    #[must_use]
+    pub fn build(self) -> CausalConfig<V> {
+        let owners = self
+            .owners
+            .unwrap_or_else(|| Arc::new(RoundRobinOwners::new(self.nodes, self.page_size)));
+        assert_eq!(
+            owners.nodes(),
+            self.nodes,
+            "owner map node count disagrees with configuration"
+        );
+        CausalConfig {
+            nodes: self.nodes,
+            locations: self.locations,
+            owners,
+            initial: self.initial,
+            invalidation: self.invalidation,
+            policy: self.policy,
+            cache_capacity: self.cache_capacity,
+            const_pages: self.const_pages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcore::{ExplicitOwners, Location, NodeId, Word};
+
+    #[test]
+    fn defaults_are_paper_exact() {
+        let config = CausalConfig::<Word>::builder(2, 4).build();
+        assert_eq!(config.nodes(), 2);
+        assert_eq!(config.locations(), 4);
+        assert_eq!(config.page_size(), 1);
+        assert_eq!(config.page_count(), 4);
+        assert_eq!(config.invalidation(), InvalidationMode::PaperExact);
+        assert_eq!(config.policy(), WritePolicy::LastArrival);
+        assert_eq!(config.cache_capacity(), None);
+        assert_eq!(config.initial(), &Word::Zero);
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        let config = CausalConfig::<Word>::builder(2, 10).page_size(4).build();
+        assert_eq!(config.page_count(), 3);
+    }
+
+    #[test]
+    fn explicit_owners_override_round_robin() {
+        let owners = ExplicitOwners::new(2, 1, vec![NodeId::new(1), NodeId::new(1)]);
+        let config = CausalConfig::<Word>::builder(2, 2).owners(owners).build();
+        assert_eq!(config.owners().owner_of(Location::new(0)), NodeId::new(1));
+    }
+
+    #[test]
+    fn const_pages_are_flagged() {
+        let config = CausalConfig::<Word>::builder(2, 8)
+            .const_pages([PageId::new(3)])
+            .build();
+        assert!(config.is_const_page(PageId::new(3)));
+        assert!(!config.is_const_page(PageId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees")]
+    fn mismatched_owner_map_panics() {
+        let owners = ExplicitOwners::new(3, 1, vec![NodeId::new(0)]);
+        let _ = CausalConfig::<Word>::builder(2, 2).owners(owners).build();
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let config = CausalConfig::<Word>::builder(2, 4).build();
+        assert!(format!("{config:?}").contains("CausalConfig"));
+    }
+}

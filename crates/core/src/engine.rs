@@ -1,0 +1,471 @@
+//! The threaded engine: one server thread per node, application handles
+//! that block on owner round-trips.
+//!
+//! The paper requires that "each operation must be executed atomically and
+//! owners must fairly alternate between issuing reads and writes and
+//! responding to READ and WRITE messages from other processors". The engine
+//! realizes this with one *server* thread per node (servicing `READ`/`WRITE`
+//! requests) and per-node application handles whose operations take the
+//! node's state lock only for the atomic steps of Figure 4, releasing it
+//! while blocked on a reply — so a node can serve incoming requests while
+//! one of its own operations waits, which is exactly the fair alternation
+//! the paper asks for (and what makes the protocol deadlock-free).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use memcore::{Location, MemoryError, NetStats, NodeId, OpRecord, Recorder, SharedMemory, Value};
+use parking_lot::Mutex;
+use simnet::Network;
+
+use crate::config::{CausalConfig, CausalConfigBuilder};
+use crate::msg::Msg;
+use crate::state::{CausalState, ReadStep, WriteDone, WriteStep};
+
+struct NodeShared<V> {
+    state: Mutex<CausalState<V>>,
+    /// Serializes this node's application operations (program order).
+    op_lock: Mutex<()>,
+    /// Replies forwarded by the server thread to the blocked operation.
+    replies: Receiver<Msg<V>>,
+    /// Tags of outstanding non-blocking writes; their replies are absorbed
+    /// by the server thread instead of waking the application.
+    nonblocking: Mutex<HashSet<memcore::WriteId>>,
+}
+
+struct ClusterInner<V: Value> {
+    config: CausalConfig<V>,
+    net: Network<Msg<V>>,
+    nodes: Vec<Arc<NodeShared<V>>>,
+    recorder: Option<Recorder<V>>,
+    servers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running causal DSM: `n` nodes connected by a reliable FIFO network,
+/// each executing the Figure-4 owner protocol.
+///
+/// Obtain per-process handles with [`CausalCluster::handle`]; drop the
+/// cluster (or call [`CausalCluster::shutdown`]) to stop the server
+/// threads.
+///
+/// # Examples
+///
+/// ```
+/// use causal_dsm::CausalCluster;
+/// use memcore::{Location, SharedMemory, Word};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cluster = CausalCluster::<Word>::builder(2, 4).build()?;
+/// let p0 = cluster.handle(0);
+/// let p1 = cluster.handle(1);
+/// p0.write(Location::new(0), Word::Int(1))?;
+/// assert_eq!(p1.read(Location::new(0))?, Word::Int(1));
+/// # Ok(())
+/// # }
+/// ```
+pub struct CausalCluster<V: Value> {
+    inner: Arc<ClusterInner<V>>,
+}
+
+/// Builder for [`CausalCluster`]; wraps [`CausalConfigBuilder`] plus
+/// engine-level options (operation recording).
+pub struct CausalClusterBuilder<V: Value> {
+    config: CausalConfigBuilder<V>,
+    recorder: Option<Recorder<V>>,
+}
+
+impl<V: Value + Default> CausalCluster<V> {
+    /// Starts building a cluster of `nodes` processors sharing `locations`
+    /// locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `locations` is zero.
+    #[must_use]
+    pub fn builder(nodes: u32, locations: u32) -> CausalClusterBuilder<V> {
+        CausalClusterBuilder {
+            config: CausalConfig::builder(nodes, locations),
+            recorder: None,
+        }
+    }
+}
+
+impl<V: Value> CausalClusterBuilder<V> {
+    /// Applies `f` to the underlying protocol configuration builder.
+    #[must_use]
+    pub fn configure(
+        mut self,
+        f: impl FnOnce(CausalConfigBuilder<V>) -> CausalConfigBuilder<V>,
+    ) -> Self {
+        self.config = f(self.config);
+        self
+    }
+
+    /// Records every completed operation into `recorder` (for checking
+    /// against the executable specification).
+    #[must_use]
+    pub fn recorder(mut self, recorder: Recorder<V>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds the cluster and spawns its server threads.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility
+    /// with fallible transports.
+    pub fn build(self) -> Result<CausalCluster<V>, MemoryError> {
+        let config = self.config.build();
+        CausalCluster::with_config(config, self.recorder)
+    }
+}
+
+impl<V: Value> CausalCluster<V> {
+    /// Builds a cluster from an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    pub fn with_config(
+        config: CausalConfig<V>,
+        recorder: Option<Recorder<V>>,
+    ) -> Result<Self, MemoryError> {
+        let n = config.nodes() as usize;
+        let net: Network<Msg<V>> = Network::new(n);
+        let mut nodes = Vec::with_capacity(n);
+        let mut reply_txs: Vec<Sender<Msg<V>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = unbounded();
+            reply_txs.push(tx);
+            nodes.push(Arc::new(NodeShared {
+                state: Mutex::new(CausalState::new(NodeId::new(i as u32), config.clone())),
+                op_lock: Mutex::new(()),
+                replies: rx,
+                nonblocking: Mutex::new(HashSet::new()),
+            }));
+        }
+
+        let mut servers = Vec::with_capacity(n);
+        for (i, (node, reply_tx)) in nodes.iter().zip(reply_txs).enumerate() {
+            let me = NodeId::new(i as u32);
+            let mailbox = net.take_mailbox(me);
+            let node = Arc::clone(node);
+            let net = net.clone();
+            servers.push(
+                std::thread::Builder::new()
+                    .name(format!("causal-node-{i}"))
+                    .spawn(move || {
+                        while let Some(env) = mailbox.recv() {
+                            match env.payload {
+                                Msg::Halt => break,
+                                request if request.is_request() => {
+                                    let reply = node
+                                        .state
+                                        .lock()
+                                        .serve(env.src, request)
+                                        .expect("requests always produce replies");
+                                    // Best effort: the requester may already
+                                    // be shutting down.
+                                    let _ = net.send(me, env.src, reply);
+                                }
+                                reply => {
+                                    // Replies to non-blocking writes are
+                                    // absorbed here; everything else wakes
+                                    // the blocked application operation.
+                                    let absorb = match &reply {
+                                        Msg::WriteReply { wid, .. } => {
+                                            node.nonblocking.lock().remove(wid)
+                                        }
+                                        _ => false,
+                                    };
+                                    if absorb {
+                                        node.state.lock().absorb_write_reply(reply);
+                                    } else {
+                                        let _ = reply_tx.send(reply);
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawning server thread"),
+            );
+        }
+
+        Ok(CausalCluster {
+            inner: Arc::new(ClusterInner {
+                config,
+                net,
+                nodes,
+                recorder,
+                servers: Mutex::new(servers),
+            }),
+        })
+    }
+
+    /// A handle performing operations as process `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn handle(&self, node: u32) -> CausalHandle<V> {
+        assert!(
+            (node as usize) < self.inner.nodes.len(),
+            "node {node} out of range"
+        );
+        CausalHandle {
+            inner: Arc::clone(&self.inner),
+            node: NodeId::new(node),
+        }
+    }
+
+    /// All handles, in node order.
+    #[must_use]
+    pub fn handles(&self) -> Vec<CausalHandle<V>> {
+        (0..self.inner.nodes.len() as u32)
+            .map(|i| self.handle(i))
+            .collect()
+    }
+
+    /// The cluster's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CausalConfig<V> {
+        &self.inner.config
+    }
+
+    /// Per-(node, kind) protocol message counters.
+    #[must_use]
+    pub fn messages(&self) -> &NetStats {
+        self.inner.net.messages()
+    }
+
+    /// Per-(node, kind) approximate byte counters.
+    #[must_use]
+    pub fn bytes(&self) -> &NetStats {
+        self.inner.net.bytes()
+    }
+
+    /// A snapshot of node `i`'s current vector timestamp `VT_i`
+    /// (observability/diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node_vt(&self, i: u32) -> vclock::VectorClock {
+        self.inner.nodes[i as usize].state.lock().vt().clone()
+    }
+
+    /// Total cache invalidations performed across all nodes (ablation
+    /// metric).
+    #[must_use]
+    pub fn total_invalidations(&self) -> u64 {
+        self.inner
+            .nodes
+            .iter()
+            .map(|n| n.state.lock().invalidation_count())
+            .sum()
+    }
+
+    /// Stops all server threads and waits for them to exit. Subsequent
+    /// operations on handles fail with [`MemoryError::Shutdown`].
+    pub fn shutdown(&self) {
+        let handles: Vec<_> = self.inner.servers.lock().drain(..).collect();
+        if handles.is_empty() {
+            return;
+        }
+        for i in 0..self.inner.nodes.len() {
+            // Halt is engine-internal; exclude it from protocol counts by
+            // sending as the destination itself.
+            let dst = NodeId::new(i as u32);
+            let _ = self.inner.net.send(dst, dst, Msg::Halt);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<V: Value> Drop for CausalCluster<V> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<V: Value> std::fmt::Debug for CausalCluster<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CausalCluster")
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A per-process handle onto a [`CausalCluster`]; implements
+/// [`SharedMemory`].
+///
+/// Handles are cheap to clone. All operations through handles for the same
+/// node are serialized (program order), as the paper's process model
+/// requires.
+pub struct CausalHandle<V: Value> {
+    inner: Arc<ClusterInner<V>>,
+    node: NodeId,
+}
+
+impl<V: Value> Clone for CausalHandle<V> {
+    fn clone(&self) -> Self {
+        CausalHandle {
+            inner: Arc::clone(&self.inner),
+            node: self.node,
+        }
+    }
+}
+
+impl<V: Value> std::fmt::Debug for CausalHandle<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CausalHandle({})", self.node)
+    }
+}
+
+impl<V: Value> CausalHandle<V> {
+    fn check_bounds(&self, loc: Location) -> Result<(), MemoryError> {
+        let namespace = self.inner.config.locations() as usize;
+        if loc.index() >= namespace {
+            return Err(MemoryError::OutOfRange { loc, namespace });
+        }
+        Ok(())
+    }
+
+    fn record(&self, op: OpRecord<V>) {
+        if let Some(rec) = &self.inner.recorder {
+            rec.record(self.node, op);
+        }
+    }
+
+    /// Performs a write and reports whether it survived concurrent-write
+    /// resolution (always applied under [`crate::WritePolicy::LastArrival`];
+    /// may be rejected under [`crate::WritePolicy::OwnerFavored`], §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Shutdown`] if the cluster has stopped, or
+    /// [`MemoryError::OutOfRange`] for locations outside the namespace.
+    pub fn write_resolved(&self, loc: Location, value: V) -> Result<WriteDone, MemoryError> {
+        self.check_bounds(loc)?;
+        let node = &self.inner.nodes[self.node.index()];
+        let _op = node.op_lock.lock();
+        let step = node.state.lock().begin_write(loc, value.clone());
+        let done = match step {
+            WriteStep::Done { wid } => WriteDone::Applied { wid },
+            WriteStep::Remote {
+                owner,
+                wid,
+                request,
+            } => {
+                self.inner
+                    .net
+                    .send(self.node, owner, request)
+                    .map_err(|_| MemoryError::Shutdown)?;
+                let reply = node.replies.recv().map_err(|_| MemoryError::Shutdown)?;
+                node.state.lock().finish_write(value.clone(), wid, reply)
+            }
+        };
+        self.record(OpRecord::write(loc, value, done.wid()));
+        Ok(done)
+    }
+
+    /// Performs a **non-blocking** write: the paper's "reducing the
+    /// blocking of processors" enhancement. Owner-local writes complete
+    /// immediately as usual; remote writes return as soon as the request
+    /// is sent, with the value optimistically visible to this node's own
+    /// subsequent reads. The owner's reply is absorbed in the background.
+    ///
+    /// **Correctness boundary**: full Definition-2 causal correctness is
+    /// forfeited — a third party that causally learns of the in-flight
+    /// write can be served the pre-write value by the owner (exhaustive
+    /// witness in `tests/nonblocking_limits.rs`). Use only where the
+    /// written location is not read through faster causal channels;
+    /// blocking [`SharedMemory::write`] is the paper's protocol.
+    ///
+    /// Under [`crate::WritePolicy::OwnerFavored`] a rejection is repaired
+    /// in the cache asynchronously; callers needing the verdict must use
+    /// [`CausalHandle::write_resolved`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Shutdown`] if the cluster has stopped, or
+    /// [`MemoryError::OutOfRange`] for locations outside the namespace.
+    pub fn write_nonblocking(
+        &self,
+        loc: Location,
+        value: V,
+    ) -> Result<memcore::WriteId, MemoryError> {
+        self.check_bounds(loc)?;
+        let node = &self.inner.nodes[self.node.index()];
+        let _op = node.op_lock.lock();
+        let step = node
+            .state
+            .lock()
+            .begin_write_nonblocking(loc, value.clone());
+        let wid = match step {
+            WriteStep::Done { wid } => wid,
+            WriteStep::Remote {
+                owner,
+                wid,
+                request,
+            } => {
+                // Register before sending so the server thread always
+                // recognizes the reply.
+                node.nonblocking.lock().insert(wid);
+                if self.inner.net.send(self.node, owner, request).is_err() {
+                    node.nonblocking.lock().remove(&wid);
+                    return Err(MemoryError::Shutdown);
+                }
+                wid
+            }
+        };
+        self.record(OpRecord::write(loc, value, wid));
+        Ok(wid)
+    }
+}
+
+impl<V: Value> SharedMemory<V> for CausalHandle<V> {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn read(&self, loc: Location) -> Result<V, MemoryError> {
+        self.check_bounds(loc)?;
+        let node = &self.inner.nodes[self.node.index()];
+        let _op = node.op_lock.lock();
+        let step = node.state.lock().begin_read(loc);
+        let (value, wid) = match step {
+            ReadStep::Hit { value, wid } => (value, wid),
+            ReadStep::Miss { owner, request } => {
+                self.inner
+                    .net
+                    .send(self.node, owner, request)
+                    .map_err(|_| MemoryError::Shutdown)?;
+                let reply = node.replies.recv().map_err(|_| MemoryError::Shutdown)?;
+                node.state.lock().finish_read(loc, reply)
+            }
+        };
+        self.record(OpRecord::read(loc, value.clone(), wid));
+        Ok(value)
+    }
+
+    fn write(&self, loc: Location, value: V) -> Result<(), MemoryError> {
+        self.write_resolved(loc, value).map(|_| ())
+    }
+
+    fn discard(&self, loc: Location) {
+        if loc.index() >= self.inner.config.locations() as usize {
+            return;
+        }
+        let node = &self.inner.nodes[self.node.index()];
+        let _op = node.op_lock.lock();
+        node.state.lock().discard(loc);
+    }
+}

@@ -1,0 +1,65 @@
+//! The ICDCS'91 simple owner protocol for **causal distributed shared
+//! memory** (Hutto, Ahamad, John — "Implementing and Programming Causal
+//! Distributed Shared Memory", Figure 4).
+//!
+//! Causal memory requires reads to return values *live* under the
+//! potential-causality order of reads and writes; unlike atomic or
+//! sequentially consistent memory it does not totally order writes, so it
+//! can be implemented with **no global synchronization**: every operation
+//! involves at most one round-trip to a single processor (the location's
+//! owner), and several processors may write concurrently without
+//! coordinating.
+//!
+//! The protocol in one paragraph: the namespace is partitioned among
+//! processors (*owners*); every processor keeps its owned locations plus a
+//! cache of others. Each processor carries a vector timestamp; every write
+//! increments it, and every value carries the writestamp it was produced
+//! under. Read misses and non-owned writes do a round-trip to the owner;
+//! whenever a new value is introduced into local memory, every cached value
+//! with a strictly older writestamp is invalidated — that single rule is
+//! what makes all reads causally safe.
+//!
+//! # Crate layout
+//!
+//! * [`CausalState`] — the protocol as a pure state machine (no I/O), so
+//!   the same code runs under the threaded engine and the deterministic
+//!   simulator (`dsm-sim`).
+//! * [`CausalCluster`] / [`CausalHandle`] — the threaded engine;
+//!   handles implement [`memcore::SharedMemory`].
+//! * [`CausalConfig`] — page size, invalidation mode, concurrent-write
+//!   policy (§4.2 owner-favored), cache capacity, constant segments.
+//! * [`Msg`] — the four protocol messages of Figure 4.
+//!
+//! # Examples
+//!
+//! ```
+//! use causal_dsm::CausalCluster;
+//! use memcore::{Location, SharedMemory, Word};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cluster = CausalCluster::<Word>::builder(3, 9).build()?;
+//! let p0 = cluster.handle(0);
+//! let p2 = cluster.handle(2);
+//!
+//! // P0 owns x0 (round-robin): this write is purely local.
+//! p0.write(Location::new(0), Word::Int(1))?;
+//! // P2 read-misses, fetches from P0 and caches.
+//! assert_eq!(p2.read(Location::new(0))?, Word::Int(1));
+//! // Exactly one READ + one R_REPLY crossed the network.
+//! assert_eq!(cluster.messages().snapshot().total(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod msg;
+mod state;
+
+pub use config::{CausalConfig, CausalConfigBuilder, InvalidationMode, WritePolicy};
+pub use engine::{CausalCluster, CausalClusterBuilder, CausalHandle};
+pub use msg::{Msg, SlotData, WriteVerdict};
+pub use state::{CausalState, ReadStep, WriteDone, WriteStep};

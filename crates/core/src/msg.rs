@@ -1,0 +1,375 @@
+//! Protocol messages — the four message types of Figure 4, at page
+//! granularity.
+
+use std::fmt;
+use std::mem;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use memcore::{Location, PageId, Value, WriteId};
+use simnet::codec::{CodecError, Wire};
+use simnet::Tagged;
+use vclock::VectorClock;
+
+/// One slot of a transferred page: a value and the unique tag of the write
+/// that produced it.
+pub type SlotData<V> = (V, WriteId);
+
+/// The owner's verdict on a remote write (§4.2 resolution policies).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WriteVerdict<V> {
+    /// The write was installed at the owner.
+    Applied,
+    /// The write lost to a concurrent write by the owner
+    /// ([`WritePolicy::OwnerFavored`](crate::WritePolicy::OwnerFavored));
+    /// the surviving value is returned so the writer's cache converges.
+    Rejected {
+        /// The value that remains installed.
+        value: V,
+        /// The tag of the surviving write.
+        wid: WriteId,
+    },
+}
+
+/// A protocol message of the causal owner protocol.
+///
+/// `Read`/`ReadReply` and `Write`/`WriteReply` correspond one-to-one to the
+/// paper's `[READ, x]`, `[R_REPLY, x, v, VT]`, `[WRITE, x, v, VT]` and
+/// `[W_REPLY, x, v, VT]`; replies carry whole pages when the unit of
+/// sharing is larger than one location. `Halt` is an engine-internal
+/// shutdown sentinel and never appears in message counts attributed to the
+/// protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg<V> {
+    /// `[READ, x]` — request a current copy of a page from its owner.
+    Read {
+        /// The page being fetched.
+        page: PageId,
+    },
+    /// `[R_REPLY, x, v, VT]` — the owner's copy of the page and its
+    /// writestamp.
+    ReadReply {
+        /// The page transferred.
+        page: PageId,
+        /// The page's writestamp `VT'` at the owner.
+        vt: VectorClock,
+        /// Per-location values and write tags.
+        slots: Vec<SlotData<V>>,
+    },
+    /// `[WRITE, x, v, VT]` — ask the owner to certify a write.
+    Write {
+        /// The location written.
+        loc: Location,
+        /// The value written.
+        value: V,
+        /// The unique tag of this write.
+        wid: WriteId,
+        /// The writer's incremented timestamp (the write's origin stamp).
+        vt: VectorClock,
+    },
+    /// `[W_REPLY, x, v, VT]` — the owner's certification (or rejection).
+    WriteReply {
+        /// The location written.
+        loc: Location,
+        /// Echo of the certified write's unique tag (lets engines match
+        /// replies to outstanding writes, needed for non-blocking writes).
+        wid: WriteId,
+        /// The owner's merged timestamp after servicing the write.
+        vt: VectorClock,
+        /// Applied or rejected (owner-favored policy).
+        verdict: WriteVerdict<V>,
+    },
+    /// Engine shutdown sentinel (not part of the paper's protocol).
+    Halt,
+}
+
+impl<V> Msg<V> {
+    /// `true` for the request kinds serviced by owners.
+    pub fn is_request(&self) -> bool {
+        matches!(self, Msg::Read { .. } | Msg::Write { .. })
+    }
+
+    /// `true` for the reply kinds consumed by a blocked operation.
+    pub fn is_reply(&self) -> bool {
+        matches!(self, Msg::ReadReply { .. } | Msg::WriteReply { .. })
+    }
+}
+
+impl<V: Value> Tagged for Msg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::Read { .. } => "READ",
+            Msg::ReadReply { .. } => "R_REPLY",
+            Msg::Write { .. } => "WRITE",
+            Msg::WriteReply { .. } => "W_REPLY",
+            Msg::Halt => "HALT",
+        }
+    }
+
+    /// Approximate wire size: exact for headers, timestamps and tags;
+    /// values are approximated by `size_of::<V>()` (a codec-exact size is
+    /// available via [`Wire`] for encodable `V`).
+    fn wire_size(&self) -> Option<usize> {
+        let value_size = mem::size_of::<V>();
+        Some(match self {
+            Msg::Read { .. } => 1 + 4,
+            Msg::ReadReply { vt, slots, .. } => {
+                1 + 4 + vt.encoded_len() + 4 + slots.len() * (value_size + 12)
+            }
+            Msg::Write { vt, .. } => 1 + 4 + value_size + 12 + vt.encoded_len(),
+            Msg::WriteReply { vt, verdict, .. } => {
+                let verdict_size = match verdict {
+                    WriteVerdict::Applied => 1,
+                    WriteVerdict::Rejected { .. } => 1 + value_size + 12,
+                };
+                1 + 4 + 12 + vt.encoded_len() + verdict_size
+            }
+            Msg::Halt => 1,
+        })
+    }
+}
+
+impl<V: Wire> Wire for WriteVerdict<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WriteVerdict::Applied => buf.put_u8(0),
+            WriteVerdict::Rejected { value, wid } => {
+                buf.put_u8(1);
+                value.encode(buf);
+                wid.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(WriteVerdict::Applied),
+            1 => Ok(WriteVerdict::Rejected {
+                value: V::decode(buf)?,
+                wid: WriteId::decode(buf)?,
+            }),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<V: Wire> Wire for Msg<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Msg::Read { page } => {
+                buf.put_u8(0);
+                page.encode(buf);
+            }
+            Msg::ReadReply { page, vt, slots } => {
+                buf.put_u8(1);
+                page.encode(buf);
+                vt.encode(buf);
+                (slots.len() as u32).encode(buf);
+                for (value, wid) in slots {
+                    value.encode(buf);
+                    wid.encode(buf);
+                }
+            }
+            Msg::Write {
+                loc,
+                value,
+                wid,
+                vt,
+            } => {
+                buf.put_u8(2);
+                loc.encode(buf);
+                value.encode(buf);
+                wid.encode(buf);
+                vt.encode(buf);
+            }
+            Msg::WriteReply {
+                loc,
+                wid,
+                vt,
+                verdict,
+            } => {
+                buf.put_u8(3);
+                loc.encode(buf);
+                wid.encode(buf);
+                vt.encode(buf);
+                verdict.encode(buf);
+            }
+            Msg::Halt => buf.put_u8(4),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(Msg::Read {
+                page: PageId::decode(buf)?,
+            }),
+            1 => {
+                let page = PageId::decode(buf)?;
+                let vt = VectorClock::decode(buf)?;
+                let len = u32::decode(buf)? as usize;
+                let mut slots = Vec::with_capacity(len.min(1 << 16));
+                for _ in 0..len {
+                    slots.push((V::decode(buf)?, WriteId::decode(buf)?));
+                }
+                Ok(Msg::ReadReply { page, vt, slots })
+            }
+            2 => Ok(Msg::Write {
+                loc: Location::decode(buf)?,
+                value: V::decode(buf)?,
+                wid: WriteId::decode(buf)?,
+                vt: VectorClock::decode(buf)?,
+            }),
+            3 => Ok(Msg::WriteReply {
+                loc: Location::decode(buf)?,
+                wid: WriteId::decode(buf)?,
+                vt: VectorClock::decode(buf)?,
+                verdict: WriteVerdict::decode(buf)?,
+            }),
+            4 => Ok(Msg::Halt),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for Msg<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Msg::Read { page } => write!(f, "[READ, {page}]"),
+            Msg::ReadReply { page, vt, .. } => write!(f, "[R_REPLY, {page}, {vt}]"),
+            Msg::Write { loc, value, vt, .. } => write!(f, "[WRITE, {loc}, {value}, {vt}]"),
+            Msg::WriteReply { loc, vt, .. } => write!(f, "[W_REPLY, {loc}, {vt}]"),
+            Msg::Halt => write!(f, "[HALT]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcore::{NodeId, Word};
+
+    fn vt(components: [u64; 2]) -> VectorClock {
+        VectorClock::from(components)
+    }
+
+    #[test]
+    fn kinds_match_paper_names() {
+        let read: Msg<Word> = Msg::Read {
+            page: PageId::new(0),
+        };
+        assert_eq!(read.kind(), "READ");
+        assert!(read.is_request());
+        assert!(!read.is_reply());
+
+        let reply: Msg<Word> = Msg::ReadReply {
+            page: PageId::new(0),
+            vt: vt([0, 0]),
+            slots: vec![],
+        };
+        assert_eq!(reply.kind(), "R_REPLY");
+        assert!(reply.is_reply());
+
+        let write: Msg<Word> = Msg::Write {
+            loc: Location::new(0),
+            value: Word::Int(1),
+            wid: WriteId::new(NodeId::new(0), 0),
+            vt: vt([1, 0]),
+        };
+        assert_eq!(write.kind(), "WRITE");
+
+        let wreply: Msg<Word> = Msg::WriteReply {
+            loc: Location::new(0),
+            wid: WriteId::new(NodeId::new(0), 0),
+            vt: vt([1, 0]),
+            verdict: WriteVerdict::Applied,
+        };
+        assert_eq!(wreply.kind(), "W_REPLY");
+        assert_eq!(Msg::<Word>::Halt.kind(), "HALT");
+    }
+
+    #[test]
+    fn wire_sizes_grow_with_clock_length() {
+        let small: Msg<Word> = Msg::Write {
+            loc: Location::new(0),
+            value: Word::Int(1),
+            wid: WriteId::new(NodeId::new(0), 0),
+            vt: VectorClock::new(2),
+        };
+        let large: Msg<Word> = Msg::Write {
+            loc: Location::new(0),
+            value: Word::Int(1),
+            wid: WriteId::new(NodeId::new(0), 0),
+            vt: VectorClock::new(16),
+        };
+        assert!(large.wire_size().unwrap() > small.wire_size().unwrap());
+    }
+
+    #[test]
+    fn messages_round_trip_through_codec() {
+        let msgs: Vec<Msg<Word>> = vec![
+            Msg::Read {
+                page: PageId::new(3),
+            },
+            Msg::ReadReply {
+                page: PageId::new(3),
+                vt: vt([4, 2]),
+                slots: vec![
+                    (Word::Int(7), WriteId::new(NodeId::new(1), 2)),
+                    (Word::Zero, WriteId::initial(Location::new(7))),
+                ],
+            },
+            Msg::Write {
+                loc: Location::new(6),
+                value: Word::Bool(true),
+                wid: WriteId::new(NodeId::new(0), 9),
+                vt: vt([5, 0]),
+            },
+            Msg::WriteReply {
+                loc: Location::new(6),
+                wid: WriteId::new(NodeId::new(0), 9),
+                vt: vt([5, 3]),
+                verdict: WriteVerdict::Applied,
+            },
+            Msg::WriteReply {
+                loc: Location::new(6),
+                wid: WriteId::new(NodeId::new(0), 10),
+                vt: vt([5, 3]),
+                verdict: WriteVerdict::Rejected {
+                    value: Word::Int(1),
+                    wid: WriteId::new(NodeId::new(1), 1),
+                },
+            },
+            Msg::Halt,
+        ];
+        for msg in msgs {
+            let mut buf = BytesMut::new();
+            msg.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            assert_eq!(Msg::<Word>::decode(&mut bytes).unwrap(), msg);
+            assert!(bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let msg: Msg<Word> = Msg::Read {
+            page: PageId::new(1),
+        };
+        assert_eq!(msg.to_string(), "[READ, pg1]");
+        let msg: Msg<Word> = Msg::Write {
+            loc: Location::new(2),
+            value: Word::Int(5),
+            wid: WriteId::new(NodeId::new(0), 0),
+            vt: vt([1, 0]),
+        };
+        assert_eq!(msg.to_string(), "[WRITE, x2, 5, [1,0]]");
+    }
+
+    #[test]
+    fn decode_rejects_unknown_discriminant() {
+        let mut bytes = Bytes::from_static(&[9]);
+        assert_eq!(
+            Msg::<Word>::decode(&mut bytes),
+            Err(CodecError::BadDiscriminant(9))
+        );
+    }
+}

@@ -1,0 +1,1330 @@
+//! The Figure-4 owner protocol as a pure state machine.
+//!
+//! [`CausalState`] is one processor's entire protocol state: its vector
+//! timestamp `VT_i`, its local memory `M_i` (owned pages plus cache `C_i`),
+//! and the five procedures of the paper's Figure 4 — local read, local
+//! write, servicing `READ`, servicing `WRITE`, and `discard`. The state
+//! machine performs no I/O: operations either complete locally or return
+//! the message that must be sent, and the caller (the threaded engine in
+//! [`crate::engine`] or the deterministic simulator in `dsm-sim`) moves
+//! messages and feeds replies back in. This is what lets one implementation
+//! be driven by real threads *and* replayed under controlled schedules.
+//!
+//! Each transition is annotated with the corresponding line of Figure 4.
+
+use std::collections::HashMap;
+
+use memcore::{Location, NodeId, OwnerMap, PageId, Value, WriteId};
+use vclock::VectorClock;
+
+use crate::config::{CausalConfig, InvalidationMode, WritePolicy};
+use crate::msg::{Msg, WriteVerdict};
+
+/// One location's content in local memory: the value, the unique tag of
+/// the write that produced it, and that write's *origin* stamp (the
+/// writer's timestamp as sent, used only by the owner to detect concurrent
+/// writes for the §4.2 resolution policy — Figure 4 itself stores the
+/// merged stamp, which lives on the page).
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    value: V,
+    wid: WriteId,
+    origin: VectorClock,
+}
+
+/// A page of local memory `M_i`: per-location slots plus the page's
+/// writestamp (`M_i[x].VT` in the paper).
+#[derive(Clone, Debug)]
+struct PageEntry<V> {
+    vt: VectorClock,
+    slots: Vec<Slot<V>>,
+    /// Monotone installation tick, used by the bounded-cache replacement
+    /// policy (`discard` as eviction).
+    installed_at: u64,
+}
+
+/// Result of starting a read: either a local hit or the `[READ, x]`
+/// message that must be sent to the owner.
+#[derive(Clone, Debug)]
+pub enum ReadStep<V> {
+    /// The location is owned or validly cached; the read completes
+    /// immediately.
+    Hit {
+        /// The value read.
+        value: V,
+        /// The write the value was produced by (reads-from).
+        wid: WriteId,
+    },
+    /// A read miss: send `request` to `owner` and feed the reply to
+    /// [`CausalState::finish_read`].
+    Miss {
+        /// The owner of the missing page.
+        owner: NodeId,
+        /// The `[READ, x]` request.
+        request: Msg<V>,
+    },
+}
+
+/// Result of starting a write: done locally (writer owns the location) or
+/// the `[WRITE, x, v, VT]` message that must be certified by the owner.
+#[derive(Clone, Debug)]
+pub enum WriteStep<V> {
+    /// The writer owns the location; the write is installed.
+    Done {
+        /// The unique tag assigned to this write.
+        wid: WriteId,
+    },
+    /// Send `request` to `owner` and feed the reply to
+    /// [`CausalState::finish_write`].
+    Remote {
+        /// The owner of the written page.
+        owner: NodeId,
+        /// The unique tag assigned to this write.
+        wid: WriteId,
+        /// The `[WRITE, x, v, VT]` request.
+        request: Msg<V>,
+    },
+}
+
+/// Outcome of a completed write, after any owner round-trip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteDone {
+    /// The write is installed at the owner (and, for remote writes, cached
+    /// at the writer).
+    Applied {
+        /// The unique tag assigned to this write.
+        wid: WriteId,
+    },
+    /// The write lost to a concurrent owner write under
+    /// [`WritePolicy::OwnerFavored`]; the surviving write's tag is given.
+    Rejected {
+        /// The tag this write would have carried.
+        wid: WriteId,
+        /// The surviving write at the owner.
+        winner: WriteId,
+    },
+}
+
+impl WriteDone {
+    /// The unique tag assigned to the attempted write.
+    #[must_use]
+    pub fn wid(&self) -> WriteId {
+        match self {
+            WriteDone::Applied { wid } | WriteDone::Rejected { wid, .. } => *wid,
+        }
+    }
+
+    /// `true` iff the write was installed.
+    #[must_use]
+    pub fn is_applied(&self) -> bool {
+        matches!(self, WriteDone::Applied { .. })
+    }
+}
+
+/// One processor's protocol state (Figure 4).
+///
+/// # Examples
+///
+/// A two-node system where `P0` owns everything; `P1`'s read misses and is
+/// completed by feeding the owner's reply back in:
+///
+/// ```
+/// use causal_dsm::{CausalConfig, CausalState, ReadStep, WriteStep};
+/// use memcore::{ExplicitOwners, Location, NodeId, Word};
+///
+/// let config = CausalConfig::<Word>::builder(2, 1)
+///     .owners(ExplicitOwners::new(2, 1, vec![NodeId::new(0)]))
+///     .build();
+/// let mut p0 = CausalState::new(NodeId::new(0), config.clone());
+/// let mut p1 = CausalState::new(NodeId::new(1), config);
+///
+/// // P0 owns x0: its write completes locally.
+/// assert!(matches!(p0.begin_write(Location::new(0), Word::Int(9)), WriteStep::Done { .. }));
+///
+/// // P1 misses; the owner serves the READ; P1 finishes the read.
+/// let ReadStep::Miss { owner, request } = p1.begin_read(Location::new(0)) else {
+///     unreachable!()
+/// };
+/// assert_eq!(owner, NodeId::new(0));
+/// let reply = p0.serve(NodeId::new(1), request).unwrap();
+/// let (value, _wid) = p1.finish_read(Location::new(0), reply);
+/// assert_eq!(value, Word::Int(9));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CausalState<V> {
+    id: NodeId,
+    config: CausalConfig<V>,
+    /// `VT_i` — this processor's vector timestamp.
+    vt: VectorClock,
+    /// `M_i` — owned pages (always present) plus the cache `C_i`.
+    pages: HashMap<PageId, PageEntry<V>>,
+    /// Next write sequence number (write uniqueness).
+    write_seq: u64,
+    /// Monotone tick for cache replacement.
+    tick: u64,
+    /// Cumulative count of cache invalidations performed (ablation metric).
+    invalidations: u64,
+    /// `VT_i` as of the start of the (single) outstanding remote
+    /// operation — used to detect knowledge absorbed while a reply was in
+    /// flight (see the in-flight-reply guards in `finish_read` /
+    /// `finish_write`).
+    op_begin_vt: VectorClock,
+}
+
+impl<V: Value> CausalState<V> {
+    /// Creates processor `id`'s state with every owned page initialized to
+    /// the distinguished initial value (the paper's "initial writes ...
+    /// that precede all operations").
+    #[must_use]
+    pub fn new(id: NodeId, config: CausalConfig<V>) -> Self {
+        let mut pages = HashMap::new();
+        let n = config.nodes() as usize;
+        for page_index in 0..config.page_count() {
+            let page = PageId::new(page_index);
+            if config.owners().owner_of_page(page) == id {
+                pages.insert(page, Self::initial_page(&config, page, n));
+            }
+        }
+        CausalState {
+            id,
+            config,
+            vt: VectorClock::new(n),
+            pages,
+            write_seq: 0,
+            tick: 0,
+            invalidations: 0,
+            op_begin_vt: VectorClock::new(n),
+        }
+    }
+
+    fn initial_page(config: &CausalConfig<V>, page: PageId, n: usize) -> PageEntry<V> {
+        let _ = n;
+        let slots = page
+            .locations(config.page_size())
+            .map(|loc| Slot {
+                value: config.initial().clone(),
+                wid: WriteId::initial(loc),
+                origin: VectorClock::new(config.nodes() as usize),
+            })
+            .collect();
+        PageEntry {
+            vt: VectorClock::new(config.nodes() as usize),
+            slots,
+            installed_at: 0,
+        }
+    }
+
+    /// This processor's identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This processor's current vector timestamp `VT_i`.
+    #[must_use]
+    pub fn vt(&self) -> &VectorClock {
+        &self.vt
+    }
+
+    /// The configuration this state was built with.
+    #[must_use]
+    pub fn config(&self) -> &CausalConfig<V> {
+        &self.config
+    }
+
+    /// Number of cached (non-owned) pages currently valid — `|C_i|`.
+    #[must_use]
+    pub fn cached_pages(&self) -> usize {
+        self.pages
+            .keys()
+            .filter(|p| self.config.owners().owner_of_page(**p) != self.id)
+            .count()
+    }
+
+    /// Cumulative count of cache invalidations this node has performed.
+    #[must_use]
+    pub fn invalidation_count(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// `true` iff this node owns `loc`.
+    #[must_use]
+    pub fn owns(&self, loc: Location) -> bool {
+        self.config.owners().owns(self.id, loc)
+    }
+
+    /// `true` iff `loc` is readable locally (owned or cached) —
+    /// `M_i[x] ≠ ⊥`.
+    #[must_use]
+    pub fn has_valid_copy(&self, loc: Location) -> bool {
+        self.pages.contains_key(&self.page_of(loc))
+    }
+
+    fn page_of(&self, loc: Location) -> PageId {
+        loc.page(self.config.page_size())
+    }
+
+    fn offset_of(&self, loc: Location) -> usize {
+        loc.page_offset(self.config.page_size())
+    }
+
+    /// Peeks at the locally visible value of `loc` without performing a
+    /// read (no protocol side effects). Used by the simulator's
+    /// ideal-signaling waits and by tests.
+    #[must_use]
+    pub fn peek(&self, loc: Location) -> Option<(&V, WriteId)> {
+        let entry = self.pages.get(&self.page_of(loc))?;
+        let slot = &entry.slots[self.offset_of(loc)];
+        Some((&slot.value, slot.wid))
+    }
+
+    // ------------------------------------------------------------------
+    // r_i(x)v  — Figure 4, first procedure
+    // ------------------------------------------------------------------
+
+    /// Starts a read of `loc`.
+    ///
+    /// Figure 4: `if M_i[x] = ⊥` the read misses and a `[READ, x]` is sent
+    /// to `owner(x)`; otherwise `v := M_i[x].value`.
+    pub fn begin_read(&mut self, loc: Location) -> ReadStep<V> {
+        let page = self.page_of(loc);
+        if let Some(entry) = self.pages.get(&page) {
+            let slot = &entry.slots[self.offset_of(loc)];
+            ReadStep::Hit {
+                value: slot.value.clone(),
+                wid: slot.wid,
+            }
+        } else {
+            self.op_begin_vt = self.vt.clone();
+            ReadStep::Miss {
+                owner: self.config.owners().owner_of_page(page),
+                request: Msg::Read { page },
+            }
+        }
+    }
+
+    /// Completes a read miss with the owner's `[R_REPLY, x, v', VT']`.
+    ///
+    /// Figure 4: `VT_i := update(VT_i, VT')`; `M_i[x] := (v', VT')`;
+    /// `∀y ∈ C_i : M_i[y].VT < VT' → M_i[y] := ⊥`; `v := M_i[x].value`.
+    ///
+    /// One guard beyond the figure's text: if, while the fetch was in
+    /// flight, this node absorbed knowledge (by servicing requests) whose
+    /// merged stamp *strictly dominates* the reply's page stamp, the page
+    /// is **not cached** — the read still completes with the fetched
+    /// value (legal: no operation of this process can yet causally follow
+    /// the newer accesses), but caching it would let later reads return a
+    /// provably overwritten value. The figure's sweep cannot catch this
+    /// because the page arrives *after* the knowledge; see
+    /// `late_reply_is_not_cached_over_fresher_knowledge` and
+    /// `docs/PROTOCOL.md`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reply` is not a `ReadReply` for `loc`'s page (engine
+    /// invariant: one outstanding operation per node).
+    pub fn finish_read(&mut self, loc: Location, reply: Msg<V>) -> (V, WriteId) {
+        let Msg::ReadReply { page, vt, slots } = reply else {
+            panic!("finish_read fed a non-ReadReply message");
+        };
+        assert_eq!(page, self.page_of(loc), "reply for wrong page");
+
+        // Staleness check BEFORE the merge: dangerous only if knowledge
+        // arrived *while this reply was in flight* (the clock moved since
+        // the request) and that knowledge strictly dominates the fetched
+        // page. A page merely older than what we knew at request time is
+        // the paper's sanctioned "wide range of writestamps" case and
+        // caches normally.
+        let overtaken = self.vt != self.op_begin_vt && vt.dominated_by(&self.vt);
+
+        // VT_i := update(VT_i, VT')
+        self.vt.update(&vt);
+
+        // ∀y ∈ C_i: M_i[y].VT < VT' → invalidate. This must run even for
+        // an overtaken reply: the fetched values are real knowledge, and
+        // cached entries the page stamp dominates may include this node's
+        // own stale copy of the very page being read.
+        self.sweep_cache(&vt.clone());
+
+        if overtaken {
+            let offset = self.offset_of(loc);
+            let (value, wid) = slots
+                .into_iter()
+                .nth(offset)
+                .expect("reply carries the full page");
+            return (value, wid);
+        }
+
+        // M_i[x] := (v', VT')  — note: the *sent* stamp VT', not VT_i.
+        self.tick += 1;
+        let entry = PageEntry {
+            vt: vt.clone(),
+            slots: slots
+                .into_iter()
+                .map(|(value, wid)| Slot {
+                    value,
+                    wid,
+                    origin: vt.clone(),
+                })
+                .collect(),
+            installed_at: self.tick,
+        };
+        self.pages.insert(page, entry);
+        self.enforce_cache_capacity(page);
+
+        let slot = &self.pages[&page].slots[self.offset_of(loc)];
+        (slot.value.clone(), slot.wid)
+    }
+
+    // ------------------------------------------------------------------
+    // w_i(x)v  — Figure 4, second procedure
+    // ------------------------------------------------------------------
+
+    /// Starts a write of `value` to `loc`.
+    ///
+    /// Figure 4: `VT_i := increment(VT_i)`; if the writer owns `x` the
+    /// write installs locally (`M_i[x] := (v, VT_i)`), otherwise a
+    /// `[WRITE, x, v, VT_i]` is sent to the owner.
+    pub fn begin_write(&mut self, loc: Location, value: V) -> WriteStep<V> {
+        // VT_i := increment(VT_i)
+        self.vt.increment(self.id.index());
+        let wid = WriteId::new(self.id, self.write_seq);
+        self.write_seq += 1;
+
+        let page = self.page_of(loc);
+        let owner = self.config.owners().owner_of_page(page);
+        if owner == self.id {
+            let offset = self.offset_of(loc);
+            let vt = self.vt.clone();
+            let entry = self
+                .pages
+                .get_mut(&page)
+                .expect("owned pages are always present");
+            entry.slots[offset] = Slot {
+                value,
+                wid,
+                origin: vt.clone(),
+            };
+            entry.vt = vt;
+            WriteStep::Done { wid }
+        } else {
+            self.op_begin_vt = self.vt.clone();
+            WriteStep::Remote {
+                owner,
+                wid,
+                request: Msg::Write {
+                    loc,
+                    value,
+                    wid,
+                    vt: self.vt.clone(),
+                },
+            }
+        }
+    }
+
+    /// Completes a remote write with the owner's `[W_REPLY, x, v, VT']`.
+    ///
+    /// Figure 4: `VT_i := update(VT_i, VT')`; `M_i[x] := (v, VT_i)`.
+    /// Under [`InvalidationMode::WriterInvalidate`] the cache sweep the
+    /// paper's prose implies is also applied here (ablation A1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reply` is not a `WriteReply` for `loc`.
+    pub fn finish_write(&mut self, value: V, wid: WriteId, reply: Msg<V>) -> WriteDone {
+        let Msg::WriteReply {
+            loc, vt, verdict, ..
+        } = reply
+        else {
+            panic!("finish_write fed a non-WriteReply message");
+        };
+
+        // Same in-flight-reply guard as finish_read: if knowledge absorbed
+        // while this reply travelled strictly dominates the owner's clock
+        // at certification time, the certified value may already be
+        // overwritten by something this node knows — and caching it under
+        // the merged (inflated) stamp would make it unsweepable. Complete
+        // the write without caching.
+        let overtaken = self.vt != self.op_begin_vt && vt.dominated_by(&self.vt);
+
+        // VT_i := update(VT_i, VT')
+        self.vt.update(&vt);
+
+        if self.config.invalidation() == InvalidationMode::WriterInvalidate {
+            self.sweep_cache(&self.vt.clone());
+        }
+
+        if overtaken {
+            return match verdict {
+                WriteVerdict::Applied => WriteDone::Applied { wid },
+                WriteVerdict::Rejected { wid: winner, .. } => WriteDone::Rejected { wid, winner },
+            };
+        }
+
+        // M_i[x] := (v, VT_i) — cache the surviving value. At page
+        // granularity > 1 we cannot fabricate the rest of the page, so the
+        // update only applies if the page is already cached (the next read
+        // of an uncached page will fetch it whole).
+        let (install_value, install_wid) = match &verdict {
+            WriteVerdict::Applied => (value, wid),
+            WriteVerdict::Rejected {
+                value: winner_value,
+                wid: winner_wid,
+            } => (winner_value.clone(), *winner_wid),
+        };
+        let page = self.page_of(loc);
+        let offset = self.offset_of(loc);
+        let vt_now = self.vt.clone();
+        if let Some(entry) = self.pages.get_mut(&page) {
+            entry.slots[offset] = Slot {
+                value: install_value,
+                wid: install_wid,
+                origin: vt_now.clone(),
+            };
+            entry.vt = vt_now;
+        } else if self.config.page_size() == 1 {
+            self.tick += 1;
+            let entry = PageEntry {
+                vt: vt_now.clone(),
+                slots: vec![Slot {
+                    value: install_value,
+                    wid: install_wid,
+                    origin: vt_now,
+                }],
+                installed_at: self.tick,
+            };
+            self.pages.insert(page, entry);
+            self.enforce_cache_capacity(page);
+        }
+
+        match verdict {
+            WriteVerdict::Applied => WriteDone::Applied { wid },
+            WriteVerdict::Rejected { wid: winner, .. } => WriteDone::Rejected { wid, winner },
+        }
+    }
+
+    /// Starts a **non-blocking** write — the "reducing the blocking of
+    /// processors" enhancement the paper defers to its technical report.
+    ///
+    /// Like [`CausalState::begin_write`], but a remote write additionally
+    /// installs the value into the local cache *optimistically* (so the
+    /// writer reads its own write immediately) and the caller need not
+    /// block: feed the owner's eventual reply to
+    /// [`CausalState::absorb_write_reply`] whenever it arrives.
+    ///
+    /// **Correctness boundary**: this node's own view stays consistent
+    /// (per-link FIFO orders the write before this node's later requests
+    /// to the same owner), but third parties that causally learn of the
+    /// in-flight write can be served the pre-write value — full
+    /// Definition-2 correctness requires blocking writes. See
+    /// `tests/nonblocking_limits.rs` and `docs/PROTOCOL.md`.
+    pub fn begin_write_nonblocking(&mut self, loc: Location, value: V) -> WriteStep<V> {
+        let step = self.begin_write(loc, value.clone());
+        if let WriteStep::Remote { wid, .. } = step {
+            // M_i[x] := (v, VT_i) now instead of at reply time.
+            let page = self.page_of(loc);
+            let offset = self.offset_of(loc);
+            let vt_now = self.vt.clone();
+            if let Some(entry) = self.pages.get_mut(&page) {
+                entry.slots[offset] = Slot {
+                    value,
+                    wid,
+                    origin: vt_now.clone(),
+                };
+                entry.vt = vt_now;
+            } else if self.config.page_size() == 1 {
+                self.tick += 1;
+                let entry = PageEntry {
+                    vt: vt_now.clone(),
+                    slots: vec![Slot {
+                        value,
+                        wid,
+                        origin: vt_now,
+                    }],
+                    installed_at: self.tick,
+                };
+                self.pages.insert(page, entry);
+                self.enforce_cache_capacity(page);
+            }
+        }
+        step
+    }
+
+    /// Absorbs the owner's reply to a non-blocking write: merges the
+    /// timestamp and, if the owner-favored policy rejected the write,
+    /// repairs the optimistic cache entry with the surviving value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reply` is not a `WriteReply`.
+    pub fn absorb_write_reply(&mut self, reply: Msg<V>) -> WriteDone {
+        let Msg::WriteReply {
+            loc,
+            wid,
+            vt,
+            verdict,
+        } = reply
+        else {
+            panic!("absorb_write_reply fed a non-WriteReply message");
+        };
+        // Same in-flight-reply guard as finish_write: an overtaken reply
+        // must not repair the cache with a value older than knowledge
+        // already absorbed.
+        let overtaken = vt.dominated_by(&self.vt);
+        self.vt.update(&vt);
+        if self.config.invalidation() == InvalidationMode::WriterInvalidate {
+            self.sweep_cache(&self.vt.clone());
+        }
+        match verdict {
+            WriteVerdict::Applied => WriteDone::Applied { wid },
+            WriteVerdict::Rejected { .. } if overtaken => {
+                let WriteVerdict::Rejected { wid: winner, .. } = verdict else {
+                    unreachable!()
+                };
+                WriteDone::Rejected { wid, winner }
+            }
+            WriteVerdict::Rejected {
+                value: winner_value,
+                wid: winner,
+            } => {
+                // Repair: only overwrite if our optimistic value is still
+                // the one installed (a later write may have superseded it).
+                let page = self.page_of(loc);
+                let offset = self.offset_of(loc);
+                let vt_now = self.vt.clone();
+                if let Some(entry) = self.pages.get_mut(&page) {
+                    if entry.slots[offset].wid == wid {
+                        entry.slots[offset] = Slot {
+                            value: winner_value,
+                            wid: winner,
+                            origin: vt_now.clone(),
+                        };
+                        entry.vt = vt_now;
+                    }
+                }
+                WriteDone::Rejected { wid, winner }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Owner service — Figure 4, third and fourth procedures
+    // ------------------------------------------------------------------
+
+    /// Services an incoming request, returning the reply to send back.
+    ///
+    /// Returns `None` for non-request messages (`Halt`, stray replies).
+    pub fn serve(&mut self, from: NodeId, request: Msg<V>) -> Option<Msg<V>> {
+        match request {
+            Msg::Read { page } => Some(self.serve_read(from, page)),
+            Msg::Write {
+                loc,
+                value,
+                wid,
+                vt,
+            } => Some(self.serve_write(from, loc, value, wid, vt)),
+            _ => None,
+        }
+    }
+
+    /// Services `[READ, x]`: replies with the owned page and its
+    /// writestamp. Figure 4: `send [R_REPLY, x, M_i[x].value, M_i[x].VT]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node does not own `page` (a routing bug).
+    fn serve_read(&mut self, _from: NodeId, page: PageId) -> Msg<V> {
+        assert_eq!(
+            self.config.owners().owner_of_page(page),
+            self.id,
+            "READ routed to non-owner"
+        );
+        let entry = &self.pages[&page];
+        Msg::ReadReply {
+            page,
+            vt: entry.vt.clone(),
+            slots: entry
+                .slots
+                .iter()
+                .map(|s| (s.value.clone(), s.wid))
+                .collect(),
+        }
+    }
+
+    /// Services `[WRITE, x, v, VT]`.
+    ///
+    /// Figure 4: `VT_i := update(VT_i, VT)`; `M_i[x] := (v, VT_i)`;
+    /// `∀y ∈ C_i : M_i[y].VT < VT_i → M_i[y] := ⊥`; reply
+    /// `[W_REPLY, x, v, VT_i]`.
+    ///
+    /// Under [`WritePolicy::OwnerFavored`], an incoming write whose origin
+    /// stamp is *concurrent* with the currently installed slot's origin
+    /// stamp loses if the current value was written by the owner itself
+    /// (§4.2); the reply then carries the surviving value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node does not own `loc` (a routing bug).
+    fn serve_write(
+        &mut self,
+        _from: NodeId,
+        loc: Location,
+        value: V,
+        wid: WriteId,
+        vt: VectorClock,
+    ) -> Msg<V> {
+        let page = self.page_of(loc);
+        assert_eq!(
+            self.config.owners().owner_of_page(page),
+            self.id,
+            "WRITE routed to non-owner"
+        );
+
+        // VT_i := update(VT_i, VT)
+        self.vt.update(&vt);
+
+        let offset = self.offset_of(loc);
+        // A write whose origin stamp is strictly dominated by the
+        // installed value's origin is *already overwritten on arrival*:
+        // the current value was written with knowledge of this one. This
+        // can only happen with non-blocking writes (a blocking writer's
+        // increment cannot be known anywhere before the owner sees it);
+        // installing it would let readers regress to an overwritten value.
+        // It counts as applied — applied and instantly overwritten.
+        let (reject, stale) = {
+            let slot = &self.pages[&page].slots[offset];
+            (
+                self.config.policy() == WritePolicy::OwnerFavored
+                    && slot.wid.writer() == Some(self.id)
+                    && slot.origin.concurrent(&vt),
+                vt.dominated_by(&slot.origin),
+            )
+        };
+
+        let verdict = if reject {
+            let slot = &self.pages[&page].slots[offset];
+            WriteVerdict::Rejected {
+                value: slot.value.clone(),
+                wid: slot.wid,
+            }
+        } else if stale {
+            WriteVerdict::Applied
+        } else {
+            // M_i[x] := (v, VT_i)
+            let vt_now = self.vt.clone();
+            let entry = self
+                .pages
+                .get_mut(&page)
+                .expect("owned pages are always present");
+            entry.slots[offset] = Slot {
+                value,
+                wid,
+                origin: vt,
+            };
+            entry.vt = vt_now;
+            WriteVerdict::Applied
+        };
+
+        // ∀y ∈ C_i : M_i[y].VT < VT_i → M_i[y] := ⊥
+        // (A potential causal interaction with the writer occurred, applied
+        // or not — the owner's timestamp already merged the writer's.)
+        self.sweep_cache(&self.vt.clone());
+
+        Msg::WriteReply {
+            loc,
+            wid,
+            vt: self.vt.clone(),
+            verdict,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // discard — Figure 4, fifth procedure
+    // ------------------------------------------------------------------
+
+    /// Discards the cached copy of the page containing `loc`, if any.
+    ///
+    /// Owned and constant pages are never discarded. Returns `true` if a
+    /// copy was dropped.
+    pub fn discard(&mut self, loc: Location) -> bool {
+        let page = self.page_of(loc);
+        if self.config.owners().owner_of_page(page) == self.id || self.config.is_const_page(page) {
+            return false;
+        }
+        self.pages.remove(&page).is_some()
+    }
+
+    /// Discards an arbitrary cached page (the paper's nondeterministic
+    /// `discard :: M_i[y] := ⊥ : ∃y ∈ C_i`), choosing the least recently
+    /// installed. Returns the discarded page, if any.
+    pub fn discard_any(&mut self) -> Option<PageId> {
+        let victim = self
+            .pages
+            .iter()
+            .filter(|(p, _)| {
+                self.config.owners().owner_of_page(**p) != self.id
+                    && !self.config.is_const_page(**p)
+            })
+            .min_by_key(|(_, e)| e.installed_at)
+            .map(|(p, _)| *p)?;
+        self.pages.remove(&victim);
+        Some(victim)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Invalidate every cached page strictly older than `threshold` —
+    /// the Figure-4 sweep `∀y ∈ C_i : M_i[y].VT < VT → M_i[y] := ⊥`.
+    fn sweep_cache(&mut self, threshold: &VectorClock) {
+        let id = self.id;
+        let owners = self.config.owners().clone();
+        let before = self.pages.len();
+        let config = &self.config;
+        self.pages.retain(|page, entry| {
+            owners.owner_of_page(*page) == id
+                || config.is_const_page(*page)
+                || !entry.vt.dominated_by(threshold)
+        });
+        self.invalidations += (before - self.pages.len()) as u64;
+    }
+
+    /// Evict oldest cached pages until within the configured capacity,
+    /// never evicting `keep` (the page just installed).
+    fn enforce_cache_capacity(&mut self, keep: PageId) {
+        let Some(cap) = self.config.cache_capacity() else {
+            return;
+        };
+        while self.cached_pages() > cap {
+            let victim = self
+                .pages
+                .iter()
+                .filter(|(p, _)| {
+                    **p != keep
+                        && self.config.owners().owner_of_page(**p) != self.id
+                        && !self.config.is_const_page(**p)
+                })
+                .min_by_key(|(_, e)| e.installed_at)
+                .map(|(p, _)| *p);
+            match victim {
+                Some(page) => {
+                    self.pages.remove(&page);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcore::Word;
+
+    fn p(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn loc(i: u32) -> Location {
+        Location::new(i)
+    }
+
+    /// Two nodes; P0 owns even locations, P1 owns odd (round-robin,
+    /// page size 1, 4 locations).
+    fn pair() -> (CausalState<Word>, CausalState<Word>) {
+        let config = CausalConfig::<Word>::builder(2, 4).build();
+        (
+            CausalState::new(p(0), config.clone()),
+            CausalState::new(p(1), config),
+        )
+    }
+
+    /// Drives a full remote write from `writer` certified by `owner`.
+    fn remote_write(
+        writer: &mut CausalState<Word>,
+        owner: &mut CausalState<Word>,
+        l: Location,
+        v: Word,
+    ) -> WriteDone {
+        match writer.begin_write(l, v) {
+            WriteStep::Remote {
+                owner: dst,
+                wid,
+                request,
+            } => {
+                assert_eq!(dst, owner.id());
+                let reply = owner.serve(writer.id(), request).unwrap();
+                writer.finish_write(v, wid, reply)
+            }
+            WriteStep::Done { .. } => panic!("expected remote write"),
+        }
+    }
+
+    /// Drives a full remote read from `reader` served by `owner`.
+    fn remote_read(
+        reader: &mut CausalState<Word>,
+        owner: &mut CausalState<Word>,
+        l: Location,
+    ) -> (Word, WriteId) {
+        match reader.begin_read(l) {
+            ReadStep::Miss {
+                owner: dst,
+                request,
+            } => {
+                assert_eq!(dst, owner.id());
+                let reply = owner.serve(reader.id(), request).unwrap();
+                reader.finish_read(l, reply)
+            }
+            ReadStep::Hit { value, wid } => (value, wid),
+        }
+    }
+
+    #[test]
+    fn initial_reads_of_owned_locations_return_initial_value() {
+        let (mut p0, _) = pair();
+        match p0.begin_read(loc(0)) {
+            ReadStep::Hit { value, wid } => {
+                assert_eq!(value, Word::Zero);
+                assert!(wid.is_initial());
+            }
+            ReadStep::Miss { .. } => panic!("owned location must hit"),
+        }
+    }
+
+    #[test]
+    fn owned_write_completes_locally_and_bumps_vt() {
+        let (mut p0, _) = pair();
+        let step = p0.begin_write(loc(0), Word::Int(5));
+        assert!(matches!(step, WriteStep::Done { .. }));
+        assert_eq!(p0.vt().get(0), 1);
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(5));
+    }
+
+    #[test]
+    fn read_miss_fetches_from_owner_and_caches() {
+        let (mut p0, mut p1) = pair();
+        p0.begin_write(loc(0), Word::Int(7));
+        let (v, wid) = remote_read(&mut p1, &mut p0, loc(0));
+        assert_eq!(v, Word::Int(7));
+        assert_eq!(wid.writer(), Some(p(0)));
+        // Cached: second read hits locally.
+        assert!(matches!(p1.begin_read(loc(0)), ReadStep::Hit { .. }));
+        assert_eq!(p1.cached_pages(), 1);
+        // Reader's VT picked up the owner's page stamp.
+        assert_eq!(p1.vt().get(0), 1);
+    }
+
+    #[test]
+    fn remote_write_round_trip_updates_both_timestamps() {
+        let (mut p0, mut p1) = pair();
+        let done = remote_write(&mut p1, &mut p0, loc(0), Word::Int(3));
+        assert!(done.is_applied());
+        // Writer incremented its own component; owner merged it.
+        assert_eq!(p1.vt().get(1), 1);
+        assert_eq!(p0.vt().get(1), 1);
+        // Owner installed the value.
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(3));
+        // Writer caches the written value (M_i[x] := (v, VT_i)).
+        assert_eq!(p1.peek(loc(0)).unwrap().0, &Word::Int(3));
+    }
+
+    #[test]
+    fn new_value_invalidates_causally_older_cache_entries() {
+        // P1 caches x0 (owned by P0). P0 then writes x0 again and x2; when
+        // P1 reads x2 it must invalidate its stale cached x0 because the
+        // cached stamp is dominated by the incoming one.
+        let (mut p0, mut p1) = pair();
+        p0.begin_write(loc(0), Word::Int(1));
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        assert!(p1.has_valid_copy(loc(0)));
+
+        p0.begin_write(loc(0), Word::Int(2));
+        p0.begin_write(loc(2), Word::Int(9));
+        let (v, _) = remote_read(&mut p1, &mut p0, loc(2));
+        assert_eq!(v, Word::Int(9));
+        // The cached x0 (stamp [1,0]) is dominated by x2's stamp [3,0]:
+        // invalidated.
+        assert!(!p1.has_valid_copy(loc(0)));
+        assert_eq!(p1.invalidation_count(), 1);
+        // Next read of x0 misses and sees the new value.
+        let (v, _) = remote_read(&mut p1, &mut p0, loc(0));
+        assert_eq!(v, Word::Int(2));
+    }
+
+    #[test]
+    fn concurrent_cache_entries_survive_introduction() {
+        // P1 writes its own location x1 (concurrent with everything P0
+        // does), then reads x0 from P0. The fetched stamp is concurrent
+        // with nothing cached — and P1's own pages are owned, never
+        // invalidated.
+        let (mut p0, mut p1) = pair();
+        p1.begin_write(loc(1), Word::Int(8));
+        p0.begin_write(loc(0), Word::Int(4));
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        assert_eq!(p1.peek(loc(1)).unwrap().0, &Word::Int(8));
+    }
+
+    #[test]
+    fn owner_write_service_invalidates_owner_cache() {
+        // P0 caches x1 (owned by P1). P1 then writes x1 (local), writes
+        // again... to get the owner's cache swept we need P1 to *send* a
+        // write to P0: P1 writes x0. P0's cached copy of x1 is older than
+        // the merged stamp → invalidated.
+        let (mut p0, mut p1) = pair();
+        p1.begin_write(loc(1), Word::Int(1)); // VT1=[0,1]
+        let _ = remote_read(&mut p0, &mut p1, loc(1)); // P0 caches x1@[0,1], VT0=[0,1]
+        assert!(p0.has_valid_copy(loc(1)));
+
+        p1.begin_write(loc(1), Word::Int(2)); // VT1=[0,2]
+        let done = remote_write(&mut p1, &mut p0, loc(0), Word::Int(5)); // VT1=[0,3]
+        assert!(done.is_applied());
+        // P0's cached x1 has stamp [0,1] < merged [0,3] → invalidated.
+        assert!(!p0.has_valid_copy(loc(1)));
+    }
+
+    #[test]
+    fn paper_exact_mode_does_not_sweep_writer_cache() {
+        // Figure 4's writer does not invalidate on W_REPLY. Construct:
+        // P1 caches x0@old. P0 advances (writes x0 twice). P1 then writes
+        // x2 (owned by P0); the merged reply stamp dominates the cached
+        // x0, but PaperExact leaves it; WriterInvalidate drops it.
+        for (mode, expect_valid) in [
+            (InvalidationMode::PaperExact, true),
+            (InvalidationMode::WriterInvalidate, false),
+        ] {
+            let config = CausalConfig::<Word>::builder(2, 4)
+                .invalidation(mode)
+                .build();
+            let mut p0 = CausalState::new(p(0), config.clone());
+            let mut p1 = CausalState::new(p(1), config);
+
+            p0.begin_write(loc(0), Word::Int(1));
+            let _ = remote_read(&mut p1, &mut p0, loc(0));
+            p0.begin_write(loc(0), Word::Int(2));
+            p0.begin_write(loc(0), Word::Int(3));
+            let _ = remote_write(&mut p1, &mut p0, loc(2), Word::Int(9));
+            assert_eq!(
+                p1.has_valid_copy(loc(0)),
+                expect_valid,
+                "mode {mode:?}: cached x0 validity"
+            );
+        }
+    }
+
+    #[test]
+    fn owner_favored_policy_rejects_concurrent_remote_write() {
+        // §4.2 scenario: the owner (P0) writes x0; P1, not having seen
+        // that write, concurrently writes x0. Under OwnerFavored the
+        // remote write is rejected and P1 learns the surviving value.
+        let config = CausalConfig::<Word>::builder(2, 4)
+            .policy(WritePolicy::OwnerFavored)
+            .build();
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config);
+
+        p0.begin_write(loc(0), Word::Int(10)); // owner's write, origin [1,0]
+        let done = remote_write(&mut p1, &mut p0, loc(0), Word::Int(20)); // origin [0,1] — concurrent
+        let WriteDone::Rejected { winner, .. } = done else {
+            panic!("expected rejection, got {done:?}");
+        };
+        assert_eq!(winner.writer(), Some(p(0)));
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(10));
+        // Loser's cache converged to the winner.
+        assert_eq!(p1.peek(loc(0)).unwrap().0, &Word::Int(10));
+    }
+
+    #[test]
+    fn owner_favored_policy_accepts_causally_later_write() {
+        // P1 first *reads* x0 (seeing the owner's write), then writes: the
+        // write causally follows and must be applied.
+        let config = CausalConfig::<Word>::builder(2, 4)
+            .policy(WritePolicy::OwnerFavored)
+            .build();
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config);
+
+        p0.begin_write(loc(0), Word::Int(10));
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        let done = remote_write(&mut p1, &mut p0, loc(0), Word::Int(20));
+        assert!(done.is_applied());
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(20));
+    }
+
+    #[test]
+    fn owner_favored_does_not_protect_non_owner_values() {
+        // The installed value was written by P1 (remote); another
+        // concurrent remote write by P1... use 3 nodes: P1 and P2 write
+        // concurrently to x0 owned by P0. Neither is the owner, so even
+        // OwnerFavored applies the later arrival.
+        let config = CausalConfig::<Word>::builder(3, 3)
+            .policy(WritePolicy::OwnerFavored)
+            .build();
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config.clone());
+        let mut p2 = CausalState::new(p(2), config);
+
+        let d1 = remote_write(&mut p1, &mut p0, loc(0), Word::Int(1));
+        assert!(d1.is_applied());
+        let d2 = remote_write(&mut p2, &mut p0, loc(0), Word::Int(2));
+        assert!(d2.is_applied());
+        assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(2));
+    }
+
+    #[test]
+    fn discard_drops_cached_but_not_owned_pages() {
+        let (mut p0, mut p1) = pair();
+        p0.begin_write(loc(0), Word::Int(1));
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        assert!(p1.has_valid_copy(loc(0)));
+        assert!(p1.discard(loc(0)));
+        assert!(!p1.has_valid_copy(loc(0)));
+        assert!(!p1.discard(loc(0))); // already gone
+        assert!(!p0.discard(loc(0))); // owner never discards
+        assert!(p0.has_valid_copy(loc(0)));
+    }
+
+    #[test]
+    fn discard_any_evicts_oldest_cached_page() {
+        // Fetch the causally *newer* page first so the second fetch's
+        // older stamp does not sweep it: both stay cached.
+        let (mut p0, mut p1) = pair();
+        p0.begin_write(loc(0), Word::Int(1)); // stamp [1,0]
+        p0.begin_write(loc(2), Word::Int(2)); // stamp [2,0]
+        let _ = remote_read(&mut p1, &mut p0, loc(2));
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        assert_eq!(p1.cached_pages(), 2);
+        let victim = p1.discard_any().unwrap();
+        assert_eq!(victim, loc(2).page(1));
+        assert_eq!(p1.cached_pages(), 1);
+        assert!(p1.has_valid_copy(loc(0)));
+    }
+
+    #[test]
+    fn cache_capacity_evicts_oldest() {
+        let config = CausalConfig::<Word>::builder(2, 8)
+            .cache_capacity(1)
+            .build();
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config);
+        p0.begin_write(loc(0), Word::Int(1)); // stamp [1,0]
+        p0.begin_write(loc(2), Word::Int(2)); // stamp [2,0]
+                                              // Fetch newer first (no sweep on the second fetch), so capacity —
+                                              // not invalidation — is what evicts.
+        let _ = remote_read(&mut p1, &mut p0, loc(2));
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        assert_eq!(p1.cached_pages(), 1);
+        assert!(p1.has_valid_copy(loc(0)));
+        assert!(!p1.has_valid_copy(loc(2)));
+    }
+
+    #[test]
+    fn const_pages_survive_sweeps_and_discard() {
+        let config = CausalConfig::<Word>::builder(2, 4)
+            .const_pages([loc(2).page(1)])
+            .build();
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config);
+
+        p0.begin_write(loc(2), Word::Int(9));
+        let _ = remote_read(&mut p1, &mut p0, loc(2));
+        // P0 races far ahead; P1 reads x0 with a dominating stamp.
+        p0.begin_write(loc(0), Word::Int(1));
+        p0.begin_write(loc(0), Word::Int(2));
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        // Const page survived the sweep even though its stamp is dominated.
+        assert!(p1.has_valid_copy(loc(2)));
+        // And discard refuses to drop it.
+        assert!(!p1.discard(loc(2)));
+    }
+
+    #[test]
+    fn page_granularity_transfers_whole_pages() {
+        let config = CausalConfig::<Word>::builder(2, 8).page_size(4).build();
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config);
+        // P0 owns page 0 (locations 0..4).
+        p0.begin_write(loc(1), Word::Int(11));
+        p0.begin_write(loc(3), Word::Int(33));
+        let (v, _) = remote_read(&mut p1, &mut p0, loc(1));
+        assert_eq!(v, Word::Int(11));
+        // The whole page came over: location 3 now hits locally.
+        match p1.begin_read(loc(3)) {
+            ReadStep::Hit { value, .. } => assert_eq!(value, Word::Int(33)),
+            ReadStep::Miss { .. } => panic!("page fetch must cache all slots"),
+        }
+    }
+
+    #[test]
+    fn weakly_consistent_execution_of_figure_5_is_produced() {
+        // Figure 5: P1: r(y)0 w(x)1 r(y)0 / P2: r(x)0 w(y)1 r(x)0, with
+        // P1 = owner(x), P2 = owner(y). Our implementation admits it when
+        // each process reads the other's location before any communication.
+        let config = CausalConfig::<Word>::builder(2, 2).build();
+        // loc0 = x (owner P0), loc1 = y (owner P1).
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config);
+
+        // Both fetch the other's location first (caching the 0s).
+        let (y0, _) = remote_read(&mut p0, &mut p1, loc(1));
+        let (x0, _) = remote_read(&mut p1, &mut p0, loc(0));
+        assert_eq!((y0, x0), (Word::Zero, Word::Zero));
+
+        // Both write their own location locally (no messages).
+        assert!(matches!(
+            p0.begin_write(loc(0), Word::Int(1)),
+            WriteStep::Done { .. }
+        ));
+        assert!(matches!(
+            p1.begin_write(loc(1), Word::Int(1)),
+            WriteStep::Done { .. }
+        ));
+
+        // Both re-read the cached copy: still 0. This is the weakly
+        // consistent outcome no sequentially consistent memory allows.
+        match p0.begin_read(loc(1)) {
+            ReadStep::Hit { value, .. } => assert_eq!(value, Word::Zero),
+            ReadStep::Miss { .. } => panic!("cached"),
+        }
+        match p1.begin_read(loc(0)) {
+            ReadStep::Hit { value, .. } => assert_eq!(value, Word::Zero),
+            ReadStep::Miss { .. } => panic!("cached"),
+        }
+    }
+
+    #[test]
+    fn serve_ignores_non_requests() {
+        let (mut p0, _) = pair();
+        assert!(p0.serve(p(1), Msg::Halt).is_none());
+        assert!(p0
+            .serve(
+                p(1),
+                Msg::WriteReply {
+                    loc: loc(0),
+                    wid: memcore::WriteId::new(p(1), 0),
+                    vt: VectorClock::new(2),
+                    verdict: WriteVerdict::Applied,
+                }
+            )
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn misrouted_read_panics() {
+        let (_, mut p1) = pair();
+        let _ = p1.serve(
+            p(0),
+            Msg::Read {
+                page: loc(0).page(1),
+            },
+        );
+    }
+
+    #[test]
+    fn late_stale_write_does_not_clobber_causally_newer_value() {
+        // Regression for the non-blocking enhancement: P2 issues a
+        // non-blocking write w2 of x (owned by P0) whose request is slow;
+        // P2 then writes its own y; P1 reads y (learning of w2's
+        // existence) and writes w1 of x, which the owner certifies FIRST.
+        // Causally w2 →* w1. When w2 finally arrives, the owner must NOT
+        // install it over w1 — otherwise later readers regress to an
+        // overwritten value, violating Definition 2.
+        let config = CausalConfig::<Word>::builder(3, 3).build();
+        // Round-robin: P0 owns x0, P1 owns x1, P2 owns x2. Use x0 as "x"
+        // and x2 as "y".
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config.clone());
+        let mut p2 = CausalState::new(p(2), config);
+        let (x, y) = (loc(0), loc(2));
+
+        // P2's slow non-blocking write of x.
+        let WriteStep::Remote {
+            request: w2_request,
+            ..
+        } = p2.begin_write_nonblocking(x, Word::Int(2))
+        else {
+            panic!("P2 does not own x");
+        };
+        // P2 writes its own y (local).
+        assert!(matches!(
+            p2.begin_write(y, Word::Int(7)),
+            WriteStep::Done { .. }
+        ));
+        // P1 reads y from P2, picking up w2's causal footprint.
+        let (v, _) = remote_read(&mut p1, &mut p2, y);
+        assert_eq!(v, Word::Int(7));
+        // P1 writes x; the owner certifies it first.
+        let done = remote_write(&mut p1, &mut p0, x, Word::Int(1));
+        assert!(done.is_applied());
+        // Now w2's stale request finally lands at the owner.
+        let reply = p0.serve(p(2), w2_request).expect("serve write");
+        p2.absorb_write_reply(reply);
+        // The owner keeps the causally newer value.
+        assert_eq!(
+            p0.peek(x).unwrap().0,
+            &Word::Int(1),
+            "stale write clobbered a causally newer value"
+        );
+    }
+
+    #[test]
+    fn late_reply_is_not_cached_over_fresher_knowledge() {
+        // The race the threaded stress suite caught: P1's fetch of x2 is
+        // served, then — while the reply is in flight — P1 (as owner of
+        // x1) services a write from P0 that causally carries knowledge of
+        // a NEWER write of x2. Installing the stale page would let P1's
+        // later reads return a provably overwritten value.
+        let config = CausalConfig::<Word>::builder(3, 3).build();
+        // Round-robin: P0 owns x0, P1 owns x1, P2 owns x2.
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config.clone());
+        let mut p2 = CausalState::new(p(2), config);
+        let (x1, x2) = (loc(1), loc(2));
+
+        // P2 writes A; P1's fetch of x2 is served with A; the reply is
+        // now "in flight".
+        p2.begin_write(x2, Word::Int(100));
+        let ReadStep::Miss { request, .. } = p1.begin_read(x2) else {
+            panic!("P1 does not own x2");
+        };
+        let stale_reply = p2.serve(p(1), request).expect("serve read");
+
+        // P2 overwrites with B; P0 reads B (learning of it), then writes
+        // x1 — serviced by P1, which thereby absorbs B's causal footprint.
+        p2.begin_write(x2, Word::Int(200));
+        let _ = remote_read(&mut p0, &mut p2, x2);
+        let done = remote_write(&mut p0, &mut p1, x1, Word::Int(7));
+        assert!(done.is_applied());
+
+        // The stale reply lands. The read completes with A (legal: no
+        // operation of P1 yet follows B), but the page must NOT be cached.
+        let (v, _) = p1.finish_read(x2, stale_reply);
+        assert_eq!(v, Word::Int(100));
+        assert!(
+            !p1.has_valid_copy(x2),
+            "stale page cached over fresher knowledge"
+        );
+
+        // P1 reads its own x1 (an operation causally following B), then
+        // re-reads x2: it must MISS and fetch the current value.
+        let ReadStep::Hit { .. } = p1.begin_read(x1) else {
+            panic!("owned")
+        };
+        let (v, _) = remote_read(&mut p1, &mut p2, x2);
+        assert_eq!(v, Word::Int(200), "must observe the overwrite");
+    }
+
+    #[test]
+    fn write_ids_are_unique_and_ordered_per_writer() {
+        let (mut p0, _) = pair();
+        let WriteStep::Done { wid: w1 } = p0.begin_write(loc(0), Word::Int(1)) else {
+            panic!()
+        };
+        let WriteStep::Done { wid: w2 } = p0.begin_write(loc(0), Word::Int(2)) else {
+            panic!()
+        };
+        assert_ne!(w1, w2);
+        assert!(w1.seq() < w2.seq());
+    }
+}

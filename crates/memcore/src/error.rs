@@ -1,0 +1,77 @@
+//! Error type shared by all engines.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Location, NodeId};
+
+/// Errors surfaced by [`SharedMemory`](crate::SharedMemory) operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemoryError {
+    /// The engine (cluster) has been shut down; no further operations can
+    /// complete.
+    Shutdown,
+    /// The location lies outside the configured namespace.
+    OutOfRange {
+        /// The offending location.
+        loc: Location,
+        /// The size of the namespace.
+        namespace: usize,
+    },
+    /// A protocol message could not be delivered to its destination.
+    Unreachable {
+        /// The destination that could not be reached.
+        dst: NodeId,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::Shutdown => write!(f, "memory engine has shut down"),
+            MemoryError::OutOfRange { loc, namespace } => {
+                write!(
+                    f,
+                    "location {loc} outside namespace of {namespace} locations"
+                )
+            }
+            MemoryError::Unreachable { dst } => {
+                write!(f, "protocol message undeliverable to {dst}")
+            }
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_concisely() {
+        assert_eq!(
+            MemoryError::Shutdown.to_string(),
+            "memory engine has shut down"
+        );
+        let e = MemoryError::OutOfRange {
+            loc: Location::new(9),
+            namespace: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "location x9 outside namespace of 4 locations"
+        );
+        let u = MemoryError::Unreachable {
+            dst: NodeId::new(2),
+        };
+        assert_eq!(u.to_string(), "protocol message undeliverable to P2");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<MemoryError>();
+    }
+}

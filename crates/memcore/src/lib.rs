@@ -1,0 +1,124 @@
+//! Shared vocabulary for the causal-DSM workspace.
+//!
+//! Every engine in this workspace — the causal owner protocol
+//! (`causal-dsm`), the atomic baseline (`atomic-dsm`) and the
+//! causal-broadcast comparator (`broadcast-mem`) — speaks in terms of the
+//! types defined here: process and location identifiers, unique write tags,
+//! the [`SharedMemory`] trait that application code programs against,
+//! operation records consumed by the executable specification
+//! (`causal-spec`), and message statistics.
+//!
+//! Keeping the vocabulary in one crate is what lets the paper's point stand
+//! in code form: *the same application source runs unchanged on causal and
+//! atomic memory* (§4 of the paper), differing only in which engine's handle
+//! is passed in.
+//!
+//! # Examples
+//!
+//! ```
+//! use memcore::{Location, NodeId, WriteId};
+//!
+//! let loc = Location::new(7);
+//! assert_eq!(loc.page(4).index(), 1); // locations 4..8 share page 1
+//! let w = WriteId::new(NodeId::new(2), 1);
+//! assert!(!w.is_initial());
+//! assert!(WriteId::initial(loc).is_initial());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod op;
+mod owner;
+mod stats;
+mod value;
+
+pub use error::MemoryError;
+pub use ids::{Location, NodeId, PageId, RoundRobinOwners, WriteId};
+pub use op::{OpKind, OpRecord, Recorder};
+pub use owner::{ExplicitOwners, OwnerMap};
+pub use stats::{NetStats, StatsSnapshot};
+pub use value::{Value, Word};
+
+/// The interface applications program against — the paper's plain shared
+/// memory of locations, read and written one at a time.
+///
+/// Implemented by the per-process handles of every engine in this workspace.
+/// `discard` is the paper's cache-drop action (§3.1, the `discard`
+/// procedure); engines without caches implement it as a no-op.
+///
+/// # Examples
+///
+/// Application code is generic over the memory, exactly as the paper's
+/// programs are written once and run on either consistency level:
+///
+/// ```
+/// use memcore::{Location, MemoryError, SharedMemory};
+///
+/// fn bump<M: SharedMemory<i64>>(mem: &M, loc: Location) -> Result<i64, MemoryError> {
+///     let v = mem.read(loc)?;
+///     mem.write(loc, v + 1)?;
+///     Ok(v + 1)
+/// }
+/// ```
+pub trait SharedMemory<V: Value> {
+    /// The process this handle performs operations as.
+    fn node(&self) -> NodeId;
+
+    /// Performs `r_i(x)` and returns the value read.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine has shut down or the location is
+    /// outside the configured namespace.
+    fn read(&self, loc: Location) -> Result<V, MemoryError>;
+
+    /// Performs `w_i(x)v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine has shut down or the location is
+    /// outside the configured namespace.
+    fn write(&self, loc: Location, value: V) -> Result<(), MemoryError>;
+
+    /// Drops any locally cached copy of `loc` (the paper's `discard`).
+    ///
+    /// Locations owned by this process are never invalidated, as in the
+    /// paper; discarding them is a no-op.
+    fn discard(&self, loc: Location);
+
+    /// Discards then reads: forces the next read to consult the owner.
+    ///
+    /// This is the idiom the paper's liveness discussion calls for —
+    /// "occasional execution of *discard* can … ensure eventual
+    /// communication".
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SharedMemory::read`].
+    fn read_fresh(&self, loc: Location) -> Result<V, MemoryError> {
+        self.discard(loc);
+        self.read(loc)
+    }
+
+    /// Spins (with discard, so progress is guaranteed) until `pred` holds
+    /// for the value of `loc`, returning that value.
+    ///
+    /// This is the paper's `wait(B)` ("while (¬B) skip") made live on a
+    /// caching DSM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SharedMemory::read`].
+    fn wait_until(&self, loc: Location, pred: &dyn Fn(&V) -> bool) -> Result<V, MemoryError> {
+        loop {
+            let v = self.read_fresh(loc)?;
+            if pred(&v) {
+                return Ok(v);
+            }
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Operation records: the bridge from running engines to the executable
+//! specification.
+//!
+//! Every engine can be handed a [`Recorder`]; it then logs each completed
+//! read and write, in program order per process, tagged with the
+//! [`WriteId`] that makes the reads-from relation exact. The `causal-spec`
+//! crate turns these logs into causality graphs and checks Definition 2.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::{Location, NodeId, WriteId};
+
+/// Whether an operation is a read or a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read operation `r(x)v`.
+    Read,
+    /// A write operation `w(x)v`.
+    Write,
+}
+
+/// One completed operation, as recorded by an engine.
+///
+/// For writes, `write_id` is the write's own unique tag; for reads it is
+/// the tag of the write the read *reads from* (possibly an initial write).
+///
+/// # Examples
+///
+/// ```
+/// use memcore::{Location, NodeId, OpRecord, WriteId};
+///
+/// let w = OpRecord::write(Location::new(0), 5i64, WriteId::new(NodeId::new(1), 0));
+/// let r = OpRecord::read(Location::new(0), 5i64, w.write_id);
+/// assert_eq!(r.write_id, w.write_id);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord<V> {
+    /// Read or write.
+    pub kind: OpKind,
+    /// The location acted on.
+    pub loc: Location,
+    /// The value written or returned.
+    pub value: V,
+    /// The write's own tag, or the tag of the write a read reads from.
+    pub write_id: WriteId,
+}
+
+impl<V> OpRecord<V> {
+    /// Records a read of `loc` returning `value` written by `reads_from`.
+    pub fn read(loc: Location, value: V, reads_from: WriteId) -> Self {
+        OpRecord {
+            kind: OpKind::Read,
+            loc,
+            value,
+            write_id: reads_from,
+        }
+    }
+
+    /// Records a write of `value` to `loc` tagged `id`.
+    pub fn write(loc: Location, value: V, id: WriteId) -> Self {
+        OpRecord {
+            kind: OpKind::Write,
+            loc,
+            value,
+            write_id: id,
+        }
+    }
+
+    /// `true` iff this is a read record.
+    pub fn is_read(&self) -> bool {
+        self.kind == OpKind::Read
+    }
+}
+
+/// Collects per-process operation sequences from a running engine.
+///
+/// Cheap to clone (internally shared); engines call
+/// [`Recorder::record`] as operations complete and tests call
+/// [`Recorder::processes`] afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use memcore::{Location, NodeId, OpRecord, Recorder, WriteId};
+///
+/// let rec = Recorder::new(2);
+/// rec.record(
+///     NodeId::new(0),
+///     OpRecord::write(Location::new(0), 1i64, WriteId::new(NodeId::new(0), 0)),
+/// );
+/// assert_eq!(rec.processes()[0].len(), 1);
+/// assert_eq!(rec.processes()[1].len(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Recorder<V> {
+    procs: Arc<Vec<Mutex<Vec<OpRecord<V>>>>>,
+}
+
+impl<V: Clone> Recorder<V> {
+    /// Creates a recorder for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Recorder {
+            procs: Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect()),
+        }
+    }
+
+    /// Number of processes being recorded.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Appends `op` to `node`'s program-order log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this recorder.
+    pub fn record(&self, node: NodeId, op: OpRecord<V>) {
+        self.procs[node.index()].lock().push(op);
+    }
+
+    /// Snapshots all per-process logs, in process order.
+    #[must_use]
+    pub fn processes(&self) -> Vec<Vec<OpRecord<V>>> {
+        self.procs.iter().map(|m| m.lock().clone()).collect()
+    }
+
+    /// Total number of recorded operations across all processes.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.procs.iter().map(|m| m.lock().len()).sum()
+    }
+
+    /// Clears all logs (useful to scope measurement to a program phase).
+    pub fn clear(&self) {
+        for m in self.procs.iter() {
+            m.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(p: u32, s: u64) -> WriteId {
+        WriteId::new(NodeId::new(p), s)
+    }
+
+    #[test]
+    fn records_preserve_program_order() {
+        let rec: Recorder<i64> = Recorder::new(2);
+        rec.record(
+            NodeId::new(0),
+            OpRecord::write(Location::new(0), 1, wid(0, 0)),
+        );
+        rec.record(
+            NodeId::new(0),
+            OpRecord::read(Location::new(0), 1, wid(0, 0)),
+        );
+        rec.record(
+            NodeId::new(1),
+            OpRecord::read(Location::new(0), 1, wid(0, 0)),
+        );
+        let procs = rec.processes();
+        assert_eq!(procs[0].len(), 2);
+        assert_eq!(procs[0][0].kind, OpKind::Write);
+        assert_eq!(procs[0][1].kind, OpKind::Read);
+        assert!(procs[0][1].is_read());
+        assert_eq!(procs[1].len(), 1);
+        assert_eq!(rec.total_ops(), 3);
+    }
+
+    #[test]
+    fn clear_resets_all_processes() {
+        let rec: Recorder<i64> = Recorder::new(1);
+        rec.record(
+            NodeId::new(0),
+            OpRecord::write(Location::new(0), 1, wid(0, 0)),
+        );
+        rec.clear();
+        assert_eq!(rec.total_ops(), 0);
+    }
+
+    #[test]
+    fn recorder_clones_share_state() {
+        let rec: Recorder<i64> = Recorder::new(1);
+        let rec2 = rec.clone();
+        rec2.record(
+            NodeId::new(0),
+            OpRecord::write(Location::new(0), 1, wid(0, 0)),
+        );
+        assert_eq!(rec.total_ops(), 1);
+        assert_eq!(rec.process_count(), 1);
+    }
+}

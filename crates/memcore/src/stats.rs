@@ -1,0 +1,251 @@
+//! Message statistics: the instrument behind the paper's §4.1
+//! message-counting argument.
+//!
+//! Every transport in this workspace records each protocol message it
+//! carries, keyed by *sending* node and message kind. The solver experiment
+//! (E6 in `DESIGN.md`) reads these counters to reproduce the paper's
+//! `2n + 6` vs `3n + 5` per-processor-per-iteration comparison.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// Shared, thread-safe message counters, one map per node.
+///
+/// Cheap to clone (internally shared).
+///
+/// # Examples
+///
+/// ```
+/// use memcore::{NetStats, NodeId};
+///
+/// let stats = NetStats::new(2);
+/// stats.record(NodeId::new(0), "READ");
+/// stats.record(NodeId::new(0), "READ");
+/// stats.record(NodeId::new(1), "R_REPLY");
+/// let snap = stats.snapshot();
+/// assert_eq!(snap.total(), 3);
+/// assert_eq!(snap.node_total(NodeId::new(0)), 2);
+/// assert_eq!(snap.kind_total("READ"), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetStats {
+    nodes: Arc<Vec<Mutex<BTreeMap<&'static str, u64>>>>,
+}
+
+impl NetStats {
+    /// Creates counters for `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            nodes: Arc::new((0..n).map(|_| Mutex::new(BTreeMap::new())).collect()),
+        }
+    }
+
+    /// Counts one message of `kind` sent by `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn record(&self, node: NodeId, kind: &'static str) {
+        self.record_n(node, kind, 1);
+    }
+
+    /// Adds `n` to the counter for (`node`, `kind`) — used for byte
+    /// accounting, where one message contributes its encoded size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn record_n(&self, node: NodeId, kind: &'static str, n: u64) {
+        *self.nodes[node.index()].lock().entry(kind).or_insert(0) += n;
+    }
+
+    /// Takes a consistent copy of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            per_node: self
+                .nodes
+                .iter()
+                .map(|m| {
+                    m.lock()
+                        .iter()
+                        .map(|(k, v)| ((*k).to_owned(), *v))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Resets all counters to zero (scopes measurement to a program phase).
+    pub fn clear(&self) {
+        for m in self.nodes.iter() {
+            m.lock().clear();
+        }
+    }
+}
+
+/// An immutable copy of message counters at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    per_node: Vec<BTreeMap<String, u64>>,
+}
+
+impl StatsSnapshot {
+    /// Total messages sent system-wide.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per_node.iter().flat_map(|m| m.values()).sum()
+    }
+
+    /// Total messages sent by one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn node_total(&self, node: NodeId) -> u64 {
+        self.per_node[node.index()].values().sum()
+    }
+
+    /// Total messages of one kind, across nodes.
+    #[must_use]
+    pub fn kind_total(&self, kind: &str) -> u64 {
+        self.per_node.iter().filter_map(|m| m.get(kind)).sum()
+    }
+
+    /// Count for a single (node, kind) cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn get(&self, node: NodeId, kind: &str) -> u64 {
+        self.per_node[node.index()].get(kind).copied().unwrap_or(0)
+    }
+
+    /// Per-kind totals, for reporting.
+    #[must_use]
+    pub fn by_kind(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for m in &self.per_node {
+            for (k, v) in m {
+                *out.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    /// Messages per node, in node order.
+    #[must_use]
+    pub fn per_node_totals(&self) -> Vec<u64> {
+        self.per_node.iter().map(|m| m.values().sum()).collect()
+    }
+
+    /// The difference `self - earlier`, cell-wise (saturating at zero).
+    ///
+    /// Used to measure one phase of a long-running program.
+    #[must_use]
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut per_node = Vec::with_capacity(self.per_node.len());
+        for (i, m) in self.per_node.iter().enumerate() {
+            let base = earlier.per_node.get(i);
+            per_node.push(
+                m.iter()
+                    .map(|(k, v)| {
+                        let b = base.and_then(|bm| bm.get(k)).copied().unwrap_or(0);
+                        (k.clone(), v.saturating_sub(b))
+                    })
+                    .filter(|(_, v)| *v > 0)
+                    .collect(),
+            );
+        }
+        StatsSnapshot { per_node }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total messages: {}", self.total())?;
+        for (kind, count) in self.by_kind() {
+            writeln!(f, "  {kind:<12} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_node_and_kind() {
+        let stats = NetStats::new(3);
+        stats.record(NodeId::new(0), "READ");
+        stats.record(NodeId::new(1), "READ");
+        stats.record(NodeId::new(1), "WRITE");
+        let snap = stats.snapshot();
+        assert_eq!(snap.total(), 3);
+        assert_eq!(snap.node_total(NodeId::new(1)), 2);
+        assert_eq!(snap.kind_total("READ"), 2);
+        assert_eq!(snap.kind_total("WRITE"), 1);
+        assert_eq!(snap.get(NodeId::new(1), "WRITE"), 1);
+        assert_eq!(snap.get(NodeId::new(2), "WRITE"), 0);
+        assert_eq!(snap.per_node_totals(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn clear_zeroes_counters() {
+        let stats = NetStats::new(1);
+        stats.record(NodeId::new(0), "READ");
+        stats.clear();
+        assert_eq!(stats.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn since_subtracts_cellwise() {
+        let stats = NetStats::new(2);
+        stats.record(NodeId::new(0), "READ");
+        let before = stats.snapshot();
+        stats.record(NodeId::new(0), "READ");
+        stats.record(NodeId::new(1), "WRITE");
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.total(), 2);
+        assert_eq!(delta.get(NodeId::new(0), "READ"), 1);
+        assert_eq!(delta.get(NodeId::new(1), "WRITE"), 1);
+    }
+
+    #[test]
+    fn by_kind_aggregates_across_nodes() {
+        let stats = NetStats::new(2);
+        stats.record(NodeId::new(0), "A");
+        stats.record(NodeId::new(1), "A");
+        stats.record(NodeId::new(1), "B");
+        let by_kind = stats.snapshot().by_kind();
+        assert_eq!(by_kind["A"], 2);
+        assert_eq!(by_kind["B"], 1);
+    }
+
+    #[test]
+    fn display_lists_kinds() {
+        let stats = NetStats::new(1);
+        stats.record(NodeId::new(0), "READ");
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("total messages: 1"));
+        assert!(text.contains("READ"));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let stats = NetStats::new(1);
+        let stats2 = stats.clone();
+        stats2.record(NodeId::new(0), "READ");
+        assert_eq!(stats.snapshot().total(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Values stored in the shared memory.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Bound alias for types that can live in a shared-memory location.
+///
+/// Blanket-implemented; any `Clone + Debug + Send + Sync + 'static` type
+/// qualifies, so applications define their own word types (the solver uses
+/// one with `f64` and `bool` arms, the dictionary one with key entries).
+pub trait Value: Clone + fmt::Debug + Send + Sync + 'static {}
+
+impl<T: Clone + fmt::Debug + Send + Sync + 'static> Value for T {}
+
+/// A convenient general-purpose word type for examples and tests.
+///
+/// The paper's example executions store small integers and booleans; `Word`
+/// covers those plus floats so the quickstart and figure reproductions can
+/// share one memory.
+///
+/// `Word::Zero` plays the role of the paper's "initial writes to all
+/// locations of the value 0" and is the [`Default`].
+///
+/// # Examples
+///
+/// ```
+/// use memcore::Word;
+///
+/// assert_eq!(Word::default(), Word::Zero);
+/// assert_eq!(Word::from(5i64), Word::Int(5));
+/// assert_eq!(Word::from(true), Word::Bool(true));
+/// assert_eq!(Word::Int(5).as_int(), Some(5));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Word {
+    /// The initial value 0 the paper assumes for every location.
+    #[default]
+    Zero,
+    /// An integer, as used by the paper's example executions.
+    Int(i64),
+    /// A boolean flag, as used by the solver's handshake bits.
+    Bool(bool),
+    /// A floating-point value, as used by the solver's vector elements.
+    Float(f64),
+}
+
+impl Word {
+    /// The integer payload, treating `Zero` as `0`.
+    ///
+    /// Returns `None` for non-integer words.
+    #[must_use]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Word::Zero => Some(0),
+            Word::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, treating `Zero` as `false` (the paper's "all
+    /// booleans are initially False").
+    ///
+    /// Returns `None` for non-boolean words.
+    #[must_use]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Word::Zero => Some(false),
+            Word::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, treating `Zero` as `0.0`.
+    ///
+    /// Returns `None` for non-float words.
+    #[must_use]
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Word::Zero => Some(0.0),
+            Word::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Word::Zero => write!(f, "0"),
+            Word::Int(v) => write!(f, "{v}"),
+            Word::Bool(v) => write!(f, "{}", if *v { "T" } else { "F" }),
+            Word::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Word {
+    fn from(v: i64) -> Self {
+        Word::Int(v)
+    }
+}
+
+impl From<bool> for Word {
+    fn from(v: bool) -> Self {
+        Word::Bool(v)
+    }
+}
+
+impl From<f64> for Word {
+    fn from(v: f64) -> Self {
+        Word::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Word::default(), Word::Zero);
+    }
+
+    #[test]
+    fn zero_coerces_to_every_payload() {
+        assert_eq!(Word::Zero.as_int(), Some(0));
+        assert_eq!(Word::Zero.as_bool(), Some(false));
+        assert_eq!(Word::Zero.as_float(), Some(0.0));
+    }
+
+    #[test]
+    fn payload_accessors_reject_mismatched_kinds() {
+        assert_eq!(Word::Bool(true).as_int(), None);
+        assert_eq!(Word::Int(1).as_bool(), None);
+        assert_eq!(Word::Bool(false).as_float(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Word::Int(5).to_string(), "5");
+        assert_eq!(Word::Bool(true).to_string(), "T");
+        assert_eq!(Word::Bool(false).to_string(), "F");
+        assert_eq!(Word::Zero.to_string(), "0");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Word::from(2i64), Word::Int(2));
+        assert_eq!(Word::from(false), Word::Bool(false));
+        assert_eq!(Word::from(1.5f64), Word::Float(1.5));
+    }
+}

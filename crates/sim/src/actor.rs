@@ -1,0 +1,496 @@
+//! Protocol actors: uniform adapters over the pure state machines of the
+//! three memory implementations, so one scheduler drives them all.
+
+use memcore::{Location, NodeId, OpRecord, Value, WriteId};
+use simnet::Tagged;
+
+use crate::client::{ClientOp, Outcome};
+
+/// A completed operation: the client-visible outcome plus the record the
+/// specification checker consumes.
+#[derive(Clone, Debug)]
+pub struct Completion<V> {
+    /// What the client sees.
+    pub outcome: Outcome<V>,
+    /// What the checker sees (absent for discards).
+    pub record: Option<OpRecord<V>>,
+}
+
+/// The effects of submitting an operation or delivering a message.
+#[derive(Debug)]
+pub struct Effects<V, M> {
+    /// Messages to send.
+    pub outgoing: Vec<(NodeId, M)>,
+    /// Present when the node's outstanding operation completed.
+    pub completion: Option<Completion<V>>,
+}
+
+impl<V, M> Effects<V, M> {
+    fn done(outcome: Outcome<V>, record: Option<OpRecord<V>>) -> Self {
+        Effects {
+            outgoing: Vec::new(),
+            completion: Some(Completion { outcome, record }),
+        }
+    }
+
+    fn sent(outgoing: Vec<(NodeId, M)>) -> Self {
+        Effects {
+            outgoing,
+            completion: None,
+        }
+    }
+}
+
+/// One simulated node: a protocol state machine with at most one
+/// outstanding application operation.
+pub trait Actor<V: Value>: Send {
+    /// The protocol's message type.
+    type Msg: Tagged + Clone + Send + std::fmt::Debug;
+
+    /// This node's identifier.
+    fn id(&self) -> NodeId;
+
+    /// Submits an application operation ([`ClientOp::WaitUntil`] is
+    /// decomposed by the scheduler and never reaches actors).
+    ///
+    /// Returns either an immediate completion or the messages whose
+    /// replies will complete it.
+    fn submit(&mut self, op: &ClientOp<V>) -> Effects<V, Self::Msg>;
+
+    /// Delivers a protocol message.
+    fn deliver(&mut self, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg>;
+
+    /// The node whose copy of `loc` is authoritative for wait-signaling:
+    /// the owner for owner protocols, this node for replicated memory.
+    fn authority(&self, loc: Location) -> NodeId;
+
+    /// This node's current value of `loc`, if it holds one (owned, cached
+    /// or replicated). No protocol side effects.
+    fn peek(&self, loc: Location) -> Option<V>;
+}
+
+// ---------------------------------------------------------------------
+// Causal owner protocol
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum CausalPending<V> {
+    Read {
+        loc: Location,
+    },
+    Write {
+        loc: Location,
+        value: V,
+        wid: WriteId,
+    },
+}
+
+/// [`Actor`] over the causal owner protocol's
+/// [`CausalState`](causal_dsm::CausalState).
+#[derive(Clone, Debug)]
+pub struct CausalActor<V> {
+    state: causal_dsm::CausalState<V>,
+    pending: Option<CausalPending<V>>,
+    /// Outstanding non-blocking writes whose replies are absorbed rather
+    /// than completing an operation.
+    nonblocking: std::collections::HashSet<WriteId>,
+}
+
+impl<V: Value> CausalActor<V> {
+    /// Wraps a node's protocol state.
+    #[must_use]
+    pub fn new(state: causal_dsm::CausalState<V>) -> Self {
+        CausalActor {
+            state,
+            pending: None,
+            nonblocking: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The wrapped protocol state (inspection).
+    #[must_use]
+    pub fn state(&self) -> &causal_dsm::CausalState<V> {
+        &self.state
+    }
+}
+
+impl<V: Value> Actor<V> for CausalActor<V> {
+    type Msg = causal_dsm::Msg<V>;
+
+    fn id(&self) -> NodeId {
+        self.state.id()
+    }
+
+    fn submit(&mut self, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
+        assert!(self.pending.is_none(), "one outstanding op per node");
+        match op {
+            ClientOp::Read(loc) | ClientOp::ReadFresh(loc) => {
+                if matches!(op, ClientOp::ReadFresh(_)) {
+                    self.state.discard(*loc);
+                }
+                match self.state.begin_read(*loc) {
+                    causal_dsm::ReadStep::Hit { value, wid } => Effects::done(
+                        Outcome::Read {
+                            value: value.clone(),
+                            wid,
+                        },
+                        Some(OpRecord::read(*loc, value, wid)),
+                    ),
+                    causal_dsm::ReadStep::Miss { owner, request } => {
+                        self.pending = Some(CausalPending::Read { loc: *loc });
+                        Effects::sent(vec![(owner, request)])
+                    }
+                }
+            }
+            ClientOp::Write(loc, value) => match self.state.begin_write(*loc, value.clone()) {
+                causal_dsm::WriteStep::Done { wid } => Effects::done(
+                    Outcome::Wrote { wid, applied: true },
+                    Some(OpRecord::write(*loc, value.clone(), wid)),
+                ),
+                causal_dsm::WriteStep::Remote {
+                    owner,
+                    wid,
+                    request,
+                } => {
+                    self.pending = Some(CausalPending::Write {
+                        loc: *loc,
+                        value: value.clone(),
+                        wid,
+                    });
+                    Effects::sent(vec![(owner, request)])
+                }
+            },
+            ClientOp::WriteNonblocking(loc, value) => {
+                match self.state.begin_write_nonblocking(*loc, value.clone()) {
+                    causal_dsm::WriteStep::Done { wid } => Effects::done(
+                        Outcome::Wrote { wid, applied: true },
+                        Some(OpRecord::write(*loc, value.clone(), wid)),
+                    ),
+                    causal_dsm::WriteStep::Remote {
+                        owner,
+                        wid,
+                        request,
+                    } => {
+                        self.nonblocking.insert(wid);
+                        Effects {
+                            outgoing: vec![(owner, request)],
+                            completion: Some(Completion {
+                                outcome: Outcome::Wrote { wid, applied: true },
+                                record: Some(OpRecord::write(*loc, value.clone(), wid)),
+                            }),
+                        }
+                    }
+                }
+            }
+            ClientOp::Discard(loc) => {
+                self.state.discard(*loc);
+                Effects::done(Outcome::Discarded, None)
+            }
+            ClientOp::WaitUntil(..) => unreachable!("scheduler decomposes waits"),
+        }
+    }
+
+    fn deliver(&mut self, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        if msg.is_request() {
+            let reply = self
+                .state
+                .serve(from, msg)
+                .expect("requests always produce replies");
+            return Effects::sent(vec![(from, reply)]);
+        }
+        if let causal_dsm::Msg::WriteReply { wid, .. } = &msg {
+            if self.nonblocking.remove(wid) {
+                self.state.absorb_write_reply(msg);
+                return Effects {
+                    outgoing: Vec::new(),
+                    completion: None,
+                };
+            }
+        }
+        match self.pending.take() {
+            Some(CausalPending::Read { loc }) => {
+                let (value, wid) = self.state.finish_read(loc, msg);
+                Effects::done(
+                    Outcome::Read {
+                        value: value.clone(),
+                        wid,
+                    },
+                    Some(OpRecord::read(loc, value, wid)),
+                )
+            }
+            Some(CausalPending::Write { loc, value, wid }) => {
+                let done = self.state.finish_write(value.clone(), wid, msg);
+                Effects::done(
+                    Outcome::Wrote {
+                        wid: done.wid(),
+                        applied: done.is_applied(),
+                    },
+                    Some(OpRecord::write(loc, value, done.wid())),
+                )
+            }
+            None => panic!("reply with no outstanding operation"),
+        }
+    }
+
+    fn authority(&self, loc: Location) -> NodeId {
+        use memcore::OwnerMap as _;
+        self.state.config().owners().owner_of(loc)
+    }
+
+    fn peek(&self, loc: Location) -> Option<V> {
+        self.state.peek(loc).map(|(v, _)| v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomic baseline
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum AtomicPending<V> {
+    Read {
+        loc: Location,
+    },
+    RemoteWrite {
+        loc: Location,
+        value: V,
+        wid: WriteId,
+    },
+    LocalWrite {
+        loc: Location,
+        value: V,
+        wid: WriteId,
+    },
+}
+
+/// [`Actor`] over the atomic baseline's
+/// [`AtomicState`](atomic_dsm::AtomicState).
+#[derive(Clone, Debug)]
+pub struct AtomicActor<V> {
+    state: atomic_dsm::AtomicState<V>,
+    pending: Option<AtomicPending<V>>,
+}
+
+impl<V: Value> AtomicActor<V> {
+    /// Wraps a node's protocol state.
+    #[must_use]
+    pub fn new(state: atomic_dsm::AtomicState<V>) -> Self {
+        AtomicActor {
+            state,
+            pending: None,
+        }
+    }
+
+    /// The wrapped protocol state (inspection).
+    #[must_use]
+    pub fn state(&self) -> &atomic_dsm::AtomicState<V> {
+        &self.state
+    }
+}
+
+impl<V: Value> Actor<V> for AtomicActor<V> {
+    type Msg = atomic_dsm::AMsg<V>;
+
+    fn id(&self) -> NodeId {
+        self.state.id()
+    }
+
+    fn submit(&mut self, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
+        assert!(self.pending.is_none(), "one outstanding op per node");
+        match op {
+            ClientOp::Read(loc) | ClientOp::ReadFresh(loc) => {
+                if matches!(op, ClientOp::ReadFresh(_)) {
+                    self.state.discard(*loc);
+                }
+                match self.state.begin_read(*loc) {
+                    atomic_dsm::AReadStep::Hit { value, wid } => Effects::done(
+                        Outcome::Read {
+                            value: value.clone(),
+                            wid,
+                        },
+                        Some(OpRecord::read(*loc, value, wid)),
+                    ),
+                    atomic_dsm::AReadStep::Miss { owner, request } => {
+                        self.pending = Some(AtomicPending::Read { loc: *loc });
+                        Effects::sent(vec![(owner, request)])
+                    }
+                }
+            }
+            ClientOp::Write(loc, value) | ClientOp::WriteNonblocking(loc, value) => {
+                match self.state.begin_write(*loc, value.clone()) {
+                    atomic_dsm::AWriteStep::Done { wid, outgoing } => Effects {
+                        outgoing,
+                        completion: Some(Completion {
+                            outcome: Outcome::Wrote { wid, applied: true },
+                            record: Some(OpRecord::write(*loc, value.clone(), wid)),
+                        }),
+                    },
+                    atomic_dsm::AWriteStep::Blocked { wid, outgoing } => {
+                        self.pending = Some(AtomicPending::LocalWrite {
+                            loc: *loc,
+                            value: value.clone(),
+                            wid,
+                        });
+                        Effects::sent(outgoing)
+                    }
+                    atomic_dsm::AWriteStep::Remote {
+                        wid,
+                        owner,
+                        request,
+                    } => {
+                        self.pending = Some(AtomicPending::RemoteWrite {
+                            loc: *loc,
+                            value: value.clone(),
+                            wid,
+                        });
+                        Effects::sent(vec![(owner, request)])
+                    }
+                }
+            }
+            ClientOp::Discard(loc) => {
+                self.state.discard(*loc);
+                Effects::done(Outcome::Discarded, None)
+            }
+            ClientOp::WaitUntil(..) => unreachable!("scheduler decomposes waits"),
+        }
+    }
+
+    fn deliver(&mut self, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        match msg {
+            atomic_dsm::AMsg::ReadReply { .. } => {
+                let Some(AtomicPending::Read { loc }) = self.pending.take() else {
+                    panic!("read reply with no outstanding read");
+                };
+                let (value, wid) = self.state.finish_read(loc, msg);
+                Effects::done(
+                    Outcome::Read {
+                        value: value.clone(),
+                        wid,
+                    },
+                    Some(OpRecord::read(loc, value, wid)),
+                )
+            }
+            atomic_dsm::AMsg::WriteReply { .. } => {
+                let Some(AtomicPending::RemoteWrite { loc, value, wid }) = self.pending.take()
+                else {
+                    panic!("write reply with no outstanding remote write");
+                };
+                let confirmed = self.state.finish_write(msg);
+                debug_assert_eq!(confirmed, wid);
+                Effects::done(
+                    Outcome::Wrote { wid, applied: true },
+                    Some(OpRecord::write(loc, value, wid)),
+                )
+            }
+            other => {
+                let transition = self.state.on_message(from, other);
+                let completion = transition.local_write_done.map(|wid| {
+                    let Some(AtomicPending::LocalWrite {
+                        loc,
+                        value,
+                        wid: pw,
+                    }) = self.pending.take()
+                    else {
+                        panic!("local write done with no blocked local write");
+                    };
+                    debug_assert_eq!(pw, wid);
+                    Completion {
+                        outcome: Outcome::Wrote { wid, applied: true },
+                        record: Some(OpRecord::write(loc, value, wid)),
+                    }
+                });
+                Effects {
+                    outgoing: transition.outgoing,
+                    completion,
+                }
+            }
+        }
+    }
+
+    fn authority(&self, loc: Location) -> NodeId {
+        use memcore::OwnerMap as _;
+        self.state.config().owners().owner_of(loc)
+    }
+
+    fn peek(&self, loc: Location) -> Option<V> {
+        self.state.peek(loc).map(|(v, _)| v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Causal broadcast replica
+// ---------------------------------------------------------------------
+
+/// [`Actor`] over the broadcast replica's
+/// [`BroadcastState`](broadcast_mem::BroadcastState). Never blocks.
+#[derive(Debug)]
+pub struct BroadcastActor<V> {
+    state: broadcast_mem::BroadcastState<V>,
+}
+
+impl<V: Value> BroadcastActor<V> {
+    /// Wraps a node's replica state.
+    #[must_use]
+    pub fn new(state: broadcast_mem::BroadcastState<V>) -> Self {
+        BroadcastActor { state }
+    }
+
+    /// The wrapped replica state (inspection).
+    #[must_use]
+    pub fn state(&self) -> &broadcast_mem::BroadcastState<V> {
+        &self.state
+    }
+}
+
+impl<V: Value> Actor<V> for BroadcastActor<V> {
+    type Msg = broadcast_mem::BMsg<V>;
+
+    fn id(&self) -> NodeId {
+        self.state.id()
+    }
+
+    fn submit(&mut self, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
+        match op {
+            ClientOp::Read(loc) | ClientOp::ReadFresh(loc) => {
+                let (value, wid) = self.state.read(*loc);
+                Effects::done(
+                    Outcome::Read {
+                        value: value.clone(),
+                        wid,
+                    },
+                    Some(OpRecord::read(*loc, value, wid)),
+                )
+            }
+            ClientOp::Write(loc, value) | ClientOp::WriteNonblocking(loc, value) => {
+                let (wid, outgoing) = self.state.write(*loc, value.clone());
+                Effects {
+                    outgoing,
+                    completion: Some(Completion {
+                        outcome: Outcome::Wrote { wid, applied: true },
+                        record: Some(OpRecord::write(*loc, value.clone(), wid)),
+                    }),
+                }
+            }
+            ClientOp::Discard(_) => Effects::done(Outcome::Discarded, None),
+            ClientOp::WaitUntil(..) => unreachable!("scheduler decomposes waits"),
+        }
+    }
+
+    fn deliver(&mut self, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        self.state.on_message(from, msg);
+        Effects {
+            outgoing: Vec::new(),
+            completion: None,
+        }
+    }
+
+    fn authority(&self, _loc: Location) -> NodeId {
+        // Replication is push-based: a wait is satisfied when the value
+        // reaches *this* replica.
+        self.state.id()
+    }
+
+    fn peek(&self, loc: Location) -> Option<V> {
+        Some(self.state.read(loc).0)
+    }
+}

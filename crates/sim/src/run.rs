@@ -1,0 +1,61 @@
+//! Convenience constructors: one call to stand up a simulated cluster of
+//! each protocol.
+
+use causal_dsm::{CausalConfig, CausalState};
+use memcore::{NodeId, Value};
+
+use crate::actor::{AtomicActor, BroadcastActor, CausalActor};
+use crate::sched::{Sim, SimOpts};
+
+/// A simulated causal-DSM cluster: one [`CausalActor`] per node.
+///
+/// # Examples
+///
+/// ```
+/// use causal_dsm::CausalConfig;
+/// use dsm_sim::{causal_sim, ClientOp, Script, SimOpts};
+/// use memcore::{Location, Word};
+///
+/// let config = CausalConfig::<Word>::builder(2, 2).build();
+/// let mut sim = causal_sim(&config, SimOpts::default());
+/// sim.set_client(0, Script::new(vec![ClientOp::Write(Location::new(0), Word::Int(1))]));
+/// assert!(sim.run_to_completion().all_done);
+/// ```
+#[must_use]
+pub fn causal_sim<V: Value>(config: &CausalConfig<V>, opts: SimOpts<V>) -> Sim<V, CausalActor<V>> {
+    let actors = (0..config.nodes())
+        .map(|i| CausalActor::new(CausalState::new(NodeId::new(i), config.clone())))
+        .collect();
+    Sim::new(actors, opts)
+}
+
+/// A simulated atomic-DSM cluster: one [`AtomicActor`] per node.
+#[must_use]
+pub fn atomic_sim<V: Value>(
+    config: &atomic_dsm::AtomicConfig<V>,
+    opts: SimOpts<V>,
+) -> Sim<V, AtomicActor<V>> {
+    let actors = (0..config.nodes())
+        .map(|i| AtomicActor::new(atomic_dsm::AtomicState::new(NodeId::new(i), config.clone())))
+        .collect();
+    Sim::new(actors, opts)
+}
+
+/// A simulated causal-broadcast replica cluster.
+#[must_use]
+pub fn broadcast_sim<V: Value + Default>(
+    nodes: u32,
+    locations: u32,
+    opts: SimOpts<V>,
+) -> Sim<V, BroadcastActor<V>> {
+    let actors = (0..nodes)
+        .map(|i| {
+            BroadcastActor::new(broadcast_mem::BroadcastState::new(
+                NodeId::new(i),
+                nodes as usize,
+                locations,
+            ))
+        })
+        .collect();
+    Sim::new(actors, opts)
+}

@@ -1,0 +1,435 @@
+//! The deterministic discrete-event scheduler.
+//!
+//! One event queue drives every node's protocol actor and client program:
+//! client steps, message deliveries (with per-link FIFO preserved under
+//! arbitrary latency models), and wait polling. All nondeterminism comes
+//! from the seeded latency RNG, so every run is replayable — this is what
+//! the property tests lean on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use memcore::{NetStats, NodeId, Recorder, Value};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simnet::latency::{Constant, LatencyModel};
+use simnet::Tagged;
+
+use crate::actor::{Actor, Completion};
+use crate::client::{Client, ClientOp, Outcome, Pred};
+
+/// How [`ClientOp::WaitUntil`] re-reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Re-read only once the authoritative copy satisfies the predicate:
+    /// exactly one successful fetch per wait, the "ideal signaling" the
+    /// paper's §4.1 message counts assume.
+    IdealSignal,
+    /// Honest polling: discard + re-read every `interval` time units until
+    /// satisfied. Reproduces the real cost of spinning on a DSM.
+    Poll {
+        /// Time units between polls.
+        interval: u64,
+    },
+}
+
+/// Limits for one [`Sim::run`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Stop after this many events (guards against runaway programs).
+    pub max_events: u64,
+    /// Stop once simulated time passes this value.
+    pub max_time: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_events: 10_000_000,
+            max_time: u64::MAX,
+        }
+    }
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimReport {
+    /// Final simulated time (makespan).
+    pub time: u64,
+    /// Events processed.
+    pub events: u64,
+    /// `true` iff every client ran to completion.
+    pub all_done: bool,
+    /// Nodes left waiting or mid-operation when the run stopped.
+    pub stuck_nodes: Vec<usize>,
+}
+
+enum EventKind<M> {
+    Step { node: usize },
+    Deliver { src: NodeId, dst: NodeId, msg: M },
+    PollWait { node: usize },
+}
+
+struct Wait<V> {
+    loc: memcore::Location,
+    pred: Pred<V>,
+    in_flight: bool,
+}
+
+/// Options for constructing a [`Sim`].
+pub struct SimOpts<V> {
+    /// Link latency model (default: constant 1).
+    pub latency: Box<dyn LatencyModel + Send>,
+    /// Seed for the latency RNG.
+    pub seed: u64,
+    /// Wait re-read policy.
+    pub wait_mode: WaitMode,
+    /// Operation recorder for specification checking.
+    pub recorder: Option<Recorder<V>>,
+}
+
+impl<V> Default for SimOpts<V> {
+    fn default() -> Self {
+        SimOpts {
+            latency: Box::new(Constant::new(1)),
+            seed: 0,
+            wait_mode: WaitMode::IdealSignal,
+            recorder: None,
+        }
+    }
+}
+
+/// A deterministic simulation of `n` protocol nodes and their client
+/// programs.
+///
+/// # Examples
+///
+/// ```
+/// use causal_dsm::{CausalConfig, CausalState};
+/// use dsm_sim::{CausalActor, ClientOp, Script, Sim, SimOpts};
+/// use memcore::{Location, NodeId, Word};
+///
+/// let config = CausalConfig::<Word>::builder(2, 2).build();
+/// let actors = (0..2)
+///     .map(|i| CausalActor::new(CausalState::new(NodeId::new(i), config.clone())))
+///     .collect();
+/// let mut sim = Sim::new(actors, SimOpts::default());
+/// sim.set_client(0, Script::new(vec![ClientOp::Write(Location::new(1), Word::Int(5))]));
+/// let report = sim.run_to_completion();
+/// assert!(report.all_done);
+/// // x1 is owned by P1: the write cost one WRITE + one W_REPLY.
+/// assert_eq!(sim.messages().snapshot().total(), 2);
+/// ```
+pub struct Sim<V: Value, A: Actor<V>> {
+    actors: Vec<A>,
+    clients: Vec<Option<Box<dyn Client<V>>>>,
+    last_outcome: Vec<Option<Outcome<V>>>,
+    blocked: Vec<bool>,
+    waits: Vec<Option<Wait<V>>>,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events_by_seq: HashMap<u64, EventKind<A::Msg>>,
+    time: u64,
+    seq: u64,
+    latency: Box<dyn LatencyModel + Send>,
+    link_last: HashMap<(u32, u32), u64>,
+    rng: ChaCha8Rng,
+    stats: NetStats,
+    byte_stats: NetStats,
+    recorder: Option<Recorder<V>>,
+    wait_mode: WaitMode,
+    events_processed: u64,
+}
+
+impl<V: Value, A: Actor<V>> Sim<V, A> {
+    /// Creates a simulation over `actors` (indexed by node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors` is empty.
+    #[must_use]
+    pub fn new(actors: Vec<A>, opts: SimOpts<V>) -> Self {
+        assert!(!actors.is_empty(), "at least one actor required");
+        let n = actors.len();
+        Sim {
+            actors,
+            clients: (0..n).map(|_| None).collect(),
+            last_outcome: (0..n).map(|_| None).collect(),
+            blocked: vec![false; n],
+            waits: (0..n).map(|_| None).collect(),
+            queue: BinaryHeap::new(),
+            events_by_seq: HashMap::new(),
+            time: 0,
+            seq: 0,
+            latency: opts.latency,
+            link_last: HashMap::new(),
+            rng: ChaCha8Rng::seed_from_u64(opts.seed),
+            stats: NetStats::new(n),
+            byte_stats: NetStats::new(n),
+            recorder: opts.recorder,
+            wait_mode: opts.wait_mode,
+            events_processed: 0,
+        }
+    }
+
+    /// Installs `client` as node `node`'s program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_client(&mut self, node: usize, client: impl Client<V> + 'static) {
+        assert!(node < self.actors.len(), "node out of range");
+        self.clients[node] = Some(Box::new(client));
+    }
+
+    /// Per-(node, kind) protocol message counters.
+    #[must_use]
+    pub fn messages(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Per-(node, kind) approximate wire-byte counters (populated for
+    /// payloads reporting a wire size).
+    #[must_use]
+    pub fn bytes(&self) -> &NetStats {
+        &self.byte_stats
+    }
+
+    /// The actor for node `i` (inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn actor(&self, i: usize) -> &A {
+        &self.actors[i]
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Runs with default limits until all clients finish or the queue
+    /// drains.
+    pub fn run_to_completion(&mut self) -> SimReport {
+        self.run(RunLimits::default())
+    }
+
+    /// Runs the event loop.
+    pub fn run(&mut self, limits: RunLimits) -> SimReport {
+        // Kick off every installed client.
+        for node in 0..self.actors.len() {
+            if self.clients[node].is_some() {
+                self.schedule_now(EventKind::Step { node });
+            }
+        }
+
+        while let Some(Reverse((t, seq, _))) = self.queue.pop() {
+            if self.events_processed >= limits.max_events || t > limits.max_time {
+                break;
+            }
+            self.time = t;
+            self.events_processed += 1;
+            let kind = self
+                .events_by_seq
+                .remove(&seq)
+                .expect("scheduled event has a body");
+            match kind {
+                EventKind::Step { node } => self.step_client(node),
+                EventKind::Deliver { src, dst, msg } => self.deliver(src, dst, msg),
+                EventKind::PollWait { node } => self.attempt_wait(node),
+            }
+            // Ideal-signal waits wake on any state change.
+            if self.wait_mode == WaitMode::IdealSignal {
+                self.scan_waits();
+            }
+        }
+
+        let stuck_nodes: Vec<usize> = (0..self.actors.len())
+            .filter(|&i| self.blocked[i] || self.waits[i].is_some())
+            .collect();
+        let all_done = stuck_nodes.is_empty() && self.clients.iter().all(Option::is_none);
+        SimReport {
+            time: self.time,
+            events: self.events_processed,
+            all_done,
+            stuck_nodes,
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, t: u64, kind: EventKind<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events_by_seq.insert(seq, kind);
+        self.queue.push(Reverse((t, seq, 0)));
+    }
+
+    fn schedule_now(&mut self, kind: EventKind<A::Msg>) {
+        let t = self.time;
+        self.schedule(t, kind);
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, msg: A::Msg) {
+        self.stats.record(src, msg.kind());
+        if let Some(size) = msg.wire_size() {
+            self.byte_stats.record_n(src, msg.kind(), size as u64);
+        }
+        let delay = self.latency.sample(&mut self.rng, src, dst).max(1);
+        let key = (src.index() as u32, dst.index() as u32);
+        let at = (self.time + delay).max(self.link_last.get(&key).copied().unwrap_or(0));
+        self.link_last.insert(key, at);
+        self.schedule(at, EventKind::Deliver { src, dst, msg });
+    }
+
+    fn step_client(&mut self, node: usize) {
+        if self.blocked[node] || self.waits[node].is_some() {
+            return; // an outstanding operation will reschedule us
+        }
+        let Some(client) = self.clients[node].as_mut() else {
+            return;
+        };
+        let last = self.last_outcome[node].take();
+        match client.next(last.as_ref()) {
+            None => {
+                self.clients[node] = None;
+            }
+            Some(ClientOp::WaitUntil(loc, pred)) => {
+                self.waits[node] = Some(Wait {
+                    loc,
+                    pred,
+                    in_flight: false,
+                });
+                match self.wait_mode {
+                    WaitMode::IdealSignal => {
+                        if self.oracle_satisfied(node) {
+                            self.attempt_wait(node);
+                        }
+                    }
+                    WaitMode::Poll { .. } => self.attempt_wait(node),
+                }
+            }
+            Some(op) => {
+                let effects = self.actors[node].submit(&op);
+                self.dispatch_submit(node, effects.outgoing, effects.completion);
+            }
+        }
+    }
+
+    /// Effects of an application submit: no completion means the node's
+    /// operation is in flight.
+    fn dispatch_submit(
+        &mut self,
+        node: usize,
+        outgoing: Vec<(NodeId, A::Msg)>,
+        completion: Option<Completion<V>>,
+    ) {
+        let me = self.actors[node].id();
+        for (dst, msg) in outgoing {
+            self.send(me, dst, msg);
+        }
+        match completion {
+            Some(c) => self.complete(node, c),
+            None => self.blocked[node] = true,
+        }
+    }
+
+    /// Effects of a message delivery: a node serving others stays
+    /// unblocked; only an explicit completion touches its own operation.
+    fn dispatch_deliver(
+        &mut self,
+        node: usize,
+        outgoing: Vec<(NodeId, A::Msg)>,
+        completion: Option<Completion<V>>,
+    ) {
+        let me = self.actors[node].id();
+        for (dst, msg) in outgoing {
+            self.send(me, dst, msg);
+        }
+        if let Some(c) = completion {
+            self.complete(node, c);
+        }
+    }
+
+    fn complete(&mut self, node: usize, completion: Completion<V>) {
+        self.blocked[node] = false;
+        if let (Some(rec), Some(record)) = (&self.recorder, completion.record) {
+            rec.record(self.actors[node].id(), record);
+        }
+        if let Some(wait) = self.waits[node].as_mut() {
+            wait.in_flight = false;
+            let satisfied = match &completion.outcome {
+                Outcome::Read { value, .. } => (wait.pred)(value),
+                _ => false,
+            };
+            if satisfied {
+                self.waits[node] = None;
+                self.last_outcome[node] = Some(completion.outcome);
+                self.schedule_now(EventKind::Step { node });
+            } else if let WaitMode::Poll { interval } = self.wait_mode {
+                let at = self.time + interval;
+                self.schedule(at, EventKind::PollWait { node });
+            }
+            // IdealSignal: stay parked; the post-event scan retries.
+            return;
+        }
+        self.last_outcome[node] = Some(completion.outcome);
+        self.schedule_now(EventKind::Step { node });
+    }
+
+    fn deliver(&mut self, src: NodeId, dst: NodeId, msg: A::Msg) {
+        let node = dst.index();
+        let effects = self.actors[node].deliver(src, msg);
+        self.dispatch_deliver(node, effects.outgoing, effects.completion);
+    }
+
+    /// Does the authoritative copy of the waited location satisfy the
+    /// predicate right now?
+    fn oracle_satisfied(&self, node: usize) -> bool {
+        let Some(wait) = &self.waits[node] else {
+            return false;
+        };
+        let authority = self.actors[node].authority(wait.loc);
+        self.actors[authority.index()]
+            .peek(wait.loc)
+            .is_some_and(|v| (wait.pred)(&v))
+    }
+
+    /// Issue the discard + read of an active wait.
+    fn attempt_wait(&mut self, node: usize) {
+        let Some(wait) = self.waits[node].as_mut() else {
+            return;
+        };
+        if wait.in_flight || self.blocked[node] {
+            return;
+        }
+        wait.in_flight = true;
+        let loc = wait.loc;
+        self.actors[node].submit(&ClientOp::Discard(loc));
+        let effects = self.actors[node].submit(&ClientOp::Read(loc));
+        self.dispatch_submit(node, effects.outgoing, effects.completion);
+    }
+
+    fn scan_waits(&mut self) {
+        for node in 0..self.actors.len() {
+            if self.waits[node].as_ref().is_some_and(|w| !w.in_flight)
+                && !self.blocked[node]
+                && self.oracle_satisfied(node)
+            {
+                self.attempt_wait(node);
+            }
+        }
+    }
+}
+
+impl<V: Value, A: Actor<V>> std::fmt::Debug for Sim<V, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("nodes", &self.actors.len())
+            .field("time", &self.time)
+            .field("events", &self.events_processed)
+            .finish()
+    }
+}

@@ -1,0 +1,283 @@
+//! Protocol-level witnesses for the paper's separation figures.
+//!
+//! * [`figure3_broadcast_witness`] — drives the causal-*broadcast* memory
+//!   under an adversarial (but causally legal) delivery schedule that
+//!   reproduces Figure 3 exactly: proof that causal broadcasting admits an
+//!   execution causal memory forbids.
+//! * [`figure5_owner_witness`] — drives the causal *owner protocol* under
+//!   a schedule that reproduces Figure 5 exactly: proof that the
+//!   implementation admits a weakly consistent (non-SC) execution.
+//!
+//! Both return the recorded [`Execution`] so callers can run the
+//! specification checkers over them.
+
+use broadcast_mem::BroadcastState;
+use causal_dsm::{CausalConfig, CausalState, ReadStep, WriteStep};
+use causal_spec::Execution;
+use memcore::{ExplicitOwners, Location, NodeId, OpRecord, Value, Word};
+
+fn read_record<V: Value>(state: &BroadcastState<V>, loc: Location) -> OpRecord<V> {
+    let (value, wid) = state.read(loc);
+    OpRecord::read(loc, value, wid)
+}
+
+/// Reproduces Figure 3 on the causal-broadcast memory.
+///
+/// Schedule (x=0, y=1, z=2):
+///
+/// 1. `P1` writes `x=5` then `y=3`; `P2` writes `x=2` before receiving
+///    anything.
+/// 2. At `P2`, `P1`'s updates arrive after its own write: `x` ends at 5;
+///    `P2` reads `y=3`, `x=5`, writes `z=4`.
+/// 3. At `P3`, the concurrent writes of `x` are delivered in the *other*
+///    order (`x=5` then `x=2` — legal, they are concurrent), then `y=3`
+///    and `z=4`; `P3` reads `z=4` then `x=2`.
+///
+/// The returned execution is exactly Figure 3 and must be rejected by
+/// [`causal_spec::check_causal`].
+///
+/// # Panics
+///
+/// Panics if the delivery schedule does not produce the figure's values —
+/// which would indicate a bug in the broadcast memory.
+#[must_use]
+pub fn figure3_broadcast_witness() -> Execution<Word> {
+    let p = |i: u32| NodeId::new(i);
+    let (x, y, z) = (Location::new(0), Location::new(1), Location::new(2));
+    let mut p1 = BroadcastState::<Word>::new(p(0), 3, 3);
+    let mut p2 = BroadcastState::<Word>::new(p(1), 3, 3);
+    let mut p3 = BroadcastState::<Word>::new(p(2), 3, 3);
+    let mut ops: Vec<Vec<OpRecord<Word>>> = vec![Vec::new(); 3];
+
+    let take = |outgoing: Vec<(NodeId, broadcast_mem::BMsg<Word>)>, dst: NodeId| {
+        outgoing
+            .into_iter()
+            .find(|(d, _)| *d == dst)
+            .map(|(_, m)| m)
+            .expect("broadcast reaches every other node")
+    };
+
+    // P1: w(x)5 w(y)3.
+    let (w_x5, out_x5) = p1.write(x, Word::Int(5));
+    ops[0].push(OpRecord::write(x, Word::Int(5), w_x5));
+    let (w_y3, out_y3) = p1.write(y, Word::Int(3));
+    ops[0].push(OpRecord::write(y, Word::Int(3), w_y3));
+
+    // P2: w(x)2 before receiving anything.
+    let (w_x2, out_x2) = p2.write(x, Word::Int(2));
+    ops[1].push(OpRecord::write(x, Word::Int(2), w_x2));
+
+    // P1's updates reach P2 (in order): x ends at 5 there.
+    let m = take(out_x5.clone(), p(1));
+    p2.on_message(p(0), m);
+    let m = take(out_y3.clone(), p(1));
+    p2.on_message(p(0), m);
+
+    // P2: r(y)3 r(x)5 w(z)4.
+    ops[1].push(read_record(&p2, y));
+    ops[1].push(read_record(&p2, x));
+    assert_eq!(p2.read(x).0, Word::Int(5), "schedule must yield r2(x)5");
+    let (w_z4, out_z4) = p2.write(z, Word::Int(4));
+    ops[1].push(OpRecord::write(z, Word::Int(4), w_z4));
+
+    // At P3: deliver x5 first, then the concurrent x2 (so x ends at 2),
+    // then y3, then z4 (deliverable only now — causal order held).
+    let m = take(out_x5, p(2));
+    p3.on_message(p(0), m);
+    let m = take(out_x2, p(2));
+    p3.on_message(p(1), m);
+    let m = take(out_y3, p(2));
+    p3.on_message(p(0), m);
+    let m = take(out_z4, p(2));
+    assert_eq!(p3.on_message(p(1), m), 1, "z4 deliverable after its causes");
+
+    // P3: r(z)4 r(x)2.
+    ops[2].push(read_record(&p3, z));
+    ops[2].push(read_record(&p3, x));
+    assert_eq!(p3.read(z).0, Word::Int(4));
+    assert_eq!(p3.read(x).0, Word::Int(2), "schedule must yield r3(x)2");
+
+    Execution::from_processes(ops)
+}
+
+/// Reproduces Figure 5 on the causal **owner protocol** with
+/// `P1 = owner(x)`, `P2 = owner(y)`, returning the recorded execution and
+/// the number of protocol messages used.
+///
+/// Each process first caches the other's location (reading 0), then
+/// writes its own location locally, then re-reads the cached 0 — the
+/// weakly consistent outcome no sequentially consistent memory allows.
+///
+/// # Panics
+///
+/// Panics if the protocol does not produce the figure's values.
+#[must_use]
+pub fn figure5_owner_witness() -> (Execution<Word>, u64) {
+    let p = |i: u32| NodeId::new(i);
+    let (x, y) = (Location::new(0), Location::new(1));
+    // Round-robin with 2 nodes: P0 owns x (loc 0), P1 owns y (loc 1).
+    let config = CausalConfig::<Word>::builder(2, 2)
+        .owners(ExplicitOwners::new(2, 1, vec![p(0), p(1)]))
+        .build();
+    let mut p0 = CausalState::new(p(0), config.clone());
+    let mut p1 = CausalState::new(p(1), config);
+    let mut ops: Vec<Vec<OpRecord<Word>>> = vec![Vec::new(); 2];
+    let mut messages = 0u64;
+
+    // P0: r(y)0 — miss, fetch from P1.
+    let ReadStep::Miss { request, .. } = p0.begin_read(y) else {
+        panic!("y is not owned by P0");
+    };
+    let reply = p1.serve(p(0), request).expect("serve read");
+    messages += 2;
+    let (v, wid) = p0.finish_read(y, reply);
+    assert_eq!(v, Word::Zero);
+    ops[0].push(OpRecord::read(y, v, wid));
+
+    // P1: r(x)0 — miss, fetch from P0.
+    let ReadStep::Miss { request, .. } = p1.begin_read(x) else {
+        panic!("x is not owned by P1");
+    };
+    let reply = p0.serve(p(1), request).expect("serve read");
+    messages += 2;
+    let (v, wid) = p1.finish_read(x, reply);
+    assert_eq!(v, Word::Zero);
+    ops[1].push(OpRecord::read(x, v, wid));
+
+    // P0: w(x)1 (local); P1: w(y)1 (local).
+    let WriteStep::Done { wid } = p0.begin_write(x, Word::Int(1)) else {
+        panic!("P0 owns x");
+    };
+    ops[0].push(OpRecord::write(x, Word::Int(1), wid));
+    let WriteStep::Done { wid } = p1.begin_write(y, Word::Int(1)) else {
+        panic!("P1 owns y");
+    };
+    ops[1].push(OpRecord::write(y, Word::Int(1), wid));
+
+    // P0: r(y)0 from cache; P1: r(x)0 from cache.
+    let ReadStep::Hit { value, wid } = p0.begin_read(y) else {
+        panic!("y must be cached at P0");
+    };
+    assert_eq!(value, Word::Zero, "weakly consistent read of y");
+    ops[0].push(OpRecord::read(y, value, wid));
+    let ReadStep::Hit { value, wid } = p1.begin_read(x) else {
+        panic!("x must be cached at P1");
+    };
+    assert_eq!(value, Word::Zero, "weakly consistent read of x");
+    ops[1].push(OpRecord::read(x, value, wid));
+
+    (Execution::from_processes(ops), messages)
+}
+
+/// Outcome of the §4.2 dictionary conflict scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DictionaryConflict {
+    /// Whether the stale delete was applied at the owner.
+    pub delete_applied: bool,
+    /// The value left in the contested slot at the owner.
+    pub final_value: Word,
+}
+
+/// Replays the paper's §4.2 conflict under a chosen write policy.
+///
+/// `P0` owns the slot. It inserts item 10; `P1` reads it (so the delete
+/// satisfies R2); `P0` then deletes 10 and re-inserts item 20 in the same
+/// slot; `P1`, which has seen none of that, issues its delete of 10 —
+/// a write of `λ` *concurrent* with the owner's insert of 20.
+///
+/// Under [`WritePolicy::OwnerFavored`](causal_dsm::WritePolicy) the stale
+/// delete is rejected and 20 survives ("the delete will be rejected and
+/// the dictionary remains correct"); under
+/// [`WritePolicy::LastArrival`](causal_dsm::WritePolicy) it erases the
+/// re-inserted item — the failure mode the policy exists to prevent.
+///
+/// # Panics
+///
+/// Panics if the protocol misbehaves structurally (wrong owner, missing
+/// replies).
+#[must_use]
+pub fn dictionary_conflict_witness(policy: causal_dsm::WritePolicy) -> DictionaryConflict {
+    let p = |i: u32| NodeId::new(i);
+    let slot = Location::new(0);
+    let config = CausalConfig::<Word>::builder(2, 1)
+        .owners(ExplicitOwners::new(2, 1, vec![p(0)]))
+        .policy(policy)
+        .build();
+    let mut p0 = CausalState::new(p(0), config.clone());
+    let mut p1 = CausalState::new(p(1), config);
+
+    // P0 inserts item 10 (owner-local write).
+    assert!(matches!(
+        p0.begin_write(slot, Word::Int(10)),
+        WriteStep::Done { .. }
+    ));
+
+    // P1 looks 10 up: remote read, caches the slot.
+    let ReadStep::Miss { request, .. } = p1.begin_read(slot) else {
+        panic!("P1 does not own the slot");
+    };
+    let reply = p0.serve(p(1), request).expect("serve read");
+    let (seen, _) = p1.finish_read(slot, reply);
+    assert_eq!(seen, Word::Int(10));
+
+    // P0 deletes 10 and re-inserts 20 — both local; P1 learns nothing.
+    assert!(matches!(
+        p0.begin_write(slot, Word::Zero),
+        WriteStep::Done { .. }
+    ));
+    assert!(matches!(
+        p0.begin_write(slot, Word::Int(20)),
+        WriteStep::Done { .. }
+    ));
+
+    // P1's stale delete of 10: a remote write of λ, concurrent with the
+    // owner's re-insert.
+    let WriteStep::Remote { wid, request, .. } = p1.begin_write(slot, Word::Zero) else {
+        panic!("P1 does not own the slot");
+    };
+    let reply = p0.serve(p(1), request).expect("serve write");
+    let done = p1.finish_write(Word::Zero, wid, reply);
+
+    DictionaryConflict {
+        delete_applied: done.is_applied(),
+        final_value: *p0.peek(slot).expect("owner holds the slot").0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_spec::{check_causal, check_sequential, ScVerdict};
+
+    #[test]
+    fn figure3_witness_is_rejected_by_the_causal_checker() {
+        let exec = figure3_broadcast_witness();
+        let report = check_causal(&exec).unwrap();
+        assert!(!report.is_correct(), "broadcast memory ≠ causal memory");
+        // The violation is exactly the paper's: P3's read of x returning 2.
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.read.process, 2);
+        assert_eq!(v.read.index, 1);
+    }
+
+    #[test]
+    fn figure5_witness_is_causal_but_not_sc() {
+        let (exec, messages) = figure5_owner_witness();
+        assert!(check_causal(&exec).unwrap().is_correct());
+        assert_eq!(check_sequential(&exec), ScVerdict::Inconsistent);
+        // Only the two initial fetches crossed the network.
+        assert_eq!(messages, 4);
+    }
+
+    #[test]
+    fn owner_favored_policy_saves_the_dictionary() {
+        let good = dictionary_conflict_witness(causal_dsm::WritePolicy::OwnerFavored);
+        assert!(!good.delete_applied);
+        assert_eq!(good.final_value, Word::Int(20));
+
+        let bad = dictionary_conflict_witness(causal_dsm::WritePolicy::LastArrival);
+        assert!(bad.delete_applied);
+        assert_eq!(bad.final_value, Word::Zero, "re-inserted item erased");
+    }
+}

@@ -1,0 +1,391 @@
+//! A small length-prefixed wire format.
+//!
+//! Protocol messages in this workspace are Rust enums moved over in-process
+//! channels, but their *encoded size* matters for the overhead ablations
+//! (vector timestamps grow with `n`; pages grow with the page size). This
+//! module gives every message a realistic byte representation: fixed-width
+//! big-endian integers, length-prefixed sequences, and a one-byte
+//! discriminant for enums.
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::BytesMut;
+//! use simnet::codec::Wire;
+//!
+//! let mut buf = BytesMut::new();
+//! 42u64.encode(&mut buf);
+//! vec![1u64, 2, 3].encode(&mut buf);
+//! let mut bytes = buf.freeze();
+//! assert_eq!(u64::decode(&mut bytes)?, 42);
+//! assert_eq!(Vec::<u64>::decode(&mut bytes)?, vec![1, 2, 3]);
+//! # Ok::<(), simnet::codec::CodecError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failed: the buffer was truncated or held an invalid
+/// discriminant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Fewer bytes remained than the type requires.
+    Truncated,
+    /// An enum discriminant byte was not a known variant.
+    BadDiscriminant(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "buffer truncated"),
+            CodecError::BadDiscriminant(d) => write!(f, "unknown discriminant {d}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Types with a wire representation.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes a value from the front of `buf`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the buffer is truncated or malformed.
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+
+    /// The encoded size in bytes.
+    fn encoded_len(&self) -> usize {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($t:ty, $put:ident, $get:ident, $len:expr) => {
+        impl Wire for $t {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+                if buf.remaining() < $len {
+                    return Err(CodecError::Truncated);
+                }
+                Ok(buf.$get())
+            }
+            fn encoded_len(&self) -> usize {
+                $len
+            }
+        }
+    };
+}
+
+impl_wire_int!(u8, put_u8, get_u8, 1);
+impl_wire_int!(u32, put_u32, get_u32, 4);
+impl_wire_int!(u64, put_u64, get_u64, 8);
+impl_wire_int!(i64, put_i64, get_i64, 8);
+impl_wire_int!(f64, put_f64, get_f64, 8);
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+impl Wire for memcore::NodeId {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.index() as u32).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(memcore::NodeId::new(u32::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for memcore::Location {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.index() as u32).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(memcore::Location::new(u32::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for memcore::PageId {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.index() as u32).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(memcore::PageId::new(u32::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for memcore::WriteId {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self.writer() {
+            Some(node) => {
+                (node.index() as u32).encode(buf);
+                self.seq().encode(buf);
+            }
+            None => {
+                u32::MAX.encode(buf);
+                self.seq().encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let writer = u32::decode(buf)?;
+        let seq = u64::decode(buf)?;
+        if writer == u32::MAX {
+            Ok(memcore::WriteId::initial(memcore::Location::new(
+                seq as u32,
+            )))
+        } else {
+            Ok(memcore::WriteId::new(memcore::NodeId::new(writer), seq))
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        12
+    }
+}
+
+impl Wire for vclock::VectorClock {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.as_slice().to_vec().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(vclock::VectorClock::from(Vec::<u64>::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        4 + 8 * self.len()
+    }
+}
+
+impl Wire for memcore::Word {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            memcore::Word::Zero => buf.put_u8(0),
+            memcore::Word::Int(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+            memcore::Word::Bool(v) => {
+                buf.put_u8(2);
+                v.encode(buf);
+            }
+            memcore::Word::Float(v) => {
+                buf.put_u8(3);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(memcore::Word::Zero),
+            1 => Ok(memcore::Word::Int(i64::decode(buf)?)),
+            2 => Ok(memcore::Word::Bool(bool::decode(buf)?)),
+            3 => Ok(memcore::Word::Float(f64::decode(buf)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+/// Encodes a value into a fresh frame with a `u32` length prefix.
+pub fn frame<T: Wire>(value: &T) -> Bytes {
+    let mut body = BytesMut::new();
+    value.encode(&mut body);
+    let mut framed = BytesMut::with_capacity(4 + body.len());
+    (body.len() as u32).encode(&mut framed);
+    framed.extend_from_slice(&body);
+    framed.freeze()
+}
+
+/// Decodes a length-prefixed frame produced by [`frame`].
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if the frame is truncated or the body is
+/// malformed.
+pub fn deframe<T: Wire>(bytes: &mut Bytes) -> Result<T, CodecError> {
+    let len = u32::decode(bytes)? as usize;
+    if bytes.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let mut body = bytes.split_to(len);
+    T::decode(&mut body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let mut buf = BytesMut::new();
+        value.encode(&mut buf);
+        assert_eq!(buf.len(), value.encoded_len());
+        let mut bytes = buf.freeze();
+        assert_eq!(T::decode(&mut bytes).unwrap(), value);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(123456u32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(3.25f64);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u32>::new());
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip((5u32, true));
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let mut bytes = Bytes::from_static(&[0, 0]);
+        assert_eq!(u32::decode(&mut bytes), Err(CodecError::Truncated));
+        let mut empty = Bytes::new();
+        assert_eq!(bool::decode(&mut empty), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_discriminants_error() {
+        let mut bytes = Bytes::from_static(&[7]);
+        assert_eq!(
+            bool::decode(&mut bytes),
+            Err(CodecError::BadDiscriminant(7))
+        );
+        let mut bytes = Bytes::from_static(&[9, 0, 0, 0, 0]);
+        assert_eq!(
+            Option::<u32>::decode(&mut bytes),
+            Err(CodecError::BadDiscriminant(9))
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_detect_truncation() {
+        let framed = frame(&vec![1u64, 2]);
+        let mut bytes = framed.clone();
+        assert_eq!(deframe::<Vec<u64>>(&mut bytes).unwrap(), vec![1, 2]);
+
+        let mut cut = framed.slice(0..framed.len() - 1);
+        assert_eq!(deframe::<Vec<u64>>(&mut cut), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn vector_clock_sized_payload_grows_with_n() {
+        // A vector timestamp over n processes costs 4 + 8n bytes on the
+        // wire — the quantity the overhead ablation reports.
+        let vt_4 = vec![0u64; 4];
+        let vt_16 = vec![0u64; 16];
+        assert_eq!(vt_4.encoded_len(), 4 + 8 * 4);
+        assert_eq!(vt_16.encoded_len(), 4 + 8 * 16);
+    }
+
+    #[test]
+    fn domain_types_round_trip() {
+        round_trip(memcore::NodeId::new(7));
+        round_trip(memcore::Location::new(123));
+        round_trip(memcore::PageId::new(9));
+        round_trip(memcore::WriteId::new(memcore::NodeId::new(1), 44));
+        round_trip(memcore::WriteId::initial(memcore::Location::new(3)));
+        round_trip(vclock::VectorClock::from([0u64, 5, 2]));
+        round_trip(memcore::Word::Zero);
+        round_trip(memcore::Word::Int(-7));
+        round_trip(memcore::Word::Bool(true));
+        round_trip(memcore::Word::Float(2.5));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(CodecError::Truncated.to_string(), "buffer truncated");
+        assert_eq!(
+            CodecError::BadDiscriminant(3).to_string(),
+            "unknown discriminant 3"
+        );
+    }
+}

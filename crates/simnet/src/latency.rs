@@ -1,0 +1,182 @@
+//! Link latency models for the deterministic simulator.
+//!
+//! The paper's argument for causal memory is that DSM implementations must
+//! live with *high-latency* links; the simulator quantifies that by running
+//! the same protocols under these models. All models are deterministic
+//! given the caller's RNG, and the simulator enforces per-link FIFO on top
+//! of whatever delays a model produces.
+
+use std::collections::HashMap;
+
+use memcore::NodeId;
+use rand::Rng;
+
+/// Produces a one-way delay (in simulated time units) for a message.
+pub trait LatencyModel: Send {
+    /// Samples the delay for a message from `src` to `dst`.
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, src: NodeId, dst: NodeId) -> u64;
+}
+
+/// Every message takes exactly `delay` units.
+///
+/// # Examples
+///
+/// ```
+/// use memcore::NodeId;
+/// use simnet::latency::{Constant, LatencyModel};
+///
+/// let mut model = Constant::new(10);
+/// let mut rng = rand::thread_rng();
+/// assert_eq!(model.sample(&mut rng, NodeId::new(0), NodeId::new(1)), 10);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Constant {
+    delay: u64,
+}
+
+impl Constant {
+    /// A constant one-way delay.
+    #[must_use]
+    pub fn new(delay: u64) -> Self {
+        Constant { delay }
+    }
+}
+
+impl LatencyModel for Constant {
+    fn sample(&mut self, _rng: &mut dyn rand::RngCore, _src: NodeId, _dst: NodeId) -> u64 {
+        self.delay
+    }
+}
+
+/// Delays drawn uniformly from `[min, max]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Uniform {
+    min: u64,
+    max: u64,
+}
+
+impl Uniform {
+    /// A uniform delay in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn new(min: u64, max: u64) -> Self {
+        assert!(min <= max, "uniform latency needs min <= max");
+        Uniform { min, max }
+    }
+}
+
+impl LatencyModel for Uniform {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, _src: NodeId, _dst: NodeId) -> u64 {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Per-link base delays with optional uniform jitter: models an
+/// asymmetric topology (e.g. two racks with a slow interconnect).
+#[derive(Clone, Debug, Default)]
+pub struct PerLink {
+    base: HashMap<(NodeId, NodeId), u64>,
+    default: u64,
+    jitter: u64,
+}
+
+impl PerLink {
+    /// All links default to `default` with `jitter` units of uniform
+    /// jitter added on top.
+    #[must_use]
+    pub fn new(default: u64, jitter: u64) -> Self {
+        PerLink {
+            base: HashMap::new(),
+            default,
+            jitter,
+        }
+    }
+
+    /// Overrides the base delay of one directed link.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, delay: u64) -> &mut Self {
+        self.base.insert((src, dst), delay);
+        self
+    }
+}
+
+impl LatencyModel for PerLink {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, src: NodeId, dst: NodeId) -> u64 {
+        let base = self.base.get(&(src, dst)).copied().unwrap_or(self.default);
+        if self.jitter == 0 {
+            base
+        } else {
+            base + rng.gen_range(0..=self.jitter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = Constant::new(7);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng, p(0), p(1)), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut m = Uniform::new(5, 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = m.sample(&mut rng, p(0), p(1));
+            assert!((5..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn uniform_rejects_inverted_range() {
+        let _ = Uniform::new(9, 5);
+    }
+
+    #[test]
+    fn per_link_overrides_apply_directionally() {
+        let mut m = PerLink::new(3, 0);
+        m.set_link(p(0), p(1), 50);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(m.sample(&mut rng, p(0), p(1)), 50);
+        assert_eq!(m.sample(&mut rng, p(1), p(0)), 3);
+    }
+
+    #[test]
+    fn per_link_jitter_bounded() {
+        let mut m = PerLink::new(10, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let d = m.sample(&mut rng, p(0), p(1));
+            assert!((10..=14).contains(&d));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let sample_all = |seed: u64| {
+            let mut m = Uniform::new(0, 100);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20)
+                .map(|_| m.sample(&mut rng, p(0), p(1)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample_all(7), sample_all(7));
+        assert_ne!(sample_all(7), sample_all(8));
+    }
+}

@@ -1,0 +1,332 @@
+//! The thread transport: crossbeam-channel mailboxes with FIFO links and
+//! instrumented sends.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use memcore::{NetStats, NodeId};
+use parking_lot::Mutex;
+
+use crate::envelope::{Envelope, Tagged};
+
+/// A send failed because the destination's mailbox was closed.
+///
+/// This only happens during shutdown; the paper's network is reliable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendError {
+    /// The unreachable destination.
+    pub dst: NodeId,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mailbox of {} is closed", self.dst)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+struct Inner<M> {
+    senders: Vec<Sender<Envelope<M>>>,
+    mailboxes: Vec<Mutex<Option<Receiver<Envelope<M>>>>>,
+    msgs: NetStats,
+    bytes: NetStats,
+}
+
+/// A reliable, per-link-FIFO network connecting `n` nodes.
+///
+/// Each node has one mailbox; sends from a given source arrive at a given
+/// destination in send order (crossbeam channels preserve per-producer
+/// order), delivery is reliable until the mailbox is dropped, and every
+/// send is counted into the message (and optionally byte) statistics.
+///
+/// `Network` is cheap to clone; engines keep one clone per node handle.
+///
+/// # Examples
+///
+/// ```
+/// use memcore::NodeId;
+/// use simnet::{Envelope, Network, Tagged};
+///
+/// #[derive(Debug)]
+/// struct Ping;
+/// impl Tagged for Ping {
+///     fn kind(&self) -> &'static str { "PING" }
+/// }
+///
+/// let net: Network<Ping> = Network::new(2);
+/// let mailbox = net.take_mailbox(NodeId::new(1));
+/// net.send(NodeId::new(0), NodeId::new(1), Ping).unwrap();
+/// let env = mailbox.recv().unwrap();
+/// assert_eq!(env.src, NodeId::new(0));
+/// assert_eq!(net.messages().snapshot().total(), 1);
+/// ```
+pub struct Network<M> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: Tagged> Network<M> {
+    /// Creates a network of `n` nodes with fresh statistics counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "network needs at least one node");
+        let mut senders = Vec::with_capacity(n);
+        let mut mailboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            mailboxes.push(Mutex::new(Some(rx)));
+        }
+        Network {
+            inner: Arc::new(Inner {
+                senders,
+                mailboxes,
+                msgs: NetStats::new(n),
+                bytes: NetStats::new(n),
+            }),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.senders.len()
+    }
+
+    /// Always `false`; a network has at least one node.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Removes and returns `node`'s mailbox. Each mailbox can be taken once;
+    /// the engine's message loop owns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or its mailbox was already taken.
+    #[must_use]
+    pub fn take_mailbox(&self, node: NodeId) -> Mailbox<M> {
+        let rx = self.inner.mailboxes[node.index()]
+            .lock()
+            .take()
+            .expect("mailbox already taken");
+        Mailbox { rx }
+    }
+
+    /// Sends `payload` from `src` to `dst`, recording statistics.
+    ///
+    /// Messages to self are delivered through the same path (the owner
+    /// protocol never sends to self, but applications may).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if `dst`'s mailbox has been dropped (shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send(&self, src: NodeId, dst: NodeId, payload: M) -> Result<(), SendError> {
+        self.inner.msgs.record(src, payload.kind());
+        if let Some(size) = payload.wire_size() {
+            self.inner.bytes.record_n(src, payload.kind(), size as u64);
+        }
+        self.inner.senders[dst.index()]
+            .send(Envelope::new(src, dst, payload))
+            .map_err(|_| SendError { dst })
+    }
+
+    /// The per-(node, kind) message counters.
+    #[must_use]
+    pub fn messages(&self) -> &NetStats {
+        &self.inner.msgs
+    }
+
+    /// The per-(node, kind) byte counters (only populated for payloads with
+    /// a wire size).
+    #[must_use]
+    pub fn bytes(&self) -> &NetStats {
+        &self.inner.bytes
+    }
+}
+
+/// The receiving end of one node's mailbox.
+pub struct Mailbox<M> {
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M> Mailbox<M> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when every sender is gone (network dropped).
+    pub fn recv(&self) -> Option<Envelope<M>> {
+        self.rx.recv().ok()
+    }
+
+    /// Receives with a timeout; `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when every sender is gone.
+    #[allow(clippy::result_unit_err)]
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope<M>>, ()> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(()),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl<M> fmt::Debug for Mailbox<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mailbox(pending: {})", self.rx.len())
+    }
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network({} nodes)", self.inner.senders.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Read(u32),
+        Reply(u32),
+    }
+
+    impl Tagged for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Read(_) => "READ",
+                Msg::Reply(_) => "R_REPLY",
+            }
+        }
+        fn wire_size(&self) -> Option<usize> {
+            Some(5)
+        }
+    }
+
+    fn p(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn delivery_preserves_per_link_fifo() {
+        let net: Network<Msg> = Network::new(2);
+        let mb = net.take_mailbox(p(1));
+        for i in 0..100 {
+            net.send(p(0), p(1), Msg::Read(i)).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(mb.recv().unwrap().payload, Msg::Read(i));
+        }
+    }
+
+    #[test]
+    fn sends_are_counted_by_kind_and_bytes() {
+        let net: Network<Msg> = Network::new(2);
+        let _mb = net.take_mailbox(p(1));
+        net.send(p(0), p(1), Msg::Read(1)).unwrap();
+        net.send(p(0), p(1), Msg::Reply(1)).unwrap();
+        let snap = net.messages().snapshot();
+        assert_eq!(snap.get(p(0), "READ"), 1);
+        assert_eq!(snap.get(p(0), "R_REPLY"), 1);
+        assert_eq!(net.bytes().snapshot().node_total(p(0)), 10);
+    }
+
+    #[test]
+    fn send_to_dropped_mailbox_errors() {
+        let net: Network<Msg> = Network::new(2);
+        {
+            let _mb = net.take_mailbox(p(1));
+        }
+        let err = net.send(p(0), p(1), Msg::Read(0)).unwrap_err();
+        assert_eq!(err.dst, p(1));
+        assert_eq!(err.to_string(), "mailbox of P1 is closed");
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox already taken")]
+    fn mailbox_can_only_be_taken_once() {
+        let net: Network<Msg> = Network::new(1);
+        let _a = net.take_mailbox(p(0));
+        let _b = net.take_mailbox(p(0));
+    }
+
+    #[test]
+    fn try_recv_and_timeout_behave() {
+        let net: Network<Msg> = Network::new(2);
+        let mb = net.take_mailbox(p(0));
+        assert_eq!(mb.try_recv(), None);
+        assert_eq!(mb.recv_timeout(Duration::from_millis(1)), Ok(None));
+        net.send(p(1), p(0), Msg::Read(9)).unwrap();
+        assert_eq!(mb.try_recv().unwrap().payload, Msg::Read(9));
+    }
+
+    #[test]
+    fn concurrent_senders_each_preserve_order() {
+        let net: Network<Msg> = Network::new(3);
+        let mb = net.take_mailbox(p(2));
+        let net_a = net.clone();
+        let net_b = net.clone();
+        let a = std::thread::spawn(move || {
+            for i in 0..500 {
+                net_a.send(p(0), p(2), Msg::Read(i)).unwrap();
+            }
+        });
+        let b = std::thread::spawn(move || {
+            for i in 0..500 {
+                net_b.send(p(1), p(2), Msg::Reply(i)).unwrap();
+            }
+        });
+        a.join().unwrap();
+        b.join().unwrap();
+        let (mut next_a, mut next_b) = (0, 0);
+        for _ in 0..1000 {
+            match mb.recv().unwrap() {
+                Envelope {
+                    payload: Msg::Read(i),
+                    ..
+                } => {
+                    assert_eq!(i, next_a);
+                    next_a += 1;
+                }
+                Envelope {
+                    payload: Msg::Reply(i),
+                    ..
+                } => {
+                    assert_eq!(i, next_b);
+                    next_b += 1;
+                }
+            }
+        }
+        assert_eq!((next_a, next_b), (500, 500));
+    }
+}

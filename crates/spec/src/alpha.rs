@@ -1,0 +1,372 @@
+//! Live sets — Definition 1, executable.
+//!
+//! For a read `o = r(x)v`, the live set `α(o)` contains every value the
+//! read may correctly return. Evaluated over all causal relationships in
+//! the execution *except* the reads-from ordering established by `o`
+//! itself:
+//!
+//! 1. a write `o' = w(x)v` **concurrent** with `o` is live;
+//! 2. a write that **precedes** `o` is live unless an intervening read or
+//!    write of `x` with another value sits causally between them
+//!    (that value has been *overwritten* — or its overwriting has been
+//!    *noticed* by an intervening read);
+//! 3. a write that **follows** `o` is never live.
+//!
+//! The distinguished initial write of each location participates like any
+//! other write: it precedes everything, so it is live iff no access of `x`
+//! causally precedes the read.
+
+use std::collections::BTreeSet;
+
+use memcore::{OpKind, WriteId};
+
+use crate::exec::{Execution, OpRef};
+use crate::graph::CausalGraph;
+
+/// Which intervening accesses "serve notice" that a value was overwritten
+/// (Definition 1, clause 2).
+///
+/// The paper studies **strict** causal memory, where "an intervening read
+/// operation r(x)v' serves notice that v has been overwritten" — reads
+/// and writes both eliminate. Its companion theory paper's plain causal
+/// memory is weaker: only causally ordered *writes* overwrite, so a
+/// process may flip-flop between concurrent values it has merely read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum NoticeMode {
+    /// Strict causal memory (this paper): reads and writes intervene.
+    #[default]
+    ReadsAndWrites,
+    /// Plain causal memory: only writes intervene.
+    WritesOnly,
+}
+
+/// The live set `α(o)` of one read, as the set of write tags whose values
+/// the read may return.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiveSet {
+    /// The read this set belongs to.
+    pub read: OpRef,
+    /// Tags of live writes (the initial write's tag included when live).
+    pub writes: BTreeSet<WriteId>,
+}
+
+impl LiveSet {
+    /// `true` iff the value written by `wid` is live.
+    #[must_use]
+    pub fn contains(&self, wid: WriteId) -> bool {
+        self.writes.contains(&wid)
+    }
+
+    /// The live *values*, resolved against the execution (the initial
+    /// write resolves to `initial`). Sorted by write tag; duplicates (same
+    /// value written by different writes) are preserved.
+    #[must_use]
+    pub fn values<V: Clone + PartialEq>(&self, exec: &Execution<V>, initial: &V) -> Vec<V> {
+        let graph_lookup = |wid: WriteId| -> Option<V> {
+            exec.iter_ops()
+                .find(|(_, op)| op.kind == OpKind::Write && op.write_id == wid)
+                .map(|(_, op)| op.value.clone())
+        };
+        self.writes
+            .iter()
+            .map(|wid| {
+                if wid.is_initial() {
+                    initial.clone()
+                } else {
+                    graph_lookup(*wid).expect("live write exists in execution")
+                }
+            })
+            .collect()
+    }
+}
+
+/// Computes `α(o)` for the read at `read`, under strict causal memory
+/// (the paper's definition).
+///
+/// # Panics
+///
+/// Panics if `read` does not refer to a read operation of `exec` (the
+/// graph and execution must match).
+#[must_use]
+pub fn alpha<V: Clone>(exec: &Execution<V>, graph: &CausalGraph, read: OpRef) -> LiveSet {
+    alpha_with_mode(exec, graph, read, NoticeMode::ReadsAndWrites)
+}
+
+/// [`alpha`] with an explicit [`NoticeMode`].
+///
+/// # Panics
+///
+/// Panics if `read` does not refer to a read operation of `exec`.
+#[must_use]
+pub fn alpha_with_mode<V: Clone>(
+    exec: &Execution<V>,
+    graph: &CausalGraph,
+    read: OpRef,
+    mode: NoticeMode,
+) -> LiveSet {
+    let op = exec.op(read);
+    assert_eq!(op.kind, OpKind::Read, "alpha is defined for reads");
+    let loc = op.loc;
+
+    let mut writes = BTreeSet::new();
+
+    // Real writes of x.
+    for &w in graph.writes_of(loc) {
+        if w == read {
+            continue;
+        }
+        // Clause 3: writes that causally follow o are never live.
+        if graph.precedes(read, w) {
+            continue;
+        }
+        if !graph.precedes_read_excl(w, read) {
+            // Clause 1: concurrent with o (under the modified relation).
+            writes.insert(exec.op(w).write_id);
+        } else if !overwritten(exec, graph, w, read, mode) {
+            // Clause 2: precedes o with no intervening access.
+            writes.insert(exec.op(w).write_id);
+        }
+    }
+
+    // The initial write precedes everything; it is live iff un-overwritten:
+    // no access of x causally precedes o (every access of x follows the
+    // initial write by assumption).
+    let initial_overwritten = graph.accesses_of(loc).iter().any(|&a| {
+        a != read
+            && intervenes(exec, a, mode)
+            && graph.precedes_read_excl(a, read)
+            && reads_other_value(exec, a, WriteId::initial(loc))
+    });
+    if !initial_overwritten {
+        writes.insert(WriteId::initial(loc));
+    }
+
+    LiveSet { read, writes }
+}
+
+/// Is there an intervening access `o'' = a(x)v'` with
+/// `w →* o'' →* read` (the read-side relation excluding the read's own
+/// reads-from edge) carrying a *different* value than `w`'s?
+fn overwritten<V: Clone>(
+    exec: &Execution<V>,
+    graph: &CausalGraph,
+    w: OpRef,
+    read: OpRef,
+    mode: NoticeMode,
+) -> bool {
+    let wid = exec.op(w).write_id;
+    graph.accesses_of(exec.op(w).loc).iter().any(|&a| {
+        a != w
+            && a != read
+            && intervenes(exec, a, mode)
+            && reads_other_value(exec, a, wid)
+            && graph.precedes(w, a)
+            && graph.precedes_read_excl(a, read)
+    })
+}
+
+/// Can access `a` serve notice under this mode?
+fn intervenes<V: Clone>(exec: &Execution<V>, a: OpRef, mode: NoticeMode) -> bool {
+    match mode {
+        NoticeMode::ReadsAndWrites => true,
+        NoticeMode::WritesOnly => exec.op(a).kind == OpKind::Write,
+    }
+}
+
+/// `true` iff access `a` concerns a different write than `wid` (writes are
+/// unique, so "different value" is "different write tag"; a read of the
+/// same write serves notice of nothing).
+fn reads_other_value<V: Clone>(exec: &Execution<V>, a: OpRef, wid: WriteId) -> bool {
+    exec.op(a).write_id != wid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcore::{Location, NodeId};
+
+    /// Figure 2 of the paper (x=0, y=1, z=2):
+    /// P1: w(x)2 w(y)2 w(y)3 r(z)5 w(x)4
+    /// P2: w(x)1 r(y)3 w(x)7 w(z)5 r(x)4 r(x)9
+    /// P3: r(z)5 w(x)9
+    fn figure2() -> Execution<i64> {
+        Execution::builder(3)
+            .write(0, 0, 2)
+            .write(0, 1, 2)
+            .write(0, 1, 3)
+            .write(1, 0, 1)
+            .read(1, 1, 3)
+            .write(1, 0, 7)
+            .write(1, 2, 5)
+            .read(0, 2, 5)
+            .write(0, 0, 4)
+            .read(2, 2, 5)
+            .write(2, 0, 9)
+            .read(1, 0, 4)
+            .read(1, 0, 9)
+            .build()
+    }
+
+    fn alpha_values(exec: &Execution<i64>, read: OpRef) -> Vec<i64> {
+        let graph = CausalGraph::build(exec).unwrap();
+        let mut vals = alpha(exec, &graph, read).values(exec, &0);
+        vals.sort_unstable();
+        vals
+    }
+
+    #[test]
+    fn figure2_alpha_of_r1_z5_is_0_and_5() {
+        let exec = figure2();
+        // P1's r(z)5 is its 4th op (index 3).
+        assert_eq!(alpha_values(&exec, OpRef::new(0, 3)), vec![0, 5]);
+    }
+
+    #[test]
+    fn figure2_alpha_of_r3_z5_is_0_and_5() {
+        let exec = figure2();
+        assert_eq!(alpha_values(&exec, OpRef::new(2, 0)), vec![0, 5]);
+    }
+
+    #[test]
+    fn figure2_alpha_of_r2_y3_is_0_2_3() {
+        let exec = figure2();
+        // P2's r(y)3 is its 2nd op (index 1).
+        assert_eq!(alpha_values(&exec, OpRef::new(1, 1)), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn figure2_alpha_of_r2_x4_is_4_7_9() {
+        let exec = figure2();
+        // P2's r(x)4 is its 5th op (index 4).
+        assert_eq!(alpha_values(&exec, OpRef::new(1, 4)), vec![4, 7, 9]);
+    }
+
+    #[test]
+    fn figure2_alpha_of_final_read_is_4_and_9() {
+        let exec = figure2();
+        // "P2's second read of x may correctly return only 4 or 9."
+        assert_eq!(alpha_values(&exec, OpRef::new(1, 5)), vec![4, 9]);
+    }
+
+    #[test]
+    fn initial_value_live_until_noticed() {
+        // P0: w(x)1 ; P1: r(x)0 — P1 has seen nothing: α = {0, 1} (the
+        // write is concurrent; initial is unoverwritten).
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read_initial(1, 0, 0)
+            .build();
+        assert_eq!(alpha_values(&exec, OpRef::new(1, 0)), vec![0, 1]);
+    }
+
+    #[test]
+    fn own_write_overwrites_initial() {
+        // P0: w(x)1 r(x)1 — after its own write, 0 is no longer live.
+        let exec = Execution::<i64>::builder(1)
+            .write(0, 0, 1)
+            .read(0, 0, 1)
+            .build();
+        assert_eq!(alpha_values(&exec, OpRef::new(0, 1)), vec![1]);
+    }
+
+    #[test]
+    fn intervening_read_serves_notice() {
+        // P0: w(x)1 w(x)2 ; P1: r(x)2 r(x)? — P1's first read (of 2)
+        // serves notice that 1 was overwritten: α(second read) = {2}.
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .write(0, 0, 2)
+            .read(1, 0, 2)
+            .read(1, 0, 2)
+            .build();
+        assert_eq!(alpha_values(&exec, OpRef::new(1, 1)), vec![2]);
+    }
+
+    #[test]
+    fn unseen_overwrite_leaves_old_value_live() {
+        // P0: w(x)1 w(x)2 ; P1: r(x)1 — both writes concurrent with the
+        // read under the modified relation: α = {0, 1, 2}. (P1 has seen
+        // nothing, so even the initial 0 is live.)
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .write(0, 0, 2)
+            .read(1, 0, 1)
+            .build();
+        assert_eq!(alpha_values(&exec, OpRef::new(1, 0)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn writes_following_the_read_are_never_live() {
+        // P0: r(x)? w(x)5 — the write follows the read in program order.
+        let exec = Execution::<i64>::builder(1)
+            .read_initial(0, 0, 0)
+            .write(0, 0, 5)
+            .build();
+        assert_eq!(alpha_values(&exec, OpRef::new(0, 0)), vec![0]);
+    }
+
+    #[test]
+    fn live_set_contains_checks_tags() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .build();
+        let graph = CausalGraph::build(&exec).unwrap();
+        let set = alpha(&exec, &graph, OpRef::new(1, 0));
+        let wid = exec.op(OpRef::new(0, 0)).write_id;
+        assert!(set.contains(wid));
+        assert!(set.contains(WriteId::initial(Location::new(0))));
+        assert!(!set.contains(WriteId::new(NodeId::new(5), 0)));
+    }
+
+    #[test]
+    fn writes_only_mode_keeps_merely_read_values_live() {
+        // P0: w(x)1 ; P1: w(x)2 ; P2: r1 r2 r1 — under strict causal
+        // memory the second read of 1 is illegal (the read of 2 served
+        // notice); under plain causal memory (writes-only notice) 1 stays
+        // live because no *write* sits causally between w(x)1 and the
+        // read.
+        let exec = Execution::<i64>::builder(3)
+            .write(0, 0, 1)
+            .write(1, 0, 2)
+            .read(2, 0, 1)
+            .read(2, 0, 2)
+            .read(2, 0, 1)
+            .build();
+        let graph = CausalGraph::build(&exec).unwrap();
+        let third = OpRef::new(2, 2);
+        let strict = alpha_with_mode(&exec, &graph, third, NoticeMode::ReadsAndWrites);
+        let plain = alpha_with_mode(&exec, &graph, third, NoticeMode::WritesOnly);
+        let wid1 = exec.op(OpRef::new(0, 0)).write_id;
+        assert!(!strict.contains(wid1), "strict: read served notice");
+        assert!(plain.contains(wid1), "plain: only writes overwrite");
+    }
+
+    #[test]
+    fn modes_agree_when_writes_do_the_overwriting() {
+        // P0: w(x)1 ; P1: r(x)1 w(x)2 ; P2: r(x)2 then ask about 1 —
+        // the overwriting access is a *write*, so both modes eliminate 1.
+        let exec = Execution::<i64>::builder(3)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .write(1, 0, 2)
+            .read(2, 0, 2)
+            .read(2, 0, 2)
+            .build();
+        let graph = CausalGraph::build(&exec).unwrap();
+        let last = OpRef::new(2, 1);
+        let wid1 = exec.op(OpRef::new(0, 0)).write_id;
+        for mode in [NoticeMode::ReadsAndWrites, NoticeMode::WritesOnly] {
+            let set = alpha_with_mode(&exec, &graph, last, mode);
+            assert!(!set.contains(wid1), "{mode:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "defined for reads")]
+    fn alpha_of_a_write_panics() {
+        let exec = Execution::<i64>::builder(1).write(0, 0, 1).build();
+        let graph = CausalGraph::build(&exec).unwrap();
+        let _ = alpha(&exec, &graph, OpRef::new(0, 0));
+    }
+}

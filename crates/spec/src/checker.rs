@@ -1,0 +1,297 @@
+//! The causal-memory correctness checker — Definition 2, executable.
+//!
+//! "An execution on causal memory is correct if the value returned by each
+//! read operation in the execution is live for that read."
+
+use std::fmt;
+
+use memcore::{OpKind, WriteId};
+
+use crate::alpha::{alpha_with_mode, LiveSet, NoticeMode};
+use crate::exec::{Execution, OpRef};
+use crate::graph::{CausalGraph, GraphError};
+
+/// One read returning a value outside its live set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending read.
+    pub read: OpRef,
+    /// The write the read returned.
+    pub returned: WriteId,
+    /// What the read was allowed to return.
+    pub live: LiveSet,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read {} returned {} but α = {:?}",
+            self.read, self.returned, self.live.writes
+        )
+    }
+}
+
+/// The verdict of checking one execution against Definition 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CausalReport {
+    /// Reads found returning non-live values (empty for correct
+    /// executions).
+    pub violations: Vec<Violation>,
+    /// Number of reads checked.
+    pub reads_checked: usize,
+}
+
+impl CausalReport {
+    /// `true` iff the execution is correct on causal memory.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for CausalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_correct() {
+            write!(f, "correct on causal memory ({} reads)", self.reads_checked)
+        } else {
+            writeln!(
+                f,
+                "NOT causal: {} of {} reads violate Definition 2:",
+                self.violations.len(),
+                self.reads_checked
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks an execution against Definition 2 (each read returns a live
+/// value).
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if the execution is structurally malformed
+/// (dangling reads-from, duplicate write tags, cyclic causality) — such
+/// executions are not executions of any memory at all.
+///
+/// # Examples
+///
+/// Figure 2 of the paper is correct; flipping one read's value breaks it:
+///
+/// ```
+/// use causal_spec::{check_causal, Execution};
+///
+/// let exec = Execution::<i64>::builder(2)
+///     .write(0, 0, 1)
+///     .write(0, 0, 2)
+///     .read(1, 0, 2) // P1 sees 2 ...
+///     .read(1, 0, 2) // ... and may read 2 again
+///     .build();
+/// assert!(check_causal(&exec)?.is_correct());
+///
+/// let bad = Execution::<i64>::builder(2)
+///     .write(0, 0, 1)
+///     .write(0, 0, 2)
+///     .read(1, 0, 2) // P1 sees 2 (overwriting 1) ...
+///     .read(1, 0, 1) // ... then reads the overwritten 1: violation.
+///     .build();
+/// assert!(!check_causal(&bad)?.is_correct());
+/// # Ok::<(), causal_spec::GraphError>(())
+/// ```
+pub fn check_causal<V: Clone>(exec: &Execution<V>) -> Result<CausalReport, GraphError> {
+    let graph = CausalGraph::build(exec)?;
+    check_causal_with_graph(exec, &graph)
+}
+
+/// [`check_causal`] under an explicit [`NoticeMode`] — `WritesOnly`
+/// checks the weaker, *plain* causal memory of the paper's companion
+/// theory paper (where the memory in this paper is called "strict").
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if the execution is structurally malformed.
+pub fn check_causal_mode<V: Clone>(
+    exec: &Execution<V>,
+    mode: NoticeMode,
+) -> Result<CausalReport, GraphError> {
+    let graph = CausalGraph::build(exec)?;
+    check_with(exec, &graph, mode)
+}
+
+/// [`check_causal`] against a prebuilt graph (avoids rebuilding when the
+/// caller also needs α sets).
+///
+/// # Errors
+///
+/// Infallible today; mirrors [`check_causal`] for interface stability.
+pub fn check_causal_with_graph<V: Clone>(
+    exec: &Execution<V>,
+    graph: &CausalGraph,
+) -> Result<CausalReport, GraphError> {
+    check_with(exec, graph, NoticeMode::ReadsAndWrites)
+}
+
+fn check_with<V: Clone>(
+    exec: &Execution<V>,
+    graph: &CausalGraph,
+    mode: NoticeMode,
+) -> Result<CausalReport, GraphError> {
+    let mut violations = Vec::new();
+    let mut reads_checked = 0;
+    for (r, op) in exec.iter_ops() {
+        if op.kind != OpKind::Read {
+            continue;
+        }
+        reads_checked += 1;
+        let live = alpha_with_mode(exec, graph, r, mode);
+        if !live.contains(op.write_id) {
+            violations.push(Violation {
+                read: r,
+                returned: op.write_id,
+                live,
+            });
+        }
+    }
+    Ok(CausalReport {
+        violations,
+        reads_checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2 (§2): the paper's worked example of a correct execution.
+    fn figure2() -> Execution<i64> {
+        Execution::builder(3)
+            .write(0, 0, 2)
+            .write(0, 1, 2)
+            .write(0, 1, 3)
+            .write(1, 0, 1)
+            .read(1, 1, 3)
+            .write(1, 0, 7)
+            .write(1, 2, 5)
+            .read(0, 2, 5)
+            .write(0, 0, 4)
+            .read(2, 2, 5)
+            .write(2, 0, 9)
+            .read(1, 0, 4)
+            .read(1, 0, 9)
+            .build()
+    }
+
+    #[test]
+    fn figure2_is_correct_on_causal_memory() {
+        let report = check_causal(&figure2()).unwrap();
+        assert!(report.is_correct(), "{report}");
+        assert_eq!(report.reads_checked, 5);
+        assert!(report.to_string().contains("correct"));
+    }
+
+    #[test]
+    fn figure3_is_not_causal_memory() {
+        // Figure 3 (x=0, y=1, z=2):
+        // P1: w(x)5 w(y)3
+        // P2: w(x)2 r(y)3 r(x)5 w(z)4
+        // P3: r(z)4 r(x)2
+        // "2 is not in α(r(x)2)" — the final read violates Definition 2.
+        let exec = Execution::<i64>::builder(3)
+            .write(0, 0, 5)
+            .write(0, 1, 3)
+            .write(1, 0, 2)
+            .read(1, 1, 3)
+            .read(1, 0, 5)
+            .write(1, 2, 4)
+            .read(2, 2, 4)
+            .read(2, 0, 2)
+            .build();
+        let report = check_causal(&exec).unwrap();
+        assert!(!report.is_correct());
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.read, crate::OpRef::new(2, 1));
+        assert!(v.to_string().contains("P2[1]"));
+    }
+
+    #[test]
+    fn figure5_weakly_consistent_execution_is_causal() {
+        // Figure 5 (x=0, y=1):
+        // P1: r(y)0 w(x)1 r(y)0
+        // P2: r(x)0 w(y)1 r(x)0
+        let exec = Execution::<i64>::builder(2)
+            .read_initial(0, 1, 0)
+            .write(0, 0, 1)
+            .read_initial(0, 1, 0)
+            .read_initial(1, 0, 0)
+            .write(1, 1, 1)
+            .read_initial(1, 0, 0)
+            .build();
+        let report = check_causal(&exec).unwrap();
+        assert!(report.is_correct(), "{report}");
+    }
+
+    #[test]
+    fn reading_overwritten_value_is_flagged() {
+        // P0: w(x)1 w(x)2 ; P1: r(x)2 r(x)1 — the second read returns a
+        // value its first read proved overwritten.
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .write(0, 0, 2)
+            .read(1, 0, 2)
+            .read(1, 0, 1)
+            .build();
+        let report = check_causal(&exec).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].read, crate::OpRef::new(1, 1));
+    }
+
+    #[test]
+    fn stale_initial_after_own_read_is_flagged() {
+        // P0: w(x)1 ; P1: r(x)1 r(x)0 — after seeing 1, 0 is overwritten.
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .read_initial(1, 0, 0)
+            .build();
+        let report = check_causal(&exec).unwrap();
+        assert!(!report.is_correct());
+    }
+
+    #[test]
+    fn strict_is_stricter_than_plain() {
+        // The flip-flop execution separates the two memories.
+        let exec = Execution::<i64>::builder(3)
+            .write(0, 0, 1)
+            .write(1, 0, 2)
+            .read(2, 0, 1)
+            .read(2, 0, 2)
+            .read(2, 0, 1)
+            .build();
+        assert!(!check_causal(&exec).unwrap().is_correct());
+        assert!(check_causal_mode(&exec, NoticeMode::WritesOnly)
+            .unwrap()
+            .is_correct());
+    }
+
+    #[test]
+    fn malformed_executions_error() {
+        use memcore::{Location, NodeId, OpRecord, WriteId};
+        let ghost = WriteId::new(NodeId::new(9), 0);
+        let exec =
+            Execution::from_processes(vec![vec![OpRecord::read(Location::new(0), 1i64, ghost)]]);
+        assert!(check_causal(&exec).is_err());
+    }
+
+    #[test]
+    fn empty_execution_is_trivially_correct() {
+        let exec = Execution::<i64>::from_processes(vec![vec![], vec![]]);
+        let report = check_causal(&exec).unwrap();
+        assert!(report.is_correct());
+        assert_eq!(report.reads_checked, 0);
+    }
+}

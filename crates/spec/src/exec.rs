@@ -1,0 +1,290 @@
+//! Executions: the objects Definition 1 and Definition 2 speak about.
+//!
+//! An [`Execution`] is a finite set of processes, each a sequence of read
+//! and write operations (the paper's "a process is defined by the sequence
+//! of operations it performs"). Writes are unique ([`WriteId`]), every read
+//! carries the identity of the write it reads from, and all locations are
+//! assumed initialized by distinguished initial writes that precede every
+//! operation.
+
+use memcore::{Location, NodeId, OpKind, OpRecord, Recorder, WriteId};
+use serde::{Deserialize, Serialize};
+
+/// A reference to one operation in an execution: process index and
+/// position within that process's sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpRef {
+    /// The process performing the operation.
+    pub process: usize,
+    /// The operation's position in that process's program order.
+    pub index: usize,
+}
+
+impl OpRef {
+    /// Creates a reference to the `index`th operation of `process`.
+    #[must_use]
+    pub fn new(process: usize, index: usize) -> Self {
+        OpRef { process, index }
+    }
+}
+
+impl std::fmt::Display for OpRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}[{}]", self.process, self.index)
+    }
+}
+
+/// A complete recorded execution.
+///
+/// # Examples
+///
+/// Figure 1 of the paper, built by hand:
+///
+/// ```
+/// use causal_spec::Execution;
+///
+/// // P1: w(x)1 w(y)2 r(y)2 r(x)1
+/// // P2: w(z)1 r(y)2 r(x)1
+/// let exec = Execution::<i64>::builder(2)
+///     .write(0, 0, 1) // w(x)1      (x = loc 0)
+///     .write(0, 1, 2) // w(y)2      (y = loc 1)
+///     .read(0, 1, 2)  // r(y)2
+///     .read(0, 0, 1)  // r(x)1
+///     .write(1, 2, 1) // w(z)1      (z = loc 2)
+///     .read(1, 1, 2)  // r(y)2
+///     .read(1, 0, 1)  // r(x)1
+///     .build();
+/// assert_eq!(exec.process_count(), 2);
+/// assert_eq!(exec.total_ops(), 7);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Execution<V> {
+    processes: Vec<Vec<OpRecord<V>>>,
+}
+
+impl<V: Clone> Execution<V> {
+    /// Wraps per-process operation sequences.
+    #[must_use]
+    pub fn from_processes(processes: Vec<Vec<OpRecord<V>>>) -> Self {
+        Execution { processes }
+    }
+
+    /// Snapshots a [`Recorder`] filled by a running engine.
+    #[must_use]
+    pub fn from_recorder(recorder: &Recorder<V>) -> Self {
+        Execution {
+            processes: recorder.processes(),
+        }
+    }
+
+    /// Starts building an execution by hand (used for the paper's figures).
+    #[must_use]
+    pub fn builder(processes: usize) -> ExecutionBuilder<V>
+    where
+        V: PartialEq,
+    {
+        ExecutionBuilder {
+            processes: vec![Vec::new(); processes],
+            write_seqs: vec![0; processes],
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The operation sequence of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    #[must_use]
+    pub fn process(&self, process: usize) -> &[OpRecord<V>] {
+        &self.processes[process]
+    }
+
+    /// All processes.
+    #[must_use]
+    pub fn processes(&self) -> &[Vec<OpRecord<V>>] {
+        &self.processes
+    }
+
+    /// Total operations across processes.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.processes.iter().map(Vec::len).sum()
+    }
+
+    /// The operation at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn op(&self, r: OpRef) -> &OpRecord<V> {
+        &self.processes[r.process][r.index]
+    }
+
+    /// Iterates all operations with their references, in process order then
+    /// program order.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (OpRef, &OpRecord<V>)> {
+        self.processes.iter().enumerate().flat_map(|(p, ops)| {
+            ops.iter()
+                .enumerate()
+                .map(move |(i, op)| (OpRef::new(p, i), op))
+        })
+    }
+}
+
+/// Hand-construction of executions with automatic write tagging and
+/// value-based reads-from resolution — built for transcribing the paper's
+/// figures, where each (location, value) pair identifies a unique write.
+#[derive(Clone, Debug)]
+pub struct ExecutionBuilder<V> {
+    processes: Vec<Vec<OpRecord<V>>>,
+    write_seqs: Vec<u64>,
+}
+
+impl<V: Clone + PartialEq> ExecutionBuilder<V> {
+    /// Appends `w(loc)value` to `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    #[must_use]
+    pub fn write(mut self, process: usize, loc: u32, value: V) -> Self {
+        let wid = WriteId::new(NodeId::new(process as u32), self.write_seqs[process]);
+        self.write_seqs[process] += 1;
+        self.processes[process].push(OpRecord::write(Location::new(loc), value, wid));
+        self
+    }
+
+    /// Appends `r(loc)value` to `process`, reading from the unique write of
+    /// `value` to `loc` appended so far (in any process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range, no write of `value` to `loc`
+    /// exists yet, or more than one does (figures keep values unique per
+    /// location).
+    #[must_use]
+    pub fn read(mut self, process: usize, loc: u32, value: V) -> Self {
+        let loc = Location::new(loc);
+        let mut matches = self
+            .processes
+            .iter()
+            .flatten()
+            .filter(|op| op.kind == OpKind::Write && op.loc == loc && op.value == value);
+        let wid = match (matches.next(), matches.next()) {
+            (Some(op), None) => op.write_id,
+            (None, _) => panic!("no write of that value to {loc} to read from"),
+            (Some(_), Some(_)) => panic!("ambiguous reads-from for {loc}: duplicate values"),
+        };
+        self.processes[process].push(OpRecord::read(loc, value, wid));
+        self
+    }
+
+    /// Appends `r(loc)value` reading from the distinguished *initial*
+    /// write of `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    #[must_use]
+    pub fn read_initial(mut self, process: usize, loc: u32, value: V) -> Self {
+        let loc = Location::new(loc);
+        self.processes[process].push(OpRecord::read(loc, value, WriteId::initial(loc)));
+        self
+    }
+
+    /// Finalizes the execution.
+    #[must_use]
+    pub fn build(self) -> Execution<V> {
+        Execution {
+            processes: self.processes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_unique_write_ids() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .write(0, 0, 2)
+            .write(1, 0, 3)
+            .build();
+        let ids: Vec<_> = exec.iter_ops().map(|(_, op)| op.write_id).collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.iter().all(|id| !id.is_initial()));
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+    }
+
+    #[test]
+    fn reads_resolve_to_the_matching_write() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 5, 42)
+            .read(1, 5, 42)
+            .build();
+        let write = &exec.process(0)[0];
+        let read = &exec.process(1)[0];
+        assert_eq!(read.write_id, write.write_id);
+    }
+
+    #[test]
+    fn read_initial_uses_the_distinguished_write() {
+        let exec = Execution::<i64>::builder(1).read_initial(0, 3, 0).build();
+        assert!(exec.process(0)[0].write_id.is_initial());
+    }
+
+    #[test]
+    #[should_panic(expected = "no write of that value")]
+    fn read_of_unwritten_value_panics() {
+        let _ = Execution::<i64>::builder(1).read(0, 0, 9).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "ambiguous")]
+    fn duplicate_values_make_reads_ambiguous() {
+        let _ = Execution::<i64>::builder(1)
+            .write(0, 0, 1)
+            .write(0, 0, 1)
+            .read(0, 0, 1)
+            .build();
+    }
+
+    #[test]
+    fn iter_ops_walks_in_program_order() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .write(1, 1, 2)
+            .read(0, 1, 2)
+            .build();
+        let refs: Vec<_> = exec.iter_ops().map(|(r, _)| r).collect();
+        assert_eq!(
+            refs,
+            vec![OpRef::new(0, 0), OpRef::new(0, 1), OpRef::new(1, 0)]
+        );
+        assert_eq!(OpRef::new(0, 1).to_string(), "P0[1]");
+    }
+
+    #[test]
+    fn from_recorder_round_trips() {
+        let rec: Recorder<i64> = Recorder::new(2);
+        rec.record(
+            NodeId::new(1),
+            OpRecord::write(Location::new(0), 7, WriteId::new(NodeId::new(1), 0)),
+        );
+        let exec = Execution::from_recorder(&rec);
+        assert_eq!(exec.process(1).len(), 1);
+        assert_eq!(exec.total_ops(), 1);
+    }
+}

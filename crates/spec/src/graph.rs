@@ -1,0 +1,485 @@
+//! The causality relation `→` and its transitive closure `→*`.
+//!
+//! Two rules define `→` (paper §2): successive operations of one process
+//! are ordered (program order), and a write is ordered before every read
+//! that reads from it (reads-from). The closure `→*` is computed once per
+//! execution as a reachability bit-matrix; operations unrelated by `→*`
+//! are *concurrent*.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use memcore::{Location, OpKind, WriteId};
+
+use crate::exec::{Execution, OpRef};
+
+/// Errors found while building the causality graph — executions with these
+/// defects cannot be executions of any causal memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A read's reads-from tag names a write that appears nowhere in the
+    /// execution.
+    DanglingReadsFrom {
+        /// The offending read.
+        read: OpRef,
+        /// The missing write tag.
+        wid: WriteId,
+    },
+    /// Two writes carry the same tag (writes must be unique).
+    DuplicateWriteId {
+        /// The repeated tag.
+        wid: WriteId,
+    },
+    /// A read reads from a write on a different location.
+    CrossLocationRead {
+        /// The offending read.
+        read: OpRef,
+    },
+    /// The combination of program order and reads-from is cyclic (e.g. a
+    /// process reads a value it only writes later).
+    CausalCycle,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DanglingReadsFrom { read, wid } => {
+                write!(f, "read {read} reads from unknown write {wid}")
+            }
+            GraphError::DuplicateWriteId { wid } => {
+                write!(f, "duplicate write tag {wid}")
+            }
+            GraphError::CrossLocationRead { read } => {
+                write!(f, "read {read} reads from a write to a different location")
+            }
+            GraphError::CausalCycle => write!(f, "causality relation is cyclic"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A dense reachability matrix over the operations of one execution.
+struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        BitMatrix {
+            n,
+            words_per_row,
+            data: vec![0; n * words_per_row],
+        }
+    }
+
+    fn set(&mut self, i: usize, j: usize) {
+        self.data[i * self.words_per_row + j / 64] |= 1 << (j % 64);
+    }
+
+    fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.words_per_row + j / 64] & (1 << (j % 64)) != 0
+    }
+
+    /// `row[dst] |= row[src]`.
+    fn or_row(&mut self, dst: usize, src: usize) {
+        let (d, s) = (dst * self.words_per_row, src * self.words_per_row);
+        for w in 0..self.words_per_row {
+            let bits = self.data[s + w];
+            self.data[d + w] |= bits;
+        }
+    }
+}
+
+/// The causality graph of one execution, with precomputed transitive
+/// closure.
+///
+/// # Examples
+///
+/// Figure 1's claims, machine-checked:
+///
+/// ```
+/// use causal_spec::{CausalGraph, Execution, OpRef};
+///
+/// let exec = Execution::<i64>::builder(2)
+///     .write(0, 0, 1) // w1(x)1
+///     .write(0, 1, 2) // w1(y)2
+///     .read(0, 1, 2)  // r1(y)2
+///     .read(0, 0, 1)  // r1(x)1
+///     .write(1, 2, 1) // w2(z)1
+///     .read(1, 1, 2)  // r2(y)2
+///     .read(1, 0, 1)  // r2(x)1
+///     .build();
+/// let graph = CausalGraph::build(&exec)?;
+/// let w_x = OpRef::new(0, 0);
+/// let w_z = OpRef::new(1, 0);
+/// let r1_y = OpRef::new(0, 2);
+/// // "the writes of x and z are concurrent"
+/// assert!(graph.concurrent(w_x, w_z));
+/// // "w(x)1 →* r1(y)2"
+/// assert!(graph.precedes(w_x, r1_y));
+/// # Ok::<(), causal_spec::GraphError>(())
+/// ```
+pub struct CausalGraph {
+    /// Global index of each op: `flat[process] + index`.
+    proc_base: Vec<usize>,
+    n_ops: usize,
+    closure: BitMatrix,
+    /// Global index of each write tag.
+    write_index: HashMap<WriteId, OpRef>,
+    /// Writes per location, in discovery order.
+    writes_by_loc: HashMap<Location, Vec<OpRef>>,
+    /// Accesses (reads and writes) per location.
+    accesses_by_loc: HashMap<Location, Vec<OpRef>>,
+}
+
+impl CausalGraph {
+    /// Builds the graph and its transitive closure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the execution is malformed (dangling or
+    /// duplicate write tags, cross-location reads) or its causality
+    /// relation is cyclic.
+    pub fn build<V>(exec: &Execution<V>) -> Result<Self, GraphError>
+    where
+        V: Clone,
+    {
+        let mut proc_base = Vec::with_capacity(exec.process_count());
+        let mut n_ops = 0;
+        for p in 0..exec.process_count() {
+            proc_base.push(n_ops);
+            n_ops += exec.process(p).len();
+        }
+
+        let flat = |r: OpRef, proc_base: &[usize]| -> usize { proc_base[r.process] + r.index };
+
+        // Index writes; collect per-location structures.
+        let mut write_index = HashMap::new();
+        let mut writes_by_loc: HashMap<Location, Vec<OpRef>> = HashMap::new();
+        let mut accesses_by_loc: HashMap<Location, Vec<OpRef>> = HashMap::new();
+        for (r, op) in exec.iter_ops() {
+            accesses_by_loc.entry(op.loc).or_default().push(r);
+            if op.kind == OpKind::Write {
+                if write_index.insert(op.write_id, r).is_some() {
+                    return Err(GraphError::DuplicateWriteId { wid: op.write_id });
+                }
+                writes_by_loc.entry(op.loc).or_default().push(r);
+            }
+        }
+
+        // Edges: program order + reads-from.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+        let mut indegree = vec![0usize; n_ops];
+        for (r, op) in exec.iter_ops() {
+            let me = flat(r, &proc_base);
+            if r.index + 1 < exec.process(r.process).len() {
+                let next = me + 1;
+                succs[me].push(next);
+                indegree[next] += 1;
+            }
+            if op.kind == OpKind::Read && !op.write_id.is_initial() {
+                let Some(&w) = write_index.get(&op.write_id) else {
+                    return Err(GraphError::DanglingReadsFrom {
+                        read: r,
+                        wid: op.write_id,
+                    });
+                };
+                if exec.op(w).loc != op.loc {
+                    return Err(GraphError::CrossLocationRead { read: r });
+                }
+                let w_flat = flat(w, &proc_base);
+                if w_flat != me {
+                    succs[w_flat].push(me);
+                    indegree[me] += 1;
+                }
+            }
+        }
+
+        // Kahn topological order (cycle detection).
+        let mut order = Vec::with_capacity(n_ops);
+        let mut queue: Vec<usize> = (0..n_ops).filter(|&i| indegree[i] == 0).collect();
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &s in &succs[i] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() != n_ops {
+            return Err(GraphError::CausalCycle);
+        }
+
+        // Transitive closure in reverse topological order:
+        // reach[i] = ∪ (reach[s] ∪ {s}) for successors s.
+        let mut closure = BitMatrix::new(n_ops);
+        for &i in order.iter().rev() {
+            // Take the successor list to appease the borrow checker on the
+            // matrix row union.
+            let node_succs = std::mem::take(&mut succs[i]);
+            for &s in &node_succs {
+                closure.set(i, s);
+                closure.or_row(i, s);
+            }
+            succs[i] = node_succs;
+        }
+
+        Ok(CausalGraph {
+            proc_base,
+            n_ops,
+            closure,
+            write_index,
+            writes_by_loc,
+            accesses_by_loc,
+        })
+    }
+
+    fn flat(&self, r: OpRef) -> usize {
+        self.proc_base[r.process] + r.index
+    }
+
+    /// Total operations covered.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.n_ops
+    }
+
+    /// `a →* b` (strict: `false` when `a == b`).
+    #[must_use]
+    pub fn precedes(&self, a: OpRef, b: OpRef) -> bool {
+        let (fa, fb) = (self.flat(a), self.flat(b));
+        fa != fb && self.closure.get(fa, fb)
+    }
+
+    /// Neither `a →* b` nor `b →* a` (and `a ≠ b`).
+    #[must_use]
+    pub fn concurrent(&self, a: OpRef, b: OpRef) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// `q →* read` **excluding the reads-from edge into `read` itself** —
+    /// the modified relation Definition 1 evaluates α under. Any path into
+    /// `read` other than its own reads-from edge must pass through its
+    /// program-order predecessor.
+    #[must_use]
+    pub fn precedes_read_excl(&self, q: OpRef, read: OpRef) -> bool {
+        if read.index == 0 {
+            return false;
+        }
+        let pred = OpRef::new(read.process, read.index - 1);
+        q == pred || self.precedes(q, pred)
+    }
+
+    /// The write carrying `wid`, if present.
+    #[must_use]
+    pub fn write_by_id(&self, wid: WriteId) -> Option<OpRef> {
+        self.write_index.get(&wid).copied()
+    }
+
+    /// All writes to `loc`, excluding the implicit initial write.
+    #[must_use]
+    pub fn writes_of(&self, loc: Location) -> &[OpRef] {
+        self.writes_by_loc.get(&loc).map_or(&[], Vec::as_slice)
+    }
+
+    /// All reads and writes of `loc`.
+    #[must_use]
+    pub fn accesses_of(&self, loc: Location) -> &[OpRef] {
+        self.accesses_by_loc.get(&loc).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl fmt::Debug for CausalGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CausalGraph")
+            .field("ops", &self.n_ops)
+            .field("writes", &self.write_index.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> Execution<i64> {
+        // x=0, y=1, z=2
+        Execution::builder(2)
+            .write(0, 0, 1) // P1: w(x)1
+            .write(0, 1, 2) // P1: w(y)2
+            .read(0, 1, 2) // P1: r(y)2
+            .read(0, 0, 1) // P1: r(x)1
+            .write(1, 2, 1) // P2: w(z)1
+            .read(1, 1, 2) // P2: r(y)2
+            .read(1, 0, 1) // P2: r(x)1
+            .build()
+    }
+
+    #[test]
+    fn program_order_is_causal() {
+        let exec = figure1();
+        let g = CausalGraph::build(&exec).unwrap();
+        assert!(g.precedes(OpRef::new(0, 0), OpRef::new(0, 3)));
+        assert!(!g.precedes(OpRef::new(0, 3), OpRef::new(0, 0)));
+        assert!(!g.precedes(OpRef::new(0, 1), OpRef::new(0, 1)));
+    }
+
+    #[test]
+    fn figure1_relations_hold() {
+        let exec = figure1();
+        let g = CausalGraph::build(&exec).unwrap();
+        let w_x = OpRef::new(0, 0);
+        let w_z = OpRef::new(1, 0);
+        let r1_y = OpRef::new(0, 2);
+        let r2_y = OpRef::new(1, 1);
+        // Writes of x and z are concurrent.
+        assert!(g.concurrent(w_x, w_z));
+        // w(x)1 →* r1(y)2 (via program order).
+        assert!(g.precedes(w_x, r1_y));
+        // r2(y)2 *establishes* causality: w(y)2 →* r2(y)2 via reads-from.
+        assert!(g.precedes(OpRef::new(0, 1), r2_y));
+        // And transitively w(x)1 →* r2(x)1.
+        assert!(g.precedes(w_x, OpRef::new(1, 2)));
+    }
+
+    #[test]
+    fn reads_from_establishes_cross_process_order() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 7)
+            .read(1, 0, 7)
+            .write(1, 1, 8)
+            .build();
+        let g = CausalGraph::build(&exec).unwrap();
+        // w0(x)7 →* w1(y)8 through the read.
+        assert!(g.precedes(OpRef::new(0, 0), OpRef::new(1, 1)));
+    }
+
+    #[test]
+    fn excluded_reads_from_is_not_a_path() {
+        // P0: w(x)1; P1: r(x)1 — with the read's own rf edge excluded,
+        // the write does NOT precede the read (they are "concurrent" for
+        // the purposes of Definition 1, making the value live by clause 1).
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .build();
+        let g = CausalGraph::build(&exec).unwrap();
+        let w = OpRef::new(0, 0);
+        let r = OpRef::new(1, 0);
+        assert!(g.precedes(w, r)); // full relation: rf edge present
+        assert!(!g.precedes_read_excl(w, r)); // Definition-1 relation
+    }
+
+    #[test]
+    fn excluded_relation_keeps_program_order_paths() {
+        // P0: w(x)1 ; P1: r(x)1 r(x)1' — second read's exclusion still
+        // sees the write via the first read (program-order predecessor).
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .read(1, 0, 1)
+            .build();
+        let g = CausalGraph::build(&exec).unwrap();
+        let w = OpRef::new(0, 0);
+        let r2 = OpRef::new(1, 1);
+        assert!(g.precedes_read_excl(w, r2));
+    }
+
+    #[test]
+    fn first_op_of_process_has_no_excl_predecessors() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .build();
+        let g = CausalGraph::build(&exec).unwrap();
+        assert!(!g.precedes_read_excl(OpRef::new(0, 0), OpRef::new(1, 0)));
+    }
+
+    #[test]
+    fn cyclic_causality_is_rejected() {
+        // P0 reads y before writing x; P1 reads x before writing y: each
+        // read reads-from the other process's *later* write — a cycle.
+        use memcore::{Location, NodeId, OpRecord, WriteId};
+        let w0 = WriteId::new(NodeId::new(0), 0);
+        let w1 = WriteId::new(NodeId::new(1), 0);
+        let exec = Execution::from_processes(vec![
+            vec![
+                OpRecord::read(Location::new(1), 5i64, w1),
+                OpRecord::write(Location::new(0), 4, w0),
+            ],
+            vec![
+                OpRecord::read(Location::new(0), 4, w0),
+                OpRecord::write(Location::new(1), 5, w1),
+            ],
+        ]);
+        assert!(matches!(
+            CausalGraph::build(&exec),
+            Err(GraphError::CausalCycle)
+        ));
+    }
+
+    #[test]
+    fn dangling_reads_from_is_rejected() {
+        use memcore::{Location, NodeId, OpRecord, WriteId};
+        let ghost = WriteId::new(NodeId::new(7), 9);
+        let exec =
+            Execution::from_processes(vec![vec![OpRecord::read(Location::new(0), 1i64, ghost)]]);
+        match CausalGraph::build(&exec) {
+            Err(GraphError::DanglingReadsFrom { wid, .. }) => assert_eq!(wid, ghost),
+            other => panic!("expected dangling reads-from, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_write_ids_are_rejected() {
+        use memcore::{Location, NodeId, OpRecord, WriteId};
+        let wid = WriteId::new(NodeId::new(0), 0);
+        let exec = Execution::from_processes(vec![vec![
+            OpRecord::write(Location::new(0), 1i64, wid),
+            OpRecord::write(Location::new(0), 2, wid),
+        ]]);
+        assert!(matches!(
+            CausalGraph::build(&exec),
+            Err(GraphError::DuplicateWriteId { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_location_reads_are_rejected() {
+        use memcore::{Location, NodeId, OpRecord, WriteId};
+        let wid = WriteId::new(NodeId::new(0), 0);
+        let exec = Execution::from_processes(vec![vec![
+            OpRecord::write(Location::new(0), 1i64, wid),
+            OpRecord::read(Location::new(1), 1, wid),
+        ]]);
+        assert!(matches!(
+            CausalGraph::build(&exec),
+            Err(GraphError::CrossLocationRead { .. })
+        ));
+    }
+
+    #[test]
+    fn location_indices_cover_reads_and_writes() {
+        let exec = figure1();
+        let g = CausalGraph::build(&exec).unwrap();
+        assert_eq!(g.writes_of(Location::new(0)).len(), 1);
+        assert_eq!(g.accesses_of(Location::new(0)).len(), 3);
+        assert_eq!(g.writes_of(Location::new(9)).len(), 0);
+        assert_eq!(g.op_count(), 7);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(
+            GraphError::CausalCycle.to_string(),
+            "causality relation is cyclic"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Executable specification of **causal memory** (ICDCS'91, §2).
+//!
+//! This crate turns the paper's definitions into decision procedures over
+//! recorded executions:
+//!
+//! * [`Execution`] — processes as operation sequences, with unique write
+//!   tags and an exact reads-from relation (built by hand for the paper's
+//!   figures, or snapshotted from a running engine's
+//!   [`memcore::Recorder`]).
+//! * [`CausalGraph`] — the causality relation `→` (program order ∪
+//!   reads-from) and its transitive closure `→*`.
+//! * [`alpha`] — **Definition 1**: the live set `α(o)` of each read.
+//! * [`check_causal`] — **Definition 2**: an execution is correct iff
+//!   every read returns a live value.
+//! * [`check_sequential`] — a brute-force sequential-consistency witness
+//!   search, used to prove the Figure-5 execution is *weakly* consistent
+//!   (causal but not SC).
+//!
+//! The paper's own worked examples are this crate's acceptance tests: the
+//! α sets of Figure 2 are reproduced exactly ({0,5}, {0,2,3}, {4,7,9},
+//! {4,9}), Figure 3 is rejected, and Figure 5 is accepted causally while
+//! provably having no SC witness.
+//!
+//! # Examples
+//!
+//! ```
+//! use causal_spec::{check_causal, check_sequential, Execution};
+//!
+//! // Figure 5: the weakly consistent execution (x=0, y=1).
+//! let exec = Execution::<i64>::builder(2)
+//!     .read_initial(0, 1, 0)
+//!     .write(0, 0, 1)
+//!     .read_initial(0, 1, 0)
+//!     .read_initial(1, 0, 0)
+//!     .write(1, 1, 1)
+//!     .read_initial(1, 0, 0)
+//!     .build();
+//! assert!(check_causal(&exec)?.is_correct());         // causal: yes
+//! assert!(!check_sequential(&exec).is_consistent());  // SC: no
+//! # Ok::<(), causal_spec::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alpha;
+mod checker;
+mod dot;
+mod exec;
+mod graph;
+pub mod paper;
+mod sc;
+mod sessions;
+
+pub use alpha::{alpha, alpha_with_mode, LiveSet, NoticeMode};
+pub use checker::{
+    check_causal, check_causal_mode, check_causal_with_graph, CausalReport, Violation,
+};
+pub use dot::render_dot;
+pub use exec::{Execution, ExecutionBuilder, OpRef};
+pub use graph::{CausalGraph, GraphError};
+pub use sc::{check_sequential, ScVerdict};
+pub use sessions::{check_sessions, SessionGuarantee, SessionViolation};

@@ -1,0 +1,210 @@
+//! The paper's example executions (Figures 1, 2, 3, 5), transcribed once
+//! and reused by tests, the repro harness and the documentation.
+//!
+//! Location coding is consistent across figures: `x = 0`, `y = 1`,
+//! `z = 2`.
+
+use crate::exec::{Execution, OpRef};
+
+/// Location code for `x`.
+pub const X: u32 = 0;
+/// Location code for `y`.
+pub const Y: u32 = 1;
+/// Location code for `z`.
+pub const Z: u32 = 2;
+
+/// Figure 1 — example of causal relations:
+///
+/// ```text
+/// P1: w(x)1 w(y)2 r(y)2 r(x)1
+/// P2: w(z)1 r(y)2 r(x)1
+/// ```
+#[must_use]
+pub fn figure1() -> Execution<i64> {
+    Execution::builder(2)
+        .write(0, X, 1)
+        .write(0, Y, 2)
+        .read(0, Y, 2)
+        .read(0, X, 1)
+        .write(1, Z, 1)
+        .read(1, Y, 2)
+        .read(1, X, 1)
+        .build()
+}
+
+/// Named operations of Figure 1 for assertions and display.
+pub mod fig1 {
+    use super::OpRef;
+
+    /// `w1(x)1`.
+    pub const W_X: OpRef = OpRef {
+        process: 0,
+        index: 0,
+    };
+    /// `w1(y)2`.
+    pub const W_Y: OpRef = OpRef {
+        process: 0,
+        index: 1,
+    };
+    /// `r1(y)2`.
+    pub const R1_Y: OpRef = OpRef {
+        process: 0,
+        index: 2,
+    };
+    /// `r1(x)1`.
+    pub const R1_X: OpRef = OpRef {
+        process: 0,
+        index: 3,
+    };
+    /// `w2(z)1`.
+    pub const W_Z: OpRef = OpRef {
+        process: 1,
+        index: 0,
+    };
+    /// `r2(y)2`.
+    pub const R2_Y: OpRef = OpRef {
+        process: 1,
+        index: 1,
+    };
+    /// `r2(x)1`.
+    pub const R2_X: OpRef = OpRef {
+        process: 1,
+        index: 2,
+    };
+}
+
+/// Figure 2 — the paper's worked example of a correct execution on causal
+/// memory:
+///
+/// ```text
+/// P1: w(x)2 w(y)2 w(y)3 r(z)5 w(x)4
+/// P2: w(x)1 r(y)3 w(x)7 w(z)5 r(x)4 r(x)9
+/// P3: r(z)5 w(x)9
+/// ```
+#[must_use]
+pub fn figure2() -> Execution<i64> {
+    Execution::builder(3)
+        .write(0, X, 2)
+        .write(0, Y, 2)
+        .write(0, Y, 3)
+        .write(1, X, 1)
+        .read(1, Y, 3)
+        .write(1, X, 7)
+        .write(1, Z, 5)
+        .read(0, Z, 5)
+        .write(0, X, 4)
+        .read(2, Z, 5)
+        .write(2, X, 9)
+        .read(1, X, 4)
+        .read(1, X, 9)
+        .build()
+}
+
+/// The reads of Figure 2 whose α sets the paper computes, with the
+/// expected value sets (initial writes resolve to 0).
+#[must_use]
+pub fn figure2_expected_alphas() -> Vec<(OpRef, &'static str, Vec<i64>)> {
+    vec![
+        (OpRef::new(0, 3), "r1(z)5", vec![0, 5]),
+        (OpRef::new(2, 0), "r3(z)5", vec![0, 5]),
+        (OpRef::new(1, 1), "r2(y)3", vec![0, 2, 3]),
+        (OpRef::new(1, 4), "r2(x)4", vec![4, 7, 9]),
+        (OpRef::new(1, 5), "r2(x)9", vec![4, 9]),
+    ]
+}
+
+/// Figure 3 — causal broadcasting is **not** causal memory:
+///
+/// ```text
+/// P1: w(x)5 w(y)3
+/// P2: w(x)2 r(y)3 r(x)5 w(z)4
+/// P3: r(z)4 r(x)2
+/// ```
+///
+/// The final read `r3(x)2` returns a value not live for it; the causal
+/// checker must reject this execution, while a causal-broadcast memory
+/// can produce it under an adversarial delivery order.
+#[must_use]
+pub fn figure3() -> Execution<i64> {
+    Execution::builder(3)
+        .write(0, X, 5)
+        .write(0, Y, 3)
+        .write(1, X, 2)
+        .read(1, Y, 3)
+        .read(1, X, 5)
+        .write(1, Z, 4)
+        .read(2, Z, 4)
+        .read(2, X, 2)
+        .build()
+}
+
+/// The violating read of Figure 3 (`r3(x)2`).
+#[must_use]
+pub fn figure3_violating_read() -> OpRef {
+    OpRef::new(2, 1)
+}
+
+/// Figure 5 — a weakly consistent execution, allowed by causal memory
+/// (and by the owner protocol with `P1 = owner(x)`, `P2 = owner(y)`) but
+/// sequentially inconsistent:
+///
+/// ```text
+/// P1: r(y)0 w(x)1 r(y)0
+/// P2: r(x)0 w(y)1 r(x)0
+/// ```
+#[must_use]
+pub fn figure5() -> Execution<i64> {
+    Execution::builder(2)
+        .read_initial(0, Y, 0)
+        .write(0, X, 1)
+        .read_initial(0, Y, 0)
+        .read_initial(1, X, 0)
+        .write(1, Y, 1)
+        .read_initial(1, X, 0)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{alpha, check_causal, check_sequential, CausalGraph};
+
+    #[test]
+    fn figure1_claims() {
+        let exec = figure1();
+        let g = CausalGraph::build(&exec).unwrap();
+        assert!(g.concurrent(fig1::W_X, fig1::W_Z));
+        assert!(g.precedes(fig1::W_X, fig1::R1_Y));
+        // r2(y)2 establishes causality; r1(x)1 merely confirms it.
+        assert!(g.precedes(fig1::W_Y, fig1::R2_Y));
+        assert!(g.precedes(fig1::W_X, fig1::R1_X));
+        assert!(g.precedes(fig1::W_X, fig1::R2_X));
+    }
+
+    #[test]
+    fn figure2_alphas_match_the_paper() {
+        let exec = figure2();
+        let g = CausalGraph::build(&exec).unwrap();
+        for (read, name, expected) in figure2_expected_alphas() {
+            let mut values = alpha(&exec, &g, read).values(&exec, &0);
+            values.sort_unstable();
+            assert_eq!(values, expected, "α({name})");
+        }
+        assert!(check_causal(&exec).unwrap().is_correct());
+    }
+
+    #[test]
+    fn figure3_is_rejected() {
+        let report = check_causal(&figure3()).unwrap();
+        assert!(!report.is_correct());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].read, figure3_violating_read());
+    }
+
+    #[test]
+    fn figure5_is_causal_but_not_sequentially_consistent() {
+        let exec = figure5();
+        assert!(check_causal(&exec).unwrap().is_correct());
+        assert!(!check_sequential(&exec).is_consistent());
+    }
+}

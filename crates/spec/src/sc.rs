@@ -1,0 +1,267 @@
+//! A brute-force sequential-consistency checker.
+//!
+//! Used for the Figure-5 separation: the weakly consistent execution the
+//! owner protocol admits has **no** sequentially consistent witness — no
+//! interleaving of the process sequences lets every read return the latest
+//! write. Deciding SC is NP-hard in general; executions here are tiny, so
+//! exhaustive search with memoization is fine.
+
+use std::collections::{HashMap, HashSet};
+
+use memcore::{Location, OpKind, WriteId};
+
+use crate::exec::Execution;
+
+/// The result of searching for a sequentially consistent witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScVerdict {
+    /// A witness interleaving exists; the per-operation schedule is given
+    /// as `(process, index)` pairs in execution order.
+    Consistent(Vec<(usize, usize)>),
+    /// No interleaving satisfies the register property.
+    Inconsistent,
+}
+
+impl ScVerdict {
+    /// `true` iff a witness was found.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, ScVerdict::Consistent(_))
+    }
+}
+
+/// Searches for an interleaving of the process sequences in which every
+/// read returns the most recent preceding write to its location (initial
+/// writes count as writes before everything).
+///
+/// Reads and writes are matched by [`WriteId`], so values never need
+/// comparing.
+///
+/// # Examples
+///
+/// ```
+/// use causal_spec::{check_sequential, Execution};
+///
+/// // P0: w(x)1 ; P1: r(x)1 — trivially SC.
+/// let exec = Execution::<i64>::builder(2).write(0, 0, 1).read(1, 0, 1).build();
+/// assert!(check_sequential(&exec).is_consistent());
+/// ```
+#[must_use]
+pub fn check_sequential<V: Clone>(exec: &Execution<V>) -> ScVerdict {
+    let n = exec.process_count();
+    let mut positions = vec![0usize; n];
+    let mut memory: HashMap<Location, WriteId> = HashMap::new();
+    let mut schedule = Vec::with_capacity(exec.total_ops());
+    let mut seen: HashSet<u64> = HashSet::new();
+
+    if dfs(exec, &mut positions, &mut memory, &mut schedule, &mut seen) {
+        ScVerdict::Consistent(schedule)
+    } else {
+        ScVerdict::Inconsistent
+    }
+}
+
+fn state_key(positions: &[usize], memory: &HashMap<Location, WriteId>) -> u64 {
+    // FNV-style hash of (positions, sorted memory contents). Collisions
+    // would only cause extra search, never wrong verdicts — but we store
+    // full equality via the hash of a canonical encoding, so keep it
+    // deterministic and well-mixed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for &p in positions {
+        mix(p as u64 + 1);
+    }
+    let mut entries: Vec<_> = memory.iter().collect();
+    entries.sort();
+    for (loc, wid) in entries {
+        mix(loc.index() as u64 + 0x9e37);
+        mix(match wid.writer() {
+            Some(w) => ((w.index() as u64) << 32) | wid.seq(),
+            None => u64::MAX - wid.seq(),
+        });
+    }
+    h
+}
+
+fn dfs<V: Clone>(
+    exec: &Execution<V>,
+    positions: &mut Vec<usize>,
+    memory: &mut HashMap<Location, WriteId>,
+    schedule: &mut Vec<(usize, usize)>,
+    seen: &mut HashSet<u64>,
+) -> bool {
+    if positions
+        .iter()
+        .enumerate()
+        .all(|(p, &i)| i == exec.process(p).len())
+    {
+        return true;
+    }
+    if !seen.insert(state_key(positions, memory)) {
+        return false;
+    }
+    for p in 0..positions.len() {
+        let i = positions[p];
+        if i == exec.process(p).len() {
+            continue;
+        }
+        let op = &exec.process(p)[i];
+        match op.kind {
+            OpKind::Read => {
+                let current = memory
+                    .get(&op.loc)
+                    .copied()
+                    .unwrap_or_else(|| WriteId::initial(op.loc));
+                if current != op.write_id {
+                    continue; // this read cannot be scheduled now
+                }
+                positions[p] += 1;
+                schedule.push((p, i));
+                if dfs(exec, positions, memory, schedule, seen) {
+                    return true;
+                }
+                schedule.pop();
+                positions[p] -= 1;
+            }
+            OpKind::Write => {
+                let prev = memory.insert(op.loc, op.write_id);
+                positions[p] += 1;
+                schedule.push((p, i));
+                if dfs(exec, positions, memory, schedule, seen) {
+                    return true;
+                }
+                schedule.pop();
+                positions[p] -= 1;
+                match prev {
+                    Some(w) => {
+                        memory.insert(op.loc, w);
+                    }
+                    None => {
+                        memory.remove(&op.loc);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_execution_is_sc() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .build();
+        let verdict = check_sequential(&exec);
+        assert!(verdict.is_consistent());
+        if let ScVerdict::Consistent(schedule) = verdict {
+            assert_eq!(schedule.len(), 2);
+            assert_eq!(schedule[0], (0, 0)); // write must come first
+        }
+    }
+
+    #[test]
+    fn figure5_has_no_sc_witness() {
+        // P1: r(y)0 w(x)1 r(y)0 ; P2: r(x)0 w(y)1 r(x)0.
+        // Each process's final read requires the other's write not to have
+        // happened yet — impossible in any total order.
+        let exec = Execution::<i64>::builder(2)
+            .read_initial(0, 1, 0)
+            .write(0, 0, 1)
+            .read_initial(0, 1, 0)
+            .read_initial(1, 0, 0)
+            .write(1, 1, 1)
+            .read_initial(1, 0, 0)
+            .build();
+        assert_eq!(check_sequential(&exec), ScVerdict::Inconsistent);
+    }
+
+    #[test]
+    fn dekker_style_both_zero_reads_not_sc() {
+        // P0: w(x)1 r(y)0 ; P1: w(y)1 r(x)0 — the classic SC litmus.
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read_initial(0, 1, 0)
+            .write(1, 1, 1)
+            .read_initial(1, 0, 0)
+            .build();
+        assert_eq!(check_sequential(&exec), ScVerdict::Inconsistent);
+    }
+
+    #[test]
+    fn one_zero_read_is_sc() {
+        // P0: w(x)1 r(y)1 ; P1: w(y)1 r(x)0 is realizable:
+        // P1's ops first? r(x)0 needs x unwritten → order: w(y)1, r...
+        // schedule: P1.w(y)1, P1.r(x)0, P0.w(x)1, P0.r(y)1.
+        let exec = Execution::<i64>::builder(2)
+            .write(1, 1, 1)
+            .read_initial(1, 0, 0)
+            .write(0, 0, 1)
+            .read(0, 1, 1)
+            .build();
+        assert!(check_sequential(&exec).is_consistent());
+    }
+
+    #[test]
+    fn overwritten_read_order_is_not_sc() {
+        // P0: w(x)1 w(x)2 ; P1: r(x)2 r(x)1 — 1 cannot follow 2 in any
+        // total order consistent with P0's program order.
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .write(0, 0, 2)
+            .read(1, 0, 2)
+            .read(1, 0, 1)
+            .build();
+        assert_eq!(check_sequential(&exec), ScVerdict::Inconsistent);
+    }
+
+    #[test]
+    fn concurrent_disagreeing_readers_are_not_sc_but_are_causal() {
+        // P0: w(x)1 ; P1: w(x)2 ; P2: r(x)1 r(x)2 ; P3: r(x)2 r(x)1.
+        // Readers disagree on the order of concurrent writes — allowed by
+        // causal memory, not by SC.
+        let exec = Execution::<i64>::builder(4)
+            .write(0, 0, 1)
+            .write(1, 0, 2)
+            .read(2, 0, 1)
+            .read(2, 0, 2)
+            .read(3, 0, 2)
+            .read(3, 0, 1)
+            .build();
+        assert_eq!(check_sequential(&exec), ScVerdict::Inconsistent);
+        assert!(crate::check_causal(&exec).unwrap().is_correct());
+    }
+
+    #[test]
+    fn empty_execution_is_sc() {
+        let exec = Execution::<i64>::from_processes(vec![vec![], vec![]]);
+        assert!(check_sequential(&exec).is_consistent());
+    }
+
+    #[test]
+    fn schedule_respects_program_order() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .write(0, 1, 2)
+            .read(1, 1, 2)
+            .read(1, 0, 1)
+            .build();
+        let ScVerdict::Consistent(schedule) = check_sequential(&exec) else {
+            panic!("expected SC");
+        };
+        let mut last: HashMap<usize, usize> = HashMap::new();
+        for (p, i) in schedule {
+            if let Some(&prev) = last.get(&p) {
+                assert!(i > prev);
+            }
+            last.insert(p, i);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Session-guarantee checkers: read-your-writes and monotonic reads.
+//!
+//! These are *stronger* than Definition 2 in one direction: causal memory
+//! permits a process to read a value concurrent with its own latest write
+//! (any concurrent-write resolution must pick someone's loser). The owner
+//! protocol therefore does **not** provide them in general — but it does
+//! whenever no two processes write the same location concurrently (e.g.
+//! the single-writer-per-location layouts of both §4 applications), which
+//! the property suites verify. These checkers make that boundary precise:
+//! they are diagnostics for *where* causal memory is weaker than a session
+//! -guaranteed store, not part of its correctness condition.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use memcore::{Location, OpKind, WriteId};
+
+use crate::exec::{Execution, OpRef};
+use crate::graph::{CausalGraph, GraphError};
+
+/// Which session guarantee a read broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionGuarantee {
+    /// The read returned a value that neither is nor causally follows the
+    /// reader's own latest prior write to the location.
+    ReadYourWrites,
+    /// The read returned a value strictly causally older than one the same
+    /// process read earlier from the same location.
+    MonotonicReads,
+}
+
+impl fmt::Display for SessionGuarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionGuarantee::ReadYourWrites => write!(f, "read-your-writes"),
+            SessionGuarantee::MonotonicReads => write!(f, "monotonic reads"),
+        }
+    }
+}
+
+/// One session-guarantee violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionViolation {
+    /// The guarantee broken.
+    pub guarantee: SessionGuarantee,
+    /// The offending read.
+    pub read: OpRef,
+    /// The write the read returned.
+    pub returned: WriteId,
+    /// The write it should have matched or followed.
+    pub expected_at_least: WriteId,
+}
+
+impl fmt::Display for SessionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violated at {}: returned {} against {}",
+            self.guarantee, self.read, self.returned, self.expected_at_least
+        )
+    }
+}
+
+/// Checks both session guarantees over an execution.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if the execution is structurally malformed.
+///
+/// # Examples
+///
+/// ```
+/// use causal_spec::{Execution, check_sessions};
+///
+/// // P0 writes then reads its own value: fine.
+/// let ok = Execution::<i64>::builder(1).write(0, 0, 1).read(0, 0, 1).build();
+/// assert!(check_sessions(&ok)?.is_empty());
+///
+/// // P0 writes 1 but reads back the initial 0: read-your-writes broken
+/// // (even though plain causal memory might allow a concurrent value).
+/// let bad = Execution::<i64>::builder(1)
+///     .write(0, 0, 1)
+///     .read_initial(0, 0, 0)
+///     .build();
+/// assert_eq!(check_sessions(&bad)?.len(), 1);
+/// # Ok::<(), causal_spec::GraphError>(())
+/// ```
+pub fn check_sessions<V: Clone>(exec: &Execution<V>) -> Result<Vec<SessionViolation>, GraphError> {
+    let graph = CausalGraph::build(exec)?;
+    let mut violations = Vec::new();
+
+    for p in 0..exec.process_count() {
+        // Latest own write per location, and latest read-from per location.
+        let mut own_write: HashMap<Location, WriteId> = HashMap::new();
+        let mut last_read: HashMap<Location, WriteId> = HashMap::new();
+        for (i, op) in exec.process(p).iter().enumerate() {
+            let read = OpRef::new(p, i);
+            match op.kind {
+                OpKind::Write => {
+                    own_write.insert(op.loc, op.write_id);
+                }
+                OpKind::Read => {
+                    if let Some(&expected) = own_write.get(&op.loc) {
+                        if !at_least(&graph, op.write_id, expected) {
+                            violations.push(SessionViolation {
+                                guarantee: SessionGuarantee::ReadYourWrites,
+                                read,
+                                returned: op.write_id,
+                                expected_at_least: expected,
+                            });
+                        }
+                    }
+                    if let Some(&previous) = last_read.get(&op.loc) {
+                        if strictly_older(&graph, op.write_id, previous) {
+                            violations.push(SessionViolation {
+                                guarantee: SessionGuarantee::MonotonicReads,
+                                read,
+                                returned: op.write_id,
+                                expected_at_least: previous,
+                            });
+                        }
+                    }
+                    last_read.insert(op.loc, op.write_id);
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+/// `returned` is `expected` or causally follows it.
+fn at_least(graph: &CausalGraph, returned: WriteId, expected: WriteId) -> bool {
+    if returned == expected {
+        return true;
+    }
+    if expected.is_initial() {
+        // Everything follows the initial write.
+        return true;
+    }
+    match (graph.write_by_id(expected), write_ref(graph, returned)) {
+        (Some(e), Some(r)) => graph.precedes(e, r),
+        // Returned an initial write while a real write was expected.
+        _ => false,
+    }
+}
+
+/// `returned` strictly causally precedes `previous` (a regression).
+fn strictly_older(graph: &CausalGraph, returned: WriteId, previous: WriteId) -> bool {
+    if returned == previous {
+        return false;
+    }
+    if returned.is_initial() {
+        // The initial write precedes every real write to its location.
+        return !previous.is_initial();
+    }
+    match (write_ref(graph, returned), graph.write_by_id(previous)) {
+        (Some(r), Some(p)) => graph.precedes(r, p),
+        _ => false,
+    }
+}
+
+fn write_ref(graph: &CausalGraph, wid: WriteId) -> Option<OpRef> {
+    if wid.is_initial() {
+        None
+    } else {
+        graph.write_by_id(wid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_executions_have_no_violations() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(0, 0, 1)
+            .read(1, 0, 1)
+            .read(1, 0, 1)
+            .build();
+        assert!(check_sessions(&exec).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reading_initial_after_own_write_breaks_ryw() {
+        let exec = Execution::<i64>::builder(1)
+            .write(0, 0, 1)
+            .read_initial(0, 0, 0)
+            .build();
+        let violations = check_sessions(&exec).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].guarantee, SessionGuarantee::ReadYourWrites);
+        assert!(violations[0].to_string().contains("read-your-writes"));
+    }
+
+    #[test]
+    fn reading_a_concurrent_value_after_own_write_breaks_ryw_but_not_def2() {
+        // P0 writes 1; P1 concurrently writes 2; P0 then reads 2. Causal
+        // memory allows it (2 is concurrent, hence live) but
+        // read-your-writes does not: 2 does not follow P0's own write.
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .write(1, 0, 2)
+            .read(0, 0, 2)
+            .build();
+        assert!(crate::check_causal(&exec).unwrap().is_correct());
+        let violations = check_sessions(&exec).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].guarantee, SessionGuarantee::ReadYourWrites);
+    }
+
+    #[test]
+    fn causally_newer_value_satisfies_ryw() {
+        // P0 writes 1; P1 reads it and writes 2 (so 2 follows 1); P0 reads
+        // 2: fine.
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .write(1, 0, 2)
+            .read(0, 0, 2)
+            .build();
+        assert!(check_sessions(&exec).unwrap().is_empty());
+    }
+
+    #[test]
+    fn regressing_reads_break_monotonicity() {
+        // P0 writes 1 then (after P1 read it) P1 writes 2; P2 reads 2
+        // then 1: monotonic-reads violation (also a Def-2 violation).
+        let exec = Execution::<i64>::builder(3)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .write(1, 0, 2)
+            .read(2, 0, 2)
+            .read(2, 0, 1)
+            .build();
+        let violations = check_sessions(&exec).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].guarantee, SessionGuarantee::MonotonicReads);
+    }
+
+    #[test]
+    fn regressing_to_initial_breaks_monotonicity() {
+        let exec = Execution::<i64>::builder(2)
+            .write(0, 0, 1)
+            .read(1, 0, 1)
+            .read_initial(1, 0, 0)
+            .build();
+        let violations = check_sessions(&exec).unwrap();
+        assert!(violations
+            .iter()
+            .any(|v| v.guarantee == SessionGuarantee::MonotonicReads));
+    }
+
+    #[test]
+    fn concurrent_value_switches_do_not_break_monotonicity() {
+        // Reading 2 then the concurrent 1 is not a *monotonic-reads*
+        // regression (no causal order between them) — strict causal
+        // memory's flip-flop rule is the stronger constraint here.
+        let exec = Execution::<i64>::builder(3)
+            .write(0, 0, 1)
+            .write(1, 0, 2)
+            .read(2, 0, 2)
+            .read(2, 0, 1)
+            .build();
+        assert!(check_sessions(&exec).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Differential test of the α(o) implementation against a naive reference
+//! that follows Definition 1 with no shortcuts: for each read, the
+//! reads-from edge established by that read is literally *removed* from
+//! the edge set and reachability recomputed by DFS.
+//!
+//! The production implementation instead reasons through the read's
+//! program-order predecessor (`precedes_read_excl`); this suite proves the
+//! two agree on random executions.
+
+use std::collections::BTreeSet;
+
+use causal_spec::{alpha, CausalGraph, Execution, OpRef};
+use memcore::{Location, NodeId, OpKind, OpRecord, WriteId};
+use proptest::prelude::*;
+
+/// Plain edge-list causality graph with per-read edge exclusion.
+struct NaiveGraph {
+    n: usize,
+    /// Adjacency as (from, to, is_reads_from) triples over flattened
+    /// indices — the kind tag keeps a reads-from edge distinguishable from
+    /// a program-order edge between the same pair (a write immediately
+    /// followed by its own reader has both).
+    edges: Vec<(usize, usize, bool)>,
+    flat: Vec<usize>, // process -> base index
+}
+
+impl NaiveGraph {
+    fn build<V: Clone>(exec: &Execution<V>) -> Self {
+        let mut flat = Vec::new();
+        let mut n = 0;
+        for p in 0..exec.process_count() {
+            flat.push(n);
+            n += exec.process(p).len();
+        }
+        let idx = |r: OpRef, flat: &[usize]| flat[r.process] + r.index;
+
+        let mut edges = Vec::new();
+        // Program order.
+        for (r, _) in exec.iter_ops() {
+            if r.index + 1 < exec.process(r.process).len() {
+                edges.push((idx(r, &flat), idx(r, &flat) + 1, false));
+            }
+        }
+        // Reads-from.
+        for (r, op) in exec.iter_ops() {
+            if op.kind == OpKind::Read && !op.write_id.is_initial() {
+                let w = exec
+                    .iter_ops()
+                    .find(|(_, o)| o.kind == OpKind::Write && o.write_id == op.write_id)
+                    .map(|(wr, _)| wr)
+                    .expect("write exists");
+                if w != r {
+                    edges.push((idx(w, &flat), idx(r, &flat), true));
+                }
+            }
+        }
+        NaiveGraph { n, edges, flat }
+    }
+
+    fn idx(&self, r: OpRef) -> usize {
+        self.flat[r.process] + r.index
+    }
+
+    /// `a →* b` strictly, optionally excluding one reads-from edge.
+    fn reaches(&self, a: OpRef, b: OpRef, excluded: Option<(usize, usize)>) -> bool {
+        let (a, b) = (self.idx(a), self.idx(b));
+        if a == b {
+            return false;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![a];
+        while let Some(node) = stack.pop() {
+            for &(from, to, is_rf) in &self.edges {
+                let is_excluded = is_rf && Some((from, to)) == excluded;
+                if from == node && !is_excluded && !seen[to] {
+                    if to == b {
+                        return true;
+                    }
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Definition 1, verbatim, with per-read edge removal.
+fn naive_alpha<V: Clone>(exec: &Execution<V>, read: OpRef) -> BTreeSet<WriteId> {
+    let graph = NaiveGraph::build(exec);
+    let read_op = exec.op(read);
+    assert_eq!(read_op.kind, OpKind::Read);
+
+    // The edge to exclude: the reads-from edge into this read.
+    let excluded = if read_op.write_id.is_initial() {
+        None
+    } else {
+        exec.iter_ops()
+            .find(|(_, o)| o.kind == OpKind::Write && o.write_id == read_op.write_id)
+            .map(|(w, _)| (graph.idx(w), graph.idx(read)))
+            .filter(|(w, r)| w != r)
+    };
+
+    let mut live = BTreeSet::new();
+    let writes: Vec<(OpRef, WriteId)> = exec
+        .iter_ops()
+        .filter(|(_, o)| o.kind == OpKind::Write && o.loc == read_op.loc)
+        .map(|(r, o)| (r, o.write_id))
+        .collect();
+
+    for &(w, wid) in &writes {
+        if w == read {
+            continue;
+        }
+        // Clause 3: follows the read (full relation; the excluded edge is
+        // an IN-edge of the read, irrelevant to paths FROM it).
+        if graph.reaches(read, w, excluded) {
+            continue;
+        }
+        if !graph.reaches(w, read, excluded) {
+            // Clause 1: concurrent under the modified relation.
+            live.insert(wid);
+        } else {
+            // Clause 2: precedes with no intervening access of x carrying
+            // a different write.
+            let intervening = exec.iter_ops().any(|(a, o)| {
+                a != w
+                    && a != read
+                    && o.loc == read_op.loc
+                    && o.write_id != wid
+                    && graph.reaches(w, a, excluded)
+                    && graph.reaches(a, read, excluded)
+            });
+            if !intervening {
+                live.insert(wid);
+            }
+        }
+    }
+
+    // The initial write: precedes everything; live unless an access of x
+    // with a different (non-initial-of-x) write sits before the read.
+    let initial = WriteId::initial(read_op.loc);
+    let overwritten = exec.iter_ops().any(|(a, o)| {
+        a != read
+            && o.loc == read_op.loc
+            && o.write_id != initial
+            && graph.reaches(a, read, excluded)
+    });
+    if !overwritten {
+        live.insert(initial);
+    }
+    live
+}
+
+/// Random executions with (mostly) sensible reads-from: each read picks a
+/// random prior-or-concurrent write of its location, or the initial write.
+fn random_execution() -> impl Strategy<Value = Execution<i64>> {
+    let op = (0usize..3, 0u32..3, any::<u8>());
+    proptest::collection::vec(op, 1..18).prop_map(|steps| {
+        let mut procs: Vec<Vec<OpRecord<i64>>> = vec![Vec::new(); 3];
+        let mut writes_so_far: Vec<(Location, WriteId, i64)> = Vec::new();
+        let mut seqs = [0u64; 3];
+        let mut counter = 0i64;
+        for (p, l, pick) in steps {
+            let loc = Location::new(l);
+            if pick % 3 == 0 {
+                counter += 1;
+                let wid = WriteId::new(NodeId::new(p as u32), seqs[p]);
+                seqs[p] += 1;
+                writes_so_far.push((loc, wid, counter));
+                procs[p].push(OpRecord::write(loc, counter, wid));
+            } else {
+                // Read from a random existing write of this location, or
+                // the initial write.
+                let candidates: Vec<_> = writes_so_far
+                    .iter()
+                    .filter(|(wl, _, _)| *wl == loc)
+                    .collect();
+                if candidates.is_empty() || pick % 3 == 1 {
+                    procs[p].push(OpRecord::read(loc, 0, WriteId::initial(loc)));
+                } else {
+                    let (_, wid, v) = candidates[pick as usize % candidates.len()];
+                    procs[p].push(OpRecord::read(loc, *v, *wid));
+                }
+            }
+        }
+        Execution::from_processes(procs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The optimized α agrees with the naive Definition-1 reference on
+    /// every read of every random execution.
+    #[test]
+    fn alpha_matches_naive_reference(exec in random_execution()) {
+        // Skip the rare cyclic constructions (a process reading its own
+        // later write); both implementations reject those structurally.
+        let Ok(graph) = CausalGraph::build(&exec) else {
+            return Ok(());
+        };
+        for (r, op) in exec.iter_ops() {
+            if op.kind != OpKind::Read {
+                continue;
+            }
+            let fast = alpha(&exec, &graph, r).writes;
+            let slow = naive_alpha(&exec, r);
+            prop_assert_eq!(
+                &fast, &slow,
+                "α disagrees at {}: fast {:?} vs naive {:?}\nexec: {:?}",
+                r, fast, slow, exec
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the executable specification itself.
+//!
+//! The key inclusion the paper leans on: sequential consistency is
+//! *strictly stronger* than causal memory, so every SC execution must pass
+//! the Definition-2 checker — and executions that "notice" an overwrite
+//! and then return the overwritten value must fail it.
+
+use causal_spec::{check_causal, check_sequential, Execution, ScVerdict};
+use memcore::{Location, NodeId, OpRecord, WriteId};
+use proptest::prelude::*;
+
+/// Generate a random *sequentially consistent* execution by construction:
+/// pick a global schedule of (process, is_write, location) steps and let
+/// every read return the latest write in schedule order.
+fn sc_execution(
+    processes: usize,
+    locations: u32,
+    steps: usize,
+) -> impl Strategy<Value = Execution<i64>> {
+    proptest::collection::vec((0..processes, any::<bool>(), 0..locations), 1..=steps).prop_map(
+        move |schedule| {
+            let mut procs: Vec<Vec<OpRecord<i64>>> = vec![Vec::new(); processes];
+            let mut latest: Vec<WriteId> = (0..locations)
+                .map(|l| WriteId::initial(Location::new(l)))
+                .collect();
+            let mut latest_value: Vec<i64> = vec![0; locations as usize];
+            let mut seqs = vec![0u64; processes];
+            let mut counter = 0i64;
+            for (p, is_write, l) in schedule {
+                let loc = Location::new(l);
+                if is_write {
+                    counter += 1;
+                    let wid = WriteId::new(NodeId::new(p as u32), seqs[p]);
+                    seqs[p] += 1;
+                    latest[l as usize] = wid;
+                    latest_value[l as usize] = counter;
+                    procs[p].push(OpRecord::write(loc, counter, wid));
+                } else {
+                    procs[p].push(OpRecord::read(
+                        loc,
+                        latest_value[l as usize],
+                        latest[l as usize],
+                    ));
+                }
+            }
+            Execution::from_processes(procs)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SC ⊂ causal: anything a sequentially consistent memory can do,
+    /// causal memory allows.
+    #[test]
+    fn sequentially_consistent_executions_are_causal(
+        exec in sc_execution(3, 3, 24),
+    ) {
+        let report = check_causal(&exec).expect("well formed by construction");
+        prop_assert!(report.is_correct(), "SC execution rejected:\n{report}");
+    }
+
+    /// And the SC checker itself finds the witness we built them from
+    /// (kept small: witness search is exponential).
+    #[test]
+    fn sc_checker_accepts_constructed_sc_executions(
+        exec in sc_execution(2, 2, 10),
+    ) {
+        prop_assert!(matches!(check_sequential(&exec), ScVerdict::Consistent(_)));
+    }
+
+    /// Noticing an overwrite and then reading the overwritten value is
+    /// always a violation: append `r(x)new  r(x)old` to a process after
+    /// two program-ordered writes of `x` elsewhere.
+    #[test]
+    fn noticed_overwrites_are_always_caught(
+        filler in sc_execution(2, 2, 10),
+    ) {
+        // Build: keep the filler execution intact; P0 additionally writes
+        // x twice (old then new); P1 then reads new, then reads old.
+        let mut procs: Vec<Vec<OpRecord<i64>>> =
+            filler.processes().to_vec();
+        let x = Location::new(9); // a fresh location untouched by filler
+        let w_old = WriteId::new(NodeId::new(0), 900);
+        let w_new = WriteId::new(NodeId::new(0), 901);
+        procs[0].push(OpRecord::write(x, 100i64, w_old));
+        procs[0].push(OpRecord::write(x, 200, w_new));
+        procs[1].push(OpRecord::read(x, 200, w_new));
+        procs[1].push(OpRecord::read(x, 100, w_old));
+        let exec = Execution::from_processes(procs);
+        let report = check_causal(&exec).expect("well formed");
+        prop_assert!(!report.is_correct());
+        // The stale read is among the violations.
+        prop_assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.returned == w_old),
+            "stale read not flagged: {report}"
+        );
+    }
+
+    /// Dropping all reads from any execution leaves a trivially correct
+    /// one (writes alone cannot violate Definition 2).
+    #[test]
+    fn write_only_executions_are_correct(exec in sc_execution(3, 3, 20)) {
+        let writes_only: Vec<Vec<OpRecord<i64>>> = exec
+            .processes()
+            .iter()
+            .map(|ops| ops.iter().filter(|op| !op.is_read()).cloned().collect())
+            .collect();
+        let exec = Execution::from_processes(writes_only);
+        prop_assert!(check_causal(&exec).unwrap().is_correct());
+    }
+
+    /// The checker is deterministic: checking twice gives identical
+    /// reports.
+    #[test]
+    fn checker_is_deterministic(exec in sc_execution(3, 3, 20)) {
+        let a = check_causal(&exec).unwrap();
+        let b = check_causal(&exec).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A subtlety of *strict* causal memory (Definition 1, clause 2): once a
+/// process has read value 1 and then reads the concurrent value 2, the
+/// read of 2 is an intervening access between `w(x)1` (which now causally
+/// precedes the process's operations via its first read) and any later
+/// read — so flip-flopping back to 1 is a violation, even though the two
+/// writes themselves are concurrent.
+#[test]
+fn reads_of_concurrent_values_cannot_flip_flop() {
+    let exec = Execution::<i64>::builder(3)
+        .write(0, 0, 1)
+        .write(1, 0, 2)
+        .read(2, 0, 1)
+        .read(2, 0, 2)
+        .read(2, 0, 1)
+        .build();
+    let report = check_causal(&exec).unwrap();
+    assert!(!report.is_correct());
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].read.index, 2);
+
+    // Without the first read, 1 never causally precedes P2's reads, so
+    // finishing on 1 is fine: readers may disagree about concurrent
+    // writes' order, they just cannot individually regress.
+    let exec = Execution::<i64>::builder(3)
+        .write(0, 0, 1)
+        .write(1, 0, 2)
+        .read(2, 0, 2)
+        .read(2, 0, 1)
+        .build();
+    assert!(check_causal(&exec).unwrap().is_correct());
+}
+
+/// But once the *writer* of one value has seen the other and writes again,
+/// order exists and stale reads get caught downstream.
+#[test]
+fn causally_chained_writes_do_overwrite() {
+    // P0: w(x)1 ; P1: r(x)1 w(x)2 ; P2: r(x)2 r(x)1 — P2's second read
+    // returns a value that 2 overwrote (w1 →* w2 via P1's read).
+    let exec = Execution::<i64>::builder(3)
+        .write(0, 0, 1)
+        .read(1, 0, 1)
+        .write(1, 0, 2)
+        .read(2, 0, 2)
+        .read(2, 0, 1)
+        .build();
+    let report = check_causal(&exec).unwrap();
+    assert!(!report.is_correct());
+}

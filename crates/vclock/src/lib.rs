@@ -1,0 +1,410 @@
+//! Vector timestamps for causal distributed shared memory.
+//!
+//! The ICDCS'91 owner protocol captures the evolving partial order of events
+//! with one vector timestamp per processor (citing Mattern). This crate
+//! provides exactly the three operations the protocol needs — `increment`,
+//! `update` (component-wise max) and comparison — plus the derived notions
+//! the paper uses throughout: *dominance* (`VT < VT'`) and *concurrency*
+//! (neither dominates).
+//!
+//! # Examples
+//!
+//! ```
+//! use vclock::VectorClock;
+//!
+//! let mut a = VectorClock::new(3);
+//! let mut b = VectorClock::new(3);
+//! a.increment(0); // a = [1, 0, 0]
+//! b.increment(1); // b = [0, 1, 0]
+//! assert!(a.concurrent(&b));
+//!
+//! b.update(&a);   // b = [1, 1, 0]
+//! assert!(a < b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A vector timestamp over a fixed number of processes.
+///
+/// Comparison follows the paper: `VT < VT'` iff every component of `VT` is
+/// `<=` the corresponding component of `VT'` and at least one is strictly
+/// less. Two clocks where neither relation holds (and which are not equal)
+/// are *concurrent*; [`PartialOrd::partial_cmp`] returns `None` for them.
+///
+/// # Examples
+///
+/// ```
+/// use vclock::VectorClock;
+///
+/// let mut vt = VectorClock::new(2);
+/// vt.increment(0);
+/// assert_eq!(vt.get(0), 1);
+/// assert_eq!(vt.get(1), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates the zero clock for a system of `n` processes.
+    ///
+    /// The zero clock is the writestamp of the paper's distinguished initial
+    /// writes, causally preceding every real operation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let vt = vclock::VectorClock::new(4);
+    /// assert!(vt.is_zero());
+    /// ```
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            components: vec![0; n],
+        }
+    }
+
+    /// Creates a clock from explicit components.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let vt = vclock::VectorClock::from_components([1, 0, 2]);
+    /// assert_eq!(vt.get(2), 2);
+    /// ```
+    #[must_use]
+    pub fn from_components<I: IntoIterator<Item = u64>>(components: I) -> Self {
+        VectorClock {
+            components: components.into_iter().collect(),
+        }
+    }
+
+    /// Number of processes this clock covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the clock covers zero processes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns `true` if every component is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.components.iter().all(|&c| c == 0)
+    }
+
+    /// The `i`th component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        self.components[i]
+    }
+
+    /// Adds one to the `i`th component — the paper's
+    /// `increment(VT_i)` performed by processor `P_i` on every write attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn increment(&mut self, i: usize) {
+        self.components[i] += 1;
+    }
+
+    /// Returns a copy with the `i`th component incremented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn incremented(&self, i: usize) -> Self {
+        let mut vt = self.clone();
+        vt.increment(i);
+        vt
+    }
+
+    /// Component-wise maximum in place — the paper's `update(VT, VT')`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two clocks cover different numbers of processes.
+    pub fn update(&mut self, other: &VectorClock) {
+        assert_eq!(
+            self.components.len(),
+            other.components.len(),
+            "vector clocks cover different process counts"
+        );
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Returns the component-wise maximum of two clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two clocks cover different numbers of processes.
+    #[must_use]
+    pub fn updated(&self, other: &VectorClock) -> Self {
+        let mut vt = self.clone();
+        vt.update(other);
+        vt
+    }
+
+    /// `true` iff neither clock dominates the other and they differ:
+    /// the writes they stamp are concurrent.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vclock::VectorClock;
+    /// let a = VectorClock::from_components([1, 0]);
+    /// let b = VectorClock::from_components([0, 1]);
+    /// assert!(a.concurrent(&b));
+    /// assert!(!a.concurrent(&a));
+    /// ```
+    #[must_use]
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self.partial_cmp(other).is_none()
+    }
+
+    /// `true` iff `self < other` in the paper's dominance order.
+    ///
+    /// Equivalent to `self.partial_cmp(other) == Some(Ordering::Less)` but
+    /// reads like the pseudocode's `M_i[y].VT < VT'`.
+    #[must_use]
+    pub fn dominated_by(&self, other: &VectorClock) -> bool {
+        matches!(self.partial_cmp(other), Some(Ordering::Less))
+    }
+
+    /// Iterates over the components in process order.
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.components.iter()
+    }
+
+    /// Borrows the raw components.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// Sum of all components; a cheap scalar proxy for "how much causal
+    /// history this stamp reflects" (used by diagnostics only).
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.components.iter().sum()
+    }
+}
+
+impl PartialOrd for VectorClock {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.components.len() != other.components.len() {
+            return None;
+        }
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.components.iter().zip(&other.components) {
+            match a.cmp(b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+            if less && greater {
+                return None;
+            }
+        }
+        match (less, greater) {
+            (false, false) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (true, true) => None,
+        }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VT{:?}", self.components)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<u64>> for VectorClock {
+    fn from(components: Vec<u64>) -> Self {
+        VectorClock { components }
+    }
+}
+
+impl From<VectorClock> for Vec<u64> {
+    fn from(vt: VectorClock) -> Self {
+        vt.components
+    }
+}
+
+impl<const N: usize> From<[u64; N]> for VectorClock {
+    fn from(components: [u64; N]) -> Self {
+        VectorClock {
+            components: components.to_vec(),
+        }
+    }
+}
+
+impl FromIterator<u64> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        VectorClock::from_components(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a VectorClock {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.components.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_is_zero() {
+        let vt = VectorClock::new(3);
+        assert!(vt.is_zero());
+        assert_eq!(vt.len(), 3);
+        assert!(!vt.is_empty());
+        assert!(VectorClock::new(0).is_empty());
+    }
+
+    #[test]
+    fn increment_bumps_single_component() {
+        let mut vt = VectorClock::new(3);
+        vt.increment(1);
+        assert_eq!(vt.as_slice(), &[0, 1, 0]);
+        vt.increment(1);
+        assert_eq!(vt.as_slice(), &[0, 2, 0]);
+    }
+
+    #[test]
+    fn incremented_leaves_original_untouched() {
+        let vt = VectorClock::new(2);
+        let vt2 = vt.incremented(0);
+        assert!(vt.is_zero());
+        assert_eq!(vt2.as_slice(), &[1, 0]);
+    }
+
+    #[test]
+    fn update_takes_componentwise_max() {
+        let mut a = VectorClock::from_components([3, 0, 5]);
+        let b = VectorClock::from_components([1, 4, 5]);
+        a.update(&b);
+        assert_eq!(a.as_slice(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn comparison_matches_paper_definition() {
+        let a = VectorClock::from_components([1, 2]);
+        let b = VectorClock::from_components([1, 3]);
+        assert!(a < b);
+        assert!(b > a);
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        assert_eq!(a.partial_cmp(&a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered() {
+        let a = VectorClock::from_components([2, 0]);
+        let b = VectorClock::from_components([0, 2]);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+        assert_eq!(a.partial_cmp(&b), None);
+        assert!(!a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+    }
+
+    #[test]
+    fn equal_clocks_are_not_concurrent() {
+        let a = VectorClock::from_components([1, 1]);
+        assert!(!a.concurrent(&a.clone()));
+    }
+
+    #[test]
+    fn clocks_of_different_lengths_do_not_compare() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different process counts")]
+    fn update_panics_on_length_mismatch() {
+        let mut a = VectorClock::new(2);
+        a.update(&VectorClock::new(3));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let a = VectorClock::from_components([1, 0, 2]);
+        assert_eq!(a.to_string(), "[1,0,2]");
+        assert_eq!(format!("{a:?}"), "VT[1, 0, 2]");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let vt = VectorClock::from(v.clone());
+        let back: Vec<u64> = vt.clone().into();
+        assert_eq!(v, back);
+        let collected: VectorClock = v.iter().copied().collect();
+        assert_eq!(collected, vt);
+        assert_eq!(VectorClock::from([1u64, 2, 3]), vt);
+    }
+
+    #[test]
+    fn weight_sums_components() {
+        assert_eq!(VectorClock::from_components([1, 0, 2]).weight(), 3);
+    }
+
+    #[test]
+    fn figure4_writestamp_flow() {
+        // A non-local write per Figure 4: writer increments, owner updates,
+        // writer updates with the owner's reply. The resulting stamp must
+        // dominate both parties' prior stamps.
+        let mut writer = VectorClock::from_components([2, 0, 1]);
+        let mut owner = VectorClock::from_components([0, 3, 1]);
+        writer.increment(0); // w_i's increment
+        let sent = writer.clone();
+        owner.update(&sent); // owner's update on WRITE receipt
+        let reply = owner.clone();
+        writer.update(&reply); // writer's second update
+        assert!(sent <= writer);
+        assert!(reply <= writer || reply == writer);
+        assert_eq!(writer.as_slice(), &[3, 3, 1]);
+    }
+}

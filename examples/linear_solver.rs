@@ -1,0 +1,83 @@
+//! The Figure-6 synchronous iterative linear solver, run on **both** the
+//! causal and the atomic threaded DSM from identical source — the paper's
+//! central programming claim — with the message bill printed for each.
+//!
+//! ```text
+//! cargo run --example linear_solver
+//! ```
+
+use causalmem::apps::{publish_system, run_coordinator, run_worker, LinearSystem, SolverLayout};
+use causalmem::atomic::{AtomicCluster, InvalMode};
+use causalmem::causal::CausalCluster;
+use memcore::{SharedMemory, Word};
+
+const N: usize = 4;
+const PHASES: usize = 30;
+
+fn solve<M>(handles: Vec<M>, layout: SolverLayout, system: &LinearSystem) -> Vec<f64>
+where
+    M: SharedMemory<Word> + Send + Sync,
+{
+    let mut handles = handles;
+    let coordinator = handles.pop().expect("coordinator handle");
+    publish_system(&coordinator, &layout, system).expect("publish");
+    std::thread::scope(|scope| {
+        for (i, mem) in handles.iter().enumerate() {
+            scope.spawn(move || run_worker(mem, &layout, i, PHASES).expect("worker"));
+        }
+        scope.spawn(|| run_coordinator(&coordinator, &layout, PHASES).expect("coordinator"));
+    });
+    (0..N)
+        .map(|i| {
+            handles[i]
+                .read_fresh(layout.x(i))
+                .expect("read")
+                .as_float()
+                .expect("float")
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = LinearSystem::random(N, 2026);
+    let layout = SolverLayout::new(N);
+    println!("solving a random {N}x{N} diagonally dominant system, {PHASES} Jacobi phases\n");
+
+    // Causal memory, with A and b marked constant (footnote 2).
+    let causal = CausalCluster::<Word>::builder(layout.nodes(), layout.locations())
+        .configure(|c| c.owners(layout.owners()).const_pages(layout.const_pages()))
+        .build()?;
+    let x = solve(causal.handles(), layout, &system);
+    println!("causal DSM   : x = {x:.5?}");
+    println!("               residual = {:.2e}", system.residual(&x));
+    println!(
+        "               messages = {} ({} invalidations)",
+        causal.messages().snapshot().total(),
+        causal.total_invalidations()
+    );
+
+    // Atomic memory — the same solver source, strong consistency.
+    let atomic = AtomicCluster::<Word>::builder(layout.nodes(), layout.locations())
+        .configure(|c| {
+            c.owners(layout.owners())
+                .inval_mode(InvalMode::Acknowledged)
+        })
+        .build()?;
+    let x = solve(atomic.handles(), layout, &system);
+    println!("atomic DSM   : x = {x:.5?}");
+    println!("               residual = {:.2e}", system.residual(&x));
+    println!(
+        "               messages = {} ({} invalidations)",
+        atomic.messages().snapshot().total(),
+        atomic.total_invalidations()
+    );
+
+    let reference = system.solve_jacobi(PHASES);
+    println!("reference    : x = {reference:.5?}");
+    println!(
+        "\n(For the paper's exact 2n+6 vs 3n+5 per-processor counts, which need\n\
+         ideal signaling instead of thread polling, run:\n\
+         cargo run -p dsm-bench --bin repro -- solver)"
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Exhaustive schedule exploration: prove (not sample) that the owner
+//! protocol is causally correct for a small program — every interleaving
+//! of client steps and FIFO message deliveries is enumerated and its
+//! recorded execution checked against Definition 2.
+//!
+//! ```text
+//! cargo run --release --example model_check
+//! ```
+
+use causalmem::causal::CausalConfig;
+use causalmem::sim::{explore_causal, ClientOp};
+use memcore::{Location, Word};
+
+fn main() {
+    let x = Location::new(0);
+    let z = Location::new(2);
+
+    println!("program (the causal core of Figure 3):");
+    println!("  P0: w(x)5");
+    println!("  P1: r!(x) w(z)4");
+    println!("  P2: r!(z) r!(x)\n");
+
+    let config = CausalConfig::<Word>::builder(3, 3).build();
+    let scripts = vec![
+        vec![ClientOp::Write(x, Word::Int(5))],
+        vec![ClientOp::ReadFresh(x), ClientOp::Write(z, Word::Int(4))],
+        vec![ClientOp::ReadFresh(z), ClientOp::ReadFresh(x)],
+    ];
+
+    let report = explore_causal(&config, &scripts, 10_000_000);
+    println!("states expanded    : {}", report.states);
+    println!("complete schedules : {}", report.schedules);
+    println!("fully enumerated   : {}", report.complete);
+    match &report.violation {
+        None => println!(
+            "verdict            : every schedule satisfies Definition 2 — the\n\
+             \x20                    Figure-3 anomaly is impossible on the owner protocol"
+        ),
+        Some((_, description)) => println!("VIOLATION FOUND     : {description}"),
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: stand up a causal DSM, watch caching, invalidation and
+//! weakly consistent behaviour happen.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use causalmem::causal::CausalCluster;
+use memcore::{Location, SharedMemory, Word};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three processes sharing six locations. Ownership is round-robin:
+    // P0 owns x0/x3, P1 owns x1/x4, P2 owns x2/x5.
+    let cluster = CausalCluster::<Word>::builder(3, 6).build()?;
+    let p0 = cluster.handle(0);
+    let p1 = cluster.handle(1);
+    let p2 = cluster.handle(2);
+
+    let x0 = Location::new(0);
+    let x1 = Location::new(1);
+
+    // Owner writes are free: no messages at all.
+    p0.write(x0, Word::Int(42))?;
+    println!(
+        "P0 wrote x0=42 locally; messages so far: {}",
+        cluster.messages().snapshot().total()
+    );
+
+    // P1's first read of x0 misses and fetches from the owner (2 messages),
+    // then caches: the second read is free.
+    println!("P1 reads x0: {}", p1.read(x0)?);
+    println!("P1 reads x0 again (cache hit): {}", p1.read(x0)?);
+    println!("messages so far: {}", cluster.messages().snapshot().total());
+
+    // Causal propagation: P1 writes x1 after seeing x0=42; when P2 reads
+    // x1, its stale knowledge of anything older is invalidated, so P2 can
+    // never observe x1's value without also being protected from stale
+    // x0 reads.
+    p1.write(x1, Word::Int(7))?;
+    println!("P2 reads x1: {}", p2.read(x1)?);
+    println!("P2 reads x0: {}", p2.read(x0)?);
+
+    // Weak consistency in action: P0 updates x0, but P1's cached copy is
+    // NOT eagerly invalidated (no communication happened) — that is the
+    // efficiency causal memory buys. A fresh read consults the owner.
+    p0.write(x0, Word::Int(43))?;
+    println!("P1 still reads cached x0: {}", p1.read(x0)?);
+    println!("P1 reads fresh x0:        {}", p1.read_fresh(x0)?);
+
+    println!(
+        "\nfinal message counters:\n{}",
+        cluster.messages().snapshot()
+    );
+    Ok(())
+}

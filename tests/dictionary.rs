@@ -1,0 +1,145 @@
+//! E8 — the §4.2 distributed dictionary on the threaded causal engine:
+//! view property, concurrent-operation safety, convergence, and the
+//! owner-favored conflict resolution.
+
+use causalmem::apps::{DictLayout, Dictionary};
+use causalmem::causal::{CausalCluster, WritePolicy};
+use causalmem::sim::witness::dictionary_conflict_witness;
+use memcore::Word;
+
+fn cluster(layout: DictLayout) -> CausalCluster<Word> {
+    CausalCluster::<Word>::builder(layout.rows() as u32, layout.locations())
+        .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
+        .build()
+        .expect("cluster")
+}
+
+#[test]
+fn view_property_knowledge_monotonicity() {
+    // "after each communication, receiving (reading) processes know
+    // everything about the dictionary known by the writing process at the
+    // write operation."
+    let layout = DictLayout::new(3, 8);
+    let cluster = cluster(layout);
+    let d0 = Dictionary::new(cluster.handle(0), layout);
+    let d1 = Dictionary::new(cluster.handle(1), layout);
+    let d2 = Dictionary::new(cluster.handle(2), layout);
+
+    d0.insert(1).unwrap();
+    d0.insert(2).unwrap();
+    // P1 reads P0's row during lookup: it now knows 1 and 2.
+    assert!(d1.lookup(1).unwrap());
+    assert!(d1.lookup(2).unwrap());
+    // P1 deletes 2 and inserts 3; P2 then looks up 3 — having seen P1's
+    // insert, its view must also include the delete of 2 happening before.
+    d1.delete(2).unwrap();
+    d1.insert(3).unwrap();
+    d2.refresh();
+    assert!(d2.lookup(3).unwrap());
+    assert!(!d2.lookup(2).unwrap(), "view must include the prior delete");
+    assert!(d2.lookup(1).unwrap());
+}
+
+#[test]
+fn concurrent_inserts_into_distinct_rows_never_conflict() {
+    let layout = DictLayout::new(4, 32);
+    let cluster = cluster(layout);
+    std::thread::scope(|scope| {
+        for node in 0..4u32 {
+            let handle = cluster.handle(node);
+            scope.spawn(move || {
+                let dict = Dictionary::new(handle, layout);
+                let base = i64::from(node) * 100;
+                for k in 1..=20 {
+                    assert!(dict.insert(base + k).unwrap());
+                }
+            });
+        }
+    });
+    // Quiescent: every process converges to the same 80 items.
+    for node in 0..4u32 {
+        let dict = Dictionary::new(cluster.handle(node), layout);
+        dict.refresh();
+        let mut items = dict.items().unwrap();
+        items.sort_unstable();
+        assert_eq!(items.len(), 80, "node {node} sees all items");
+        for owner in 0..4i64 {
+            for k in 1..=20 {
+                assert!(items.binary_search(&(owner * 100 + k)).is_ok());
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_insert_delete_storm_converges() {
+    // Each process inserts its items, deletes half of everyone's it can
+    // see, re-inserts its own; after quiescence all views agree with the
+    // owner's rows.
+    let layout = DictLayout::new(3, 64);
+    let cluster = cluster(layout);
+    std::thread::scope(|scope| {
+        for node in 0..3u32 {
+            let handle = cluster.handle(node);
+            scope.spawn(move || {
+                let dict = Dictionary::new(handle, layout);
+                let base = i64::from(node) * 1000;
+                for k in 1..=10 {
+                    dict.insert(base + k).unwrap();
+                }
+                dict.refresh();
+                // Delete every even item currently visible (R2 holds: we
+                // just saw them).
+                for item in dict.items().unwrap() {
+                    if item % 2 == 0 {
+                        let _ = dict.delete(item).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    // Convergence after quiescence: all views identical.
+    let views: Vec<Vec<i64>> = (0..3u32)
+        .map(|node| {
+            let dict = Dictionary::new(cluster.handle(node), layout);
+            dict.refresh();
+            let mut items = dict.items().unwrap();
+            items.sort_unstable();
+            items
+        })
+        .collect();
+    assert_eq!(views[0], views[1]);
+    assert_eq!(views[1], views[2]);
+    // No even item that was deleted-by-all survives alongside its deleter's
+    // knowledge; odd items inserted and never deleted must all be present.
+    for owner in 0..3i64 {
+        for k in (1..=10).filter(|k| k % 2 == 1) {
+            assert!(
+                views[0].binary_search(&(owner * 1000 + k)).is_ok(),
+                "odd item {} missing",
+                owner * 1000 + k
+            );
+        }
+    }
+}
+
+#[test]
+fn papers_conflict_scenario_owner_wins() {
+    let favored = dictionary_conflict_witness(WritePolicy::OwnerFavored);
+    assert!(!favored.delete_applied, "stale delete must be rejected");
+    assert_eq!(favored.final_value, Word::Int(20), "re-insert survives");
+
+    // The counterfactual the policy prevents:
+    let arrival = dictionary_conflict_witness(WritePolicy::LastArrival);
+    assert!(arrival.delete_applied);
+    assert_eq!(arrival.final_value, Word::Zero);
+}
+
+#[test]
+fn deletes_of_unseen_items_are_noops() {
+    let layout = DictLayout::new(2, 4);
+    let cluster = cluster(layout);
+    let d1 = Dictionary::new(cluster.handle(1), layout);
+    assert!(!d1.delete(42).unwrap());
+    assert!(!d1.lookup(42).unwrap());
+}

@@ -1,0 +1,55 @@
+//! The boundary of the non-blocking-write enhancement, pinned by
+//! exhaustive enumeration: **certification-before-knowledge-export is
+//! load-bearing** in the owner protocol. A write whose certification is
+//! still in flight can become causally known to third parties (through
+//! the writer's subsequent operations), and a reader can then be *served*
+//! a provably overwritten value by an owner that has not yet received the
+//! write — no reader-side guard can fix a reply that is already stale.
+//! This is presumably why Figure 4's writes block, and it scopes
+//! `write_nonblocking` to uses where the written location is not read
+//! through faster causal channels (e.g., results published once and
+//! consumed via `wait_until`, which refetches).
+
+use causalmem::causal::CausalConfig;
+use causalmem::sim::{explore_causal, ClientOp};
+use memcore::{Location, Word};
+
+#[test]
+fn nonblocking_knowledge_can_outrun_the_write() {
+    let loc = Location::new;
+    // P2 non-blockingly writes x0 (owned by P0), then writes its own x2;
+    // P1 reads x2 fresh — causally absorbing the existence of the
+    // in-flight write — then reads x0 fresh. In schedules where P0 has
+    // not yet received the write, P1 is served the initial value while
+    // provably knowing of its overwrite.
+    let config = CausalConfig::<Word>::builder(3, 3).build();
+    let scripts = vec![
+        vec![],
+        vec![ClientOp::ReadFresh(loc(2)), ClientOp::ReadFresh(loc(0))],
+        vec![
+            ClientOp::WriteNonblocking(loc(0), Word::Int(9)),
+            ClientOp::Write(loc(2), Word::Int(7)),
+        ],
+    ];
+    let report = explore_causal(&config, &scripts, 2_000_000);
+    assert!(report.complete);
+    assert!(
+        report.violation.is_some(),
+        "the non-blocking hazard should be reachable; if this fails, the \
+         enhancement became sound — update the documentation!"
+    );
+
+    // The *blocking* protocol on the identical program shape is correct in
+    // every schedule: the enhancement, not the protocol, is the culprit.
+    let scripts = vec![
+        vec![],
+        vec![ClientOp::ReadFresh(loc(2)), ClientOp::ReadFresh(loc(0))],
+        vec![
+            ClientOp::Write(loc(0), Word::Int(9)),
+            ClientOp::Write(loc(2), Word::Int(7)),
+        ],
+    ];
+    let report = explore_causal(&config, &scripts, 2_000_000);
+    assert!(report.complete);
+    assert!(report.all_correct(), "blocking writes must be sound");
+}
