@@ -369,6 +369,7 @@ pub fn run_causal_solver_sim(system: &LinearSystem, cfg: &SolverSimConfig) -> So
             seed: cfg.seed,
             wait_mode: cfg.wait_mode,
             recorder: None,
+            faults: None,
         },
     );
     install_clients(&mut sim, &layout, system, cfg);
@@ -391,6 +392,7 @@ pub fn run_broadcast_solver_sim(system: &LinearSystem, cfg: &SolverSimConfig) ->
             seed: cfg.seed,
             wait_mode: cfg.wait_mode,
             recorder: None,
+            faults: None,
         },
     );
     install_clients(&mut sim, &layout, system, cfg);
@@ -416,6 +418,7 @@ pub fn run_atomic_solver_sim(
             seed: cfg.seed,
             wait_mode: cfg.wait_mode,
             recorder: None,
+            faults: None,
         },
     );
     install_clients(&mut sim, &layout, system, cfg);

@@ -5,12 +5,12 @@
 //! cargo run -p dsm-bench --bin repro -- fig2    # one experiment
 //! ```
 //!
-//! Sections: `fig1 fig2 fig3 fig5 solver latency ablations dictionary`.
+//! Sections: `fig1 fig2 fig3 fig5 solver latency ablations dictionary chaos`.
 
 use dsm_bench::{
-    latency_sweep, render_ablations, render_costs, render_dictionary, render_figure1,
-    render_figure2, render_figure3, render_figure5, render_latency_sweep, render_notice_modes,
-    render_solver_table, solver_table, write_figure_dots,
+    latency_sweep, render_ablations, render_chaos, render_costs, render_dictionary,
+    render_figure1, render_figure2, render_figure3, render_figure5, render_latency_sweep,
+    render_notice_modes, render_solver_table, solver_table, write_figure_dots,
 };
 
 fn section(title: &str, body: &str) {
@@ -80,6 +80,12 @@ fn main() {
     }
     if want("ablations") {
         section("A1–A4: ablations", &render_ablations());
+    }
+    if want("chaos") {
+        section(
+            "F1: fault tolerance — session-layer overhead under chaos",
+            &render_chaos(0, 20),
+        );
     }
     if want("costs") {
         section(

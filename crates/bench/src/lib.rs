@@ -11,6 +11,7 @@
 mod ablations;
 mod costs;
 mod experiments;
+mod faults_report;
 mod figures;
 
 pub use ablations::{
@@ -25,6 +26,7 @@ pub use experiments::{
     latency_sweep, render_latency_sweep, render_solver_table, solver_row, solver_table, LatencyRow,
     SolverRow,
 };
+pub use faults_report::{chaos_overhead, render_chaos, ChaosRow};
 pub use figures::{
     render_dictionary, render_figure1, render_figure2, render_figure3, render_figure5,
     render_notice_modes, write_figure_dots,

@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use memcore::{OwnerMap, PageId, RoundRobinOwners, Value};
 
@@ -53,6 +54,8 @@ pub struct CausalConfig<V> {
     policy: WritePolicy,
     cache_capacity: Option<usize>,
     const_pages: HashSet<PageId>,
+    owner_timeout: Option<Duration>,
+    owner_retries: u32,
 }
 
 impl<V: Value> CausalConfig<V> {
@@ -130,6 +133,26 @@ impl<V: Value> CausalConfig<V> {
     pub fn is_const_page(&self, page: PageId) -> bool {
         self.const_pages.contains(&page)
     }
+
+    /// How long one owner round-trip may wait for its reply before the
+    /// engine re-checks for shutdown and, after
+    /// [`owner_retries`](CausalConfig::owner_retries) further windows,
+    /// fails with [`memcore::MemoryError::Timeout`].
+    ///
+    /// `None` (the default) waits forever — the paper's model, where the
+    /// network is reliable and owners always answer.
+    #[must_use]
+    pub fn owner_timeout(&self) -> Option<Duration> {
+        self.owner_timeout
+    }
+
+    /// Number of additional timeout windows an owner round-trip waits
+    /// through before giving up (ignored unless
+    /// [`owner_timeout`](CausalConfig::owner_timeout) is set).
+    #[must_use]
+    pub fn owner_retries(&self) -> u32 {
+        self.owner_retries
+    }
 }
 
 impl<V> fmt::Debug for CausalConfig<V> {
@@ -142,6 +165,8 @@ impl<V> fmt::Debug for CausalConfig<V> {
             .field("policy", &self.policy)
             .field("cache_capacity", &self.cache_capacity)
             .field("const_pages", &self.const_pages.len())
+            .field("owner_timeout", &self.owner_timeout)
+            .field("owner_retries", &self.owner_retries)
             .finish()
     }
 }
@@ -172,6 +197,8 @@ pub struct CausalConfigBuilder<V> {
     policy: WritePolicy,
     cache_capacity: Option<usize>,
     const_pages: HashSet<PageId>,
+    owner_timeout: Option<Duration>,
+    owner_retries: u32,
 }
 
 impl<V: Value + Default> CausalConfigBuilder<V> {
@@ -188,6 +215,8 @@ impl<V: Value + Default> CausalConfigBuilder<V> {
             policy: WritePolicy::default(),
             cache_capacity: None,
             const_pages: HashSet::new(),
+            owner_timeout: None,
+            owner_retries: 0,
         }
     }
 }
@@ -255,6 +284,25 @@ impl<V: Value> CausalConfigBuilder<V> {
         self
     }
 
+    /// Bounds each owner round-trip wait to `timeout` per window (default:
+    /// wait forever, the paper's reliable-network assumption). Set this
+    /// when the transport can lose messages, so blocked operations fail
+    /// with [`memcore::MemoryError::Timeout`] instead of hanging.
+    #[must_use]
+    pub fn owner_timeout(mut self, timeout: Duration) -> Self {
+        self.owner_timeout = Some(timeout);
+        self
+    }
+
+    /// Grants `retries` additional timeout windows before an owner
+    /// round-trip gives up (default 0; meaningful only with
+    /// [`owner_timeout`](CausalConfigBuilder::owner_timeout)).
+    #[must_use]
+    pub fn owner_retries(mut self, retries: u32) -> Self {
+        self.owner_retries = retries;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -279,6 +327,8 @@ impl<V: Value> CausalConfigBuilder<V> {
             policy: self.policy,
             cache_capacity: self.cache_capacity,
             const_pages: self.const_pages,
+            owner_timeout: self.owner_timeout,
+            owner_retries: self.owner_retries,
         }
     }
 }
@@ -334,5 +384,18 @@ mod tests {
     fn debug_output_is_nonempty() {
         let config = CausalConfig::<Word>::builder(2, 4).build();
         assert!(format!("{config:?}").contains("CausalConfig"));
+    }
+
+    #[test]
+    fn owner_timeout_defaults_to_forever() {
+        let config = CausalConfig::<Word>::builder(2, 4).build();
+        assert_eq!(config.owner_timeout(), None);
+        assert_eq!(config.owner_retries(), 0);
+        let config = CausalConfig::<Word>::builder(2, 4)
+            .owner_timeout(Duration::from_millis(50))
+            .owner_retries(3)
+            .build();
+        assert_eq!(config.owner_timeout(), Some(Duration::from_millis(50)));
+        assert_eq!(config.owner_retries(), 3);
     }
 }

@@ -248,6 +248,17 @@ impl<V: Value> CausalCluster<V> {
         self.inner.net.bytes()
     }
 
+    /// Installs (or removes) a fault hook on the cluster's network.
+    ///
+    /// With faults active the transport may drop protocol messages, so
+    /// operations can block forever unless
+    /// [`owner_timeout`](crate::CausalConfigBuilder::owner_timeout) is also
+    /// configured. Intended for fault-tolerance experiments and tests; the
+    /// deterministic chaos suite lives in `dsm-faults`.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn simnet::FaultHook>>) {
+        self.inner.net.set_fault_hook(hook);
+    }
+
     /// A snapshot of node `i`'s current vector timestamp `VT_i`
     /// (observability/diagnostics).
     ///
@@ -344,6 +355,31 @@ impl<V: Value> CausalHandle<V> {
         }
     }
 
+    /// Waits for the reply to an outstanding owner round-trip.
+    ///
+    /// Without an [`owner_timeout`](crate::CausalConfigBuilder::owner_timeout)
+    /// this blocks forever (the paper's reliable-network model). With one,
+    /// it waits `1 + owner_retries` windows and then fails with
+    /// [`MemoryError::Timeout`]. A timed-out operation's reply may still
+    /// arrive later and would be misattributed to the node's next blocked
+    /// operation, so callers should treat `Timeout` as fatal for the
+    /// handle's session.
+    fn await_reply(&self, node: &NodeShared<V>, owner: NodeId) -> Result<Msg<V>, MemoryError> {
+        let Some(window) = self.inner.config.owner_timeout() else {
+            return node.replies.recv().map_err(|_| MemoryError::Shutdown);
+        };
+        for _ in 0..=self.inner.config.owner_retries() {
+            match node.replies.recv_timeout(window) {
+                Ok(reply) => return Ok(reply),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(MemoryError::Shutdown)
+                }
+            }
+        }
+        Err(MemoryError::Timeout { owner })
+    }
+
     /// Performs a write and reports whether it survived concurrent-write
     /// resolution (always applied under [`crate::WritePolicy::LastArrival`];
     /// may be rejected under [`crate::WritePolicy::OwnerFavored`], §4.2).
@@ -368,7 +404,7 @@ impl<V: Value> CausalHandle<V> {
                     .net
                     .send(self.node, owner, request)
                     .map_err(|_| MemoryError::Shutdown)?;
-                let reply = node.replies.recv().map_err(|_| MemoryError::Shutdown)?;
+                let reply = self.await_reply(node, owner)?;
                 node.state.lock().finish_write(value.clone(), wid, reply)
             }
         };
@@ -448,7 +484,7 @@ impl<V: Value> SharedMemory<V> for CausalHandle<V> {
                     .net
                     .send(self.node, owner, request)
                     .map_err(|_| MemoryError::Shutdown)?;
-                let reply = node.replies.recv().map_err(|_| MemoryError::Shutdown)?;
+                let reply = self.await_reply(node, owner)?;
                 node.state.lock().finish_read(loc, reply)
             }
         };

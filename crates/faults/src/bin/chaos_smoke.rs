@@ -1,0 +1,23 @@
+//! CI smoke batch: 25 fixed-seed chaos runs on a 3-node cluster.
+//!
+//! Exits nonzero if any run violates the causal specification or wedges,
+//! printing the reproducing seed and fault plan.
+//!
+//! ```text
+//! cargo run -p dsm-faults --bin chaos-smoke [runs]
+//! ```
+
+use dsm_faults::{run_chaos_batch, ChaosConfig};
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("runs must be a number"))
+        .unwrap_or(25);
+    let cfg = ChaosConfig::default(); // 3 nodes, random drops/partitions/crashes
+    let batch = run_chaos_batch(0, runs, &cfg);
+    print!("{batch}");
+    if !batch.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,133 @@
+//! The live fault injector: a [`FaultPlan`] plus a seeded RNG, exposed as
+//! a [`FaultHook`] the transports consult.
+
+use memcore::NodeId;
+use parking_lot::Mutex;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simnet::{FaultHook, SendFate};
+
+use crate::plan::FaultPlan;
+
+/// Turns a [`FaultPlan`] into per-message fate decisions.
+///
+/// Every probabilistic decision draws from one seeded ChaCha8 stream, and
+/// each `on_send` consumes a fixed number of draws (drop, spike, dup — in
+/// that order), so a run is replayable: the same seed, plan, and send
+/// sequence yield the same faults. The deterministic simulator calls
+/// `on_send` from a single thread in event order, which makes the whole
+/// execution a pure function of `(workload seed, plan, injector seed)`.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+impl FaultInjector {
+    /// Pairs `plan` with a ChaCha8 stream seeded by `seed`.
+    #[must_use]
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The plan this injector executes.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultHook for FaultInjector {
+    fn on_send(&self, src: NodeId, dst: NodeId, _kind: &'static str, now: u64) -> SendFate {
+        let faults = self.plan.link(src, dst);
+        // Fixed draw count per send keeps the stream aligned across
+        // replays regardless of which faults fire.
+        let mut rng = self.rng.lock();
+        let dropped = rng.gen_bool(faults.drop);
+        let spiked = rng.gen_bool(faults.spike);
+        let duplicated = rng.gen_bool(faults.dup);
+        drop(rng);
+
+        // Scheduled cuts are deterministic in time and override the dice.
+        if self.plan.cut(src, dst, now) || dropped {
+            return SendFate::dropped();
+        }
+        let extra = if spiked { faults.spike_delay } else { 0 };
+        if duplicated {
+            // The duplicate trails the original by one time unit.
+            SendFate {
+                copies: vec![extra, extra + 1],
+            }
+        } else {
+            SendFate::delayed(extra)
+        }
+    }
+
+    fn down_until(&self, node: NodeId, at: u64) -> Option<u64> {
+        self.plan.down_until(node, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::LinkFaults;
+
+    fn p(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let plan = FaultPlan::uniform(LinkFaults {
+            drop: 0.3,
+            dup: 0.3,
+            spike: 0.3,
+            spike_delay: 5,
+        });
+        let a = FaultInjector::new(42, plan.clone());
+        let b = FaultInjector::new(42, plan);
+        for i in 0..1000 {
+            assert_eq!(
+                a.on_send(p(0), p(1), "READ", i),
+                b.on_send(p(0), p(1), "READ", i)
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_plan_never_interferes() {
+        let inj = FaultInjector::new(7, FaultPlan::none());
+        for i in 0..100 {
+            assert_eq!(inj.on_send(p(0), p(1), "X", i), SendFate::deliver());
+        }
+        assert_eq!(inj.down_until(p(0), 50), None);
+    }
+
+    #[test]
+    fn partitions_cut_deterministically() {
+        let plan = FaultPlan::none().with_partition(10, 20, vec![0]);
+        let inj = FaultInjector::new(7, plan);
+        assert_eq!(inj.on_send(p(0), p(1), "X", 15), SendFate::dropped());
+        assert_eq!(inj.on_send(p(0), p(1), "X", 25), SendFate::deliver());
+    }
+
+    #[test]
+    fn crash_windows_pass_through() {
+        let plan = FaultPlan::none().with_crash(2, 5, 9);
+        let inj = FaultInjector::new(0, plan);
+        assert_eq!(inj.down_until(p(2), 6), Some(9));
+        assert_eq!(inj.down_until(p(2), 9), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! Replayable fault plans: *what* goes wrong, *where*, and *when*.
+//!
+//! A [`FaultPlan`] is pure data — probabilities per link plus scheduled
+//! partition and crash windows — so printing it (it implements `Debug`)
+//! together with its seed is a complete reproduction recipe. The
+//! [`FaultInjector`](crate::FaultInjector) turns a plan into a live
+//! [`FaultHook`](simnet::FaultHook) by pairing it with a seeded RNG.
+
+use memcore::NodeId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-link fault probabilities, applied independently to every message
+/// the link carries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a message is silently lost.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub dup: f64,
+    /// Probability a message suffers an extra delay spike.
+    pub spike: f64,
+    /// The extra delay of a spike, in simulator time units.
+    pub spike_delay: u64,
+}
+
+impl LinkFaults {
+    /// A perfectly healthy link.
+    #[must_use]
+    pub fn none() -> Self {
+        LinkFaults {
+            drop: 0.0,
+            dup: 0.0,
+            spike: 0.0,
+            spike_delay: 0,
+        }
+    }
+
+    /// A link that only drops, with probability `p`.
+    #[must_use]
+    pub fn dropping(p: f64) -> Self {
+        LinkFaults {
+            drop: p,
+            ..LinkFaults::none()
+        }
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::none()
+    }
+}
+
+/// A scheduled network partition: during `[start, heal)`, messages
+/// between `group` and the remaining nodes are cut (dropped). Both sides
+/// stay alive and talk freely within themselves; at `heal` the cut closes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// First instant the cut is active.
+    pub start: u64,
+    /// First instant after healing (exclusive end).
+    pub heal: u64,
+    /// One side of the cut (node indices); the other side is everyone else.
+    pub group: Vec<u32>,
+}
+
+impl Partition {
+    /// `true` iff a message from `src` to `dst` at time `now` crosses the
+    /// active cut.
+    #[must_use]
+    pub fn cuts(&self, src: NodeId, dst: NodeId, now: u64) -> bool {
+        if now < self.start || now >= self.heal {
+            return false;
+        }
+        let a = self.group.contains(&(src.index() as u32));
+        let b = self.group.contains(&(dst.index() as u32));
+        a != b
+    }
+}
+
+/// A scheduled crash: `node` is down during `[start, restart)` — it loses
+/// every message addressed to it and performs no work — then resumes with
+/// its durable protocol state intact (a pause-crash, the model under which
+/// the session layer must re-derive exactly-once delivery).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crash {
+    /// The crashing node's index.
+    pub node: u32,
+    /// First instant of the outage.
+    pub start: u64,
+    /// First instant the node is back (exclusive end of the outage).
+    pub restart: u64,
+}
+
+/// A complete, replayable description of everything the network will do
+/// wrong: probabilistic per-link faults plus scheduled partitions and
+/// crashes.
+///
+/// Plans whose partitions all heal and whose crashes all restart — which
+/// [`FaultPlan::random`] guarantees — cannot wedge a session-layered run:
+/// every retransmission eventually finds a live path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Faults applied to every link without an override.
+    pub default_link: LinkFaults,
+    /// Per-link overrides, keyed by `(src, dst)` node indices.
+    pub link_overrides: Vec<((u32, u32), LinkFaults)>,
+    /// Scheduled partitions (all heal).
+    pub partitions: Vec<Partition>,
+    /// Scheduled crashes (all restart).
+    pub crashes: Vec<Crash>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfectly reliable network.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            default_link: LinkFaults::none(),
+            link_overrides: Vec::new(),
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A plan applying `faults` uniformly to every link.
+    #[must_use]
+    pub fn uniform(faults: LinkFaults) -> Self {
+        FaultPlan {
+            default_link: faults,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Overrides the faults of one directed link.
+    #[must_use]
+    pub fn with_link(mut self, src: u32, dst: u32, faults: LinkFaults) -> Self {
+        self.link_overrides.push(((src, dst), faults));
+        self
+    }
+
+    /// Adds a scheduled partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition never heals (`heal <= start`).
+    #[must_use]
+    pub fn with_partition(mut self, start: u64, heal: u64, group: Vec<u32>) -> Self {
+        assert!(heal > start, "partitions must heal");
+        self.partitions.push(Partition { start, heal, group });
+        self
+    }
+
+    /// Adds a scheduled crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node never restarts (`restart <= start`).
+    #[must_use]
+    pub fn with_crash(mut self, node: u32, start: u64, restart: u64) -> Self {
+        assert!(restart > start, "crashed nodes must restart");
+        self.crashes.push(Crash {
+            node,
+            start,
+            restart,
+        });
+        self
+    }
+
+    /// The faults governing the `src -> dst` link.
+    #[must_use]
+    pub fn link(&self, src: NodeId, dst: NodeId) -> LinkFaults {
+        let key = (src.index() as u32, dst.index() as u32);
+        self.link_overrides
+            .iter()
+            .rev() // last override wins
+            .find(|(k, _)| *k == key)
+            .map_or(self.default_link, |(_, f)| *f)
+    }
+
+    /// `true` iff an active partition cuts `src -> dst` at `now`.
+    #[must_use]
+    pub fn cut(&self, src: NodeId, dst: NodeId, now: u64) -> bool {
+        self.partitions.iter().any(|p| p.cuts(src, dst, now))
+    }
+
+    /// If `node` is down at `at`, the time it restarts.
+    #[must_use]
+    pub fn down_until(&self, node: NodeId, at: u64) -> Option<u64> {
+        let idx = node.index() as u32;
+        self.crashes
+            .iter()
+            .filter(|c| c.node == idx && c.start <= at && at < c.restart)
+            .map(|c| c.restart)
+            .max()
+    }
+
+    /// A random but fully determined plan for an `nodes`-node run expected
+    /// to last about `horizon` time units: uniform drop/dup/spike rates
+    /// (drops up to 20%), usually one partition, and usually one
+    /// crash/restart. The same `(seed, nodes, horizon)` always yields the
+    /// same plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `horizon < 8`.
+    #[must_use]
+    pub fn random(seed: u64, nodes: u32, horizon: u64) -> Self {
+        assert!(nodes >= 2, "fault plans need at least two nodes");
+        assert!(horizon >= 8, "horizon too short to schedule faults");
+        // Distinct stream from the workload/latency RNGs using the same seed.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA17_AB1E_D00D_0001);
+        let default_link = LinkFaults {
+            drop: rng.gen_range(0.0..0.20),
+            dup: rng.gen_range(0.0..0.10),
+            spike: rng.gen_range(0.0..0.10),
+            spike_delay: rng.gen_range(1..=horizon / 8),
+        };
+        let mut plan = FaultPlan::uniform(default_link);
+        if rng.gen_bool(0.7) {
+            // One partition, cutting a random nonempty proper subset.
+            let start = rng.gen_range(0..horizon / 2);
+            let heal = start + rng.gen_range(1..=horizon / 4);
+            let split = rng.gen_range(1..nodes);
+            let group: Vec<u32> = (0..split).collect();
+            plan = plan.with_partition(start, heal, group);
+        }
+        if rng.gen_bool(0.7) {
+            let node = rng.gen_range(0..nodes);
+            let start = rng.gen_range(0..horizon / 2);
+            let restart = start + rng.gen_range(1..=horizon / 4);
+            plan = plan.with_crash(node, start, restart);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn partition_cuts_only_across_groups_and_only_while_active() {
+        let plan = FaultPlan::none().with_partition(10, 20, vec![0]);
+        assert!(!plan.cut(p(0), p(1), 9));
+        assert!(plan.cut(p(0), p(1), 10));
+        assert!(plan.cut(p(1), p(0), 19));
+        assert!(!plan.cut(p(0), p(1), 20));
+        // Within one side, traffic flows.
+        let plan2 = FaultPlan::none().with_partition(0, 100, vec![0, 1]);
+        assert!(!plan2.cut(p(0), p(1), 50));
+        assert!(plan2.cut(p(1), p(2), 50));
+    }
+
+    #[test]
+    fn crash_window_is_half_open() {
+        let plan = FaultPlan::none().with_crash(1, 5, 15);
+        assert_eq!(plan.down_until(p(1), 4), None);
+        assert_eq!(plan.down_until(p(1), 5), Some(15));
+        assert_eq!(plan.down_until(p(1), 14), Some(15));
+        assert_eq!(plan.down_until(p(1), 15), None);
+        assert_eq!(plan.down_until(p(0), 10), None);
+    }
+
+    #[test]
+    fn link_overrides_beat_default() {
+        let plan = FaultPlan::uniform(LinkFaults::dropping(0.5)).with_link(
+            0,
+            1,
+            LinkFaults::none(),
+        );
+        assert_eq!(plan.link(p(0), p(1)), LinkFaults::none());
+        assert_eq!(plan.link(p(1), p(0)), LinkFaults::dropping(0.5));
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_always_heal() {
+        for seed in 0..50 {
+            let a = FaultPlan::random(seed, 4, 1000);
+            let b = FaultPlan::random(seed, 4, 1000);
+            assert_eq!(a, b);
+            assert!(a.default_link.drop < 0.20);
+            for part in &a.partitions {
+                assert!(part.heal > part.start);
+            }
+            for crash in &a.crashes {
+                assert!(crash.restart > crash.start);
+            }
+        }
+        assert_ne!(FaultPlan::random(1, 4, 1000), FaultPlan::random(2, 4, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "must heal")]
+    fn eternal_partitions_are_rejected() {
+        let _ = FaultPlan::none().with_partition(10, 10, vec![0]);
+    }
+}

@@ -1,0 +1,527 @@
+//! The reliable-delivery session layer: re-deriving the paper's
+//! "reliable, ordered message passing" assumption over a lossy link.
+//!
+//! The owner protocol (Figure 4) is only correct on a network that
+//! delivers every message exactly once, in per-link FIFO order. A faulty
+//! network drops, duplicates, delays, and reorders. This module closes the
+//! gap with a classical sliding-window session protocol:
+//!
+//! * every payload from one node to one peer carries a per-link **sequence
+//!   number** ([`SessionMsg::Data`]);
+//! * the receiver holds out-of-order arrivals in a **reorder buffer** and
+//!   releases payloads strictly in sequence, exactly once (duplicates are
+//!   suppressed and re-acknowledged);
+//! * every delivery is answered with a **cumulative ack** carrying the
+//!   next sequence number the receiver expects ([`SessionMsg::Ack`]);
+//! * the sender keeps unacknowledged payloads and **retransmits them all**
+//!   when its retransmission timer (RTO) fires, re-arming until acked.
+//!
+//! Termination under faults: as long as every partition heals, every
+//! crashed node restarts, and per-message drop probability is below 1, the
+//! retransmit/re-ack loop makes every payload eventually delivered exactly
+//! once — so a protocol that terminates on a reliable network terminates
+//! on the faulty one, with the overhead showing up as
+//! [`kinds::RETX`] / [`kinds::ACK`]
+//! traffic in the message statistics.
+
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
+
+use dsm_sim::{Actor, ClientOp, Effects};
+use memcore::{kinds, Location, NodeId, Value};
+use simnet::Tagged;
+
+/// A session-layer frame wrapping the protocol's own message type `M`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionMsg<M> {
+    /// A (possibly retransmitted) payload with its per-link sequence
+    /// number.
+    Data {
+        /// Sequence number on the `src -> dst` link, from 0.
+        seq: u64,
+        /// `true` iff this is a retransmission (counted as
+        /// [`kinds::RETX`] instead of the payload's own kind).
+        retx: bool,
+        /// The protocol message being carried.
+        payload: M,
+    },
+    /// A cumulative acknowledgement: the receiver has delivered every
+    /// sequence number below `cum` on this link.
+    Ack {
+        /// The next sequence number the receiver expects.
+        cum: u64,
+    },
+}
+
+impl<M: Tagged> Tagged for SessionMsg<M> {
+    fn kind(&self) -> &'static str {
+        match self {
+            // Fresh data keeps the payload's kind so protocol message
+            // counts stay comparable with and without the session layer.
+            SessionMsg::Data { retx: false, payload, .. } => payload.kind(),
+            SessionMsg::Data { retx: true, .. } => kinds::RETX,
+            SessionMsg::Ack { .. } => kinds::ACK,
+        }
+    }
+
+    fn wire_size(&self) -> Option<usize> {
+        // seq (8) + flag (1), or cum (8) + tag (1).
+        match self {
+            SessionMsg::Data { payload, .. } => payload.wire_size().map(|s| s + 9),
+            SessionMsg::Ack { .. } => Some(9),
+        }
+    }
+}
+
+/// Counters kept by one node's [`ReliableLink`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Fresh payloads sent (first transmissions).
+    pub data_sent: u64,
+    /// Retransmitted payloads.
+    pub retransmits: u64,
+    /// Acks sent.
+    pub acks_sent: u64,
+    /// Incoming payloads discarded as already-delivered duplicates.
+    pub duplicates_suppressed: u64,
+}
+
+#[derive(Clone, Debug)]
+struct TxPeer<M> {
+    next_seq: u64,
+    /// seq -> (last transmission time, payload).
+    unacked: BTreeMap<u64, (u64, M)>,
+}
+
+impl<M> Default for TxPeer<M> {
+    fn default() -> Self {
+        TxPeer {
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RxPeer<M> {
+    next_expected: u64,
+    buffer: BTreeMap<u64, M>,
+}
+
+impl<M> Default for RxPeer<M> {
+    fn default() -> Self {
+        RxPeer {
+            next_expected: 0,
+            buffer: BTreeMap::new(),
+        }
+    }
+}
+
+/// One node's end of the session protocol, covering its links to every
+/// peer (sequence numbers and acks are tracked per peer).
+#[derive(Clone, Debug)]
+pub struct ReliableLink<M> {
+    rto: u64,
+    tx: HashMap<u32, TxPeer<M>>,
+    rx: HashMap<u32, RxPeer<M>>,
+    /// When the retransmission timer should next fire; `None` while
+    /// nothing is unacknowledged.
+    deadline: Option<u64>,
+    stats: SessionStats,
+}
+
+impl<M: Clone> ReliableLink<M> {
+    /// A fresh session endpoint with retransmission timeout `rto` (time
+    /// units between a send and its first retransmission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rto` is zero.
+    #[must_use]
+    pub fn new(rto: u64) -> Self {
+        assert!(rto > 0, "retransmission timeout must be positive");
+        ReliableLink {
+            rto,
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+            deadline: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Wraps `payload` for transmission to `dst`, assigning the link's
+    /// next sequence number and arming the retransmission timer.
+    pub fn send(&mut self, now: u64, dst: NodeId, payload: M) -> SessionMsg<M> {
+        let peer = self.tx.entry(dst.index() as u32).or_default();
+        let seq = peer.next_seq;
+        peer.next_seq += 1;
+        peer.unacked.insert(seq, (now, payload.clone()));
+        let due = now + self.rto;
+        self.deadline = Some(self.deadline.map_or(due, |d| d.min(due)));
+        self.stats.data_sent += 1;
+        SessionMsg::Data {
+            seq,
+            retx: false,
+            payload,
+        }
+    }
+
+    /// Processes an incoming frame from `from`.
+    ///
+    /// Returns `(replies, delivered)`: session frames to send back to
+    /// `from` (acks), and payloads released to the protocol — strictly in
+    /// per-link sequence order, each exactly once.
+    pub fn on_receive(
+        &mut self,
+        _now: u64,
+        from: NodeId,
+        msg: SessionMsg<M>,
+    ) -> (Vec<SessionMsg<M>>, Vec<M>) {
+        match msg {
+            SessionMsg::Data { seq, payload, .. } => {
+                let peer = self.rx.entry(from.index() as u32).or_default();
+                let mut delivered = Vec::new();
+                if seq < peer.next_expected || peer.buffer.contains_key(&seq) {
+                    // Already delivered or already buffered: suppress, but
+                    // re-ack — the original ack may have been lost.
+                    self.stats.duplicates_suppressed += 1;
+                } else {
+                    peer.buffer.insert(seq, payload);
+                    while let Some(p) = peer.buffer.remove(&peer.next_expected) {
+                        delivered.push(p);
+                        peer.next_expected += 1;
+                    }
+                }
+                let cum = peer.next_expected;
+                self.stats.acks_sent += 1;
+                (vec![SessionMsg::Ack { cum }], delivered)
+            }
+            SessionMsg::Ack { cum } => {
+                if let Some(peer) = self.tx.get_mut(&(from.index() as u32)) {
+                    peer.unacked = peer.unacked.split_off(&cum);
+                }
+                self.recompute_deadline();
+                (Vec::new(), Vec::new())
+            }
+        }
+    }
+
+    /// Fires the retransmission timer: if it is due, every payload that
+    /// has gone unacknowledged for a full RTO (to any peer) is
+    /// retransmitted and the timer re-arms for the next oldest payload.
+    pub fn on_timer(&mut self, now: u64) -> Vec<(NodeId, SessionMsg<M>)> {
+        if self.deadline.is_none_or(|d| d > now) {
+            return Vec::new();
+        }
+        let rto = self.rto;
+        let mut out = Vec::new();
+        let mut peers: Vec<u32> = self.tx.keys().copied().collect();
+        peers.sort_unstable(); // deterministic iteration order
+        for p in peers {
+            let peer = self.tx.get_mut(&p).expect("key from iteration");
+            for (&seq, entry) in peer.unacked.iter_mut() {
+                if entry.0 + rto <= now {
+                    entry.0 = now;
+                    out.push((
+                        NodeId::new(p),
+                        SessionMsg::Data {
+                            seq,
+                            retx: true,
+                            payload: entry.1.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        self.stats.retransmits += out.len() as u64;
+        self.recompute_deadline();
+        out
+    }
+
+    /// When the retransmission timer should next fire, if armed.
+    #[must_use]
+    pub fn next_timer(&self) -> Option<u64> {
+        self.deadline
+    }
+
+    /// Total payloads awaiting acknowledgement, across peers.
+    #[must_use]
+    pub fn unacked(&self) -> usize {
+        self.tx.values().map(|p| p.unacked.len()).sum()
+    }
+
+    /// The endpoint's counters.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Earliest `last_sent + rto` over every unacknowledged payload.
+    fn recompute_deadline(&mut self) {
+        let rto = self.rto;
+        self.deadline = self
+            .tx
+            .values()
+            .flat_map(|p| p.unacked.values().map(|(sent, _)| sent + rto))
+            .min();
+    }
+}
+
+/// An [`Actor`] adapter inserting a [`ReliableLink`] *under* any protocol
+/// actor: the wrapped protocol runs unchanged, believing the network is
+/// reliable and FIFO, while the session layer earns that belief over a
+/// faulty one.
+#[derive(Debug)]
+pub struct SessionActor<V: Value, A: Actor<V>> {
+    inner: A,
+    link: ReliableLink<A::Msg>,
+    /// Latest simulated time observed, so the non-`_at` trait methods
+    /// still work if called directly.
+    now: u64,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V: Value, A: Actor<V>> SessionActor<V, A> {
+    /// Wraps `inner` with a session endpoint using retransmission timeout
+    /// `rto`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rto` is zero.
+    #[must_use]
+    pub fn new(inner: A, rto: u64) -> Self {
+        SessionActor {
+            inner,
+            link: ReliableLink::new(rto),
+            now: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The wrapped protocol actor (inspection).
+    #[must_use]
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// The session endpoint's counters.
+    #[must_use]
+    pub fn session_stats(&self) -> SessionStats {
+        self.link.stats()
+    }
+
+    fn wrap(&mut self, now: u64, effects: Effects<V, A::Msg>) -> Effects<V, SessionMsg<A::Msg>> {
+        Effects {
+            outgoing: effects
+                .outgoing
+                .into_iter()
+                .map(|(dst, m)| (dst, self.link.send(now, dst, m)))
+                .collect(),
+            completion: effects.completion,
+        }
+    }
+}
+
+impl<V: Value, A: Actor<V>> Actor<V> for SessionActor<V, A> {
+    type Msg = SessionMsg<A::Msg>;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn submit(&mut self, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
+        let now = self.now;
+        self.submit_at(now, op)
+    }
+
+    fn deliver(&mut self, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        let now = self.now;
+        self.deliver_at(now, from, msg)
+    }
+
+    fn submit_at(&mut self, now: u64, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
+        self.now = now;
+        let effects = self.inner.submit_at(now, op);
+        self.wrap(now, effects)
+    }
+
+    fn deliver_at(&mut self, now: u64, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        self.now = now;
+        let (replies, released) = self.link.on_receive(now, from, msg);
+        let mut outgoing: Vec<(NodeId, Self::Msg)> =
+            replies.into_iter().map(|m| (from, m)).collect();
+        let mut completion = None;
+        for payload in released {
+            let effects = self.inner.deliver_at(now, from, payload);
+            for (dst, m) in effects.outgoing {
+                outgoing.push((dst, self.link.send(now, dst, m)));
+            }
+            if let Some(c) = effects.completion {
+                debug_assert!(completion.is_none(), "one outstanding op per node");
+                completion = Some(c);
+            }
+        }
+        Effects {
+            outgoing,
+            completion,
+        }
+    }
+
+    fn next_timer(&self) -> Option<u64> {
+        self.link.next_timer()
+    }
+
+    fn on_timer(&mut self, now: u64) -> Effects<V, Self::Msg> {
+        self.now = now;
+        Effects {
+            outgoing: self.link.on_timer(now),
+            completion: None,
+        }
+    }
+
+    fn authority(&self, loc: Location) -> NodeId {
+        self.inner.authority(loc)
+    }
+
+    fn peek(&self, loc: Location) -> Option<V> {
+        self.inner.peek(loc)
+    }
+}
+
+/// A simulated causal-DSM cluster with a [`ReliableLink`] session layer
+/// under every node — the counterpart of [`dsm_sim::causal_sim`] for
+/// faulty networks.
+///
+/// `rto` is the retransmission timeout in simulator time units; pick it a
+/// few times the expected link latency so healthy traffic rarely
+/// retransmits.
+#[must_use]
+pub fn session_causal_sim<V: Value>(
+    config: &causal_dsm::CausalConfig<V>,
+    rto: u64,
+    opts: dsm_sim::SimOpts<V>,
+) -> dsm_sim::Sim<V, SessionActor<V, dsm_sim::CausalActor<V>>> {
+    let actors = (0..config.nodes())
+        .map(|i| {
+            SessionActor::new(
+                dsm_sim::CausalActor::new(causal_dsm::CausalState::new(
+                    NodeId::new(i),
+                    config.clone(),
+                )),
+                rto,
+            )
+        })
+        .collect();
+    dsm_sim::Sim::new(actors, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct P(u32);
+    impl Tagged for P {
+        fn kind(&self) -> &'static str {
+            "P"
+        }
+        fn wire_size(&self) -> Option<usize> {
+            Some(4)
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn in_order_delivery_with_cumulative_acks() {
+        let mut tx: ReliableLink<P> = ReliableLink::new(10);
+        let mut rx: ReliableLink<P> = ReliableLink::new(10);
+        let m0 = tx.send(0, n(1), P(0));
+        let m1 = tx.send(0, n(1), P(1));
+        let (acks, got) = rx.on_receive(1, n(0), m0);
+        assert_eq!(got, vec![P(0)]);
+        assert_eq!(acks, vec![SessionMsg::Ack { cum: 1 }]);
+        let (acks, got) = rx.on_receive(2, n(0), m1);
+        assert_eq!(got, vec![P(1)]);
+        assert_eq!(acks, vec![SessionMsg::Ack { cum: 2 }]);
+        // Acks drain the sender's unacked set and disarm the timer.
+        assert_eq!(tx.unacked(), 2);
+        tx.on_receive(3, n(1), SessionMsg::Ack { cum: 2 });
+        assert_eq!(tx.unacked(), 0);
+        assert_eq!(tx.next_timer(), None);
+    }
+
+    #[test]
+    fn reordering_is_repaired_by_the_buffer() {
+        let mut tx: ReliableLink<P> = ReliableLink::new(10);
+        let mut rx: ReliableLink<P> = ReliableLink::new(10);
+        let m0 = tx.send(0, n(1), P(0));
+        let m1 = tx.send(0, n(1), P(1));
+        let m2 = tx.send(0, n(1), P(2));
+        // Arrivals: 2, 0, 1 — released: [], [0], [1, 2].
+        let (acks, got) = rx.on_receive(1, n(0), m2);
+        assert!(got.is_empty());
+        assert_eq!(acks, vec![SessionMsg::Ack { cum: 0 }]);
+        let (_, got) = rx.on_receive(2, n(0), m0);
+        assert_eq!(got, vec![P(0)]);
+        let (acks, got) = rx.on_receive(3, n(0), m1);
+        assert_eq!(got, vec![P(1), P(2)]);
+        assert_eq!(acks, vec![SessionMsg::Ack { cum: 3 }]);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_but_reacked() {
+        let mut tx: ReliableLink<P> = ReliableLink::new(10);
+        let mut rx: ReliableLink<P> = ReliableLink::new(10);
+        let m0 = tx.send(0, n(1), P(0));
+        let (_, got) = rx.on_receive(1, n(0), m0.clone());
+        assert_eq!(got, vec![P(0)]);
+        let (acks, got) = rx.on_receive(2, n(0), m0);
+        assert!(got.is_empty());
+        assert_eq!(acks, vec![SessionMsg::Ack { cum: 1 }]);
+        assert_eq!(rx.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn timer_retransmits_all_unacked_until_acked() {
+        let mut tx: ReliableLink<P> = ReliableLink::new(5);
+        let _ = tx.send(0, n(1), P(0));
+        let _ = tx.send(0, n(2), P(1));
+        assert_eq!(tx.next_timer(), Some(5));
+        assert!(tx.on_timer(4).is_empty()); // not due yet
+        let retx = tx.on_timer(5);
+        assert_eq!(retx.len(), 2);
+        assert!(retx
+            .iter()
+            .all(|(_, m)| matches!(m, SessionMsg::Data { retx: true, .. })));
+        assert_eq!(retx[0].0, n(1)); // deterministic peer order
+        assert_eq!(tx.next_timer(), Some(10)); // re-armed
+        assert_eq!(tx.stats().retransmits, 2);
+        // Partial ack: only peer 1's payload clears.
+        tx.on_receive(11, n(1), SessionMsg::Ack { cum: 1 });
+        assert_eq!(tx.unacked(), 1);
+        assert!(tx.next_timer().is_some());
+    }
+
+    #[test]
+    fn session_kinds_separate_fresh_retx_and_acks() {
+        let fresh = SessionMsg::Data {
+            seq: 0,
+            retx: false,
+            payload: P(1),
+        };
+        let again = SessionMsg::Data {
+            seq: 0,
+            retx: true,
+            payload: P(1),
+        };
+        let ack: SessionMsg<P> = SessionMsg::Ack { cum: 1 };
+        assert_eq!(fresh.kind(), "P");
+        assert_eq!(again.kind(), kinds::RETX);
+        assert_eq!(ack.kind(), kinds::ACK);
+        assert_eq!(fresh.wire_size(), Some(13));
+        assert_eq!(ack.wire_size(), Some(9));
+    }
+}

@@ -1,0 +1,63 @@
+//! The chaos suite's acceptance run: hundreds of seeded executions under
+//! random fault plans — drop rates up to 20%, partitions that heal, node
+//! crash/restart — every one checked against the causal specification,
+//! none allowed to wedge, and any failure reported with its reproducing
+//! seed and plan.
+
+use dsm_faults::{run_chaos_batch, run_chaos_once, ChaosConfig};
+
+#[test]
+fn two_hundred_seeded_chaos_runs_stay_causal_and_terminate() {
+    let cfg = ChaosConfig::default();
+    let batch = run_chaos_batch(0, 200, &cfg);
+    assert!(batch.all_ok(), "{batch}");
+    assert_eq!(batch.runs, 200);
+    // The batch exercised the whole fault envelope, not a lucky corner:
+    // real drop rates, at least one partition, at least one crash/restart.
+    let plans: Vec<_> = (0..200u64)
+        .map(|seed| run_chaos_once(seed, &cfg).plan)
+        .collect();
+    assert!(plans.iter().any(|p| p.default_link.drop > 0.10));
+    assert!(plans.iter().all(|p| p.default_link.drop < 0.20));
+    assert!(plans.iter().any(|p| !p.partitions.is_empty()));
+    assert!(plans.iter().any(|p| !p.crashes.is_empty()));
+    assert!(plans
+        .iter()
+        .flat_map(|p| &p.partitions)
+        .all(|part| part.heal > part.start));
+    assert!(plans
+        .iter()
+        .flat_map(|p| &p.crashes)
+        .all(|c| c.restart > c.start));
+    // Faults made the session layer work for its living.
+    assert!(batch.overhead_messages > 0);
+    assert!(batch.protocol_messages > 0);
+}
+
+#[test]
+fn bigger_clusters_survive_chaos_too() {
+    let cfg = ChaosConfig {
+        nodes: 5,
+        ops_per_node: 10,
+        ..ChaosConfig::default()
+    };
+    let batch = run_chaos_batch(1000, 25, &cfg);
+    assert!(batch.all_ok(), "{batch}");
+}
+
+#[test]
+fn a_seed_reproduces_its_execution_exactly() {
+    let cfg = ChaosConfig::default();
+    for seed in [0, 7, 42, 123] {
+        let a = run_chaos_once(seed, &cfg);
+        let b = run_chaos_once(seed, &cfg);
+        assert_eq!(a.plan, b.plan, "seed {seed}: plans diverged");
+        assert_eq!(a.time, b.time, "seed {seed}: makespans diverged");
+        assert_eq!(
+            a.messages.by_kind(),
+            b.messages.by_kind(),
+            "seed {seed}: message counts diverged"
+        );
+        assert_eq!(a.ops, b.ops, "seed {seed}: recorded operations diverged");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property test for the session layer: over a channel that drops,
+//! duplicates, and reorders with random (but seeded) rates, a
+//! [`ReliableLink`] pair still delivers every payload exactly once, in
+//! order — here 10 000 payloads per case.
+
+use std::collections::BTreeMap;
+
+use dsm_faults::{ReliableLink, SessionMsg};
+use memcore::NodeId;
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: u64 = 10_000;
+const RTO: u64 = 16;
+
+enum Event {
+    /// The application hands payload `i` to the sender.
+    Send(u64),
+    /// A channel copy arrives at one end.
+    Arrive {
+        to_receiver: bool,
+        msg: SessionMsg<u64>,
+    },
+}
+
+/// Applies the lossy channel to one frame: maybe drop, maybe duplicate,
+/// always delay by a random amount (which is what reorders frames).
+#[allow(clippy::too_many_arguments)]
+fn channel_push(
+    rng: &mut ChaCha8Rng,
+    events: &mut BTreeMap<(u64, u64), Event>,
+    tie: &mut u64,
+    now: u64,
+    drop_rate: f64,
+    dup_rate: f64,
+    to_receiver: bool,
+    msg: &SessionMsg<u64>,
+) {
+    if rng.gen_bool(drop_rate) {
+        return;
+    }
+    let copies = if rng.gen_bool(dup_rate) { 2 } else { 1 };
+    for _ in 0..copies {
+        let arrival = now + 1 + rng.gen_range(0..8u64);
+        events.insert(
+            (arrival, *tie),
+            Event::Arrive {
+                to_receiver,
+                msg: msg.clone(),
+            },
+        );
+        *tie += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    fn lossy_channel_still_delivers_exactly_once_in_order(
+        drop_rate in 0.0..0.5f64,
+        dup_rate in 0.0..0.4f64,
+        seed in 0u64..1_000_000,
+    ) {
+        let sender_id = NodeId::new(0);
+        let receiver_id = NodeId::new(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut tx: ReliableLink<u64> = ReliableLink::new(RTO);
+        let mut rx: ReliableLink<u64> = ReliableLink::new(RTO);
+
+        // One fresh payload enters the sender per time unit.
+        let mut events: BTreeMap<(u64, u64), Event> = BTreeMap::new();
+        let mut tie = 0u64;
+        for i in 0..N {
+            events.insert((i, tie), Event::Send(i));
+            tie += 1;
+        }
+
+        let mut delivered: Vec<u64> = Vec::with_capacity(N as usize);
+        let mut guard = 0u64;
+        while (delivered.len() as u64) < N {
+            guard += 1;
+            prop_assert!(guard < 30_000_000, "channel wedged after {} deliveries", delivered.len());
+
+            let queue_next = events.keys().next().copied();
+            let timer = tx.next_timer();
+            // Fire the retransmission timer when it is the earliest event.
+            if let Some(due) = timer {
+                if queue_next.is_none_or(|(t, _)| due <= t) {
+                    let now = due;
+                    for (_, frame) in tx.on_timer(now) {
+                        channel_push(
+                            &mut rng, &mut events, &mut tie, now, drop_rate, dup_rate, true,
+                            &frame,
+                        );
+                    }
+                    continue;
+                }
+            }
+            let Some(key) = queue_next else {
+                prop_assert!(
+                    false,
+                    "wedged: queue drained with {} of {N} delivered",
+                    delivered.len()
+                );
+                unreachable!();
+            };
+            let now = key.0;
+            match events.remove(&key).unwrap() {
+                Event::Send(i) => {
+                    let frame = tx.send(now, receiver_id, i);
+                    channel_push(
+                        &mut rng, &mut events, &mut tie, now, drop_rate, dup_rate, true, &frame,
+                    );
+                }
+                Event::Arrive { to_receiver: true, msg } => {
+                    let (acks, got) = rx.on_receive(now, sender_id, msg);
+                    delivered.extend(got);
+                    for ack in acks {
+                        channel_push(
+                            &mut rng, &mut events, &mut tie, now, drop_rate, dup_rate, false,
+                            &ack,
+                        );
+                    }
+                }
+                Event::Arrive { to_receiver: false, msg } => {
+                    let _ = tx.on_receive(now, receiver_id, msg);
+                }
+            }
+        }
+
+        // Exactly once, in order: the delivered stream is 0..N verbatim.
+        prop_assert_eq!(delivered.len() as u64, N);
+        for (i, &got) in delivered.iter().enumerate() {
+            prop_assert_eq!(got, i as u64, "payload {} delivered out of order", i);
+        }
+        // The channel really was hostile (unless the dice said otherwise).
+        let stats = tx.stats();
+        prop_assert_eq!(stats.data_sent, N);
+        if drop_rate > 0.05 {
+            prop_assert!(stats.retransmits > 0, "no retransmissions at drop rate {}", drop_rate);
+        }
+    }
+}

@@ -24,6 +24,13 @@ pub enum MemoryError {
         /// The destination that could not be reached.
         dst: NodeId,
     },
+    /// An owner round-trip did not complete within the configured timeout
+    /// budget (timeout × retries) — the owner is unreachable or the network
+    /// is losing traffic faster than the session layer can repair it.
+    Timeout {
+        /// Whose reply was awaited.
+        owner: NodeId,
+    },
 }
 
 impl fmt::Display for MemoryError {
@@ -38,6 +45,9 @@ impl fmt::Display for MemoryError {
             }
             MemoryError::Unreachable { dst } => {
                 write!(f, "protocol message undeliverable to {dst}")
+            }
+            MemoryError::Timeout { owner } => {
+                write!(f, "timed out waiting for a reply from owner {owner}")
             }
         }
     }
@@ -67,6 +77,10 @@ mod tests {
             dst: NodeId::new(2),
         };
         assert_eq!(u.to_string(), "protocol message undeliverable to P2");
+        let t = MemoryError::Timeout {
+            owner: NodeId::new(1),
+        };
+        assert_eq!(t.to_string(), "timed out waiting for a reply from owner P1");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use error::MemoryError;
 pub use ids::{Location, NodeId, PageId, RoundRobinOwners, WriteId};
 pub use op::{OpKind, OpRecord, Recorder};
 pub use owner::{ExplicitOwners, OwnerMap};
-pub use stats::{NetStats, StatsSnapshot};
+pub use stats::{kinds, NetStats, StatsSnapshot};
 pub use value::{Value, Word};
 
 /// The interface applications program against — the paper's plain shared

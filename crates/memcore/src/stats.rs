@@ -15,6 +15,26 @@ use serde::{Deserialize, Serialize};
 
 use crate::NodeId;
 
+/// Well-known counter kinds for fault and session-layer accounting.
+///
+/// Protocol messages are counted under their own kinds (`"READ"`,
+/// `"W_REPLY"`, …). The fault-injection and reliable-delivery layers
+/// (`dsm-faults`) add bookkeeping events under these names so overhead is
+/// separable from protocol cost in any [`StatsSnapshot`].
+pub mod kinds {
+    /// A session-layer retransmission of an unacknowledged message.
+    pub const RETX: &str = "RETX";
+    /// A duplicate copy delivered by the (faulty) network.
+    pub const DUP: &str = "DUP";
+    /// A message dropped by the network (loss, partition, or dead node).
+    pub const DROP: &str = "DROP";
+    /// A session-layer cumulative acknowledgement.
+    pub const ACK: &str = "ACK";
+
+    /// All fault/session bookkeeping kinds, for filtering reports.
+    pub const ALL: [&str; 4] = [RETX, DUP, DROP, ACK];
+}
+
 /// Shared, thread-safe message counters, one map per node.
 ///
 /// Cheap to clone (internally shared).
@@ -148,6 +168,20 @@ impl StatsSnapshot {
         self.per_node.iter().map(|m| m.values().sum()).collect()
     }
 
+    /// Total fault/session bookkeeping messages ([`kinds::ALL`]): the
+    /// overhead the reliable-delivery layer paid on top of the protocol.
+    #[must_use]
+    pub fn overhead_total(&self) -> u64 {
+        kinds::ALL.iter().map(|k| self.kind_total(k)).sum()
+    }
+
+    /// Total protocol messages, excluding fault/session bookkeeping — the
+    /// quantity the paper's §4.1 message-counting argument is about.
+    #[must_use]
+    pub fn protocol_total(&self) -> u64 {
+        self.total() - self.overhead_total()
+    }
+
     /// The difference `self - earlier`, cell-wise (saturating at zero).
     ///
     /// Used to measure one phase of a long-running program.
@@ -230,6 +264,20 @@ mod tests {
         let by_kind = stats.snapshot().by_kind();
         assert_eq!(by_kind["A"], 2);
         assert_eq!(by_kind["B"], 1);
+    }
+
+    #[test]
+    fn overhead_is_separable_from_protocol() {
+        let stats = NetStats::new(2);
+        stats.record(NodeId::new(0), "READ");
+        stats.record(NodeId::new(0), kinds::RETX);
+        stats.record(NodeId::new(1), kinds::ACK);
+        stats.record(NodeId::new(1), kinds::DUP);
+        stats.record(NodeId::new(1), kinds::DROP);
+        let snap = stats.snapshot();
+        assert_eq!(snap.overhead_total(), 4);
+        assert_eq!(snap.protocol_total(), 1);
+        assert_eq!(snap.total(), 5);
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub struct Effects<V, M> {
 }
 
 impl<V, M> Effects<V, M> {
+    /// No messages, no completion — the effect of an absorbed event.
+    #[must_use]
+    pub fn empty() -> Self {
+        Effects {
+            outgoing: Vec::new(),
+            completion: None,
+        }
+    }
+
     fn done(outcome: Outcome<V>, record: Option<OpRecord<V>>) -> Self {
         Effects {
             outgoing: Vec::new(),
@@ -67,6 +76,36 @@ pub trait Actor<V: Value>: Send {
     /// This node's current value of `loc`, if it holds one (owned, cached
     /// or replicated). No protocol side effects.
     fn peek(&self, loc: Location) -> Option<V>;
+
+    /// Time-aware [`submit`](Actor::submit): the scheduler calls this form
+    /// so wrappers that keep clocks (the session layer in `dsm-faults`)
+    /// can observe the current simulated time. Plain actors ignore it.
+    fn submit_at(&mut self, now: u64, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
+        let _ = now;
+        self.submit(op)
+    }
+
+    /// Time-aware [`deliver`](Actor::deliver); see
+    /// [`submit_at`](Actor::submit_at).
+    fn deliver_at(&mut self, now: u64, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        let _ = now;
+        self.deliver(from, msg)
+    }
+
+    /// The earliest time this actor needs a timer to fire (retransmission
+    /// deadlines, …), or `None`. The scheduler re-reads this after every
+    /// interaction with the actor and schedules accordingly; plain actors
+    /// never need timers.
+    fn next_timer(&self) -> Option<u64> {
+        None
+    }
+
+    /// Fires the actor's timer at `now`. Called only when
+    /// [`next_timer`](Actor::next_timer) returned a time `<= now`.
+    fn on_timer(&mut self, now: u64) -> Effects<V, Self::Msg> {
+        let _ = now;
+        Effects::empty()
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -8,12 +8,13 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
-use memcore::{NetStats, NodeId, Recorder, Value};
+use memcore::{kinds, NetStats, NodeId, Recorder, Value};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use simnet::latency::{Constant, LatencyModel};
-use simnet::Tagged;
+use simnet::{FaultHook, Tagged};
 
 use crate::actor::{Actor, Completion};
 use crate::client::{Client, ClientOp, Outcome, Pred};
@@ -65,9 +66,22 @@ pub struct SimReport {
 }
 
 enum EventKind<M> {
-    Step { node: usize },
-    Deliver { src: NodeId, dst: NodeId, msg: M },
-    PollWait { node: usize },
+    Step {
+        node: usize,
+    },
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        msg: M,
+        /// An extra copy manufactured by the fault model.
+        duplicate: bool,
+    },
+    PollWait {
+        node: usize,
+    },
+    Timer {
+        node: usize,
+    },
 }
 
 struct Wait<V> {
@@ -86,6 +100,13 @@ pub struct SimOpts<V> {
     pub wait_mode: WaitMode,
     /// Operation recorder for specification checking.
     pub recorder: Option<Recorder<V>>,
+    /// Fault model consulted on every send and delivery (default: none —
+    /// the paper's reliable FIFO network).
+    ///
+    /// With a hook installed, the per-link FIFO clamp is disabled: a faulty
+    /// link may drop, duplicate, *and reorder*, and re-deriving FIFO
+    /// exactly-once delivery is the session layer's job (`dsm-faults`).
+    pub faults: Option<Arc<dyn FaultHook>>,
 }
 
 impl<V> Default for SimOpts<V> {
@@ -95,6 +116,7 @@ impl<V> Default for SimOpts<V> {
             seed: 0,
             wait_mode: WaitMode::IdealSignal,
             recorder: None,
+            faults: None,
         }
     }
 }
@@ -138,6 +160,10 @@ pub struct Sim<V: Value, A: Actor<V>> {
     recorder: Option<Recorder<V>>,
     wait_mode: WaitMode,
     events_processed: u64,
+    faults: Option<Arc<dyn FaultHook>>,
+    /// Earliest queued `Timer` event per node (dedup; stale events
+    /// revalidate against the actor and no-op).
+    timer_scheduled: Vec<Option<u64>>,
 }
 
 impl<V: Value, A: Actor<V>> Sim<V, A> {
@@ -168,6 +194,8 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
             recorder: opts.recorder,
             wait_mode: opts.wait_mode,
             events_processed: 0,
+            faults: opts.faults,
+            timer_scheduled: vec![None; n],
         }
     }
 
@@ -224,6 +252,7 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
                 self.schedule_now(EventKind::Step { node });
             }
         }
+        self.sync_timers();
 
         while let Some(Reverse((t, seq, _))) = self.queue.pop() {
             if self.events_processed >= limits.max_events || t > limits.max_time {
@@ -236,10 +265,50 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
                 .remove(&seq)
                 .expect("scheduled event has a body");
             match kind {
-                EventKind::Step { node } => self.step_client(node),
-                EventKind::Deliver { src, dst, msg } => self.deliver(src, dst, msg),
-                EventKind::PollWait { node } => self.attempt_wait(node),
+                EventKind::Step { node } => match self.node_down_until(node) {
+                    // A down node's own activity is deferred to its restart.
+                    Some(up) => self.schedule(up.max(t + 1), EventKind::Step { node }),
+                    None => self.step_client(node),
+                },
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    msg,
+                    duplicate,
+                } => {
+                    if self.node_down_until(dst.index()).is_some() {
+                        // A dead destination loses the message entirely.
+                        self.stats.record(src, kinds::DROP);
+                    } else {
+                        if duplicate {
+                            self.stats.record(src, kinds::DUP);
+                        }
+                        self.deliver(src, dst, msg);
+                    }
+                }
+                EventKind::PollWait { node } => match self.node_down_until(node) {
+                    Some(up) => self.schedule(up.max(t + 1), EventKind::PollWait { node }),
+                    None => self.attempt_wait(node),
+                },
+                EventKind::Timer { node } => {
+                    self.timer_scheduled[node] = None;
+                    match self.node_down_until(node) {
+                        Some(up) => {
+                            self.timer_scheduled[node] = Some(up.max(t + 1));
+                            self.schedule(up.max(t + 1), EventKind::Timer { node });
+                        }
+                        None => {
+                            // Revalidate: the actor may have cancelled or
+                            // moved its deadline since this was queued.
+                            if self.actors[node].next_timer().is_some_and(|want| want <= t) {
+                                let effects = self.actors[node].on_timer(t);
+                                self.dispatch_deliver(node, effects.outgoing, effects.completion);
+                            }
+                        }
+                    }
+                }
             }
+            self.sync_timers();
             // Ideal-signal waits wake on any state change.
             if self.wait_mode == WaitMode::IdealSignal {
                 self.scan_waits();
@@ -272,16 +341,78 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
         self.schedule(t, kind);
     }
 
+    /// If node `i` is down right now, when it restarts.
+    fn node_down_until(&self, i: usize) -> Option<u64> {
+        self.faults
+            .as_ref()
+            .and_then(|h| h.down_until(NodeId::new(i as u32), self.time))
+    }
+
+    /// Re-reads every actor's timer demand and queues `Timer` events so
+    /// the earliest demand is always covered. Stale queued events (the
+    /// actor cancelled or moved its deadline) revalidate and no-op.
+    fn sync_timers(&mut self) {
+        for node in 0..self.actors.len() {
+            let Some(want) = self.actors[node].next_timer() else {
+                continue;
+            };
+            // A crashed node's timer cannot fire before it restarts;
+            // scheduling earlier would duel with the deferred event.
+            let mut at = want.max(self.time);
+            if let Some(up) = self.node_down_until(node) {
+                at = at.max(up);
+            }
+            match self.timer_scheduled[node] {
+                Some(queued) if queued <= at => {}
+                _ => {
+                    self.timer_scheduled[node] = Some(at);
+                    self.schedule(at, EventKind::Timer { node });
+                }
+            }
+        }
+    }
+
     fn send(&mut self, src: NodeId, dst: NodeId, msg: A::Msg) {
         self.stats.record(src, msg.kind());
         if let Some(size) = msg.wire_size() {
             self.byte_stats.record_n(src, msg.kind(), size as u64);
         }
         let delay = self.latency.sample(&mut self.rng, src, dst).max(1);
-        let key = (src.index() as u32, dst.index() as u32);
-        let at = (self.time + delay).max(self.link_last.get(&key).copied().unwrap_or(0));
-        self.link_last.insert(key, at);
-        self.schedule(at, EventKind::Deliver { src, dst, msg });
+        let Some(hook) = self.faults.clone() else {
+            // Reliable FIFO path: clamp to the link's last delivery time.
+            let key = (src.index() as u32, dst.index() as u32);
+            let at = (self.time + delay).max(self.link_last.get(&key).copied().unwrap_or(0));
+            self.link_last.insert(key, at);
+            self.schedule(
+                at,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    msg,
+                    duplicate: false,
+                },
+            );
+            return;
+        };
+        let fate = hook.on_send(src, dst, msg.kind(), self.time);
+        if fate.is_drop() {
+            self.stats.record(src, kinds::DROP);
+            return;
+        }
+        // No FIFO clamp under faults: the lossy link may reorder freely;
+        // the session layer re-derives per-link FIFO exactly-once delivery.
+        for (i, extra) in fate.copies.into_iter().enumerate() {
+            let at = self.time + delay + extra;
+            self.schedule(
+                at,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    msg: msg.clone(),
+                    duplicate: i > 0,
+                },
+            );
+        }
     }
 
     fn step_client(&mut self, node: usize) {
@@ -312,7 +443,8 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
                 }
             }
             Some(op) => {
-                let effects = self.actors[node].submit(&op);
+                let now = self.time;
+                let effects = self.actors[node].submit_at(now, &op);
                 self.dispatch_submit(node, effects.outgoing, effects.completion);
             }
         }
@@ -381,7 +513,8 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
 
     fn deliver(&mut self, src: NodeId, dst: NodeId, msg: A::Msg) {
         let node = dst.index();
-        let effects = self.actors[node].deliver(src, msg);
+        let now = self.time;
+        let effects = self.actors[node].deliver_at(now, src, msg);
         self.dispatch_deliver(node, effects.outgoing, effects.completion);
     }
 
@@ -407,8 +540,9 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
         }
         wait.in_flight = true;
         let loc = wait.loc;
-        self.actors[node].submit(&ClientOp::Discard(loc));
-        let effects = self.actors[node].submit(&ClientOp::Read(loc));
+        let now = self.time;
+        self.actors[node].submit_at(now, &ClientOp::Discard(loc));
+        let effects = self.actors[node].submit_at(now, &ClientOp::Read(loc));
         self.dispatch_submit(node, effects.outgoing, effects.completion);
     }
 

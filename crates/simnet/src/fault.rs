@@ -1,0 +1,124 @@
+//! Fault-injection hook points shared by both transports.
+//!
+//! The paper assumes *reliable, ordered message passing*; the `dsm-faults`
+//! crate re-derives that assumption over a lossy link. The [`FaultHook`]
+//! trait defined here is the seam where faults enter: the deterministic
+//! simulator (`dsm-sim`) consults the hook for every scheduled send and
+//! delivery, and the thread transport ([`Network`](crate::Network)) consults
+//! it on [`send`](crate::Network::send). Keeping the trait in `simnet` (the
+//! bottom of the dependency stack) lets `dsm-sim` consume hooks that
+//! `dsm-faults` implements without a dependency cycle.
+//!
+//! A hook decides a [`SendFate`] per message: zero copies (drop), one copy
+//! (normal delivery, possibly with an extra delay spike), or several copies
+//! (duplication). Separately, [`FaultHook::down_until`] reports crashed or
+//! partitioned-away nodes so transports can discard traffic addressed to
+//! them and defer their activity until restart.
+
+use memcore::NodeId;
+
+/// What the network does with one message: how many copies arrive, and how
+/// much *extra* delay (on top of the transport's nominal latency) each copy
+/// suffers.
+///
+/// * `copies.is_empty()` — the message is dropped.
+/// * `copies == [0]` — normal delivery.
+/// * `copies == [extra]` — one copy, delayed by `extra` time units.
+/// * `copies.len() > 1` — duplication; each element delays its own copy.
+///
+/// The thread transport has no timers, so it honours the copy *count* but
+/// ignores the extra delays; the simulator honours both.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SendFate {
+    /// Extra delay per delivered copy, in transport time units.
+    pub copies: Vec<u64>,
+}
+
+impl SendFate {
+    /// Normal delivery: one copy, no extra delay.
+    #[must_use]
+    pub fn deliver() -> Self {
+        SendFate { copies: vec![0] }
+    }
+
+    /// The message is lost.
+    #[must_use]
+    pub fn dropped() -> Self {
+        SendFate { copies: Vec::new() }
+    }
+
+    /// One copy, delayed by `extra` time units beyond nominal latency.
+    #[must_use]
+    pub fn delayed(extra: u64) -> Self {
+        SendFate { copies: vec![extra] }
+    }
+
+    /// `true` if no copy will be delivered.
+    #[must_use]
+    pub fn is_drop(&self) -> bool {
+        self.copies.is_empty()
+    }
+}
+
+/// A fault model consulted by transports on every send and delivery.
+///
+/// Implementations must be deterministic given their own state (the chaos
+/// suite replays executions from a seed), and thread-safe: the thread
+/// transport calls hooks from many sender threads.
+///
+/// Both methods have benign defaults so partial fault models stay small.
+pub trait FaultHook: Send + Sync {
+    /// Decides the fate of a message sent at time `now`.
+    ///
+    /// `kind` is the payload's [`Tagged::kind`](crate::Tagged::kind), so a
+    /// plan can target specific protocol traffic.
+    fn on_send(&self, src: NodeId, dst: NodeId, kind: &'static str, now: u64) -> SendFate {
+        let _ = (src, dst, kind, now);
+        SendFate::deliver()
+    }
+
+    /// If `node` is down (crashed, or cut off by a scheduled partition
+    /// event modelled as a crash) at time `at`, returns the time it comes
+    /// back up; `None` when the node is healthy.
+    ///
+    /// While a node is down, messages addressed to it are dropped and its
+    /// own activity is deferred to the returned restart time.
+    fn down_until(&self, node: NodeId, at: u64) -> Option<u64> {
+        let _ = (node, at);
+        None
+    }
+}
+
+/// The identity fault model: every message is delivered exactly once with
+/// nominal latency, and no node ever goes down.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_constructors() {
+        assert!(SendFate::dropped().is_drop());
+        assert_eq!(SendFate::deliver().copies, vec![0]);
+        assert_eq!(SendFate::delayed(7).copies, vec![7]);
+        assert!(!SendFate::delayed(7).is_drop());
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let h = NoFaults;
+        let fate = h.on_send(NodeId::new(0), NodeId::new(1), "READ", 5);
+        assert_eq!(fate, SendFate::deliver());
+        assert_eq!(h.down_until(NodeId::new(0), 5), None);
+    }
+
+    #[test]
+    fn hooks_are_object_safe() {
+        let h: Box<dyn FaultHook> = Box::new(NoFaults);
+        assert!(!h.on_send(NodeId::new(0), NodeId::new(0), "X", 0).is_drop());
+    }
+}

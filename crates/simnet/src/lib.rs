@@ -24,8 +24,10 @@
 
 pub mod codec;
 mod envelope;
+pub mod fault;
 pub mod latency;
 mod router;
 
 pub use envelope::{Envelope, Tagged};
+pub use fault::{FaultHook, NoFaults, SendFate};
 pub use router::{Mailbox, Network, SendError};

@@ -2,14 +2,16 @@
 //! instrumented sends.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use memcore::{NetStats, NodeId};
+use memcore::{kinds, NetStats, NodeId};
 use parking_lot::Mutex;
 
 use crate::envelope::{Envelope, Tagged};
+use crate::fault::FaultHook;
 
 /// A send failed because the destination's mailbox was closed.
 ///
@@ -33,6 +35,10 @@ struct Inner<M> {
     mailboxes: Vec<Mutex<Option<Receiver<Envelope<M>>>>>,
     msgs: NetStats,
     bytes: NetStats,
+    fault: Mutex<Option<Arc<dyn FaultHook>>>,
+    // Logical clock for fault hooks: the thread transport has no simulated
+    // time, so each send gets a fresh tick.
+    ticks: AtomicU64,
 }
 
 /// A reliable, per-link-FIFO network connecting `n` nodes.
@@ -50,7 +56,7 @@ struct Inner<M> {
 /// use memcore::NodeId;
 /// use simnet::{Envelope, Network, Tagged};
 ///
-/// #[derive(Debug)]
+/// #[derive(Clone, Debug)]
 /// struct Ping;
 /// impl Tagged for Ping {
 ///     fn kind(&self) -> &'static str { "PING" }
@@ -97,6 +103,8 @@ impl<M: Tagged> Network<M> {
                 mailboxes,
                 msgs: NetStats::new(n),
                 bytes: NetStats::new(n),
+                fault: Mutex::new(None),
+                ticks: AtomicU64::new(0),
             }),
         }
     }
@@ -128,23 +136,20 @@ impl<M: Tagged> Network<M> {
         Mailbox { rx }
     }
 
-    /// Sends `payload` from `src` to `dst`, recording statistics.
+    /// Installs (or, with `None`, removes) a fault hook consulted on every
+    /// subsequent [`send`](Network::send).
     ///
-    /// Messages to self are delivered through the same path (the owner
-    /// protocol never sends to self, but applications may).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SendError`] if `dst`'s mailbox has been dropped (shutdown).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `src` or `dst` is out of range.
-    pub fn send(&self, src: NodeId, dst: NodeId, payload: M) -> Result<(), SendError> {
-        self.inner.msgs.record(src, payload.kind());
-        if let Some(size) = payload.wire_size() {
-            self.inner.bytes.record_n(src, payload.kind(), size as u64);
-        }
+    /// With a hook installed the transport is no longer reliable: messages
+    /// may be dropped or duplicated, so only protocols layered over a
+    /// session protocol (see `dsm-faults`) should run on a faulty network.
+    /// Extra per-copy delays in a [`SendFate`](crate::SendFate) are ignored
+    /// — channel delivery has no timers; use the simulator for delay
+    /// spikes.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
+        *self.inner.fault.lock() = hook;
+    }
+
+    fn transmit(&self, src: NodeId, dst: NodeId, payload: M) -> Result<(), SendError> {
         self.inner.senders[dst.index()]
             .send(Envelope::new(src, dst, payload))
             .map_err(|_| SendError { dst })
@@ -161,6 +166,55 @@ impl<M: Tagged> Network<M> {
     #[must_use]
     pub fn bytes(&self) -> &NetStats {
         &self.inner.bytes
+    }
+}
+
+impl<M: Tagged + Clone> Network<M> {
+    /// Sends `payload` from `src` to `dst`, recording statistics.
+    ///
+    /// Messages to self are delivered through the same path (the owner
+    /// protocol never sends to self, but applications may).
+    ///
+    /// With a fault hook installed (see
+    /// [`set_fault_hook`](Network::set_fault_hook)), the hook decides the
+    /// message's fate:
+    /// drops are counted under [`kinds::DROP`] and silently succeed (a real
+    /// network gives the sender no signal), extra copies are counted under
+    /// [`kinds::DUP`]. The attempted send is always counted under the
+    /// payload's own kind, so protocol counts stay comparable across fault
+    /// levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if `dst`'s mailbox has been dropped (shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send(&self, src: NodeId, dst: NodeId, payload: M) -> Result<(), SendError> {
+        self.inner.msgs.record(src, payload.kind());
+        if let Some(size) = payload.wire_size() {
+            self.inner.bytes.record_n(src, payload.kind(), size as u64);
+        }
+        let hook = self.inner.fault.lock().clone();
+        let Some(hook) = hook else {
+            return self.transmit(src, dst, payload);
+        };
+        let now = self.inner.ticks.fetch_add(1, Ordering::Relaxed);
+        if hook.down_until(dst, now).is_some() {
+            self.inner.msgs.record(src, kinds::DROP);
+            return Ok(());
+        }
+        let fate = hook.on_send(src, dst, payload.kind(), now);
+        if fate.is_drop() {
+            self.inner.msgs.record(src, kinds::DROP);
+            return Ok(());
+        }
+        for _ in 1..fate.copies.len() {
+            self.inner.msgs.record(src, kinds::DUP);
+            self.transmit(src, dst, payload.clone())?;
+        }
+        self.transmit(src, dst, payload)
     }
 }
 
@@ -288,6 +342,74 @@ mod tests {
         assert_eq!(mb.recv_timeout(Duration::from_millis(1)), Ok(None));
         net.send(p(1), p(0), Msg::Read(9)).unwrap();
         assert_eq!(mb.try_recv().unwrap().payload, Msg::Read(9));
+    }
+
+    #[test]
+    fn fault_hook_drops_and_duplicates() {
+        use crate::fault::{FaultHook, SendFate};
+
+        struct DropReadsDupReplies;
+        impl FaultHook for DropReadsDupReplies {
+            fn on_send(
+                &self,
+                _src: NodeId,
+                _dst: NodeId,
+                kind: &'static str,
+                _now: u64,
+            ) -> SendFate {
+                if kind == "READ" {
+                    SendFate::dropped()
+                } else {
+                    SendFate { copies: vec![0, 0] }
+                }
+            }
+        }
+
+        let net: Network<Msg> = Network::new(2);
+        let mb = net.take_mailbox(p(1));
+        net.set_fault_hook(Some(Arc::new(DropReadsDupReplies)));
+        net.send(p(0), p(1), Msg::Read(1)).unwrap();
+        net.send(p(0), p(1), Msg::Reply(2)).unwrap();
+        // The read was dropped; the reply arrives twice.
+        assert_eq!(mb.recv().unwrap().payload, Msg::Reply(2));
+        assert_eq!(mb.recv().unwrap().payload, Msg::Reply(2));
+        assert_eq!(mb.try_recv(), None);
+        let snap = net.messages().snapshot();
+        assert_eq!(snap.get(p(0), "READ"), 1); // attempted sends still counted
+        assert_eq!(snap.get(p(0), kinds::DROP), 1);
+        assert_eq!(snap.get(p(0), kinds::DUP), 1);
+        // Removing the hook restores reliable delivery.
+        net.set_fault_hook(None);
+        net.send(p(0), p(1), Msg::Read(3)).unwrap();
+        assert_eq!(mb.recv().unwrap().payload, Msg::Read(3));
+    }
+
+    #[test]
+    fn fault_hook_down_node_loses_traffic() {
+        use crate::fault::{FaultHook, SendFate};
+
+        struct NodeOneDown;
+        impl FaultHook for NodeOneDown {
+            fn on_send(
+                &self,
+                _src: NodeId,
+                _dst: NodeId,
+                _kind: &'static str,
+                _now: u64,
+            ) -> SendFate {
+                SendFate::deliver()
+            }
+            fn down_until(&self, node: NodeId, _at: u64) -> Option<u64> {
+                (node == NodeId::new(1)).then_some(u64::MAX)
+            }
+        }
+
+        let net: Network<Msg> = Network::new(2);
+        let mb = net.take_mailbox(p(1));
+        net.set_fault_hook(Some(Arc::new(NodeOneDown)));
+        net.send(p(0), p(1), Msg::Read(1)).unwrap();
+        assert_eq!(mb.try_recv(), None);
+        assert_eq!(net.messages().snapshot().get(p(0), kinds::DROP), 1);
     }
 
     #[test]

@@ -61,3 +61,7 @@ pub use dsm_sim as sim;
 
 /// The paper's applications: linear solvers and the distributed dictionary.
 pub use dsm_apps as apps;
+
+/// Fault injection, the reliable-delivery session layer, and the chaos
+/// suite.
+pub use dsm_faults as faults;

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness with criterion's API shape: groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` entry points. Each benchmark
+//! runs a short warm-up, then `sample_size` timed samples, and prints
+//! median per-iteration time (plus throughput when annotated). No
+//! statistics engine, baselines, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Work-per-iteration annotation for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a displayed parameter.
+    #[must_use]
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Uses a parameter alone as the identifier.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        BenchmarkId { text: text.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// Median per-iteration nanoseconds of the last `iter` call.
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via [`black_box`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, counting
+        // iterations to size the measured batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget_ns = self.measurement.as_nanos() as f64 / self.samples as f64;
+        let batch = ((budget_ns / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_median_ns = sample_ns[sample_ns.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with work per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.text, |bencher| f(bencher));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.text, |bencher| f(bencher, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            last_median_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        let median = bencher.last_median_ns;
+        let mut line = format!("{}/{id}: {}", self.name, format_ns(median));
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if median.is_finite() && median > 0.0 {
+                let rate = count as f64 / (median / 1e9);
+                line.push_str(&format!("  ({rate:.3e} {unit}/s)"));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (report separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "<no samples>".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_warm_up: Duration,
+    default_measurement: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(1),
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (warm_up, measurement, samples) = (
+            self.default_warm_up,
+            self.default_measurement,
+            self.default_samples,
+        );
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up,
+            measurement,
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, |b| f(b));
+        self
+    }
+
+    /// Applies configuration from the environment (no-op stand-in).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; do nothing
+            // there so test runs stay fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(10));
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut criterion = Criterion::default();
+        trivial(&mut criterion);
+    }
+
+    #[test]
+    fn ids_format_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("update", 32).text, "update/32");
+        assert_eq!(BenchmarkId::from_parameter(7).text, "7");
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor architecture, this stand-in routes all
+//! (de)serialization through one self-describing [`value::Value`] tree —
+//! exactly expressive enough for the JSON round trips the workspace
+//! performs. `#[derive(Serialize, Deserialize)]` is provided by the
+//! sibling `serde_derive` stand-in and targets these traits.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use value::Value;
+
+/// Deserialization failed: shape or type mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error carrying `msg`.
+    #[must_use]
+    pub fn msg(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the self-describing [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the self-describing [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree's shape doesn't match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_u64().ok_or_else(|| DeError::msg("expected unsigned integer"))?;
+                <$t>::try_from(raw).map_err(|_| DeError::msg("unsigned integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i64().ok_or_else(|| DeError::msg("expected signed integer"))?;
+                <$t>::try_from(raw).map_err(|_| DeError::msg("signed integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::msg("expected float"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64().ok_or_else(|| DeError::msg("expected float"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::msg("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(DeError::msg("expected 2-element sequence")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::msg("expected map")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::msg("expected map")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u64, 17, u64::MAX] {
+            assert_eq!(u64::from_value(&v.to_value()), Ok(v));
+        }
+        for v in [i64::MIN, -1, 0, i64::MAX] {
+            assert_eq!(i64::from_value(&v.to_value()), Ok(v));
+        }
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&2.5f64.to_value()), Ok(2.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+        let o = Some(5i64);
+        assert_eq!(Option::<i64>::from_value(&o.to_value()), Ok(o));
+        assert_eq!(Option::<i64>::from_value(&None::<i64>.to_value()), Ok(None));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        assert_eq!(BTreeMap::from_value(&m.to_value()), Ok(m));
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+}

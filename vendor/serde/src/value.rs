@@ -1,0 +1,99 @@
+//! The self-describing value tree all (de)serialization routes through.
+
+/// A self-describing serialized value.
+///
+/// Maps use a `Vec` of pairs (not a `BTreeMap`) so struct-field order is
+/// preserved exactly as emitted by the derive.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent / `None` / JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (full `u64` range).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered key/value map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an in-range integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any numeric variant.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::U64(5).as_i64(), Some(5));
+        assert_eq!(Value::I64(-5).as_u64(), None);
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::I64(3).as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn map_get_preserves_order_and_finds_keys() {
+        let m = Value::Map(vec![
+            ("b".into(), Value::U64(1)),
+            ("a".into(), Value::U64(2)),
+        ]);
+        assert_eq!(m.get("a"), Some(&Value::U64(2)));
+        assert_eq!(m.get("missing"), None);
+    }
+}

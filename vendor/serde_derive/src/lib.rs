@@ -1,0 +1,387 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` available offline)
+//! and emits `serde::Serialize` / `serde::Deserialize` impls targeting the
+//! stand-in's value-tree model. Supports the shapes this workspace uses:
+//! named structs, tuple structs, and enums whose variants are unit or carry
+//! one unnamed field; generics as plain type parameters (e.g. `<V>`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item).parse().expect("generated impl parses")
+}
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    Enum { variants: Vec<(String, bool)> },
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attributes (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips `pub` / `pub(crate)` / `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Parses `<A, B: Bound, ...>` if present, returning the parameter names.
+    fn parse_generics(&mut self) -> Vec<String> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+            _ => return Vec::new(),
+        }
+        self.pos += 1;
+        let mut params = Vec::new();
+        let mut depth = 1usize;
+        let mut want_name = true;
+        while let Some(tok) = self.next() {
+            match tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => want_name = true,
+                    ':' if depth == 1 => want_name = false,
+                    _ => {}
+                },
+                TokenTree::Ident(id) if want_name && depth == 1 => {
+                    params.push(id.to_string());
+                    want_name = false;
+                }
+                _ => {}
+            }
+        }
+        params
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    let generics = c.parse_generics();
+    let shape = match (keyword.as_str(), c.next()) {
+        ("struct", Some(TokenTree::Group(body))) if body.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct {
+                fields: parse_named_fields(body.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(body))) if body.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                arity: count_tuple_fields(body.stream()),
+            }
+        }
+        ("enum", Some(TokenTree::Group(body))) if body.delimiter() == Delimiter::Brace => {
+            Shape::Enum {
+                variants: parse_variants(body.stream()),
+            }
+        }
+        (kw, tok) => panic!("unsupported item shape: {kw} followed by {tok:?}"),
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        fields.push(c.expect_ident());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type up to a top-level (angle-depth 0) comma.
+        let mut depth = 0i32;
+        while let Some(tok) = c.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tok in body {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount by one, but `f64::NAN`-style paths
+    // can't appear here and the workspace writes no trailing commas in
+    // tuple structs; count separators + 1 when any tokens were present.
+    if saw_tokens {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let mut has_payload = false;
+        if let Some(TokenTree::Group(g)) = c.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                has_payload = true;
+                c.pos += 1;
+            }
+        }
+        variants.push((name, has_payload));
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.pos += 1;
+            }
+        }
+    }
+    variants
+}
+
+/// `impl<V: ::serde::Trait> ::serde::Trait for Name<V>` header pieces.
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.generics.join(", ");
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{}<{}>", item.name, plain),
+        )
+    }
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let (impl_generics, self_ty) = impl_header(item, "Serialize");
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Map(vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            // Newtype structs serialize transparently, like real serde.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct { arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(name, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "Self::{name}(inner) => ::serde::value::Value::Map(vec![(\"{name}\".to_string(), ::serde::Serialize::to_value(inner))])"
+                        )
+                    } else {
+                        format!(
+                            "Self::{name} => ::serde::value::Value::Str(\"{name}\".to_string())"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {self_ty} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let (impl_generics, self_ty) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| ::serde::DeError::msg(\"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Shape::TupleStruct { arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])"))
+                .collect();
+            format!(
+                "match v {{ ::serde::value::Value::Seq(items) if items.len() == {arity} => \
+                 Ok(Self({})), _ => Err(::serde::DeError::msg(\"expected {arity}-element sequence for {name}\")) }}",
+                inits
+                    .iter()
+                    .map(|i| format!("{i}?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, has_payload)| !has_payload)
+                .map(|(n, _)| format!("\"{n}\" => Ok(Self::{n})"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, has_payload)| *has_payload)
+                .map(|(n, _)| {
+                    format!(
+                        "\"{n}\" => Ok(Self::{n}(::serde::Deserialize::from_value(&entries[0].1)?))"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::value::Value::Str(tag) => match tag.as_str() {{ {unit} _ => Err(::serde::DeError::msg(\"unknown variant of {name}\")) }},\n\
+                 ::serde::value::Value::Map(entries) if entries.len() == 1 => match entries[0].0.as_str() {{ {payload} _ => Err(::serde::DeError::msg(\"unknown variant of {name}\")) }},\n\
+                 _ => Err(::serde::DeError::msg(\"expected enum representation for {name}\")),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                payload = if payload_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", payload_arms.join(", "))
+                },
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {self_ty} {{\n\
+         fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
