@@ -1,0 +1,144 @@
+//! The hot-path perf suite driver: runs the seeded workloads from
+//! [`dsm_bench::hotpath`] and writes a `BENCH_*.json` report.
+//!
+//! ```text
+//! perf [--quick] [--out FILE] [--gate BASELINE [--threshold PCT]]
+//! ```
+//!
+//! * `--quick` — CI-sized op counts on the two fixed CI seeds.
+//! * `--out FILE` — write the JSON report (default: stdout table only).
+//! * `--gate BASELINE` — after running, compare against the baseline
+//!   report and exit non-zero if any gated workload regressed by more
+//!   than the threshold (default 15%).
+//!
+//! Build with `--features alloc-count` to install the counting global
+//! allocator and populate `allocs_per_op` (otherwise reported as -1).
+
+use std::process::ExitCode;
+
+use dsm_bench::hotpath::{check_regression, render_perf, run_suite, AllocProbe, PerfConfig};
+
+// The counting allocator lives in the bin target on purpose: the library
+// keeps `#![forbid(unsafe_code)]`; only this executable opts into the
+// (trivially auditable) unsafe GlobalAlloc wrapper.
+#[cfg(feature = "alloc-count")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: delegates every operation verbatim to `System`; the only
+    // addition is relaxed atomic bookkeeping, which cannot affect the
+    // returned pointers or layouts.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    pub fn probe() -> dsm_bench::hotpath::AllocSnapshot {
+        dsm_bench::hotpath::AllocSnapshot {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn probe() -> Option<AllocProbe> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(counting_alloc::probe as AllocProbe)
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut gate: Option<String> = None;
+    let mut threshold = 0.15;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--gate" => gate = Some(args.next().expect("--gate needs a baseline path")),
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .expect("--threshold needs a fraction")
+                    .parse::<f64>()
+                    .expect("--threshold must be a number, e.g. 0.15");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf [--quick] [--out FILE] [--gate BASELINE [--threshold PCT]]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = PerfConfig { quick };
+    eprintln!(
+        "running hot-path suite ({} mode, alloc counting {})...",
+        if quick { "quick" } else { "full" },
+        if probe().is_some() { "on" } else { "off" }
+    );
+    let report = run_suite(&cfg, probe());
+    print!("{}", render_perf(&report));
+
+    if let Some(path) = out {
+        let text = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write(&path, text + "\n").expect("write report");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(baseline_path) = gate {
+        let text = std::fs::read_to_string(&baseline_path).expect("read baseline");
+        let baseline = serde_json::from_str(&text).expect("parse baseline");
+        let violations = check_regression(&baseline, &report, threshold);
+        if violations.is_empty() {
+            eprintln!(
+                "gate vs {baseline_path}: PASS (no gated workload below {:.0}% of baseline)",
+                (1.0 - threshold) * 100.0
+            );
+        } else {
+            eprintln!("gate vs {baseline_path}: FAIL");
+            for v in &violations {
+                eprintln!("  regression: {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,7 @@ mod costs;
 mod experiments;
 mod faults_report;
 mod figures;
+pub mod hotpath;
 
 pub use ablations::{
     ack_mode_ablation, const_segments_ablation, invalidation_mode_ablation, page_size_ablation,

@@ -12,27 +12,41 @@
 //! the paper asks for (and what makes the protocol deadlock-free).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use memcore::{Location, MemoryError, NetStats, NodeId, OpRecord, Recorder, SharedMemory, Value};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use simnet::Network;
+use vclock::VectorClock;
 
 use crate::config::{CausalConfig, CausalConfigBuilder};
 use crate::msg::Msg;
 use crate::state::{CausalState, ReadStep, WriteDone, WriteStep};
 
 struct NodeShared<V> {
-    state: Mutex<CausalState<V>>,
-    /// Serializes this node's application operations (program order).
+    /// Protocol state. A reader–writer lock: cache-hit reads are
+    /// non-mutating (Figure 4's read procedure touches no state on a hit)
+    /// and run under the shared lock, concurrently with each other;
+    /// everything that moves the clock takes the exclusive lock.
+    state: RwLock<CausalState<V>>,
+    /// Serializes this node's application operations (program order) and
+    /// guards the one-outstanding-remote-op invariant (`replies` carries
+    /// at most one in-flight reply). Cache-hit reads don't take it.
     op_lock: Mutex<()>,
     /// Replies forwarded by the server thread to the blocked operation.
     replies: Receiver<Msg<V>>,
     /// Tags of outstanding non-blocking writes; their replies are absorbed
     /// by the server thread instead of waking the application.
     nonblocking: Mutex<HashSet<memcore::WriteId>>,
+    /// `nonblocking.len()`, readable without the mutex: the server thread
+    /// checks it before locking, so clusters that never use non-blocking
+    /// writes pay nothing on the reply path. The channel send/recv pair
+    /// between registration and the reply's arrival provides the
+    /// happens-before edge that makes the counter reliable.
+    nonblocking_count: AtomicUsize,
 }
 
 struct ClusterInner<V: Value> {
@@ -141,10 +155,11 @@ impl<V: Value> CausalCluster<V> {
             let (tx, rx) = unbounded();
             reply_txs.push(tx);
             nodes.push(Arc::new(NodeShared {
-                state: Mutex::new(CausalState::new(NodeId::new(i as u32), config.clone())),
+                state: RwLock::new(CausalState::new(NodeId::new(i as u32), config.clone())),
                 op_lock: Mutex::new(()),
                 replies: rx,
                 nonblocking: Mutex::new(HashSet::new()),
+                nonblocking_count: AtomicUsize::new(0),
             }));
         }
 
@@ -164,7 +179,7 @@ impl<V: Value> CausalCluster<V> {
                                 request if request.is_request() => {
                                     let reply = node
                                         .state
-                                        .lock()
+                                        .write()
                                         .serve(env.src, request)
                                         .expect("requests always produce replies");
                                     // Best effort: the requester may already
@@ -175,14 +190,28 @@ impl<V: Value> CausalCluster<V> {
                                     // Replies to non-blocking writes are
                                     // absorbed here; everything else wakes
                                     // the blocked application operation.
+                                    // The counter check keeps the common
+                                    // (blocking-only) reply path off the
+                                    // registry mutex entirely.
                                     let absorb = match &reply {
-                                        Msg::WriteReply { wid, .. } => {
-                                            node.nonblocking.lock().remove(wid)
+                                        Msg::WriteReply { wid, .. }
+                                            if node
+                                                .nonblocking_count
+                                                .load(Ordering::Acquire)
+                                                > 0 =>
+                                        {
+                                            let removed =
+                                                node.nonblocking.lock().remove(wid);
+                                            if removed {
+                                                node.nonblocking_count
+                                                    .fetch_sub(1, Ordering::Release);
+                                            }
+                                            removed
                                         }
                                         _ => false,
                                     };
                                     if absorb {
-                                        node.state.lock().absorb_write_reply(reply);
+                                        node.state.write().absorb_write_reply(reply);
                                     } else {
                                         let _ = reply_tx.send(reply);
                                     }
@@ -260,25 +289,45 @@ impl<V: Value> CausalCluster<V> {
     }
 
     /// A snapshot of node `i`'s current vector timestamp `VT_i`
-    /// (observability/diagnostics).
+    /// (observability/diagnostics). Takes only the node's shared lock.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     #[must_use]
     pub fn node_vt(&self, i: u32) -> vclock::VectorClock {
-        self.inner.nodes[i as usize].state.lock().vt().clone()
+        self.inner.nodes[i as usize].state.read().vt().clone()
     }
 
     /// Total cache invalidations performed across all nodes (ablation
     /// metric).
     #[must_use]
     pub fn total_invalidations(&self) -> u64 {
-        self.inner
-            .nodes
-            .iter()
-            .map(|n| n.state.lock().invalidation_count())
-            .sum()
+        self.snapshot().invalidations.iter().sum()
+    }
+
+    /// A coherent observability snapshot across the cluster: every node's
+    /// vector timestamp, cumulative invalidation count, and cached-page
+    /// count, taking each node's (shared) state lock exactly once.
+    ///
+    /// Prefer this over per-metric accessors in loops — a sweep over
+    /// [`CausalCluster::node_vt`] and friends re-acquires every node's
+    /// lock per metric.
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let n = self.inner.nodes.len();
+        let mut snap = ClusterSnapshot {
+            vts: Vec::with_capacity(n),
+            invalidations: Vec::with_capacity(n),
+            cached_pages: Vec::with_capacity(n),
+        };
+        for node in &self.inner.nodes {
+            let state = node.state.read();
+            snap.vts.push(state.vt().clone());
+            snap.invalidations.push(state.invalidation_count());
+            snap.cached_pages.push(state.cached_pages());
+        }
+        snap
     }
 
     /// Stops all server threads and waits for them to exit. Subsequent
@@ -312,6 +361,18 @@ impl<V: Value> std::fmt::Debug for CausalCluster<V> {
             .field("config", &self.inner.config)
             .finish_non_exhaustive()
     }
+}
+
+/// Per-node observability metrics captured in one pass by
+/// [`CausalCluster::snapshot`]; index `i` is node `i`.
+#[derive(Clone, Debug)]
+pub struct ClusterSnapshot {
+    /// Each node's vector timestamp `VT_i` at snapshot time.
+    pub vts: Vec<VectorClock>,
+    /// Each node's cumulative cache-invalidation count.
+    pub invalidations: Vec<u64>,
+    /// Each node's current number of cached (non-owned) pages `|C_i|`.
+    pub cached_pages: Vec<usize>,
 }
 
 /// A per-process handle onto a [`CausalCluster`]; implements
@@ -349,9 +410,20 @@ impl<V: Value> CausalHandle<V> {
         Ok(())
     }
 
-    fn record(&self, op: OpRecord<V>) {
+    /// Whether this handle's node statically owns `loc`'s page (the owner
+    /// map is fixed at configuration time, so this needs no lock).
+    fn owns_locally(&self, loc: Location) -> bool {
+        let config = &self.inner.config;
+        let page = loc.page(config.page_size());
+        config.owners().owner_of_page(page) == self.node
+    }
+
+    /// Records an operation, building the record only if a recorder is
+    /// installed — so unrecorded clusters never deep-copy values just to
+    /// throw the copy away.
+    fn record_with(&self, op: impl FnOnce() -> OpRecord<V>) {
         if let Some(rec) = &self.inner.recorder {
-            rec.record(self.node, op);
+            rec.record(self.node, op());
         }
     }
 
@@ -391,8 +463,27 @@ impl<V: Value> CausalHandle<V> {
     pub fn write_resolved(&self, loc: Location, value: V) -> Result<WriteDone, MemoryError> {
         self.check_bounds(loc)?;
         let node = &self.inner.nodes[self.node.index()];
+        // One Arc wraps the value; the protocol moves pointers from here
+        // on (install, request, reply repair) — no deep copies.
+        let value = Arc::new(value);
+        // Fast path: an owner-local write is one atomic Figure-4 step
+        // under the state lock — no message, no outstanding reply — so the
+        // per-node operation lock adds nothing. Ownership is static, so
+        // this is decidable before touching any lock. Skipped when a
+        // recorder is installed: the recorder flattens a node's handles
+        // into one program order, which only the operation lock provides.
+        if self.inner.recorder.is_none() && self.owns_locally(loc) {
+            let step = node.state.write().begin_write_shared(loc, value);
+            match step {
+                WriteStep::Done { wid } => return Ok(WriteDone::Applied { wid }),
+                WriteStep::Remote { .. } => unreachable!("owner-local write cannot go remote"),
+            }
+        }
         let _op = node.op_lock.lock();
-        let step = node.state.lock().begin_write(loc, value.clone());
+        let step = node
+            .state
+            .write()
+            .begin_write_shared(loc, Arc::clone(&value));
         let done = match step {
             WriteStep::Done { wid } => WriteDone::Applied { wid },
             WriteStep::Remote {
@@ -405,10 +496,12 @@ impl<V: Value> CausalHandle<V> {
                     .send(self.node, owner, request)
                     .map_err(|_| MemoryError::Shutdown)?;
                 let reply = self.await_reply(node, owner)?;
-                node.state.lock().finish_write(value.clone(), wid, reply)
+                node.state
+                    .write()
+                    .finish_write(Arc::clone(&value), wid, reply)
             }
         };
-        self.record(OpRecord::write(loc, value, done.wid()));
+        self.record_with(|| OpRecord::write(loc, (*value).clone(), done.wid()));
         Ok(done)
     }
 
@@ -440,11 +533,12 @@ impl<V: Value> CausalHandle<V> {
     ) -> Result<memcore::WriteId, MemoryError> {
         self.check_bounds(loc)?;
         let node = &self.inner.nodes[self.node.index()];
+        let value = Arc::new(value);
         let _op = node.op_lock.lock();
         let step = node
             .state
-            .lock()
-            .begin_write_nonblocking(loc, value.clone());
+            .write()
+            .begin_write_nonblocking_shared(loc, Arc::clone(&value));
         let wid = match step {
             WriteStep::Done { wid } => wid,
             WriteStep::Remote {
@@ -453,17 +547,65 @@ impl<V: Value> CausalHandle<V> {
                 request,
             } => {
                 // Register before sending so the server thread always
-                // recognizes the reply.
+                // recognizes the reply; the channel send/recv below this
+                // in the causal chain is what publishes the counter.
                 node.nonblocking.lock().insert(wid);
+                node.nonblocking_count.fetch_add(1, Ordering::Release);
                 if self.inner.net.send(self.node, owner, request).is_err() {
-                    node.nonblocking.lock().remove(&wid);
+                    if node.nonblocking.lock().remove(&wid) {
+                        node.nonblocking_count.fetch_sub(1, Ordering::Release);
+                    }
                     return Err(MemoryError::Shutdown);
                 }
                 wid
             }
         };
-        self.record(OpRecord::write(loc, value, wid));
+        self.record_with(|| OpRecord::write(loc, (*value).clone(), wid));
         Ok(wid)
+    }
+
+    /// A read that returns the value **shared** with local memory
+    /// (`Arc<V>`), never deep-copying it. [`SharedMemory::read`] is this
+    /// plus one clone to meet its by-value signature.
+    ///
+    /// Cache hits are the protocol's steady state and take only the
+    /// node's shared state lock — concurrent readers of a node proceed in
+    /// parallel, and no hit ever contends with the `op_lock` of a blocked
+    /// remote operation. (With a recorder installed, hits take the
+    /// `op_lock` too: recording flattens a node's threads into a single
+    /// program order, which needs the total order the lock provides.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Shutdown`] if the cluster has stopped, or
+    /// [`MemoryError::OutOfRange`] for locations outside the namespace.
+    pub fn read_shared(&self, loc: Location) -> Result<Arc<V>, MemoryError> {
+        self.read_full(loc).map(|(value, _)| value)
+    }
+
+    fn read_full(&self, loc: Location) -> Result<(Arc<V>, memcore::WriteId), MemoryError> {
+        self.check_bounds(loc)?;
+        let node = &self.inner.nodes[self.node.index()];
+        if self.inner.recorder.is_none() {
+            if let Some(hit) = node.state.read().read_hit(loc) {
+                return Ok(hit);
+            }
+        }
+        let _op = node.op_lock.lock();
+        let step = node.state.write().begin_read(loc);
+        let (value, wid) = match step {
+            ReadStep::Hit { value, wid } => (value, wid),
+            ReadStep::Miss { owner, request } => {
+                self.inner
+                    .net
+                    .send(self.node, owner, request)
+                    .map_err(|_| MemoryError::Shutdown)?;
+                let reply = self.await_reply(node, owner)?;
+                node.state.write().finish_read(loc, reply)
+            }
+        };
+        self.record_with(|| OpRecord::read(loc, (*value).clone(), wid));
+        Ok((value, wid))
     }
 }
 
@@ -473,23 +615,7 @@ impl<V: Value> SharedMemory<V> for CausalHandle<V> {
     }
 
     fn read(&self, loc: Location) -> Result<V, MemoryError> {
-        self.check_bounds(loc)?;
-        let node = &self.inner.nodes[self.node.index()];
-        let _op = node.op_lock.lock();
-        let step = node.state.lock().begin_read(loc);
-        let (value, wid) = match step {
-            ReadStep::Hit { value, wid } => (value, wid),
-            ReadStep::Miss { owner, request } => {
-                self.inner
-                    .net
-                    .send(self.node, owner, request)
-                    .map_err(|_| MemoryError::Shutdown)?;
-                let reply = self.await_reply(node, owner)?;
-                node.state.lock().finish_read(loc, reply)
-            }
-        };
-        self.record(OpRecord::read(loc, value.clone(), wid));
-        Ok(value)
+        self.read_full(loc).map(|(value, _)| (*value).clone())
     }
 
     fn write(&self, loc: Location, value: V) -> Result<(), MemoryError> {
@@ -502,6 +628,6 @@ impl<V: Value> SharedMemory<V> for CausalHandle<V> {
         }
         let node = &self.inner.nodes[self.node.index()];
         let _op = node.op_lock.lock();
-        node.state.lock().discard(loc);
+        node.state.write().discard(loc);
     }
 }

@@ -56,10 +56,11 @@
 
 mod config;
 mod engine;
+mod fxmap;
 mod msg;
 mod state;
 
 pub use config::{CausalConfig, CausalConfigBuilder, InvalidationMode, WritePolicy};
-pub use engine::{CausalCluster, CausalClusterBuilder, CausalHandle};
+pub use engine::{CausalCluster, CausalClusterBuilder, CausalHandle, ClusterSnapshot};
 pub use msg::{Msg, SlotData, WriteVerdict};
 pub use state::{CausalState, ReadStep, WriteDone, WriteStep};

@@ -3,6 +3,7 @@
 
 use std::fmt;
 use std::mem;
+use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use memcore::{Location, PageId, Value, WriteId};
@@ -12,7 +13,13 @@ use vclock::VectorClock;
 
 /// One slot of a transferred page: a value and the unique tag of the write
 /// that produced it.
-pub type SlotData<V> = (V, WriteId);
+///
+/// Values ride in messages behind [`Arc`], so moving a page from the
+/// owner's memory into a reply (and from a reply into the reader's cache)
+/// shares the stored values instead of deep-copying them; the codec
+/// ([`Wire`] for `Arc<T>`) encodes through the pointer, so the wire shape
+/// is unchanged.
+pub type SlotData<V> = (Arc<V>, WriteId);
 
 /// The owner's verdict on a remote write (§4.2 resolution policies).
 #[derive(Clone, Debug, PartialEq)]
@@ -24,7 +31,7 @@ pub enum WriteVerdict<V> {
     /// the surviving value is returned so the writer's cache converges.
     Rejected {
         /// The value that remains installed.
-        value: V,
+        value: Arc<V>,
         /// The tag of the surviving write.
         wid: WriteId,
     },
@@ -59,8 +66,8 @@ pub enum Msg<V> {
     Write {
         /// The location written.
         loc: Location,
-        /// The value written.
-        value: V,
+        /// The value written (shared, not copied, out of the writer).
+        value: Arc<V>,
         /// The unique tag of this write.
         wid: WriteId,
         /// The writer's incremented timestamp (the write's origin stamp).
@@ -144,7 +151,7 @@ impl<V: Wire> Wire for WriteVerdict<V> {
         match u8::decode(buf)? {
             0 => Ok(WriteVerdict::Applied),
             1 => Ok(WriteVerdict::Rejected {
-                value: V::decode(buf)?,
+                value: Arc::new(V::decode(buf)?),
                 wid: WriteId::decode(buf)?,
             }),
             d => Err(CodecError::BadDiscriminant(d)),
@@ -208,13 +215,13 @@ impl<V: Wire> Wire for Msg<V> {
                 let len = u32::decode(buf)? as usize;
                 let mut slots = Vec::with_capacity(len.min(1 << 16));
                 for _ in 0..len {
-                    slots.push((V::decode(buf)?, WriteId::decode(buf)?));
+                    slots.push((Arc::new(V::decode(buf)?), WriteId::decode(buf)?));
                 }
                 Ok(Msg::ReadReply { page, vt, slots })
             }
             2 => Ok(Msg::Write {
                 loc: Location::decode(buf)?,
-                value: V::decode(buf)?,
+                value: Arc::new(V::decode(buf)?),
                 wid: WriteId::decode(buf)?,
                 vt: VectorClock::decode(buf)?,
             }),
@@ -270,7 +277,7 @@ mod tests {
 
         let write: Msg<Word> = Msg::Write {
             loc: Location::new(0),
-            value: Word::Int(1),
+            value: Arc::new(Word::Int(1)),
             wid: WriteId::new(NodeId::new(0), 0),
             vt: vt([1, 0]),
         };
@@ -290,13 +297,13 @@ mod tests {
     fn wire_sizes_grow_with_clock_length() {
         let small: Msg<Word> = Msg::Write {
             loc: Location::new(0),
-            value: Word::Int(1),
+            value: Arc::new(Word::Int(1)),
             wid: WriteId::new(NodeId::new(0), 0),
             vt: VectorClock::new(2),
         };
         let large: Msg<Word> = Msg::Write {
             loc: Location::new(0),
-            value: Word::Int(1),
+            value: Arc::new(Word::Int(1)),
             wid: WriteId::new(NodeId::new(0), 0),
             vt: VectorClock::new(16),
         };
@@ -313,13 +320,13 @@ mod tests {
                 page: PageId::new(3),
                 vt: vt([4, 2]),
                 slots: vec![
-                    (Word::Int(7), WriteId::new(NodeId::new(1), 2)),
-                    (Word::Zero, WriteId::initial(Location::new(7))),
+                    (Arc::new(Word::Int(7)), WriteId::new(NodeId::new(1), 2)),
+                    (Arc::new(Word::Zero), WriteId::initial(Location::new(7))),
                 ],
             },
             Msg::Write {
                 loc: Location::new(6),
-                value: Word::Bool(true),
+                value: Arc::new(Word::Bool(true)),
                 wid: WriteId::new(NodeId::new(0), 9),
                 vt: vt([5, 0]),
             },
@@ -334,7 +341,7 @@ mod tests {
                 wid: WriteId::new(NodeId::new(0), 10),
                 vt: vt([5, 3]),
                 verdict: WriteVerdict::Rejected {
-                    value: Word::Int(1),
+                    value: Arc::new(Word::Int(1)),
                     wid: WriteId::new(NodeId::new(1), 1),
                 },
             },
@@ -357,7 +364,7 @@ mod tests {
         assert_eq!(msg.to_string(), "[READ, pg1]");
         let msg: Msg<Word> = Msg::Write {
             loc: Location::new(2),
-            value: Word::Int(5),
+            value: Arc::new(Word::Int(5)),
             wid: WriteId::new(NodeId::new(0), 0),
             vt: vt([1, 0]),
         };

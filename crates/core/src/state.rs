@@ -12,12 +12,13 @@
 //!
 //! Each transition is annotated with the corresponding line of Figure 4.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use memcore::{Location, NodeId, OwnerMap, PageId, Value, WriteId};
 use vclock::VectorClock;
 
 use crate::config::{CausalConfig, InvalidationMode, WritePolicy};
+use crate::fxmap::FastMap;
 use crate::msg::{Msg, WriteVerdict};
 
 /// One location's content in local memory: the value, the unique tag of
@@ -25,11 +26,16 @@ use crate::msg::{Msg, WriteVerdict};
 /// writer's timestamp as sent, used only by the owner to detect concurrent
 /// writes for the §4.2 resolution policy — Figure 4 itself stores the
 /// merged stamp, which lives on the page).
+///
+/// Both the value and the origin stamp are behind `Arc`: a value is deep-
+/// copied at most once per write (when the application hands it over), and
+/// one origin stamp is shared by every slot a page install touches, so
+/// reads, page serves and cache installs move pointers, not payloads.
 #[derive(Clone, Debug)]
 struct Slot<V> {
-    value: V,
+    value: Arc<V>,
     wid: WriteId,
-    origin: VectorClock,
+    origin: Arc<VectorClock>,
 }
 
 /// A page of local memory `M_i`: per-location slots plus the page's
@@ -50,8 +56,8 @@ pub enum ReadStep<V> {
     /// The location is owned or validly cached; the read completes
     /// immediately.
     Hit {
-        /// The value read.
-        value: V,
+        /// The value read, shared with local memory (cheap to clone).
+        value: Arc<V>,
         /// The write the value was produced by (reads-from).
         wid: WriteId,
     },
@@ -148,7 +154,7 @@ impl WriteDone {
 /// assert_eq!(owner, NodeId::new(0));
 /// let reply = p0.serve(NodeId::new(1), request).unwrap();
 /// let (value, _wid) = p1.finish_read(Location::new(0), reply);
-/// assert_eq!(value, Word::Int(9));
+/// assert_eq!(*value, Word::Int(9));
 /// ```
 #[derive(Clone, Debug)]
 pub struct CausalState<V> {
@@ -157,7 +163,7 @@ pub struct CausalState<V> {
     /// `VT_i` — this processor's vector timestamp.
     vt: VectorClock,
     /// `M_i` — owned pages (always present) plus the cache `C_i`.
-    pages: HashMap<PageId, PageEntry<V>>,
+    pages: FastMap<PageId, PageEntry<V>>,
     /// Next write sequence number (write uniqueness).
     write_seq: u64,
     /// Monotone tick for cache replacement.
@@ -177,7 +183,7 @@ impl<V: Value> CausalState<V> {
     /// that precede all operations").
     #[must_use]
     pub fn new(id: NodeId, config: CausalConfig<V>) -> Self {
-        let mut pages = HashMap::new();
+        let mut pages = FastMap::default();
         let n = config.nodes() as usize;
         for page_index in 0..config.page_count() {
             let page = PageId::new(page_index);
@@ -199,12 +205,14 @@ impl<V: Value> CausalState<V> {
 
     fn initial_page(config: &CausalConfig<V>, page: PageId, n: usize) -> PageEntry<V> {
         let _ = n;
+        let initial = Arc::new(config.initial().clone());
+        let origin = Arc::new(VectorClock::new(config.nodes() as usize));
         let slots = page
             .locations(config.page_size())
             .map(|loc| Slot {
-                value: config.initial().clone(),
+                value: Arc::clone(&initial),
                 wid: WriteId::initial(loc),
-                origin: VectorClock::new(config.nodes() as usize),
+                origin: Arc::clone(&origin),
             })
             .collect();
         PageEntry {
@@ -275,7 +283,22 @@ impl<V: Value> CausalState<V> {
     pub fn peek(&self, loc: Location) -> Option<(&V, WriteId)> {
         let entry = self.pages.get(&self.page_of(loc))?;
         let slot = &entry.slots[self.offset_of(loc)];
-        Some((&slot.value, slot.wid))
+        Some((slot.value.as_ref(), slot.wid))
+    }
+
+    /// A read of `loc` that completes only if it hits locally — the
+    /// non-mutating half of [`CausalState::begin_read`].
+    ///
+    /// Figure 4's read procedure touches no protocol state on a hit
+    /// (`M_i[x] ≠ ⊥ → v := M_i[x].value`), so a hit needs only `&self`:
+    /// the threaded engine uses this to serve cached reads under a shared
+    /// (read) lock, concurrently with other readers. Returns `None` on a
+    /// miss — the caller then takes the write lock and runs `begin_read`.
+    #[must_use]
+    pub fn read_hit(&self, loc: Location) -> Option<(Arc<V>, WriteId)> {
+        let entry = self.pages.get(&self.page_of(loc))?;
+        let slot = &entry.slots[self.offset_of(loc)];
+        Some((Arc::clone(&slot.value), slot.wid))
     }
 
     // ------------------------------------------------------------------
@@ -291,7 +314,7 @@ impl<V: Value> CausalState<V> {
         if let Some(entry) = self.pages.get(&page) {
             let slot = &entry.slots[self.offset_of(loc)];
             ReadStep::Hit {
-                value: slot.value.clone(),
+                value: Arc::clone(&slot.value),
                 wid: slot.wid,
             }
         } else {
@@ -323,7 +346,7 @@ impl<V: Value> CausalState<V> {
     ///
     /// Panics if `reply` is not a `ReadReply` for `loc`'s page (engine
     /// invariant: one outstanding operation per node).
-    pub fn finish_read(&mut self, loc: Location, reply: Msg<V>) -> (V, WriteId) {
+    pub fn finish_read(&mut self, loc: Location, reply: Msg<V>) -> (Arc<V>, WriteId) {
         let Msg::ReadReply { page, vt, slots } = reply else {
             panic!("finish_read fed a non-ReadReply message");
         };
@@ -344,7 +367,7 @@ impl<V: Value> CausalState<V> {
         // an overtaken reply: the fetched values are real knowledge, and
         // cached entries the page stamp dominates may include this node's
         // own stale copy of the very page being read.
-        self.sweep_cache(&vt.clone());
+        self.sweep_cache(&vt);
 
         if overtaken {
             let offset = self.offset_of(loc);
@@ -356,15 +379,18 @@ impl<V: Value> CausalState<V> {
         }
 
         // M_i[x] := (v', VT')  — note: the *sent* stamp VT', not VT_i.
+        // One origin stamp is interned per install and shared by every
+        // slot on the page.
         self.tick += 1;
+        let origin = Arc::new(vt.clone());
         let entry = PageEntry {
-            vt: vt.clone(),
+            vt,
             slots: slots
                 .into_iter()
                 .map(|(value, wid)| Slot {
                     value,
                     wid,
-                    origin: vt.clone(),
+                    origin: Arc::clone(&origin),
                 })
                 .collect(),
             installed_at: self.tick,
@@ -373,7 +399,7 @@ impl<V: Value> CausalState<V> {
         self.enforce_cache_capacity(page);
 
         let slot = &self.pages[&page].slots[self.offset_of(loc)];
-        (slot.value.clone(), slot.wid)
+        (Arc::clone(&slot.value), slot.wid)
     }
 
     // ------------------------------------------------------------------
@@ -386,6 +412,15 @@ impl<V: Value> CausalState<V> {
     /// write installs locally (`M_i[x] := (v, VT_i)`), otherwise a
     /// `[WRITE, x, v, VT_i]` is sent to the owner.
     pub fn begin_write(&mut self, loc: Location, value: V) -> WriteStep<V> {
+        self.begin_write_shared(loc, Arc::new(value))
+    }
+
+    /// [`CausalState::begin_write`] with a value already behind an `Arc`.
+    ///
+    /// Callers that also need the value afterwards (to record it, or to
+    /// feed [`CausalState::finish_write`]) wrap it once and clone the
+    /// pointer — the value itself is never deep-copied by the protocol.
+    pub fn begin_write_shared(&mut self, loc: Location, value: Arc<V>) -> WriteStep<V> {
         // VT_i := increment(VT_i)
         self.vt.increment(self.id.index());
         let wid = WriteId::new(self.id, self.write_seq);
@@ -396,15 +431,12 @@ impl<V: Value> CausalState<V> {
         if owner == self.id {
             let offset = self.offset_of(loc);
             let vt = self.vt.clone();
+            let origin = Arc::new(vt.clone());
             let entry = self
                 .pages
                 .get_mut(&page)
                 .expect("owned pages are always present");
-            entry.slots[offset] = Slot {
-                value,
-                wid,
-                origin: vt.clone(),
-            };
+            entry.slots[offset] = Slot { value, wid, origin };
             entry.vt = vt;
             WriteStep::Done { wid }
         } else {
@@ -431,7 +463,7 @@ impl<V: Value> CausalState<V> {
     /// # Panics
     ///
     /// Panics if `reply` is not a `WriteReply` for `loc`.
-    pub fn finish_write(&mut self, value: V, wid: WriteId, reply: Msg<V>) -> WriteDone {
+    pub fn finish_write(&mut self, value: Arc<V>, wid: WriteId, reply: Msg<V>) -> WriteDone {
         let Msg::WriteReply {
             loc, vt, verdict, ..
         } = reply
@@ -470,26 +502,27 @@ impl<V: Value> CausalState<V> {
             WriteVerdict::Rejected {
                 value: winner_value,
                 wid: winner_wid,
-            } => (winner_value.clone(), *winner_wid),
+            } => (Arc::clone(winner_value), *winner_wid),
         };
         let page = self.page_of(loc);
         let offset = self.offset_of(loc);
         let vt_now = self.vt.clone();
+        let origin = Arc::new(vt_now.clone());
         if let Some(entry) = self.pages.get_mut(&page) {
             entry.slots[offset] = Slot {
                 value: install_value,
                 wid: install_wid,
-                origin: vt_now.clone(),
+                origin,
             };
             entry.vt = vt_now;
         } else if self.config.page_size() == 1 {
             self.tick += 1;
             let entry = PageEntry {
-                vt: vt_now.clone(),
+                vt: vt_now,
                 slots: vec![Slot {
                     value: install_value,
                     wid: install_wid,
-                    origin: vt_now,
+                    origin,
                 }],
                 installed_at: self.tick,
             };
@@ -519,28 +552,27 @@ impl<V: Value> CausalState<V> {
     /// Definition-2 correctness requires blocking writes. See
     /// `tests/nonblocking_limits.rs` and `docs/PROTOCOL.md`.
     pub fn begin_write_nonblocking(&mut self, loc: Location, value: V) -> WriteStep<V> {
-        let step = self.begin_write(loc, value.clone());
+        self.begin_write_nonblocking_shared(loc, Arc::new(value))
+    }
+
+    /// [`CausalState::begin_write_nonblocking`] with a value already
+    /// behind an `Arc` (see [`CausalState::begin_write_shared`]).
+    pub fn begin_write_nonblocking_shared(&mut self, loc: Location, value: Arc<V>) -> WriteStep<V> {
+        let step = self.begin_write_shared(loc, Arc::clone(&value));
         if let WriteStep::Remote { wid, .. } = step {
             // M_i[x] := (v, VT_i) now instead of at reply time.
             let page = self.page_of(loc);
             let offset = self.offset_of(loc);
             let vt_now = self.vt.clone();
+            let origin = Arc::new(vt_now.clone());
             if let Some(entry) = self.pages.get_mut(&page) {
-                entry.slots[offset] = Slot {
-                    value,
-                    wid,
-                    origin: vt_now.clone(),
-                };
+                entry.slots[offset] = Slot { value, wid, origin };
                 entry.vt = vt_now;
             } else if self.config.page_size() == 1 {
                 self.tick += 1;
                 let entry = PageEntry {
-                    vt: vt_now.clone(),
-                    slots: vec![Slot {
-                        value,
-                        wid,
-                        origin: vt_now,
-                    }],
+                    vt: vt_now,
+                    slots: vec![Slot { value, wid, origin }],
                     installed_at: self.tick,
                 };
                 self.pages.insert(page, entry);
@@ -597,7 +629,7 @@ impl<V: Value> CausalState<V> {
                         entry.slots[offset] = Slot {
                             value: winner_value,
                             wid: winner,
-                            origin: vt_now.clone(),
+                            origin: Arc::new(vt_now.clone()),
                         };
                         entry.vt = vt_now;
                     }
@@ -646,7 +678,7 @@ impl<V: Value> CausalState<V> {
             slots: entry
                 .slots
                 .iter()
-                .map(|s| (s.value.clone(), s.wid))
+                .map(|s| (Arc::clone(&s.value), s.wid))
                 .collect(),
         }
     }
@@ -669,7 +701,7 @@ impl<V: Value> CausalState<V> {
         &mut self,
         _from: NodeId,
         loc: Location,
-        value: V,
+        value: Arc<V>,
         wid: WriteId,
         vt: VectorClock,
     ) -> Msg<V> {
@@ -704,7 +736,7 @@ impl<V: Value> CausalState<V> {
         let verdict = if reject {
             let slot = &self.pages[&page].slots[offset];
             WriteVerdict::Rejected {
-                value: slot.value.clone(),
+                value: Arc::clone(&slot.value),
                 wid: slot.wid,
             }
         } else if stale {
@@ -719,7 +751,7 @@ impl<V: Value> CausalState<V> {
             entry.slots[offset] = Slot {
                 value,
                 wid,
-                origin: vt,
+                origin: Arc::new(vt),
             };
             entry.vt = vt_now;
             WriteVerdict::Applied
@@ -855,7 +887,7 @@ mod tests {
             } => {
                 assert_eq!(dst, owner.id());
                 let reply = owner.serve(writer.id(), request).unwrap();
-                writer.finish_write(v, wid, reply)
+                writer.finish_write(Arc::new(v), wid, reply)
             }
             WriteStep::Done { .. } => panic!("expected remote write"),
         }
@@ -874,9 +906,10 @@ mod tests {
             } => {
                 assert_eq!(dst, owner.id());
                 let reply = owner.serve(reader.id(), request).unwrap();
-                reader.finish_read(l, reply)
+                let (value, wid) = reader.finish_read(l, reply);
+                (*value, wid)
             }
-            ReadStep::Hit { value, wid } => (value, wid),
+            ReadStep::Hit { value, wid } => (*value, wid),
         }
     }
 
@@ -885,7 +918,7 @@ mod tests {
         let (mut p0, _) = pair();
         match p0.begin_read(loc(0)) {
             ReadStep::Hit { value, wid } => {
-                assert_eq!(value, Word::Zero);
+                assert_eq!(*value, Word::Zero);
                 assert!(wid.is_initial());
             }
             ReadStep::Miss { .. } => panic!("owned location must hit"),
@@ -1150,7 +1183,7 @@ mod tests {
         assert_eq!(v, Word::Int(11));
         // The whole page came over: location 3 now hits locally.
         match p1.begin_read(loc(3)) {
-            ReadStep::Hit { value, .. } => assert_eq!(value, Word::Int(33)),
+            ReadStep::Hit { value, .. } => assert_eq!(*value, Word::Int(33)),
             ReadStep::Miss { .. } => panic!("page fetch must cache all slots"),
         }
     }
@@ -1183,11 +1216,11 @@ mod tests {
         // Both re-read the cached copy: still 0. This is the weakly
         // consistent outcome no sequentially consistent memory allows.
         match p0.begin_read(loc(1)) {
-            ReadStep::Hit { value, .. } => assert_eq!(value, Word::Zero),
+            ReadStep::Hit { value, .. } => assert_eq!(*value, Word::Zero),
             ReadStep::Miss { .. } => panic!("cached"),
         }
         match p1.begin_read(loc(0)) {
-            ReadStep::Hit { value, .. } => assert_eq!(value, Word::Zero),
+            ReadStep::Hit { value, .. } => assert_eq!(*value, Word::Zero),
             ReadStep::Miss { .. } => panic!("cached"),
         }
     }
@@ -1300,7 +1333,7 @@ mod tests {
         // The stale reply lands. The read completes with A (legal: no
         // operation of P1 yet follows B), but the page must NOT be cached.
         let (v, _) = p1.finish_read(x2, stale_reply);
-        assert_eq!(v, Word::Int(100));
+        assert_eq!(*v, Word::Int(100));
         assert!(
             !p1.has_valid_copy(x2),
             "stale page cached over fresher knowledge"

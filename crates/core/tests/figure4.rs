@@ -68,7 +68,7 @@ fn write_service_merges_installs_and_replies_with_merged_stamp() {
     assert_eq!(replied, &vt([0, 2]));
 
     // Writer side: VT_i := update(VT_i, VT'); M_i[x] := (v, VT_i).
-    let done = p1.finish_write(Word::Int(5), wid, reply);
+    let done = p1.finish_write(std::sync::Arc::new(Word::Int(5)), wid, reply);
     assert!(done.is_applied());
     assert_eq!(p1.vt(), &vt([0, 2]));
     assert_eq!(p1.peek(loc(0)).unwrap().0, &Word::Int(5));
@@ -93,7 +93,7 @@ fn owner_write_after_service_reflects_three_updates() {
     // owner's update: VT0 = max([2,0],[0,2]) = [2,2].
     assert_eq!(p0.vt(), &vt([2, 2]));
     // writer's second update from the reply: VT1 = [2,2].
-    p1.finish_write(Word::Int(4), wid, reply);
+    p1.finish_write(std::sync::Arc::new(Word::Int(4)), wid, reply);
     assert_eq!(p1.vt(), &vt([2, 2]));
 }
 
@@ -115,7 +115,7 @@ fn read_service_does_not_touch_the_owners_clock() {
     assert_eq!(sent, &vt([1, 0]));
     // Reader: VT_i := update(VT_i, VT'); M_i[x] := (v', VT').
     let (v, _) = p1.finish_read(loc(0), reply);
-    assert_eq!(v, Word::Int(7));
+    assert_eq!(*v, Word::Int(7));
     assert_eq!(p1.vt(), &vt([1, 0]));
 }
 
@@ -208,7 +208,7 @@ fn local_read_has_no_side_effects() {
         let ReadStep::Hit { value, .. } = p0.begin_read(loc(0)) else {
             panic!("owned reads always hit");
         };
-        assert_eq!(value, Word::Int(1));
+        assert_eq!(*value, Word::Int(1));
     }
     assert_eq!(p0.vt(), &before);
 }

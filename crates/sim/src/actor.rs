@@ -119,7 +119,7 @@ enum CausalPending<V> {
     },
     Write {
         loc: Location,
-        value: V,
+        value: std::sync::Arc<V>,
         wid: WriteId,
     },
 }
@@ -170,10 +170,10 @@ impl<V: Value> Actor<V> for CausalActor<V> {
                 match self.state.begin_read(*loc) {
                     causal_dsm::ReadStep::Hit { value, wid } => Effects::done(
                         Outcome::Read {
-                            value: value.clone(),
+                            value: (*value).clone(),
                             wid,
                         },
-                        Some(OpRecord::read(*loc, value, wid)),
+                        Some(OpRecord::read(*loc, (*value).clone(), wid)),
                     ),
                     causal_dsm::ReadStep::Miss { owner, request } => {
                         self.pending = Some(CausalPending::Read { loc: *loc });
@@ -181,24 +181,30 @@ impl<V: Value> Actor<V> for CausalActor<V> {
                     }
                 }
             }
-            ClientOp::Write(loc, value) => match self.state.begin_write(*loc, value.clone()) {
-                causal_dsm::WriteStep::Done { wid } => Effects::done(
-                    Outcome::Wrote { wid, applied: true },
-                    Some(OpRecord::write(*loc, value.clone(), wid)),
-                ),
-                causal_dsm::WriteStep::Remote {
-                    owner,
-                    wid,
-                    request,
-                } => {
-                    self.pending = Some(CausalPending::Write {
-                        loc: *loc,
-                        value: value.clone(),
+            ClientOp::Write(loc, value) => {
+                let shared = std::sync::Arc::new(value.clone());
+                match self
+                    .state
+                    .begin_write_shared(*loc, std::sync::Arc::clone(&shared))
+                {
+                    causal_dsm::WriteStep::Done { wid } => Effects::done(
+                        Outcome::Wrote { wid, applied: true },
+                        Some(OpRecord::write(*loc, value.clone(), wid)),
+                    ),
+                    causal_dsm::WriteStep::Remote {
+                        owner,
                         wid,
-                    });
-                    Effects::sent(vec![(owner, request)])
+                        request,
+                    } => {
+                        self.pending = Some(CausalPending::Write {
+                            loc: *loc,
+                            value: shared,
+                            wid,
+                        });
+                        Effects::sent(vec![(owner, request)])
+                    }
                 }
-            },
+            }
             ClientOp::WriteNonblocking(loc, value) => {
                 match self.state.begin_write_nonblocking(*loc, value.clone()) {
                     causal_dsm::WriteStep::Done { wid } => Effects::done(
@@ -251,20 +257,22 @@ impl<V: Value> Actor<V> for CausalActor<V> {
                 let (value, wid) = self.state.finish_read(loc, msg);
                 Effects::done(
                     Outcome::Read {
-                        value: value.clone(),
+                        value: (*value).clone(),
                         wid,
                     },
-                    Some(OpRecord::read(loc, value, wid)),
+                    Some(OpRecord::read(loc, (*value).clone(), wid)),
                 )
             }
             Some(CausalPending::Write { loc, value, wid }) => {
-                let done = self.state.finish_write(value.clone(), wid, msg);
+                let done = self
+                    .state
+                    .finish_write(std::sync::Arc::clone(&value), wid, msg);
                 Effects::done(
                     Outcome::Wrote {
                         wid: done.wid(),
                         applied: done.is_applied(),
                     },
-                    Some(OpRecord::write(loc, value, done.wid())),
+                    Some(OpRecord::write(loc, (*value).clone(), done.wid())),
                 )
             }
             None => panic!("reply with no outstanding operation"),

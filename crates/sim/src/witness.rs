@@ -131,8 +131,8 @@ pub fn figure5_owner_witness() -> (Execution<Word>, u64) {
     let reply = p1.serve(p(0), request).expect("serve read");
     messages += 2;
     let (v, wid) = p0.finish_read(y, reply);
-    assert_eq!(v, Word::Zero);
-    ops[0].push(OpRecord::read(y, v, wid));
+    assert_eq!(*v, Word::Zero);
+    ops[0].push(OpRecord::read(y, *v, wid));
 
     // P1: r(x)0 — miss, fetch from P0.
     let ReadStep::Miss { request, .. } = p1.begin_read(x) else {
@@ -141,8 +141,8 @@ pub fn figure5_owner_witness() -> (Execution<Word>, u64) {
     let reply = p0.serve(p(1), request).expect("serve read");
     messages += 2;
     let (v, wid) = p1.finish_read(x, reply);
-    assert_eq!(v, Word::Zero);
-    ops[1].push(OpRecord::read(x, v, wid));
+    assert_eq!(*v, Word::Zero);
+    ops[1].push(OpRecord::read(x, *v, wid));
 
     // P0: w(x)1 (local); P1: w(y)1 (local).
     let WriteStep::Done { wid } = p0.begin_write(x, Word::Int(1)) else {
@@ -158,13 +158,13 @@ pub fn figure5_owner_witness() -> (Execution<Word>, u64) {
     let ReadStep::Hit { value, wid } = p0.begin_read(y) else {
         panic!("y must be cached at P0");
     };
-    assert_eq!(value, Word::Zero, "weakly consistent read of y");
-    ops[0].push(OpRecord::read(y, value, wid));
+    assert_eq!(*value, Word::Zero, "weakly consistent read of y");
+    ops[0].push(OpRecord::read(y, *value, wid));
     let ReadStep::Hit { value, wid } = p1.begin_read(x) else {
         panic!("x must be cached at P1");
     };
-    assert_eq!(value, Word::Zero, "weakly consistent read of x");
-    ops[1].push(OpRecord::read(x, value, wid));
+    assert_eq!(*value, Word::Zero, "weakly consistent read of x");
+    ops[1].push(OpRecord::read(x, *value, wid));
 
     (Execution::from_processes(ops), messages)
 }
@@ -218,7 +218,7 @@ pub fn dictionary_conflict_witness(policy: causal_dsm::WritePolicy) -> Dictionar
     };
     let reply = p0.serve(p(1), request).expect("serve read");
     let (seen, _) = p1.finish_read(slot, reply);
-    assert_eq!(seen, Word::Int(10));
+    assert_eq!(*seen, Word::Int(10));
 
     // P0 deletes 10 and re-inserts 20 — both local; P1 learns nothing.
     assert!(matches!(
@@ -236,7 +236,7 @@ pub fn dictionary_conflict_witness(policy: causal_dsm::WritePolicy) -> Dictionar
         panic!("P1 does not own the slot");
     };
     let reply = p0.serve(p(1), request).expect("serve write");
-    let done = p1.finish_write(Word::Zero, wid, reply);
+    let done = p1.finish_write(std::sync::Arc::new(Word::Zero), wid, reply);
 
     DictionaryConflict {
         delete_applied: done.is_applied(),

@@ -159,6 +159,20 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+impl<T: Wire> Wire for std::sync::Arc<T> {
+    // Wire-transparent: an `Arc<T>` encodes exactly as its `T`, so protocol
+    // types can share values in memory without changing a byte on the wire.
+    fn encode(&self, buf: &mut BytesMut) {
+        (**self).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(std::sync::Arc::new(T::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
+}
+
 impl Wire for memcore::NodeId {
     fn encode(&self, buf: &mut BytesMut) {
         (self.index() as u32).encode(buf);
@@ -226,7 +240,12 @@ impl Wire for memcore::WriteId {
 
 impl Wire for vclock::VectorClock {
     fn encode(&self, buf: &mut BytesMut) {
-        self.as_slice().to_vec().encode(buf);
+        // Same wire shape as Vec<u64> (u32 length prefix + components),
+        // written straight from the borrowed slice — no clone.
+        (self.len() as u32).encode(buf);
+        for &c in self.iter() {
+            c.encode(buf);
+        }
     }
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(vclock::VectorClock::from(Vec::<u64>::decode(buf)?))

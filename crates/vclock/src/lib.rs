@@ -7,6 +7,17 @@
 //! the paper uses throughout: *dominance* (`VT < VT'`) and *concurrency*
 //! (neither dominates).
 //!
+//! # Representation
+//!
+//! Clocks are the protocol's most-copied data structure: one rides in every
+//! message, one stamps every cached page. A clock covering up to
+//! [`INLINE_PROCESSES`] processes is stored entirely inline (no heap
+//! allocation — cloning is a `memcpy`); larger systems spill to a heap
+//! vector transparently. Every operation goes through the same slice-based
+//! loops regardless of representation, and [`VectorClockRef`] gives a
+//! borrowed view for comparisons against raw component slices without
+//! constructing a clock at all.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,8 +38,30 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
+use serde::value::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// The largest process count stored inline (stack-allocated); clocks for
+/// bigger systems spill to the heap.
+///
+/// Sixteen covers every cluster size in the paper's evaluation (and every
+/// workload in this repository) with a 136-byte clock — small enough to
+/// copy freely, large enough that the heap path only runs in the spill
+/// tests.
+pub const INLINE_PROCESSES: usize = 16;
+
+/// Storage for the components: inline array up to [`INLINE_PROCESSES`],
+/// heap vector above. Invariant: `Heap` is only used for
+/// `len > INLINE_PROCESSES`, so equal component sequences always share a
+/// representation (derived comparisons would be wrong otherwise; ours go
+/// through slices anyway).
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u64; INLINE_PROCESSES] },
+    Heap(Vec<u64>),
+}
 
 /// A vector timestamp over a fixed number of processes.
 ///
@@ -47,9 +80,38 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(vt.get(0), 1);
 /// assert_eq!(vt.get(1), 0);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct VectorClock {
-    components: Vec<u64>,
+    repr: Repr,
+}
+
+/// Compares two component slices in the paper's dominance order.
+///
+/// This is the single comparison loop behind [`VectorClock`] and
+/// [`VectorClockRef`]: index-free, no bounds checks after the length
+/// test, early exit on the first proof of concurrency.
+fn compare_components(a: &[u64], b: &[u64]) -> Option<Ordering> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut less = false;
+    let mut greater = false;
+    for (x, y) in a.iter().zip(b) {
+        match x.cmp(y) {
+            Ordering::Less => less = true,
+            Ordering::Greater => greater = true,
+            Ordering::Equal => {}
+        }
+        if less && greater {
+            return None;
+        }
+    }
+    match (less, greater) {
+        (false, false) => Some(Ordering::Equal),
+        (true, false) => Some(Ordering::Less),
+        (false, true) => Some(Ordering::Greater),
+        (true, true) => None,
+    }
 }
 
 impl VectorClock {
@@ -66,8 +128,17 @@ impl VectorClock {
     /// ```
     #[must_use]
     pub fn new(n: usize) -> Self {
-        VectorClock {
-            components: vec![0; n],
+        if n <= INLINE_PROCESSES {
+            VectorClock {
+                repr: Repr::Inline {
+                    len: n as u8,
+                    buf: [0; INLINE_PROCESSES],
+                },
+            }
+        } else {
+            VectorClock {
+                repr: Repr::Heap(vec![0; n]),
+            }
         }
     }
 
@@ -81,27 +152,75 @@ impl VectorClock {
     /// ```
     #[must_use]
     pub fn from_components<I: IntoIterator<Item = u64>>(components: I) -> Self {
+        let mut buf = [0u64; INLINE_PROCESSES];
+        let mut len = 0usize;
+        let mut iter = components.into_iter();
+        for c in iter.by_ref() {
+            if len == INLINE_PROCESSES {
+                // Spill: move what we have to the heap and drain the rest.
+                let mut vec = Vec::with_capacity(INLINE_PROCESSES * 2);
+                vec.extend_from_slice(&buf);
+                vec.push(c);
+                vec.extend(iter);
+                return VectorClock {
+                    repr: Repr::Heap(vec),
+                };
+            }
+            buf[len] = c;
+            len += 1;
+        }
         VectorClock {
-            components: components.into_iter().collect(),
+            repr: Repr::Inline {
+                len: len as u8,
+                buf,
+            },
+        }
+    }
+
+    /// Creates a clock by copying a component slice.
+    #[must_use]
+    pub fn from_slice(components: &[u64]) -> Self {
+        if components.len() <= INLINE_PROCESSES {
+            let mut buf = [0u64; INLINE_PROCESSES];
+            buf[..components.len()].copy_from_slice(components);
+            VectorClock {
+                repr: Repr::Inline {
+                    len: components.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            VectorClock {
+                repr: Repr::Heap(components.to_vec()),
+            }
         }
     }
 
     /// Number of processes this clock covers.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.components.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// Returns `true` if the clock covers zero processes.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.len() == 0
+    }
+
+    /// Returns `true` if the components live inline (no heap allocation).
+    #[must_use]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
     }
 
     /// Returns `true` if every component is zero.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.components.iter().all(|&c| c == 0)
+        self.as_slice().iter().all(|&c| c == 0)
     }
 
     /// The `i`th component.
@@ -111,7 +230,7 @@ impl VectorClock {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn get(&self, i: usize) -> u64 {
-        self.components[i]
+        self.as_slice()[i]
     }
 
     /// Adds one to the `i`th component — the paper's
@@ -121,7 +240,7 @@ impl VectorClock {
     ///
     /// Panics if `i >= self.len()`.
     pub fn increment(&mut self, i: usize) {
-        self.components[i] += 1;
+        self.as_mut_slice()[i] += 1;
     }
 
     /// Returns a copy with the `i`th component incremented.
@@ -142,12 +261,23 @@ impl VectorClock {
     ///
     /// Panics if the two clocks cover different numbers of processes.
     pub fn update(&mut self, other: &VectorClock) {
+        self.update_slice(other.as_slice());
+    }
+
+    /// Component-wise maximum against a raw component slice, the zero-copy
+    /// form used when the other stamp arrives over the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` covers a different number of processes.
+    pub fn update_slice(&mut self, other: &[u64]) {
+        let mine = self.as_mut_slice();
         assert_eq!(
-            self.components.len(),
-            other.components.len(),
+            mine.len(),
+            other.len(),
             "vector clocks cover different process counts"
         );
-        for (a, b) in self.components.iter_mut().zip(&other.components) {
+        for (a, b) in mine.iter_mut().zip(other) {
             *a = (*a).max(*b);
         }
     }
@@ -178,7 +308,7 @@ impl VectorClock {
     /// ```
     #[must_use]
     pub fn concurrent(&self, other: &VectorClock) -> bool {
-        self.partial_cmp(other).is_none()
+        compare_components(self.as_slice(), other.as_slice()).is_none()
     }
 
     /// `true` iff `self < other` in the paper's dominance order.
@@ -187,90 +317,131 @@ impl VectorClock {
     /// reads like the pseudocode's `M_i[y].VT < VT'`.
     #[must_use]
     pub fn dominated_by(&self, other: &VectorClock) -> bool {
-        matches!(self.partial_cmp(other), Some(Ordering::Less))
+        matches!(
+            compare_components(self.as_slice(), other.as_slice()),
+            Some(Ordering::Less)
+        )
     }
 
     /// Iterates over the components in process order.
     pub fn iter(&self) -> std::slice::Iter<'_, u64> {
-        self.components.iter()
+        self.as_slice().iter()
     }
 
     /// Borrows the raw components.
     #[must_use]
     pub fn as_slice(&self) -> &[u64] {
-        &self.components
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Borrows the raw components mutably.
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// A borrowed view of this clock for allocation-free comparison.
+    #[must_use]
+    pub fn as_ref(&self) -> VectorClockRef<'_> {
+        VectorClockRef {
+            components: self.as_slice(),
+        }
     }
 
     /// Sum of all components; a cheap scalar proxy for "how much causal
     /// history this stamp reflects" (used by diagnostics only).
     #[must_use]
     pub fn weight(&self) -> u64 {
-        self.components.iter().sum()
+        self.as_slice().iter().sum()
+    }
+}
+
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl Hash for VectorClock {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the component slice (same prefix as `[u64]`'s impl), so
+        // inline and spilled clocks with equal components hash equally.
+        self.as_slice().hash(state);
     }
 }
 
 impl PartialOrd for VectorClock {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        if self.components.len() != other.components.len() {
-            return None;
-        }
-        let mut less = false;
-        let mut greater = false;
-        for (a, b) in self.components.iter().zip(&other.components) {
-            match a.cmp(b) {
-                Ordering::Less => less = true,
-                Ordering::Greater => greater = true,
-                Ordering::Equal => {}
-            }
-            if less && greater {
-                return None;
-            }
-        }
-        match (less, greater) {
-            (false, false) => Some(Ordering::Equal),
-            (true, false) => Some(Ordering::Less),
-            (false, true) => Some(Ordering::Greater),
-            (true, true) => None,
+        compare_components(self.as_slice(), other.as_slice())
+    }
+}
+
+// The wire and JSON shape of a clock is a plain sequence of components,
+// exactly as the former `Vec<u64>`-backed representation serialized.
+impl Serialize for VectorClock {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|&c| Value::U64(c)).collect())
+    }
+}
+
+impl Deserialize for VectorClock {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .map(|item| {
+                    item.as_u64()
+                        .ok_or_else(|| DeError::msg("expected unsigned clock component"))
+                })
+                .collect(),
+            _ => Err(DeError::msg("expected clock component sequence")),
         }
     }
 }
 
 impl fmt::Debug for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VT{:?}", self.components)
+        write!(f, "VT{:?}", self.as_slice())
     }
 }
 
 impl fmt::Display for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[")?;
-        for (i, c) in self.components.iter().enumerate() {
-            if i > 0 {
-                write!(f, ",")?;
-            }
-            write!(f, "{c}")?;
-        }
-        write!(f, "]")
+        self.as_ref().fmt(f)
     }
 }
 
 impl From<Vec<u64>> for VectorClock {
     fn from(components: Vec<u64>) -> Self {
-        VectorClock { components }
+        if components.len() > INLINE_PROCESSES {
+            VectorClock {
+                repr: Repr::Heap(components),
+            }
+        } else {
+            VectorClock::from_slice(&components)
+        }
     }
 }
 
 impl From<VectorClock> for Vec<u64> {
     fn from(vt: VectorClock) -> Self {
-        vt.components
+        match vt.repr {
+            Repr::Inline { len, buf } => buf[..len as usize].to_vec(),
+            Repr::Heap(v) => v,
+        }
     }
 }
 
 impl<const N: usize> From<[u64; N]> for VectorClock {
     fn from(components: [u64; N]) -> Self {
-        VectorClock {
-            components: components.to_vec(),
-        }
+        VectorClock::from_slice(&components)
     }
 }
 
@@ -284,7 +455,148 @@ impl<'a> IntoIterator for &'a VectorClock {
     type Item = &'a u64;
     type IntoIter = std::slice::Iter<'a, u64>;
     fn into_iter(self) -> Self::IntoIter {
-        self.components.iter()
+        self.as_slice().iter()
+    }
+}
+
+/// A borrowed vector timestamp: the comparison and formatting operations
+/// of [`VectorClock`] over a component slice that stays where it is —
+/// a received message buffer, a cached page's stamp — with no clock
+/// construction or allocation.
+///
+/// # Examples
+///
+/// ```
+/// use vclock::{VectorClock, VectorClockRef};
+///
+/// let owned = VectorClock::from_components([1, 2, 0]);
+/// let wire: &[u64] = &[2, 2, 0]; // decoded in place from a message
+/// let incoming = VectorClockRef::from(wire);
+/// assert!(owned.as_ref() < incoming);
+/// assert_eq!(incoming.to_owned().as_slice(), wire);
+/// ```
+#[derive(Clone, Copy)]
+pub struct VectorClockRef<'a> {
+    components: &'a [u64],
+}
+
+impl<'a> VectorClockRef<'a> {
+    /// Number of processes the viewed clock covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the viewed clock covers zero processes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns `true` if every component is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.components.iter().all(|&c| c == 0)
+    }
+
+    /// The `i`th component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        self.components[i]
+    }
+
+    /// Borrows the raw components.
+    #[must_use]
+    pub fn as_slice(&self) -> &'a [u64] {
+        self.components
+    }
+
+    /// `true` iff neither viewed clock dominates the other and they differ.
+    #[must_use]
+    pub fn concurrent(&self, other: &VectorClockRef<'_>) -> bool {
+        compare_components(self.components, other.components).is_none()
+    }
+
+    /// `true` iff `self < other` in the paper's dominance order.
+    #[must_use]
+    pub fn dominated_by(&self, other: &VectorClockRef<'_>) -> bool {
+        matches!(
+            compare_components(self.components, other.components),
+            Some(Ordering::Less)
+        )
+    }
+
+    /// Copies the viewed components into an owned clock.
+    #[must_use]
+    pub fn to_owned(&self) -> VectorClock {
+        VectorClock::from_slice(self.components)
+    }
+
+    /// Sum of all components.
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.components.iter().sum()
+    }
+}
+
+impl<'a> From<&'a [u64]> for VectorClockRef<'a> {
+    fn from(components: &'a [u64]) -> Self {
+        VectorClockRef { components }
+    }
+}
+
+impl<'a> From<&'a VectorClock> for VectorClockRef<'a> {
+    fn from(vt: &'a VectorClock) -> Self {
+        vt.as_ref()
+    }
+}
+
+impl PartialEq for VectorClockRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.components == other.components
+    }
+}
+
+impl Eq for VectorClockRef<'_> {}
+
+impl PartialOrd for VectorClockRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        compare_components(self.components, other.components)
+    }
+}
+
+impl PartialEq<VectorClock> for VectorClockRef<'_> {
+    fn eq(&self, other: &VectorClock) -> bool {
+        self.components == other.as_slice()
+    }
+}
+
+impl PartialEq<VectorClockRef<'_>> for VectorClock {
+    fn eq(&self, other: &VectorClockRef<'_>) -> bool {
+        self.as_slice() == other.components
+    }
+}
+
+impl fmt::Debug for VectorClockRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VT{:?}", self.components)
+    }
+}
+
+impl fmt::Display for VectorClockRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -406,5 +718,68 @@ mod tests {
         assert!(sent <= writer);
         assert!(reply <= writer || reply == writer);
         assert_eq!(writer.as_slice(), &[3, 3, 1]);
+    }
+
+    #[test]
+    fn small_clocks_stay_inline_and_large_spill() {
+        assert!(VectorClock::new(INLINE_PROCESSES).is_inline());
+        assert!(!VectorClock::new(INLINE_PROCESSES + 1).is_inline());
+        let exact: VectorClock = (0..INLINE_PROCESSES as u64).collect();
+        assert!(exact.is_inline());
+        assert_eq!(exact.len(), INLINE_PROCESSES);
+        let spilled: VectorClock = (0..INLINE_PROCESSES as u64 + 1).collect();
+        assert!(!spilled.is_inline());
+        assert_eq!(spilled.len(), INLINE_PROCESSES + 1);
+        assert_eq!(spilled.get(INLINE_PROCESSES), INLINE_PROCESSES as u64);
+    }
+
+    #[test]
+    fn inline_and_spilled_agree_across_representations() {
+        // A heap-repr clock that would fit inline cannot arise from the
+        // public constructors, but equality/hash must still be slice-based:
+        // compare an inline clock against one built via the spill path.
+        let inline = VectorClock::from_slice(&[1, 2, 3]);
+        let via_vec = VectorClock::from(vec![1, 2, 3]);
+        assert_eq!(inline, via_vec);
+        assert_eq!(inline.partial_cmp(&via_vec), Some(Ordering::Equal));
+
+        use std::collections::hash_map::DefaultHasher;
+        let h = |vt: &VectorClock| {
+            let mut s = DefaultHasher::new();
+            vt.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&inline), h(&via_vec));
+    }
+
+    #[test]
+    fn ref_view_compares_without_owning() {
+        let a = VectorClock::from_components([1, 2, 0]);
+        let raw: &[u64] = &[2, 2, 0];
+        let b = VectorClockRef::from(raw);
+        assert!(a.as_ref() < b);
+        assert!(a.as_ref().dominated_by(&b));
+        assert!(!a.as_ref().concurrent(&b));
+        assert_eq!(b.to_owned().as_slice(), raw);
+        assert_eq!(b.weight(), 4);
+        assert_eq!(b.to_string(), "[2,2,0]");
+        assert_eq!(format!("{b:?}"), "VT[2, 2, 0]");
+        assert!(a == a.as_ref() && a.as_ref() == a);
+    }
+
+    #[test]
+    fn serde_round_trips_as_plain_sequence() {
+        for n in [0usize, 3, INLINE_PROCESSES, INLINE_PROCESSES + 5] {
+            let vt: VectorClock = (0..n as u64).map(|i| i * 7 + 1).collect();
+            let value = vt.to_value();
+            match &value {
+                Value::Seq(items) => assert_eq!(items.len(), n),
+                other => panic!("clock must serialize as a sequence, got {other:?}"),
+            }
+            // Identical to how the components serialize as a bare Vec.
+            assert_eq!(value, vt.as_slice().to_vec().to_value());
+            let back = VectorClock::from_value(&value).expect("round trip");
+            assert_eq!(back, vt);
+        }
     }
 }

@@ -1,0 +1,161 @@
+//! Model equivalence: the inline small-vector `VectorClock` must be
+//! observationally identical to the reference `Vec<u64>` semantics it
+//! replaced — merge (component-wise max), the dominance comparison,
+//! concurrency, and the serde round trip — across 10k random pairs,
+//! with lengths straddling the 16→17-process inline→heap spill boundary.
+
+use std::cmp::Ordering;
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use vclock::{VectorClock, VectorClockRef, INLINE_PROCESSES};
+
+/// The reference model: the operations as the old `Vec<u64>`-backed
+/// implementation wrote them, verbatim.
+mod model {
+    use std::cmp::Ordering;
+
+    pub fn update(a: &[u64], b: &[u64]) -> Vec<u64> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| (*x).max(*y)).collect()
+    }
+
+    pub fn compare(a: &[u64], b: &[u64]) -> Option<Ordering> {
+        if a.len() != b.len() {
+            return None;
+        }
+        let mut less = false;
+        let mut greater = false;
+        for (x, y) in a.iter().zip(b) {
+            match x.cmp(y) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (less, greater) {
+            (false, false) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (true, true) => None,
+        }
+    }
+}
+
+/// Component vectors with lengths clustered around the spill boundary:
+/// 0..=16 stays inline, 17.. spills to the heap.
+fn components() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        proptest::collection::vec(0u64..8, 0..INLINE_PROCESSES + 1),
+        proptest::collection::vec(0u64..8, INLINE_PROCESSES..INLINE_PROCESSES + 8),
+    ]
+}
+
+/// Same-length pairs, so merge is defined (mismatched lengths are covered
+/// separately below): draw the second vector at maximum width and cut it
+/// to the first one's length.
+fn pair() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    let widest = INLINE_PROCESSES + 8;
+    (
+        components(),
+        proptest::collection::vec(0u64..8, widest..widest + 1),
+    )
+        .prop_map(|(a, mut b)| {
+            b.truncate(a.len());
+            (a, b)
+        })
+}
+
+proptest! {
+    // 2_500 cases x 4 properties = 10k (pair, operation) checks.
+    #![proptest_config(ProptestConfig::with_cases(2_500))]
+
+    /// Merge agrees with the component-wise-max reference model.
+    #[test]
+    fn merge_matches_model((a, b) in pair()) {
+        let want = VectorClock::from(model::update(&a, &b));
+        let va = VectorClock::from_slice(&a);
+        let vb = VectorClock::from_slice(&b);
+        prop_assert_eq!(&va.updated(&vb), &want);
+        let mut in_place = va.clone();
+        in_place.update(&vb);
+        prop_assert_eq!(&in_place, &want);
+        let mut via_slice = va;
+        via_slice.update_slice(&b);
+        prop_assert_eq!(&via_slice, &want);
+    }
+
+    /// Comparison, dominance and concurrency agree with the model, both
+    /// for owned clocks and for borrowed [`VectorClockRef`] views.
+    #[test]
+    fn comparison_matches_model((a, b) in pair()) {
+        let want = model::compare(&a, &b);
+        let va = VectorClock::from_slice(&a);
+        let vb = VectorClock::from_slice(&b);
+        prop_assert_eq!(va.partial_cmp(&vb), want);
+        prop_assert_eq!(va.dominated_by(&vb), want == Some(Ordering::Less));
+        prop_assert_eq!(va.concurrent(&vb), want.is_none());
+        let ra = VectorClockRef::from(a.as_slice());
+        let rb = VectorClockRef::from(b.as_slice());
+        prop_assert_eq!(ra.partial_cmp(&rb), want);
+        prop_assert_eq!(ra.dominated_by(&rb), want == Some(Ordering::Less));
+        prop_assert_eq!(ra.concurrent(&rb), want.is_none());
+    }
+
+    /// Mismatched lengths: unordered, never panicking (except `update`,
+    /// whose panic contract is pinned by a unit test in the crate).
+    #[test]
+    fn length_mismatch_is_unordered(a in components(), b in components()) {
+        if a.len() != b.len() {
+            let va = VectorClock::from_slice(&a);
+            let vb = VectorClock::from_slice(&b);
+            prop_assert_eq!(va.partial_cmp(&vb), None);
+            prop_assert!(va.concurrent(&vb));
+            prop_assert!(!va.dominated_by(&vb));
+        }
+    }
+
+    /// Every accessor and codec path sees exactly the component vector:
+    /// construction round-trips (slice, iterator, Vec, serde) across the
+    /// spill boundary, and equality/hash are representation-blind.
+    #[test]
+    fn construction_and_serde_round_trip(a in components()) {
+        let vt = VectorClock::from_slice(&a);
+        prop_assert_eq!(vt.is_inline(), a.len() <= INLINE_PROCESSES);
+        prop_assert_eq!(vt.as_slice(), a.as_slice());
+        prop_assert_eq!(vt.len(), a.len());
+        prop_assert_eq!(vt.weight(), a.iter().sum::<u64>());
+
+        let from_iter: VectorClock = a.iter().copied().collect();
+        let from_vec = VectorClock::from(a.clone());
+        prop_assert_eq!(&vt, &from_iter);
+        prop_assert_eq!(&vt, &from_vec);
+        let back: Vec<u64> = vt.clone().into();
+        prop_assert_eq!(back, a.clone());
+
+        // Serde: same tree as the raw Vec<u64>, and round-trips.
+        let tree = vt.to_value();
+        prop_assert_eq!(&tree, &a.to_value());
+        prop_assert_eq!(VectorClock::from_value(&tree).unwrap(), vt);
+    }
+}
+
+#[test]
+fn spill_boundary_is_exact() {
+    // 16 processes inline, 17 heap — and the two behave identically
+    // right at the edge.
+    let at: VectorClock = (1..=INLINE_PROCESSES as u64).collect();
+    let over: VectorClock = (1..=INLINE_PROCESSES as u64 + 1).collect();
+    assert!(at.is_inline());
+    assert!(!over.is_inline());
+    assert_eq!(at.len(), INLINE_PROCESSES);
+    assert_eq!(over.len(), INLINE_PROCESSES + 1);
+    // A 16-clock and a 17-clock never compare.
+    assert_eq!(at.partial_cmp(&over), None);
+    // Growing a 16-clock's worth of components by one more spills, and
+    // merge still matches the model at both widths.
+    for vt in [&at, &over] {
+        let doubled = VectorClock::from(model::update(vt.as_slice(), vt.as_slice()));
+        assert_eq!(&doubled, vt);
+    }
+}
