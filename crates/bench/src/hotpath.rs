@@ -13,6 +13,13 @@
 //!   misses, owner round-trips and invalidation sweeps (gated in CI).
 //! * `figure6_solver` — the Figure-6 Jacobi solver end-to-end: threaded
 //!   wall-clock makespan plus the deterministic simulator's message bill.
+//! * `write_pipeline_w{0,4,32}` — node 0 streams remote writes to node
+//!   1's pages; the cells differ only in the configured pipeline window
+//!   (0 = the paper's blocking write). Same logical message bill per
+//!   cell; the window buys back the blocked round trips (gated in CI).
+//! * `bursty_invalidate_{plain,batched}` — bursts of pipelined writes to
+//!   one hot owner with transport batching off/on; identical logical
+//!   counters, fewer physical envelopes per op when batched (gated).
 //!
 //! Run via `cargo run --release -p dsm-bench --bin perf`; pass
 //! `--features alloc-count` to measure allocations with the counting
@@ -68,7 +75,11 @@ pub struct PerfConfig {
 }
 
 /// Measurements for one (workload, seed) cell.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (below) so the three envelope-era
+/// fields default when absent — old `BENCH_*.json` baselines predate
+/// them, and schema drift must not break the regression gate.
+#[derive(Clone, Debug, Serialize)]
 pub struct WorkloadReport {
     /// Workload name.
     pub name: String,
@@ -95,8 +106,57 @@ pub struct WorkloadReport {
     /// Per-kind message counts (deterministic per seed for every
     /// workload except the threaded solver's polling waits).
     pub msgs_by_kind: BTreeMap<String, u64>,
+    /// Physical envelopes sent during the measured phase. Equal to the
+    /// logical message total unless transport batching coalesced runs;
+    /// `messages - envelopes` is the coalescing win. Defaults to 0 when
+    /// read from a pre-batching report.
+    pub envelope_msgs: u64,
+    /// Logical protocol+overhead messages per measured op — the axis the
+    /// "equal message counts" ablation contract is stated in.
+    pub msgs_per_op: f64,
+    /// Physical envelopes per measured op (what batching reduces).
+    pub envelopes_per_op: f64,
     /// Whether the CI regression gate applies to this cell.
     pub gated: bool,
+}
+
+impl Deserialize for WorkloadReport {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        fn req<T: Deserialize>(v: &serde::value::Value, field: &str) -> Result<T, serde::DeError> {
+            Deserialize::from_value(v.get(field).ok_or_else(|| {
+                serde::DeError::msg(format!("missing field `{field}` in WorkloadReport"))
+            })?)
+        }
+        // The envelope-era fields default when absent so pre-batching
+        // baselines still parse (the stand-in derive has no `default`).
+        fn opt<T: Deserialize + Default>(
+            v: &serde::value::Value,
+            field: &str,
+        ) -> Result<T, serde::DeError> {
+            match v.get(field) {
+                Some(present) => Deserialize::from_value(present),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(WorkloadReport {
+            name: req(v, "name")?,
+            seed: req(v, "seed")?,
+            ops: req(v, "ops")?,
+            elapsed_ns: req(v, "elapsed_ns")?,
+            ops_per_sec: req(v, "ops_per_sec")?,
+            p50_ns: req(v, "p50_ns")?,
+            p99_ns: req(v, "p99_ns")?,
+            allocs_per_op: req(v, "allocs_per_op")?,
+            alloc_bytes_per_op: req(v, "alloc_bytes_per_op")?,
+            protocol_msgs: req(v, "protocol_msgs")?,
+            overhead_msgs: req(v, "overhead_msgs")?,
+            msgs_by_kind: req(v, "msgs_by_kind")?,
+            envelope_msgs: opt(v, "envelope_msgs")?,
+            msgs_per_op: opt(v, "msgs_per_op")?,
+            envelopes_per_op: opt(v, "envelopes_per_op")?,
+            gated: req(v, "gated")?,
+        })
+    }
 }
 
 /// The whole suite's output — the schema of `BENCH_*.json`.
@@ -141,6 +201,10 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// pass timing individual ops for percentiles.
 struct Measured {
     ops: u64,
+    /// Total operations actually executed (throughput + latency passes) —
+    /// the denominator for per-op message and envelope rates, which are
+    /// deltas over the whole measured region.
+    executed: u64,
     elapsed_ns: u64,
     p50_ns: u64,
     p99_ns: u64,
@@ -177,6 +241,7 @@ fn measure(ops: u64, probe: Option<AllocProbe>, mut op: impl FnMut(u64)) -> Meas
 
     Measured {
         ops,
+        executed: ops + samples,
         elapsed_ns,
         p50_ns: percentile(&lat, 0.50),
         p99_ns: percentile(&lat, 0.99),
@@ -198,8 +263,10 @@ fn report(
     seed: u64,
     m: Measured,
     delta: StatsSnapshot,
+    envelopes: StatsSnapshot,
     gated: bool,
 ) -> WorkloadReport {
+    let executed = m.executed.max(1) as f64;
     WorkloadReport {
         name: name.to_owned(),
         seed,
@@ -213,6 +280,9 @@ fn report(
         protocol_msgs: delta.protocol_total(),
         overhead_msgs: delta.overhead_total(),
         msgs_by_kind: delta.by_kind(),
+        envelope_msgs: envelopes.total(),
+        msgs_per_op: delta.total() as f64 / executed,
+        envelopes_per_op: envelopes.total() as f64 / executed,
         gated,
     }
 }
@@ -278,12 +348,14 @@ pub fn read_heavy_cached(seed: u64, cfg: &PerfConfig, probe: Option<AllocProbe>)
         .collect();
 
     let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
     let m = measure(ops, probe, |i| {
         let loc = locs[(i as usize) & 4095];
         std::hint::black_box(hot_read(&reader, loc));
     });
     let delta = cluster.messages().snapshot().since(&base);
-    report("read_heavy_cached", seed, m, delta, true)
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    report("read_heavy_cached", seed, m, delta, envs, true)
 }
 
 /// Write-heavy owner-local workload: node 0 writes locations it owns —
@@ -316,13 +388,15 @@ pub fn write_heavy_owner_local(
         .collect();
 
     let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
     let m = measure(ops, probe, |i| {
         let loc = locs[(i as usize) & 4095];
         let value = pool[(i as usize) & 63].clone();
         writer.write(loc, value).expect("owned write");
     });
     let delta = cluster.messages().snapshot().since(&base);
-    report("write_heavy_owner_local", seed, m, delta, true)
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    report("write_heavy_owner_local", seed, m, delta, envs, true)
 }
 
 /// Mixed remote workload: one driver issues seeded reads and writes round
@@ -358,6 +432,7 @@ pub fn mixed_remote(seed: u64, cfg: &PerfConfig, probe: Option<AllocProbe>) -> W
         .collect();
 
     let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
     let m = measure(ops, probe, |i| {
         let (node, loc, is_read) = script[(i as usize) & 8191];
         if is_read {
@@ -368,7 +443,8 @@ pub fn mixed_remote(seed: u64, cfg: &PerfConfig, probe: Option<AllocProbe>) -> W
         }
     });
     let delta = cluster.messages().snapshot().since(&base);
-    report("mixed_remote", seed, m, delta, true)
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    report("mixed_remote", seed, m, delta, envs, true)
 }
 
 /// Figure-6 solver end-to-end: wall-clock makespan of the threaded
@@ -418,6 +494,7 @@ pub fn figure6_solver(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
     let elapsed_ns = start.elapsed().as_nanos() as u64;
 
     let ops = (N * phases) as u64; // one solved component per worker-phase
+    let msgs = sim.messages.protocol_total() + sim.messages.overhead_total();
     WorkloadReport {
         name: "figure6_solver".to_owned(),
         seed,
@@ -431,8 +508,169 @@ pub fn figure6_solver(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
         protocol_msgs: sim.messages.protocol_total(),
         overhead_msgs: sim.messages.overhead_total(),
         msgs_by_kind: sim.messages.by_kind(),
+        // The solver sim runs without batching, so every logical message
+        // is its own envelope.
+        envelope_msgs: msgs,
+        msgs_per_op: msgs as f64 / ops.max(1) as f64,
+        envelopes_per_op: msgs as f64 / ops.max(1) as f64,
         gated: false,
     }
+}
+
+/// Timing scaffold for the pipeline workloads: runs the whole seeded
+/// loop (plus the trailing `flush`) under one clock and alloc-probe
+/// region, sampling every 32nd op's latency inline so the message bill
+/// stays a pure function of the seed (a separate latency pass would add
+/// traffic and skew the per-op rates).
+fn measure_inline(
+    ops: u64,
+    probe: Option<AllocProbe>,
+    mut op: impl FnMut(u64),
+    finish: impl FnOnce(),
+) -> Measured {
+    let mut lat: Vec<u64> = Vec::with_capacity((ops / 32 + 1) as usize);
+    let before = probe.map(|p| p());
+    let start = Instant::now();
+    for i in 0..ops {
+        if i & 31 == 0 {
+            let t = Instant::now();
+            op(i);
+            lat.push(t.elapsed().as_nanos() as u64);
+        } else {
+            op(i);
+        }
+    }
+    finish();
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let after = probe.map(|p| p());
+    let (allocs_per_op, alloc_bytes_per_op) = match (before, after) {
+        (Some(b), Some(a)) => (
+            (a.allocs - b.allocs) as f64 / ops as f64,
+            (a.bytes - b.bytes) as f64 / ops as f64,
+        ),
+        _ => (-1.0, -1.0),
+    };
+    lat.sort_unstable();
+    Measured {
+        ops,
+        executed: ops,
+        elapsed_ns,
+        p50_ns: percentile(&lat, 0.50),
+        p99_ns: percentile(&lat, 0.99),
+        allocs_per_op,
+        alloc_bytes_per_op,
+    }
+}
+
+/// Bounded-pipeline workload: node 0 streams writes to pages node 1
+/// owns — every op a remote WRITE/W_REPLY pair. The `window` parameter
+/// is the ablation axis: window 0 is the paper's blocking Figure-4
+/// write (one stalled round trip per op), window `W` overlaps up to `W`
+/// of them and `flush()` settles the tail. Every cell sends exactly the
+/// same logical message bill — 2 msgs/op — so throughput differences
+/// are pure blocking reduction, the enhancement §5 of the paper sketches.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to build or an operation errors.
+#[must_use]
+pub fn write_pipeline(
+    seed: u64,
+    cfg: &PerfConfig,
+    probe: Option<AllocProbe>,
+    window: u32,
+) -> WorkloadReport {
+    const LOCATIONS: u32 = 64;
+    let ops: u64 = if cfg.quick { 30_000 } else { 120_000 };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00B1_0C5E);
+
+    let cluster = CausalCluster::<Payload>::builder(2, LOCATIONS)
+        .configure(|c| c.pipeline_window(window))
+        .build()
+        .expect("build cluster");
+    let writer = cluster.handle(0);
+
+    // Pre-draw values and the remote-location sequence (odd = node 1's).
+    let pool: Vec<Payload> = (0..64).map(|_| payload(&mut rng)).collect();
+    let locs: Vec<Location> = (0..4096)
+        .map(|_| Location::new(rng.gen_range(0..LOCATIONS / 2) * 2 + 1))
+        .collect();
+
+    let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
+    let m = measure_inline(
+        ops,
+        probe,
+        |i| {
+            let loc = locs[(i as usize) & 4095];
+            let value = pool[(i as usize) & 63].clone();
+            writer.write_pipelined(loc, value).expect("remote write");
+        },
+        || writer.flush().expect("flush"),
+    );
+    let delta = cluster.messages().snapshot().since(&base);
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    report(&format!("write_pipeline_w{window}"), seed, m, delta, envs, true)
+}
+
+/// Bursty-invalidation workload: node 0 fires bursts of pipelined writes
+/// at one hot owner, then flushes and reads its own copy back (a hit —
+/// the writer's cache holds the value it just wrote). With `batching`
+/// the burst's WRITEs travel in coalesced envelopes, the owner serves
+/// the run under one lock acquisition with a single trailing
+/// invalidation sweep, and the replies ride back batched — same logical
+/// counters, measurably fewer physical envelopes per op.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to build or an operation errors.
+#[must_use]
+pub fn bursty_invalidate(
+    seed: u64,
+    cfg: &PerfConfig,
+    probe: Option<AllocProbe>,
+    batching: bool,
+) -> WorkloadReport {
+    const LOCATIONS: u32 = 64;
+    const BURST: u64 = 16;
+    const WINDOW: u32 = 8;
+    let bursts: u64 = if cfg.quick { 2_000 } else { 8_000 };
+    let ops = bursts * BURST;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1457_B075);
+
+    let cluster = CausalCluster::<Payload>::builder(2, LOCATIONS)
+        .configure(|c| c.pipeline_window(WINDOW).batching(batching))
+        .build()
+        .expect("build cluster");
+    let writer = cluster.handle(0);
+
+    let pool: Vec<Payload> = (0..64).map(|_| payload(&mut rng)).collect();
+    let locs: Vec<Location> = (0..4096)
+        .map(|_| Location::new(rng.gen_range(0..LOCATIONS / 2) * 2 + 1))
+        .collect();
+
+    let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
+    let m = measure_inline(
+        ops,
+        probe,
+        |i| {
+            let loc = locs[(i as usize) & 4095];
+            let value = pool[(i as usize) & 63].clone();
+            writer.write_pipelined(loc, value).expect("burst write");
+            // End of burst: settle the window, then touch the freshest
+            // page — a cache hit on the writer's own copy, message-free.
+            if (i + 1) % BURST == 0 {
+                writer.flush().expect("flush");
+                std::hint::black_box(writer.read_shared(loc).expect("read back").len());
+            }
+        },
+        || writer.flush().expect("final flush"),
+    );
+    let delta = cluster.messages().snapshot().since(&base);
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    let tag = if batching { "batched" } else { "plain" };
+    report(&format!("bursty_invalidate_{tag}"), seed, m, delta, envs, true)
 }
 
 /// Runs the whole suite: every workload on every seed for the mode.
@@ -453,6 +691,12 @@ pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
         workloads.push(best_of(reps, || write_heavy_owner_local(seed, cfg, probe)));
         workloads.push(best_of(reps, || mixed_remote(seed, cfg, probe)));
         workloads.push(best_of(reps, || figure6_solver(seed, cfg)));
+        for window in [0u32, 4, 32] {
+            workloads.push(best_of(reps, || write_pipeline(seed, cfg, probe, window)));
+        }
+        for batching in [false, true] {
+            workloads.push(best_of(reps, || bursty_invalidate(seed, cfg, probe, batching)));
+        }
     }
     PerfReport {
         schema: 1,
@@ -511,13 +755,13 @@ pub fn render_perf(report: &PerfReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<24} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "workload", "seed", "ops/sec", "p50 ns", "p99 ns", "allocs", "proto", "overhead"
+        "{:<24} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "seed", "ops/sec", "p50 ns", "p99 ns", "allocs", "proto", "overhead", "msgs/op", "envs/op"
     );
     for w in &report.workloads {
         let _ = writeln!(
             out,
-            "{:<24} {:>#10x} {:>12.0} {:>9} {:>9} {:>9.2} {:>9} {:>9}",
+            "{:<24} {:>#10x} {:>12.0} {:>9} {:>9} {:>9.2} {:>9} {:>9} {:>9.3} {:>9.3}",
             w.name,
             w.seed,
             w.ops_per_sec,
@@ -525,7 +769,9 @@ pub fn render_perf(report: &PerfReport) -> String {
             w.p99_ns,
             w.allocs_per_op,
             w.protocol_msgs,
-            w.overhead_msgs
+            w.overhead_msgs,
+            w.msgs_per_op,
+            w.envelopes_per_op
         );
     }
     out
@@ -565,6 +811,9 @@ mod tests {
             protocol_msgs: 0,
             overhead_msgs: 0,
             msgs_by_kind: BTreeMap::new(),
+            envelope_msgs: 0,
+            msgs_per_op: 0.0,
+            envelopes_per_op: 0.0,
             gated,
         };
         let base = PerfReport {
@@ -590,6 +839,41 @@ mod tests {
             ..base.clone()
         };
         assert!(check_regression(&ungated_base, &bad, 0.15).is_empty());
+    }
+
+    #[test]
+    fn pipeline_cells_share_one_logical_message_bill() {
+        // The ablation contract behind the ≥2× acceptance claim: the
+        // window changes *when* the writer blocks, never what crosses
+        // the wire. Every cell is exactly one WRITE + one W_REPLY per op.
+        let w0 = write_pipeline(7, &tiny(), None, 0);
+        let w4 = write_pipeline(7, &tiny(), None, 4);
+        assert_eq!(
+            w0.msgs_by_kind, w4.msgs_by_kind,
+            "window must not change the logical message bill"
+        );
+        assert!((w0.msgs_per_op - 2.0).abs() < 1e-9, "{}", w0.msgs_per_op);
+        assert!((w4.msgs_per_op - 2.0).abs() < 1e-9, "{}", w4.msgs_per_op);
+        // No batching in these cells: every message is its own envelope.
+        assert_eq!(w0.envelope_msgs, w0.protocol_msgs + w0.overhead_msgs);
+        assert_eq!(w4.envelope_msgs, w4.protocol_msgs + w4.overhead_msgs);
+    }
+
+    #[test]
+    fn batching_cuts_envelopes_not_messages() {
+        let plain = bursty_invalidate(7, &tiny(), None, false);
+        let batched = bursty_invalidate(7, &tiny(), None, true);
+        assert_eq!(
+            plain.msgs_by_kind, batched.msgs_by_kind,
+            "batching must be invisible to the logical counters"
+        );
+        assert_eq!(plain.envelope_msgs, plain.protocol_msgs + plain.overhead_msgs);
+        assert!(
+            batched.envelopes_per_op < plain.envelopes_per_op,
+            "batched {} envs/op vs plain {} envs/op",
+            batched.envelopes_per_op,
+            plain.envelopes_per_op
+        );
     }
 
     #[test]

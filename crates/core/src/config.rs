@@ -56,6 +56,8 @@ pub struct CausalConfig<V> {
     const_pages: HashSet<PageId>,
     owner_timeout: Option<Duration>,
     owner_retries: u32,
+    pipeline_window: u32,
+    batching: bool,
 }
 
 impl<V: Value> CausalConfig<V> {
@@ -153,6 +155,31 @@ impl<V: Value> CausalConfig<V> {
     pub fn owner_retries(&self) -> u32 {
         self.owner_retries
     }
+
+    /// Maximum number of pipelined writes a node may have in flight to one
+    /// owner at a time (the paper's "reducing the blocking of processors"
+    /// enhancement, bounded).
+    ///
+    /// `0` (the default) disables the pipeline entirely: `write_pipelined`
+    /// degenerates to the blocking Figure-4 round-trip and the protocol is
+    /// byte-identical to the paper's.
+    #[must_use]
+    pub fn pipeline_window(&self) -> u32 {
+        self.pipeline_window
+    }
+
+    /// Whether pipelined writes to the same owner may share one transport
+    /// envelope (`Msg::Batch`), with the owner coalescing its invalidation
+    /// sweeps over the batch and piggybacking all acks on one reply.
+    ///
+    /// `false` (the default) sends every message in its own envelope —
+    /// byte-identical to the paper's protocol. Logical per-kind message
+    /// counts are unchanged either way; only the *physical envelope* count
+    /// drops when enabled.
+    #[must_use]
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
 }
 
 impl<V> fmt::Debug for CausalConfig<V> {
@@ -167,6 +194,8 @@ impl<V> fmt::Debug for CausalConfig<V> {
             .field("const_pages", &self.const_pages.len())
             .field("owner_timeout", &self.owner_timeout)
             .field("owner_retries", &self.owner_retries)
+            .field("pipeline_window", &self.pipeline_window)
+            .field("batching", &self.batching)
             .finish()
     }
 }
@@ -199,6 +228,8 @@ pub struct CausalConfigBuilder<V> {
     const_pages: HashSet<PageId>,
     owner_timeout: Option<Duration>,
     owner_retries: u32,
+    pipeline_window: u32,
+    batching: bool,
 }
 
 impl<V: Value + Default> CausalConfigBuilder<V> {
@@ -217,6 +248,8 @@ impl<V: Value + Default> CausalConfigBuilder<V> {
             const_pages: HashSet::new(),
             owner_timeout: None,
             owner_retries: 0,
+            pipeline_window: 0,
+            batching: false,
         }
     }
 }
@@ -303,6 +336,24 @@ impl<V: Value> CausalConfigBuilder<V> {
         self
     }
 
+    /// Allows up to `window` pipelined writes in flight to one owner at a
+    /// time (default 0 — every write blocks for its `W_REPLY`, exactly
+    /// Figure 4). See [`CausalConfig::pipeline_window`].
+    #[must_use]
+    pub fn pipeline_window(mut self, window: u32) -> Self {
+        self.pipeline_window = window;
+        self
+    }
+
+    /// Lets pipelined writes and their replies share transport envelopes
+    /// (default `false` — one envelope per message). See
+    /// [`CausalConfig::batching`].
+    #[must_use]
+    pub fn batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -329,6 +380,8 @@ impl<V: Value> CausalConfigBuilder<V> {
             const_pages: self.const_pages,
             owner_timeout: self.owner_timeout,
             owner_retries: self.owner_retries,
+            pipeline_window: self.pipeline_window,
+            batching: self.batching,
         }
     }
 }
@@ -384,6 +437,19 @@ mod tests {
     fn debug_output_is_nonempty() {
         let config = CausalConfig::<Word>::builder(2, 4).build();
         assert!(format!("{config:?}").contains("CausalConfig"));
+    }
+
+    #[test]
+    fn pipelining_and_batching_default_off() {
+        let config = CausalConfig::<Word>::builder(2, 4).build();
+        assert_eq!(config.pipeline_window(), 0);
+        assert!(!config.batching());
+        let config = CausalConfig::<Word>::builder(2, 4)
+            .pipeline_window(8)
+            .batching(true)
+            .build();
+        assert_eq!(config.pipeline_window(), 8);
+        assert!(config.batching());
     }
 
     #[test]

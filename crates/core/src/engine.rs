@@ -11,22 +11,36 @@
 //! one of its own operations waits, which is exactly the fair alternation
 //! the paper asks for (and what makes the protocol deadlock-free).
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use memcore::{Location, MemoryError, NetStats, NodeId, OpRecord, Recorder, SharedMemory, Value};
-use parking_lot::{Mutex, RwLock};
-use simnet::Network;
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use simnet::{BatchPolicy, Batcher, Network};
 use vclock::VectorClock;
 
 use crate::config::{CausalConfig, CausalConfigBuilder};
 use crate::msg::Msg;
 use crate::state::{CausalState, ReadStep, WriteDone, WriteStep};
 
-struct NodeShared<V> {
+/// Sender-side state of the bounded write pipeline: which owner the open
+/// window points at, how many pipelined writes are outstanding toward it
+/// (sent *or* still buffered), and — with transport batching on — the run
+/// of WRITE requests accumulated but not yet put on the wire.
+///
+/// Invariant: `in_flight == 0` iff `owner == None` iff the batcher is
+/// empty. The window only ever points at one owner at a time; switching
+/// owners requires a full drain (see `drain_pipeline_locked` for why).
+struct PipelineState<V: Value> {
+    owner: Option<NodeId>,
+    in_flight: usize,
+    batcher: Batcher<Msg<V>>,
+}
+
+struct NodeShared<V: Value> {
     /// Protocol state. A reader–writer lock: cache-hit reads are
     /// non-mutating (Figure 4's read procedure touches no state on a hit)
     /// and run under the shared lock, concurrently with each other;
@@ -38,15 +52,46 @@ struct NodeShared<V> {
     op_lock: Mutex<()>,
     /// Replies forwarded by the server thread to the blocked operation.
     replies: Receiver<Msg<V>>,
-    /// Tags of outstanding non-blocking writes; their replies are absorbed
-    /// by the server thread instead of waking the application.
-    nonblocking: Mutex<HashSet<memcore::WriteId>>,
+    /// Tags of outstanding non-blocking writes, mapped to whether each
+    /// belongs to the bounded pipeline (`true`) or is a raw
+    /// [`CausalHandle::write_nonblocking`] (`false`); their replies are
+    /// absorbed by the server thread instead of waking the application.
+    nonblocking: Mutex<HashMap<memcore::WriteId, bool>>,
     /// `nonblocking.len()`, readable without the mutex: the server thread
     /// checks it before locking, so clusters that never use non-blocking
-    /// writes pay nothing on the reply path. The channel send/recv pair
-    /// between registration and the reply's arrival provides the
-    /// happens-before edge that makes the counter reliable.
+    /// writes pay nothing on the reply path.
+    ///
+    /// Ordering audit — the Release/Acquire pair is load-bearing:
+    ///
+    /// * **Publish.** The application inserts into the registry and
+    ///   `fetch_add(1, Release)`s *before* sending the WRITE. Every reply
+    ///   the server receives sits causally downstream of that send
+    ///   (mailbox send → owner recv → reply send → server recv, each a
+    ///   release/acquire edge), so whenever a reply for a registered tag
+    ///   can be in the mailbox, the server's `load(Acquire)` observes a
+    ///   non-zero count and takes the registry lock. A stale zero read is
+    ///   only possible when no registered reply is in flight — exactly
+    ///   when skipping the lock is correct.
+    /// * **Retire.** The server `fetch_sub(1, Release)`s only *after*
+    ///   absorbing the reply into the state, so an observer that sees the
+    ///   count drop also sees the merged clock (this is what lets
+    ///   [`CausalHandle::flush`] treat a drained pipeline as "all replies
+    ///   in `VT_i`").
+    /// * **Rollback.** If the send itself fails after registration, the
+    ///   writer removes the entry and decrements on the spot (regression
+    ///   test `send_failure_rolls_back_nonblocking_registration` in
+    ///   `tests/hot_path.rs`). Between insert and rollback the counter
+    ///   overcounts; the only cost is one spurious registry lock on the
+    ///   server.
     nonblocking_count: AtomicUsize,
+    /// Bounded-pipeline window state; see [`PipelineState`]. Guarded by
+    /// its own mutex (not `op_lock`) because the *server* thread also
+    /// updates it when absorbing pipelined replies.
+    pipeline: Mutex<PipelineState<V>>,
+    /// Signalled (`notify_all`) by the server thread after it absorbs a
+    /// pipelined reply and decrements `in_flight` — the wake-up edge for
+    /// window backpressure and [`CausalHandle::flush`].
+    pipeline_cv: Condvar,
 }
 
 struct ClusterInner<V: Value> {
@@ -149,6 +194,10 @@ impl<V: Value> CausalCluster<V> {
     ) -> Result<Self, MemoryError> {
         let n = config.nodes() as usize;
         let net: Network<Msg<V>> = Network::new(n);
+        // Batch runs never exceed the window (a full window must flush so
+        // its replies can drain), and eight parts per envelope is plenty
+        // to show the coalescing effect without unbounded buffering.
+        let batch_policy = BatchPolicy::by_count((config.pipeline_window() as usize).clamp(1, 8));
         let mut nodes = Vec::with_capacity(n);
         let mut reply_txs: Vec<Sender<Msg<V>>> = Vec::with_capacity(n);
         for i in 0..n {
@@ -158,8 +207,14 @@ impl<V: Value> CausalCluster<V> {
                 state: RwLock::new(CausalState::new(NodeId::new(i as u32), config.clone())),
                 op_lock: Mutex::new(()),
                 replies: rx,
-                nonblocking: Mutex::new(HashSet::new()),
+                nonblocking: Mutex::new(HashMap::new()),
                 nonblocking_count: AtomicUsize::new(0),
+                pipeline: Mutex::new(PipelineState {
+                    owner: None,
+                    in_flight: 0,
+                    batcher: Batcher::new(batch_policy),
+                }),
+                pipeline_cv: Condvar::new(),
             }));
         }
 
@@ -173,9 +228,74 @@ impl<V: Value> CausalCluster<V> {
                 std::thread::Builder::new()
                     .name(format!("causal-node-{i}"))
                     .spawn(move || {
+                        // Replies to non-blocking/pipelined writes are
+                        // absorbed here; everything else wakes the blocked
+                        // application operation. The counter check keeps
+                        // the common (blocking-only) reply path off the
+                        // registry mutex entirely.
+                        let absorb_or_forward = |reply: Msg<V>| {
+                            let absorbed = match &reply {
+                                Msg::WriteReply { wid, .. }
+                                    if node.nonblocking_count.load(Ordering::Acquire) > 0 =>
+                                {
+                                    node.nonblocking.lock().remove(wid)
+                                }
+                                _ => None,
+                            };
+                            match absorbed {
+                                Some(pipelined) => {
+                                    node.state.write().absorb_write_reply(reply);
+                                    // Decrement only after absorbing, so a
+                                    // drained pipeline implies the merged
+                                    // clock (see the field's ordering
+                                    // audit).
+                                    node.nonblocking_count.fetch_sub(1, Ordering::Release);
+                                    if pipelined {
+                                        let mut p = node.pipeline.lock();
+                                        p.in_flight -= 1;
+                                        if p.in_flight == 0 {
+                                            p.owner = None;
+                                        }
+                                        drop(p);
+                                        node.pipeline_cv.notify_all();
+                                    }
+                                }
+                                None => {
+                                    let _ = reply_tx.send(reply);
+                                }
+                            }
+                        };
                         while let Some(env) = mailbox.recv() {
                             match env.payload {
                                 Msg::Halt => break,
+                                Msg::Batch(parts) => {
+                                    // A transport batch is semantically its
+                                    // parts, in order. Requests are served
+                                    // in one state-lock pass with a single
+                                    // coalesced invalidation sweep, and
+                                    // their replies travel back as one
+                                    // envelope (the piggybacked acks);
+                                    // reply parts are absorbed/forwarded
+                                    // exactly as if they arrived alone.
+                                    let mut requests = Vec::with_capacity(parts.len());
+                                    for part in parts {
+                                        if part.is_request() {
+                                            requests.push(part);
+                                        } else {
+                                            absorb_or_forward(part);
+                                        }
+                                    }
+                                    if !requests.is_empty() {
+                                        let mut replies =
+                                            node.state.write().serve_batch(env.src, requests);
+                                        let reply = if replies.len() == 1 {
+                                            replies.pop().expect("length checked")
+                                        } else {
+                                            Msg::Batch(replies)
+                                        };
+                                        let _ = net.send(me, env.src, reply);
+                                    }
+                                }
                                 request if request.is_request() => {
                                     let reply = node
                                         .state
@@ -186,36 +306,7 @@ impl<V: Value> CausalCluster<V> {
                                     // be shutting down.
                                     let _ = net.send(me, env.src, reply);
                                 }
-                                reply => {
-                                    // Replies to non-blocking writes are
-                                    // absorbed here; everything else wakes
-                                    // the blocked application operation.
-                                    // The counter check keeps the common
-                                    // (blocking-only) reply path off the
-                                    // registry mutex entirely.
-                                    let absorb = match &reply {
-                                        Msg::WriteReply { wid, .. }
-                                            if node
-                                                .nonblocking_count
-                                                .load(Ordering::Acquire)
-                                                > 0 =>
-                                        {
-                                            let removed =
-                                                node.nonblocking.lock().remove(wid);
-                                            if removed {
-                                                node.nonblocking_count
-                                                    .fetch_sub(1, Ordering::Release);
-                                            }
-                                            removed
-                                        }
-                                        _ => false,
-                                    };
-                                    if absorb {
-                                        node.state.write().absorb_write_reply(reply);
-                                    } else {
-                                        let _ = reply_tx.send(reply);
-                                    }
-                                }
+                                reply => absorb_or_forward(reply),
                             }
                         }
                     })
@@ -275,6 +366,30 @@ impl<V: Value> CausalCluster<V> {
     #[must_use]
     pub fn bytes(&self) -> &NetStats {
         self.inner.net.bytes()
+    }
+
+    /// Per-(node, kind) **physical envelope** counters. Without transport
+    /// batching this mirrors [`CausalCluster::messages`]; with batching on,
+    /// a coalesced run counts once here (kind `BATCH`) while its parts
+    /// still count individually in the logical counters — so
+    /// `messages - envelopes` per node is exactly the coalescing win.
+    #[must_use]
+    pub fn envelopes(&self) -> &NetStats {
+        self.inner.net.envelopes()
+    }
+
+    /// Number of node `i`'s non-blocking or pipelined writes whose replies
+    /// are still outstanding (diagnostic; inherently racy against the
+    /// server thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn pending_nonblocking(&self, i: u32) -> usize {
+        self.inner.nodes[i as usize]
+            .nonblocking_count
+            .load(Ordering::Acquire)
     }
 
     /// Installs (or removes) a fault hook on the cluster's network.
@@ -410,12 +525,127 @@ impl<V: Value> CausalHandle<V> {
         Ok(())
     }
 
-    /// Whether this handle's node statically owns `loc`'s page (the owner
-    /// map is fixed at configuration time, so this needs no lock).
-    fn owns_locally(&self, loc: Location) -> bool {
+    /// The static owner of `loc`'s page (fixed at configuration time, so
+    /// this needs no lock).
+    fn owner_of(&self, loc: Location) -> NodeId {
         let config = &self.inner.config;
-        let page = loc.page(config.page_size());
-        config.owners().owner_of_page(page) == self.node
+        config.owners().owner_of_page(loc.page(config.page_size()))
+    }
+
+    /// Whether this handle's node statically owns `loc`'s page.
+    fn owns_locally(&self, loc: Location) -> bool {
+        self.owner_of(loc) == self.node
+    }
+
+    /// Whether the node's write pipeline has nothing outstanding (always
+    /// true when pipelining is disabled). Used to keep the lock-free
+    /// owner-local write fast path sound: it must not run while pipelined
+    /// increments are in flight.
+    fn pipeline_idle(&self, node: &NodeShared<V>) -> bool {
+        self.inner.config.pipeline_window() == 0 || node.pipeline.lock().in_flight == 0
+    }
+
+    /// Puts a buffered run on the wire as one envelope (a single message,
+    /// or [`Msg::Batch`] for runs of two or more). Rolls back the run's
+    /// window slots and registry entries if the transport is down. Caller
+    /// holds the pipeline lock.
+    fn send_run(
+        &self,
+        node: &NodeShared<V>,
+        p: &mut PipelineState<V>,
+        owner: NodeId,
+        mut run: Vec<Msg<V>>,
+    ) -> Result<(), MemoryError> {
+        let wids: Vec<memcore::WriteId> = run
+            .iter()
+            .filter_map(|m| match m {
+                Msg::Write { wid, .. } => Some(*wid),
+                _ => None,
+            })
+            .collect();
+        let envelope = if run.len() == 1 {
+            run.pop().expect("length checked")
+        } else {
+            Msg::Batch(run)
+        };
+        if self.inner.net.send(self.node, owner, envelope).is_err() {
+            let mut registry = node.nonblocking.lock();
+            for wid in &wids {
+                if registry.remove(wid).is_some() {
+                    node.nonblocking_count.fetch_sub(1, Ordering::Release);
+                }
+            }
+            drop(registry);
+            p.in_flight -= wids.len();
+            if p.in_flight == 0 {
+                p.owner = None;
+            }
+            return Err(MemoryError::Shutdown);
+        }
+        Ok(())
+    }
+
+    /// Sends whatever the batcher holds to the pipeline owner. A no-op
+    /// when nothing is buffered. Caller holds the pipeline lock.
+    fn flush_batcher(
+        &self,
+        node: &NodeShared<V>,
+        p: &mut PipelineState<V>,
+    ) -> Result<(), MemoryError> {
+        if p.batcher.is_empty() {
+            return Ok(());
+        }
+        let owner = p.owner.expect("buffered writes always have an owner");
+        let run = p.batcher.take();
+        self.send_run(node, p, owner, run)
+    }
+
+    /// Blocks on the pipeline condvar until the server thread signals
+    /// progress. With an [`owner_timeout`](crate::CausalConfigBuilder::owner_timeout)
+    /// configured, each wait is bounded by the full retry budget
+    /// (`timeout × (1 + retries)`) and then fails with
+    /// [`MemoryError::Timeout`]; as with [`CausalHandle::await_reply`],
+    /// a timeout should be treated as fatal for the handle's session.
+    fn pipeline_wait<'a>(
+        &self,
+        node: &'a NodeShared<V>,
+        guard: MutexGuard<'a, PipelineState<V>>,
+    ) -> Result<MutexGuard<'a, PipelineState<V>>, MemoryError> {
+        let owner = guard.owner.unwrap_or(self.node);
+        match self.inner.config.owner_timeout() {
+            None => Ok(node
+                .pipeline_cv
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)),
+            Some(window) => {
+                let budget = window * (1 + self.inner.config.owner_retries());
+                let (guard, timeout) = node
+                    .pipeline_cv
+                    .wait_timeout(guard, budget)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if timeout.timed_out() && guard.in_flight > 0 {
+                    return Err(MemoryError::Timeout { owner });
+                }
+                Ok(guard)
+            }
+        }
+    }
+
+    /// Flushes the batcher and waits until every pipelined write's reply
+    /// has been absorbed (`in_flight == 0`). Caller holds the operation
+    /// lock; the pipeline guard travels by value because the condvar wait
+    /// needs ownership of it.
+    fn drain_pipeline_locked<'a>(
+        &self,
+        node: &'a NodeShared<V>,
+        mut guard: MutexGuard<'a, PipelineState<V>>,
+    ) -> Result<MutexGuard<'a, PipelineState<V>>, MemoryError> {
+        self.flush_batcher(node, &mut guard)?;
+        while guard.in_flight > 0 {
+            guard = self.pipeline_wait(node, guard)?;
+        }
+        guard.owner = None;
+        Ok(guard)
     }
 
     /// Records an operation, building the record only if a recorder is
@@ -470,9 +700,11 @@ impl<V: Value> CausalHandle<V> {
         // under the state lock — no message, no outstanding reply — so the
         // per-node operation lock adds nothing. Ownership is static, so
         // this is decidable before touching any lock. Skipped when a
-        // recorder is installed: the recorder flattens a node's handles
-        // into one program order, which only the operation lock provides.
-        if self.inner.recorder.is_none() && self.owns_locally(loc) {
+        // recorder is installed (the recorder flattens a node's handles
+        // into one program order, which only the operation lock provides)
+        // and while the write pipeline is active (a local write must not
+        // stamp its page with in-flight increments; see below).
+        if self.inner.recorder.is_none() && self.owns_locally(loc) && self.pipeline_idle(node) {
             let step = node.state.write().begin_write_shared(loc, value);
             match step {
                 WriteStep::Done { wid } => return Ok(WriteDone::Applied { wid }),
@@ -480,6 +712,25 @@ impl<V: Value> CausalHandle<V> {
             }
         }
         let _op = node.op_lock.lock();
+        if self.inner.config.pipeline_window() > 0 {
+            let mut p = node.pipeline.lock();
+            if p.in_flight > 0 {
+                if self.owns_locally(loc) || p.owner != Some(self.owner_of(loc)) {
+                    // An owner-local write would embed the in-flight
+                    // increments in the page stamp it later exports via
+                    // R_REPLY, and a write to a *different* owner would
+                    // carry them in its VT — either way a third party
+                    // could observe our pipelined writes before the owner
+                    // has installed them. Drain first.
+                    drop(self.drain_pipeline_locked(node, p)?);
+                } else {
+                    // Same owner: per-link FIFO already orders this write
+                    // after the pipelined ones; just make sure nothing
+                    // buffered overtakes it.
+                    self.flush_batcher(node, &mut p)?;
+                }
+            }
+        }
         let step = node
             .state
             .write()
@@ -549,10 +800,10 @@ impl<V: Value> CausalHandle<V> {
                 // Register before sending so the server thread always
                 // recognizes the reply; the channel send/recv below this
                 // in the causal chain is what publishes the counter.
-                node.nonblocking.lock().insert(wid);
+                node.nonblocking.lock().insert(wid, false);
                 node.nonblocking_count.fetch_add(1, Ordering::Release);
                 if self.inner.net.send(self.node, owner, request).is_err() {
-                    if node.nonblocking.lock().remove(&wid) {
+                    if node.nonblocking.lock().remove(&wid).is_some() {
                         node.nonblocking_count.fetch_sub(1, Ordering::Release);
                     }
                     return Err(MemoryError::Shutdown);
@@ -562,6 +813,120 @@ impl<V: Value> CausalHandle<V> {
         };
         self.record_with(|| OpRecord::write(loc, (*value).clone(), wid));
         Ok(wid)
+    }
+
+    /// Performs a write through the **bounded write pipeline**: up to
+    /// [`pipeline_window`](crate::CausalConfigBuilder::pipeline_window)
+    /// writes to the same owner may be in flight at once, the window
+    /// exerting backpressure when full. Unlike the raw
+    /// [`CausalHandle::write_nonblocking`], pipelined writes preserve
+    /// Definition-2 causal correctness: the pipeline drains automatically
+    /// before any operation that could export or observe the in-flight
+    /// increments — an owner-local write, a remote write to a *different*
+    /// owner, or a read miss on a page the pipeline's owner serves (the
+    /// read-your-own-write case). Operations proven safe to overlap —
+    /// further pipelined writes to the same owner, cache-hit reads, and
+    /// read misses toward other owners — proceed without waiting.
+    ///
+    /// With a window of `0` this is exactly the blocking protocol write.
+    /// With [`batching`](crate::CausalConfigBuilder::batching) enabled,
+    /// consecutive pipelined writes coalesce into [`Msg::Batch`]
+    /// envelopes, the owner sweeps its cache once per batch, and the
+    /// write acks ride back in a single reply envelope.
+    ///
+    /// Call [`CausalHandle::flush`] to wait for all in-flight writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Shutdown`] if the cluster has stopped,
+    /// [`MemoryError::OutOfRange`] for locations outside the namespace,
+    /// or [`MemoryError::Timeout`] if a configured
+    /// [`owner_timeout`](crate::CausalConfigBuilder::owner_timeout) budget
+    /// expires while waiting for window space.
+    pub fn write_pipelined(
+        &self,
+        loc: Location,
+        value: V,
+    ) -> Result<memcore::WriteId, MemoryError> {
+        self.check_bounds(loc)?;
+        let window = self.inner.config.pipeline_window() as usize;
+        if window == 0 || self.owns_locally(loc) {
+            // Window 0 is the paper's blocking protocol; owner-local
+            // writes are message-free and must drain the pipeline anyway,
+            // which write_resolved's own hook does.
+            return self.write_resolved(loc, value).map(|done| done.wid());
+        }
+        let node = &self.inner.nodes[self.node.index()];
+        let value = Arc::new(value);
+        let owner = self.owner_of(loc);
+        let _op = node.op_lock.lock();
+        let mut p = node.pipeline.lock();
+        loop {
+            if p.in_flight == 0 {
+                break;
+            }
+            if p.owner != Some(owner) {
+                // Owner switch: this write's VT would carry the old
+                // owner's in-flight increments, so the old window must
+                // drain completely first.
+                p = self.drain_pipeline_locked(node, p)?;
+                break;
+            }
+            if p.in_flight < window {
+                break;
+            }
+            // Window full: put any buffered run on the wire (its replies
+            // are what free the window) and wait for the server thread.
+            self.flush_batcher(node, &mut p)?;
+            p = self.pipeline_wait(node, p)?;
+        }
+        let step = node
+            .state
+            .write()
+            .begin_write_nonblocking_shared(loc, Arc::clone(&value));
+        let wid = match step {
+            WriteStep::Done { .. } => unreachable!("remote page cannot complete locally"),
+            WriteStep::Remote { wid, request, .. } => {
+                node.nonblocking.lock().insert(wid, true);
+                node.nonblocking_count.fetch_add(1, Ordering::Release);
+                p.owner = Some(owner);
+                p.in_flight += 1;
+                if self.inner.config.batching() {
+                    if let Some(run) = p.batcher.push(request) {
+                        self.send_run(node, &mut p, owner, run)?;
+                    }
+                } else {
+                    self.send_run(node, &mut p, owner, vec![request])?;
+                }
+                wid
+            }
+        };
+        drop(p);
+        self.record_with(|| OpRecord::write(loc, (*value).clone(), wid));
+        Ok(wid)
+    }
+
+    /// Pipeline barrier: sends anything still buffered and blocks until
+    /// every pipelined (and raw non-blocking) write's reply this pipeline
+    /// tracks has been received and absorbed into `VT_i`. A no-op when
+    /// the pipeline is idle or disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Shutdown`] if the cluster has stopped, or
+    /// [`MemoryError::Timeout`] if a configured
+    /// [`owner_timeout`](crate::CausalConfigBuilder::owner_timeout) budget
+    /// expires first (fatal for the handle's session, as with any other
+    /// timed-out operation).
+    pub fn flush(&self) -> Result<(), MemoryError> {
+        if self.inner.config.pipeline_window() == 0 {
+            return Ok(());
+        }
+        let node = &self.inner.nodes[self.node.index()];
+        let _op = node.op_lock.lock();
+        let p = node.pipeline.lock();
+        drop(self.drain_pipeline_locked(node, p)?);
+        Ok(())
     }
 
     /// A read that returns the value **shared** with local memory
@@ -592,6 +957,23 @@ impl<V: Value> CausalHandle<V> {
             }
         }
         let _op = node.op_lock.lock();
+        if self.inner.config.pipeline_window() > 0 && !self.owns_locally(loc) {
+            let owner = self.owner_of(loc);
+            let p = node.pipeline.lock();
+            // Read-your-own-write guard: a miss on a page served by the
+            // pipeline's owner could fetch a copy that predates our
+            // in-flight writes (program-order violation). Drain before
+            // any read that will miss toward that owner; misses toward
+            // *other* owners are safe (the READ carries no timestamp, and
+            // any copy stamped with our increments must postdate the
+            // owner installing our write).
+            if p.in_flight > 0
+                && p.owner == Some(owner)
+                && !node.state.read().has_valid_copy(loc)
+            {
+                drop(self.drain_pipeline_locked(node, p)?);
+            }
+        }
         let step = node.state.write().begin_read(loc);
         let (value, wid) = match step {
             ReadStep::Hit { value, wid } => (value, wid),

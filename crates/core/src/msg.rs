@@ -87,6 +87,17 @@ pub enum Msg<V> {
     },
     /// Engine shutdown sentinel (not part of the paper's protocol).
     Halt,
+    /// A transport envelope carrying several protocol messages (the
+    /// batching enhancement; never sent unless
+    /// [`batching`](crate::CausalConfig::batching) is on).
+    ///
+    /// Semantically transparent: receivers process the parts in order
+    /// exactly as if each had arrived in its own envelope, and the logical
+    /// per-kind message counters see only the parts
+    /// ([`Tagged::batch_parts`]). Only the physical-envelope counters — and
+    /// the wire, which pays one envelope header instead of `k` — observe
+    /// the batch itself.
+    Batch(Vec<Msg<V>>),
 }
 
 impl<V> Msg<V> {
@@ -109,6 +120,7 @@ impl<V: Value> Tagged for Msg<V> {
             Msg::Write { .. } => "WRITE",
             Msg::WriteReply { .. } => "W_REPLY",
             Msg::Halt => "HALT",
+            Msg::Batch(_) => memcore::kinds::BATCH,
         }
     }
 
@@ -131,7 +143,21 @@ impl<V: Value> Tagged for Msg<V> {
                 1 + 4 + 12 + vt.encoded_len() + verdict_size
             }
             Msg::Halt => 1,
+            Msg::Batch(parts) => {
+                1 + 4
+                    + parts
+                        .iter()
+                        .map(|p| p.wire_size().unwrap_or(0))
+                        .sum::<usize>()
+            }
         })
+    }
+
+    fn batch_parts(&self) -> Option<Vec<(&'static str, Option<usize>)>> {
+        match self {
+            Msg::Batch(parts) => Some(parts.iter().map(|p| (p.kind(), p.wire_size())).collect()),
+            _ => None,
+        }
     }
 }
 
@@ -144,6 +170,13 @@ impl<V: Wire> Wire for WriteVerdict<V> {
                 value.encode(buf);
                 wid.encode(buf);
             }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            WriteVerdict::Applied => 1,
+            WriteVerdict::Rejected { value, wid } => 1 + value.encoded_len() + wid.encoded_len(),
         }
     }
 
@@ -201,6 +234,10 @@ impl<V: Wire> Wire for Msg<V> {
                 verdict.encode(buf);
             }
             Msg::Halt => buf.put_u8(4),
+            Msg::Batch(parts) => {
+                buf.put_u8(5);
+                parts.encode(buf);
+            }
         }
     }
 
@@ -232,7 +269,39 @@ impl<V: Wire> Wire for Msg<V> {
                 verdict: WriteVerdict::decode(buf)?,
             }),
             4 => Ok(Msg::Halt),
+            5 => Ok(Msg::Batch(Vec::decode(buf)?)),
             d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            Msg::Read { page } => 1 + page.encoded_len(),
+            Msg::ReadReply { page, vt, slots } => {
+                1 + page.encoded_len()
+                    + vt.encoded_len()
+                    + 4
+                    + slots
+                        .iter()
+                        .map(|(value, wid)| value.encoded_len() + wid.encoded_len())
+                        .sum::<usize>()
+            }
+            Msg::Write {
+                loc,
+                value,
+                wid,
+                vt,
+            } => loc.encoded_len() + value.encoded_len() + wid.encoded_len() + vt.encoded_len() + 1,
+            Msg::WriteReply {
+                loc,
+                wid,
+                vt,
+                verdict,
+            } => {
+                1 + loc.encoded_len() + wid.encoded_len() + vt.encoded_len() + verdict.encoded_len()
+            }
+            Msg::Halt => 1,
+            Msg::Batch(parts) => 1 + parts.encoded_len(),
         }
     }
 }
@@ -245,6 +314,13 @@ impl<V: fmt::Display> fmt::Display for Msg<V> {
             Msg::Write { loc, value, vt, .. } => write!(f, "[WRITE, {loc}, {value}, {vt}]"),
             Msg::WriteReply { loc, vt, .. } => write!(f, "[W_REPLY, {loc}, {vt}]"),
             Msg::Halt => write!(f, "[HALT]"),
+            Msg::Batch(parts) => {
+                write!(f, "[BATCH")?;
+                for part in parts {
+                    write!(f, ", {part}")?;
+                }
+                write!(f, "]")
+            }
         }
     }
 }
@@ -310,9 +386,8 @@ mod tests {
         assert!(large.wire_size().unwrap() > small.wire_size().unwrap());
     }
 
-    #[test]
-    fn messages_round_trip_through_codec() {
-        let msgs: Vec<Msg<Word>> = vec![
+    fn fixture_messages() -> Vec<Msg<Word>> {
+        vec![
             Msg::Read {
                 page: PageId::new(3),
             },
@@ -346,14 +421,79 @@ mod tests {
                 },
             },
             Msg::Halt,
-        ];
-        for msg in msgs {
+            Msg::Batch(vec![
+                Msg::Write {
+                    loc: Location::new(6),
+                    value: Arc::new(Word::Int(3)),
+                    wid: WriteId::new(NodeId::new(0), 11),
+                    vt: vt([6, 0]),
+                },
+                Msg::Write {
+                    loc: Location::new(8),
+                    value: Arc::new(Word::Float(1.5)),
+                    wid: WriteId::new(NodeId::new(0), 12),
+                    vt: vt([7, 0]),
+                },
+            ]),
+            Msg::Batch(vec![]),
+        ]
+    }
+
+    #[test]
+    fn messages_round_trip_through_codec() {
+        for msg in fixture_messages() {
             let mut buf = BytesMut::new();
             msg.encode(&mut buf);
             let mut bytes = buf.freeze();
             assert_eq!(Msg::<Word>::decode(&mut bytes).unwrap(), msg);
             assert!(bytes.is_empty());
         }
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_fixture_message() {
+        // `encoded_len` has exact (non-measuring) implementations for every
+        // protocol message shape; they must agree with the encoder
+        // byte-for-byte.
+        for msg in fixture_messages() {
+            let mut buf = BytesMut::new();
+            msg.encode(&mut buf);
+            assert_eq!(
+                msg.encoded_len(),
+                buf.len(),
+                "encoded_len disagrees with encode for {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_exposes_parts_to_the_counters() {
+        let batch: Msg<Word> = Msg::Batch(vec![
+            Msg::Read {
+                page: PageId::new(1),
+            },
+            Msg::Write {
+                loc: Location::new(0),
+                value: Arc::new(Word::Int(1)),
+                wid: WriteId::new(NodeId::new(0), 1),
+                vt: vt([1, 0]),
+            },
+        ]);
+        assert_eq!(batch.kind(), "BATCH");
+        assert!(!batch.is_request());
+        assert!(!batch.is_reply());
+        let parts = batch.batch_parts().unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, "READ");
+        assert_eq!(parts[1].0, "WRITE");
+        // Ordinary messages report no parts.
+        assert_eq!(
+            Msg::<Word>::Read {
+                page: PageId::new(0)
+            }
+            .batch_parts(),
+            None
+        );
     }
 
     #[test]

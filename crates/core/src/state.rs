@@ -170,6 +170,9 @@ pub struct CausalState<V> {
     tick: u64,
     /// Cumulative count of cache invalidations performed (ablation metric).
     invalidations: u64,
+    /// Cumulative count of cache sweep passes (coalescing merges the
+    /// per-write sweeps of a batch into one pass).
+    sweeps: u64,
     /// `VT_i` as of the start of the (single) outstanding remote
     /// operation — used to detect knowledge absorbed while a reply was in
     /// flight (see the in-flight-reply guards in `finish_read` /
@@ -199,6 +202,7 @@ impl<V: Value> CausalState<V> {
             write_seq: 0,
             tick: 0,
             invalidations: 0,
+            sweeps: 0,
             op_begin_vt: VectorClock::new(n),
         }
     }
@@ -253,6 +257,14 @@ impl<V: Value> CausalState<V> {
     #[must_use]
     pub fn invalidation_count(&self) -> u64 {
         self.invalidations
+    }
+
+    /// Cumulative count of cache sweep passes. With invalidation
+    /// coalescing, a batch of `k` writes costs one pass instead of `k`;
+    /// the invalidation *count* (pages dropped) is unaffected.
+    #[must_use]
+    pub fn sweep_count(&self) -> u64 {
+        self.sweeps
     }
 
     /// `true` iff this node owns `loc`.
@@ -659,6 +671,41 @@ impl<V: Value> CausalState<V> {
         }
     }
 
+    /// Services a batched run of requests from one peer, coalescing the
+    /// owner-side invalidation sweeps.
+    ///
+    /// Each write merges timestamps and installs exactly as
+    /// [`serve`](CausalState::serve) would, but the Figure-4 cache sweep
+    /// `∀y ∈ C_i : M_i[y].VT < VT_i → M_i[y] := ⊥` runs once, after the
+    /// run, with the final merged timestamp. Every per-write threshold is
+    /// dominated by the final one, so the surviving cache set is identical
+    /// — the batch only saves the intermediate sweep passes. Replies come
+    /// back in request order, one per request, ready to ride a single
+    /// envelope (the acks are piggybacked on the batch reply).
+    pub fn serve_batch(&mut self, from: NodeId, parts: Vec<Msg<V>>) -> Vec<Msg<V>> {
+        let mut replies = Vec::with_capacity(parts.len());
+        let mut wrote = false;
+        for part in parts {
+            match part {
+                Msg::Read { page } => replies.push(self.serve_read(from, page)),
+                Msg::Write {
+                    loc,
+                    value,
+                    wid,
+                    vt,
+                } => {
+                    wrote = true;
+                    replies.push(self.serve_write_unswept(from, loc, value, wid, vt));
+                }
+                _ => {}
+            }
+        }
+        if wrote {
+            self.sweep_cache(&self.vt.clone());
+        }
+        replies
+    }
+
     /// Services `[READ, x]`: replies with the owned page and its
     /// writestamp. Figure 4: `send [R_REPLY, x, M_i[x].value, M_i[x].VT]`.
     ///
@@ -698,6 +745,25 @@ impl<V: Value> CausalState<V> {
     ///
     /// Panics if this node does not own `loc` (a routing bug).
     fn serve_write(
+        &mut self,
+        from: NodeId,
+        loc: Location,
+        value: Arc<V>,
+        wid: WriteId,
+        vt: VectorClock,
+    ) -> Msg<V> {
+        let reply = self.serve_write_unswept(from, loc, value, wid, vt);
+        // ∀y ∈ C_i : M_i[y].VT < VT_i → M_i[y] := ⊥
+        // (A potential causal interaction with the writer occurred, applied
+        // or not — the owner's timestamp already merged the writer's.)
+        self.sweep_cache(&self.vt.clone());
+        reply
+    }
+
+    /// [`serve_write`](CausalState::serve_write) minus the trailing cache
+    /// sweep — the caller must sweep with the final merged timestamp before
+    /// yielding control (see [`serve_batch`](CausalState::serve_batch)).
+    fn serve_write_unswept(
         &mut self,
         _from: NodeId,
         loc: Location,
@@ -757,11 +823,6 @@ impl<V: Value> CausalState<V> {
             WriteVerdict::Applied
         };
 
-        // ∀y ∈ C_i : M_i[y].VT < VT_i → M_i[y] := ⊥
-        // (A potential causal interaction with the writer occurred, applied
-        // or not — the owner's timestamp already merged the writer's.)
-        self.sweep_cache(&self.vt.clone());
-
         Msg::WriteReply {
             loc,
             wid,
@@ -810,6 +871,7 @@ impl<V: Value> CausalState<V> {
     /// Invalidate every cached page strictly older than `threshold` —
     /// the Figure-4 sweep `∀y ∈ C_i : M_i[y].VT < VT → M_i[y] := ⊥`.
     fn sweep_cache(&mut self, threshold: &VectorClock) {
+        self.sweeps += 1;
         let id = self.id;
         let owners = self.config.owners().clone();
         let before = self.pages.len();
@@ -960,6 +1022,86 @@ mod tests {
         assert_eq!(p0.peek(loc(0)).unwrap().0, &Word::Int(3));
         // Writer caches the written value (M_i[x] := (v, VT_i)).
         assert_eq!(p1.peek(loc(0)).unwrap().0, &Word::Int(3));
+    }
+
+    #[test]
+    fn serve_batch_matches_sequential_service_with_one_sweep() {
+        // The same three pipelined writes served one-by-one and as a batch:
+        // identical replies, identical final memory, but the batch pays a
+        // single sweep pass where sequential service pays three.
+        let mk = || pair();
+        let (mut seq_owner, mut seq_writer) = mk();
+        let (mut batch_owner, mut batch_writer) = mk();
+
+        let writes = [
+            (loc(0), Word::Int(1)),
+            (loc(2), Word::Int(2)),
+            (loc(0), Word::Int(3)),
+        ];
+
+        let mut seq_replies = Vec::new();
+        let mut batch_requests = Vec::new();
+        for (l, v) in writes {
+            let WriteStep::Remote { request, .. } = seq_writer.begin_write(l, v) else {
+                panic!("expected remote write");
+            };
+            seq_replies.push(seq_owner.serve(seq_writer.id(), request).unwrap());
+            let WriteStep::Remote { request, .. } = batch_writer.begin_write(l, v) else {
+                panic!("expected remote write");
+            };
+            batch_requests.push(request);
+        }
+        let sweeps_before = batch_owner.sweep_count();
+        let batch_replies = batch_owner.serve_batch(batch_writer.id(), batch_requests);
+
+        assert_eq!(batch_replies, seq_replies);
+        assert_eq!(batch_owner.vt(), seq_owner.vt());
+        assert_eq!(
+            batch_owner.peek(loc(0)).unwrap().0,
+            seq_owner.peek(loc(0)).unwrap().0
+        );
+        assert_eq!(batch_owner.sweep_count() - sweeps_before, 1);
+        assert!(seq_owner.sweep_count() >= 3);
+    }
+
+    #[test]
+    fn batched_sweep_drops_the_same_cache_entries_as_sequential() {
+        // The owner caches a page of the writer's; a batch of writes must
+        // invalidate it exactly as sequential service would.
+        let (mut seq_owner, mut seq_writer) = pair();
+        let (mut batch_owner, mut batch_writer) = pair();
+        for (owner, writer) in [
+            (&mut seq_owner, &mut seq_writer),
+            (&mut batch_owner, &mut batch_writer),
+        ] {
+            writer.begin_write(loc(1), Word::Int(7));
+            let _ = remote_read(owner, writer, loc(1));
+            assert!(owner.has_valid_copy(loc(1)));
+            // The writer writes x1 again so its next request's stamp
+            // dominates the owner's cached copy of x1.
+            writer.begin_write(loc(1), Word::Int(8));
+        }
+
+        let WriteStep::Remote { request, .. } = seq_writer.begin_write(loc(0), Word::Int(9)) else {
+            panic!("expected remote write");
+        };
+        let _ = seq_owner.serve(seq_writer.id(), request).unwrap();
+
+        let WriteStep::Remote { request, .. } = batch_writer.begin_write(loc(0), Word::Int(9))
+        else {
+            panic!("expected remote write");
+        };
+        let _ = batch_owner.serve_batch(batch_writer.id(), vec![request]);
+
+        assert_eq!(
+            batch_owner.has_valid_copy(loc(1)),
+            seq_owner.has_valid_copy(loc(1))
+        );
+        assert!(!batch_owner.has_valid_copy(loc(1)));
+        assert_eq!(
+            batch_owner.invalidation_count(),
+            seq_owner.invalidation_count()
+        );
     }
 
     #[test]

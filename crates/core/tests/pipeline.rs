@@ -1,0 +1,172 @@
+//! The bounded write pipeline: window backpressure, the flush barrier,
+//! automatic draining before operations that would leak in-flight
+//! increments, and transport batching — all checked against the
+//! executable causal specification where it matters.
+
+use causal_dsm::CausalCluster;
+use causal_spec::{check_causal, Execution};
+use memcore::{kinds, Location, Recorder, SharedMemory, Word};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn loc(i: u32) -> Location {
+    Location::new(i)
+}
+
+#[test]
+fn window_zero_is_the_blocking_protocol() {
+    // Defaults leave the pipeline off; write_pipelined must then be the
+    // ordinary blocking write — same messages, nothing outstanding.
+    let cluster = CausalCluster::<Word>::builder(2, 4).build().unwrap();
+    let p0 = cluster.handle(0);
+    p0.write_pipelined(loc(1), Word::Int(5)).unwrap();
+    assert_eq!(cluster.pending_nonblocking(0), 0);
+    let snap = cluster.messages().snapshot();
+    assert_eq!(snap.kind_total("WRITE"), 1);
+    assert_eq!(snap.kind_total("W_REPLY"), 1);
+    p0.flush().unwrap();
+    assert_eq!(*p0.read_shared(loc(1)).unwrap(), Word::Int(5));
+}
+
+#[test]
+fn pipelined_writes_complete_and_flush_is_a_barrier() {
+    // Node 0 pipelines a burst of writes to node 1's locations; flush()
+    // must not return before every reply is absorbed into VT_0.
+    let cluster = CausalCluster::<Word>::builder(2, 4)
+        .configure(|c| c.pipeline_window(4))
+        .build()
+        .unwrap();
+    let p0 = cluster.handle(0);
+    let p1 = cluster.handle(1);
+    for i in 0..20 {
+        let wid = p0.write_pipelined(loc(1), Word::Int(i)).unwrap();
+        assert_eq!(wid.writer(), Some(memcore::NodeId::new(0)));
+        assert!(
+            cluster.pending_nonblocking(0) <= 4,
+            "the window must cap in-flight writes"
+        );
+    }
+    p0.flush().unwrap();
+    assert_eq!(cluster.pending_nonblocking(0), 0);
+    assert_eq!(*p1.read_shared(loc(1)).unwrap(), Word::Int(19));
+    assert_eq!(*p0.read_shared(loc(1)).unwrap(), Word::Int(19));
+    // All 20 writes crossed the wire individually (no batching here).
+    let snap = cluster.messages().snapshot();
+    assert_eq!(snap.kind_total("WRITE"), 20);
+    assert_eq!(snap.kind_total("W_REPLY"), 20);
+}
+
+#[test]
+fn pipeline_drains_before_unsafe_operations() {
+    // Interleave pipelined writes with each operation class that forces a
+    // drain (owner-local write, write to a different owner, read miss on
+    // the pipeline owner's pages) and check the full run against
+    // Definition 2 — with a recorder installed so the oracle sees it all.
+    for (window, batching) in [(4u32, false), (4, true), (32, true)] {
+        let recorder: Recorder<Word> = Recorder::new(3);
+        let cluster = CausalCluster::<Word>::builder(3, 6)
+            .configure(|c| c.pipeline_window(window).batching(batching))
+            .recorder(recorder.clone())
+            .build()
+            .unwrap();
+        std::thread::scope(|scope| {
+            for node in 0..3u32 {
+                let h = cluster.handle(node);
+                scope.spawn(move || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(u64::from(node) + 17);
+                    let mut counter = i64::from(node) * 1_000_000;
+                    for _ in 0..250 {
+                        let l = loc(rng.gen_range(0..6));
+                        match rng.gen_range(0..10u8) {
+                            0..=3 => {
+                                h.read(l).unwrap();
+                            }
+                            4..=7 => {
+                                counter += 1;
+                                h.write_pipelined(l, Word::Int(counter)).unwrap();
+                            }
+                            8 => {
+                                counter += 1;
+                                h.write(l, Word::Int(counter)).unwrap();
+                            }
+                            _ => h.flush().unwrap(),
+                        }
+                    }
+                    h.flush().unwrap();
+                });
+            }
+        });
+        let exec = Execution::from_recorder(&recorder);
+        let verdict = check_causal(&exec).expect("well formed");
+        assert!(
+            verdict.is_correct(),
+            "window={window} batching={batching}:\n{verdict}"
+        );
+    }
+}
+
+#[test]
+fn batching_coalesces_envelopes_but_not_logical_counts() {
+    // The same pipelined burst with batching off and on: identical
+    // logical per-kind counters (the ablation contract), strictly fewer
+    // physical envelopes when batching.
+    let run = |batching: bool| {
+        let cluster = CausalCluster::<Word>::builder(2, 4)
+            .configure(|c| c.pipeline_window(8).batching(batching))
+            .build()
+            .unwrap();
+        let p0 = cluster.handle(0);
+        for i in 0..64 {
+            p0.write_pipelined(loc(1), Word::Int(i)).unwrap();
+        }
+        p0.flush().unwrap();
+        assert_eq!(*p0.read_shared(loc(1)).unwrap(), Word::Int(63));
+        (
+            cluster.messages().snapshot(),
+            cluster.envelopes().snapshot(),
+        )
+    };
+
+    let (plain_msgs, plain_envs) = run(false);
+    let (batched_msgs, batched_envs) = run(true);
+
+    assert_eq!(
+        plain_msgs.by_kind(),
+        batched_msgs.by_kind(),
+        "batching must be invisible to the logical counters"
+    );
+    assert_eq!(plain_envs.total(), plain_msgs.total());
+    assert!(
+        batched_envs.total() < batched_msgs.total(),
+        "batching must coalesce envelopes: {} physical vs {} logical",
+        batched_envs.total(),
+        batched_msgs.total()
+    );
+    assert!(
+        batched_envs.kind_total(kinds::BATCH) > 0,
+        "coalesced runs are counted under the BATCH kind"
+    );
+}
+
+#[test]
+fn same_owner_blocking_write_rides_behind_the_pipeline() {
+    // A blocking write to the pipeline's owner does not drain the window
+    // (FIFO keeps it ordered); its reply must still find its way back to
+    // the blocked application rather than being absorbed.
+    let cluster = CausalCluster::<Word>::builder(2, 4)
+        .configure(|c| c.pipeline_window(8).batching(true))
+        .build()
+        .unwrap();
+    let p0 = cluster.handle(0);
+    for i in 0..5 {
+        p0.write_pipelined(loc(1), Word::Int(i)).unwrap();
+    }
+    p0.write(loc(1), Word::Int(100)).unwrap();
+    p0.flush().unwrap();
+    assert_eq!(*p0.read_shared(loc(1)).unwrap(), Word::Int(100));
+    assert_eq!(
+        *cluster.handle(1).read_shared(loc(1)).unwrap(),
+        Word::Int(100)
+    );
+}

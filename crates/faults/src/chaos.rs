@@ -53,6 +53,12 @@ pub struct ChaosConfig {
     /// (no fault plan, no injector) — the baseline for measuring what the
     /// faults and the session layer's recovery traffic cost.
     pub fault_free: bool,
+    /// Bounded write-pipeline window handed to the protocol configuration
+    /// (`0` disables pipelining — the paper's blocking protocol).
+    pub pipeline_window: u32,
+    /// Transport batching of pipelined writes (owner-side coalesced
+    /// invalidation sweeps, batched reply envelopes).
+    pub batching: bool,
 }
 
 impl Default for ChaosConfig {
@@ -70,6 +76,8 @@ impl Default for ChaosConfig {
                 max_time: u64::MAX,
             },
             fault_free: false,
+            pipeline_window: 0,
+            batching: false,
         }
     }
 }
@@ -95,6 +103,11 @@ pub struct ChaosOutcome {
     /// The recorded per-process operation logs — two runs of the same
     /// seed must produce these byte-for-byte identical.
     pub ops: Vec<Vec<memcore::OpRecord<Word>>>,
+    /// Pipeline window the run executed under (part of the reproduction
+    /// recipe: [`run_chaos_batch`] samples it per seed).
+    pub pipeline_window: u32,
+    /// Whether transport batching was on (ditto).
+    pub batching: bool,
 }
 
 impl ChaosOutcome {
@@ -119,6 +132,11 @@ impl fmt::Display for ChaosOutcome {
         }
         writeln!(f, "seed {}: FAILED — reproduce with this seed + plan:", self.seed)?;
         writeln!(f, "  plan: {:?}", self.plan)?;
+        writeln!(
+            f,
+            "  pipeline_window: {}, batching: {}",
+            self.pipeline_window, self.batching
+        )?;
         if self.wedged {
             writeln!(f, "  wedged: clients did not finish (t={})", self.time)?;
         }
@@ -157,7 +175,10 @@ pub fn run_chaos_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
         Some(Arc::new(FaultInjector::new(seed, plan.clone())))
     };
     let recorder: Recorder<Word> = Recorder::new(cfg.nodes as usize);
-    let config = CausalConfig::<Word>::builder(cfg.nodes, spec.locations()).build();
+    let config = CausalConfig::<Word>::builder(cfg.nodes, spec.locations())
+        .pipeline_window(cfg.pipeline_window)
+        .batching(cfg.batching)
+        .build();
     let mut sim = session_causal_sim(
         &config,
         cfg.rto,
@@ -194,6 +215,8 @@ pub fn run_chaos_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
         messages: sim.messages().snapshot(),
         ops_recorded: recorder.total_ops(),
         ops: recorder.processes(),
+        pipeline_window: cfg.pipeline_window,
+        batching: cfg.batching,
     }
 }
 
@@ -236,15 +259,30 @@ impl fmt::Display for ChaosBatch {
     }
 }
 
+/// The throughput-layer grid [`run_chaos_batch`] walks: the pipeline
+/// window cycles through `{0, 4, 32}` with the seed, batching follows
+/// seed parity. A deterministic function of `(base, seed)`, so a batch
+/// failure reproduces by re-running its seed through this same sampling
+/// (the outcome also records the sampled values directly).
+#[must_use]
+pub fn sample_throughput_config(base: &ChaosConfig, seed: u64) -> ChaosConfig {
+    let mut cfg = base.clone();
+    cfg.pipeline_window = [0, 4, 32][(seed % 3) as usize];
+    cfg.batching = seed % 2 == 1;
+    cfg
+}
+
 /// Runs `count` chaos executions with seeds `first_seed..first_seed +
-/// count`, collecting every failure with its reproduction recipe.
+/// count`, collecting every failure with its reproduction recipe. Each
+/// seed runs under [`sample_throughput_config`], so one batch sweeps the
+/// whole pipelining/batching grid under faults.
 #[must_use]
 pub fn run_chaos_batch(first_seed: u64, count: usize, cfg: &ChaosConfig) -> ChaosBatch {
     let mut failures = Vec::new();
     let mut protocol_messages = 0;
     let mut overhead_messages = 0;
     for seed in first_seed..first_seed + count as u64 {
-        let outcome = run_chaos_once(seed, cfg);
+        let outcome = run_chaos_once(seed, &sample_throughput_config(cfg, seed));
         protocol_messages += outcome.messages.protocol_total();
         overhead_messages += outcome.messages.overhead_total();
         if !outcome.ok() {
@@ -281,6 +319,27 @@ mod tests {
         assert_eq!(a.time, b.time);
         assert_eq!(a.messages.by_kind(), b.messages.by_kind());
         assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn sampled_configs_reproduce_exactly() {
+        // The batch's per-seed sampling is part of the reproduction
+        // recipe: the same seed must map to the same grid point, and the
+        // run under it must replay byte-for-byte.
+        let base = ChaosConfig::default();
+        for seed in [1u64, 4, 5] {
+            let cfg = sample_throughput_config(&base, seed);
+            assert_eq!(cfg.pipeline_window, [0, 4, 32][(seed % 3) as usize]);
+            assert_eq!(cfg.batching, seed % 2 == 1);
+            let a = run_chaos_once(seed, &cfg);
+            let b = run_chaos_once(seed, &cfg);
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.messages.by_kind(), b.messages.by_kind());
+            assert_eq!(a.ops, b.ops);
+            assert_eq!(a.pipeline_window, cfg.pipeline_window);
+            assert_eq!(a.batching, cfg.batching);
+        }
     }
 
     #[test]

@@ -71,6 +71,20 @@ impl<M: Tagged> Tagged for SessionMsg<M> {
             SessionMsg::Ack { .. } => Some(9),
         }
     }
+
+    fn batch_parts(&self) -> Option<Vec<(&'static str, Option<usize>)>> {
+        // Fresh data carrying a transport batch stays transparent to the
+        // logical counters, exactly like its kind; retransmissions and
+        // acks are session overhead and count as themselves.
+        match self {
+            SessionMsg::Data {
+                retx: false,
+                payload,
+                ..
+            } => payload.batch_parts(),
+            _ => None,
+        }
+    }
 }
 
 /// Counters kept by one node's [`ReliableLink`].

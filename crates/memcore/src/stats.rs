@@ -30,6 +30,12 @@ pub mod kinds {
     pub const DROP: &str = "DROP";
     /// A session-layer cumulative acknowledgement.
     pub const ACK: &str = "ACK";
+    /// A transport envelope carrying several logical messages (batching).
+    ///
+    /// Never recorded in the *logical* per-kind counters — those always see
+    /// the constituent messages under their own kinds — only in the
+    /// physical-envelope counters, where one batch is one send.
+    pub const BATCH: &str = "BATCH";
 
     /// All fault/session bookkeeping kinds, for filtering reports.
     pub const ALL: [&str; 4] = [RETX, DUP, DROP, ACK];

@@ -124,6 +124,57 @@ enum CausalPending<V> {
     },
 }
 
+/// Sim-side bounded write pipeline, mirroring the threaded engine's:
+/// active only when the wrapped state's configuration has
+/// `pipeline_window > 0` (in which case both `Write` and
+/// `WriteNonblocking` route through it, completing at issue).
+#[derive(Clone, Debug)]
+struct ActorPipeline<V> {
+    window: usize,
+    batching: bool,
+    /// Owner the open window points at (`None` when idle).
+    owner: Option<NodeId>,
+    /// Pipelined writes outstanding toward it — sent or still buffered.
+    in_flight: usize,
+    /// With batching on, WRITE requests accumulated but not yet sent.
+    buffer: Vec<causal_dsm::Msg<V>>,
+    /// Tags of pipelined writes awaiting absorption.
+    wids: std::collections::HashSet<WriteId>,
+}
+
+impl<V: Value> ActorPipeline<V> {
+    /// Batch runs never exceed the window (a full window must flush so
+    /// its replies can drain) and cap at eight parts per envelope.
+    fn run_cap(&self) -> usize {
+        self.window.min(8)
+    }
+
+    /// Everything buffered, as one envelope (runs of two or more wrap in
+    /// [`causal_dsm::Msg::Batch`]); empty when nothing is buffered.
+    fn flush(&mut self) -> Vec<(NodeId, causal_dsm::Msg<V>)> {
+        if self.buffer.is_empty() {
+            return Vec::new();
+        }
+        let owner = self.owner.expect("buffered writes always have an owner");
+        let mut run = std::mem::take(&mut self.buffer);
+        let envelope = if run.len() == 1 {
+            run.pop().expect("length checked")
+        } else {
+            causal_dsm::Msg::Batch(run)
+        };
+        vec![(owner, envelope)]
+    }
+}
+
+/// What the pipeline requires before an operation may proceed.
+enum Gate {
+    Proceed,
+    /// Wait until every in-flight write's reply is absorbed.
+    Drain,
+    /// Wait until the window has a free slot (same-owner pipelined write).
+    Slot,
+}
+
 /// [`Actor`] over the causal owner protocol's
 /// [`CausalState`](causal_dsm::CausalState).
 #[derive(Clone, Debug)]
@@ -133,16 +184,32 @@ pub struct CausalActor<V> {
     /// Outstanding non-blocking writes whose replies are absorbed rather
     /// than completing an operation.
     nonblocking: std::collections::HashSet<WriteId>,
+    /// Present iff the configuration enables the bounded write pipeline.
+    pipeline: Option<ActorPipeline<V>>,
+    /// An operation the pipeline gated (see [`Gate`]); re-tried each time
+    /// a pipelined reply drains. The node is blocked while this is set.
+    deferred: Option<ClientOp<V>>,
 }
 
 impl<V: Value> CausalActor<V> {
     /// Wraps a node's protocol state.
     #[must_use]
     pub fn new(state: causal_dsm::CausalState<V>) -> Self {
+        let window = state.config().pipeline_window() as usize;
+        let pipeline = (window > 0).then(|| ActorPipeline {
+            window,
+            batching: state.config().batching(),
+            owner: None,
+            in_flight: 0,
+            buffer: Vec::new(),
+            wids: std::collections::HashSet::new(),
+        });
         CausalActor {
             state,
             pending: None,
             nonblocking: std::collections::HashSet::new(),
+            pipeline,
+            deferred: None,
         }
     }
 
@@ -151,17 +218,170 @@ impl<V: Value> CausalActor<V> {
     pub fn state(&self) -> &causal_dsm::CausalState<V> {
         &self.state
     }
-}
 
-impl<V: Value> Actor<V> for CausalActor<V> {
-    type Msg = causal_dsm::Msg<V>;
-
-    fn id(&self) -> NodeId {
-        self.state.id()
+    /// The drain/slot rules of the bounded pipeline (the same derivation
+    /// as the engine's `write_pipelined`): operations that would leak
+    /// in-flight increments — an owner-local write, a write toward a
+    /// *different* owner, or a read that will miss toward the pipeline's
+    /// owner — require a full drain; a same-owner pipelined write needs
+    /// only a free window slot. Everything else overlaps freely.
+    fn gate(&self, op: &ClientOp<V>) -> Gate {
+        use memcore::OwnerMap as _;
+        let Some(p) = &self.pipeline else {
+            return Gate::Proceed;
+        };
+        if p.in_flight == 0 {
+            return Gate::Proceed;
+        }
+        let me = self.state.id();
+        match op {
+            ClientOp::Read(loc) | ClientOp::ReadFresh(loc) => {
+                let owner = self.state.config().owners().owner_of(*loc);
+                let misses = matches!(op, ClientOp::ReadFresh(_))
+                    || !self.state.has_valid_copy(*loc);
+                if p.owner == Some(owner) && misses {
+                    Gate::Drain
+                } else {
+                    Gate::Proceed
+                }
+            }
+            ClientOp::Write(loc, _) | ClientOp::WriteNonblocking(loc, _) => {
+                let owner = self.state.config().owners().owner_of(*loc);
+                if owner == me || p.owner != Some(owner) {
+                    Gate::Drain
+                } else if p.in_flight >= p.window {
+                    Gate::Slot
+                } else {
+                    Gate::Proceed
+                }
+            }
+            ClientOp::Discard(_) => Gate::Proceed,
+            ClientOp::WaitUntil(..) => unreachable!("scheduler decomposes waits"),
+        }
     }
 
-    fn submit(&mut self, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
-        assert!(self.pending.is_none(), "one outstanding op per node");
+    /// Attempts `op`, stashing it in `deferred` (with the buffer flushed,
+    /// so the drain can make progress) when the pipeline gates it.
+    fn try_op(&mut self, op: &ClientOp<V>) -> Effects<V, causal_dsm::Msg<V>> {
+        match self.gate(op) {
+            Gate::Proceed => self.perform(op),
+            Gate::Drain | Gate::Slot => {
+                let outgoing = self
+                    .pipeline
+                    .as_mut()
+                    .map(ActorPipeline::flush)
+                    .unwrap_or_default();
+                self.deferred = Some(op.clone());
+                Effects {
+                    outgoing,
+                    completion: None,
+                }
+            }
+        }
+    }
+
+    /// Issues a write through the pipeline (remote owner, window open):
+    /// completes at issue; the request goes out now or rides a batch.
+    fn issue_pipelined(
+        &mut self,
+        loc: Location,
+        value: &V,
+    ) -> Effects<V, causal_dsm::Msg<V>> {
+        let shared = std::sync::Arc::new(value.clone());
+        let step = self
+            .state
+            .begin_write_nonblocking_shared(loc, std::sync::Arc::clone(&shared));
+        let p = self.pipeline.as_mut().expect("pipelined issue needs a pipeline");
+        match step {
+            causal_dsm::WriteStep::Done { .. } => {
+                unreachable!("pipelined writes never target owned pages")
+            }
+            causal_dsm::WriteStep::Remote {
+                owner,
+                wid,
+                request,
+            } => {
+                p.wids.insert(wid);
+                p.owner = Some(owner);
+                p.in_flight += 1;
+                let outgoing = if p.batching {
+                    p.buffer.push(request);
+                    if p.buffer.len() >= p.run_cap() || p.in_flight >= p.window {
+                        p.flush()
+                    } else {
+                        Vec::new()
+                    }
+                } else {
+                    vec![(owner, request)]
+                };
+                Effects {
+                    outgoing,
+                    completion: Some(Completion {
+                        outcome: Outcome::Wrote { wid, applied: true },
+                        record: Some(OpRecord::write(loc, value.clone(), wid)),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Handles a reply (never a request): absorbs pipelined and raw
+    /// non-blocking write replies — re-trying any deferred operation as
+    /// the pipeline drains — and completes the outstanding operation
+    /// otherwise.
+    fn deliver_reply(&mut self, msg: causal_dsm::Msg<V>) -> Effects<V, causal_dsm::Msg<V>> {
+        if let causal_dsm::Msg::WriteReply { wid, .. } = &msg {
+            if self.nonblocking.remove(wid) {
+                self.state.absorb_write_reply(msg);
+                return Effects::empty();
+            }
+            let piped = self
+                .pipeline
+                .as_mut()
+                .is_some_and(|p| p.wids.remove(wid));
+            if piped {
+                self.state.absorb_write_reply(msg);
+                let p = self.pipeline.as_mut().expect("checked above");
+                p.in_flight -= 1;
+                if p.in_flight == 0 {
+                    p.owner = None;
+                }
+                if let Some(op) = self.deferred.take() {
+                    return self.try_op(&op);
+                }
+                return Effects::empty();
+            }
+        }
+        match self.pending.take() {
+            Some(CausalPending::Read { loc }) => {
+                let (value, wid) = self.state.finish_read(loc, msg);
+                Effects::done(
+                    Outcome::Read {
+                        value: (*value).clone(),
+                        wid,
+                    },
+                    Some(OpRecord::read(loc, (*value).clone(), wid)),
+                )
+            }
+            Some(CausalPending::Write { loc, value, wid }) => {
+                let done = self
+                    .state
+                    .finish_write(std::sync::Arc::clone(&value), wid, msg);
+                Effects::done(
+                    Outcome::Wrote {
+                        wid: done.wid(),
+                        applied: done.is_applied(),
+                    },
+                    Some(OpRecord::write(loc, (*value).clone(), done.wid())),
+                )
+            }
+            None => panic!("reply with no outstanding operation"),
+        }
+    }
+
+    /// Performs `op` now (the pipeline, if any, has cleared it).
+    fn perform(&mut self, op: &ClientOp<V>) -> Effects<V, causal_dsm::Msg<V>> {
+        use memcore::OwnerMap as _;
         match op {
             ClientOp::Read(loc) | ClientOp::ReadFresh(loc) => {
                 if matches!(op, ClientOp::ReadFresh(_)) {
@@ -181,31 +401,24 @@ impl<V: Value> Actor<V> for CausalActor<V> {
                     }
                 }
             }
-            ClientOp::Write(loc, value) => {
-                let shared = std::sync::Arc::new(value.clone());
-                match self
-                    .state
-                    .begin_write_shared(*loc, std::sync::Arc::clone(&shared))
-                {
-                    causal_dsm::WriteStep::Done { wid } => Effects::done(
-                        Outcome::Wrote { wid, applied: true },
-                        Some(OpRecord::write(*loc, value.clone(), wid)),
-                    ),
-                    causal_dsm::WriteStep::Remote {
-                        owner,
-                        wid,
-                        request,
-                    } => {
-                        self.pending = Some(CausalPending::Write {
-                            loc: *loc,
-                            value: shared,
-                            wid,
-                        });
-                        Effects::sent(vec![(owner, request)])
-                    }
+            ClientOp::Write(loc, value) if self.pipeline.is_some() => {
+                // With the pipeline on, plain writes to remote owners
+                // flow through it (completing at issue); owner-local
+                // writes complete locally as ever — the gate has already
+                // drained the window for them.
+                if self.state.config().owners().owner_of(*loc) == self.state.id() {
+                    self.perform_blocking_write(*loc, value)
+                } else {
+                    self.issue_pipelined(*loc, value)
                 }
             }
+            ClientOp::Write(loc, value) => self.perform_blocking_write(*loc, value),
             ClientOp::WriteNonblocking(loc, value) => {
+                if self.pipeline.is_some()
+                    && self.state.config().owners().owner_of(*loc) != self.state.id()
+                {
+                    return self.issue_pipelined(*loc, value);
+                }
                 match self.state.begin_write_nonblocking(*loc, value.clone()) {
                     causal_dsm::WriteStep::Done { wid } => Effects::done(
                         Outcome::Wrote { wid, applied: true },
@@ -235,7 +448,87 @@ impl<V: Value> Actor<V> for CausalActor<V> {
         }
     }
 
+    fn perform_blocking_write(
+        &mut self,
+        loc: Location,
+        value: &V,
+    ) -> Effects<V, causal_dsm::Msg<V>> {
+        let shared = std::sync::Arc::new(value.clone());
+        match self
+            .state
+            .begin_write_shared(loc, std::sync::Arc::clone(&shared))
+        {
+            causal_dsm::WriteStep::Done { wid } => Effects::done(
+                Outcome::Wrote { wid, applied: true },
+                Some(OpRecord::write(loc, value.clone(), wid)),
+            ),
+            causal_dsm::WriteStep::Remote {
+                owner,
+                wid,
+                request,
+            } => {
+                self.pending = Some(CausalPending::Write {
+                    loc,
+                    value: shared,
+                    wid,
+                });
+                Effects::sent(vec![(owner, request)])
+            }
+        }
+    }
+}
+
+impl<V: Value> Actor<V> for CausalActor<V> {
+    type Msg = causal_dsm::Msg<V>;
+
+    fn id(&self) -> NodeId {
+        self.state.id()
+    }
+
+    fn submit(&mut self, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
+        assert!(
+            self.pending.is_none() && self.deferred.is_none(),
+            "one outstanding op per node"
+        );
+        self.try_op(op)
+    }
+
     fn deliver(&mut self, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        if let causal_dsm::Msg::Batch(parts) = msg {
+            // A transport batch is its parts, in order: requests are
+            // served in one pass with a single coalesced invalidation
+            // sweep and replied to as one envelope; reply parts absorb
+            // exactly as if they arrived alone. At most one part chain
+            // can complete an operation (batches carry only pipelined
+            // writes and their replies; blocking ops travel solo).
+            let mut requests = Vec::with_capacity(parts.len());
+            let mut effects = Effects::empty();
+            for part in parts {
+                if part.is_request() {
+                    requests.push(part);
+                } else {
+                    let mut e = self.deliver_reply(part);
+                    effects.outgoing.append(&mut e.outgoing);
+                    if e.completion.is_some() {
+                        assert!(
+                            effects.completion.is_none(),
+                            "at most one completion per batch"
+                        );
+                        effects.completion = e.completion;
+                    }
+                }
+            }
+            if !requests.is_empty() {
+                let mut replies = self.state.serve_batch(from, requests);
+                let reply = if replies.len() == 1 {
+                    replies.pop().expect("length checked")
+                } else {
+                    causal_dsm::Msg::Batch(replies)
+                };
+                effects.outgoing.push((from, reply));
+            }
+            return effects;
+        }
         if msg.is_request() {
             let reply = self
                 .state
@@ -243,40 +536,7 @@ impl<V: Value> Actor<V> for CausalActor<V> {
                 .expect("requests always produce replies");
             return Effects::sent(vec![(from, reply)]);
         }
-        if let causal_dsm::Msg::WriteReply { wid, .. } = &msg {
-            if self.nonblocking.remove(wid) {
-                self.state.absorb_write_reply(msg);
-                return Effects {
-                    outgoing: Vec::new(),
-                    completion: None,
-                };
-            }
-        }
-        match self.pending.take() {
-            Some(CausalPending::Read { loc }) => {
-                let (value, wid) = self.state.finish_read(loc, msg);
-                Effects::done(
-                    Outcome::Read {
-                        value: (*value).clone(),
-                        wid,
-                    },
-                    Some(OpRecord::read(loc, (*value).clone(), wid)),
-                )
-            }
-            Some(CausalPending::Write { loc, value, wid }) => {
-                let done = self
-                    .state
-                    .finish_write(std::sync::Arc::clone(&value), wid, msg);
-                Effects::done(
-                    Outcome::Wrote {
-                        wid: done.wid(),
-                        applied: done.is_applied(),
-                    },
-                    Some(OpRecord::write(loc, (*value).clone(), done.wid())),
-                )
-            }
-            None => panic!("reply with no outstanding operation"),
-        }
+        self.deliver_reply(msg)
     }
 
     fn authority(&self, loc: Location) -> NodeId {

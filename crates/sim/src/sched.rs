@@ -157,6 +157,7 @@ pub struct Sim<V: Value, A: Actor<V>> {
     rng: ChaCha8Rng,
     stats: NetStats,
     byte_stats: NetStats,
+    envelope_stats: NetStats,
     recorder: Option<Recorder<V>>,
     wait_mode: WaitMode,
     events_processed: u64,
@@ -191,6 +192,7 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
             rng: ChaCha8Rng::seed_from_u64(opts.seed),
             stats: NetStats::new(n),
             byte_stats: NetStats::new(n),
+            envelope_stats: NetStats::new(n),
             recorder: opts.recorder,
             wait_mode: opts.wait_mode,
             events_processed: 0,
@@ -220,6 +222,16 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
     #[must_use]
     pub fn bytes(&self) -> &NetStats {
         &self.byte_stats
+    }
+
+    /// Per-(node, kind) **physical envelope** counters, one per send
+    /// attempt. Without transport batching this mirrors
+    /// [`Sim::messages`]; with batching, a coalesced run counts once here
+    /// (kind `BATCH`) while its parts still count individually in the
+    /// logical counters — `messages - envelopes` is the coalescing win.
+    #[must_use]
+    pub fn envelopes(&self) -> &NetStats {
+        &self.envelope_stats
     }
 
     /// The actor for node `i` (inspection).
@@ -373,9 +385,25 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
     }
 
     fn send(&mut self, src: NodeId, dst: NodeId, msg: A::Msg) {
-        self.stats.record(src, msg.kind());
-        if let Some(size) = msg.wire_size() {
-            self.byte_stats.record_n(src, msg.kind(), size as u64);
+        // Logical counters see a batch's parts (so ablations stay
+        // batching-invariant); the envelope counter sees one send.
+        match msg.batch_parts() {
+            Some(parts) => {
+                for (kind, size) in parts {
+                    self.stats.record(src, kind);
+                    if let Some(size) = size {
+                        self.byte_stats.record_n(src, kind, size as u64);
+                    }
+                }
+                self.envelope_stats.record(src, kinds::BATCH);
+            }
+            None => {
+                self.stats.record(src, msg.kind());
+                if let Some(size) = msg.wire_size() {
+                    self.byte_stats.record_n(src, msg.kind(), size as u64);
+                }
+                self.envelope_stats.record(src, msg.kind());
+            }
         }
         let delay = self.latency.sample(&mut self.rng, src, dst).max(1);
         let Some(hook) = self.faults.clone() else {

@@ -62,6 +62,12 @@ pub trait Wire: Sized {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
 
     /// The encoded size in bytes.
+    ///
+    /// The default *measures* by encoding into a scratch buffer — correct
+    /// but costing a full encode (and its allocations) just to learn a
+    /// length. Every hot type in this workspace (integers, ids, clocks,
+    /// `Msg`, containers) overrides it with an exact arithmetic answer;
+    /// override it for any payload whose size lands on a measurement path.
     fn encoded_len(&self) -> usize {
         let mut buf = BytesMut::new();
         self.encode(&mut buf);
@@ -125,6 +131,9 @@ impl<T: Wire> Wire for Vec<T> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Wire::encoded_len).sum::<usize>()
+    }
 }
 
 impl<T: Wire> Wire for Option<T> {
@@ -143,6 +152,9 @@ impl<T: Wire> Wire for Option<T> {
             1 => Ok(Some(T::decode(buf)?)),
             d => Err(CodecError::BadDiscriminant(d)),
         }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_len)
     }
 }
 
@@ -280,6 +292,13 @@ impl Wire for memcore::Word {
             2 => Ok(memcore::Word::Bool(bool::decode(buf)?)),
             3 => Ok(memcore::Word::Float(f64::decode(buf)?)),
             d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            memcore::Word::Zero => 1,
+            memcore::Word::Int(_) | memcore::Word::Float(_) => 1 + 8,
+            memcore::Word::Bool(_) => 1 + 1,
         }
     }
 }

@@ -20,6 +20,18 @@ pub trait Tagged {
     fn wire_size(&self) -> Option<usize> {
         None
     }
+
+    /// For a batch envelope, the `(kind, wire_size)` of every logical
+    /// message it carries; `None` (the default) for ordinary payloads.
+    ///
+    /// Transports use this to keep the *logical* per-kind counters
+    /// batching-invariant: a batch records each constituent under its own
+    /// kind and counts as a single send only in the physical-envelope
+    /// counters (under [`memcore::kinds::BATCH`]). Wrapper payloads (e.g. a
+    /// session layer) should forward the inner payload's answer.
+    fn batch_parts(&self) -> Option<Vec<(&'static str, Option<usize>)>> {
+        None
+    }
 }
 
 /// A message in flight: payload plus source and destination.

@@ -35,6 +35,7 @@ struct Inner<M> {
     mailboxes: Vec<Mutex<Option<Receiver<Envelope<M>>>>>,
     msgs: NetStats,
     bytes: NetStats,
+    envelopes: NetStats,
     fault: Mutex<Option<Arc<dyn FaultHook>>>,
     // Logical clock for fault hooks: the thread transport has no simulated
     // time, so each send gets a fresh tick.
@@ -103,6 +104,7 @@ impl<M: Tagged> Network<M> {
                 mailboxes,
                 msgs: NetStats::new(n),
                 bytes: NetStats::new(n),
+                envelopes: NetStats::new(n),
                 fault: Mutex::new(None),
                 ticks: AtomicU64::new(0),
             }),
@@ -167,6 +169,18 @@ impl<M: Tagged> Network<M> {
     pub fn bytes(&self) -> &NetStats {
         &self.inner.bytes
     }
+
+    /// The per-(node, kind) *physical envelope* counters.
+    ///
+    /// One entry per [`send`](Network::send): a batch payload counts once
+    /// under [`kinds::BATCH`] here while its constituents land in
+    /// [`messages`](Network::messages) under their own kinds. Without
+    /// batching this mirrors `messages` exactly, so
+    /// `messages - envelopes` is the coalescing win.
+    #[must_use]
+    pub fn envelopes(&self) -> &NetStats {
+        &self.inner.envelopes
+    }
 }
 
 impl<M: Tagged + Clone> Network<M> {
@@ -192,9 +206,26 @@ impl<M: Tagged + Clone> Network<M> {
     ///
     /// Panics if `src` or `dst` is out of range.
     pub fn send(&self, src: NodeId, dst: NodeId, payload: M) -> Result<(), SendError> {
-        self.inner.msgs.record(src, payload.kind());
-        if let Some(size) = payload.wire_size() {
-            self.inner.bytes.record_n(src, payload.kind(), size as u64);
+        // Logical counts are batching-invariant: a batch records each
+        // constituent under its own kind and only the envelope counter sees
+        // the single physical send.
+        match payload.batch_parts() {
+            Some(parts) => {
+                for (kind, size) in parts {
+                    self.inner.msgs.record(src, kind);
+                    if let Some(size) = size {
+                        self.inner.bytes.record_n(src, kind, size as u64);
+                    }
+                }
+                self.inner.envelopes.record(src, kinds::BATCH);
+            }
+            None => {
+                self.inner.msgs.record(src, payload.kind());
+                if let Some(size) = payload.wire_size() {
+                    self.inner.bytes.record_n(src, payload.kind(), size as u64);
+                }
+                self.inner.envelopes.record(src, payload.kind());
+            }
         }
         let hook = self.inner.fault.lock().clone();
         let Some(hook) = hook else {
@@ -313,6 +344,48 @@ mod tests {
         assert_eq!(snap.get(p(0), "READ"), 1);
         assert_eq!(snap.get(p(0), "R_REPLY"), 1);
         assert_eq!(net.bytes().snapshot().node_total(p(0)), 10);
+    }
+
+    #[test]
+    fn batch_payloads_split_logical_and_physical_counters() {
+        #[derive(Clone, Debug)]
+        struct Wrapper(Vec<Msg>);
+        impl Tagged for Wrapper {
+            fn kind(&self) -> &'static str {
+                kinds::BATCH
+            }
+            fn batch_parts(&self) -> Option<Vec<(&'static str, Option<usize>)>> {
+                Some(self.0.iter().map(|m| (m.kind(), m.wire_size())).collect())
+            }
+        }
+
+        let net: Network<Wrapper> = Network::new(2);
+        let mb = net.take_mailbox(p(1));
+        net.send(p(0), p(1), Wrapper(vec![Msg::Read(1), Msg::Read(2), Msg::Reply(1)]))
+            .unwrap();
+        // One physical envelope arrives…
+        assert_eq!(mb.recv().unwrap().payload.0.len(), 3);
+        // …but the logical counters saw the three constituents.
+        let msgs = net.messages().snapshot();
+        assert_eq!(msgs.get(p(0), "READ"), 2);
+        assert_eq!(msgs.get(p(0), "R_REPLY"), 1);
+        assert_eq!(msgs.get(p(0), kinds::BATCH), 0);
+        assert_eq!(net.bytes().snapshot().node_total(p(0)), 15);
+        let envs = net.envelopes().snapshot();
+        assert_eq!(envs.get(p(0), kinds::BATCH), 1);
+        assert_eq!(envs.node_total(p(0)), 1);
+    }
+
+    #[test]
+    fn unbatched_sends_mirror_into_envelope_counters() {
+        let net: Network<Msg> = Network::new(2);
+        let _mb = net.take_mailbox(p(1));
+        net.send(p(0), p(1), Msg::Read(1)).unwrap();
+        net.send(p(0), p(1), Msg::Reply(1)).unwrap();
+        assert_eq!(
+            net.envelopes().snapshot().by_kind(),
+            net.messages().snapshot().by_kind()
+        );
     }
 
     #[test]
