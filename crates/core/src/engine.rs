@@ -257,8 +257,18 @@ impl<V: Value> CausalCluster<V> {
                                             p.owner = None;
                                         }
                                         drop(p);
-                                        node.pipeline_cv.notify_all();
+                                    } else {
+                                        // flush() waits on
+                                        // `nonblocking_count` under the
+                                        // pipeline mutex; touching the
+                                        // mutex between the decrement and
+                                        // the notify makes that wait
+                                        // lost-wakeup-free (a waiter
+                                        // either sees the new count or is
+                                        // already parked on the condvar).
+                                        drop(node.pipeline.lock());
                                     }
+                                    node.pipeline_cv.notify_all();
                                 }
                                 None => {
                                     let _ = reply_tx.send(reply);
@@ -537,14 +547,6 @@ impl<V: Value> CausalHandle<V> {
         self.owner_of(loc) == self.node
     }
 
-    /// Whether the node's write pipeline has nothing outstanding (always
-    /// true when pipelining is disabled). Used to keep the lock-free
-    /// owner-local write fast path sound: it must not run while pipelined
-    /// increments are in flight.
-    fn pipeline_idle(&self, node: &NodeShared<V>) -> bool {
-        self.inner.config.pipeline_window() == 0 || node.pipeline.lock().in_flight == 0
-    }
-
     /// Puts a buffered run on the wire as one envelope (a single message,
     /// or [`Msg::Batch`] for runs of two or more). Rolls back the run's
     /// window slots and registry entries if the transport is down. Caller
@@ -569,6 +571,18 @@ impl<V: Value> CausalHandle<V> {
             Msg::Batch(run)
         };
         if self.inner.net.send(self.node, owner, envelope).is_err() {
+            // A failed send means the network has shut down, which is
+            // terminal for the session: every later operation on this
+            // handle also fails with `Shutdown`, and no reply will ever
+            // arrive for any member of the run. That is what makes it
+            // sound to unregister the *entire* run — including earlier
+            // `write_pipelined` calls that already returned `Ok(wid)` to
+            // their callers (their VT increments and optimistic cache
+            // installs stay applied) — rather than only the write being
+            // issued: nothing can observe the orphaned registrations, and
+            // leaving them would wedge a later `flush()` on replies that
+            // cannot come. If sends ever become retryable, this must be
+            // narrowed to the failing write only.
             let mut registry = node.nonblocking.lock();
             for wid in &wids {
                 if registry.remove(wid).is_some() {
@@ -623,7 +637,14 @@ impl<V: Value> CausalHandle<V> {
                     .pipeline_cv
                     .wait_timeout(guard, budget)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                if timeout.timed_out() && guard.in_flight > 0 {
+                // Both waiters funnel through here: the window/drain loops
+                // (in_flight) and flush()'s raw non-blocking barrier
+                // (nonblocking_count) — a full budget with either still
+                // outstanding means the reply is not coming.
+                if timeout.timed_out()
+                    && (guard.in_flight > 0
+                        || node.nonblocking_count.load(Ordering::Acquire) > 0)
+                {
                     return Err(MemoryError::Timeout { owner });
                 }
                 Ok(guard)
@@ -703,13 +724,31 @@ impl<V: Value> CausalHandle<V> {
         // recorder is installed (the recorder flattens a node's handles
         // into one program order, which only the operation lock provides)
         // and while the write pipeline is active (a local write must not
-        // stamp its page with in-flight increments; see below).
-        if self.inner.recorder.is_none() && self.owns_locally(loc) && self.pipeline_idle(node) {
-            let step = node.state.write().begin_write_shared(loc, value);
-            match step {
-                WriteStep::Done { wid } => return Ok(WriteDone::Applied { wid }),
-                WriteStep::Remote { .. } => unreachable!("owner-local write cannot go remote"),
+        // stamp its page with in-flight increments; see below). The
+        // idleness check must hold *across* the state mutation:
+        // `write_pipelined` ticks `VT_i` with the pipeline lock held, so
+        // the fast path keeps that lock from the `in_flight` check through
+        // `begin_write_shared` — releasing it in between would let a
+        // concurrent pipelined write (which skips `op_lock` contention by
+        // running on another handle) slip an uncertified increment into
+        // the stamp this write later exports via R_REPLY.
+        if self.inner.recorder.is_none() && self.owns_locally(loc) {
+            let pipeline =
+                (self.inner.config.pipeline_window() > 0).then(|| node.pipeline.lock());
+            if pipeline.as_ref().is_none_or(|p| p.in_flight == 0) {
+                // `value` moves here; fine, because both arms below
+                // diverge — the non-idle fall-through never reaches this.
+                let step = node.state.write().begin_write_shared(loc, value);
+                drop(pipeline);
+                match step {
+                    WriteStep::Done { wid } => return Ok(WriteDone::Applied { wid }),
+                    WriteStep::Remote { .. } => {
+                        unreachable!("owner-local write cannot go remote")
+                    }
+                }
             }
+            // Pipeline non-idle: fall through to the slow path, which
+            // drains under the operation lock.
         }
         let _op = node.op_lock.lock();
         if self.inner.config.pipeline_window() > 0 {
@@ -906,10 +945,12 @@ impl<V: Value> CausalHandle<V> {
         Ok(wid)
     }
 
-    /// Pipeline barrier: sends anything still buffered and blocks until
-    /// every pipelined (and raw non-blocking) write's reply this pipeline
-    /// tracks has been received and absorbed into `VT_i`. A no-op when
-    /// the pipeline is idle or disabled.
+    /// Write barrier: sends anything still buffered and blocks until the
+    /// reply to every outstanding asynchronous write — pipelined *and*
+    /// raw [`CausalHandle::write_nonblocking`] — has been received and
+    /// absorbed into `VT_i`. Works whether or not pipelining is enabled
+    /// (raw non-blocking writes need no window); a no-op when nothing is
+    /// outstanding.
     ///
     /// # Errors
     ///
@@ -919,13 +960,17 @@ impl<V: Value> CausalHandle<V> {
     /// expires first (fatal for the handle's session, as with any other
     /// timed-out operation).
     pub fn flush(&self) -> Result<(), MemoryError> {
-        if self.inner.config.pipeline_window() == 0 {
-            return Ok(());
-        }
         let node = &self.inner.nodes[self.node.index()];
         let _op = node.op_lock.lock();
         let p = node.pipeline.lock();
-        drop(self.drain_pipeline_locked(node, p)?);
+        let mut p = self.drain_pipeline_locked(node, p)?;
+        // Raw non-blocking writes live in the registry but not the
+        // window; the server's pipeline-lock touch before notifying (see
+        // the absorb path) makes this wait lost-wakeup-free.
+        while node.nonblocking_count.load(Ordering::Acquire) > 0 {
+            p = self.pipeline_wait(node, p)?;
+        }
+        drop(p);
         Ok(())
     }
 
@@ -957,24 +1002,34 @@ impl<V: Value> CausalHandle<V> {
             }
         }
         let _op = node.op_lock.lock();
-        if self.inner.config.pipeline_window() > 0 && !self.owns_locally(loc) {
-            let owner = self.owner_of(loc);
-            let p = node.pipeline.lock();
-            // Read-your-own-write guard: a miss on a page served by the
-            // pipeline's owner could fetch a copy that predates our
-            // in-flight writes (program-order violation). Drain before
-            // any read that will miss toward that owner; misses toward
-            // *other* owners are safe (the READ carries no timestamp, and
-            // any copy stamped with our increments must postdate the
-            // owner installing our write).
-            if p.in_flight > 0
-                && p.owner == Some(owner)
-                && !node.state.read().has_valid_copy(loc)
-            {
-                drop(self.drain_pipeline_locked(node, p)?);
+        // Read-your-own-write guard: a miss on a page served by the
+        // pipeline's owner could fetch a copy predating our in-flight
+        // writes, or send a READ that overtakes WRITEs still buffered in
+        // the batcher (program-order violation either way). The decision
+        // must be atomic with the miss itself — checking validity *before*
+        // `begin_read` leaves a window in which the server thread (serving
+        // another node's WRITE, or absorbing a reply under
+        // WriterInvalidate) invalidates the copy — so classify first, and
+        // on a miss toward the pipeline's owner drain under the pipeline
+        // lock and re-run the read (absorbed replies may have repaired the
+        // copy into a hit). `in_flight` cannot grow back while we hold the
+        // operation lock, so the loop runs at most twice. Misses toward
+        // *other* owners overlap safely: the READ carries no timestamp,
+        // and any copy stamped with our increments must postdate the owner
+        // installing our write.
+        let step = loop {
+            let step = node.state.write().begin_read(loc);
+            if self.inner.config.pipeline_window() > 0 {
+                if let ReadStep::Miss { owner, .. } = &step {
+                    let p = node.pipeline.lock();
+                    if p.in_flight > 0 && p.owner == Some(*owner) {
+                        drop(self.drain_pipeline_locked(node, p)?);
+                        continue;
+                    }
+                }
             }
-        }
-        let step = node.state.write().begin_read(loc);
+            break step;
+        };
         let (value, wid) = match step {
             ReadStep::Hit { value, wid } => (value, wid),
             ReadStep::Miss { owner, request } => {

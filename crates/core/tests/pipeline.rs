@@ -150,6 +150,85 @@ fn batching_coalesces_envelopes_but_not_logical_counts() {
 }
 
 #[test]
+fn flush_is_a_barrier_for_raw_nonblocking_writes() {
+    // flush() documents covering raw write_nonblocking replies too — even
+    // with the pipeline disabled (window 0, the default). After the
+    // barrier nothing may be outstanding and the owner must hold the
+    // final value.
+    let cluster = CausalCluster::<Word>::builder(2, 4).build().unwrap();
+    let p0 = cluster.handle(0);
+    for i in 0..50 {
+        p0.write_nonblocking(loc(1), Word::Int(i)).unwrap();
+    }
+    p0.flush().unwrap();
+    assert_eq!(
+        cluster.pending_nonblocking(0),
+        0,
+        "flush returned with non-blocking replies still outstanding"
+    );
+    assert_eq!(*cluster.handle(1).read_shared(loc(1)).unwrap(), Word::Int(49));
+
+    // And with pipelining on, one barrier covers both kinds at once.
+    let cluster = CausalCluster::<Word>::builder(2, 4)
+        .configure(|c| c.pipeline_window(4))
+        .build()
+        .unwrap();
+    let p0 = cluster.handle(0);
+    for i in 0..10 {
+        p0.write_nonblocking(loc(1), Word::Int(i)).unwrap();
+        p0.write_pipelined(loc(3), Word::Int(i)).unwrap();
+    }
+    p0.flush().unwrap();
+    assert_eq!(cluster.pending_nonblocking(0), 0);
+    assert_eq!(*cluster.handle(1).read_shared(loc(3)).unwrap(), Word::Int(9));
+}
+
+#[test]
+fn local_fast_path_and_pipeline_race_without_deadlock() {
+    // The owner-local write fast path now takes the pipeline lock across
+    // its state mutation (closing the TOCTOU with write_pipelined's VT
+    // tick). Hammer the two paths from separate handles of the same node
+    // — no recorder, so the fast path is live — while a third node reads
+    // both pages, to exercise the new lock ordering under contention.
+    let cluster = CausalCluster::<Word>::builder(3, 6)
+        .configure(|c| c.pipeline_window(8).batching(true))
+        .build()
+        .unwrap();
+    const N: i64 = 2_000;
+    std::thread::scope(|scope| {
+        let pipeliner = cluster.handle(0);
+        scope.spawn(move || {
+            for i in 0..N {
+                // Page owned by node 1: goes through the pipeline.
+                pipeliner.write_pipelined(loc(1), Word::Int(i)).unwrap();
+            }
+            pipeliner.flush().unwrap();
+        });
+        let local = cluster.handle(0);
+        scope.spawn(move || {
+            for i in 0..N {
+                // Page owned by node 0: eligible for the fast path.
+                local.write(loc(0), Word::Int(i)).unwrap();
+            }
+        });
+        let reader = cluster.handle(2);
+        scope.spawn(move || {
+            for _ in 0..200 {
+                reader.read(loc(0)).unwrap();
+                reader.read(loc(1)).unwrap();
+                reader.discard(loc(0));
+                reader.discard(loc(1));
+            }
+        });
+    });
+    let p0 = cluster.handle(0);
+    p0.flush().unwrap();
+    assert_eq!(cluster.pending_nonblocking(0), 0);
+    assert_eq!(*p0.read_shared(loc(0)).unwrap(), Word::Int(N - 1));
+    assert_eq!(*cluster.handle(1).read_shared(loc(1)).unwrap(), Word::Int(N - 1));
+}
+
+#[test]
 fn same_owner_blocking_write_rides_behind_the_pipeline() {
     // A blocking write to the pipeline's owner does not drain the window
     // (FIFO keeps it ordered); its reply must still find its way back to
