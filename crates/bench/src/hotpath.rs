@@ -20,6 +20,12 @@
 //! * `bursty_invalidate_{plain,batched}` — bursts of pipelined writes to
 //!   one hot owner with transport batching off/on; identical logical
 //!   counters, fewer physical envelopes per op when batched (gated).
+//! * `failover_migration` — owner failover enabled, the owner of the hot
+//!   page fail-stops, and the cell reports the time to the first
+//!   operation that succeeds against the promoted successor plus the
+//!   heartbeat traffic per post-crash op. Recovery time is dominated by
+//!   the configured suspicion/backoff budgets, not by hot-path code, so
+//!   this cell is excluded from the CI regression gate (`gated: false`).
 //!
 //! Run via `cargo run --release -p dsm-bench --bin perf`; pass
 //! `--features alloc-count` to measure allocations with the counting
@@ -673,6 +679,97 @@ pub fn bursty_invalidate(
     report(&format!("bursty_invalidate_{tag}"), seed, m, delta, envs, true)
 }
 
+/// `node` is unreachable forever — the bench's fail-stop model (the
+/// node's threads keep running; the transport discards everything
+/// addressed to it, which is indistinguishable from death to its peers).
+struct BenchDeadNode(u32);
+
+impl simnet::FaultHook for BenchDeadNode {
+    fn down_until(&self, node: memcore::NodeId, _at: u64) -> Option<u64> {
+        (node.index() as u32 == self.0).then_some(u64::MAX)
+    }
+}
+
+/// Owner-failover recovery cell: a 3-node cluster with failover enabled
+/// runs warm traffic against node 0's pages, node 0 fail-stops, and the
+/// cell times the first operation that completes against the promoted
+/// successor (suspicion + epoch migration + retry — the availability gap
+/// the tentpole bounds). The post-crash phase then measures the steady
+/// running cost: heartbeat messages per operation show up in
+/// `overhead_msgs`/`msgs_per_op`.
+///
+/// `elapsed_ns` *is* the recovery gap (and `ops_per_sec` its inverse);
+/// p50/p99 cover the post-crash steady ops. Excluded from the regression
+/// gate — the number tracks the configured suspicion and backoff
+/// budgets, not hot-path code.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to build or an operation errors (a
+/// post-crash error means failover itself is broken).
+#[must_use]
+pub fn failover_migration(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
+    const LOCATIONS: u32 = 6;
+    let steady_ops: u64 = if cfg.quick { 64 } else { 256 };
+    // Milliseconds-scale budgets so the cell runs in bench time; the
+    // *shape* (suspect after interval × threshold, exponential backoff)
+    // matches production defaults.
+    let fo = causal_dsm::FailoverConfig {
+        heartbeat_interval: 10,
+        suspicion_threshold: 2,
+        backoff_base: 2,
+        backoff_max: 16,
+        max_retries: 8,
+    };
+    let cluster = CausalCluster::<memcore::Word>::builder(3, LOCATIONS)
+        .configure(|c| c.failover(fo))
+        .build()
+        .expect("build cluster");
+    let h2 = cluster.handle(2);
+    let hot = Location::new(0); // page 0: owned by node 0, successor node 1
+
+    // Warm phase: certified writes give the successor a shadow to
+    // promote from, so the measured gap includes no cold-start reads.
+    for i in 0..8 {
+        h2.write(hot, memcore::Word::Int(i)).expect("warm write");
+    }
+
+    // The owner dies. The next operation eats the timeout, migrates the
+    // page, retries against the successor — that whole gap is the number.
+    cluster.set_fault_hook(Some(std::sync::Arc::new(BenchDeadNode(0))));
+    let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
+    let start = Instant::now();
+    h2.write(hot, memcore::Word::Int(1000)).expect("recovery write");
+    let recovery_ns = start.elapsed().as_nanos() as u64;
+
+    // Post-crash steady state: ownership has migrated; these ops measure
+    // the failover layer's running overhead (heartbeats keep flowing).
+    let mut lat: Vec<u64> = Vec::with_capacity(steady_ops as usize);
+    for i in 0..steady_ops {
+        let t = Instant::now();
+        h2.write(hot, memcore::Word::Int(2000 + i as i64))
+            .expect("steady write");
+        lat.push(t.elapsed().as_nanos() as u64);
+    }
+    let delta = cluster.messages().snapshot().since(&base);
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    lat.sort_unstable();
+    let m = Measured {
+        ops: 1, // the recovery op — elapsed_ns is the availability gap
+        executed: 1 + steady_ops,
+        elapsed_ns: recovery_ns,
+        p50_ns: percentile(&lat, 0.50),
+        p99_ns: percentile(&lat, 0.99),
+        allocs_per_op: -1.0,
+        alloc_bytes_per_op: -1.0,
+    };
+    cluster.set_fault_hook(None);
+    let out = report("failover_migration", seed, m, delta, envs, false);
+    cluster.shutdown();
+    out
+}
+
 /// Runs the whole suite: every workload on every seed for the mode.
 #[must_use]
 pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
@@ -697,6 +794,10 @@ pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
         for batching in [false, true] {
             workloads.push(best_of(reps, || bursty_invalidate(seed, cfg, probe, batching)));
         }
+        // One rep: the cell reports a recovery *gap*, not a throughput —
+        // best-of selection over ops_per_sec would just pick the shortest
+        // gap, and the cell is ungated anyway.
+        workloads.push(failover_migration(seed, cfg));
     }
     PerfReport {
         schema: 1,
@@ -874,6 +975,18 @@ mod tests {
             batched.envelopes_per_op,
             plain.envelopes_per_op
         );
+    }
+
+    #[test]
+    fn failover_migration_reports_the_recovery_gap() {
+        let w = failover_migration(7, &tiny());
+        assert!(!w.gated, "recovery time must stay outside the perf gate");
+        assert!(w.elapsed_ns > 0, "the gap is a real wall-clock interval");
+        // Heartbeats (and the SUSPECT broadcast) are overhead traffic the
+        // cell exists to expose.
+        assert!(w.overhead_msgs > 0, "failover overhead must be visible");
+        let heartbeats = w.msgs_by_kind.get(memcore::kinds::HEARTBEAT);
+        assert!(heartbeats.is_some_and(|&n| n > 0), "{:?}", w.msgs_by_kind);
     }
 
     #[test]

@@ -41,6 +41,61 @@ pub enum WritePolicy {
     OwnerFavored,
 }
 
+/// Configuration of the owner-failover layer: heartbeat failure detection,
+/// hot-standby replication to each page's deterministic successor, and
+/// epoch-stamped ownership migration (see `docs/FAULTS.md` §4).
+///
+/// Attached via [`CausalConfigBuilder::failover`]; absent (the default),
+/// the protocol is byte-identical to Figure 4 — no heartbeats, no stamps,
+/// no shadow copies.
+///
+/// Time quantities are in transport time units: simulator ticks under the
+/// deterministic simulator, milliseconds under the threaded engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Interval between liveness probes to every peer.
+    pub heartbeat_interval: u64,
+    /// Consecutive missed heartbeat intervals before a peer is suspected
+    /// and its pages migrate to their successors.
+    pub suspicion_threshold: u32,
+    /// Base delay of the exponential retry backoff after a timed-out or
+    /// NACKed owner round-trip.
+    pub backoff_base: u64,
+    /// Ceiling of the exponential retry backoff.
+    pub backoff_max: u64,
+    /// Retries (redirects or timeouts) an operation consumes before
+    /// surfacing [`memcore::MemoryError::Timeout`].
+    pub max_retries: u32,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            heartbeat_interval: 25,
+            suspicion_threshold: 4,
+            backoff_base: 10,
+            backoff_max: 400,
+            max_retries: 8,
+        }
+    }
+}
+
+impl FailoverConfig {
+    /// The retry backoff before attempt `attempt` (0-based), with a small
+    /// deterministic jitter derived from `salt` so colliding retriers
+    /// spread out identically on replay.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32, salt: u64) -> u64 {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.backoff_max);
+        // Deterministic jitter in [0, exp/4]: a cheap hash of the salt.
+        let jitter = (salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) % (exp / 4 + 1);
+        exp + jitter
+    }
+}
+
 /// Full configuration of a causal DSM instance.
 ///
 /// Build with [`CausalConfig::builder`].
@@ -58,6 +113,7 @@ pub struct CausalConfig<V> {
     owner_retries: u32,
     pipeline_window: u32,
     batching: bool,
+    failover: Option<FailoverConfig>,
 }
 
 impl<V: Value> CausalConfig<V> {
@@ -180,6 +236,13 @@ impl<V: Value> CausalConfig<V> {
     pub fn batching(&self) -> bool {
         self.batching
     }
+
+    /// The owner-failover layer's configuration, or `None` (the default)
+    /// for the paper's static-ownership protocol.
+    #[must_use]
+    pub fn failover(&self) -> Option<FailoverConfig> {
+        self.failover
+    }
 }
 
 impl<V> fmt::Debug for CausalConfig<V> {
@@ -196,6 +259,7 @@ impl<V> fmt::Debug for CausalConfig<V> {
             .field("owner_retries", &self.owner_retries)
             .field("pipeline_window", &self.pipeline_window)
             .field("batching", &self.batching)
+            .field("failover", &self.failover)
             .finish()
     }
 }
@@ -230,6 +294,7 @@ pub struct CausalConfigBuilder<V> {
     owner_retries: u32,
     pipeline_window: u32,
     batching: bool,
+    failover: Option<FailoverConfig>,
 }
 
 impl<V: Value + Default> CausalConfigBuilder<V> {
@@ -250,6 +315,7 @@ impl<V: Value + Default> CausalConfigBuilder<V> {
             owner_retries: 0,
             pipeline_window: 0,
             batching: false,
+            failover: None,
         }
     }
 }
@@ -354,6 +420,15 @@ impl<V: Value> CausalConfigBuilder<V> {
         self
     }
 
+    /// Enables the owner-failover layer with the given knobs (default:
+    /// disabled — static ownership, exactly Figure 4). See
+    /// [`FailoverConfig`].
+    #[must_use]
+    pub fn failover(mut self, failover: FailoverConfig) -> Self {
+        self.failover = Some(failover);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -382,6 +457,7 @@ impl<V: Value> CausalConfigBuilder<V> {
             owner_retries: self.owner_retries,
             pipeline_window: self.pipeline_window,
             batching: self.batching,
+            failover: self.failover,
         }
     }
 }
@@ -450,6 +526,26 @@ mod tests {
             .build();
         assert_eq!(config.pipeline_window(), 8);
         assert!(config.batching());
+    }
+
+    #[test]
+    fn failover_defaults_off_and_backoff_is_bounded() {
+        let config = CausalConfig::<Word>::builder(2, 4).build();
+        assert_eq!(config.failover(), None, "failover must be opt-in");
+        let fo = FailoverConfig::default();
+        let config = CausalConfig::<Word>::builder(2, 4).failover(fo).build();
+        assert_eq!(config.failover(), Some(fo));
+        // Backoff grows, saturates at the ceiling (+ jitter ≤ 25%), and is
+        // deterministic per (attempt, salt).
+        let b0 = fo.backoff(0, 1);
+        let b3 = fo.backoff(3, 1);
+        assert!(b3 >= b0);
+        for attempt in 0..40 {
+            let b = fo.backoff(attempt, 7);
+            assert!(b <= fo.backoff_max + fo.backoff_max / 4, "{b}");
+            assert_eq!(b, fo.backoff(attempt, 7));
+        }
+        assert_ne!(fo.backoff(2, 1), fo.backoff(2, 2), "jitter must vary by salt");
     }
 
     #[test]

@@ -12,19 +12,42 @@
 //! the paper asks for (and what makes the protocol deadlock-free).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use memcore::{Location, MemoryError, NetStats, NodeId, OpRecord, Recorder, SharedMemory, Value};
+use memcore::{
+    Location, MemoryError, NetStats, NodeId, OpRecord, PageId, Recorder, SharedMemory, Value,
+    WriteId,
+};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use simnet::{BatchPolicy, Batcher, Network};
 use vclock::VectorClock;
 
-use crate::config::{CausalConfig, CausalConfigBuilder};
+use crate::config::{CausalConfig, CausalConfigBuilder, FailoverConfig};
 use crate::msg::Msg;
 use crate::state::{CausalState, ReadStep, WriteDone, WriteStep};
+
+/// What reply the one outstanding owner round-trip is waiting for. Replies
+/// are recognized by *content* — the page of a READ, the unique tag of a
+/// WRITE — so a stale reply left over from a previously timed-out
+/// operation is silently discarded instead of being misattributed (the
+/// regression `Timeout` used to make unrecoverable). Under failover the
+/// op stamp is matched as well.
+#[derive(Clone, Copy, Debug)]
+enum Want {
+    Read { page: PageId },
+    Write { wid: WriteId },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Expected {
+    /// The op id the reply must echo (failover only).
+    op: Option<u64>,
+    want: Want,
+}
 
 /// Sender-side state of the bounded write pipeline: which owner the open
 /// window points at, how many pipelined writes are outstanding toward it
@@ -100,6 +123,9 @@ struct ClusterInner<V: Value> {
     nodes: Vec<Arc<NodeShared<V>>>,
     recorder: Option<Recorder<V>>,
     servers: Mutex<Vec<JoinHandle<()>>>,
+    /// Signals the heartbeat tickers (spawned only with failover
+    /// configured) to exit.
+    stop: Arc<AtomicBool>,
 }
 
 /// A running causal DSM: `n` nodes connected by a reliable FIFO network,
@@ -219,11 +245,17 @@ impl<V: Value> CausalCluster<V> {
         }
 
         let mut servers = Vec::with_capacity(n);
+        let stop = Arc::new(AtomicBool::new(false));
+        // Shared transport clock for the failure detector (milliseconds
+        // since cluster start).
+        let clock_start = Instant::now();
+        let failover = config.failover();
         for (i, (node, reply_tx)) in nodes.iter().zip(reply_txs).enumerate() {
             let me = NodeId::new(i as u32);
             let mailbox = net.take_mailbox(me);
             let node = Arc::clone(node);
             let net = net.clone();
+            let failover_on = failover.is_some();
             servers.push(
                 std::thread::Builder::new()
                     .name(format!("causal-node-{i}"))
@@ -276,8 +308,43 @@ impl<V: Value> CausalCluster<V> {
                             }
                         };
                         while let Some(env) = mailbox.recv() {
+                            if failover_on && env.src != me {
+                                // Any message is liveness evidence.
+                                let now = clock_start.elapsed().as_millis() as u64;
+                                node.state.write().record_alive(env.src, now);
+                            }
                             match env.payload {
                                 Msg::Halt => break,
+                                Msg::Heartbeat { .. } => {}
+                                Msg::Suspect { suspect, epochs } => {
+                                    let mut st = node.state.write();
+                                    st.absorb_suspect(suspect, &epochs);
+                                    let repl = st.take_replications();
+                                    drop(st);
+                                    for (dst, msg) in repl {
+                                        let _ = net.send(me, dst, msg);
+                                    }
+                                }
+                                Msg::Replicate {
+                                    page,
+                                    vt,
+                                    slots,
+                                    origins,
+                                } => {
+                                    node.state.write().apply_replicate(page, vt, slots, origins);
+                                }
+                                Msg::Stamped { epoch, op, inner } if inner.is_request() => {
+                                    let mut st = node.state.write();
+                                    let reply = st.serve_stamped(env.src, epoch, op, *inner);
+                                    let repl = st.take_replications();
+                                    drop(st);
+                                    if let Some(reply) = reply {
+                                        let _ = net.send(me, env.src, reply);
+                                    }
+                                    for (dst, msg) in repl {
+                                        let _ = net.send(me, dst, msg);
+                                    }
+                                }
                                 Msg::Batch(parts) => {
                                     // A transport batch is semantically its
                                     // parts, in order. Requests are served
@@ -324,6 +391,69 @@ impl<V: Value> CausalCluster<V> {
             );
         }
 
+        if let Some(fo) = failover {
+            for (i, node) in nodes.iter().enumerate() {
+                let me = NodeId::new(i as u32);
+                let node = Arc::clone(node);
+                let net = net.clone();
+                let stop = Arc::clone(&stop);
+                servers.push(
+                    std::thread::Builder::new()
+                        .name(format!("causal-heartbeat-{i}"))
+                        .spawn(move || {
+                            while !stop.load(Ordering::Relaxed) {
+                                std::thread::sleep(Duration::from_millis(fo.heartbeat_interval));
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                let now = clock_start.elapsed().as_millis() as u64;
+                                let (hb, broadcasts, repl) = {
+                                    let mut st = node.state.write();
+                                    let hb = st.heartbeat_msg();
+                                    let newly = st.check_suspicions(now);
+                                    let mut broadcasts = Vec::new();
+                                    for suspect in newly {
+                                        let epochs = st.suspect(suspect);
+                                        if !epochs.is_empty() {
+                                            broadcasts.push((suspect, epochs));
+                                        }
+                                    }
+                                    (hb, broadcasts, st.take_replications())
+                                };
+                                let n = u32::try_from(net.len()).unwrap_or(0);
+                                if let Some(hb) = hb {
+                                    for j in 0..n {
+                                        let dst = NodeId::new(j);
+                                        if dst != me {
+                                            let _ = net.send(me, dst, hb.clone());
+                                        }
+                                    }
+                                }
+                                for (suspect, epochs) in broadcasts {
+                                    for j in 0..n {
+                                        let dst = NodeId::new(j);
+                                        if dst != me {
+                                            let _ = net.send(
+                                                me,
+                                                dst,
+                                                Msg::Suspect {
+                                                    suspect,
+                                                    epochs: epochs.clone(),
+                                                },
+                                            );
+                                        }
+                                    }
+                                }
+                                for (dst, msg) in repl {
+                                    let _ = net.send(me, dst, msg);
+                                }
+                            }
+                        })
+                        .expect("spawning heartbeat thread"),
+                );
+            }
+        }
+
         Ok(CausalCluster {
             inner: Arc::new(ClusterInner {
                 config,
@@ -331,6 +461,7 @@ impl<V: Value> CausalCluster<V> {
                 nodes,
                 recorder,
                 servers: Mutex::new(servers),
+                stop,
             }),
         })
     }
@@ -462,6 +593,7 @@ impl<V: Value> CausalCluster<V> {
         if handles.is_empty() {
             return;
         }
+        self.inner.stop.store(true, Ordering::Relaxed);
         for i in 0..self.inner.nodes.len() {
             // Halt is engine-internal; exclude it from protocol counts by
             // sending as the destination itself.
@@ -535,16 +667,40 @@ impl<V: Value> CausalHandle<V> {
         Ok(())
     }
 
-    /// The static owner of `loc`'s page (fixed at configuration time, so
-    /// this needs no lock).
+    /// The current owner of `loc`'s page. Static (lock-free) without
+    /// failover; with failover the node's epoch table decides, under a
+    /// brief shared state lock.
     fn owner_of(&self, loc: Location) -> NodeId {
         let config = &self.inner.config;
-        config.owners().owner_of_page(loc.page(config.page_size()))
+        let page = loc.page(config.page_size());
+        if config.failover().is_some() {
+            self.inner.nodes[self.node.index()].state.read().current_owner(page)
+        } else {
+            config.owners().owner_of_page(page)
+        }
     }
 
-    /// Whether this handle's node statically owns `loc`'s page.
+    /// Whether this handle's node currently owns `loc`'s page.
     fn owns_locally(&self, loc: Location) -> bool {
         self.owner_of(loc) == self.node
+    }
+
+    /// Best-effort fan-out of protocol side traffic (replication shadows,
+    /// suspicion broadcasts).
+    fn send_all(&self, msgs: Vec<(NodeId, Msg<V>)>) {
+        for (dst, msg) in msgs {
+            let _ = self.inner.net.send(self.node, dst, msg);
+        }
+    }
+
+    /// Ships any pending hot-standby shadows after a locally-installed
+    /// write (no-op unless failover is enabled and pages are dirty).
+    fn replicate_after_local_write(&self, node: &NodeShared<V>) {
+        if self.inner.config.failover().is_none() {
+            return;
+        }
+        let repl = node.state.write().take_replications();
+        self.send_all(repl);
     }
 
     /// Puts a buffered run on the wire as one envelope (a single message,
@@ -678,29 +834,169 @@ impl<V: Value> CausalHandle<V> {
         }
     }
 
-    /// Waits for the reply to an outstanding owner round-trip.
+    /// `true` iff `reply` answers the outstanding round-trip described by
+    /// `expect` — anything else in the channel is a stale leftover from a
+    /// previously timed-out operation and must be discarded, not
+    /// misattributed.
+    fn reply_matches(reply: &Msg<V>, expect: &Expected) -> bool {
+        match (expect.op, reply) {
+            (Some(op), Msg::Stamped { op: rop, inner, .. }) => {
+                op == *rop && Self::content_matches(inner, expect.want)
+            }
+            // A NACK echoing our op id is a valid (negative) answer.
+            (Some(op), Msg::Nack { op: rop, .. }) => op == *rop,
+            (None, reply) => Self::content_matches(reply, expect.want),
+            _ => false,
+        }
+    }
+
+    fn content_matches(reply: &Msg<V>, want: Want) -> bool {
+        match (reply, want) {
+            (Msg::ReadReply { page, .. }, Want::Read { page: wanted }) => *page == wanted,
+            (Msg::WriteReply { wid, .. }, Want::Write { wid: wanted }) => *wid == wanted,
+            _ => false,
+        }
+    }
+
+    /// Waits for the reply to the outstanding owner round-trip,
+    /// discarding any non-matching (stale) reply along the way — the
+    /// recovery guarantee that makes [`MemoryError::Timeout`] survivable:
+    /// a late reply to a timed-out operation can never be misattributed
+    /// to the next one.
     ///
     /// Without an [`owner_timeout`](crate::CausalConfigBuilder::owner_timeout)
-    /// this blocks forever (the paper's reliable-network model). With one,
-    /// it waits `1 + owner_retries` windows and then fails with
-    /// [`MemoryError::Timeout`]. A timed-out operation's reply may still
-    /// arrive later and would be misattributed to the node's next blocked
-    /// operation, so callers should treat `Timeout` as fatal for the
-    /// handle's session.
-    fn await_reply(&self, node: &NodeShared<V>, owner: NodeId) -> Result<Msg<V>, MemoryError> {
-        let Some(window) = self.inner.config.owner_timeout() else {
-            return node.replies.recv().map_err(|_| MemoryError::Shutdown);
+    /// this blocks forever (the paper's reliable-network model) unless
+    /// failover is on, in which case one suspicion budget
+    /// (`heartbeat_interval × suspicion_threshold`, in ms) bounds each
+    /// attempt. With an `owner_timeout` and no failover the full retry
+    /// budget (`timeout × (1 + retries)`) applies; under failover each
+    /// attempt gets a single window (retries are driven a level up by
+    /// [`CausalHandle::failover_round_trip`]).
+    fn await_reply(
+        &self,
+        node: &NodeShared<V>,
+        owner: NodeId,
+        expect: &Expected,
+    ) -> Result<Msg<V>, MemoryError> {
+        let window = match (self.inner.config.owner_timeout(), self.inner.config.failover()) {
+            (Some(w), Some(_)) => Some(w),
+            (Some(w), None) => Some(w * (1 + self.inner.config.owner_retries())),
+            (None, Some(fo)) => Some(Duration::from_millis(
+                fo.heartbeat_interval * u64::from(fo.suspicion_threshold),
+            )),
+            (None, None) => None,
         };
-        for _ in 0..=self.inner.config.owner_retries() {
-            match node.replies.recv_timeout(window) {
-                Ok(reply) => return Ok(reply),
-                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                    return Err(MemoryError::Shutdown)
+        let deadline = window.map(|w| Instant::now() + w);
+        loop {
+            let reply = match deadline {
+                None => node.replies.recv().map_err(|_| MemoryError::Shutdown)?,
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    match node.replies.recv_timeout(remaining) {
+                        Ok(reply) => reply,
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                            return Err(MemoryError::Timeout { owner })
+                        }
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                            return Err(MemoryError::Shutdown)
+                        }
+                    }
+                }
+            };
+            if Self::reply_matches(&reply, expect) {
+                return Ok(match reply {
+                    Msg::Stamped { inner, .. } => *inner,
+                    other => other,
+                });
+            }
+            // Stale: drop silently and keep waiting for the real reply.
+        }
+    }
+
+    /// One logical owner round-trip under failover: stamp the request
+    /// with the node's current `(epoch, op)`, send, await. A NACK adopts
+    /// the responder's newer epoch and redirects the retry; a timeout
+    /// counts as suspicion evidence — the silent owner's pages migrate to
+    /// their successors (promoting this node where it is one) and the
+    /// decision is broadcast. Retries back off exponentially with
+    /// deterministic jitter until the reply arrives or
+    /// [`FailoverConfig::max_retries`] is spent.
+    fn failover_round_trip(
+        &self,
+        node: &NodeShared<V>,
+        fo: &FailoverConfig,
+        page: PageId,
+        request: &Msg<V>,
+        want: Want,
+    ) -> Result<Msg<V>, MemoryError> {
+        let mut last_owner = self.node;
+        for attempt in 0..=fo.max_retries {
+            if attempt > 0 {
+                let salt = (u64::from(self.node.index() as u32) << 32) | u64::from(attempt);
+                std::thread::sleep(Duration::from_millis(fo.backoff(attempt - 1, salt)));
+            }
+            let (owner, epoch, op) = {
+                let mut st = node.state.write();
+                (st.current_owner(page), st.epoch_of(page), st.next_op_id())
+            };
+            last_owner = owner;
+            if owner == self.node {
+                // The page migrated to *us* mid-operation (we are its
+                // successor): serve our own request locally.
+                let mut st = node.state.write();
+                let served = st.serve_stamped(self.node, epoch, op, request.clone());
+                let repl = st.take_replications();
+                drop(st);
+                self.send_all(repl);
+                match served {
+                    Some(Msg::Stamped { inner, .. }) => return Ok(*inner),
+                    // Raced with a further migration: re-resolve and retry.
+                    _ => continue,
                 }
             }
+            let env = Msg::Stamped {
+                epoch,
+                op,
+                inner: Box::new(request.clone()),
+            };
+            if self.inner.net.send(self.node, owner, env).is_err() {
+                return Err(MemoryError::Shutdown);
+            }
+            let expect = Expected {
+                op: Some(op),
+                want,
+            };
+            match self.await_reply(node, owner, &expect) {
+                Ok(Msg::Nack {
+                    page: npage, epoch, ..
+                }) => {
+                    node.state.write().observe_epoch(npage, epoch);
+                }
+                Ok(reply) => return Ok(reply),
+                Err(MemoryError::Timeout { .. }) => {
+                    let epochs = node.state.write().suspect(owner);
+                    if !epochs.is_empty() {
+                        for j in 0..self.inner.config.nodes() {
+                            let dst = NodeId::new(j);
+                            if dst != self.node {
+                                let _ = self.inner.net.send(
+                                    self.node,
+                                    dst,
+                                    Msg::Suspect {
+                                        suspect: owner,
+                                        epochs: epochs.clone(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    let repl = node.state.write().take_replications();
+                    self.send_all(repl);
+                }
+                Err(e) => return Err(e),
+            }
         }
-        Err(MemoryError::Timeout { owner })
+        Err(MemoryError::Timeout { owner: last_owner })
     }
 
     /// Performs a write and reports whether it survived concurrent-write
@@ -741,7 +1037,10 @@ impl<V: Value> CausalHandle<V> {
                 let step = node.state.write().begin_write_shared(loc, value);
                 drop(pipeline);
                 match step {
-                    WriteStep::Done { wid } => return Ok(WriteDone::Applied { wid }),
+                    WriteStep::Done { wid } => {
+                        self.replicate_after_local_write(node);
+                        return Ok(WriteDone::Applied { wid });
+                    }
                     WriteStep::Remote { .. } => {
                         unreachable!("owner-local write cannot go remote")
                     }
@@ -775,17 +1074,29 @@ impl<V: Value> CausalHandle<V> {
             .write()
             .begin_write_shared(loc, Arc::clone(&value));
         let done = match step {
-            WriteStep::Done { wid } => WriteDone::Applied { wid },
+            WriteStep::Done { wid } => {
+                self.replicate_after_local_write(node);
+                WriteDone::Applied { wid }
+            }
             WriteStep::Remote {
                 owner,
                 wid,
                 request,
             } => {
-                self.inner
-                    .net
-                    .send(self.node, owner, request)
-                    .map_err(|_| MemoryError::Shutdown)?;
-                let reply = self.await_reply(node, owner)?;
+                let want = Want::Write { wid };
+                let reply = match self.inner.config.failover() {
+                    Some(fo) => {
+                        let page = loc.page(self.inner.config.page_size());
+                        self.failover_round_trip(node, &fo, page, &request, want)?
+                    }
+                    None => {
+                        self.inner
+                            .net
+                            .send(self.node, owner, request)
+                            .map_err(|_| MemoryError::Shutdown)?;
+                        self.await_reply(node, owner, &Expected { op: None, want })?
+                    }
+                };
                 node.state
                     .write()
                     .finish_write(Arc::clone(&value), wid, reply)
@@ -822,6 +1133,11 @@ impl<V: Value> CausalHandle<V> {
         value: V,
     ) -> Result<memcore::WriteId, MemoryError> {
         self.check_bounds(loc)?;
+        if self.inner.config.failover().is_some() {
+            // Raw non-blocking writes carry no epoch stamp; under
+            // failover they go through the protected blocking path.
+            return self.write_resolved(loc, value).map(|done| done.wid());
+        }
         let node = &self.inner.nodes[self.node.index()];
         let value = Arc::new(value);
         let _op = node.op_lock.lock();
@@ -889,10 +1205,14 @@ impl<V: Value> CausalHandle<V> {
     ) -> Result<memcore::WriteId, MemoryError> {
         self.check_bounds(loc)?;
         let window = self.inner.config.pipeline_window() as usize;
-        if window == 0 || self.owns_locally(loc) {
+        if window == 0 || self.owns_locally(loc) || self.inner.config.failover().is_some() {
             // Window 0 is the paper's blocking protocol; owner-local
             // writes are message-free and must drain the pipeline anyway,
-            // which write_resolved's own hook does.
+            // which write_resolved's own hook does. Under failover the
+            // threaded engine degrades pipelined writes to blocking ones —
+            // only the blocking round-trip carries the epoch stamp and
+            // retry machinery (the deterministic simulator supports the
+            // combination; see `dsm-sim`).
             return self.write_resolved(loc, value).map(|done| done.wid());
         }
         let node = &self.inner.nodes[self.node.index()];
@@ -1033,11 +1353,18 @@ impl<V: Value> CausalHandle<V> {
         let (value, wid) = match step {
             ReadStep::Hit { value, wid } => (value, wid),
             ReadStep::Miss { owner, request } => {
-                self.inner
-                    .net
-                    .send(self.node, owner, request)
-                    .map_err(|_| MemoryError::Shutdown)?;
-                let reply = self.await_reply(node, owner)?;
+                let page = loc.page(self.inner.config.page_size());
+                let want = Want::Read { page };
+                let reply = match self.inner.config.failover() {
+                    Some(fo) => self.failover_round_trip(node, &fo, page, &request, want)?,
+                    None => {
+                        self.inner
+                            .net
+                            .send(self.node, owner, request)
+                            .map_err(|_| MemoryError::Shutdown)?;
+                        self.await_reply(node, owner, &Expected { op: None, want })?
+                    }
+                };
                 node.state.write().finish_read(loc, reply)
             }
         };

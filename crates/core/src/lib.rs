@@ -56,11 +56,13 @@
 
 mod config;
 mod engine;
+mod failover;
 mod fxmap;
 mod msg;
 mod state;
 
-pub use config::{CausalConfig, CausalConfigBuilder, InvalidationMode, WritePolicy};
+pub use config::{CausalConfig, CausalConfigBuilder, FailoverConfig, InvalidationMode, WritePolicy};
+pub use failover::owner_at;
 pub use engine::{CausalCluster, CausalClusterBuilder, CausalHandle, ClusterSnapshot};
 pub use msg::{Msg, SlotData, WriteVerdict};
 pub use state::{CausalState, ReadStep, WriteDone, WriteStep};

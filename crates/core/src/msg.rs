@@ -6,7 +6,7 @@ use std::mem;
 use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
-use memcore::{Location, PageId, Value, WriteId};
+use memcore::{Location, NodeId, OwnerEpoch, PageId, Value, WriteId};
 use simnet::codec::{CodecError, Wire};
 use simnet::Tagged;
 use vclock::VectorClock;
@@ -98,17 +98,86 @@ pub enum Msg<V> {
     /// the wire, which pays one envelope header instead of `k` — observe
     /// the batch itself.
     Batch(Vec<Msg<V>>),
+    /// Failover envelope around a request or reply: the sender's view of
+    /// the page's ownership epoch plus a per-node monotonic op id, used to
+    /// validate requests against the current epoch and to discard stale
+    /// replies after a retry.
+    ///
+    /// Only ever sent when the failover layer is enabled, so fault-free
+    /// configurations keep Figure 4's wire traffic byte-identical.
+    Stamped {
+        /// The sender's ownership epoch for the page the inner message
+        /// concerns (replies echo the request's epoch).
+        epoch: OwnerEpoch,
+        /// The sender's op id (replies echo the request's op id).
+        op: u64,
+        /// The Figure-4 message being stamped.
+        inner: Box<Msg<V>>,
+    },
+    /// A failure-detector liveness probe (overhead, counted under
+    /// [`memcore::kinds::HEARTBEAT`]).
+    Heartbeat {
+        /// Monotonic per-sender heartbeat sequence number.
+        seq: u64,
+    },
+    /// A suspicion broadcast: the sender believes `suspect` has crashed and
+    /// has migrated the listed pages to the next epoch. Teaches peers —
+    /// including the suspect itself, once it recovers — the new epochs.
+    Suspect {
+        /// The node believed to have crashed.
+        suspect: NodeId,
+        /// The pages migrated away from the suspect, with their new epochs.
+        epochs: Vec<(PageId, OwnerEpoch)>,
+    },
+    /// A stale-epoch rejection: the receiver is not the page's owner at the
+    /// request's epoch. Carries the receiver's current epoch and the node
+    /// serving the page at that epoch, so the requester can re-stamp and
+    /// redirect its retry.
+    Nack {
+        /// The page the rejected request concerned.
+        page: PageId,
+        /// Echo of the rejected request's op id.
+        op: u64,
+        /// The receiver's current epoch for the page.
+        epoch: OwnerEpoch,
+        /// The owner of the page at that epoch.
+        redirect: NodeId,
+    },
+    /// A hot-standby shadow copy: the owner ships the page's certified
+    /// state to its deterministic successor after serving a write, so a
+    /// promotion always starts from a causally-valid copy.
+    Replicate {
+        /// The shadowed page.
+        page: PageId,
+        /// The page's writestamp at the owner.
+        vt: VectorClock,
+        /// Per-location values and write tags.
+        slots: Vec<SlotData<V>>,
+        /// Per-location origin stamps (the §4.2 concurrency evidence),
+        /// parallel to `slots`.
+        origins: Vec<VectorClock>,
+    },
 }
 
 impl<V> Msg<V> {
-    /// `true` for the request kinds serviced by owners.
+    /// `true` for the request kinds serviced by owners. A stamped message
+    /// classifies as its inner message does.
     pub fn is_request(&self) -> bool {
-        matches!(self, Msg::Read { .. } | Msg::Write { .. })
+        match self {
+            Msg::Read { .. } | Msg::Write { .. } => true,
+            Msg::Stamped { inner, .. } => inner.is_request(),
+            _ => false,
+        }
     }
 
-    /// `true` for the reply kinds consumed by a blocked operation.
+    /// `true` for the reply kinds consumed by a blocked operation. A
+    /// stamped message classifies as its inner message does.
     pub fn is_reply(&self) -> bool {
-        matches!(self, Msg::ReadReply { .. } | Msg::WriteReply { .. })
+        match self {
+            Msg::ReadReply { .. } | Msg::WriteReply { .. } => true,
+            Msg::Stamped { inner, .. } => inner.is_reply(),
+            _ => false,
+        }
     }
 }
 
@@ -121,6 +190,13 @@ impl<V: Value> Tagged for Msg<V> {
             Msg::WriteReply { .. } => "W_REPLY",
             Msg::Halt => "HALT",
             Msg::Batch(_) => memcore::kinds::BATCH,
+            // The stamp is an envelope: counting the inner kind keeps the
+            // §4.1 protocol counts comparable with failover on.
+            Msg::Stamped { inner, .. } => inner.kind(),
+            Msg::Heartbeat { .. } => memcore::kinds::HEARTBEAT,
+            Msg::Suspect { .. } => memcore::kinds::SUSPECT,
+            Msg::Nack { .. } => memcore::kinds::NACK,
+            Msg::Replicate { .. } => memcore::kinds::REPL,
         }
     }
 
@@ -149,6 +225,20 @@ impl<V: Value> Tagged for Msg<V> {
                         .iter()
                         .map(|p| p.wire_size().unwrap_or(0))
                         .sum::<usize>()
+            }
+            Msg::Stamped { inner, .. } => 1 + 4 + 8 + inner.wire_size().unwrap_or(0),
+            Msg::Heartbeat { .. } => 1 + 8,
+            Msg::Suspect { epochs, .. } => 1 + 4 + 4 + epochs.len() * 8,
+            Msg::Nack { .. } => 1 + 4 + 8 + 4 + 4,
+            Msg::Replicate {
+                vt, slots, origins, ..
+            } => {
+                1 + 4
+                    + vt.encoded_len()
+                    + 4
+                    + slots.len() * (value_size + 12)
+                    + 4
+                    + origins.iter().map(VectorClock::encoded_len).sum::<usize>()
             }
         })
     }
@@ -238,6 +328,49 @@ impl<V: Wire> Wire for Msg<V> {
                 buf.put_u8(5);
                 parts.encode(buf);
             }
+            Msg::Stamped { epoch, op, inner } => {
+                buf.put_u8(6);
+                epoch.encode(buf);
+                op.encode(buf);
+                inner.as_ref().encode(buf);
+            }
+            Msg::Heartbeat { seq } => {
+                buf.put_u8(7);
+                seq.encode(buf);
+            }
+            Msg::Suspect { suspect, epochs } => {
+                buf.put_u8(8);
+                suspect.encode(buf);
+                epochs.encode(buf);
+            }
+            Msg::Nack {
+                page,
+                op,
+                epoch,
+                redirect,
+            } => {
+                buf.put_u8(9);
+                page.encode(buf);
+                op.encode(buf);
+                epoch.encode(buf);
+                redirect.encode(buf);
+            }
+            Msg::Replicate {
+                page,
+                vt,
+                slots,
+                origins,
+            } => {
+                buf.put_u8(10);
+                page.encode(buf);
+                vt.encode(buf);
+                (slots.len() as u32).encode(buf);
+                for (value, wid) in slots {
+                    value.encode(buf);
+                    wid.encode(buf);
+                }
+                origins.encode(buf);
+            }
         }
     }
 
@@ -270,6 +403,39 @@ impl<V: Wire> Wire for Msg<V> {
             }),
             4 => Ok(Msg::Halt),
             5 => Ok(Msg::Batch(Vec::decode(buf)?)),
+            6 => Ok(Msg::Stamped {
+                epoch: OwnerEpoch::decode(buf)?,
+                op: u64::decode(buf)?,
+                inner: Box::new(Msg::decode(buf)?),
+            }),
+            7 => Ok(Msg::Heartbeat {
+                seq: u64::decode(buf)?,
+            }),
+            8 => Ok(Msg::Suspect {
+                suspect: NodeId::decode(buf)?,
+                epochs: Vec::decode(buf)?,
+            }),
+            9 => Ok(Msg::Nack {
+                page: PageId::decode(buf)?,
+                op: u64::decode(buf)?,
+                epoch: OwnerEpoch::decode(buf)?,
+                redirect: NodeId::decode(buf)?,
+            }),
+            10 => {
+                let page = PageId::decode(buf)?;
+                let vt = VectorClock::decode(buf)?;
+                let len = u32::decode(buf)? as usize;
+                let mut slots = Vec::with_capacity(len.min(1 << 16));
+                for _ in 0..len {
+                    slots.push((Arc::new(V::decode(buf)?), WriteId::decode(buf)?));
+                }
+                Ok(Msg::Replicate {
+                    page,
+                    vt,
+                    slots,
+                    origins: Vec::decode(buf)?,
+                })
+            }
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
@@ -302,6 +468,39 @@ impl<V: Wire> Wire for Msg<V> {
             }
             Msg::Halt => 1,
             Msg::Batch(parts) => 1 + parts.encoded_len(),
+            Msg::Stamped { epoch, op, inner } => {
+                1 + epoch.encoded_len() + op.encoded_len() + inner.encoded_len()
+            }
+            Msg::Heartbeat { seq } => 1 + seq.encoded_len(),
+            Msg::Suspect { suspect, epochs } => {
+                1 + suspect.encoded_len() + epochs.encoded_len()
+            }
+            Msg::Nack {
+                page,
+                op,
+                epoch,
+                redirect,
+            } => {
+                1 + page.encoded_len()
+                    + op.encoded_len()
+                    + epoch.encoded_len()
+                    + redirect.encoded_len()
+            }
+            Msg::Replicate {
+                page,
+                vt,
+                slots,
+                origins,
+            } => {
+                1 + page.encoded_len()
+                    + vt.encoded_len()
+                    + 4
+                    + slots
+                        .iter()
+                        .map(|(value, wid)| value.encoded_len() + wid.encoded_len())
+                        .sum::<usize>()
+                    + origins.encoded_len()
+            }
         }
     }
 }
@@ -321,6 +520,18 @@ impl<V: fmt::Display> fmt::Display for Msg<V> {
                 }
                 write!(f, "]")
             }
+            Msg::Stamped { epoch, op, inner } => write!(f, "[{epoch}#{op} {inner}]"),
+            Msg::Heartbeat { seq } => write!(f, "[HEARTBEAT, {seq}]"),
+            Msg::Suspect { suspect, epochs } => {
+                write!(f, "[SUSPECT, {suspect}, {} pages]", epochs.len())
+            }
+            Msg::Nack {
+                page,
+                epoch,
+                redirect,
+                ..
+            } => write!(f, "[NACK, {page}, {epoch} → {redirect}]"),
+            Msg::Replicate { page, vt, .. } => write!(f, "[REPL, {page}, {vt}]"),
         }
     }
 }
@@ -421,6 +632,30 @@ mod tests {
                 },
             },
             Msg::Halt,
+            Msg::Stamped {
+                epoch: memcore::OwnerEpoch::new(2),
+                op: 41,
+                inner: Box::new(Msg::Read {
+                    page: PageId::new(3),
+                }),
+            },
+            Msg::Heartbeat { seq: 17 },
+            Msg::Suspect {
+                suspect: NodeId::new(1),
+                epochs: vec![(PageId::new(1), memcore::OwnerEpoch::new(1))],
+            },
+            Msg::Nack {
+                page: PageId::new(3),
+                op: 41,
+                epoch: memcore::OwnerEpoch::new(3),
+                redirect: NodeId::new(0),
+            },
+            Msg::Replicate {
+                page: PageId::new(3),
+                vt: vt([4, 2]),
+                slots: vec![(Arc::new(Word::Int(7)), WriteId::new(NodeId::new(1), 2))],
+                origins: vec![vt([4, 0])],
+            },
             Msg::Batch(vec![
                 Msg::Write {
                     loc: Location::new(6),
@@ -513,10 +748,43 @@ mod tests {
 
     #[test]
     fn decode_rejects_unknown_discriminant() {
-        let mut bytes = Bytes::from_static(&[9]);
+        let mut bytes = Bytes::from_static(&[42]);
         assert_eq!(
             Msg::<Word>::decode(&mut bytes),
-            Err(CodecError::BadDiscriminant(9))
+            Err(CodecError::BadDiscriminant(42))
         );
+    }
+
+    #[test]
+    fn failover_kinds_split_as_overhead_but_stamps_stay_protocol() {
+        let hb: Msg<Word> = Msg::Heartbeat { seq: 0 };
+        assert_eq!(hb.kind(), memcore::kinds::HEARTBEAT);
+        let nack: Msg<Word> = Msg::Nack {
+            page: PageId::new(0),
+            op: 0,
+            epoch: memcore::OwnerEpoch::ZERO,
+            redirect: NodeId::new(0),
+        };
+        assert_eq!(nack.kind(), memcore::kinds::NACK);
+        for kind in [
+            hb.kind(),
+            nack.kind(),
+            memcore::kinds::SUSPECT,
+            memcore::kinds::REPL,
+        ] {
+            assert!(memcore::kinds::is_overhead(kind), "{kind}");
+        }
+        // A stamped READ still counts as a READ: the failover envelope must
+        // not perturb the §4.1 protocol accounting.
+        let stamped: Msg<Word> = Msg::Stamped {
+            epoch: memcore::OwnerEpoch::new(1),
+            op: 9,
+            inner: Box::new(Msg::Read {
+                page: PageId::new(2),
+            }),
+        };
+        assert_eq!(stamped.kind(), "READ");
+        assert!(stamped.is_request());
+        assert!(!memcore::kinds::is_overhead(stamped.kind()));
     }
 }

@@ -14,12 +14,13 @@
 
 use std::sync::Arc;
 
-use memcore::{Location, NodeId, OwnerMap, PageId, Value, WriteId};
+use memcore::{Location, NodeId, OwnerEpoch, OwnerMap, PageId, Value, WriteId};
 use vclock::VectorClock;
 
-use crate::config::{CausalConfig, InvalidationMode, WritePolicy};
+use crate::config::{CausalConfig, FailoverConfig, InvalidationMode, WritePolicy};
+use crate::failover::{owner_at, FailoverState, ShadowPage};
 use crate::fxmap::FastMap;
-use crate::msg::{Msg, WriteVerdict};
+use crate::msg::{Msg, SlotData, WriteVerdict};
 
 /// One location's content in local memory: the value, the unique tag of
 /// the write that produced it, and that write's *origin* stamp (the
@@ -178,6 +179,10 @@ pub struct CausalState<V> {
     /// flight (see the in-flight-reply guards in `finish_read` /
     /// `finish_write`).
     op_begin_vt: VectorClock,
+    /// Failover bookkeeping (epochs, shadows, liveness); `None` unless a
+    /// [`FailoverConfig`] is attached — in which case nothing here ever
+    /// touches the wire.
+    failover: Option<FailoverState<V>>,
 }
 
 impl<V: Value> CausalState<V> {
@@ -194,6 +199,9 @@ impl<V: Value> CausalState<V> {
                 pages.insert(page, Self::initial_page(&config, page, n));
             }
         }
+        let failover = config
+            .failover()
+            .map(|fo| FailoverState::new(fo, n));
         CausalState {
             id,
             config,
@@ -204,6 +212,7 @@ impl<V: Value> CausalState<V> {
             invalidations: 0,
             sweeps: 0,
             op_begin_vt: VectorClock::new(n),
+            failover,
         }
     }
 
@@ -249,7 +258,7 @@ impl<V: Value> CausalState<V> {
     pub fn cached_pages(&self) -> usize {
         self.pages
             .keys()
-            .filter(|p| self.config.owners().owner_of_page(**p) != self.id)
+            .filter(|p| self.current_owner(**p) != self.id)
             .count()
     }
 
@@ -267,10 +276,36 @@ impl<V: Value> CausalState<V> {
         self.sweeps
     }
 
-    /// `true` iff this node owns `loc`.
+    /// `true` iff this node currently owns `loc` — under failover, the
+    /// page's epoch decides; without it, the static map.
     #[must_use]
     pub fn owns(&self, loc: Location) -> bool {
-        self.config.owners().owns(self.id, loc)
+        self.current_owner(self.page_of(loc)) == self.id
+    }
+
+    /// The node currently serving `page`: the static owner rotated by the
+    /// page's [`OwnerEpoch`] (identical to the static owner when failover
+    /// is disabled — every epoch is zero).
+    #[must_use]
+    pub fn current_owner(&self, page: PageId) -> NodeId {
+        match &self.failover {
+            Some(fo) => owner_at(self.config.owners().as_ref(), page, fo.epoch_of(page)),
+            None => self.config.owners().owner_of_page(page),
+        }
+    }
+
+    /// The ownership epoch this node believes `page` is at.
+    #[must_use]
+    pub fn epoch_of(&self, page: PageId) -> OwnerEpoch {
+        self.failover
+            .as_ref()
+            .map_or(OwnerEpoch::ZERO, |fo| fo.epoch_of(page))
+    }
+
+    /// `true` iff the owner-failover layer is active on this node.
+    #[must_use]
+    pub fn failover_enabled(&self) -> bool {
+        self.failover.is_some()
     }
 
     /// `true` iff `loc` is readable locally (owned or cached) —
@@ -332,7 +367,7 @@ impl<V: Value> CausalState<V> {
         } else {
             self.op_begin_vt = self.vt.clone();
             ReadStep::Miss {
-                owner: self.config.owners().owner_of_page(page),
+                owner: self.current_owner(page),
                 request: Msg::Read { page },
             }
         }
@@ -439,7 +474,7 @@ impl<V: Value> CausalState<V> {
         self.write_seq += 1;
 
         let page = self.page_of(loc);
-        let owner = self.config.owners().owner_of_page(page);
+        let owner = self.current_owner(page);
         if owner == self.id {
             let offset = self.offset_of(loc);
             let vt = self.vt.clone();
@@ -450,6 +485,7 @@ impl<V: Value> CausalState<V> {
                 .expect("owned pages are always present");
             entry.slots[offset] = Slot { value, wid, origin };
             entry.vt = vt;
+            self.note_owned_write(page);
             WriteStep::Done { wid }
         } else {
             self.op_begin_vt = self.vt.clone();
@@ -714,7 +750,7 @@ impl<V: Value> CausalState<V> {
     /// Panics if this node does not own `page` (a routing bug).
     fn serve_read(&mut self, _from: NodeId, page: PageId) -> Msg<V> {
         assert_eq!(
-            self.config.owners().owner_of_page(page),
+            self.current_owner(page),
             self.id,
             "READ routed to non-owner"
         );
@@ -773,7 +809,7 @@ impl<V: Value> CausalState<V> {
     ) -> Msg<V> {
         let page = self.page_of(loc);
         assert_eq!(
-            self.config.owners().owner_of_page(page),
+            self.current_owner(page),
             self.id,
             "WRITE routed to non-owner"
         );
@@ -820,6 +856,7 @@ impl<V: Value> CausalState<V> {
                 origin: Arc::new(vt),
             };
             entry.vt = vt_now;
+            self.note_owned_write(page);
             WriteVerdict::Applied
         };
 
@@ -841,7 +878,7 @@ impl<V: Value> CausalState<V> {
     /// copy was dropped.
     pub fn discard(&mut self, loc: Location) -> bool {
         let page = self.page_of(loc);
-        if self.config.owners().owner_of_page(page) == self.id || self.config.is_const_page(page) {
+        if self.current_owner(page) == self.id || self.config.is_const_page(page) {
             return false;
         }
         self.pages.remove(&page).is_some()
@@ -855,8 +892,7 @@ impl<V: Value> CausalState<V> {
             .pages
             .iter()
             .filter(|(p, _)| {
-                self.config.owners().owner_of_page(**p) != self.id
-                    && !self.config.is_const_page(**p)
+                self.current_owner(**p) != self.id && !self.config.is_const_page(**p)
             })
             .min_by_key(|(_, e)| e.installed_at)
             .map(|(p, _)| *p)?;
@@ -876,8 +912,13 @@ impl<V: Value> CausalState<V> {
         let owners = self.config.owners().clone();
         let before = self.pages.len();
         let config = &self.config;
+        let failover = &self.failover;
         self.pages.retain(|page, entry| {
-            owners.owner_of_page(*page) == id
+            let owner = match failover {
+                Some(fo) => owner_at(owners.as_ref(), *page, fo.epoch_of(*page)),
+                None => owners.owner_of_page(*page),
+            };
+            owner == id
                 || config.is_const_page(*page)
                 || !entry.vt.dominated_by(threshold)
         });
@@ -896,7 +937,7 @@ impl<V: Value> CausalState<V> {
                 .iter()
                 .filter(|(p, _)| {
                     **p != keep
-                        && self.config.owners().owner_of_page(**p) != self.id
+                        && self.current_owner(**p) != self.id
                         && !self.config.is_const_page(**p)
                 })
                 .min_by_key(|(_, e)| e.installed_at)
@@ -908,6 +949,295 @@ impl<V: Value> CausalState<V> {
                 None => break,
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Owner failover (inert unless a FailoverConfig is attached)
+    // ------------------------------------------------------------------
+
+    /// The attached failover configuration, if any.
+    #[must_use]
+    pub fn failover_config(&self) -> Option<FailoverConfig> {
+        self.failover.as_ref().map(|fo| fo.config)
+    }
+
+    /// Hands out the next operation id for stamping a remote request.
+    /// Ids are monotone per node, so a late reply to an abandoned attempt
+    /// can never be mistaken for the current one.
+    pub fn next_op_id(&mut self) -> u64 {
+        match &mut self.failover {
+            Some(fo) => {
+                let op = fo.next_op;
+                fo.next_op += 1;
+                op
+            }
+            None => 0,
+        }
+    }
+
+    /// Adopts `epoch` for `page` if it is newer than what this node
+    /// believes (epochs only ever grow — a max-merge). If the adoption
+    /// makes this node the page's owner, the page is promoted: the shadow
+    /// copy (or, failing that, a cached or fabricated initial copy)
+    /// becomes the authoritative owned page.
+    pub fn observe_epoch(&mut self, page: PageId, epoch: OwnerEpoch) {
+        let Some(fo) = &self.failover else { return };
+        if epoch <= fo.epoch_of(page) {
+            return;
+        }
+        let was_owner = self.current_owner(page) == self.id;
+        self.failover
+            .as_mut()
+            .expect("checked above")
+            .epochs
+            .insert(page, epoch);
+        if !was_owner && self.current_owner(page) == self.id {
+            self.promote(page);
+        }
+        // If this node *lost* ownership (it is the crashed ex-owner,
+        // rejoining), nothing needs doing: its copy of the page simply
+        // becomes a cache entry, sweepable and discardable like any other.
+    }
+
+    /// Installs the best available copy of a page this node just became
+    /// owner of. Preference order: the certified shadow (unless a local
+    /// copy is strictly fresher), then an existing cached copy, then the
+    /// distinguished initial page (possible only if no write to the page
+    /// was ever certified — certification replicates).
+    fn promote(&mut self, page: PageId) {
+        let shadow = self
+            .failover
+            .as_mut()
+            .expect("promote requires failover")
+            .shadows
+            .remove(&page);
+        if let Some(shadow) = shadow {
+            let stale = self
+                .pages
+                .get(&page)
+                .is_some_and(|e| shadow.vt.dominated_by(&e.vt));
+            if !stale {
+                // Installing the shadow introduces its knowledge: merge
+                // the clock and run the Figure-4 sweep, exactly as a
+                // read-miss install would.
+                self.vt.update(&shadow.vt);
+                let threshold = shadow.vt.clone();
+                self.sweep_cache(&threshold);
+                self.tick += 1;
+                let entry = PageEntry {
+                    vt: shadow.vt,
+                    slots: shadow
+                        .slots
+                        .into_iter()
+                        .zip(shadow.origins)
+                        .map(|((value, wid), origin)| Slot {
+                            value,
+                            wid,
+                            origin: Arc::new(origin),
+                        })
+                        .collect(),
+                    installed_at: self.tick,
+                };
+                self.pages.insert(page, entry);
+            }
+        } else if !self.pages.contains_key(&page) {
+            let n = self.config.nodes() as usize;
+            let entry = Self::initial_page(&self.config, page, n);
+            self.pages.insert(page, entry);
+        }
+    }
+
+    /// Services an epoch-stamped request (the failover envelope).
+    ///
+    /// * Request epoch behind ours, or we are not the owner → `[NACK]`
+    ///   carrying our epoch and a redirect to the node we believe serves
+    ///   the page.
+    /// * Request epoch ahead of ours → adopt it (promoting ourselves if
+    ///   we are the successor the sender migrated to), then serve.
+    /// * Otherwise → serve `inner` exactly as Figure 4 would and wrap the
+    ///   reply in the same `(epoch, op)` stamp so the client can match it.
+    pub fn serve_stamped(
+        &mut self,
+        from: NodeId,
+        epoch: OwnerEpoch,
+        op: u64,
+        inner: Msg<V>,
+    ) -> Option<Msg<V>> {
+        self.failover.as_ref()?;
+        let page = match &inner {
+            Msg::Read { page } => *page,
+            Msg::Write { loc, .. } => self.page_of(*loc),
+            _ => return None,
+        };
+        self.observe_epoch(page, epoch);
+        let mine = self.epoch_of(page);
+        if epoch < mine || self.current_owner(page) != self.id {
+            return Some(Msg::Nack {
+                page,
+                op,
+                epoch: mine,
+                redirect: self.current_owner(page),
+            });
+        }
+        let reply = self.serve(from, inner)?;
+        Some(Msg::Stamped {
+            epoch: mine,
+            op,
+            inner: Box::new(reply),
+        })
+    }
+
+    /// Declares `node` crashed: every page it currently serves migrates
+    /// to its successor (epoch + 1), promoting this node wherever it is
+    /// that successor. Returns the migrated pages with their new epochs —
+    /// the payload of the `[SUSPECT]` broadcast that spreads the decision
+    /// (and, retransmitted by the session layer, eventually re-educates
+    /// the crashed node itself when it comes back).
+    pub fn suspect(&mut self, node: NodeId) -> Vec<(PageId, OwnerEpoch)> {
+        if self.failover.is_none() || node == self.id {
+            return Vec::new();
+        }
+        let mut migrated = Vec::new();
+        for page_index in 0..self.config.page_count() {
+            let page = PageId::new(page_index);
+            if self.current_owner(page) == node {
+                let next = self.epoch_of(page).next();
+                self.observe_epoch(page, next);
+                migrated.push((page, next));
+            }
+        }
+        if let Some(fo) = &mut self.failover {
+            if let Some(s) = fo.suspected.get_mut(node.index()) {
+                *s = true;
+            }
+        }
+        migrated
+    }
+
+    /// Absorbs a peer's `[SUSPECT]` broadcast, adopting each migrated
+    /// epoch. When this node *is* the suspect — it crashed, recovered,
+    /// and is now being told the cluster moved on — it thereby learns its
+    /// former pages migrated and rejoins as a cache-only peer for them.
+    pub fn absorb_suspect(&mut self, suspect: NodeId, epochs: &[(PageId, OwnerEpoch)]) {
+        if self.failover.is_none() {
+            return;
+        }
+        for (page, epoch) in epochs {
+            self.observe_epoch(*page, *epoch);
+        }
+        if suspect != self.id {
+            if let Some(fo) = &mut self.failover {
+                if let Some(s) = fo.suspected.get_mut(suspect.index()) {
+                    *s = true;
+                }
+            }
+        }
+    }
+
+    /// Stores a `[REPL]` shadow from the page's current owner, unless a
+    /// strictly fresher shadow is already held.
+    pub fn apply_replicate(
+        &mut self,
+        page: PageId,
+        vt: VectorClock,
+        slots: Vec<SlotData<V>>,
+        origins: Vec<VectorClock>,
+    ) {
+        let Some(fo) = &mut self.failover else { return };
+        let newer = match fo.shadows.get(&page) {
+            Some(s) => !vt.dominated_by(&s.vt),
+            None => true,
+        };
+        if newer {
+            fo.shadows.insert(page, ShadowPage { vt, slots, origins });
+        }
+    }
+
+    /// Drains the owned pages written since the last drain into one
+    /// `[REPL]` per page, addressed to its successor. Engines call this
+    /// whenever the node yields control (after an operation or a service
+    /// round), so the successor's shadow lags the owner by at most the
+    /// in-flight window.
+    pub fn take_replications(&mut self) -> Vec<(NodeId, Msg<V>)> {
+        let dirty = match &mut self.failover {
+            Some(fo) => std::mem::take(&mut fo.pending_repl),
+            None => return Vec::new(),
+        };
+        if self.config.nodes() < 2 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(dirty.len());
+        for page in dirty {
+            // Migrated away since the write: the new owner replicates.
+            if self.current_owner(page) != self.id {
+                continue;
+            }
+            let successor = owner_at(
+                self.config.owners().as_ref(),
+                page,
+                self.epoch_of(page).next(),
+            );
+            if successor == self.id {
+                continue;
+            }
+            let Some(entry) = self.pages.get(&page) else {
+                continue;
+            };
+            out.push((
+                successor,
+                Msg::Replicate {
+                    page,
+                    vt: entry.vt.clone(),
+                    slots: entry
+                        .slots
+                        .iter()
+                        .map(|s| (Arc::clone(&s.value), s.wid))
+                        .collect(),
+                    origins: entry.slots.iter().map(|s| (*s.origin).clone()).collect(),
+                },
+            ));
+        }
+        out
+    }
+
+    fn note_owned_write(&mut self, page: PageId) {
+        if let Some(fo) = &mut self.failover {
+            fo.mark_dirty(page);
+        }
+    }
+
+    /// Records that `peer` was heard from at transport time `now` (any
+    /// message counts as life, not just heartbeats).
+    pub fn record_alive(&mut self, peer: NodeId, now: u64) {
+        if let Some(fo) = &mut self.failover {
+            fo.record_alive(peer, now);
+        }
+    }
+
+    /// The next outgoing `[HEARTBEAT]`, or `None` with failover disabled.
+    pub fn heartbeat_msg(&mut self) -> Option<Msg<V>> {
+        let fo = self.failover.as_mut()?;
+        let seq = fo.heartbeat_seq;
+        fo.heartbeat_seq += 1;
+        Some(Msg::Heartbeat { seq })
+    }
+
+    /// Peers whose silence now exceeds the suspicion budget
+    /// (`heartbeat_interval × suspicion_threshold`); each is returned at
+    /// most once. The caller follows up with [`CausalState::suspect`] and
+    /// broadcasts the result.
+    pub fn check_suspicions(&mut self, now: u64) -> Vec<NodeId> {
+        let id = self.id;
+        match &mut self.failover {
+            Some(fo) => fo.check_suspicions(id, now),
+            None => Vec::new(),
+        }
+    }
+
+    /// `true` iff this node currently believes `node` has crashed.
+    #[must_use]
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.failover.as_ref().is_some_and(|fo| fo.is_suspected(node))
     }
 }
 

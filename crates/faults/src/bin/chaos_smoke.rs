@@ -1,23 +1,33 @@
-//! CI smoke batch: 25 fixed-seed chaos runs on a 3-node cluster.
+//! CI smoke batch: 25 fixed-seed chaos runs on a 3-node cluster, plus
+//! 10 fixed-seed **owner-crash** runs with failover enabled (a page's
+//! static owner fail-stops permanently mid-run; the surviving clients
+//! must still finish via epoch-stamped migration).
 //!
 //! Exits nonzero if any run violates the causal specification or wedges,
 //! printing the reproducing seed and fault plan.
 //!
 //! ```text
-//! cargo run -p dsm-faults --bin chaos-smoke [runs]
+//! cargo run -p dsm-faults --bin chaos-smoke [runs] [owner_crash_runs]
 //! ```
 
-use dsm_faults::{run_chaos_batch, ChaosConfig};
+use dsm_faults::{run_chaos_batch, run_owner_crash_batch, ChaosConfig};
 
 fn main() {
-    let runs: usize = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let runs: usize = args
+        .next()
         .map(|a| a.parse().expect("runs must be a number"))
         .unwrap_or(25);
+    let owner_crash_runs: usize = args
+        .next()
+        .map(|a| a.parse().expect("owner_crash_runs must be a number"))
+        .unwrap_or(10);
     let cfg = ChaosConfig::default(); // 3 nodes, random drops/partitions/crashes
     let batch = run_chaos_batch(0, runs, &cfg);
     print!("{batch}");
-    if !batch.all_ok() {
+    let owner_batch = run_owner_crash_batch(0, owner_crash_runs, &cfg);
+    print!("owner-crash {owner_batch}");
+    if !batch.all_ok() || !owner_batch.all_ok() {
         std::process::exit(1);
     }
 }

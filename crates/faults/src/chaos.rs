@@ -297,6 +297,155 @@ pub fn run_chaos_batch(first_seed: u64, count: usize, cfg: &ChaosConfig) -> Chao
     }
 }
 
+// ---------------------------------------------------------------------
+// Owner-crash chaos: permanent fail-stop of an owner, failover as the
+// survival mechanism, the causal checker as oracle.
+// ---------------------------------------------------------------------
+
+/// Deterministically derives the owner-crash scenario for `seed`: the
+/// victim page, its static owner, and the crash instant (inside
+/// `[horizon/4, horizon/2)`), plus a light seed-derived drop rate so the
+/// crash composes with an imperfect network. Pure data — printing the
+/// returned plan with the seed is the complete reproduction recipe.
+#[must_use]
+pub fn owner_crash_plan(seed: u64, cfg: &ChaosConfig, pages: u32) -> (FaultPlan, u32) {
+    let config = CausalConfig::<Word>::builder(cfg.nodes, pages).build();
+    let page = memcore::PageId::new((seed % u64::from(config.page_count())) as u32);
+    let victim = {
+        use memcore::OwnerMap as _;
+        config.owners().owner_of_page(page).index() as u32
+    };
+    let quarter = (cfg.horizon / 4).max(1);
+    let crash_at = quarter + seed.wrapping_mul(7919) % quarter;
+    let drop = (seed % 8) as f64 * 0.01;
+    let plan = FaultPlan::uniform(crate::plan::LinkFaults::dropping(drop)).crash_owner_at(
+        config.owners().as_ref(),
+        page,
+        crash_at,
+    );
+    (plan, victim)
+}
+
+/// Runs one seeded **owner-crash** chaos execution: the same seeded
+/// workload as [`run_chaos_once`], but with owner failover enabled and a
+/// fault plan whose centerpiece is a *permanent* crash of a seed-chosen
+/// page's static owner partway through the run. The victim serves, then
+/// fails forever; its pages must migrate to their successors (heartbeat
+/// suspicion or request timeout — both paths occur across seeds) for the
+/// surviving clients to finish.
+///
+/// The victim gets no client of its own — it is a pure server in these
+/// runs — so `wedged == false` states exactly the acceptance property:
+/// every *surviving* client ran to completion despite the dead owner.
+/// The oracle is unchanged: the recorded execution must still satisfy
+/// [`causal_spec::check_causal`].
+///
+/// `cfg.batching` is ignored (the failover layer sends each pipelined
+/// write in its own stamped envelope); `cfg.limits.max_time` is clamped
+/// to a finite multiple of the horizon because heartbeat timers never
+/// let the event queue drain on their own.
+#[must_use]
+pub fn run_owner_crash_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
+    let spec = WorkloadSpec {
+        nodes: cfg.nodes as usize,
+        locations_per_node: cfg.locations_per_node as usize,
+        ops_per_node: cfg.ops_per_node,
+        read_ratio: cfg.read_ratio,
+        locality: cfg.locality,
+        seed,
+    };
+    let (plan, victim) = owner_crash_plan(seed, cfg, spec.locations());
+    let faults: Arc<dyn simnet::FaultHook> = Arc::new(FaultInjector::new(seed, plan.clone()));
+    let recorder: Recorder<Word> = Recorder::new(cfg.nodes as usize);
+    let config = CausalConfig::<Word>::builder(cfg.nodes, spec.locations())
+        .pipeline_window(cfg.pipeline_window)
+        .failover(causal_dsm::FailoverConfig::default())
+        .build();
+    let mut sim = session_causal_sim(
+        &config,
+        cfg.rto,
+        SimOpts {
+            latency: Box::new(Uniform::new(1, 8)),
+            seed,
+            recorder: Some(recorder.clone()),
+            faults: Some(faults),
+            ..SimOpts::default()
+        },
+    );
+    for (node, ops) in spec.generate().into_iter().enumerate() {
+        if node == victim as usize {
+            continue;
+        }
+        let script: Vec<ClientOp<Word>> = ops
+            .into_iter()
+            .map(|op| match op {
+                WorkloadOp::Read(l) => ClientOp::Read(l),
+                WorkloadOp::Write(l, v) => ClientOp::Write(l, Word::Int(v)),
+            })
+            .collect();
+        sim.set_client(node, Script::new(script));
+    }
+    let limits = RunLimits {
+        max_events: cfg.limits.max_events,
+        max_time: cfg.limits.max_time.min(cfg.horizon.saturating_mul(10)),
+    };
+    let report = sim.run(limits);
+    let exec = Execution::from_recorder(&recorder);
+    let violations = match check_causal(&exec) {
+        Ok(causal) => causal.violations.iter().map(ToString::to_string).collect(),
+        Err(err) => vec![format!("execution graph error: {err}")],
+    };
+    ChaosOutcome {
+        seed,
+        plan,
+        wedged: !report.all_done,
+        violations,
+        time: report.time,
+        messages: sim.messages().snapshot(),
+        ops_recorded: recorder.total_ops(),
+        ops: recorder.processes(),
+        pipeline_window: cfg.pipeline_window,
+        batching: false,
+    }
+}
+
+/// The owner-crash grid: the pipeline window alternates between `0` (the
+/// paper's blocking protocol) and `32` (deep pipelining) with seed
+/// parity, so one batch covers writes-in-flight-during-migration in both
+/// modes. Deterministic in `(base, seed)` — part of the reproduction
+/// recipe.
+#[must_use]
+pub fn sample_owner_crash_config(base: &ChaosConfig, seed: u64) -> ChaosConfig {
+    let mut cfg = base.clone();
+    cfg.pipeline_window = [0, 32][(seed % 2) as usize];
+    cfg.batching = false;
+    cfg
+}
+
+/// Runs `count` owner-crash chaos executions with seeds `first_seed..`,
+/// each under [`sample_owner_crash_config`], collecting every failure
+/// with its reproduction recipe.
+#[must_use]
+pub fn run_owner_crash_batch(first_seed: u64, count: usize, cfg: &ChaosConfig) -> ChaosBatch {
+    let mut failures = Vec::new();
+    let mut protocol_messages = 0;
+    let mut overhead_messages = 0;
+    for seed in first_seed..first_seed + count as u64 {
+        let outcome = run_owner_crash_once(seed, &sample_owner_crash_config(cfg, seed));
+        protocol_messages += outcome.messages.protocol_total();
+        overhead_messages += outcome.messages.overhead_total();
+        if !outcome.ok() {
+            failures.push(outcome);
+        }
+    }
+    ChaosBatch {
+        runs: count,
+        failures,
+        protocol_messages,
+        overhead_messages,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +497,46 @@ mod tests {
         assert_eq!(batch.runs, 3);
         assert!(batch.all_ok(), "{batch}");
         assert!(batch.protocol_messages > 0);
+    }
+
+    #[test]
+    fn owner_crash_run_survives_a_dead_owner() {
+        let cfg = ChaosConfig::default();
+        let outcome = run_owner_crash_once(0, &cfg);
+        assert!(outcome.ok(), "{outcome}");
+        // Every surviving client's ops were recorded and checked.
+        assert_eq!(
+            outcome.ops_recorded,
+            (cfg.nodes as usize - 1) * cfg.ops_per_node
+        );
+        // The plan really contains a permanent owner crash.
+        assert!(outcome
+            .plan
+            .crashes
+            .iter()
+            .any(|c| c.restart == u64::MAX));
+        // The failure detector ran: heartbeats are counted as overhead.
+        let heartbeats = outcome
+            .messages
+            .by_kind()
+            .iter()
+            .find(|(k, _)| *k == memcore::kinds::HEARTBEAT)
+            .map_or(0, |(_, n)| *n);
+        assert!(heartbeats > 0, "no heartbeats recorded");
+    }
+
+    #[test]
+    fn owner_crash_runs_reproduce_exactly() {
+        let base = ChaosConfig::default();
+        for seed in [2u64, 3] {
+            let cfg = sample_owner_crash_config(&base, seed);
+            assert_eq!(cfg.pipeline_window, [0, 32][(seed % 2) as usize]);
+            let a = run_owner_crash_once(seed, &cfg);
+            let b = run_owner_crash_once(seed, &cfg);
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.messages.by_kind(), b.messages.by_kind());
+            assert_eq!(a.ops, b.ops);
+        }
     }
 }

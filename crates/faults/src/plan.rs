@@ -84,6 +84,10 @@ impl Partition {
 /// every message addressed to it and performs no work — then resumes with
 /// its durable protocol state intact (a pause-crash, the model under which
 /// the session layer must re-derive exactly-once delivery).
+///
+/// A `restart` of [`u64::MAX`] means the node never comes back within the
+/// run — a permanent fail-stop, survivable only with owner failover
+/// enabled (see [`FaultPlan::crash_owner_at`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Crash {
     /// The crashing node's index.
@@ -172,6 +176,50 @@ impl FaultPlan {
             start,
             restart,
         });
+        self
+    }
+
+    /// Crashes the node serving `page` under the static (epoch-zero)
+    /// assignment at time `at`, **permanently**: the owner never restarts
+    /// within the run. Without owner failover such a run wedges (every
+    /// miss on the page times out forever); with failover enabled the
+    /// page migrates to its successor and the run completes — which is
+    /// exactly what the owner-crash chaos suite checks. Chain
+    /// [`FaultPlan::restart_at`] to turn the outage into a
+    /// crash-*recovery* scenario instead.
+    #[must_use]
+    pub fn crash_owner_at(
+        mut self,
+        owners: &dyn memcore::OwnerMap,
+        page: memcore::PageId,
+        at: u64,
+    ) -> Self {
+        let node = owners.owner_of_page(page).index() as u32;
+        self.crashes.push(Crash {
+            node,
+            start: at,
+            restart: u64::MAX,
+        });
+        self
+    }
+
+    /// Schedules the restart of the most recently added crash at `at`
+    /// (typically after [`FaultPlan::crash_owner_at`], turning a
+    /// permanent fail-stop into a crash-recovery window: the ex-owner
+    /// rejoins as a cache-only node for its migrated pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no crash was added yet, or if `at` does not lie after
+    /// the crash's start.
+    #[must_use]
+    pub fn restart_at(mut self, at: u64) -> Self {
+        let crash = self
+            .crashes
+            .last_mut()
+            .expect("restart_at needs a preceding crash");
+        assert!(at > crash.start, "restart must follow the crash");
+        crash.restart = at;
         self
     }
 
@@ -306,5 +354,36 @@ mod tests {
     #[should_panic(expected = "must heal")]
     fn eternal_partitions_are_rejected() {
         let _ = FaultPlan::none().with_partition(10, 10, vec![0]);
+    }
+
+    #[test]
+    fn crash_owner_at_targets_the_static_owner_permanently() {
+        // Round-robin over 3 nodes: page 4 belongs to node 1.
+        let owners = memcore::RoundRobinOwners::new(3, 2);
+        let plan = FaultPlan::none().crash_owner_at(&owners, memcore::PageId::new(4), 100);
+        assert_eq!(plan.crashes, vec![Crash { node: 1, start: 100, restart: u64::MAX }]);
+        // Permanent: still down arbitrarily far into the run.
+        assert_eq!(plan.down_until(p(1), u64::MAX - 1), Some(u64::MAX));
+        assert_eq!(plan.down_until(p(0), 1_000_000), None);
+    }
+
+    #[test]
+    fn restart_at_turns_the_fail_stop_into_a_recovery_window() {
+        let owners = memcore::RoundRobinOwners::new(3, 2);
+        let plan = FaultPlan::none()
+            .crash_owner_at(&owners, memcore::PageId::new(0), 50)
+            .restart_at(200);
+        assert_eq!(plan.crashes, vec![Crash { node: 0, start: 50, restart: 200 }]);
+        assert_eq!(plan.down_until(p(0), 199), Some(200));
+        assert_eq!(plan.down_until(p(0), 200), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must follow")]
+    fn restart_before_crash_is_rejected() {
+        let owners = memcore::RoundRobinOwners::new(3, 2);
+        let _ = FaultPlan::none()
+            .crash_owner_at(&owners, memcore::PageId::new(0), 50)
+            .restart_at(50);
     }
 }

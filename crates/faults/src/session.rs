@@ -51,6 +51,13 @@ pub enum SessionMsg<M> {
         /// The next sequence number the receiver expects.
         cum: u64,
     },
+    /// An unsequenced, unacknowledged datagram. Used for liveness probes
+    /// ([`kinds::HEARTBEAT`]): a lost heartbeat is superseded by the next
+    /// one, and giving heartbeats sequence numbers would retransmit them
+    /// to a crashed peer forever, growing the unacked buffer without
+    /// bound. Delivered to the protocol as-is — no dedup, no reordering
+    /// repair — which heartbeats tolerate by construction.
+    Raw(M),
 }
 
 impl<M: Tagged> Tagged for SessionMsg<M> {
@@ -61,14 +68,16 @@ impl<M: Tagged> Tagged for SessionMsg<M> {
             SessionMsg::Data { retx: false, payload, .. } => payload.kind(),
             SessionMsg::Data { retx: true, .. } => kinds::RETX,
             SessionMsg::Ack { .. } => kinds::ACK,
+            SessionMsg::Raw(payload) => payload.kind(),
         }
     }
 
     fn wire_size(&self) -> Option<usize> {
-        // seq (8) + flag (1), or cum (8) + tag (1).
+        // seq (8) + flag (1), or cum (8) + tag (1), or tag (1).
         match self {
             SessionMsg::Data { payload, .. } => payload.wire_size().map(|s| s + 9),
             SessionMsg::Ack { .. } => Some(9),
+            SessionMsg::Raw(payload) => payload.wire_size().map(|s| s + 1),
         }
     }
 
@@ -217,6 +226,8 @@ impl<M: Clone> ReliableLink<M> {
                 self.recompute_deadline();
                 (Vec::new(), Vec::new())
             }
+            // Datagrams carry no session state: release immediately.
+            SessionMsg::Raw(payload) => (Vec::new(), vec![payload]),
         }
     }
 
@@ -324,12 +335,23 @@ impl<V: Value, A: Actor<V>> SessionActor<V, A> {
         self.link.stats()
     }
 
+    /// Frames one protocol message: heartbeats go as unsequenced
+    /// datagrams (see [`SessionMsg::Raw`]), everything else through the
+    /// reliable link.
+    fn frame(&mut self, now: u64, dst: NodeId, m: A::Msg) -> SessionMsg<A::Msg> {
+        if m.kind() == kinds::HEARTBEAT {
+            SessionMsg::Raw(m)
+        } else {
+            self.link.send(now, dst, m)
+        }
+    }
+
     fn wrap(&mut self, now: u64, effects: Effects<V, A::Msg>) -> Effects<V, SessionMsg<A::Msg>> {
         Effects {
             outgoing: effects
                 .outgoing
                 .into_iter()
-                .map(|(dst, m)| (dst, self.link.send(now, dst, m)))
+                .map(|(dst, m)| (dst, self.frame(now, dst, m)))
                 .collect(),
             completion: effects.completion,
         }
@@ -361,14 +383,20 @@ impl<V: Value, A: Actor<V>> Actor<V> for SessionActor<V, A> {
 
     fn deliver_at(&mut self, now: u64, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
         self.now = now;
-        let (replies, released) = self.link.on_receive(now, from, msg);
-        let mut outgoing: Vec<(NodeId, Self::Msg)> =
-            replies.into_iter().map(|m| (from, m)).collect();
+        let (mut outgoing, released) = match msg {
+            // Datagrams bypass the sequencing machinery entirely.
+            SessionMsg::Raw(payload) => (Vec::new(), vec![payload]),
+            framed => {
+                let (replies, released) = self.link.on_receive(now, from, framed);
+                (replies.into_iter().map(|m| (from, m)).collect(), released)
+            }
+        };
         let mut completion = None;
         for payload in released {
             let effects = self.inner.deliver_at(now, from, payload);
             for (dst, m) in effects.outgoing {
-                outgoing.push((dst, self.link.send(now, dst, m)));
+                let framed = self.frame(now, dst, m);
+                outgoing.push((dst, framed));
             }
             if let Some(c) = effects.completion {
                 debug_assert!(completion.is_none(), "one outstanding op per node");
@@ -382,14 +410,32 @@ impl<V: Value, A: Actor<V>> Actor<V> for SessionActor<V, A> {
     }
 
     fn next_timer(&self) -> Option<u64> {
-        self.link.next_timer()
+        // Earliest of the link's retransmission deadline and whatever the
+        // wrapped protocol wants (heartbeat/suspicion timers under owner
+        // failover).
+        match (self.link.next_timer(), self.inner.next_timer()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn on_timer(&mut self, now: u64) -> Effects<V, Self::Msg> {
         self.now = now;
+        let mut outgoing: Vec<(NodeId, Self::Msg)> = self.link.on_timer(now);
+        let mut completion = None;
+        if self.inner.next_timer().is_some_and(|want| want <= now) {
+            let effects = self.inner.on_timer(now);
+            for (dst, m) in effects.outgoing {
+                // The protocol's timer-driven traffic rides the session
+                // layer like any other payload (heartbeats as datagrams).
+                let framed = self.frame(now, dst, m);
+                outgoing.push((dst, framed));
+            }
+            completion = effects.completion;
+        }
         Effects {
-            outgoing: self.link.on_timer(now),
-            completion: None,
+            outgoing,
+            completion,
         }
     }
 

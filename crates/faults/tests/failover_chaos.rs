@@ -1,0 +1,52 @@
+//! Owner-crash chaos at scale: 200 seeded runs in which a page's static
+//! owner fail-stops permanently mid-run, with owner failover as the
+//! survival mechanism and the causal checker as oracle.
+//!
+//! Each seed samples its own crash instant, victim page, background drop
+//! rate and pipeline window ([`sample_owner_crash_config`] alternates
+//! `{0, 32}`, so writes-in-flight-during-migration are exercised both in
+//! the paper's blocking protocol and under deep pipelining). Any failure
+//! prints the seed + fault plan that reproduce it exactly.
+
+use dsm_faults::{
+    owner_crash_plan, run_owner_crash_batch, run_owner_crash_once, sample_owner_crash_config,
+    ChaosConfig,
+};
+
+#[test]
+fn two_hundred_owner_crash_runs_stay_causal() {
+    let batch = run_owner_crash_batch(0, 200, &ChaosConfig::default());
+    assert_eq!(batch.runs, 200);
+    assert!(batch.all_ok(), "{batch}");
+    // Failover is genuinely on across the batch: liveness probes and at
+    // least one migration broadcast are visible in the overhead counters.
+    assert!(batch.overhead_messages > 0);
+}
+
+#[test]
+fn owner_crash_plans_are_pure_functions_of_the_seed() {
+    let cfg = ChaosConfig::default();
+    for seed in 0..50 {
+        let (a, victim_a) = owner_crash_plan(seed, &cfg, 6);
+        let (b, victim_b) = owner_crash_plan(seed, &cfg, 6);
+        assert_eq!(a, b);
+        assert_eq!(victim_a, victim_b);
+        // The centerpiece crash is permanent and lands in the scheduled
+        // window, so the victim serves first and dies mid-run.
+        let crash = a.crashes.last().expect("plan has a crash");
+        assert_eq!(crash.restart, u64::MAX);
+        assert!(crash.start >= cfg.horizon / 4 && crash.start < cfg.horizon / 2);
+        assert_eq!(crash.node, victim_a);
+    }
+}
+
+#[test]
+fn wedge_detection_still_works_under_failover() {
+    // A degenerate budget must be reported as a wedge, not a pass — the
+    // owner-crash judge may not weaken the termination check.
+    let mut cfg = ChaosConfig::default();
+    cfg.limits.max_events = 50;
+    let outcome = run_owner_crash_once(0, &sample_owner_crash_config(&cfg, 0));
+    assert!(outcome.wedged);
+    assert!(!outcome.ok());
+}

@@ -27,6 +27,12 @@ pub enum MemoryError {
     /// An owner round-trip did not complete within the configured timeout
     /// budget (timeout × retries) — the owner is unreachable or the network
     /// is losing traffic faster than the session layer can repair it.
+    ///
+    /// Recoverable: the operation it aborted is lost, but the handle stays
+    /// usable — engines drop any late reply to a timed-out request, so a
+    /// subsequent operation starts clean. With the owner-failover layer
+    /// enabled a timeout additionally counts as suspicion evidence against
+    /// the owner, and retries are redirected to its successor.
     Timeout {
         /// Whose reply was awaited.
         owner: NodeId,

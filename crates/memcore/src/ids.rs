@@ -160,6 +160,59 @@ impl fmt::Display for PageId {
     }
 }
 
+/// The ownership epoch of a page under the owner-failover layer.
+///
+/// The Figure-4 protocol assigns each page one static owner; the failover
+/// layer makes that role migratable by pairing every page with an epoch
+/// that is bumped on each migration. Requests and replies carry the
+/// requester's epoch; an owner serves a request only at its own current
+/// epoch and NACKs stale ones with a redirect. Epoch `0` is the static
+/// assignment, so a cluster with failover disabled never leaves it.
+///
+/// Epochs are totally ordered and the highest epoch always wins, which is
+/// what resolves dueling migrations deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use memcore::OwnerEpoch;
+///
+/// let e = OwnerEpoch::ZERO;
+/// assert_eq!(e.next().get(), 1);
+/// assert!(e < e.next());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OwnerEpoch(u32);
+
+impl OwnerEpoch {
+    /// The initial epoch: the static ownership assignment.
+    pub const ZERO: OwnerEpoch = OwnerEpoch(0);
+
+    /// Creates an epoch from its counter value.
+    #[must_use]
+    pub fn new(epoch: u32) -> Self {
+        OwnerEpoch(epoch)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The epoch after one more migration.
+    #[must_use]
+    pub fn next(self) -> Self {
+        OwnerEpoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for OwnerEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
 /// Uniquely tags a write operation.
 ///
 /// The paper assumes "all writes are unique (easily implemented by

@@ -36,7 +36,7 @@ mod stats;
 mod value;
 
 pub use error::MemoryError;
-pub use ids::{Location, NodeId, PageId, RoundRobinOwners, WriteId};
+pub use ids::{Location, NodeId, OwnerEpoch, PageId, RoundRobinOwners, WriteId};
 pub use op::{OpKind, OpRecord, Recorder};
 pub use owner::{ExplicitOwners, OwnerMap};
 pub use stats::{kinds, NetStats, StatsSnapshot};

@@ -15,7 +15,11 @@ use crate::{Location, NodeId, PageId, RoundRobinOwners};
 /// Maps every page to its owning processor.
 ///
 /// Implementations must be total over the namespace and stable for the
-/// lifetime of a cluster (the paper's protocol has no ownership migration).
+/// lifetime of a cluster: this is the *static* (epoch-zero) assignment the
+/// paper's protocol uses directly. The owner-failover layer layers
+/// per-page [`OwnerEpoch`](crate::OwnerEpoch)s on top — the node serving a
+/// page at epoch `e` is derived deterministically from the static owner —
+/// so the map itself never changes even when the serving node does.
 pub trait OwnerMap: Send + Sync + 'static {
     /// Number of processors.
     fn nodes(&self) -> u32;

@@ -30,6 +30,14 @@ pub mod kinds {
     pub const DROP: &str = "DROP";
     /// A session-layer cumulative acknowledgement.
     pub const ACK: &str = "ACK";
+    /// A failure-detector liveness probe (owner-failover layer).
+    pub const HEARTBEAT: &str = "HEARTBEAT";
+    /// A suspicion broadcast announcing a migrated ownership epoch.
+    pub const SUSPECT: &str = "SUSPECT";
+    /// A stale-epoch rejection carrying the current owner as a redirect.
+    pub const NACK: &str = "NACK";
+    /// A hot-standby shadow copy shipped to a page's successor.
+    pub const REPL: &str = "REPL";
     /// A transport envelope carrying several logical messages (batching).
     ///
     /// Never recorded in the *logical* per-kind counters — those always see
@@ -37,8 +45,105 @@ pub mod kinds {
     /// physical-envelope counters, where one batch is one send.
     pub const BATCH: &str = "BATCH";
 
-    /// All fault/session bookkeeping kinds, for filtering reports.
-    pub const ALL: [&str; 4] = [RETX, DUP, DROP, ACK];
+    /// Every overhead kind, as an enum so the overhead/protocol split in
+    /// [`StatsSnapshot`](super::StatsSnapshot) stays exhaustive by
+    /// construction: adding a variant without extending [`Overhead::name`]
+    /// or [`Overhead::VARIANTS`] is a compile error, so a new bookkeeping
+    /// kind can never be silently misclassified as protocol traffic.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    #[repr(usize)]
+    pub enum Overhead {
+        /// [`RETX`].
+        Retx = 0,
+        /// [`DUP`].
+        Dup,
+        /// [`DROP`].
+        Drop,
+        /// [`ACK`].
+        Ack,
+        /// [`HEARTBEAT`].
+        Heartbeat,
+        /// [`SUSPECT`].
+        Suspect,
+        /// [`NACK`].
+        Nack,
+        /// [`REPL`].
+        Repl,
+    }
+
+    impl Overhead {
+        /// Number of overhead kinds.
+        pub const COUNT: usize = Overhead::Repl as usize + 1;
+
+        /// Every variant, in discriminant order (checked at compile time
+        /// below).
+        pub const VARIANTS: [Overhead; Overhead::COUNT] = [
+            Overhead::Retx,
+            Overhead::Dup,
+            Overhead::Drop,
+            Overhead::Ack,
+            Overhead::Heartbeat,
+            Overhead::Suspect,
+            Overhead::Nack,
+            Overhead::Repl,
+        ];
+
+        /// The counter name this kind is recorded under. The match is
+        /// deliberately wildcard-free: extending the enum forces the name —
+        /// and through [`ALL`], the overhead split — to follow.
+        #[must_use]
+        pub const fn name(self) -> &'static str {
+            match self {
+                Overhead::Retx => RETX,
+                Overhead::Dup => DUP,
+                Overhead::Drop => DROP,
+                Overhead::Ack => ACK,
+                Overhead::Heartbeat => HEARTBEAT,
+                Overhead::Suspect => SUSPECT,
+                Overhead::Nack => NACK,
+                Overhead::Repl => REPL,
+            }
+        }
+    }
+
+    // Compile-time exhaustiveness: VARIANTS must list every variant exactly
+    // once, in order. Forgetting one fails this constant's evaluation.
+    const _: () = {
+        let mut i = 0;
+        while i < Overhead::COUNT {
+            assert!(
+                Overhead::VARIANTS[i] as usize == i,
+                "kinds::Overhead::VARIANTS must list every overhead kind in order"
+            );
+            i += 1;
+        }
+    };
+
+    /// All fault/session bookkeeping kinds, for filtering reports. Derived
+    /// from [`Overhead`] so it can never drift from the enum.
+    pub const ALL: [&str; Overhead::COUNT] = {
+        let mut out = [""; Overhead::COUNT];
+        let mut i = 0;
+        while i < Overhead::COUNT {
+            out[i] = Overhead::VARIANTS[i].name();
+            i += 1;
+        }
+        out
+    };
+
+    /// `true` iff `kind` is fault/session/failover bookkeeping rather than
+    /// protocol traffic.
+    #[must_use]
+    pub fn is_overhead(kind: &str) -> bool {
+        let mut i = 0;
+        while i < Overhead::COUNT {
+            if ALL[i].as_bytes() == kind.as_bytes() {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
 }
 
 /// Shared, thread-safe message counters, one map per node.
@@ -284,6 +389,29 @@ mod tests {
         assert_eq!(snap.overhead_total(), 4);
         assert_eq!(snap.protocol_total(), 1);
         assert_eq!(snap.total(), 5);
+    }
+
+    #[test]
+    fn failover_kinds_count_as_overhead() {
+        // The exhaustive enum is what keeps this true: HEARTBEAT/SUSPECT/
+        // NACK/REPL must land on the overhead side of the split.
+        let stats = NetStats::new(1);
+        stats.record(NodeId::new(0), "WRITE");
+        stats.record(NodeId::new(0), kinds::HEARTBEAT);
+        stats.record(NodeId::new(0), kinds::SUSPECT);
+        stats.record(NodeId::new(0), kinds::NACK);
+        stats.record(NodeId::new(0), kinds::REPL);
+        let snap = stats.snapshot();
+        assert_eq!(snap.overhead_total(), 4);
+        assert_eq!(snap.protocol_total(), 1);
+        for kind in kinds::ALL {
+            assert!(kinds::is_overhead(kind), "{kind} misclassified");
+        }
+        assert!(!kinds::is_overhead("WRITE"));
+        assert!(!kinds::is_overhead(kinds::BATCH), "BATCH is envelope-only");
+        for (i, v) in kinds::Overhead::VARIANTS.iter().enumerate() {
+            assert_eq!(kinds::ALL[i], v.name());
+        }
     }
 
     #[test]

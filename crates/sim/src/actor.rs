@@ -1,7 +1,7 @@
 //! Protocol actors: uniform adapters over the pure state machines of the
 //! three memory implementations, so one scheduler drives them all.
 
-use memcore::{Location, NodeId, OpRecord, Value, WriteId};
+use memcore::{Location, NodeId, OpRecord, OwnerEpoch, PageId, Value, WriteId};
 use simnet::Tagged;
 
 use crate::client::{ClientOp, Outcome};
@@ -166,6 +166,63 @@ impl<V: Value> ActorPipeline<V> {
     }
 }
 
+/// Sim-side failover runtime: the heartbeat schedule and the table of
+/// stamped in-flight requests (blocking, non-blocking and pipelined
+/// alike). Present iff the wrapped state carries a
+/// [`causal_dsm::FailoverConfig`].
+#[derive(Clone, Debug)]
+struct ActorFailover<V> {
+    config: causal_dsm::FailoverConfig,
+    /// Current simulated time, refreshed on every submit/deliver/timer.
+    now: u64,
+    /// When the next heartbeat broadcast is due.
+    next_heartbeat: u64,
+    /// Stamped requests awaiting stamped replies.
+    inflight: Vec<InflightOp<V>>,
+}
+
+/// One stamped request in flight toward an owner.
+#[derive(Clone, Debug)]
+struct InflightOp<V> {
+    /// Stamp of the *current* attempt (refreshed on every redispatch, so
+    /// replies to abandoned attempts are recognizably stale).
+    op: u64,
+    /// The page the request concerns.
+    page: PageId,
+    /// The owner the current attempt was sent to.
+    target: NodeId,
+    /// The bare Figure-4 request, kept for re-sending.
+    request: causal_dsm::Msg<V>,
+    /// When the current attempt is abandoned and the target suspected.
+    deadline: u64,
+    /// Attempts consumed so far (drives the retry backoff).
+    attempt: u32,
+}
+
+/// One attempt's patience before its target is suspected: the suspicion
+/// budget plus the attempt's exponential backoff (deterministic jitter
+/// from `salt`, so replays retry at identical times).
+fn attempt_window(config: &causal_dsm::FailoverConfig, attempt: u32, salt: u64) -> u64 {
+    let base = config
+        .heartbeat_interval
+        .saturating_mul(u64::from(config.suspicion_threshold))
+        .max(1);
+    base + config.backoff(attempt, salt)
+}
+
+/// Folds `extra` into `acc`. A node completes at most one operation per
+/// delivered event; enforced here.
+fn merge_effects<V, M>(acc: &mut Effects<V, M>, mut extra: Effects<V, M>) {
+    acc.outgoing.append(&mut extra.outgoing);
+    if extra.completion.is_some() {
+        assert!(
+            acc.completion.is_none(),
+            "at most one completion per event"
+        );
+        acc.completion = extra.completion;
+    }
+}
+
 /// What the pipeline requires before an operation may proceed.
 enum Gate {
     Proceed,
@@ -189,6 +246,9 @@ pub struct CausalActor<V> {
     /// An operation the pipeline gated (see [`Gate`]); re-tried each time
     /// a pipelined reply drains. The node is blocked while this is set.
     deferred: Option<ClientOp<V>>,
+    /// Failover runtime (heartbeats, suspicion, stamped-request retry);
+    /// `None` — and completely inert — without a failover configuration.
+    fo: Option<ActorFailover<V>>,
 }
 
 impl<V: Value> CausalActor<V> {
@@ -196,13 +256,23 @@ impl<V: Value> CausalActor<V> {
     #[must_use]
     pub fn new(state: causal_dsm::CausalState<V>) -> Self {
         let window = state.config().pipeline_window() as usize;
+        let failover = state.failover_config();
         let pipeline = (window > 0).then(|| ActorPipeline {
             window,
-            batching: state.config().batching(),
+            // Under failover every pipelined WRITE travels in its own
+            // stamped envelope so NACKs and retries can target individual
+            // attempts; transport batching is bypassed.
+            batching: state.config().batching() && failover.is_none(),
             owner: None,
             in_flight: 0,
             buffer: Vec::new(),
             wids: std::collections::HashSet::new(),
+        });
+        let fo = failover.map(|config| ActorFailover {
+            config,
+            now: 0,
+            next_heartbeat: config.heartbeat_interval.max(1),
+            inflight: Vec::new(),
         });
         CausalActor {
             state,
@@ -210,6 +280,7 @@ impl<V: Value> CausalActor<V> {
             nonblocking: std::collections::HashSet::new(),
             pipeline,
             deferred: None,
+            fo,
         }
     }
 
@@ -219,6 +290,13 @@ impl<V: Value> CausalActor<V> {
         &self.state
     }
 
+    /// The node currently serving `loc`: the static owner until failover
+    /// migrates the page to a higher epoch.
+    fn owner_now(&self, loc: Location) -> NodeId {
+        self.state
+            .current_owner(loc.page(self.state.config().page_size()))
+    }
+
     /// The drain/slot rules of the bounded pipeline (the same derivation
     /// as the engine's `write_pipelined`): operations that would leak
     /// in-flight increments — an owner-local write, a write toward a
@@ -226,7 +304,6 @@ impl<V: Value> CausalActor<V> {
     /// owner — require a full drain; a same-owner pipelined write needs
     /// only a free window slot. Everything else overlaps freely.
     fn gate(&self, op: &ClientOp<V>) -> Gate {
-        use memcore::OwnerMap as _;
         let Some(p) = &self.pipeline else {
             return Gate::Proceed;
         };
@@ -236,7 +313,7 @@ impl<V: Value> CausalActor<V> {
         let me = self.state.id();
         match op {
             ClientOp::Read(loc) | ClientOp::ReadFresh(loc) => {
-                let owner = self.state.config().owners().owner_of(*loc);
+                let owner = self.owner_now(*loc);
                 let misses = matches!(op, ClientOp::ReadFresh(_))
                     || !self.state.has_valid_copy(*loc);
                 if p.owner == Some(owner) && misses {
@@ -246,7 +323,7 @@ impl<V: Value> CausalActor<V> {
                 }
             }
             ClientOp::Write(loc, _) | ClientOp::WriteNonblocking(loc, _) => {
-                let owner = self.state.config().owners().owner_of(*loc);
+                let owner = self.owner_now(*loc);
                 if owner == me || p.owner != Some(owner) {
                     Gate::Drain
                 } else if p.in_flight >= p.window {
@@ -291,7 +368,6 @@ impl<V: Value> CausalActor<V> {
         let step = self
             .state
             .begin_write_nonblocking_shared(loc, std::sync::Arc::clone(&shared));
-        let p = self.pipeline.as_mut().expect("pipelined issue needs a pipeline");
         match step {
             causal_dsm::WriteStep::Done { .. } => {
                 unreachable!("pipelined writes never target owned pages")
@@ -301,6 +377,8 @@ impl<V: Value> CausalActor<V> {
                 wid,
                 request,
             } => {
+                let request = self.stamp_request(owner, request);
+                let p = self.pipeline.as_mut().expect("pipelined issue needs a pipeline");
                 p.wids.insert(wid);
                 p.owner = Some(owner);
                 p.in_flight += 1;
@@ -323,6 +401,187 @@ impl<V: Value> CausalActor<V> {
                 }
             }
         }
+    }
+
+    /// With failover enabled, wraps an outgoing Figure-4 request in the
+    /// `(epoch, op)` envelope and tracks it for NACK-redirect and
+    /// timeout retry; a passthrough otherwise.
+    fn stamp_request(
+        &mut self,
+        owner: NodeId,
+        request: causal_dsm::Msg<V>,
+    ) -> causal_dsm::Msg<V> {
+        if self.fo.is_none() {
+            return request;
+        }
+        let page = match &request {
+            causal_dsm::Msg::Read { page } => *page,
+            causal_dsm::Msg::Write { loc, .. } => {
+                loc.page(self.state.config().page_size())
+            }
+            other => unreachable!("only owner requests are stamped: {other:?}"),
+        };
+        let epoch = self.state.epoch_of(page);
+        let op = self.state.next_op_id();
+        let me = self.state.id();
+        let fo = self.fo.as_mut().expect("checked above");
+        let salt = ((me.index() as u64) << 32) | (op & 0xFFFF_FFFF);
+        let deadline = fo.now + attempt_window(&fo.config, 0, salt);
+        fo.inflight.push(InflightOp {
+            op,
+            page,
+            target: owner,
+            request: request.clone(),
+            deadline,
+            attempt: 0,
+        });
+        causal_dsm::Msg::Stamped {
+            epoch,
+            op,
+            inner: Box::new(request),
+        }
+    }
+
+    /// Appends any pending hot-standby shadows to `out` (no-op without
+    /// failover).
+    fn drain_replications(&mut self, out: &mut Vec<(NodeId, causal_dsm::Msg<V>)>) {
+        if self.fo.is_some() {
+            out.extend(self.state.take_replications());
+        }
+    }
+
+    /// Re-resolves every in-flight request against the current epoch
+    /// table: entries whose page migrated are re-stamped and re-sent to
+    /// the new owner — or served against the local promoted copy when the
+    /// migration landed *here*. Called after any event that can advance
+    /// an epoch (SUSPECT, NACK, a stamped request, a timer suspicion).
+    fn redispatch_inflight(&mut self) -> Effects<V, causal_dsm::Msg<V>> {
+        if self.fo.is_none() {
+            return Effects::empty();
+        }
+        let me = self.state.id();
+        let (now, config) = {
+            let fo = self.fo.as_ref().expect("checked above");
+            (fo.now, fo.config)
+        };
+        let inflight = std::mem::take(&mut self.fo.as_mut().expect("checked above").inflight);
+        let mut keep = Vec::with_capacity(inflight.len());
+        let mut outgoing = Vec::new();
+        let mut local = Vec::new();
+        for mut entry in inflight {
+            let owner = self.state.current_owner(entry.page);
+            if owner == entry.target {
+                keep.push(entry);
+                continue;
+            }
+            let epoch = self.state.epoch_of(entry.page);
+            let op = self.state.next_op_id();
+            entry.op = op;
+            entry.attempt = entry.attempt.saturating_add(1);
+            if owner == me {
+                // The page migrated *to us* mid-operation: serve our own
+                // request against the promoted copy.
+                let reply = self
+                    .state
+                    .serve_stamped(me, epoch, op, entry.request.clone())
+                    .expect("owner answers its own request");
+                match reply {
+                    causal_dsm::Msg::Stamped { inner, .. } => local.push(*inner),
+                    other => unreachable!("self-serve cannot be refused: {other:?}"),
+                }
+            } else {
+                let salt = ((me.index() as u64) << 32) | (op & 0xFFFF_FFFF);
+                entry.deadline = now + attempt_window(&config, entry.attempt, salt);
+                entry.target = owner;
+                outgoing.push((
+                    owner,
+                    causal_dsm::Msg::Stamped {
+                        epoch,
+                        op,
+                        inner: Box::new(entry.request.clone()),
+                    },
+                ));
+                // A migrated pipelined window now points at the successor.
+                if let causal_dsm::Msg::Write { wid, .. } = &entry.request {
+                    if let Some(p) = &mut self.pipeline {
+                        if p.wids.contains(wid) {
+                            p.owner = Some(owner);
+                        }
+                    }
+                }
+                keep.push(entry);
+            }
+        }
+        self.fo.as_mut().expect("checked above").inflight = keep;
+        let mut effects = Effects::sent(outgoing);
+        // Locally-served replies absorb exactly as if they had arrived
+        // over the wire (their entries are already retired above).
+        for inner in local {
+            let extra = self.deliver_reply(inner);
+            merge_effects(&mut effects, extra);
+        }
+        effects
+    }
+
+    /// Locally declares `node` crashed: migrates its pages to their
+    /// successors, broadcasts the `[SUSPECT]` decision (including toward
+    /// the suspect itself — dropped while it is down, but the session
+    /// layer's retransmission re-educates it once it restarts), and
+    /// re-dispatches any requests that pointed at it.
+    fn declare_suspect(&mut self, node: NodeId) -> Effects<V, causal_dsm::Msg<V>> {
+        let already = self.state.is_suspected(node);
+        let migrated = self.state.suspect(node);
+        if already && migrated.is_empty() {
+            return self.redispatch_inflight();
+        }
+        let me = self.state.id();
+        let msg = causal_dsm::Msg::Suspect {
+            suspect: node,
+            epochs: migrated,
+        };
+        let mut effects = Effects::empty();
+        for peer in (0..self.state.config().nodes()).map(NodeId::new) {
+            if peer != me {
+                effects.outgoing.push((peer, msg.clone()));
+            }
+        }
+        merge_effects(&mut effects, self.redispatch_inflight());
+        effects
+    }
+
+    /// Handles a `[NACK]`: adopt the server's (newer) epoch and re-route
+    /// the rejected attempt to the node now serving the page.
+    fn on_nack(
+        &mut self,
+        page: PageId,
+        op: u64,
+        epoch: OwnerEpoch,
+    ) -> Effects<V, causal_dsm::Msg<V>> {
+        if let Some(fo) = &mut self.fo {
+            if let Some(entry) = fo.inflight.iter_mut().find(|e| e.op == op) {
+                entry.attempt = entry.attempt.saturating_add(1);
+            }
+        }
+        self.state.observe_epoch(page, epoch);
+        self.redispatch_inflight()
+    }
+
+    /// Handles a stamped reply: matched against the in-flight table by op
+    /// id; replies to abandoned attempts are recognizably stale and
+    /// silently dropped — the recoverable-timeout contract.
+    fn on_stamped_reply(
+        &mut self,
+        op: u64,
+        inner: causal_dsm::Msg<V>,
+    ) -> Effects<V, causal_dsm::Msg<V>> {
+        let Some(fo) = &mut self.fo else {
+            return Effects::empty();
+        };
+        let Some(i) = fo.inflight.iter().position(|e| e.op == op) else {
+            return Effects::empty();
+        };
+        fo.inflight.swap_remove(i);
+        self.deliver_reply(inner)
     }
 
     /// Handles a reply (never a request): absorbs pipelined and raw
@@ -381,7 +640,6 @@ impl<V: Value> CausalActor<V> {
 
     /// Performs `op` now (the pipeline, if any, has cleared it).
     fn perform(&mut self, op: &ClientOp<V>) -> Effects<V, causal_dsm::Msg<V>> {
-        use memcore::OwnerMap as _;
         match op {
             ClientOp::Read(loc) | ClientOp::ReadFresh(loc) => {
                 if matches!(op, ClientOp::ReadFresh(_)) {
@@ -397,6 +655,7 @@ impl<V: Value> CausalActor<V> {
                     ),
                     causal_dsm::ReadStep::Miss { owner, request } => {
                         self.pending = Some(CausalPending::Read { loc: *loc });
+                        let request = self.stamp_request(owner, request);
                         Effects::sent(vec![(owner, request)])
                     }
                 }
@@ -406,7 +665,7 @@ impl<V: Value> CausalActor<V> {
                 // flow through it (completing at issue); owner-local
                 // writes complete locally as ever — the gate has already
                 // drained the window for them.
-                if self.state.config().owners().owner_of(*loc) == self.state.id() {
+                if self.owner_now(*loc) == self.state.id() {
                     self.perform_blocking_write(*loc, value)
                 } else {
                     self.issue_pipelined(*loc, value)
@@ -414,9 +673,7 @@ impl<V: Value> CausalActor<V> {
             }
             ClientOp::Write(loc, value) => self.perform_blocking_write(*loc, value),
             ClientOp::WriteNonblocking(loc, value) => {
-                if self.pipeline.is_some()
-                    && self.state.config().owners().owner_of(*loc) != self.state.id()
-                {
+                if self.pipeline.is_some() && self.owner_now(*loc) != self.state.id() {
                     return self.issue_pipelined(*loc, value);
                 }
                 match self.state.begin_write_nonblocking(*loc, value.clone()) {
@@ -430,6 +687,7 @@ impl<V: Value> CausalActor<V> {
                         request,
                     } => {
                         self.nonblocking.insert(wid);
+                        let request = self.stamp_request(owner, request);
                         Effects {
                             outgoing: vec![(owner, request)],
                             completion: Some(Completion {
@@ -472,6 +730,7 @@ impl<V: Value> CausalActor<V> {
                     value: shared,
                     wid,
                 });
+                let request = self.stamp_request(owner, request);
                 Effects::sent(vec![(owner, request)])
             }
         }
@@ -494,6 +753,44 @@ impl<V: Value> Actor<V> for CausalActor<V> {
     }
 
     fn deliver(&mut self, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        // The failover kinds first: none of them exists without a
+        // FailoverConfig, so the plain Figure-4 paths below are untouched
+        // in fault-free configurations.
+        let msg = match msg {
+            causal_dsm::Msg::Heartbeat { .. } => {
+                // Pure liveness: already recorded in `deliver_at`.
+                return Effects::empty();
+            }
+            causal_dsm::Msg::Suspect { suspect, epochs } => {
+                self.state.absorb_suspect(suspect, &epochs);
+                return self.redispatch_inflight();
+            }
+            causal_dsm::Msg::Replicate {
+                page,
+                vt,
+                slots,
+                origins,
+            } => {
+                self.state.apply_replicate(page, vt, slots, origins);
+                return Effects::empty();
+            }
+            causal_dsm::Msg::Nack {
+                page, op, epoch, ..
+            } => return self.on_nack(page, op, epoch),
+            causal_dsm::Msg::Stamped { epoch, op, inner } => {
+                if inner.is_request() {
+                    let mut effects = Effects::empty();
+                    if let Some(reply) = self.state.serve_stamped(from, epoch, op, *inner) {
+                        effects.outgoing.push((from, reply));
+                    }
+                    // Serving may have adopted a newer epoch.
+                    merge_effects(&mut effects, self.redispatch_inflight());
+                    return effects;
+                }
+                return self.on_stamped_reply(op, *inner);
+            }
+            other => other,
+        };
         if let causal_dsm::Msg::Batch(parts) = msg {
             // A transport batch is its parts, in order: requests are
             // served in one pass with a single coalesced invalidation
@@ -540,12 +837,86 @@ impl<V: Value> Actor<V> for CausalActor<V> {
     }
 
     fn authority(&self, loc: Location) -> NodeId {
-        use memcore::OwnerMap as _;
-        self.state.config().owners().owner_of(loc)
+        // Dynamic under failover: waits signal off the copy held by the
+        // node *currently* serving the page.
+        self.owner_now(loc)
     }
 
     fn peek(&self, loc: Location) -> Option<V> {
         self.state.peek(loc).map(|(v, _)| v.clone())
+    }
+
+    fn submit_at(&mut self, now: u64, op: &ClientOp<V>) -> Effects<V, Self::Msg> {
+        if let Some(fo) = &mut self.fo {
+            fo.now = now;
+        }
+        let mut effects = self.submit(op);
+        self.drain_replications(&mut effects.outgoing);
+        effects
+    }
+
+    fn deliver_at(&mut self, now: u64, from: NodeId, msg: Self::Msg) -> Effects<V, Self::Msg> {
+        if let Some(fo) = &mut self.fo {
+            fo.now = now;
+            // Any inbound message is evidence of life, not just heartbeats.
+            self.state.record_alive(from, now);
+        }
+        let mut effects = self.deliver(from, msg);
+        self.drain_replications(&mut effects.outgoing);
+        effects
+    }
+
+    fn next_timer(&self) -> Option<u64> {
+        let fo = self.fo.as_ref()?;
+        let mut t = fo.next_heartbeat;
+        for entry in &fo.inflight {
+            t = t.min(entry.deadline);
+        }
+        Some(t)
+    }
+
+    fn on_timer(&mut self, now: u64) -> Effects<V, Self::Msg> {
+        if self.fo.is_none() {
+            return Effects::empty();
+        }
+        self.fo.as_mut().expect("checked above").now = now;
+        let mut effects = Effects::empty();
+        let me = self.state.id();
+        let due = self.fo.as_ref().expect("checked above").next_heartbeat <= now;
+        if due {
+            {
+                let fo = self.fo.as_mut().expect("checked above");
+                fo.next_heartbeat = now + fo.config.heartbeat_interval.max(1);
+            }
+            if let Some(hb) = self.state.heartbeat_msg() {
+                for peer in (0..self.state.config().nodes()).map(NodeId::new) {
+                    if peer != me {
+                        effects.outgoing.push((peer, hb.clone()));
+                    }
+                }
+            }
+            for suspect in self.state.check_suspicions(now) {
+                let extra = self.declare_suspect(suspect);
+                merge_effects(&mut effects, extra);
+            }
+        }
+        // Requests whose per-attempt patience ran out: treat the silent
+        // owner as crashed and migrate away from it.
+        let expired: Vec<NodeId> = self
+            .fo
+            .as_ref()
+            .expect("checked above")
+            .inflight
+            .iter()
+            .filter(|e| e.deadline <= now)
+            .map(|e| e.target)
+            .collect();
+        for target in expired {
+            let extra = self.declare_suspect(target);
+            merge_effects(&mut effects, extra);
+        }
+        self.drain_replications(&mut effects.outgoing);
+        effects
     }
 }
 

@@ -221,6 +221,18 @@ impl Wire for memcore::PageId {
     }
 }
 
+impl Wire for memcore::OwnerEpoch {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.get().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(memcore::OwnerEpoch::new(u32::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
 impl Wire for memcore::WriteId {
     fn encode(&self, buf: &mut BytesMut) {
         match self.writer() {
@@ -409,6 +421,7 @@ mod tests {
         round_trip(memcore::NodeId::new(7));
         round_trip(memcore::Location::new(123));
         round_trip(memcore::PageId::new(9));
+        round_trip(memcore::OwnerEpoch::new(3));
         round_trip(memcore::WriteId::new(memcore::NodeId::new(1), 44));
         round_trip(memcore::WriteId::initial(memcore::Location::new(3)));
         round_trip(vclock::VectorClock::from([0u64, 5, 2]));
