@@ -26,6 +26,13 @@
 //!   heartbeat traffic per post-crash op. Recovery time is dominated by
 //!   the configured suspicion/backoff budgets, not by hot-path code, so
 //!   this cell is excluded from the CI regression gate (`gated: false`).
+//! * `mixed_remote_tcp` — the `mixed_remote` script over `dsm-net`'s real
+//!   loopback TCP sockets (one thread per node, each with its own partial
+//!   network): every protocol message crosses the kernel. The cell also
+//!   runs the merged history through `causal_spec::check_causal`.
+//!   Wall-clock over real sockets is scheduling-noisy and concurrent
+//!   interleaving makes the miss pattern — hence the message bill —
+//!   nondeterministic, so the cell is ungated.
 //!
 //! Run via `cargo run --release -p dsm-bench --bin perf`; pass
 //! `--features alloc-count` to measure allocations with the counting
@@ -770,6 +777,54 @@ pub fn failover_migration(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
     out
 }
 
+/// The mixed-remote workload over real loopback TCP: `dsm-net` spins up
+/// one thread per node, each with its own partial network, connected only
+/// through kernel sockets — the same data path `dsm-server` processes
+/// use. The script is the same shape (and salt) as `mixed_remote`, so the
+/// two cells read side by side as in-process vs. real-transport.
+///
+/// The merged history is checked against the Definition-2 oracle before
+/// the cell reports: a fast number for an incorrect memory is worthless.
+///
+/// Ungated: socket wall-clock is scheduling-noisy, and the concurrent
+/// interleaving makes cache misses — and therefore the message bill — a
+/// property of the run, not the seed.
+///
+/// # Panics
+///
+/// Panics if cluster bring-up fails, an operation errors, or the oracle
+/// rejects the execution.
+#[must_use]
+pub fn mixed_remote_tcp(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
+    const NODES: u32 = 4;
+    const LOCATIONS: u32 = 64;
+    let script_len = if cfg.quick { 2048 } else { 8192 };
+    let run = dsm_net::run_loopback(NODES, LOCATIONS, seed, script_len);
+    let verdict = causal_spec::check_causal(&run.execution).expect("well-formed execution");
+    assert!(verdict.is_correct(), "TCP cluster not causal: {verdict}");
+
+    let ops = run.ops.max(1);
+    let msgs = run.protocol_msgs + run.overhead_msgs;
+    WorkloadReport {
+        name: "mixed_remote_tcp".to_owned(),
+        seed,
+        ops: run.ops,
+        elapsed_ns: run.elapsed_ns,
+        ops_per_sec: run.ops as f64 / (run.elapsed_ns.max(1) as f64 / 1e9),
+        p50_ns: 0,
+        p99_ns: 0,
+        allocs_per_op: -1.0,
+        alloc_bytes_per_op: -1.0,
+        protocol_msgs: run.protocol_msgs,
+        overhead_msgs: run.overhead_msgs,
+        msgs_by_kind: run.msgs_by_kind,
+        envelope_msgs: run.envelope_msgs,
+        msgs_per_op: msgs as f64 / ops as f64,
+        envelopes_per_op: run.envelope_msgs as f64 / ops as f64,
+        gated: false,
+    }
+}
+
 /// Runs the whole suite: every workload on every seed for the mode.
 #[must_use]
 pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
@@ -798,6 +853,9 @@ pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
         // best-of selection over ops_per_sec would just pick the shortest
         // gap, and the cell is ungated anyway.
         workloads.push(failover_migration(seed, cfg));
+        // One rep: ungated (real-socket wall-clock), and each run spins
+        // up a full TCP mesh — repetition buys nothing the gate uses.
+        workloads.push(mixed_remote_tcp(seed, cfg));
     }
     PerfReport {
         schema: 1,

@@ -12,8 +12,8 @@
 //! the paper asks for (and what makes the protocol deadlock-free).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -117,15 +117,62 @@ struct NodeShared<V: Value> {
     pipeline_cv: Condvar,
 }
 
+/// Shutdown latch for the heartbeat tickers: a flag under a mutex plus a
+/// condvar. `shutdown()` raising the flag wakes sleepers immediately,
+/// where a plain `thread::sleep` between flag checks used to stretch
+/// shutdown by up to one full heartbeat interval.
+struct StopSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    fn new() -> Self {
+        StopSignal {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Raises the flag and wakes every waiter.
+    fn stop(&self) {
+        *self.stopped.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps for `timeout` unless stopped first; returns `true` iff the
+    /// signal was raised (immediately if it already was).
+    fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.stopped.lock();
+        while !*guard {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+        true
+    }
+}
+
 struct ClusterInner<V: Value> {
     config: CausalConfig<V>,
     net: Network<Msg<V>>,
     nodes: Vec<Arc<NodeShared<V>>>,
+    /// The nodes whose server threads run in this process — all of them
+    /// for an in-process cluster, a subset when the cluster spans
+    /// processes over a remote transport.
+    local: Vec<NodeId>,
     recorder: Option<Recorder<V>>,
     servers: Mutex<Vec<JoinHandle<()>>>,
     /// Signals the heartbeat tickers (spawned only with failover
     /// configured) to exit.
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
 }
 
 /// A running causal DSM: `n` nodes connected by a reliable FIFO network,
@@ -220,6 +267,40 @@ impl<V: Value> CausalCluster<V> {
     ) -> Result<Self, MemoryError> {
         let n = config.nodes() as usize;
         let net: Network<Msg<V>> = Network::new(n);
+        let local: Vec<NodeId> = (0..n).map(|i| NodeId::new(i as u32)).collect();
+        Self::with_transport(config, recorder, net, &local)
+    }
+
+    /// Builds a cluster over an existing transport, hosting only the nodes
+    /// in `local`.
+    ///
+    /// This is how a cluster spans processes: each process builds a
+    /// [`Network::partial`](simnet::Network) whose remote link carries
+    /// envelopes off-process (e.g. `dsm-net`'s TCP mesh), then constructs
+    /// its share of the cluster with the node ids it hosts. Server and
+    /// heartbeat threads are spawned only for `local` nodes; handles exist
+    /// only for them. The protocol logic is unchanged — remote peers are
+    /// reached through the same `send` path, and the message bills stay
+    /// comparable to the in-process transports.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's size differs from the configured node
+    /// count, `local` is empty, or any id in `local` has no mailbox in
+    /// this process.
+    pub fn with_transport(
+        config: CausalConfig<V>,
+        recorder: Option<Recorder<V>>,
+        net: Network<Msg<V>>,
+        local: &[NodeId],
+    ) -> Result<Self, MemoryError> {
+        let n = config.nodes() as usize;
+        assert_eq!(net.len(), n, "transport size mismatch");
+        assert!(!local.is_empty(), "cluster hosts no local node");
         // Batch runs never exceed the window (a full window must flush so
         // its replies can drain), and eight parts per envelope is plenty
         // to show the coalescing effect without unbounded buffering.
@@ -244,17 +325,18 @@ impl<V: Value> CausalCluster<V> {
             }));
         }
 
-        let mut servers = Vec::with_capacity(n);
-        let stop = Arc::new(AtomicBool::new(false));
+        let mut servers = Vec::with_capacity(local.len());
+        let stop = Arc::new(StopSignal::new());
         // Shared transport clock for the failure detector (milliseconds
         // since cluster start).
         let clock_start = Instant::now();
         let failover = config.failover();
-        for (i, (node, reply_tx)) in nodes.iter().zip(reply_txs).enumerate() {
-            let me = NodeId::new(i as u32);
+        for &me in local {
             let mailbox = net.take_mailbox(me);
-            let node = Arc::clone(node);
+            let node = Arc::clone(&nodes[me.index()]);
+            let reply_tx = reply_txs[me.index()].clone();
             let net = net.clone();
+            let i = me.index();
             let failover_on = failover.is_some();
             servers.push(
                 std::thread::Builder::new()
@@ -392,20 +474,19 @@ impl<V: Value> CausalCluster<V> {
         }
 
         if let Some(fo) = failover {
-            for (i, node) in nodes.iter().enumerate() {
-                let me = NodeId::new(i as u32);
-                let node = Arc::clone(node);
+            for &me in local {
+                let i = me.index();
+                let node = Arc::clone(&nodes[i]);
                 let net = net.clone();
                 let stop = Arc::clone(&stop);
                 servers.push(
                     std::thread::Builder::new()
                         .name(format!("causal-heartbeat-{i}"))
                         .spawn(move || {
-                            while !stop.load(Ordering::Relaxed) {
-                                std::thread::sleep(Duration::from_millis(fo.heartbeat_interval));
-                                if stop.load(Ordering::Relaxed) {
-                                    break;
-                                }
+                            let interval = Duration::from_millis(fo.heartbeat_interval);
+                            // The condvar wait (vs a fixed sleep) is what
+                            // lets shutdown() interrupt a tick mid-wait.
+                            while !stop.wait_for(interval) {
                                 let now = clock_start.elapsed().as_millis() as u64;
                                 let (hb, broadcasts, repl) = {
                                     let mut st = node.state.write();
@@ -459,6 +540,7 @@ impl<V: Value> CausalCluster<V> {
                 config,
                 net,
                 nodes,
+                local: local.to_vec(),
                 recorder,
                 servers: Mutex::new(servers),
                 stop,
@@ -470,12 +552,17 @@ impl<V: Value> CausalCluster<V> {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `node` is out of range or not hosted by this process
+    /// (see [`CausalCluster::with_transport`]).
     #[must_use]
     pub fn handle(&self, node: u32) -> CausalHandle<V> {
         assert!(
             (node as usize) < self.inner.nodes.len(),
             "node {node} out of range"
+        );
+        assert!(
+            self.inner.local.contains(&NodeId::new(node)),
+            "node {node} is not hosted by this process"
         );
         CausalHandle {
             inner: Arc::clone(&self.inner),
@@ -483,11 +570,15 @@ impl<V: Value> CausalCluster<V> {
         }
     }
 
-    /// All handles, in node order.
+    /// Handles for every locally-hosted node, in node order (all nodes for
+    /// an in-process cluster).
     #[must_use]
     pub fn handles(&self) -> Vec<CausalHandle<V>> {
-        (0..self.inner.nodes.len() as u32)
-            .map(|i| self.handle(i))
+        let mut local = self.inner.local.clone();
+        local.sort_unstable();
+        local
+            .into_iter()
+            .map(|id| self.handle(id.index() as u32))
             .collect()
     }
 
@@ -588,16 +679,21 @@ impl<V: Value> CausalCluster<V> {
 
     /// Stops all server threads and waits for them to exit. Subsequent
     /// operations on handles fail with [`MemoryError::Shutdown`].
+    ///
+    /// Returns promptly: heartbeat tickers are woken out of their interval
+    /// wait rather than finishing it (regression-tested in
+    /// `tests/failover.rs`).
     pub fn shutdown(&self) {
         let handles: Vec<_> = self.inner.servers.lock().drain(..).collect();
         if handles.is_empty() {
             return;
         }
-        self.inner.stop.store(true, Ordering::Relaxed);
-        for i in 0..self.inner.nodes.len() {
+        self.inner.stop.stop();
+        for &dst in &self.inner.local {
             // Halt is engine-internal; exclude it from protocol counts by
-            // sending as the destination itself.
-            let dst = NodeId::new(i as u32);
+            // sending as the destination itself. Only locally-hosted
+            // servers are halted — peers of a multi-process cluster manage
+            // their own shutdown.
             let _ = self.inner.net.send(dst, dst, Msg::Halt);
         }
         for handle in handles {

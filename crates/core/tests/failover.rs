@@ -450,3 +450,31 @@ fn successor_self_serves_after_owner_crash() {
     cluster.set_fault_hook(None);
     cluster.shutdown();
 }
+
+#[test]
+fn shutdown_interrupts_heartbeat_sleep() {
+    // Heartbeat tickers used to `thread::sleep(heartbeat_interval)`
+    // between stop-flag checks, so shutdown() could stall for up to a
+    // full interval. With the condvar-based stop signal, shutdown wakes
+    // them immediately — even out of an interval far longer than any
+    // acceptable shutdown latency.
+    let slow = FailoverConfig {
+        heartbeat_interval: 2_000,
+        ..FailoverConfig::default()
+    };
+    let cluster = CausalCluster::<Word>::builder(3, 6)
+        .configure(|c| c.failover(slow))
+        .build()
+        .unwrap();
+    let h0 = cluster.handle(0);
+    h0.write(loc(0), Word::Int(1)).unwrap();
+    // Give the tickers time to park in their first interval wait.
+    std::thread::sleep(Duration::from_millis(50));
+    let start = std::time::Instant::now();
+    cluster.shutdown();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "shutdown took {elapsed:?}; heartbeat tickers were not woken promptly"
+    );
+}

@@ -27,8 +27,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::marker::PhantomData;
 
+use bytes::{BufMut, Bytes, BytesMut};
 use dsm_sim::{Actor, ClientOp, Effects};
 use memcore::{kinds, Location, NodeId, Value};
+use simnet::codec::{CodecError, Wire};
 use simnet::Tagged;
 
 /// A session-layer frame wrapping the protocol's own message type `M`.
@@ -92,6 +94,50 @@ impl<M: Tagged> Tagged for SessionMsg<M> {
                 ..
             } => payload.batch_parts(),
             _ => None,
+        }
+    }
+}
+
+impl<M: Wire> Wire for SessionMsg<M> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SessionMsg::Data { seq, retx, payload } => {
+                buf.put_u8(0);
+                seq.encode(buf);
+                retx.encode(buf);
+                payload.encode(buf);
+            }
+            SessionMsg::Ack { cum } => {
+                buf.put_u8(1);
+                cum.encode(buf);
+            }
+            SessionMsg::Raw(payload) => {
+                buf.put_u8(2);
+                payload.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(SessionMsg::Data {
+                seq: u64::decode(buf)?,
+                retx: bool::decode(buf)?,
+                payload: M::decode(buf)?,
+            }),
+            1 => Ok(SessionMsg::Ack {
+                cum: u64::decode(buf)?,
+            }),
+            2 => Ok(SessionMsg::Raw(M::decode(buf)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            SessionMsg::Data { payload, .. } => 1 + 8 + 1 + payload.encoded_len(),
+            SessionMsg::Ack { .. } => 1 + 8,
+            SessionMsg::Raw(payload) => 1 + payload.encoded_len(),
         }
     }
 }
@@ -477,6 +523,8 @@ pub fn session_causal_sim<V: Value>(
 
 #[cfg(test)]
 mod tests {
+    use bytes::Buf;
+
     use super::*;
 
     #[derive(Clone, Debug, PartialEq)]
@@ -583,5 +631,29 @@ mod tests {
         assert_eq!(ack.kind(), kinds::ACK);
         assert_eq!(fresh.wire_size(), Some(13));
         assert_eq!(ack.wire_size(), Some(9));
+    }
+
+    #[test]
+    fn session_msgs_round_trip_on_the_wire() {
+        fn round_trip(msg: SessionMsg<u64>) {
+            let mut buf = BytesMut::new();
+            msg.encode(&mut buf);
+            assert_eq!(buf.len(), msg.encoded_len());
+            let mut bytes = buf.freeze();
+            assert_eq!(SessionMsg::<u64>::decode(&mut bytes).unwrap(), msg);
+            assert_eq!(bytes.remaining(), 0);
+        }
+        round_trip(SessionMsg::Data {
+            seq: 42,
+            retx: true,
+            payload: 7,
+        });
+        round_trip(SessionMsg::Ack { cum: 9 });
+        round_trip(SessionMsg::Raw(3));
+        let mut bad = Bytes::from(vec![9u8]);
+        assert_eq!(
+            SessionMsg::<u64>::decode(&mut bad),
+            Err(CodecError::BadDiscriminant(9))
+        );
     }
 }

@@ -1,0 +1,320 @@
+//! `dsm-load` — loopback load generator and oracle gate.
+//!
+//! ```text
+//! # drive an already-running cluster
+//! dsm-load --spec cluster.spec --seed 42 --ops 512
+//!
+//! # spawn a 4-node loopback cluster of dsm-server processes and drive it
+//! dsm-load --spawn 4 --locations 64 --seed 42 --ops 512
+//! ```
+//!
+//! Sends every server one `Run`, collects the `Done` replies, merges the
+//! per-node histories into one execution, and checks it against
+//! `causal-spec`'s Definition-2 oracle. Exits 0 only if the oracle
+//! accepts, every server answered `Bye`, and (when spawned) every child
+//! exited cleanly — so CI can gate on the exit code alone.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, ExitCode};
+use std::time::{Duration, Instant};
+
+use causal_spec::{check_causal, Execution};
+use dsm_net::ctrl::{CtrlMsg, WireOp};
+use dsm_net::framing::{
+    ctrl_node, decode_body, read_frame, read_hello, write_frame, write_hello, ConnKind, MAX_FRAME,
+};
+use dsm_net::ClusterSpec;
+use memcore::NodeId;
+use simnet::codec::FrameDecoder;
+
+/// How long servers get to come up and answer the control handshake.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a workload round may take end to end.
+const RUN_TIMEOUT: Duration = Duration::from_secs(300);
+
+struct Args {
+    spec: Option<String>,
+    spawn: Option<u32>,
+    locations: u32,
+    server_bin: Option<String>,
+    seed: u64,
+    ops: u64,
+    read_pct: u8,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dsm-load (--spec FILE | --spawn N --locations L [--server-bin PATH]) \
+         [--seed S] [--ops K] [--read-pct P]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Option<Args> {
+    let mut parsed = Args {
+        spec: None,
+        spawn: None,
+        locations: 64,
+        server_bin: None,
+        seed: 42,
+        ops: 512,
+        read_pct: 70,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = args.next()?;
+        match arg.as_str() {
+            "--spec" => parsed.spec = Some(value),
+            "--spawn" => parsed.spawn = Some(value.parse().ok()?),
+            "--locations" => parsed.locations = value.parse().ok()?,
+            "--server-bin" => parsed.server_bin = Some(value),
+            "--seed" => parsed.seed = value.parse().ok()?,
+            "--ops" => parsed.ops = value.parse().ok()?,
+            "--read-pct" => parsed.read_pct = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    (parsed.spec.is_some() != parsed.spawn.is_some() && parsed.read_pct <= 100).then_some(parsed)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("dsm-load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Picks distinct free loopback ports by briefly binding port 0.
+///
+/// Racy in principle (the port could be claimed between drop and the
+/// server's bind), but the window is tiny and the CI job retries by
+/// rerunning; real deployments pass `--spec` with fixed ports.
+fn free_addrs(n: u32) -> std::io::Result<Vec<String>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<Result<_, _>>()?;
+    listeners
+        .iter()
+        .map(|l| l.local_addr().map(|a| a.to_string()))
+        .collect()
+}
+
+fn spawn_servers(spec_text: &str, n: u32, bin: Option<&str>) -> Result<(String, Vec<Child>), String> {
+    let path = std::env::temp_dir().join(format!("dsm-load-{}.spec", std::process::id()));
+    std::fs::write(&path, spec_text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    let bin = match bin {
+        Some(bin) => std::path::PathBuf::from(bin),
+        None => {
+            // Sibling of this binary in the same target directory.
+            let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+            me.with_file_name("dsm-server")
+        }
+    };
+    let mut children = Vec::new();
+    for node in 0..n {
+        match Command::new(&bin)
+            .arg("--spec")
+            .arg(&path)
+            .arg("--node")
+            .arg(node.to_string())
+            .spawn()
+        {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                for mut child in children {
+                    let _ = child.kill();
+                }
+                return Err(format!("spawning {}: {e}", bin.display()));
+            }
+        }
+    }
+    Ok((path.display().to_string(), children))
+}
+
+struct CtrlClient {
+    node: NodeId,
+    stream: TcpStream,
+    dec: FrameDecoder,
+}
+
+impl CtrlClient {
+    /// Dials `addr`, retrying refusals while the server is still binding.
+    fn connect(node: NodeId, addr: &str, deadline: Instant) -> Result<Self, String> {
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    stream
+                        .set_nodelay(true)
+                        .and_then(|()| stream.set_read_timeout(Some(RUN_TIMEOUT)))
+                        .map_err(|e| format!("configuring {addr}: {e}"))?;
+                    write_hello(&mut stream, ConnKind::Ctrl, ctrl_node())
+                        .map_err(|e| format!("hello to {addr}: {e}"))?;
+                    let mut dec = FrameDecoder::new(MAX_FRAME);
+                    let hello = read_hello(&mut stream, &mut dec)
+                        .map_err(|e| format!("hello from {addr}: {e}"))?;
+                    if hello.kind != ConnKind::Ctrl || hello.node != node {
+                        return Err(format!("{addr} answered as {}, expected {node}", hello.node));
+                    }
+                    return Ok(CtrlClient { node, stream, dec });
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(format!("connecting to {node} at {addr}: {e}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, msg: &CtrlMsg) -> Result<(), String> {
+        write_frame(&mut self.stream, msg)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("sending to {}: {e}", self.node))
+    }
+
+    fn recv(&mut self) -> Result<CtrlMsg, String> {
+        let body = read_frame(&mut self.stream, &mut self.dec)
+            .map_err(|e| format!("receiving from {}: {e}", self.node))?
+            .ok_or_else(|| format!("{} hung up", self.node))?;
+        decode_body(body).map_err(|e| format!("frame from {}: {e}", self.node))
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let (spec, mut children, spec_file) = match (&args.spec, args.spawn) {
+        (Some(path), None) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            (ClusterSpec::parse(&text).map_err(|e| e.to_string())?, Vec::new(), None)
+        }
+        (None, Some(n)) => {
+            if n == 0 {
+                return Err("--spawn needs at least one node".to_owned());
+            }
+            let spec = ClusterSpec::new(
+                args.locations,
+                free_addrs(n).map_err(|e| format!("picking ports: {e}"))?,
+            );
+            let (path, children) =
+                spawn_servers(&spec.to_text(), n, args.server_bin.as_deref())?;
+            (spec, children, Some(path))
+        }
+        _ => unreachable!("parse_args enforces the mode choice"),
+    };
+
+    let result = drive(&spec, args);
+
+    // Reap spawned servers whatever happened above; their exit codes are
+    // part of the verdict.
+    let mut clean_exits = true;
+    for child in &mut children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("dsm-load: a server exited with {status}");
+                clean_exits = false;
+            }
+            Err(e) => {
+                eprintln!("dsm-load: waiting on a server: {e}");
+                clean_exits = false;
+            }
+        }
+    }
+    if let Some(path) = spec_file {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(result? && clean_exits)
+}
+
+fn drive(spec: &ClusterSpec, args: &Args) -> Result<bool, String> {
+    let deadline = Instant::now() + CONNECT_TIMEOUT;
+    let mut clients = Vec::new();
+    for i in 0..spec.nodes() {
+        let node = NodeId::new(i);
+        clients.push(CtrlClient::connect(node, spec.addr(node), deadline)?);
+    }
+    eprintln!("dsm-load: {} servers up", clients.len());
+
+    let run = CtrlMsg::Run {
+        seed: args.seed,
+        ops: args.ops,
+        read_pct: args.read_pct,
+    };
+    for client in &mut clients {
+        client.send(&run)?;
+    }
+
+    // Collect Dones concurrently: a server cannot answer until *every*
+    // node finishes its slice, so sequential recv would still take the
+    // same wall-clock but hide which node is stuck.
+    let mut processes = vec![Vec::new(); spec.nodes() as usize];
+    let mut total_ops = 0u64;
+    let mut protocol_msgs = 0u64;
+    let mut overhead_msgs = 0u64;
+    let mut elapsed_ns = 0u64;
+    let results: Vec<Result<CtrlMsg, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .map(|client| scope.spawn(move || client.recv()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("recv thread")).collect()
+    });
+    for result in results {
+        match result? {
+            CtrlMsg::Done {
+                node,
+                ops,
+                elapsed_ns: node_ns,
+                protocol_msgs: proto,
+                overhead_msgs: overhead,
+                history,
+            } => {
+                if node.index() >= processes.len() || !processes[node.index()].is_empty() {
+                    return Err(format!("unexpected Done from {node}"));
+                }
+                processes[node.index()] =
+                    history.into_iter().map(WireOp::into_record).collect();
+                total_ops += ops;
+                protocol_msgs += proto;
+                overhead_msgs += overhead;
+                elapsed_ns = elapsed_ns.max(node_ns);
+            }
+            other => return Err(format!("expected Done, got {other:?}")),
+        }
+    }
+
+    for client in &mut clients {
+        client.send(&CtrlMsg::Shutdown)?;
+        match client.recv()? {
+            CtrlMsg::Bye => {}
+            other => return Err(format!("expected Bye from {}, got {other:?}", client.node)),
+        }
+    }
+
+    let recorded: usize = processes.iter().map(Vec::len).sum();
+    let execution = Execution::from_processes(processes);
+    let report = check_causal(&execution).map_err(|e| format!("malformed execution: {e}"))?;
+    let secs = elapsed_ns.max(1) as f64 / 1e9;
+    eprintln!(
+        "dsm-load: {total_ops} ops ({recorded} recorded) in {secs:.3}s \
+         ({:.0} ops/s), {protocol_msgs} protocol + {overhead_msgs} overhead msgs",
+        total_ops as f64 / secs,
+    );
+    if report.is_correct() {
+        eprintln!("dsm-load: oracle verdict: {report}");
+        Ok(true)
+    } else {
+        eprintln!("dsm-load: ORACLE REJECTED the execution:\n{report}");
+        Ok(false)
+    }
+}

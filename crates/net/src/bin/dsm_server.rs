@@ -1,0 +1,141 @@
+//! `dsm-server` — one causal-memory node per process.
+//!
+//! ```text
+//! dsm-server --spec cluster.spec --node 2
+//! ```
+//!
+//! Binds the listen address its spec entry names, joins the TCP mesh
+//! (blocking until every peer is up), then serves the control protocol:
+//! a `Run` executes this node's slice of the deterministic mixed
+//! workload and answers `Done` with the recorded history; `Shutdown`
+//! tears the node down and is acknowledged with `Bye` so the controller
+//! can distinguish a clean exit from a crash.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use dsm_net::ctrl::{CtrlMsg, WireOp};
+use dsm_net::framing::{read_frame, write_frame};
+use dsm_net::harness::{mixed_script, run_node, ESTABLISH_TIMEOUT};
+use dsm_net::{ClusterSpec, NetCluster};
+use memcore::{NodeId, Recorder};
+
+/// How long to wait for the controller to dial in after bring-up.
+const CTRL_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dsm-server --spec FILE --node N");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut spec_path = None;
+    let mut node = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => spec_path = args.next(),
+            "--node" => node = args.next(),
+            _ => return usage(),
+        }
+    }
+    let (Some(spec_path), Some(node)) = (spec_path, node) else {
+        return usage();
+    };
+    let Ok(node) = node.parse::<u32>() else {
+        return usage();
+    };
+    match run(&spec_path, NodeId::new(node)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dsm-server[{node}]: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(spec_path: &str, me: NodeId) -> Result<(), String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("reading {spec_path}: {e}"))?;
+    let spec = ClusterSpec::parse(&text).map_err(|e| e.to_string())?;
+    if me.index() >= spec.nodes() as usize {
+        return Err(format!("node {me} out of range for {spec_path}"));
+    }
+    let listener = TcpListener::bind(spec.addr(me))
+        .map_err(|e| format!("binding {}: {e}", spec.addr(me)))?;
+    let recorder: Recorder<Vec<u8>> = Recorder::new(spec.nodes() as usize);
+    let cluster = NetCluster::start(
+        &spec,
+        me,
+        listener,
+        Some(recorder.clone()),
+        ESTABLISH_TIMEOUT,
+    )
+    .map_err(|e| format!("bringing up the mesh: {e}"))?;
+    eprintln!("dsm-server[{me}]: mesh up, awaiting controller");
+
+    let mut conn = cluster
+        .ctrl_conns()
+        .recv_timeout(CTRL_TIMEOUT)
+        .map_err(|_| "no controller connected".to_owned())?;
+
+    // EOF (a controller that hung up without Shutdown) ends the loop;
+    // teardown still runs below.
+    while let Some(body) =
+        read_frame(&mut conn.stream, &mut conn.dec).map_err(|e| format!("control connection: {e}"))?
+    {
+        let msg: CtrlMsg =
+            dsm_net::framing::decode_body(body).map_err(|e| format!("control frame: {e}"))?;
+        match msg {
+            CtrlMsg::Run {
+                seed,
+                ops,
+                read_pct,
+            } => {
+                let script = mixed_script(
+                    spec.nodes(),
+                    spec.locations(),
+                    seed,
+                    (ops as usize) * spec.nodes() as usize,
+                    read_pct,
+                );
+                let base = cluster.cluster().messages().snapshot();
+                let start = Instant::now();
+                let executed = run_node(&cluster.handle(), me, &script);
+                let elapsed_ns = start.elapsed().as_nanos() as u64;
+                let delta = cluster.cluster().messages().snapshot().since(&base);
+                let history: Vec<WireOp> = recorder.processes()[me.index()]
+                    .iter()
+                    .map(WireOp::from_record)
+                    .collect();
+                let done = CtrlMsg::Done {
+                    node: me,
+                    ops: executed,
+                    elapsed_ns,
+                    protocol_msgs: delta.protocol_total(),
+                    overhead_msgs: delta.overhead_total(),
+                    history,
+                };
+                write_frame(&mut conn.stream, &done)
+                    .and_then(|()| conn.stream.flush())
+                    .map_err(|e| format!("sending Done: {e}"))?;
+            }
+            CtrlMsg::Shutdown => {
+                // Bye goes out before teardown: once the controller reads
+                // it, this process no longer owes protocol traffic.
+                write_frame(&mut conn.stream, &CtrlMsg::Bye)
+                    .and_then(|()| conn.stream.flush())
+                    .map_err(|e| format!("sending Bye: {e}"))?;
+                break;
+            }
+            CtrlMsg::Done { .. } | CtrlMsg::Bye => {
+                return Err("controller sent a server-side message".to_owned());
+            }
+        }
+    }
+    cluster.shutdown();
+    eprintln!("dsm-server[{me}]: clean exit");
+    Ok(())
+}

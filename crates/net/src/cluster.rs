@@ -1,0 +1,98 @@
+//! One process's slice of a multi-process causal-memory cluster.
+//!
+//! [`NetCluster::start`] glues the pieces together: a [`TcpMesh`] to the
+//! peers, a partial [`Network`] that hands off-process envelopes to the
+//! mesh, and a [`CausalCluster`] hosting only this node. The engine is
+//! byte-for-byte the in-process one — same `Msg` codec, same Figure-4
+//! server loop — which is the point: the transport is swappable under an
+//! unchanged protocol.
+
+use std::io;
+use std::net::TcpListener;
+use std::time::Duration;
+
+use causal_dsm::{CausalCluster, CausalConfig, CausalHandle, Msg};
+use crossbeam_channel::Receiver;
+use memcore::{NodeId, Recorder};
+use simnet::Network;
+
+use crate::mesh::{CtrlConn, TcpMesh};
+use crate::spec::ClusterSpec;
+
+/// The value type multi-process clusters share: raw bytes, so the load
+/// harness controls payload size exactly.
+pub type Payload = Vec<u8>;
+
+/// A causal-memory node wired to its peers over TCP.
+pub struct NetCluster {
+    cluster: CausalCluster<Payload>,
+    mesh: TcpMesh<Msg<Payload>>,
+    me: NodeId,
+}
+
+impl NetCluster {
+    /// Brings up this node: binds nothing itself — `listener` must
+    /// already be bound to `spec.addr(me)` — establishes the mesh,
+    /// and starts the engine for `me` only.
+    ///
+    /// Blocks until every peer is connected or `timeout` expires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh-establishment failures (unreachable peers,
+    /// handshake mismatches, timeout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `spec` or the engine rejects
+    /// the configuration (a bug).
+    pub fn start(
+        spec: &ClusterSpec,
+        me: NodeId,
+        listener: TcpListener,
+        recorder: Option<Recorder<Payload>>,
+        timeout: Duration,
+    ) -> io::Result<Self> {
+        let mesh = TcpMesh::establish(me, spec, listener, timeout)?;
+        let net: Network<Msg<Payload>> = Network::partial(spec.nodes() as usize, &[me], mesh.link());
+        mesh.start(&net);
+        let config = CausalConfig::<Payload>::builder(spec.nodes(), spec.locations()).build();
+        let cluster = CausalCluster::with_transport(config, recorder, net, &[me])
+            .expect("engine rejected configuration");
+        Ok(NetCluster { cluster, mesh, me })
+    }
+
+    /// The node this process hosts.
+    #[must_use]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// An operation handle for the local node.
+    #[must_use]
+    pub fn handle(&self) -> CausalHandle<Payload> {
+        self.cluster.handle(self.me.index() as u32)
+    }
+
+    /// The local engine (message counters, configuration, …).
+    #[must_use]
+    pub fn cluster(&self) -> &CausalCluster<Payload> {
+        &self.cluster
+    }
+
+    /// Control connections accepted on this node's listener.
+    #[must_use]
+    pub fn ctrl_conns(&self) -> &Receiver<CtrlConn> {
+        self.mesh.ctrl_conns()
+    }
+
+    /// Stops the local engine, then tears the mesh down.
+    ///
+    /// Engine first: its server thread drains and exits while the
+    /// sockets still work, so in-flight replies to peers are not cut
+    /// mid-frame.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+        self.mesh.shutdown();
+    }
+}

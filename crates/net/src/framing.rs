@@ -1,0 +1,306 @@
+//! Frame and handshake I/O over byte streams.
+//!
+//! The wire format is the workspace's existing length-prefixed codec
+//! ([`simnet::codec::frame`]): a big-endian `u32` body length followed by
+//! the body, with every protocol type encoded by its [`Wire`] impl. This
+//! module adds the stream side — writing whole frames to a `Write`,
+//! reassembling them from a `Read` through the bounded
+//! [`FrameDecoder`] — plus the connection-opening handshake.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! +----------------+----------------------+
+//! | len: u32 (BE)  | body: len bytes      |
+//! +----------------+----------------------+
+//! ```
+//!
+//! Peer connections carry envelope frames:
+//!
+//! ```text
+//! body = src: u32 | dst: u32 | payload: Wire encoding of M
+//! ```
+//!
+//! Every connection opens with a hello frame in each direction:
+//!
+//! ```text
+//! body = magic: u32 ("DSM1") | version: u8 | kind: u8 | node: u32
+//! ```
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, Bytes};
+use memcore::NodeId;
+use simnet::codec::{frame, CodecError, FrameDecoder, Wire};
+use simnet::Envelope;
+
+/// First four bytes of every hello: `"DSM1"`.
+pub const MAGIC: u32 = 0x4453_4D31;
+
+/// Wire-protocol version; bumped on any incompatible frame change.
+pub const VERSION: u8 = 1;
+
+/// Maximum accepted frame body (16 MiB). Far above any protocol message —
+/// a frame this size indicates corruption or a hostile peer, and the
+/// bound keeps a bad length prefix from driving allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Chunk size for stream reads feeding the frame decoder.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// What a connection is for, declared in its hello.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnKind {
+    /// A node-to-node protocol link of the mesh.
+    Peer,
+    /// A control connection (load generator, orchestration).
+    Ctrl,
+}
+
+/// The identity frame opening every connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Why the connection was opened.
+    pub kind: ConnKind,
+    /// The sender's node id (`u32::MAX` for controllers, which are not
+    /// cluster nodes).
+    pub node: NodeId,
+}
+
+/// The sentinel node id controllers identify with.
+#[must_use]
+pub fn ctrl_node() -> NodeId {
+    NodeId::new(u32::MAX)
+}
+
+fn invalid<E: std::fmt::Display>(what: &str, err: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{what}: {err}"))
+}
+
+/// Writes `value` as one frame.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame<T: Wire>(w: &mut impl Write, value: &T) -> io::Result<()> {
+    w.write_all(&frame(value))
+}
+
+/// Reads the next frame body from a blocking stream, `Ok(None)` on clean
+/// EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Transport errors propagate; an EOF inside a frame or an oversize
+/// length prefix is [`io::ErrorKind::InvalidData`] /
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read, dec: &mut FrameDecoder) -> io::Result<Option<Bytes>> {
+    loop {
+        if let Some(body) = dec.next_frame().map_err(|e| invalid("bad frame", e))? {
+            return Ok(Some(body));
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return if dec.pending() == 0 {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            };
+        }
+        dec.extend(&chunk[..n]);
+    }
+}
+
+/// Decodes a complete frame body as `T`, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on malformed bodies.
+pub fn decode_body<T: Wire>(mut body: Bytes) -> io::Result<T> {
+    let value = T::decode(&mut body).map_err(|e| invalid("bad frame body", e))?;
+    if body.remaining() != 0 {
+        return Err(invalid(
+            "bad frame body",
+            format!("{} trailing bytes", body.remaining()),
+        ));
+    }
+    Ok(value)
+}
+
+/// Frames an envelope for a peer link: `src | dst | payload`.
+#[must_use]
+pub fn encode_envelope<M: Wire>(env: &Envelope<M>) -> Bytes {
+    frame(&EnvelopeBody(env))
+}
+
+/// Decodes a peer-link frame body back into an envelope.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on malformed bodies.
+pub fn decode_envelope<M: Wire>(mut body: Bytes) -> io::Result<Envelope<M>> {
+    let src = NodeId::decode(&mut body).map_err(|e| invalid("bad envelope", e))?;
+    let dst = NodeId::decode(&mut body).map_err(|e| invalid("bad envelope", e))?;
+    let payload = M::decode(&mut body).map_err(|e| invalid("bad envelope", e))?;
+    if body.remaining() != 0 {
+        return Err(invalid(
+            "bad envelope",
+            format!("{} trailing bytes", body.remaining()),
+        ));
+    }
+    Ok(Envelope::new(src, dst, payload))
+}
+
+/// Borrowing encoder so [`encode_envelope`] reuses [`frame`]'s exact
+/// preallocation without cloning the payload.
+struct EnvelopeBody<'a, M>(&'a Envelope<M>);
+
+impl<M: Wire> Wire for EnvelopeBody<'_, M> {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.0.src.encode(buf);
+        self.0.dst.encode(buf);
+        self.0.payload.encode(buf);
+    }
+    fn decode(_buf: &mut Bytes) -> Result<Self, CodecError> {
+        unreachable!("EnvelopeBody is encode-only; decode via decode_envelope")
+    }
+    fn encoded_len(&self) -> usize {
+        4 + 4 + self.0.payload.encoded_len()
+    }
+}
+
+impl Wire for Hello {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        MAGIC.encode(buf);
+        VERSION.encode(buf);
+        match self.kind {
+            ConnKind::Peer => 0u8.encode(buf),
+            ConnKind::Ctrl => 1u8.encode(buf),
+        }
+        (self.node.index() as u32).encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let magic = u32::decode(buf)?;
+        if magic != MAGIC {
+            return Err(CodecError::BadDiscriminant((magic >> 24) as u8));
+        }
+        let version = u8::decode(buf)?;
+        if version != VERSION {
+            return Err(CodecError::BadDiscriminant(version));
+        }
+        let kind = match u8::decode(buf)? {
+            0 => ConnKind::Peer,
+            1 => ConnKind::Ctrl,
+            d => return Err(CodecError::BadDiscriminant(d)),
+        };
+        Ok(Hello {
+            kind,
+            node: NodeId::new(u32::decode(buf)?),
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + 1 + 1 + 4
+    }
+}
+
+/// Sends this side's hello.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_hello(w: &mut impl Write, kind: ConnKind, node: NodeId) -> io::Result<()> {
+    write_frame(w, &Hello { kind, node })
+}
+
+/// Reads and validates the peer's hello.
+///
+/// # Errors
+///
+/// Transport errors propagate; a missing, malformed, or wrong-magic hello
+/// is [`io::ErrorKind::InvalidData`].
+pub fn read_hello(r: &mut impl Read, dec: &mut FrameDecoder) -> io::Result<Hello> {
+    let body = read_frame(r, dec)?
+        .ok_or_else(|| invalid("handshake", "connection closed before hello"))?;
+    decode_body(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Cursor;
+
+    use super::*;
+
+    #[test]
+    fn hello_round_trips() {
+        for hello in [
+            Hello {
+                kind: ConnKind::Peer,
+                node: NodeId::new(3),
+            },
+            Hello {
+                kind: ConnKind::Ctrl,
+                node: ctrl_node(),
+            },
+        ] {
+            let mut buf = Vec::new();
+            write_hello(&mut buf, hello.kind, hello.node).unwrap();
+            let mut dec = FrameDecoder::new(MAX_FRAME);
+            let got = read_hello(&mut Cursor::new(buf), &mut dec).unwrap();
+            assert_eq!(got, hello);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &(0xBAAD_F00Du32, (VERSION, (0u8, 7u32)))).unwrap();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let err = read_hello(&mut Cursor::new(buf), &mut dec).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn envelopes_round_trip_with_exact_length() {
+        let env = Envelope::new(NodeId::new(1), NodeId::new(2), vec![9u64, 8, 7]);
+        let framed = encode_envelope(&env);
+        // length prefix + src + dst + Vec<u64> body
+        assert_eq!(framed.len(), 4 + 4 + 4 + (4 + 3 * 8));
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.extend(&framed);
+        let body = dec.next_frame().unwrap().unwrap();
+        let got: Envelope<Vec<u64>> = decode_envelope(body).unwrap();
+        assert_eq!(got, env);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &(7u32, 9u32)).unwrap();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.extend(&buf);
+        let body = dec.next_frame().unwrap().unwrap();
+        assert!(decode_body::<u32>(body.clone()).is_err());
+        let env: io::Result<Envelope<u32>> = decode_envelope(body);
+        assert!(env.is_err());
+    }
+
+    #[test]
+    fn eof_mid_frame_errors_and_clean_eof_does_not() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &42u64).unwrap();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut cur = Cursor::new(&buf[..buf.len() - 2]);
+        assert!(read_frame(&mut cur, &mut dec).is_err());
+
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut cur = Cursor::new(&buf[..]);
+        assert!(read_frame(&mut cur, &mut dec).unwrap().is_some());
+        assert!(read_frame(&mut cur, &mut dec).unwrap().is_none());
+    }
+}

@@ -1,0 +1,590 @@
+//! The TCP mesh: one persistent connection per node pair, plus an
+//! acceptor for control connections.
+//!
+//! # Topology and handshake
+//!
+//! Every node binds the listen address its [`ClusterSpec`]
+//! entry names. Node `i` dials every node `j < i` and accepts connections
+//! from every `j > i`, so each unordered pair shares exactly one
+//! connection and there is no simultaneous-open race. Both sides open
+//! with a [`Hello`] frame ([`ConnKind::Peer`] plus their node id); the
+//! dialer speaks first, the acceptor replies.
+//!
+//! Controllers (the load generator) connect to the same listener with a
+//! [`ConnKind::Ctrl`] hello; those connections are handed to the process
+//! through [`TcpMesh::ctrl_conns`] instead of joining the mesh.
+//!
+//! # Data plane
+//!
+//! The write half of each connection (a `try_clone`) sits behind a mutex
+//! in [`MeshLink`], which implements [`RemoteLink`] so a partial
+//! [`Network`] routes off-process envelopes into it. A reader thread per
+//! connection reassembles frames ([`FrameDecoder`]) and re-injects
+//! decoded envelopes with [`Network::inject`]. TCP gives per-connection
+//! FIFO and reliability, which is exactly the paper's §3 network
+//! assumption — see `docs/NET.md`.
+//!
+//! Sockets run with `TCP_NODELAY`: the protocol is request/reply and
+//! Nagle batching would serialize the owner protocol's round trips.
+
+use std::io::{self, Write};
+use std::marker::PhantomData;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use memcore::NodeId;
+use parking_lot::Mutex;
+use simnet::codec::{FrameDecoder, Wire};
+use simnet::{Envelope, Network, RemoteLink, SendError, Tagged};
+
+use crate::framing::{
+    decode_envelope, encode_envelope, read_hello, write_hello, ConnKind, Hello, MAX_FRAME,
+};
+use crate::spec::ClusterSpec;
+
+/// How long each side of a handshake may stall before the connection is
+/// abandoned.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Backoff between dial attempts while a peer is still binding.
+const DIAL_RETRY: Duration = Duration::from_millis(25);
+
+/// Poll interval of the non-blocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A connection plus the decoder holding any bytes read past the
+/// handshake — the two must travel together or early frames are lost.
+pub struct CtrlConn {
+    /// The raw control socket.
+    pub stream: TcpStream,
+    /// Decoder primed with any bytes that followed the hello.
+    pub dec: FrameDecoder,
+}
+
+struct Conn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+}
+
+/// The write halves of the mesh, indexed by peer node id (`None` at our
+/// own slot).
+struct Writers {
+    streams: Vec<Option<Mutex<TcpStream>>>,
+}
+
+/// The sending side of the mesh: encodes envelopes and writes them to
+/// the peer connection of `env.dst`.
+///
+/// Holds only socket write halves, so the `Network` → `MeshLink`
+/// reference is acyclic; the mesh's reader threads own `Network` clones
+/// and exit when the sockets shut down.
+pub struct MeshLink<M> {
+    writers: Arc<Writers>,
+    _marker: PhantomData<fn(M) -> M>,
+}
+
+impl<M: Wire> RemoteLink<M> for MeshLink<M> {
+    fn send_remote(&self, env: Envelope<M>) -> Result<(), SendError> {
+        let dst = env.dst;
+        let framed = encode_envelope(&env);
+        let slot = self.writers.streams[dst.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no mesh connection toward {dst}"));
+        slot.lock().write_all(&framed).map_err(|_| SendError { dst })
+    }
+}
+
+// Peers accepted but not yet claimed by `establish`, indexed by node id.
+struct Accepted {
+    slots: Mutex<Vec<Option<Conn>>>,
+    ready: Condvar,
+}
+
+/// One process's endpoint of the cluster's TCP fabric.
+///
+/// Build with [`establish`](TcpMesh::establish) (blocks until the full
+/// mesh is up), wire into a partial [`Network`] via
+/// [`link`](TcpMesh::link), then call [`start`](TcpMesh::start) to spawn
+/// the reader threads. [`shutdown`](TcpMesh::shutdown) tears all of it
+/// down; it is idempotent and also runs on drop.
+pub struct TcpMesh<M> {
+    me: NodeId,
+    writers: Arc<Writers>,
+    pending: Mutex<Vec<(NodeId, Conn)>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+    ctrl_rx: Receiver<CtrlConn>,
+    _marker: PhantomData<fn(M) -> M>,
+}
+
+impl<M> std::fmt::Debug for TcpMesh<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TcpMesh({}, {} slots)", self.me, self.writers.streams.len())
+    }
+}
+
+fn timeout_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, what.to_owned())
+}
+
+fn configure(stream: &TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(false)
+}
+
+/// Performs the acceptor's half of a handshake and classifies the
+/// connection.
+fn greet_inbound(me: NodeId, mut stream: TcpStream) -> io::Result<(Hello, Conn)> {
+    configure(&stream)?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let mut dec = FrameDecoder::new(MAX_FRAME);
+    let hello = read_hello(&mut stream, &mut dec)?;
+    write_hello(&mut stream, hello.kind, me)?;
+    stream.set_read_timeout(None)?;
+    Ok((hello, Conn { stream, dec }))
+}
+
+fn run_acceptor(
+    me: NodeId,
+    listener: TcpListener,
+    accepted: Arc<Accepted>,
+    ctrl_tx: Sender<CtrlConn>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(_) => break,
+        };
+        // A botched handshake abandons that connection, not the acceptor.
+        let Ok((hello, conn)) = greet_inbound(me, stream) else {
+            continue;
+        };
+        match hello.kind {
+            ConnKind::Peer => {
+                let mut slots = accepted.slots.lock();
+                let idx = hello.node.index();
+                if idx < slots.len() && slots[idx].is_none() {
+                    slots[idx] = Some(conn);
+                    accepted.ready.notify_all();
+                }
+                // Out-of-range or duplicate peers are dropped on the floor.
+            }
+            ConnKind::Ctrl => {
+                let _ = ctrl_tx.send(CtrlConn {
+                    stream: conn.stream,
+                    dec: conn.dec,
+                });
+            }
+        }
+    }
+}
+
+/// Dials `addr`, retrying refusals until `deadline` — the peer may still
+/// be binding its listener.
+fn dial(me: NodeId, peer: NodeId, addr: &str, deadline: Instant) -> io::Result<Conn> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                configure(&stream)?;
+                stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+                write_hello(&mut stream, ConnKind::Peer, me)?;
+                let mut dec = FrameDecoder::new(MAX_FRAME);
+                let hello = read_hello(&mut stream, &mut dec)?;
+                if hello.kind != ConnKind::Peer || hello.node != peer {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{addr} answered as {:?} {}, expected {peer}", hello.kind, hello.node),
+                    ));
+                }
+                stream.set_read_timeout(None)?;
+                return Ok(Conn { stream, dec });
+            }
+            Err(e) => {
+                if Instant::now() + DIAL_RETRY >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("dialing {peer} at {addr}: {e}"),
+                    ));
+                }
+                thread::sleep(DIAL_RETRY);
+            }
+        }
+    }
+}
+
+impl<M: Wire + Tagged + Send + 'static> TcpMesh<M> {
+    /// Connects this process to every peer in `spec`, blocking until the
+    /// full mesh is up or `timeout` expires.
+    ///
+    /// `listener` must already be bound to `spec.addr(me)` (binding is
+    /// the caller's job so tests can bind port 0 and read the real
+    /// address back).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a peer cannot be dialed, a handshake is malformed, or the
+    /// higher-numbered peers do not dial in before the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `spec`.
+    pub fn establish(
+        me: NodeId,
+        spec: &ClusterSpec,
+        listener: TcpListener,
+        timeout: Duration,
+    ) -> io::Result<Self> {
+        let n = spec.nodes() as usize;
+        assert!(me.index() < n, "node {me} out of range for spec");
+        let deadline = Instant::now() + timeout;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(Accepted {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            ready: Condvar::new(),
+        });
+        let (ctrl_tx, ctrl_rx) = unbounded();
+        listener.set_nonblocking(true)?;
+        let acceptor = {
+            let accepted = Arc::clone(&accepted);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name(format!("accept-{me}"))
+                .spawn(move || run_acceptor(me, listener, accepted, ctrl_tx, stop))?
+        };
+
+        // Collect one connection per peer: dial down, accept up.
+        let mut conns: Vec<Option<Conn>> = (0..n).map(|_| None).collect();
+        let mut result = (|| -> io::Result<()> {
+            for (j, slot) in conns.iter_mut().enumerate().take(me.index()) {
+                let peer = NodeId::new(j as u32);
+                *slot = Some(dial(me, peer, spec.addr(peer), deadline)?);
+            }
+            let mut slots = accepted.slots.lock();
+            loop {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    if let Some(conn) = slot.take() {
+                        conns[j] = Some(conn);
+                    }
+                }
+                if conns
+                    .iter()
+                    .enumerate()
+                    .all(|(j, c)| j == me.index() || c.is_some())
+                {
+                    return Ok(());
+                }
+                let budget = deadline
+                    .checked_duration_since(Instant::now())
+                    .ok_or_else(|| timeout_err("peers did not connect in time"))?;
+                let (guard, wait) = accepted
+                    .ready
+                    .wait_timeout(slots, budget)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                slots = guard;
+                if wait.timed_out() {
+                    return Err(timeout_err("peers did not connect in time"));
+                }
+            }
+        })();
+
+        // Split each connection into a locked write half and a reader half.
+        let mut streams = Vec::with_capacity(n);
+        let mut pending = Vec::with_capacity(n.saturating_sub(1));
+        if result.is_ok() {
+            for (j, conn) in conns.into_iter().enumerate() {
+                match conn {
+                    Some(conn) => match conn.stream.try_clone() {
+                        Ok(writer) => {
+                            streams.push(Some(Mutex::new(writer)));
+                            pending.push((NodeId::new(j as u32), conn));
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    },
+                    None => streams.push(None),
+                }
+            }
+        }
+        if let Err(e) = result {
+            stop.store(true, Ordering::Release);
+            let _ = acceptor.join();
+            return Err(e);
+        }
+
+        Ok(TcpMesh {
+            me,
+            writers: Arc::new(Writers { streams }),
+            pending: Mutex::new(pending),
+            threads: Mutex::new(vec![acceptor]),
+            stop,
+            ctrl_rx,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The node this endpoint speaks for.
+    #[must_use]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The sending side, for [`Network::partial`].
+    #[must_use]
+    pub fn link(&self) -> Arc<MeshLink<M>> {
+        Arc::new(MeshLink {
+            writers: Arc::clone(&self.writers),
+            _marker: PhantomData,
+        })
+    }
+
+    /// Control connections accepted by the listener, in arrival order.
+    #[must_use]
+    pub fn ctrl_conns(&self) -> &Receiver<CtrlConn> {
+        &self.ctrl_rx
+    }
+
+    /// Spawns a reader thread per peer connection, delivering decoded
+    /// envelopes into `net` (which must host this node and treat the
+    /// peers as remote).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice — the readers are claimed on first use.
+    pub fn start(&self, net: &Network<M>) {
+        let pending = std::mem::take(&mut *self.pending.lock());
+        assert!(
+            !pending.is_empty() || self.writers.streams.len() == 1,
+            "mesh readers already started"
+        );
+        let mut threads = self.threads.lock();
+        for (peer, conn) in pending {
+            let net = net.clone();
+            let stop = Arc::clone(&self.stop);
+            let handle = thread::Builder::new()
+                .name(format!("mesh-{}-from-{peer}", self.me))
+                .spawn(move || run_reader(peer, conn, &net, &stop))
+                .expect("spawn mesh reader");
+            threads.push(handle);
+        }
+    }
+
+    /// Stops the acceptor and readers and closes every connection.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for writer in self.writers.streams.iter().flatten() {
+            // Unblocks the peer's reader (and ours) mid-`read`.
+            let _ = writer.lock().shutdown(Shutdown::Both);
+        }
+        for (_, conn) in self.pending.lock().drain(..) {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        let threads = std::mem::take(&mut *self.threads.lock());
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M> Drop for TcpMesh<M> {
+    fn drop(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for writer in self.writers.streams.iter().flatten() {
+            let _ = writer.lock().shutdown(Shutdown::Both);
+        }
+        for (_, conn) in self.pending.get_mut().drain(..) {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        for handle in std::mem::take(self.threads.get_mut()) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn run_reader<M: Wire + Tagged>(peer: NodeId, mut conn: Conn, net: &Network<M>, stop: &AtomicBool) {
+    loop {
+        let body = match crate::framing::read_frame(&mut conn.stream, &mut conn.dec) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // peer closed cleanly
+            Err(e) => {
+                // Reset-like errors are normal teardown noise when the
+                // peer closes first; anything else mid-run is reported.
+                let teardown = matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::BrokenPipe
+                );
+                if !stop.load(Ordering::Acquire) && !teardown {
+                    eprintln!("mesh: connection from {peer} failed: {e}");
+                }
+                return;
+            }
+        };
+        let env: Envelope<M> = match decode_envelope(body) {
+            Ok(env) => env,
+            Err(e) => {
+                eprintln!("mesh: bad envelope from {peer}: {e}");
+                return;
+            }
+        };
+        if env.dst.index() >= net.len() || !net.is_local(env.dst) {
+            eprintln!("mesh: {peer} sent an envelope for non-local {}", env.dst);
+            return;
+        }
+        if net.inject(env).is_err() {
+            return; // local engine is shutting down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Write as _;
+
+    use simnet::codec::{frame, CodecError};
+    use simnet::Tagged;
+
+    use super::*;
+    use crate::framing::{ctrl_node, read_frame, write_frame};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u64);
+
+    impl Tagged for Ping {
+        fn kind(&self) -> &'static str {
+            "PING"
+        }
+    }
+
+    impl Wire for Ping {
+        fn encode(&self, buf: &mut bytes::BytesMut) {
+            self.0.encode(buf);
+        }
+        fn decode(buf: &mut bytes::Bytes) -> Result<Self, CodecError> {
+            Ok(Ping(u64::decode(buf)?))
+        }
+        fn encoded_len(&self) -> usize {
+            8
+        }
+    }
+
+    fn loopback_spec(n: usize) -> (ClusterSpec, Vec<TcpListener>) {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let addrs = listeners
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect();
+        (ClusterSpec::new(8, addrs), listeners)
+    }
+
+    #[test]
+    fn two_node_mesh_carries_traffic_both_ways() {
+        let (spec, mut listeners) = loopback_spec(2);
+        let spec1 = spec.clone();
+        let l1 = listeners.pop().unwrap();
+        let l0 = listeners.pop().unwrap();
+        let timeout = Duration::from_secs(10);
+
+        let side = move |me: u32, listener: TcpListener, spec: ClusterSpec| {
+            let me = NodeId::new(me);
+            let mesh: TcpMesh<Ping> = TcpMesh::establish(me, &spec, listener, timeout).unwrap();
+            let net = Network::partial(2, &[me], mesh.link());
+            mesh.start(&net);
+            let mb = net.take_mailbox(me);
+            let other = NodeId::new(1 - me.index() as u32);
+            for i in 0..50 {
+                net.send(me, other, Ping(u64::from(me.index() as u32) * 1000 + i)).unwrap();
+            }
+            let mut got = Vec::new();
+            for _ in 0..50 {
+                got.push(mb.recv().unwrap());
+            }
+            (mesh, got)
+        };
+
+        let peer = thread::spawn(move || side(1, l1, spec1));
+        let (mesh0, got0) = side(0, l0, spec);
+        let (mesh1, got1) = peer.join().unwrap();
+
+        // FIFO per link, nothing lost, sources correct.
+        for (i, env) in got0.iter().enumerate() {
+            assert_eq!(env.src, NodeId::new(1));
+            assert_eq!(env.payload, Ping(1000 + i as u64));
+        }
+        for (i, env) in got1.iter().enumerate() {
+            assert_eq!(env.src, NodeId::new(0));
+            assert_eq!(env.payload, Ping(i as u64));
+        }
+        mesh0.shutdown();
+        mesh1.shutdown();
+    }
+
+    #[test]
+    fn ctrl_connections_keep_bytes_read_past_the_hello() {
+        let (spec, mut listeners) = loopback_spec(1);
+        let listener = listeners.pop().unwrap();
+        let addr = spec.addr(NodeId::new(0)).to_owned();
+        let mesh: TcpMesh<Ping> =
+            TcpMesh::establish(NodeId::new(0), &spec, listener, Duration::from_secs(5)).unwrap();
+
+        // Hello and first frame arrive in one segment: the handshake's
+        // decoder buffers the frame, and the handoff must not lose it.
+        let mut burst = Vec::new();
+        write_hello(&mut burst, ConnKind::Ctrl, ctrl_node()).unwrap();
+        burst.extend_from_slice(&frame(&42u64));
+        let mut client = TcpStream::connect(&addr).unwrap();
+        client.write_all(&burst).unwrap();
+
+        let mut client_dec = FrameDecoder::new(MAX_FRAME);
+        let reply = read_hello(&mut client, &mut client_dec).unwrap();
+        assert_eq!(reply.kind, ConnKind::Ctrl);
+        assert_eq!(reply.node, NodeId::new(0));
+
+        let mut conn = mesh
+            .ctrl_conns()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("ctrl connection");
+        let body = read_frame(&mut conn.stream, &mut conn.dec).unwrap().unwrap();
+        assert_eq!(crate::framing::decode_body::<u64>(body).unwrap(), 42);
+
+        // Server side can answer on the same socket.
+        write_frame(&mut conn.stream, &43u64).unwrap();
+        let body = read_frame(&mut client, &mut client_dec).unwrap().unwrap();
+        assert_eq!(crate::framing::decode_body::<u64>(body).unwrap(), 43);
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn establish_times_out_when_peers_never_dial() {
+        let (spec, mut listeners) = loopback_spec(2);
+        let _l1 = listeners.pop().unwrap();
+        let l0 = listeners.pop().unwrap();
+        // Node 0 waits for node 1, which never comes.
+        let err = TcpMesh::<Ping>::establish(
+            NodeId::new(0),
+            &spec,
+            l0,
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+}

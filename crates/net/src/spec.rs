@@ -1,0 +1,227 @@
+//! Cluster spec files: who the nodes are and where they listen.
+//!
+//! A spec is a line-based text file — trivially hand-editable, no parser
+//! dependencies:
+//!
+//! ```text
+//! # four-node loopback cluster
+//! nodes 4
+//! locations 64
+//! addr 0 127.0.0.1:7700
+//! addr 1 127.0.0.1:7701
+//! addr 2 127.0.0.1:7702
+//! addr 3 127.0.0.1:7703
+//! ```
+//!
+//! Every process of a cluster loads the same spec; `dsm-server --node i`
+//! binds `addr i` and dials its lower-numbered peers.
+
+use std::error::Error;
+use std::fmt;
+
+use memcore::NodeId;
+
+/// A parsed cluster spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    locations: u32,
+    addrs: Vec<String>,
+}
+
+/// A spec file failed to parse or was inconsistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line of the offending entry (0 for whole-file problems).
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "spec: {}", self.reason)
+        } else {
+            write!(f, "spec line {}: {}", self.line, self.reason)
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+fn err(line: usize, reason: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+impl ClusterSpec {
+    /// Builds a spec from node addresses (index = node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or `locations` is zero.
+    #[must_use]
+    pub fn new(locations: u32, addrs: Vec<String>) -> Self {
+        assert!(!addrs.is_empty(), "spec needs at least one node");
+        assert!(locations > 0, "spec needs at least one location");
+        ClusterSpec { locations, addrs }
+    }
+
+    /// Parses the text format shown in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on unknown directives, malformed or duplicate
+    /// entries, or a node count that does not match the address list.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut nodes: Option<usize> = None;
+        let mut locations: Option<u32> = None;
+        let mut addrs: Vec<Option<String>> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("nodes") => {
+                    let count: usize = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "nodes needs a count"))?
+                        .parse()
+                        .map_err(|e| err(lineno, format!("bad node count: {e}")))?;
+                    if count == 0 {
+                        return Err(err(lineno, "node count must be positive"));
+                    }
+                    if nodes.replace(count).is_some() {
+                        return Err(err(lineno, "duplicate nodes directive"));
+                    }
+                    addrs.resize(count, None);
+                }
+                Some("locations") => {
+                    let count: u32 = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "locations needs a count"))?
+                        .parse()
+                        .map_err(|e| err(lineno, format!("bad location count: {e}")))?;
+                    if count == 0 {
+                        return Err(err(lineno, "location count must be positive"));
+                    }
+                    if locations.replace(count).is_some() {
+                        return Err(err(lineno, "duplicate locations directive"));
+                    }
+                }
+                Some("addr") => {
+                    let id: usize = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "addr needs a node id"))?
+                        .parse()
+                        .map_err(|e| err(lineno, format!("bad node id: {e}")))?;
+                    let addr = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "addr needs host:port"))?;
+                    let n = nodes.ok_or_else(|| err(lineno, "addr before nodes directive"))?;
+                    if id >= n {
+                        return Err(err(lineno, format!("node {id} out of range (nodes {n})")));
+                    }
+                    if addrs[id].replace(addr.to_owned()).is_some() {
+                        return Err(err(lineno, format!("duplicate addr for node {id}")));
+                    }
+                }
+                Some(other) => {
+                    return Err(err(lineno, format!("unknown directive {other:?}")));
+                }
+                None => unreachable!("blank lines are skipped"),
+            }
+            if let Some(extra) = parts.next() {
+                return Err(err(lineno, format!("trailing tokens from {extra:?}")));
+            }
+        }
+        let n = nodes.ok_or_else(|| err(0, "missing nodes directive"))?;
+        let locations = locations.ok_or_else(|| err(0, "missing locations directive"))?;
+        let addrs: Vec<String> = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(id, a)| a.ok_or_else(|| err(0, format!("missing addr for node {id}"))))
+            .collect::<Result<_, _>>()?;
+        debug_assert_eq!(addrs.len(), n);
+        Ok(ClusterSpec::new(locations, addrs))
+    }
+
+    /// Renders back to the text format (parse ∘ `to_text` is identity).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!("nodes {}\nlocations {}\n", self.nodes(), self.locations);
+        for (id, addr) in self.addrs.iter().enumerate() {
+            out.push_str(&format!("addr {id} {addr}\n"));
+        }
+        out
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> u32 {
+        self.addrs.len() as u32
+    }
+
+    /// Size of the shared location namespace.
+    #[must_use]
+    pub fn locations(&self) -> u32 {
+        self.locations
+    }
+
+    /// The listen address of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn addr(&self, node: NodeId) -> &str {
+        &self.addrs[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_format() {
+        let spec = ClusterSpec::parse(
+            "# comment\n\nnodes 2\nlocations 8\naddr 0 127.0.0.1:7700\naddr 1 127.0.0.1:7701\n",
+        )
+        .unwrap();
+        assert_eq!(spec.nodes(), 2);
+        assert_eq!(spec.locations(), 8);
+        assert_eq!(spec.addr(NodeId::new(1)), "127.0.0.1:7701");
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let spec = ClusterSpec::new(64, vec!["a:1".into(), "b:2".into(), "c:3".into()]);
+        assert_eq!(ClusterSpec::parse(&spec.to_text()).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for (text, needle) in [
+            ("locations 4\naddr 0 x:1\n", "addr before nodes"),
+            ("nodes 2\nlocations 4\naddr 0 x:1\n", "missing addr for node 1"),
+            ("nodes 2\nlocations 4\naddr 5 x:1\n", "out of range"),
+            ("nodes 0\n", "must be positive"),
+            ("nodes 1\nnodes 1\n", "duplicate nodes"),
+            ("warp 9\n", "unknown directive"),
+            ("nodes 1\nlocations 4\naddr 0 x:1 extra\n", "trailing"),
+            ("nodes 1\naddr 0 x:1\n", "missing locations"),
+        ] {
+            let e = ClusterSpec::parse(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{text:?} gave {e}, wanted {needle:?}"
+            );
+        }
+    }
+}

@@ -32,4 +32,4 @@ mod router;
 pub use batch::{BatchPolicy, Batcher};
 pub use envelope::{Envelope, Tagged};
 pub use fault::{FaultHook, NoFaults, SendFate};
-pub use router::{Mailbox, Network, SendError};
+pub use router::{Mailbox, Network, RemoteLink, SendError};

@@ -30,9 +30,29 @@ impl fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
+/// Forwards envelopes addressed to nodes a partial [`Network`] does not
+/// host locally.
+///
+/// A remote transport (e.g. a TCP mesh) implements this to carry traffic
+/// off-process; envelopes arriving from the wire come back in through
+/// [`Network::inject`]. The link sees envelopes *after* statistics are
+/// recorded and the fault hook has ruled, so the message-counting story is
+/// identical for local and remote destinations.
+pub trait RemoteLink<M>: Send + Sync {
+    /// Carries `env` toward the process hosting `env.dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if the remote peer is unreachable (shutdown).
+    fn send_remote(&self, env: Envelope<M>) -> Result<(), SendError>;
+}
+
 struct Inner<M> {
-    senders: Vec<Sender<Envelope<M>>>,
+    // `None` marks a node hosted by another process (partial networks);
+    // traffic for it goes through `remote`.
+    senders: Vec<Option<Sender<Envelope<M>>>>,
     mailboxes: Vec<Mutex<Option<Receiver<Envelope<M>>>>>,
+    remote: Option<Arc<dyn RemoteLink<M>>>,
     msgs: NetStats,
     bytes: NetStats,
     envelopes: NetStats,
@@ -90,18 +110,50 @@ impl<M: Tagged> Network<M> {
     /// Panics if `n` is zero.
     #[must_use]
     pub fn new(n: usize) -> Self {
+        Self::build(n, None, None)
+    }
+
+    /// Creates a *partial* network: mailboxes exist only for the nodes in
+    /// `local`; envelopes addressed to any other node are handed to `link`.
+    ///
+    /// Traffic arriving from remote processes is delivered with
+    /// [`inject`](Network::inject). Statistics counters still span all `n`
+    /// nodes so per-node snapshots keep their indices, but only local
+    /// senders record into them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, `local` is empty, or any id in `local` is out
+    /// of range.
+    #[must_use]
+    pub fn partial(n: usize, local: &[NodeId], link: Arc<dyn RemoteLink<M>>) -> Self {
+        assert!(!local.is_empty(), "partial network needs a local node");
+        assert!(
+            local.iter().all(|id| id.index() < n),
+            "local node out of range"
+        );
+        Self::build(n, Some(local), Some(link))
+    }
+
+    fn build(n: usize, local: Option<&[NodeId]>, link: Option<Arc<dyn RemoteLink<M>>>) -> Self {
         assert!(n > 0, "network needs at least one node");
         let mut senders = Vec::with_capacity(n);
         let mut mailboxes = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            mailboxes.push(Mutex::new(Some(rx)));
+        for i in 0..n {
+            if local.is_none_or(|ids| ids.contains(&NodeId::new(i as u32))) {
+                let (tx, rx) = unbounded();
+                senders.push(Some(tx));
+                mailboxes.push(Mutex::new(Some(rx)));
+            } else {
+                senders.push(None);
+                mailboxes.push(Mutex::new(None));
+            }
         }
         Network {
             inner: Arc::new(Inner {
                 senders,
                 mailboxes,
+                remote: link,
                 msgs: NetStats::new(n),
                 bytes: NetStats::new(n),
                 envelopes: NetStats::new(n),
@@ -109,6 +161,39 @@ impl<M: Tagged> Network<M> {
                 ticks: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// `true` iff `node`'s mailbox lives in this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn is_local(&self, node: NodeId) -> bool {
+        self.inner.senders[node.index()].is_some()
+    }
+
+    /// Delivers an envelope that arrived from a remote process into its
+    /// local mailbox.
+    ///
+    /// No statistics are recorded: the sending process already counted the
+    /// send, and double-counting would skew the paper's message bills.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if the destination's mailbox was dropped
+    /// (shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination is out of range or not local.
+    pub fn inject(&self, env: Envelope<M>) -> Result<(), SendError> {
+        let dst = env.dst;
+        self.inner.senders[dst.index()]
+            .as_ref()
+            .expect("inject target is not a local node")
+            .send(env)
+            .map_err(|_| SendError { dst })
     }
 
     /// Number of nodes.
@@ -128,13 +213,14 @@ impl<M: Tagged> Network<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range or its mailbox was already taken.
+    /// Panics if `node` is out of range, not local to this process, or its
+    /// mailbox was already taken.
     #[must_use]
     pub fn take_mailbox(&self, node: NodeId) -> Mailbox<M> {
         let rx = self.inner.mailboxes[node.index()]
             .lock()
             .take()
-            .expect("mailbox already taken");
+            .expect("mailbox already taken or node not local");
         Mailbox { rx }
     }
 
@@ -152,9 +238,17 @@ impl<M: Tagged> Network<M> {
     }
 
     fn transmit(&self, src: NodeId, dst: NodeId, payload: M) -> Result<(), SendError> {
-        self.inner.senders[dst.index()]
-            .send(Envelope::new(src, dst, payload))
-            .map_err(|_| SendError { dst })
+        match &self.inner.senders[dst.index()] {
+            Some(tx) => tx
+                .send(Envelope::new(src, dst, payload))
+                .map_err(|_| SendError { dst }),
+            None => self
+                .inner
+                .remote
+                .as_ref()
+                .expect("no remote link for non-local destination")
+                .send_remote(Envelope::new(src, dst, payload)),
+        }
     }
 
     /// The per-(node, kind) message counters.
@@ -483,6 +577,52 @@ mod tests {
         net.send(p(0), p(1), Msg::Read(1)).unwrap();
         assert_eq!(mb.try_recv(), None);
         assert_eq!(net.messages().snapshot().get(p(0), kinds::DROP), 1);
+    }
+
+    #[test]
+    fn partial_network_hands_remote_traffic_to_the_link() {
+        struct Capture(Mutex<Vec<Envelope<Msg>>>);
+        impl RemoteLink<Msg> for Capture {
+            fn send_remote(&self, env: Envelope<Msg>) -> Result<(), SendError> {
+                self.0.lock().push(env);
+                Ok(())
+            }
+        }
+
+        let link = Arc::new(Capture(Mutex::new(Vec::new())));
+        // This process hosts node 0 of a 3-node cluster.
+        let net: Network<Msg> = Network::partial(3, &[p(0)], link.clone());
+        assert!(net.is_local(p(0)));
+        assert!(!net.is_local(p(1)));
+        let mb = net.take_mailbox(p(0));
+
+        // Remote destination: counted here, carried by the link.
+        net.send(p(0), p(2), Msg::Read(1)).unwrap();
+        let captured = link.0.lock();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].dst, p(2));
+        drop(captured);
+        assert_eq!(net.messages().snapshot().get(p(0), "READ"), 1);
+
+        // Wire arrival: injected into the local mailbox, NOT re-counted —
+        // the sending process already billed the send.
+        net.inject(Envelope::new(p(2), p(0), Msg::Reply(7))).unwrap();
+        assert_eq!(mb.recv().unwrap().payload, Msg::Reply(7));
+        assert_eq!(net.messages().snapshot().get(p(2), "R_REPLY"), 0);
+        assert_eq!(net.envelopes().snapshot().node_total(p(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inject target is not a local node")]
+    fn inject_to_remote_node_panics() {
+        struct Null;
+        impl RemoteLink<Msg> for Null {
+            fn send_remote(&self, _env: Envelope<Msg>) -> Result<(), SendError> {
+                Ok(())
+            }
+        }
+        let net: Network<Msg> = Network::partial(2, &[p(0)], Arc::new(Null));
+        let _ = net.inject(Envelope::new(p(0), p(1), Msg::Read(0)));
     }
 
     #[test]

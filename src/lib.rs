@@ -65,3 +65,7 @@ pub use dsm_apps as apps;
 /// Fault injection, the reliable-delivery session layer, and the chaos
 /// suite.
 pub use dsm_faults as faults;
+
+/// The real network transport: TCP mesh, framing, the server/load
+/// binaries' building blocks, and the loopback cluster harness.
+pub use dsm_net as net;

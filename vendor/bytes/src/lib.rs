@@ -207,6 +207,18 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)
     }
+
+    /// Splits off and returns the first `at` bytes, advancing `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to out of bounds");
+        BytesMut {
+            vec: self.vec.drain(..at).collect(),
+        }
+    }
 }
 
 impl Deref for BytesMut {
@@ -291,6 +303,21 @@ impl Buf for Bytes {
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance out of bounds");
         self.start += cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.vec
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.vec.len(), "advance out of bounds");
+        self.vec.drain(..cnt);
     }
 }
 
@@ -379,5 +406,15 @@ mod tests {
     fn over_advance_panics() {
         let mut bytes = Bytes::from(vec![1]);
         bytes.advance(2);
+    }
+
+    #[test]
+    fn bytes_mut_split_and_advance() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let head = buf.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        buf.advance(1);
+        assert_eq!(&buf[..], &[4, 5]);
     }
 }
