@@ -8,9 +8,9 @@
 //! Sections: `fig1 fig2 fig3 fig5 solver latency ablations dictionary chaos`.
 
 use dsm_bench::{
-    latency_sweep, render_ablations, render_chaos, render_costs, render_dictionary,
-    render_figure1, render_figure2, render_figure3, render_figure5, render_latency_sweep,
-    render_notice_modes, render_solver_table, solver_table, write_figure_dots,
+    latency_sweep, render_ablations, render_chaos, render_costs, render_dictionary, render_figure1,
+    render_figure2, render_figure3, render_figure5, render_latency_sweep, render_notice_modes,
+    render_solver_table, solver_table, write_figure_dots,
 };
 
 fn section(title: &str, body: &str) {

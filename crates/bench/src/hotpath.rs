@@ -33,6 +33,13 @@
 //!   Wall-clock over real sockets is scheduling-noisy and concurrent
 //!   interleaving makes the miss pattern — hence the message bill —
 //!   nondeterministic, so the cell is ungated.
+//! * `mixed_remote_tcp_batched` — the same script with pipelined writes
+//!   and transport batching on: the real-socket ablation pair for the
+//!   PR-7 event-driven mesh (fewer envelopes and `writev` calls per op).
+//! * `write_pipeline_tcp_w{0,32}` — the write-pipeline ablation over real
+//!   sockets: a two-node pure-write script, blocking vs. pipelined +
+//!   batched. Both TCP pairs report `syscalls_per_op` (`writev` calls
+//!   counted by the mesh) and are ungated like `mixed_remote_tcp`.
 //!
 //! Run via `cargo run --release -p dsm-bench --bin perf`; pass
 //! `--features alloc-count` to measure allocations with the counting
@@ -49,8 +56,8 @@ use std::time::Instant;
 
 use causal_dsm::{CausalCluster, CausalHandle};
 use dsm_apps::{
-    publish_system, run_causal_solver_sim, run_coordinator, run_worker, LinearSystem,
-    SolverLayout, SolverSimConfig,
+    publish_system, run_causal_solver_sim, run_coordinator, run_worker, LinearSystem, SolverLayout,
+    SolverSimConfig,
 };
 use memcore::{Location, SharedMemory, StatsSnapshot};
 use rand::{Rng, SeedableRng};
@@ -129,6 +136,11 @@ pub struct WorkloadReport {
     pub msgs_per_op: f64,
     /// Physical envelopes per measured op (what batching reduces).
     pub envelopes_per_op: f64,
+    /// Estimated transport syscalls per measured op — `writev` calls
+    /// counted by the TCP mesh, divided by ops. In-process workloads
+    /// push nothing through the kernel, so the estimate is 0 there.
+    /// Defaults to 0 when read from a pre-event-loop report.
+    pub syscalls_per_op: f64,
     /// Whether the CI regression gate applies to this cell.
     pub gated: bool,
 }
@@ -167,6 +179,7 @@ impl Deserialize for WorkloadReport {
             envelope_msgs: opt(v, "envelope_msgs")?,
             msgs_per_op: opt(v, "msgs_per_op")?,
             envelopes_per_op: opt(v, "envelopes_per_op")?,
+            syscalls_per_op: opt(v, "syscalls_per_op")?,
             gated: req(v, "gated")?,
         })
     }
@@ -296,6 +309,7 @@ fn report(
         envelope_msgs: envelopes.total(),
         msgs_per_op: delta.total() as f64 / executed,
         envelopes_per_op: envelopes.total() as f64 / executed,
+        syscalls_per_op: 0.0,
         gated,
     }
 }
@@ -526,6 +540,7 @@ pub fn figure6_solver(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
         envelope_msgs: msgs,
         msgs_per_op: msgs as f64 / ops.max(1) as f64,
         envelopes_per_op: msgs as f64 / ops.max(1) as f64,
+        syscalls_per_op: 0.0,
         gated: false,
     }
 }
@@ -623,7 +638,14 @@ pub fn write_pipeline(
     );
     let delta = cluster.messages().snapshot().since(&base);
     let envs = cluster.envelopes().snapshot().since(&env_base);
-    report(&format!("write_pipeline_w{window}"), seed, m, delta, envs, true)
+    report(
+        &format!("write_pipeline_w{window}"),
+        seed,
+        m,
+        delta,
+        envs,
+        true,
+    )
 }
 
 /// Bursty-invalidation workload: node 0 fires bursts of pipelined writes
@@ -683,7 +705,14 @@ pub fn bursty_invalidate(
     let delta = cluster.messages().snapshot().since(&base);
     let envs = cluster.envelopes().snapshot().since(&env_base);
     let tag = if batching { "batched" } else { "plain" };
-    report(&format!("bursty_invalidate_{tag}"), seed, m, delta, envs, true)
+    report(
+        &format!("bursty_invalidate_{tag}"),
+        seed,
+        m,
+        delta,
+        envs,
+        true,
+    )
 }
 
 /// `node` is unreachable forever — the bench's fail-stop model (the
@@ -747,7 +776,8 @@ pub fn failover_migration(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
     let base = cluster.messages().snapshot();
     let env_base = cluster.envelopes().snapshot();
     let start = Instant::now();
-    h2.write(hot, memcore::Word::Int(1000)).expect("recovery write");
+    h2.write(hot, memcore::Word::Int(1000))
+        .expect("recovery write");
     let recovery_ns = start.elapsed().as_nanos() as u64;
 
     // Post-crash steady state: ownership has migrated; these ops measure
@@ -800,13 +830,73 @@ pub fn mixed_remote_tcp(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
     const LOCATIONS: u32 = 64;
     let script_len = if cfg.quick { 2048 } else { 8192 };
     let run = dsm_net::run_loopback(NODES, LOCATIONS, seed, script_len);
+    tcp_report("mixed_remote_tcp", seed, run)
+}
+
+/// The same cluster-wide script as [`mixed_remote_tcp`], with the PR-7
+/// transport turned all the way up: pipelined writes (window 32) sealed
+/// into batch envelopes, so runs of logical messages cross the kernel in
+/// single `writev` calls. Read next to `mixed_remote_tcp` the pair is the
+/// real-socket ablation: the same logical protocol, fewer envelopes and
+/// fewer syscalls per op. Ungated for the same reason as its plain twin.
+///
+/// # Panics
+///
+/// Panics if cluster bring-up fails, an operation errors, or the oracle
+/// rejects the execution.
+#[must_use]
+pub fn mixed_remote_tcp_batched(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
+    const NODES: u32 = 4;
+    const LOCATIONS: u32 = 64;
+    let script_len = if cfg.quick { 2048 } else { 8192 };
+    let net = dsm_net::NetOptions {
+        pipeline: 32,
+        batching: true,
+        ..dsm_net::NetOptions::default()
+    };
+    let run = dsm_net::run_loopback_with(NODES, LOCATIONS, seed, script_len, &net);
+    tcp_report("mixed_remote_tcp_batched", seed, run)
+}
+
+/// The write-pipeline ablation over real sockets: a two-node cluster runs
+/// a pure-write script (read percentage 0), so roughly half the ops are
+/// remote WRITE/W_REPLY round trips over the kernel's loopback TCP.
+/// Window 0 is the paper's blocking write — one stalled round trip *and*
+/// at least one syscall per op; window `W` overlaps `W` of them and lets
+/// the batcher seal the overlapped WRITEs into shared envelopes. Ungated:
+/// real-socket wall-clock is scheduling-noisy.
+///
+/// # Panics
+///
+/// Panics if cluster bring-up fails, an operation errors, or the oracle
+/// rejects the execution.
+#[must_use]
+pub fn write_pipeline_tcp(seed: u64, cfg: &PerfConfig, window: u32) -> WorkloadReport {
+    const NODES: u32 = 2;
+    const LOCATIONS: u32 = 64;
+    let script_len = if cfg.quick { 2048 } else { 8192 };
+    let net = dsm_net::NetOptions {
+        pipeline: window,
+        batching: window > 0,
+        ..dsm_net::NetOptions::default()
+    };
+    let run = dsm_net::run_loopback_workload(NODES, LOCATIONS, seed, script_len, 0, &net);
+    tcp_report(&format!("write_pipeline_tcp_w{window}"), seed, run)
+}
+
+/// Shapes a loopback-TCP run into a cell: oracle-checks the merged
+/// history first (a fast number for an incorrect memory is worthless),
+/// then reports the wire-level syscall estimate — `writev` calls per op —
+/// alongside the logical and envelope bills. TCP cells are always
+/// ungated; see [`mixed_remote_tcp`].
+fn tcp_report(name: &str, seed: u64, run: dsm_net::LoopbackReport) -> WorkloadReport {
     let verdict = causal_spec::check_causal(&run.execution).expect("well-formed execution");
     assert!(verdict.is_correct(), "TCP cluster not causal: {verdict}");
 
     let ops = run.ops.max(1);
     let msgs = run.protocol_msgs + run.overhead_msgs;
     WorkloadReport {
-        name: "mixed_remote_tcp".to_owned(),
+        name: name.to_owned(),
         seed,
         ops: run.ops,
         elapsed_ns: run.elapsed_ns,
@@ -821,6 +911,7 @@ pub fn mixed_remote_tcp(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
         envelope_msgs: run.envelope_msgs,
         msgs_per_op: msgs as f64 / ops as f64,
         envelopes_per_op: run.envelope_msgs as f64 / ops as f64,
+        syscalls_per_op: run.wire.writev_calls as f64 / ops as f64,
         gated: false,
     }
 }
@@ -847,7 +938,9 @@ pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
             workloads.push(best_of(reps, || write_pipeline(seed, cfg, probe, window)));
         }
         for batching in [false, true] {
-            workloads.push(best_of(reps, || bursty_invalidate(seed, cfg, probe, batching)));
+            workloads.push(best_of(reps, || {
+                bursty_invalidate(seed, cfg, probe, batching)
+            }));
         }
         // One rep: the cell reports a recovery *gap*, not a throughput —
         // best-of selection over ops_per_sec would just pick the shortest
@@ -856,6 +949,10 @@ pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
         // One rep: ungated (real-socket wall-clock), and each run spins
         // up a full TCP mesh — repetition buys nothing the gate uses.
         workloads.push(mixed_remote_tcp(seed, cfg));
+        workloads.push(mixed_remote_tcp_batched(seed, cfg));
+        for window in [0u32, 32] {
+            workloads.push(write_pipeline_tcp(seed, cfg, window));
+        }
     }
     PerfReport {
         schema: 1,
@@ -914,13 +1011,23 @@ pub fn render_perf(report: &PerfReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<24} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "workload", "seed", "ops/sec", "p50 ns", "p99 ns", "allocs", "proto", "overhead", "msgs/op", "envs/op"
+        "{:<24} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workload",
+        "seed",
+        "ops/sec",
+        "p50 ns",
+        "p99 ns",
+        "allocs",
+        "proto",
+        "overhead",
+        "msgs/op",
+        "envs/op",
+        "sys/op"
     );
     for w in &report.workloads {
         let _ = writeln!(
             out,
-            "{:<24} {:>#10x} {:>12.0} {:>9} {:>9} {:>9.2} {:>9} {:>9} {:>9.3} {:>9.3}",
+            "{:<24} {:>#10x} {:>12.0} {:>9} {:>9} {:>9.2} {:>9} {:>9} {:>9.3} {:>9.3} {:>9.3}",
             w.name,
             w.seed,
             w.ops_per_sec,
@@ -930,7 +1037,8 @@ pub fn render_perf(report: &PerfReport) -> String {
             w.protocol_msgs,
             w.overhead_msgs,
             w.msgs_per_op,
-            w.envelopes_per_op
+            w.envelopes_per_op,
+            w.syscalls_per_op
         );
     }
     out
@@ -973,6 +1081,7 @@ mod tests {
             envelope_msgs: 0,
             msgs_per_op: 0.0,
             envelopes_per_op: 0.0,
+            syscalls_per_op: 0.0,
             gated,
         };
         let base = PerfReport {
@@ -1026,7 +1135,10 @@ mod tests {
             plain.msgs_by_kind, batched.msgs_by_kind,
             "batching must be invisible to the logical counters"
         );
-        assert_eq!(plain.envelope_msgs, plain.protocol_msgs + plain.overhead_msgs);
+        assert_eq!(
+            plain.envelope_msgs,
+            plain.protocol_msgs + plain.overhead_msgs
+        );
         assert!(
             batched.envelopes_per_op < plain.envelopes_per_op,
             "batched {} envs/op vs plain {} envs/op",
@@ -1058,6 +1170,9 @@ mod tests {
         let text = serde_json::to_string_pretty(&report).expect("serialize");
         let back: PerfReport = serde_json::from_str(&text).expect("parse");
         assert_eq!(back.workloads[0].name, "figure6_solver");
-        assert_eq!(back.workloads[0].protocol_msgs, report.workloads[0].protocol_msgs);
+        assert_eq!(
+            back.workloads[0].protocol_msgs,
+            report.workloads[0].protocol_msgs
+        );
     }
 }

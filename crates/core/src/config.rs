@@ -545,7 +545,11 @@ mod tests {
             assert!(b <= fo.backoff_max + fo.backoff_max / 4, "{b}");
             assert_eq!(b, fo.backoff(attempt, 7));
         }
-        assert_ne!(fo.backoff(2, 1), fo.backoff(2, 2), "jitter must vary by salt");
+        assert_ne!(
+            fo.backoff(2, 1),
+            fo.backoff(2, 2),
+            "jitter must vary by salt"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use memcore::{
     WriteId,
 };
 use parking_lot::{Mutex, MutexGuard, RwLock};
-use simnet::{BatchPolicy, Batcher, Network};
+use simnet::{BatchPolicy, Batcher, Envelope, Network};
 use vclock::VectorClock;
 
 use crate::config::{CausalConfig, CausalConfigBuilder, FailoverConfig};
@@ -140,6 +140,11 @@ impl StopSignal {
         self.cv.notify_all();
     }
 
+    /// Whether the flag has been raised.
+    fn is_stopped(&self) -> bool {
+        *self.stopped.lock()
+    }
+
     /// Sleeps for `timeout` unless stopped first; returns `true` iff the
     /// signal was raised (immediately if it already was).
     fn wait_for(&self, timeout: Duration) -> bool {
@@ -157,6 +162,266 @@ impl StopSignal {
             guard = g;
         }
         true
+    }
+}
+
+/// Puts a run of buffered pipelined WRITEs on the wire as one envelope (a
+/// single message, or [`Msg::Batch`] for runs of two or more), rolling
+/// back the run's window slots and registry entries if the transport is
+/// down. Caller holds the pipeline lock. A free function because both
+/// sides of the pipeline send: the application thread
+/// (`write_pipelined`/`flush`) and the server loop, which ships the run
+/// that accumulated during a round trip the moment the wire drains (the
+/// adaptive-batching hand-off).
+fn send_run_locked<V: Value>(
+    net: &Network<Msg<V>>,
+    src: NodeId,
+    node: &NodeShared<V>,
+    p: &mut PipelineState<V>,
+    owner: NodeId,
+    mut run: Vec<Msg<V>>,
+) -> Result<(), MemoryError> {
+    let wids: Vec<memcore::WriteId> = run
+        .iter()
+        .filter_map(|m| match m {
+            Msg::Write { wid, .. } => Some(*wid),
+            _ => None,
+        })
+        .collect();
+    let envelope = if run.len() == 1 {
+        run.pop().expect("length checked")
+    } else {
+        Msg::Batch(run)
+    };
+    if net.send(src, owner, envelope).is_err() {
+        // A failed send means the network has shut down, which is
+        // terminal for the session: every later operation on this
+        // handle also fails with `Shutdown`, and no reply will ever
+        // arrive for any member of the run. That is what makes it
+        // sound to unregister the *entire* run — including earlier
+        // `write_pipelined` calls that already returned `Ok(wid)` to
+        // their callers (their VT increments and optimistic cache
+        // installs stay applied) — rather than only the write being
+        // issued: nothing can observe the orphaned registrations, and
+        // leaving them would wedge a later `flush()` on replies that
+        // cannot come. If sends ever become retryable, this must be
+        // narrowed to the failing write only.
+        let mut registry = node.nonblocking.lock();
+        for wid in &wids {
+            if registry.remove(wid).is_some() {
+                node.nonblocking_count.fetch_sub(1, Ordering::Release);
+            }
+        }
+        drop(registry);
+        p.in_flight -= wids.len();
+        if p.in_flight == 0 {
+            p.owner = None;
+        }
+        return Err(MemoryError::Shutdown);
+    }
+    Ok(())
+}
+
+/// One node's server loop as a value: everything the per-node server
+/// thread used to close over, with the thread's `match` body factored
+/// into [`ServerCtx::process`] so a transport can run the loop on its own
+/// I/O thread instead (see [`InlineServer`]).
+struct ServerCtx<V: Value> {
+    me: NodeId,
+    node: Arc<NodeShared<V>>,
+    net: Network<Msg<V>>,
+    /// Wakes the application operation blocked on `NodeShared::replies`.
+    /// Held here (not by a thread) in inline mode, so dropping the
+    /// transport's sink is what disconnects blocked handles.
+    reply_tx: Sender<Msg<V>>,
+    failover_on: bool,
+    clock_start: Instant,
+}
+
+impl<V: Value> ServerCtx<V> {
+    /// Executes the server loop's body for one inbound envelope: serve
+    /// requests (Figure 4's owner side), absorb or forward replies, feed
+    /// the failure detector. Returns `false` on [`Msg::Halt`] — the
+    /// loop's exit signal.
+    fn process(&self, env: Envelope<Msg<V>>) -> bool {
+        let me = self.me;
+        let node = &self.node;
+        let net = &self.net;
+        if self.failover_on && env.src != me {
+            // Any message is liveness evidence.
+            let now = self.clock_start.elapsed().as_millis() as u64;
+            node.state.write().record_alive(env.src, now);
+        }
+        match env.payload {
+            Msg::Halt => return false,
+            Msg::Heartbeat { .. } => {}
+            Msg::Suspect { suspect, epochs } => {
+                let mut st = node.state.write();
+                st.absorb_suspect(suspect, &epochs);
+                let repl = st.take_replications();
+                drop(st);
+                for (dst, msg) in repl {
+                    let _ = net.send(me, dst, msg);
+                }
+            }
+            Msg::Replicate {
+                page,
+                vt,
+                slots,
+                origins,
+            } => {
+                node.state.write().apply_replicate(page, vt, slots, origins);
+            }
+            Msg::Stamped { epoch, op, inner } if inner.is_request() => {
+                let mut st = node.state.write();
+                let reply = st.serve_stamped(env.src, epoch, op, *inner);
+                let repl = st.take_replications();
+                drop(st);
+                if let Some(reply) = reply {
+                    let _ = net.send(me, env.src, reply);
+                }
+                for (dst, msg) in repl {
+                    let _ = net.send(me, dst, msg);
+                }
+            }
+            Msg::Batch(parts) => {
+                // A transport batch is semantically its parts, in order.
+                // Requests are served in one state-lock pass with a single
+                // coalesced invalidation sweep, and their replies travel
+                // back as one envelope (the piggybacked acks); reply parts
+                // are absorbed/forwarded exactly as if they arrived alone.
+                let mut requests = Vec::with_capacity(parts.len());
+                for part in parts {
+                    if part.is_request() {
+                        requests.push(part);
+                    } else {
+                        self.absorb_or_forward(part);
+                    }
+                }
+                if !requests.is_empty() {
+                    let mut replies = node.state.write().serve_batch(env.src, requests);
+                    let reply = if replies.len() == 1 {
+                        replies.pop().expect("length checked")
+                    } else {
+                        Msg::Batch(replies)
+                    };
+                    let _ = net.send(me, env.src, reply);
+                }
+            }
+            request if request.is_request() => {
+                let reply = node
+                    .state
+                    .write()
+                    .serve(env.src, request)
+                    .expect("requests always produce replies");
+                // Best effort: the requester may already be shutting down.
+                let _ = net.send(me, env.src, reply);
+            }
+            reply => self.absorb_or_forward(reply),
+        }
+        true
+    }
+
+    /// Replies to non-blocking/pipelined writes are absorbed here;
+    /// everything else wakes the blocked application operation. The
+    /// counter check keeps the common (blocking-only) reply path off the
+    /// registry mutex entirely.
+    fn absorb_or_forward(&self, reply: Msg<V>) {
+        let node = &self.node;
+        let absorbed = match &reply {
+            Msg::WriteReply { wid, .. } if node.nonblocking_count.load(Ordering::Acquire) > 0 => {
+                node.nonblocking.lock().remove(wid)
+            }
+            _ => None,
+        };
+        match absorbed {
+            Some(pipelined) => {
+                node.state.write().absorb_write_reply(reply);
+                // Decrement only after absorbing, so a drained pipeline
+                // implies the merged clock (see the field's ordering
+                // audit).
+                node.nonblocking_count.fetch_sub(1, Ordering::Release);
+                if pipelined {
+                    let mut p = node.pipeline.lock();
+                    p.in_flight -= 1;
+                    if p.in_flight == 0 {
+                        p.owner = None;
+                    } else if !p.batcher.is_empty() && p.in_flight == p.batcher.len() {
+                        // The wire just drained but writes accumulated
+                        // during the round trip: ship them now, as one
+                        // envelope. Together with `write_pipelined`'s
+                        // eager first send this makes batching adaptive —
+                        // a burst's first write travels alone (latency),
+                        // and the run that built up behind it coalesces
+                        // (throughput), sized by the round trip rather
+                        // than a fixed count.
+                        let owner = p.owner.expect("buffered writes always have an owner");
+                        let run = p.batcher.take();
+                        // A send failure means engine shutdown; the
+                        // rollback inside leaves the window consistent
+                        // and the notify below wakes any flush() waiter.
+                        let _ = send_run_locked(&self.net, self.me, node, &mut p, owner, run);
+                    }
+                    drop(p);
+                } else {
+                    // flush() waits on `nonblocking_count` under the
+                    // pipeline mutex; touching the mutex between the
+                    // decrement and the notify makes that wait
+                    // lost-wakeup-free (a waiter either sees the new
+                    // count or is already parked on the condvar).
+                    drop(node.pipeline.lock());
+                }
+                node.pipeline_cv.notify_all();
+            }
+            None => {
+                let _ = self.reply_tx.send(reply);
+            }
+        }
+    }
+}
+
+/// A single node's server loop, handed to the transport instead of a
+/// thread: built by [`CausalCluster::with_inline_transport`], consumed by
+/// an I/O layer (such as `dsm-net`'s poller) that calls
+/// [`InlineServer::deliver`] for every inbound envelope it decodes.
+///
+/// Exactly one I/O thread must drive it — the engine relies on the
+/// per-node server loop being single-threaded, and an event-loop
+/// transport's one poller satisfies that the same way the engine's own
+/// server thread did.
+pub struct InlineServer<V: Value> {
+    ctx: Arc<ServerCtx<V>>,
+    stop: Arc<StopSignal>,
+}
+
+impl<V: Value> InlineServer<V> {
+    /// Runs the server loop's body for one envelope on the caller's
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Shutdown`] once the owning cluster has shut
+    /// down (or the envelope was [`Msg::Halt`]) — the transport should
+    /// stop delivering.
+    pub fn deliver(&self, env: Envelope<Msg<V>>) -> Result<(), MemoryError> {
+        if self.stop.is_stopped() || !self.ctx.process(env) {
+            return Err(MemoryError::Shutdown);
+        }
+        Ok(())
+    }
+
+    /// The node this server serves.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.ctx.me
+    }
+}
+
+impl<V: Value> std::fmt::Debug for InlineServer<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InlineServer")
+            .field("node", &self.ctx.me)
+            .finish_non_exhaustive()
     }
 }
 
@@ -298,6 +563,42 @@ impl<V: Value> CausalCluster<V> {
         net: Network<Msg<V>>,
         local: &[NodeId],
     ) -> Result<Self, MemoryError> {
+        Self::build_engine(config, recorder, net, local, false).map(|(cluster, _)| cluster)
+    }
+
+    /// Like [`CausalCluster::with_transport`] for a single local node,
+    /// but spawns **no server thread**: the returned [`InlineServer`] is
+    /// the node's server loop as a value, and the transport delivers each
+    /// inbound envelope by calling [`InlineServer::deliver`] on its own
+    /// I/O thread. `dsm-net`'s poller serves requests the moment it
+    /// decodes them — the same Figure-4 steps, minus one thread per
+    /// process and two scheduler hops per owner round trip.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's size differs from the configured node
+    /// count or `me` has no mailbox in this process.
+    pub fn with_inline_transport(
+        config: CausalConfig<V>,
+        recorder: Option<Recorder<V>>,
+        net: Network<Msg<V>>,
+        me: NodeId,
+    ) -> Result<(Self, InlineServer<V>), MemoryError> {
+        Self::build_engine(config, recorder, net, &[me], true)
+            .map(|(cluster, server)| (cluster, server.expect("inline build yields a server")))
+    }
+
+    fn build_engine(
+        config: CausalConfig<V>,
+        recorder: Option<Recorder<V>>,
+        net: Network<Msg<V>>,
+        local: &[NodeId],
+        inline: bool,
+    ) -> Result<(Self, Option<InlineServer<V>>), MemoryError> {
         let n = config.nodes() as usize;
         assert_eq!(net.len(), n, "transport size mismatch");
         assert!(!local.is_empty(), "cluster hosts no local node");
@@ -331,141 +632,35 @@ impl<V: Value> CausalCluster<V> {
         // since cluster start).
         let clock_start = Instant::now();
         let failover = config.failover();
+        let mut inline_server = None;
         for &me in local {
+            let ctx = ServerCtx {
+                me,
+                node: Arc::clone(&nodes[me.index()]),
+                net: net.clone(),
+                reply_tx: reply_txs[me.index()].clone(),
+                failover_on: failover.is_some(),
+                clock_start,
+            };
+            if inline {
+                // The transport drives this node's server loop itself;
+                // its mailbox stays with the network, unread (only
+                // `Msg::Halt` is ever addressed to it, and inline
+                // shutdown runs through the stop signal instead).
+                inline_server = Some(InlineServer {
+                    ctx: Arc::new(ctx),
+                    stop: Arc::clone(&stop),
+                });
+                continue;
+            }
             let mailbox = net.take_mailbox(me);
-            let node = Arc::clone(&nodes[me.index()]);
-            let reply_tx = reply_txs[me.index()].clone();
-            let net = net.clone();
-            let i = me.index();
-            let failover_on = failover.is_some();
             servers.push(
                 std::thread::Builder::new()
-                    .name(format!("causal-node-{i}"))
+                    .name(format!("causal-node-{}", me.index()))
                     .spawn(move || {
-                        // Replies to non-blocking/pipelined writes are
-                        // absorbed here; everything else wakes the blocked
-                        // application operation. The counter check keeps
-                        // the common (blocking-only) reply path off the
-                        // registry mutex entirely.
-                        let absorb_or_forward = |reply: Msg<V>| {
-                            let absorbed = match &reply {
-                                Msg::WriteReply { wid, .. }
-                                    if node.nonblocking_count.load(Ordering::Acquire) > 0 =>
-                                {
-                                    node.nonblocking.lock().remove(wid)
-                                }
-                                _ => None,
-                            };
-                            match absorbed {
-                                Some(pipelined) => {
-                                    node.state.write().absorb_write_reply(reply);
-                                    // Decrement only after absorbing, so a
-                                    // drained pipeline implies the merged
-                                    // clock (see the field's ordering
-                                    // audit).
-                                    node.nonblocking_count.fetch_sub(1, Ordering::Release);
-                                    if pipelined {
-                                        let mut p = node.pipeline.lock();
-                                        p.in_flight -= 1;
-                                        if p.in_flight == 0 {
-                                            p.owner = None;
-                                        }
-                                        drop(p);
-                                    } else {
-                                        // flush() waits on
-                                        // `nonblocking_count` under the
-                                        // pipeline mutex; touching the
-                                        // mutex between the decrement and
-                                        // the notify makes that wait
-                                        // lost-wakeup-free (a waiter
-                                        // either sees the new count or is
-                                        // already parked on the condvar).
-                                        drop(node.pipeline.lock());
-                                    }
-                                    node.pipeline_cv.notify_all();
-                                }
-                                None => {
-                                    let _ = reply_tx.send(reply);
-                                }
-                            }
-                        };
                         while let Some(env) = mailbox.recv() {
-                            if failover_on && env.src != me {
-                                // Any message is liveness evidence.
-                                let now = clock_start.elapsed().as_millis() as u64;
-                                node.state.write().record_alive(env.src, now);
-                            }
-                            match env.payload {
-                                Msg::Halt => break,
-                                Msg::Heartbeat { .. } => {}
-                                Msg::Suspect { suspect, epochs } => {
-                                    let mut st = node.state.write();
-                                    st.absorb_suspect(suspect, &epochs);
-                                    let repl = st.take_replications();
-                                    drop(st);
-                                    for (dst, msg) in repl {
-                                        let _ = net.send(me, dst, msg);
-                                    }
-                                }
-                                Msg::Replicate {
-                                    page,
-                                    vt,
-                                    slots,
-                                    origins,
-                                } => {
-                                    node.state.write().apply_replicate(page, vt, slots, origins);
-                                }
-                                Msg::Stamped { epoch, op, inner } if inner.is_request() => {
-                                    let mut st = node.state.write();
-                                    let reply = st.serve_stamped(env.src, epoch, op, *inner);
-                                    let repl = st.take_replications();
-                                    drop(st);
-                                    if let Some(reply) = reply {
-                                        let _ = net.send(me, env.src, reply);
-                                    }
-                                    for (dst, msg) in repl {
-                                        let _ = net.send(me, dst, msg);
-                                    }
-                                }
-                                Msg::Batch(parts) => {
-                                    // A transport batch is semantically its
-                                    // parts, in order. Requests are served
-                                    // in one state-lock pass with a single
-                                    // coalesced invalidation sweep, and
-                                    // their replies travel back as one
-                                    // envelope (the piggybacked acks);
-                                    // reply parts are absorbed/forwarded
-                                    // exactly as if they arrived alone.
-                                    let mut requests = Vec::with_capacity(parts.len());
-                                    for part in parts {
-                                        if part.is_request() {
-                                            requests.push(part);
-                                        } else {
-                                            absorb_or_forward(part);
-                                        }
-                                    }
-                                    if !requests.is_empty() {
-                                        let mut replies =
-                                            node.state.write().serve_batch(env.src, requests);
-                                        let reply = if replies.len() == 1 {
-                                            replies.pop().expect("length checked")
-                                        } else {
-                                            Msg::Batch(replies)
-                                        };
-                                        let _ = net.send(me, env.src, reply);
-                                    }
-                                }
-                                request if request.is_request() => {
-                                    let reply = node
-                                        .state
-                                        .write()
-                                        .serve(env.src, request)
-                                        .expect("requests always produce replies");
-                                    // Best effort: the requester may already
-                                    // be shutting down.
-                                    let _ = net.send(me, env.src, reply);
-                                }
-                                reply => absorb_or_forward(reply),
+                            if !ctx.process(env) {
+                                break;
                             }
                         }
                     })
@@ -535,7 +730,7 @@ impl<V: Value> CausalCluster<V> {
             }
         }
 
-        Ok(CausalCluster {
+        let cluster = CausalCluster {
             inner: Arc::new(ClusterInner {
                 config,
                 net,
@@ -545,7 +740,8 @@ impl<V: Value> CausalCluster<V> {
                 servers: Mutex::new(servers),
                 stop,
             }),
-        })
+        };
+        Ok((cluster, inline_server))
     }
 
     /// A handle performing operations as process `node`.
@@ -684,11 +880,15 @@ impl<V: Value> CausalCluster<V> {
     /// wait rather than finishing it (regression-tested in
     /// `tests/failover.rs`).
     pub fn shutdown(&self) {
+        // Raise the flag before looking at the thread roster: an
+        // inline-transport cluster has no server threads at all, and its
+        // transport checks this flag (through [`InlineServer::deliver`])
+        // to learn the engine is gone.
+        self.inner.stop.stop();
         let handles: Vec<_> = self.inner.servers.lock().drain(..).collect();
         if handles.is_empty() {
             return;
         }
-        self.inner.stop.stop();
         for &dst in &self.inner.local {
             // Halt is engine-internal; exclude it from protocol counts by
             // sending as the destination itself. Only locally-hosted
@@ -770,7 +970,10 @@ impl<V: Value> CausalHandle<V> {
         let config = &self.inner.config;
         let page = loc.page(config.page_size());
         if config.failover().is_some() {
-            self.inner.nodes[self.node.index()].state.read().current_owner(page)
+            self.inner.nodes[self.node.index()]
+                .state
+                .read()
+                .current_owner(page)
         } else {
             config.owners().owner_of_page(page)
         }
@@ -808,47 +1011,9 @@ impl<V: Value> CausalHandle<V> {
         node: &NodeShared<V>,
         p: &mut PipelineState<V>,
         owner: NodeId,
-        mut run: Vec<Msg<V>>,
+        run: Vec<Msg<V>>,
     ) -> Result<(), MemoryError> {
-        let wids: Vec<memcore::WriteId> = run
-            .iter()
-            .filter_map(|m| match m {
-                Msg::Write { wid, .. } => Some(*wid),
-                _ => None,
-            })
-            .collect();
-        let envelope = if run.len() == 1 {
-            run.pop().expect("length checked")
-        } else {
-            Msg::Batch(run)
-        };
-        if self.inner.net.send(self.node, owner, envelope).is_err() {
-            // A failed send means the network has shut down, which is
-            // terminal for the session: every later operation on this
-            // handle also fails with `Shutdown`, and no reply will ever
-            // arrive for any member of the run. That is what makes it
-            // sound to unregister the *entire* run — including earlier
-            // `write_pipelined` calls that already returned `Ok(wid)` to
-            // their callers (their VT increments and optimistic cache
-            // installs stay applied) — rather than only the write being
-            // issued: nothing can observe the orphaned registrations, and
-            // leaving them would wedge a later `flush()` on replies that
-            // cannot come. If sends ever become retryable, this must be
-            // narrowed to the failing write only.
-            let mut registry = node.nonblocking.lock();
-            for wid in &wids {
-                if registry.remove(wid).is_some() {
-                    node.nonblocking_count.fetch_sub(1, Ordering::Release);
-                }
-            }
-            drop(registry);
-            p.in_flight -= wids.len();
-            if p.in_flight == 0 {
-                p.owner = None;
-            }
-            return Err(MemoryError::Shutdown);
-        }
-        Ok(())
+        send_run_locked(&self.inner.net, self.node, node, p, owner, run)
     }
 
     /// Sends whatever the batcher holds to the pipeline owner. A no-op
@@ -894,8 +1059,7 @@ impl<V: Value> CausalHandle<V> {
                 // (nonblocking_count) — a full budget with either still
                 // outstanding means the reply is not coming.
                 if timeout.timed_out()
-                    && (guard.in_flight > 0
-                        || node.nonblocking_count.load(Ordering::Acquire) > 0)
+                    && (guard.in_flight > 0 || node.nonblocking_count.load(Ordering::Acquire) > 0)
                 {
                     return Err(MemoryError::Timeout { owner });
                 }
@@ -974,7 +1138,10 @@ impl<V: Value> CausalHandle<V> {
         owner: NodeId,
         expect: &Expected,
     ) -> Result<Msg<V>, MemoryError> {
-        let window = match (self.inner.config.owner_timeout(), self.inner.config.failover()) {
+        let window = match (
+            self.inner.config.owner_timeout(),
+            self.inner.config.failover(),
+        ) {
             (Some(w), Some(_)) => Some(w),
             (Some(w), None) => Some(w * (1 + self.inner.config.owner_retries())),
             (None, Some(fo)) => Some(Duration::from_millis(
@@ -1058,10 +1225,7 @@ impl<V: Value> CausalHandle<V> {
             if self.inner.net.send(self.node, owner, env).is_err() {
                 return Err(MemoryError::Shutdown);
             }
-            let expect = Expected {
-                op: Some(op),
-                want,
-            };
+            let expect = Expected { op: Some(op), want };
             match self.await_reply(node, owner, &expect) {
                 Ok(Msg::Nack {
                     page: npage, epoch, ..
@@ -1125,8 +1289,7 @@ impl<V: Value> CausalHandle<V> {
         // running on another handle) slip an uncertified increment into
         // the stamp this write later exports via R_REPLY.
         if self.inner.recorder.is_none() && self.owns_locally(loc) {
-            let pipeline =
-                (self.inner.config.pipeline_window() > 0).then(|| node.pipeline.lock());
+            let pipeline = (self.inner.config.pipeline_window() > 0).then(|| node.pipeline.lock());
             if pipeline.as_ref().is_none_or(|p| p.in_flight == 0) {
                 // `value` moves here; fine, because both arms below
                 // diverge — the non-idle fall-through never reaches this.
@@ -1348,6 +1511,16 @@ impl<V: Value> CausalHandle<V> {
                 p.in_flight += 1;
                 if self.inner.config.batching() {
                     if let Some(run) = p.batcher.push(request) {
+                        self.send_run(node, &mut p, owner, run)?;
+                    } else if p.in_flight == p.batcher.len() {
+                        // Nothing on the wire: buffering now would idle
+                        // the owner for no gain, so ship immediately.
+                        // Writes issued during this run's round trip
+                        // accumulate in the batcher and go out as one
+                        // envelope when the wire drains (see the absorb
+                        // path) — batching adapts to the round-trip time
+                        // instead of imposing a fixed-size wait.
+                        let run = p.batcher.take();
                         self.send_run(node, &mut p, owner, run)?;
                     }
                 } else {

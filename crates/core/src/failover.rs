@@ -153,8 +153,7 @@ mod tests {
 
     #[test]
     fn suspicion_fires_after_threshold_and_clears_on_contact() {
-        let mut fo: FailoverState<memcore::Word> =
-            FailoverState::new(FailoverConfig::default(), 3);
+        let mut fo: FailoverState<memcore::Word> = FailoverState::new(FailoverConfig::default(), 3);
         let me = NodeId::new(0);
         // interval 25 × threshold 4 = 100: silence of exactly 100 is fine.
         assert!(fo.check_suspicions(me, 100).is_empty());
@@ -171,8 +170,7 @@ mod tests {
 
     #[test]
     fn dirty_pages_are_deduplicated() {
-        let mut fo: FailoverState<memcore::Word> =
-            FailoverState::new(FailoverConfig::default(), 2);
+        let mut fo: FailoverState<memcore::Word> = FailoverState::new(FailoverConfig::default(), 2);
         fo.mark_dirty(PageId::new(3));
         fo.mark_dirty(PageId::new(1));
         fo.mark_dirty(PageId::new(3));

@@ -61,8 +61,12 @@ mod fxmap;
 mod msg;
 mod state;
 
-pub use config::{CausalConfig, CausalConfigBuilder, FailoverConfig, InvalidationMode, WritePolicy};
+pub use config::{
+    CausalConfig, CausalConfigBuilder, FailoverConfig, InvalidationMode, WritePolicy,
+};
+pub use engine::{
+    CausalCluster, CausalClusterBuilder, CausalHandle, ClusterSnapshot, InlineServer,
+};
 pub use failover::owner_at;
-pub use engine::{CausalCluster, CausalClusterBuilder, CausalHandle, ClusterSnapshot};
 pub use msg::{Msg, SlotData, WriteVerdict};
 pub use state::{CausalState, ReadStep, WriteDone, WriteStep};

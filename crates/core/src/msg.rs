@@ -472,9 +472,7 @@ impl<V: Wire> Wire for Msg<V> {
                 1 + epoch.encoded_len() + op.encoded_len() + inner.encoded_len()
             }
             Msg::Heartbeat { seq } => 1 + seq.encoded_len(),
-            Msg::Suspect { suspect, epochs } => {
-                1 + suspect.encoded_len() + epochs.encoded_len()
-            }
+            Msg::Suspect { suspect, epochs } => 1 + suspect.encoded_len() + epochs.encoded_len(),
             Msg::Nack {
                 page,
                 op,

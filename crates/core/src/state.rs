@@ -199,9 +199,7 @@ impl<V: Value> CausalState<V> {
                 pages.insert(page, Self::initial_page(&config, page, n));
             }
         }
-        let failover = config
-            .failover()
-            .map(|fo| FailoverState::new(fo, n));
+        let failover = config.failover().map(|fo| FailoverState::new(fo, n));
         CausalState {
             id,
             config,
@@ -891,9 +889,7 @@ impl<V: Value> CausalState<V> {
         let victim = self
             .pages
             .iter()
-            .filter(|(p, _)| {
-                self.current_owner(**p) != self.id && !self.config.is_const_page(**p)
-            })
+            .filter(|(p, _)| self.current_owner(**p) != self.id && !self.config.is_const_page(**p))
             .min_by_key(|(_, e)| e.installed_at)
             .map(|(p, _)| *p)?;
         self.pages.remove(&victim);
@@ -918,9 +914,7 @@ impl<V: Value> CausalState<V> {
                 Some(fo) => owner_at(owners.as_ref(), *page, fo.epoch_of(*page)),
                 None => owners.owner_of_page(*page),
             };
-            owner == id
-                || config.is_const_page(*page)
-                || !entry.vt.dominated_by(threshold)
+            owner == id || config.is_const_page(*page) || !entry.vt.dominated_by(threshold)
         });
         self.invalidations += (before - self.pages.len()) as u64;
     }
@@ -1237,7 +1231,9 @@ impl<V: Value> CausalState<V> {
     /// `true` iff this node currently believes `node` has crashed.
     #[must_use]
     pub fn is_suspected(&self, node: NodeId) -> bool {
-        self.failover.as_ref().is_some_and(|fo| fo.is_suspected(node))
+        self.failover
+            .as_ref()
+            .is_some_and(|fo| fo.is_suspected(node))
     }
 }
 

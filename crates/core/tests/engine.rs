@@ -288,10 +288,7 @@ fn owner_timeout_fails_instead_of_hanging_on_a_lossy_network() {
     }
 
     let cluster = CausalCluster::<Word>::builder(2, 2)
-        .configure(|c| {
-            c.owner_timeout(Duration::from_millis(20))
-                .owner_retries(2)
-        })
+        .configure(|c| c.owner_timeout(Duration::from_millis(20)).owner_retries(2))
         .build()
         .unwrap();
     cluster.set_fault_hook(Some(Arc::new(DropReads)));

@@ -19,9 +19,7 @@ use causal_dsm::{
     owner_at, CausalCluster, CausalConfig, CausalState, FailoverConfig, Msg, ReadStep, WriteDone,
     WriteStep,
 };
-use memcore::{
-    kinds, Location, MemoryError, NodeId, OwnerEpoch, PageId, SharedMemory, Word,
-};
+use memcore::{kinds, Location, MemoryError, NodeId, OwnerEpoch, PageId, SharedMemory, Word};
 use simnet::{FaultHook, SendFate};
 
 fn loc(i: u32) -> Location {
@@ -69,7 +67,11 @@ fn suspicion_migrates_ownership_to_the_successor() {
         .serve_stamped(n(2), epoch, op, Msg::Read { page })
         .expect("owner must answer");
     match reply {
-        Msg::Stamped { epoch: e, op: o, inner } => {
+        Msg::Stamped {
+            epoch: e,
+            op: o,
+            inner,
+        } => {
             assert_eq!((e, o), (epoch, op));
             assert!(matches!(*inner, Msg::ReadReply { .. }));
         }
@@ -91,7 +93,12 @@ fn stale_epoch_requests_are_nacked_with_redirect() {
     let op = 7;
     let reply = s[1].serve_stamped(n(2), stale, op, Msg::Read { page });
     match reply {
-        Some(Msg::Nack { page: p, op: o, epoch, redirect }) => {
+        Some(Msg::Nack {
+            page: p,
+            op: o,
+            epoch,
+            redirect,
+        }) => {
             assert_eq!((p, o), (page, op));
             assert_eq!(epoch, OwnerEpoch::new(1));
             assert_eq!(redirect, n(1));
@@ -131,7 +138,11 @@ fn blocking_write_in_flight_survives_migration() {
     let value = Arc::new(Word::Int(42));
     let step = s[2].begin_write_shared(loc(0), Arc::clone(&value));
     let (wid, request) = match step {
-        WriteStep::Remote { owner, wid, request } => {
+        WriteStep::Remote {
+            owner,
+            wid,
+            request,
+        } => {
             assert_eq!(owner, n(0));
             (wid, request)
         }
@@ -197,13 +208,21 @@ fn shadow_replication_preserves_certified_writes_across_the_crash() {
         WriteStep::Done { .. } => panic!("remote page wrote locally"),
     };
     let reply = s[0].serve(n(2), request).expect("owner certifies");
-    assert_eq!(s[2].finish_write(value, wid, reply), WriteDone::Applied { wid });
+    assert_eq!(
+        s[2].finish_write(value, wid, reply),
+        WriteDone::Applied { wid }
+    );
     let repl = s[0].take_replications();
     assert_eq!(repl.len(), 1);
     let (dst, msg) = repl.into_iter().next().unwrap();
     assert_eq!(dst, n(1), "the shadow goes to the successor");
     match msg {
-        Msg::Replicate { page: p, vt, slots, origins } => {
+        Msg::Replicate {
+            page: p,
+            vt,
+            slots,
+            origins,
+        } => {
             assert_eq!(p, page);
             s[1].apply_replicate(p, vt, slots, origins);
         }
@@ -224,7 +243,9 @@ fn shadow_replication_preserves_certified_writes_across_the_crash() {
     match &inner {
         Msg::ReadReply { slots, .. } => {
             assert!(
-                slots.iter().any(|(v, w)| **v == Word::Int(1234) && *w == wid),
+                slots
+                    .iter()
+                    .any(|(v, w)| **v == Word::Int(1234) && *w == wid),
                 "promoted owner lost the certified write: {slots:?}"
             );
         }
@@ -259,7 +280,9 @@ fn recovered_ex_owner_serves_cache_only() {
     // owner even for requests stamped with its old epoch.
     let reply = s[0].serve_stamped(n(2), OwnerEpoch::ZERO, 3, Msg::Read { page });
     match reply {
-        Some(Msg::Nack { redirect, epoch, .. }) => {
+        Some(Msg::Nack {
+            redirect, epoch, ..
+        }) => {
             assert_eq!(redirect, n(1));
             assert_eq!(epoch, OwnerEpoch::new(1));
         }
@@ -326,9 +349,7 @@ impl FaultHook for DupFirst {
                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
                 .is_ok()
         {
-            return SendFate {
-                copies: vec![0, 0],
-            };
+            return SendFate { copies: vec![0, 0] };
         }
         SendFate::deliver()
     }

@@ -85,10 +85,18 @@ fn values_are_deep_copied_at_most_once_per_operation() {
     let r0 = recorded.handle(0);
     let before = clones();
     r0.write(loc(0), Counted(9)).unwrap();
-    assert_eq!(clones() - before, 1, "recorded write clones once, for the record");
+    assert_eq!(
+        clones() - before,
+        1,
+        "recorded write clones once, for the record"
+    );
     let before = clones();
     let _ = r0.read_shared(loc(0)).unwrap();
-    assert_eq!(clones() - before, 1, "recorded read clones once, for the record");
+    assert_eq!(
+        clones() - before,
+        1,
+        "recorded read clones once, for the record"
+    );
 }
 
 #[test]
@@ -168,7 +176,8 @@ fn send_failure_rolls_back_nonblocking_registration() {
     let err = h0.write_pipelined(loc(1), Word::Int(7)).unwrap_err();
     assert!(matches!(err, memcore::MemoryError::Shutdown));
     assert_eq!(piped.pending_nonblocking(0), 0);
-    h0.flush().expect("rolled-back pipeline is idle; flush is a no-op");
+    h0.flush()
+        .expect("rolled-back pipeline is idle; flush is a no-op");
 }
 
 #[test]

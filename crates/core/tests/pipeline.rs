@@ -166,7 +166,10 @@ fn flush_is_a_barrier_for_raw_nonblocking_writes() {
         0,
         "flush returned with non-blocking replies still outstanding"
     );
-    assert_eq!(*cluster.handle(1).read_shared(loc(1)).unwrap(), Word::Int(49));
+    assert_eq!(
+        *cluster.handle(1).read_shared(loc(1)).unwrap(),
+        Word::Int(49)
+    );
 
     // And with pipelining on, one barrier covers both kinds at once.
     let cluster = CausalCluster::<Word>::builder(2, 4)
@@ -180,7 +183,10 @@ fn flush_is_a_barrier_for_raw_nonblocking_writes() {
     }
     p0.flush().unwrap();
     assert_eq!(cluster.pending_nonblocking(0), 0);
-    assert_eq!(*cluster.handle(1).read_shared(loc(3)).unwrap(), Word::Int(9));
+    assert_eq!(
+        *cluster.handle(1).read_shared(loc(3)).unwrap(),
+        Word::Int(9)
+    );
 }
 
 #[test]
@@ -225,7 +231,10 @@ fn local_fast_path_and_pipeline_race_without_deadlock() {
     p0.flush().unwrap();
     assert_eq!(cluster.pending_nonblocking(0), 0);
     assert_eq!(*p0.read_shared(loc(0)).unwrap(), Word::Int(N - 1));
-    assert_eq!(*cluster.handle(1).read_shared(loc(1)).unwrap(), Word::Int(N - 1));
+    assert_eq!(
+        *cluster.handle(1).read_shared(loc(1)).unwrap(),
+        Word::Int(N - 1)
+    );
 }
 
 #[test]

@@ -130,7 +130,11 @@ impl fmt::Display for ChaosOutcome {
                 self.time
             );
         }
-        writeln!(f, "seed {}: FAILED — reproduce with this seed + plan:", self.seed)?;
+        writeln!(
+            f,
+            "seed {}: FAILED — reproduce with this seed + plan:",
+            self.seed
+        )?;
         writeln!(f, "  plan: {:?}", self.plan)?;
         writeln!(
             f,
@@ -510,11 +514,7 @@ mod tests {
             (cfg.nodes as usize - 1) * cfg.ops_per_node
         );
         // The plan really contains a permanent owner crash.
-        assert!(outcome
-            .plan
-            .crashes
-            .iter()
-            .any(|c| c.restart == u64::MAX));
+        assert!(outcome.plan.crashes.iter().any(|c| c.restart == u64::MAX));
         // The failure detector ran: heartbeats are counted as overhead.
         let heartbeats = outcome
             .messages

@@ -41,8 +41,8 @@ pub mod plan;
 pub mod session;
 
 pub use chaos::{
-    owner_crash_plan, run_chaos_batch, run_chaos_once, run_owner_crash_batch,
-    run_owner_crash_once, sample_owner_crash_config, ChaosBatch, ChaosConfig, ChaosOutcome,
+    owner_crash_plan, run_chaos_batch, run_chaos_once, run_owner_crash_batch, run_owner_crash_once,
+    sample_owner_crash_config, ChaosBatch, ChaosConfig, ChaosOutcome,
 };
 pub use injector::FaultInjector;
 pub use plan::{Crash, FaultPlan, LinkFaults, Partition};

@@ -324,11 +324,8 @@ mod tests {
 
     #[test]
     fn link_overrides_beat_default() {
-        let plan = FaultPlan::uniform(LinkFaults::dropping(0.5)).with_link(
-            0,
-            1,
-            LinkFaults::none(),
-        );
+        let plan =
+            FaultPlan::uniform(LinkFaults::dropping(0.5)).with_link(0, 1, LinkFaults::none());
         assert_eq!(plan.link(p(0), p(1)), LinkFaults::none());
         assert_eq!(plan.link(p(1), p(0)), LinkFaults::dropping(0.5));
     }
@@ -361,7 +358,14 @@ mod tests {
         // Round-robin over 3 nodes: page 4 belongs to node 1.
         let owners = memcore::RoundRobinOwners::new(3, 2);
         let plan = FaultPlan::none().crash_owner_at(&owners, memcore::PageId::new(4), 100);
-        assert_eq!(plan.crashes, vec![Crash { node: 1, start: 100, restart: u64::MAX }]);
+        assert_eq!(
+            plan.crashes,
+            vec![Crash {
+                node: 1,
+                start: 100,
+                restart: u64::MAX
+            }]
+        );
         // Permanent: still down arbitrarily far into the run.
         assert_eq!(plan.down_until(p(1), u64::MAX - 1), Some(u64::MAX));
         assert_eq!(plan.down_until(p(0), 1_000_000), None);
@@ -373,7 +377,14 @@ mod tests {
         let plan = FaultPlan::none()
             .crash_owner_at(&owners, memcore::PageId::new(0), 50)
             .restart_at(200);
-        assert_eq!(plan.crashes, vec![Crash { node: 0, start: 50, restart: 200 }]);
+        assert_eq!(
+            plan.crashes,
+            vec![Crash {
+                node: 0,
+                start: 50,
+                restart: 200
+            }]
+        );
         assert_eq!(plan.down_until(p(0), 199), Some(200));
         assert_eq!(plan.down_until(p(0), 200), None);
     }

@@ -67,7 +67,11 @@ impl<M: Tagged> Tagged for SessionMsg<M> {
         match self {
             // Fresh data keeps the payload's kind so protocol message
             // counts stay comparable with and without the session layer.
-            SessionMsg::Data { retx: false, payload, .. } => payload.kind(),
+            SessionMsg::Data {
+                retx: false,
+                payload,
+                ..
+            } => payload.kind(),
             SessionMsg::Data { retx: true, .. } => kinds::RETX,
             SessionMsg::Ack { .. } => kinds::ACK,
             SessionMsg::Raw(payload) => payload.kind(),
@@ -303,6 +307,32 @@ impl<M: Clone> ReliableLink<M> {
                     ));
                 }
             }
+        }
+        self.stats.retransmits += out.len() as u64;
+        self.recompute_deadline();
+        out
+    }
+
+    /// Immediately retransmits everything unacknowledged to `dst`,
+    /// regardless of how recently it was sent, and re-arms the timer as
+    /// if each frame were freshly transmitted.
+    ///
+    /// This is the reconnection hook: when a transport re-establishes a
+    /// dropped connection it cannot know which in-flight frames died in
+    /// the old socket's buffers, so it replays the whole unacked window
+    /// and lets the receiver's duplicate suppression sort it out.
+    pub fn retransmit_to(&mut self, now: u64, dst: NodeId) -> Vec<SessionMsg<M>> {
+        let Some(peer) = self.tx.get_mut(&(dst.index() as u32)) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(peer.unacked.len());
+        for (&seq, entry) in peer.unacked.iter_mut() {
+            entry.0 = now;
+            out.push(SessionMsg::Data {
+                seq,
+                retx: true,
+                payload: entry.1.clone(),
+            });
         }
         self.stats.retransmits += out.len() as u64;
         self.recompute_deadline();
@@ -611,6 +641,40 @@ mod tests {
         tx.on_receive(11, n(1), SessionMsg::Ack { cum: 1 });
         assert_eq!(tx.unacked(), 1);
         assert!(tx.next_timer().is_some());
+    }
+
+    #[test]
+    fn retransmit_to_replays_the_whole_unacked_window() {
+        let mut tx: ReliableLink<P> = ReliableLink::new(10);
+        let _ = tx.send(0, n(1), P(0));
+        let _ = tx.send(1, n(1), P(1));
+        let _ = tx.send(2, n(2), P(9));
+        // A reconnect to peer 1 replays its frames even though no RTO
+        // has elapsed, in sequence order, flagged as retransmissions.
+        let replay = tx.retransmit_to(3, n(1));
+        assert_eq!(replay.len(), 2);
+        assert!(matches!(
+            replay[0],
+            SessionMsg::Data {
+                seq: 0,
+                retx: true,
+                ..
+            }
+        ));
+        assert!(matches!(replay[1], SessionMsg::Data { seq: 1, .. }));
+        assert_eq!(tx.stats().retransmits, 2);
+        // Peer 2 is untouched; the timer re-arms from the replay time.
+        assert_eq!(tx.unacked(), 3);
+        assert_eq!(tx.next_timer(), Some(12)); // peer 2's 2 + rto 10
+                                               // A peer with nothing unacked replays nothing.
+        assert!(tx.retransmit_to(4, n(3)).is_empty());
+        // Delivery after replay still happens exactly once downstream.
+        let mut rx: ReliableLink<P> = ReliableLink::new(10);
+        let mut got = Vec::new();
+        for m in replay {
+            got.extend(rx.on_receive(5, n(0), m).1);
+        }
+        assert_eq!(got, vec![P(0), P(1)]);
     }
 
     #[test]

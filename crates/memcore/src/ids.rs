@@ -181,7 +181,9 @@ impl fmt::Display for PageId {
 /// assert_eq!(e.next().get(), 1);
 /// assert!(e < e.next());
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct OwnerEpoch(u32);
 
 impl OwnerEpoch {

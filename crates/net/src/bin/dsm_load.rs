@@ -24,7 +24,7 @@ use dsm_net::ctrl::{CtrlMsg, WireOp};
 use dsm_net::framing::{
     ctrl_node, decode_body, read_frame, read_hello, write_frame, write_hello, ConnKind, MAX_FRAME,
 };
-use dsm_net::ClusterSpec;
+use dsm_net::{ClusterSpec, NetOptions};
 use memcore::NodeId;
 use simnet::codec::FrameDecoder;
 
@@ -42,11 +42,15 @@ struct Args {
     seed: u64,
     ops: u64,
     read_pct: u8,
+    pipeline: u32,
+    batching: bool,
+    reconnect: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dsm-load (--spec FILE | --spawn N --locations L [--server-bin PATH]) \
+        "usage: dsm-load (--spec FILE | --spawn N --locations L [--server-bin PATH] \
+         [--pipeline W] [--batching] [--reconnect]) \
          [--seed S] [--ops K] [--read-pct P]"
     );
     ExitCode::from(2)
@@ -61,9 +65,24 @@ fn parse_args() -> Option<Args> {
         seed: 42,
         ops: 512,
         read_pct: 70,
+        pipeline: 0,
+        batching: false,
+        reconnect: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        // Valueless switches first; everything else takes one value.
+        match arg.as_str() {
+            "--batching" => {
+                parsed.batching = true;
+                continue;
+            }
+            "--reconnect" => {
+                parsed.reconnect = true;
+                continue;
+            }
+            _ => {}
+        }
         let value = args.next()?;
         match arg.as_str() {
             "--spec" => parsed.spec = Some(value),
@@ -73,10 +92,16 @@ fn parse_args() -> Option<Args> {
             "--seed" => parsed.seed = value.parse().ok()?,
             "--ops" => parsed.ops = value.parse().ok()?,
             "--read-pct" => parsed.read_pct = value.parse().ok()?,
+            "--pipeline" => parsed.pipeline = value.parse().ok()?,
             _ => return None,
         }
     }
-    (parsed.spec.is_some() != parsed.spawn.is_some() && parsed.read_pct <= 100).then_some(parsed)
+    // Transport knobs describe the cluster being built, so they only
+    // make sense in spawn mode; with --spec the file already says.
+    let knobs_ok =
+        parsed.spawn.is_some() || (parsed.pipeline == 0 && !parsed.batching && !parsed.reconnect);
+    (parsed.spec.is_some() != parsed.spawn.is_some() && parsed.read_pct <= 100 && knobs_ok)
+        .then_some(parsed)
 }
 
 fn main() -> ExitCode {
@@ -108,7 +133,11 @@ fn free_addrs(n: u32) -> std::io::Result<Vec<String>> {
         .collect()
 }
 
-fn spawn_servers(spec_text: &str, n: u32, bin: Option<&str>) -> Result<(String, Vec<Child>), String> {
+fn spawn_servers(
+    spec_text: &str,
+    n: u32,
+    bin: Option<&str>,
+) -> Result<(String, Vec<Child>), String> {
     let path = std::env::temp_dir().join(format!("dsm-load-{}.spec", std::process::id()));
     std::fs::write(&path, spec_text).map_err(|e| format!("writing {}: {e}", path.display()))?;
     let bin = match bin {
@@ -162,7 +191,10 @@ impl CtrlClient {
                     let hello = read_hello(&mut stream, &mut dec)
                         .map_err(|e| format!("hello from {addr}: {e}"))?;
                     if hello.kind != ConnKind::Ctrl || hello.node != node {
-                        return Err(format!("{addr} answered as {}, expected {node}", hello.node));
+                        return Err(format!(
+                            "{addr} answered as {}, expected {node}",
+                            hello.node
+                        ));
                     }
                     return Ok(CtrlClient { node, stream, dec });
                 }
@@ -193,9 +225,12 @@ impl CtrlClient {
 fn run(args: &Args) -> Result<bool, String> {
     let (spec, mut children, spec_file) = match (&args.spec, args.spawn) {
         (Some(path), None) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            (ClusterSpec::parse(&text).map_err(|e| e.to_string())?, Vec::new(), None)
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            (
+                ClusterSpec::parse(&text).map_err(|e| e.to_string())?,
+                Vec::new(),
+                None,
+            )
         }
         (None, Some(n)) => {
             if n == 0 {
@@ -204,9 +239,14 @@ fn run(args: &Args) -> Result<bool, String> {
             let spec = ClusterSpec::new(
                 args.locations,
                 free_addrs(n).map_err(|e| format!("picking ports: {e}"))?,
-            );
-            let (path, children) =
-                spawn_servers(&spec.to_text(), n, args.server_bin.as_deref())?;
+            )
+            .with_net(NetOptions {
+                pipeline: args.pipeline,
+                batching: args.batching,
+                reconnect: args.reconnect,
+                ..NetOptions::default()
+            });
+            let (path, children) = spawn_servers(&spec.to_text(), n, args.server_bin.as_deref())?;
             (spec, children, Some(path))
         }
         _ => unreachable!("parse_args enforces the mode choice"),
@@ -267,7 +307,10 @@ fn drive(spec: &ClusterSpec, args: &Args) -> Result<bool, String> {
             .iter_mut()
             .map(|client| scope.spawn(move || client.recv()))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("recv thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("recv thread"))
+            .collect()
     });
     for result in results {
         match result? {
@@ -282,8 +325,7 @@ fn drive(spec: &ClusterSpec, args: &Args) -> Result<bool, String> {
                 if node.index() >= processes.len() || !processes[node.index()].is_empty() {
                     return Err(format!("unexpected Done from {node}"));
                 }
-                processes[node.index()] =
-                    history.into_iter().map(WireOp::into_record).collect();
+                processes[node.index()] = history.into_iter().map(WireOp::into_record).collect();
                 total_ops += ops;
                 protocol_msgs += proto;
                 overhead_msgs += overhead;

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use dsm_net::ctrl::{CtrlMsg, WireOp};
 use dsm_net::framing::{read_frame, write_frame};
-use dsm_net::harness::{mixed_script, run_node, ESTABLISH_TIMEOUT};
+use dsm_net::harness::{mixed_script, run_node_with, ESTABLISH_TIMEOUT};
 use dsm_net::{ClusterSpec, NetCluster};
 use memcore::{NodeId, Recorder};
 
@@ -57,14 +57,14 @@ fn main() -> ExitCode {
 }
 
 fn run(spec_path: &str, me: NodeId) -> Result<(), String> {
-    let text = std::fs::read_to_string(spec_path)
-        .map_err(|e| format!("reading {spec_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
     let spec = ClusterSpec::parse(&text).map_err(|e| e.to_string())?;
     if me.index() >= spec.nodes() as usize {
         return Err(format!("node {me} out of range for {spec_path}"));
     }
-    let listener = TcpListener::bind(spec.addr(me))
-        .map_err(|e| format!("binding {}: {e}", spec.addr(me)))?;
+    let listener =
+        TcpListener::bind(spec.addr(me)).map_err(|e| format!("binding {}: {e}", spec.addr(me)))?;
     let recorder: Recorder<Vec<u8>> = Recorder::new(spec.nodes() as usize);
     let cluster = NetCluster::start(
         &spec,
@@ -83,8 +83,8 @@ fn run(spec_path: &str, me: NodeId) -> Result<(), String> {
 
     // EOF (a controller that hung up without Shutdown) ends the loop;
     // teardown still runs below.
-    while let Some(body) =
-        read_frame(&mut conn.stream, &mut conn.dec).map_err(|e| format!("control connection: {e}"))?
+    while let Some(body) = read_frame(&mut conn.stream, &mut conn.dec)
+        .map_err(|e| format!("control connection: {e}"))?
     {
         let msg: CtrlMsg =
             dsm_net::framing::decode_body(body).map_err(|e| format!("control frame: {e}"))?;
@@ -103,7 +103,11 @@ fn run(spec_path: &str, me: NodeId) -> Result<(), String> {
                 );
                 let base = cluster.cluster().messages().snapshot();
                 let start = Instant::now();
-                let executed = run_node(&cluster.handle(), me, &script);
+                // The spec's pipeline knob selects the write path: the
+                // whole cluster must agree on it, and the spec is the
+                // one artifact every process shares.
+                let executed =
+                    run_node_with(&cluster.handle(), me, &script, spec.net().pipeline > 0);
                 let elapsed_ns = start.elapsed().as_nanos() as u64;
                 let delta = cluster.cluster().messages().snapshot().since(&base);
                 let history: Vec<WireOp> = recorder.processes()[me.index()]

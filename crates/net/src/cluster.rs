@@ -2,22 +2,48 @@
 //!
 //! [`NetCluster::start`] glues the pieces together: a [`TcpMesh`] to the
 //! peers, a partial [`Network`] that hands off-process envelopes to the
-//! mesh, and a [`CausalCluster`] hosting only this node. The engine is
-//! byte-for-byte the in-process one — same `Msg` codec, same Figure-4
-//! server loop — which is the point: the transport is swappable under an
-//! unchanged protocol.
+//! mesh, and a [`CausalCluster`] hosting only this node — built in
+//! *inline* mode, so the mesh's poller thread runs the Figure-4 server
+//! loop itself (`InlineSink`) instead of feeding a separate server
+//! thread through a mailbox. The protocol is byte-for-byte the
+//! in-process one — same `Msg` codec, same Figure-4 serve steps — which
+//! is the point: the transport is swappable under an unchanged protocol.
 
 use std::io;
 use std::net::TcpListener;
 use std::time::Duration;
 
-use causal_dsm::{CausalCluster, CausalConfig, CausalHandle, Msg};
+use causal_dsm::{CausalCluster, CausalConfig, CausalHandle, InlineServer, Msg};
 use crossbeam_channel::Receiver;
 use memcore::{NodeId, Recorder};
-use simnet::Network;
+use simnet::{Envelope, Network};
 
-use crate::mesh::{CtrlConn, TcpMesh};
+use crate::mesh::{CtrlConn, EnvelopeSink, SinkClosed, TcpMesh, WireStats};
 use crate::spec::ClusterSpec;
+
+/// The poller-side envelope sink: every decoded inbound envelope is
+/// served by the engine's [`InlineServer`] on the poller thread itself.
+/// One request costs one thread wake-up instead of two (poller decodes
+/// *and* serves), and the process runs no per-node engine thread at all.
+struct InlineSink {
+    server: InlineServer<Payload>,
+    nodes: usize,
+    me: NodeId,
+}
+
+impl EnvelopeSink<Msg<Payload>> for InlineSink {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn hosts(&self, dst: NodeId) -> bool {
+        dst == self.me
+    }
+
+    fn deliver(&self, env: Envelope<Msg<Payload>>) -> Result<(), SinkClosed> {
+        self.server.deliver(env).map_err(|_| SinkClosed)
+    }
+}
 
 /// The value type multi-process clusters share: raw bytes, so the load
 /// harness controls payload size exactly.
@@ -54,11 +80,26 @@ impl NetCluster {
         timeout: Duration,
     ) -> io::Result<Self> {
         let mesh = TcpMesh::establish(me, spec, listener, timeout)?;
-        let net: Network<Msg<Payload>> = Network::partial(spec.nodes() as usize, &[me], mesh.link());
-        mesh.start(&net);
-        let config = CausalConfig::<Payload>::builder(spec.nodes(), spec.locations()).build();
-        let cluster = CausalCluster::with_transport(config, recorder, net, &[me])
+        let net: Network<Msg<Payload>> =
+            Network::partial(spec.nodes() as usize, &[me], mesh.link());
+        // The spec's transport knobs select the engine's send shape too:
+        // a pipeline window lets writes overlap, and batching seals the
+        // window's messages into Msg::Batch envelopes — which the mesh
+        // then carries in single writev calls.
+        let config = CausalConfig::<Payload>::builder(spec.nodes(), spec.locations())
+            .pipeline_window(spec.net().pipeline)
+            .batching(spec.net().batching)
+            .build();
+        // Engine before poller: inbound frames that arrive in the gap sit
+        // in the kernel's socket buffers (the same window they'd spend in
+        // a mailbox) until the poller starts and serves them.
+        let (cluster, server) = CausalCluster::with_inline_transport(config, recorder, net, me)
             .expect("engine rejected configuration");
+        mesh.start(InlineSink {
+            server,
+            nodes: spec.nodes() as usize,
+            me,
+        });
         Ok(NetCluster { cluster, mesh, me })
     }
 
@@ -86,11 +127,33 @@ impl NetCluster {
         self.mesh.ctrl_conns()
     }
 
+    /// Wire-level counters of this node's mesh endpoint (frames,
+    /// syscalls, retransmissions, reconnects).
+    #[must_use]
+    pub fn wire_stats(&self) -> WireStats {
+        self.mesh.wire_stats()
+    }
+
+    /// Mesh threads this endpoint owns — O(1) in cluster size (an
+    /// acceptor and a poller), regardless of peer count.
+    #[must_use]
+    pub fn mesh_thread_count(&self) -> usize {
+        self.mesh.thread_count()
+    }
+
+    /// Chaos hook: hard-drops the socket toward `peer`, as if the link
+    /// failed. With `reconnect on` in the spec the mesh heals itself.
+    pub fn sever(&self, peer: NodeId) {
+        self.mesh.sever(peer);
+    }
+
     /// Stops the local engine, then tears the mesh down.
     ///
-    /// Engine first: its server thread drains and exits while the
-    /// sockets still work, so in-flight replies to peers are not cut
-    /// mid-frame.
+    /// Engine first: raising its stop flag turns the poller's inline
+    /// deliveries into no-ops, so the mesh teardown that follows races
+    /// with nothing. The poller exiting drops the `InlineSink` — and
+    /// with it the engine's reply channel, which is what fails any
+    /// application operation still blocked on a remote owner.
     pub fn shutdown(self) {
         self.cluster.shutdown();
         self.mesh.shutdown();

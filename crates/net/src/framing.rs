@@ -137,6 +137,40 @@ pub fn encode_envelope<M: Wire>(env: &Envelope<M>) -> Bytes {
     frame(&EnvelopeBody(env))
 }
 
+/// Encodes an envelope *body* without the length prefix: the payload a
+/// session frame carries, so reconnect-mode links can wrap
+/// `src | dst | payload` inside a `SessionMsg::Data` frame.
+#[must_use]
+pub fn encode_envelope_body<M: Wire>(env: &Envelope<M>) -> Bytes {
+    let body = EnvelopeBody(env);
+    let mut buf = bytes::BytesMut::with_capacity(body.encoded_len());
+    body.encode(&mut buf);
+    buf.freeze()
+}
+
+/// An opaque, already-encoded frame body.
+///
+/// Its [`Wire`] impl copies the bytes through verbatim and `decode`
+/// consumes the whole remaining buffer, which is why session frames
+/// place the payload last: `SessionMsg::<RawBody>::decode` hands the
+/// rest of the frame to `RawBody` untouched. The mesh uses it to run
+/// [`ReliableLink`](dsm_faults::ReliableLink) sessions over encoded
+/// envelopes without the session layer knowing the protocol type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawBody(pub Bytes);
+
+impl Wire for RawBody {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        buf.extend_from_slice(&self.0);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(RawBody(buf.split_to(buf.len())))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.len()
+    }
+}
+
 /// Decodes a peer-link frame body back into an envelope.
 ///
 /// # Errors
@@ -288,6 +322,56 @@ mod tests {
         assert!(decode_body::<u32>(body.clone()).is_err());
         let env: io::Result<Envelope<u32>> = decode_envelope(body);
         assert!(env.is_err());
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_chunking() {
+        use rand::{Rng, SeedableRng};
+
+        // A realistic connection-opening byte stream — hello, then a run
+        // of envelopes of assorted sizes — delivered in pseudo-random
+        // slivers (1..=17 bytes), the shape non-blocking sockets produce
+        // when writers are split across writev calls. The decoder must
+        // reassemble every frame byte-identically regardless of where
+        // the cuts fall.
+        let envs: Vec<Envelope<Vec<u64>>> = (0..50u64)
+            .map(|i| {
+                Envelope::new(
+                    NodeId::new(1),
+                    NodeId::new(0),
+                    (0..i % 19).map(|j| i * 100 + j).collect(),
+                )
+            })
+            .collect();
+        let mut stream = Vec::new();
+        write_hello(&mut stream, ConnKind::Peer, NodeId::new(1)).unwrap();
+        for env in &envs {
+            stream.extend_from_slice(&encode_envelope(env));
+        }
+
+        for seed in 0..8u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut dec = FrameDecoder::new(MAX_FRAME);
+            let mut fed = 0usize;
+            let mut frames = Vec::new();
+            while fed < stream.len() {
+                let take = rng.gen_range(1..=17usize).min(stream.len() - fed);
+                dec.extend(&stream[fed..fed + take]);
+                fed += take;
+                while let Some(body) = dec.next_frame().unwrap() {
+                    frames.push(body);
+                }
+            }
+            assert_eq!(dec.pending(), 0, "seed {seed}: bytes left mid-frame");
+            assert_eq!(frames.len(), 1 + envs.len());
+            let hello: Hello = decode_body(frames[0].clone()).unwrap();
+            assert_eq!(hello.kind, ConnKind::Peer);
+            assert_eq!(hello.node, NodeId::new(1));
+            for (env, body) in envs.iter().zip(&frames[1..]) {
+                let got: Envelope<Vec<u64>> = decode_envelope(body.clone()).unwrap();
+                assert_eq!(&got, env, "seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::cluster::{NetCluster, Payload};
-use crate::spec::ClusterSpec;
+use crate::mesh::WireStats;
+use crate::spec::{ClusterSpec, NetOptions};
 
 /// Size of every value the workload writes.
 pub const PAYLOAD_BYTES: usize = 64;
@@ -87,6 +88,24 @@ pub fn mixed_script(nodes: u32, locations: u32, seed: u64, len: usize, read_pct:
 /// Panics if an operation fails — on a healthy cluster that is an engine
 /// or transport bug.
 pub fn run_node(handle: &CausalHandle<Payload>, me: NodeId, script: &Script) -> u64 {
+    run_node_with(handle, me, script, false)
+}
+
+/// Like [`run_node`], but `pipelined` selects the engine's pipelined
+/// write path (`write_pipelined` + one final `flush`), which is what
+/// lets a pipeline window's worth of WRITEs share transport envelopes
+/// and `writev` calls.
+///
+/// # Panics
+///
+/// Panics if an operation fails — on a healthy cluster that is an engine
+/// or transport bug.
+pub fn run_node_with(
+    handle: &CausalHandle<Payload>,
+    me: NodeId,
+    script: &Script,
+    pipelined: bool,
+) -> u64 {
     let mut ops = 0u64;
     for (i, &(node, loc, is_read)) in script.entries.iter().enumerate() {
         if node != me.index() as u32 {
@@ -94,12 +113,19 @@ pub fn run_node(handle: &CausalHandle<Payload>, me: NodeId, script: &Script) -> 
         }
         if is_read {
             handle.read(loc).expect("scripted read");
+        } else if pipelined {
+            handle
+                .write_pipelined(loc, script.pool[i & 63].clone())
+                .expect("scripted pipelined write");
         } else {
             handle
                 .write(loc, script.pool[i & 63].clone())
                 .expect("scripted write");
         }
         ops += 1;
+    }
+    if pipelined {
+        handle.flush().expect("pipeline flush");
     }
     ops
 }
@@ -119,6 +145,9 @@ pub struct LoopbackReport {
     pub envelope_msgs: u64,
     /// Message counts per kind, cluster-wide.
     pub msgs_by_kind: BTreeMap<String, u64>,
+    /// Wire-level counters summed across all mesh endpoints (syscalls,
+    /// frames, retransmissions, reconnects).
+    pub wire: WireStats,
     /// The merged per-process history, for `causal_spec::check_causal`.
     pub execution: Execution<Payload>,
 }
@@ -132,6 +161,45 @@ pub struct LoopbackReport {
 /// Panics if bring-up or any operation fails.
 #[must_use]
 pub fn run_loopback(nodes: u32, locations: u32, seed: u64, script_len: usize) -> LoopbackReport {
+    run_loopback_with(nodes, locations, seed, script_len, &NetOptions::default())
+}
+
+/// [`run_loopback`] with explicit transport options: `net.pipeline`
+/// selects the pipelined write path, `net.batching` seals pipelined
+/// sends into batch envelopes, `net.reconnect` runs session-backed
+/// links.
+///
+/// # Panics
+///
+/// Panics if bring-up or any operation fails.
+#[must_use]
+pub fn run_loopback_with(
+    nodes: u32,
+    locations: u32,
+    seed: u64,
+    script_len: usize,
+    net: &NetOptions,
+) -> LoopbackReport {
+    run_loopback_workload(nodes, locations, seed, script_len, DEFAULT_READ_PCT, net)
+}
+
+/// The fully parameterized loopback runner: [`run_loopback_with`] plus an
+/// explicit read percentage, for workloads that need a different
+/// read/write mix than the default (the bench suite's write-heavy TCP
+/// pipeline cells use `read_pct = 0`).
+///
+/// # Panics
+///
+/// Panics if bring-up or any operation fails.
+#[must_use]
+pub fn run_loopback_workload(
+    nodes: u32,
+    locations: u32,
+    seed: u64,
+    script_len: usize,
+    read_pct: u8,
+    net: &NetOptions,
+) -> LoopbackReport {
     let listeners: Vec<TcpListener> = (0..nodes)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
         .collect();
@@ -139,15 +207,10 @@ pub fn run_loopback(nodes: u32, locations: u32, seed: u64, script_len: usize) ->
         .iter()
         .map(|l| l.local_addr().expect("local addr").to_string())
         .collect();
-    let spec = ClusterSpec::new(locations, addrs);
+    let spec = ClusterSpec::new(locations, addrs).with_net(net.clone());
+    let pipelined = net.pipeline > 0;
     let recorder: Recorder<Payload> = Recorder::new(nodes as usize);
-    let script = Arc::new(mixed_script(
-        nodes,
-        locations,
-        seed,
-        script_len,
-        DEFAULT_READ_PCT,
-    ));
+    let script = Arc::new(mixed_script(nodes, locations, seed, script_len, read_pct));
     // Two barriers bracket the op phase: all nodes start together, and
     // none begins teardown while a peer still has operations (and thus
     // owner round-trips) outstanding.
@@ -167,23 +230,19 @@ pub fn run_loopback(nodes: u32, locations: u32, seed: u64, script_len: usize) ->
             thread::Builder::new()
                 .name(format!("node-{me}"))
                 .spawn(move || {
-                    let cluster = NetCluster::start(
-                        &spec,
-                        me,
-                        listener,
-                        Some(recorder),
-                        ESTABLISH_TIMEOUT,
-                    )
-                    .expect("establish cluster");
+                    let cluster =
+                        NetCluster::start(&spec, me, listener, Some(recorder), ESTABLISH_TIMEOUT)
+                            .expect("establish cluster");
                     go.wait();
                     let start = Instant::now();
-                    let ops = run_node(&cluster.handle(), me, &script);
+                    let ops = run_node_with(&cluster.handle(), me, &script, pipelined);
                     done.wait();
                     let elapsed_ns = start.elapsed().as_nanos() as u64;
                     let msgs = cluster.cluster().messages().snapshot();
                     let envs = cluster.cluster().envelopes().snapshot();
+                    let wire = cluster.wire_stats();
                     cluster.shutdown();
-                    (ops, elapsed_ns, msgs, envs)
+                    (ops, elapsed_ns, msgs, envs, wire)
                 })
                 .expect("spawn node thread")
         })
@@ -195,8 +254,9 @@ pub fn run_loopback(nodes: u32, locations: u32, seed: u64, script_len: usize) ->
     let mut overhead_msgs = 0u64;
     let mut envelope_msgs = 0u64;
     let mut msgs_by_kind = BTreeMap::new();
+    let mut wire = WireStats::default();
     for handle in threads {
-        let (node_ops, node_ns, msgs, envs) = handle.join().expect("node thread");
+        let (node_ops, node_ns, msgs, envs, node_wire) = handle.join().expect("node thread");
         ops += node_ops;
         elapsed_ns = elapsed_ns.max(node_ns);
         // Each process slice counted only its own sends, so summing the
@@ -207,6 +267,7 @@ pub fn run_loopback(nodes: u32, locations: u32, seed: u64, script_len: usize) ->
         for (kind, count) in msgs.by_kind() {
             *msgs_by_kind.entry(kind).or_insert(0) += count;
         }
+        wire += node_wire;
     }
 
     LoopbackReport {
@@ -216,6 +277,7 @@ pub fn run_loopback(nodes: u32, locations: u32, seed: u64, script_len: usize) ->
         overhead_msgs,
         envelope_msgs,
         msgs_by_kind,
+        wire,
         execution: Execution::from_recorder(&recorder),
     }
 }

@@ -215,10 +215,7 @@ fn attempt_window(config: &causal_dsm::FailoverConfig, attempt: u32, salt: u64) 
 fn merge_effects<V, M>(acc: &mut Effects<V, M>, mut extra: Effects<V, M>) {
     acc.outgoing.append(&mut extra.outgoing);
     if extra.completion.is_some() {
-        assert!(
-            acc.completion.is_none(),
-            "at most one completion per event"
-        );
+        assert!(acc.completion.is_none(), "at most one completion per event");
         acc.completion = extra.completion;
     }
 }
@@ -314,8 +311,8 @@ impl<V: Value> CausalActor<V> {
         match op {
             ClientOp::Read(loc) | ClientOp::ReadFresh(loc) => {
                 let owner = self.owner_now(*loc);
-                let misses = matches!(op, ClientOp::ReadFresh(_))
-                    || !self.state.has_valid_copy(*loc);
+                let misses =
+                    matches!(op, ClientOp::ReadFresh(_)) || !self.state.has_valid_copy(*loc);
                 if p.owner == Some(owner) && misses {
                     Gate::Drain
                 } else {
@@ -359,11 +356,7 @@ impl<V: Value> CausalActor<V> {
 
     /// Issues a write through the pipeline (remote owner, window open):
     /// completes at issue; the request goes out now or rides a batch.
-    fn issue_pipelined(
-        &mut self,
-        loc: Location,
-        value: &V,
-    ) -> Effects<V, causal_dsm::Msg<V>> {
+    fn issue_pipelined(&mut self, loc: Location, value: &V) -> Effects<V, causal_dsm::Msg<V>> {
         let shared = std::sync::Arc::new(value.clone());
         let step = self
             .state
@@ -378,7 +371,10 @@ impl<V: Value> CausalActor<V> {
                 request,
             } => {
                 let request = self.stamp_request(owner, request);
-                let p = self.pipeline.as_mut().expect("pipelined issue needs a pipeline");
+                let p = self
+                    .pipeline
+                    .as_mut()
+                    .expect("pipelined issue needs a pipeline");
                 p.wids.insert(wid);
                 p.owner = Some(owner);
                 p.in_flight += 1;
@@ -406,19 +402,13 @@ impl<V: Value> CausalActor<V> {
     /// With failover enabled, wraps an outgoing Figure-4 request in the
     /// `(epoch, op)` envelope and tracks it for NACK-redirect and
     /// timeout retry; a passthrough otherwise.
-    fn stamp_request(
-        &mut self,
-        owner: NodeId,
-        request: causal_dsm::Msg<V>,
-    ) -> causal_dsm::Msg<V> {
+    fn stamp_request(&mut self, owner: NodeId, request: causal_dsm::Msg<V>) -> causal_dsm::Msg<V> {
         if self.fo.is_none() {
             return request;
         }
         let page = match &request {
             causal_dsm::Msg::Read { page } => *page,
-            causal_dsm::Msg::Write { loc, .. } => {
-                loc.page(self.state.config().page_size())
-            }
+            causal_dsm::Msg::Write { loc, .. } => loc.page(self.state.config().page_size()),
             other => unreachable!("only owner requests are stamped: {other:?}"),
         };
         let epoch = self.state.epoch_of(page);
@@ -594,10 +584,7 @@ impl<V: Value> CausalActor<V> {
                 self.state.absorb_write_reply(msg);
                 return Effects::empty();
             }
-            let piped = self
-                .pipeline
-                .as_mut()
-                .is_some_and(|p| p.wids.remove(wid));
+            let piped = self.pipeline.as_mut().is_some_and(|p| p.wids.remove(wid));
             if piped {
                 self.state.absorb_write_reply(msg);
                 let p = self.pipeline.as_mut().expect("checked above");

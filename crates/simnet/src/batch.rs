@@ -85,7 +85,7 @@ impl<M: Tagged> Batcher<M> {
         self.buf.push(msg);
         (self.buf.len() >= self.policy.max_msgs.max(1)
             || self.buffered_bytes >= self.policy.max_bytes)
-        .then(|| self.take())
+            .then(|| self.take())
     }
 
     /// Explicit flush: returns everything buffered (possibly empty).

@@ -50,7 +50,9 @@ impl SendFate {
     /// One copy, delayed by `extra` time units beyond nominal latency.
     #[must_use]
     pub fn delayed(extra: u64) -> Self {
-        SendFate { copies: vec![extra] }
+        SendFate {
+            copies: vec![extra],
+        }
     }
 
     /// `true` if no copy will be delivered.

@@ -455,8 +455,12 @@ mod tests {
 
         let net: Network<Wrapper> = Network::new(2);
         let mb = net.take_mailbox(p(1));
-        net.send(p(0), p(1), Wrapper(vec![Msg::Read(1), Msg::Read(2), Msg::Reply(1)]))
-            .unwrap();
+        net.send(
+            p(0),
+            p(1),
+            Wrapper(vec![Msg::Read(1), Msg::Read(2), Msg::Reply(1)]),
+        )
+        .unwrap();
         // One physical envelope arrives…
         assert_eq!(mb.recv().unwrap().payload.0.len(), 3);
         // …but the logical counters saw the three constituents.
@@ -606,7 +610,8 @@ mod tests {
 
         // Wire arrival: injected into the local mailbox, NOT re-counted —
         // the sending process already billed the send.
-        net.inject(Envelope::new(p(2), p(0), Msg::Reply(7))).unwrap();
+        net.inject(Envelope::new(p(2), p(0), Msg::Reply(7)))
+            .unwrap();
         assert_eq!(mb.recv().unwrap().payload, Msg::Reply(7));
         assert_eq!(net.messages().snapshot().get(p(2), "R_REPLY"), 0);
         assert_eq!(net.envelopes().snapshot().node_total(p(2)), 0);

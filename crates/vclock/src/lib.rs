@@ -59,7 +59,10 @@ pub const INLINE_PROCESSES: usize = 16;
 /// through slices anyway).
 #[derive(Clone)]
 enum Repr {
-    Inline { len: u8, buf: [u64; INLINE_PROCESSES] },
+    Inline {
+        len: u8,
+        buf: [u64; INLINE_PROCESSES],
+    },
     Heap(Vec<u64>),
 }
 

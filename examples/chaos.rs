@@ -82,11 +82,14 @@ fn main() {
     // a third of the way in.
     let start = clean.time / 3;
     let heal = start + clean.time / 6;
-    let plan = FaultPlan::uniform(LinkFaults::dropping(0.05)).with_partition(start, heal, vec![0, 1]);
+    let plan =
+        FaultPlan::uniform(LinkFaults::dropping(0.05)).with_partition(start, heal, vec![0, 1]);
     println!(
         "Figure-6 solver, {WORKERS} workers x {PHASES} phases, link latency {LATENCY}, rto {RTO}"
     );
-    println!("fault plan: 5% drop per link, partition {{0,1}} | {{2,3,4}} during [{start}, {heal})\n");
+    println!(
+        "fault plan: 5% drop per link, partition {{0,1}} | {{2,3,4}} during [{start}, {heal})\n"
+    );
     let faulty = solve(&system, Some(plan));
 
     let overhead = |m: &StatsSnapshot| {
@@ -102,7 +105,10 @@ fn main() {
     let (fp, frx, fdup, fdrop, fack) = overhead(&faulty.messages);
 
     println!("            {:>12} {:>12}", "fault-free", "faulty");
-    println!("residual    {:>12.2e} {:>12.2e}", clean.residual, faulty.residual);
+    println!(
+        "residual    {:>12.2e} {:>12.2e}",
+        clean.residual, faulty.residual
+    );
     println!("makespan    {:>12} {:>12}", clean.time, faulty.time);
     println!("protocol    {cp:>12} {fp:>12}");
     println!("RETX        {crx:>12} {frx:>12}");

@@ -31,7 +31,9 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -86,7 +88,9 @@ impl<T> RwLock<T> {
 
     /// Consumes the lock, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 

@@ -1,0 +1,758 @@
+//! Offline stand-in for the `polling` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small readiness-polling surface the TCP mesh
+//! needs: a level-triggered [`Poller`] that multiplexes many sockets
+//! onto one thread, backed by `epoll(7)` on Linux with a portable
+//! `poll(2)` fallback (selectable at construction so tests can exercise
+//! both on one platform), plus a pipe-based waker so other threads can
+//! interrupt a blocked [`Poller::wait`]. A tiny [`sockopt`] module
+//! exposes the SO_SNDBUF/SO_RCVBUF knobs the cluster spec configures.
+//!
+//! This crate is the workspace's one pocket of `unsafe`: raw syscall
+//! FFI. Everything above it (`dsm-net` included) stays
+//! `#![forbid(unsafe_code)]`. The declarations rely on `std` linking
+//! libc, so no external crate is needed.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What readiness a registration asks for. Level-triggered: while the
+/// condition holds, every [`Poller::wait`] reports it again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or closed/errored).
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Readable and writable.
+    pub const READ_WRITE: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the fd was registered under.
+    pub key: usize,
+    /// Readable, half-closed, or errored (a read will not block).
+    pub readable: bool,
+    /// Writable (a write will not block).
+    pub writable: bool,
+}
+
+/// Key reserved for the internal waker; never reported to callers.
+const WAKER_KEY: usize = usize::MAX;
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll { epfd: RawFd },
+    /// Portable fallback: registrations live in a map snapshotted into a
+    /// `pollfd` array on every wait. Interest changes made while another
+    /// thread is waiting take effect on the *next* wait, so callers must
+    /// [`Poller::notify`] after changing interest — the same contract the
+    /// mesh already follows for the epoll backend.
+    Poll {
+        fds: Mutex<std::collections::HashMap<RawFd, (usize, Interest)>>,
+    },
+}
+
+/// A level-triggered readiness poller over a set of file descriptors.
+///
+/// `add`/`modify`/`delete`/`notify` may be called from any thread while
+/// one thread blocks in [`wait`](Poller::wait); after changing interest
+/// from another thread, call [`notify`](Poller::notify) so a blocked
+/// wait re-snapshots its registrations.
+pub struct Poller {
+    backend: Backend,
+    /// Waker pipe: `notify` writes a byte to `waker_w`; `wait` drains
+    /// `waker_r`. Both ends are non-blocking.
+    waker_r: RawFd,
+    waker_w: RawFd,
+}
+
+impl Poller {
+    /// Opens a poller on the platform's preferred backend (`epoll` on
+    /// Linux, `poll(2)` elsewhere).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            let epfd = sys::check(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+            let (waker_r, waker_w) = new_waker()?;
+            let poller = Poller {
+                backend: Backend::Epoll { epfd },
+                waker_r,
+                waker_w,
+            };
+            poller.register_waker()?;
+            Ok(poller)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_poll_backend()
+        }
+    }
+
+    /// Opens a poller on the portable `poll(2)` backend regardless of
+    /// platform. Tests use this to exercise the fallback on Linux.
+    pub fn with_poll_backend() -> io::Result<Poller> {
+        let (waker_r, waker_w) = new_waker()?;
+        Ok(Poller {
+            backend: Backend::Poll {
+                fds: Mutex::new(std::collections::HashMap::new()),
+            },
+            waker_r,
+            waker_w,
+        })
+    }
+
+    /// Names the active backend (`"epoll"` or `"poll"`).
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { .. } => "epoll",
+            Backend::Poll { .. } => "poll",
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn register_waker(&self) -> io::Result<()> {
+        self.add(self.waker_r, WAKER_KEY, Interest::READ)
+    }
+
+    /// Registers `fd` under `key`. The fd stays registered (and must
+    /// stay open) until [`delete`](Poller::delete).
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut ev = sys::epoll_event {
+                    events: sys::epoll_mask(interest),
+                    data: key as u64,
+                };
+                sys::check(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, &mut ev) })?;
+                Ok(())
+            }
+            Backend::Poll { fds } => {
+                let mut map = fds.lock().unwrap();
+                if map.insert(fd, (key, interest)).is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest (and key) of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut ev = sys::epoll_event {
+                    events: sys::epoll_mask(interest),
+                    data: key as u64,
+                };
+                sys::check(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, &mut ev) })?;
+                Ok(())
+            }
+            Backend::Poll { fds } => {
+                let mut map = fds.lock().unwrap();
+                match map.get_mut(&fd) {
+                    Some(slot) => {
+                        *slot = (key, interest);
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Removes `fd` from the poll set. Call before closing the fd.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                // The event pointer is ignored for DEL but must be
+                // non-null on pre-2.6.9 kernels; pass a dummy.
+                let mut ev = sys::epoll_event { events: 0, data: 0 };
+                sys::check(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) })?;
+                Ok(())
+            }
+            Backend::Poll { fds } => {
+                let mut map = fds.lock().unwrap();
+                match map.remove(&fd) {
+                    Some(_) => Ok(()),
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses, or another thread calls [`notify`](Poller::notify).
+    /// Ready fds are appended to `events` (cleared first). Returns the
+    /// number of events delivered; `0` means timeout, a notify-only
+    /// wake, or an interrupted syscall.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms = timeout_millis(timeout);
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                const CAP: usize = 64;
+                let mut buf = [sys::epoll_event { events: 0, data: 0 }; CAP];
+                let n = unsafe {
+                    sys::epoll_wait(*epfd, buf.as_mut_ptr(), CAP as sys::c_int, timeout_ms)
+                };
+                let n = match sys::check(n) {
+                    Ok(n) => n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(e) => return Err(e),
+                };
+                for ev in &buf[..n] {
+                    // Copy out of the (packed) struct before use.
+                    let mask = ev.events;
+                    let key = ev.data as usize;
+                    if key == WAKER_KEY {
+                        self.drain_waker();
+                        continue;
+                    }
+                    events.push(Event {
+                        key,
+                        readable: mask
+                            & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP)
+                            != 0,
+                        writable: mask & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                    });
+                }
+                Ok(events.len())
+            }
+            Backend::Poll { fds } => {
+                let mut pollfds: Vec<sys::pollfd> = Vec::new();
+                let mut keys: Vec<usize> = Vec::new();
+                {
+                    let map = fds.lock().unwrap();
+                    pollfds.reserve(map.len() + 1);
+                    for (&fd, &(key, interest)) in map.iter() {
+                        let mut mask: sys::c_short = 0;
+                        if interest.read {
+                            mask |= sys::POLLIN;
+                        }
+                        if interest.write {
+                            mask |= sys::POLLOUT;
+                        }
+                        pollfds.push(sys::pollfd {
+                            fd,
+                            events: mask,
+                            revents: 0,
+                        });
+                        keys.push(key);
+                    }
+                }
+                pollfds.push(sys::pollfd {
+                    fd: self.waker_r,
+                    events: sys::POLLIN,
+                    revents: 0,
+                });
+                keys.push(WAKER_KEY);
+                let n = unsafe {
+                    sys::poll(
+                        pollfds.as_mut_ptr(),
+                        pollfds.len() as sys::nfds_t,
+                        timeout_ms,
+                    )
+                };
+                match sys::check(n) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(0),
+                    Err(e) => return Err(e),
+                }
+                for (pfd, &key) in pollfds.iter().zip(keys.iter()) {
+                    let got = pfd.revents;
+                    if got == 0 {
+                        continue;
+                    }
+                    if key == WAKER_KEY {
+                        self.drain_waker();
+                        continue;
+                    }
+                    let err = sys::POLLERR | sys::POLLHUP | sys::POLLNVAL;
+                    events.push(Event {
+                        key,
+                        readable: got & (sys::POLLIN | err) != 0,
+                        writable: got & (sys::POLLOUT | sys::POLLERR | sys::POLLHUP) != 0,
+                    });
+                }
+                Ok(events.len())
+            }
+        }
+    }
+
+    /// Wakes a blocked [`wait`](Poller::wait) from another thread.
+    /// Wakes coalesce: many notifies before a wait cost one wake.
+    pub fn notify(&self) -> io::Result<()> {
+        let byte = [1u8];
+        loop {
+            let n = unsafe { sys::write(self.waker_w, byte.as_ptr(), 1) };
+            if n >= 0 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            match err.kind() {
+                io::ErrorKind::Interrupted => continue,
+                // Pipe full: a wake is already pending, which is all
+                // notify promises.
+                io::ErrorKind::WouldBlock => return Ok(()),
+                _ => return Err(err),
+            }
+        }
+    }
+
+    fn drain_waker(&self) {
+        let mut buf = [0u8; 256];
+        loop {
+            let n = unsafe { sys::read(self.waker_r, buf.as_mut_ptr(), buf.len()) };
+            if n < buf.len() as isize {
+                // Short read, error, or EAGAIN: drained (or will wake
+                // again level-triggered) either way.
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            #[cfg(target_os = "linux")]
+            if let Backend::Epoll { epfd } = self.backend {
+                sys::close(epfd);
+            }
+            sys::close(self.waker_r);
+            sys::close(self.waker_w);
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend_name())
+            .finish()
+    }
+}
+
+fn timeout_millis(timeout: Option<Duration>) -> sys::c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            // Round up so a 1ns timeout doesn't busy-spin at 0ms.
+            let ms = d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+            ms.min(sys::c_int::MAX as u128) as sys::c_int
+        }
+    }
+}
+
+/// Opens the non-blocking waker pipe.
+fn new_waker() -> io::Result<(RawFd, RawFd)> {
+    #[cfg(target_os = "linux")]
+    {
+        let mut fds = [0 as RawFd; 2];
+        sys::check(unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) })?;
+        Ok((fds[0], fds[1]))
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let mut fds = [0 as RawFd; 2];
+        sys::check(unsafe { sys::pipe(fds.as_mut_ptr()) })?;
+        for &fd in &fds {
+            let flags = sys::check(unsafe { sys::fcntl(fd, sys::F_GETFL, 0) })?;
+            sys::check(unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) })?;
+        }
+        Ok((fds[0], fds[1]))
+    }
+}
+
+/// Socket buffer-size knobs (SO_SNDBUF / SO_RCVBUF).
+pub mod sockopt {
+    use super::sys;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    fn set(fd: RawFd, opt: sys::c_int, bytes: usize) -> io::Result<()> {
+        let val = bytes.min(sys::c_int::MAX as usize) as sys::c_int;
+        sys::check(unsafe {
+            sys::setsockopt(
+                fd,
+                sys::SOL_SOCKET,
+                opt,
+                (&val as *const sys::c_int).cast(),
+                std::mem::size_of::<sys::c_int>() as sys::socklen_t,
+            )
+        })?;
+        Ok(())
+    }
+
+    fn get(fd: RawFd, opt: sys::c_int) -> io::Result<usize> {
+        let mut val: sys::c_int = 0;
+        let mut len = std::mem::size_of::<sys::c_int>() as sys::socklen_t;
+        sys::check(unsafe {
+            sys::getsockopt(
+                fd,
+                sys::SOL_SOCKET,
+                opt,
+                (&mut val as *mut sys::c_int).cast(),
+                &mut len,
+            )
+        })?;
+        Ok(val.max(0) as usize)
+    }
+
+    /// Requests a send-buffer size. The kernel may clamp (and on Linux
+    /// doubles) the request; read back with [`send_buffer`].
+    pub fn set_send_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+        set(fd, sys::SO_SNDBUF, bytes)
+    }
+
+    /// Requests a receive-buffer size; see [`set_send_buffer`].
+    pub fn set_recv_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+        set(fd, sys::SO_RCVBUF, bytes)
+    }
+
+    /// Reads the effective send-buffer size.
+    pub fn send_buffer(fd: RawFd) -> io::Result<usize> {
+        get(fd, sys::SO_SNDBUF)
+    }
+
+    /// Reads the effective receive-buffer size.
+    pub fn recv_buffer(fd: RawFd) -> io::Result<usize> {
+        get(fd, sys::SO_RCVBUF)
+    }
+}
+
+/// Raw syscall surface. `std` links libc, so these resolve without any
+/// external crate.
+mod sys {
+    #![allow(non_camel_case_types)]
+
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    pub type c_int = i32;
+    pub type c_short = i16;
+    pub type socklen_t = u32;
+    #[cfg(target_pointer_width = "64")]
+    pub type nfds_t = u64;
+    #[cfg(not(target_pointer_width = "64"))]
+    pub type nfds_t = u32;
+
+    #[repr(C)]
+    pub struct pollfd {
+        pub fd: RawFd,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    #[cfg(target_os = "linux")]
+    mod epoll {
+        use super::{c_int, RawFd};
+
+        /// Matches the kernel ABI: packed on x86-64, natural alignment
+        /// elsewhere. Fields are copied out before use (no references
+        /// into the packed layout).
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: RawFd, op: c_int, fd: RawFd, event: *mut epoll_event) -> c_int;
+            pub fn epoll_wait(
+                epfd: RawFd,
+                events: *mut epoll_event,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+        }
+
+        /// Builds the level-triggered epoll mask for an interest set.
+        pub fn epoll_mask(interest: crate::Interest) -> u32 {
+            let mut mask = EPOLLRDHUP;
+            if interest.read {
+                mask |= EPOLLIN;
+            }
+            if interest.write {
+                mask |= EPOLLOUT;
+            }
+            mask
+        }
+    }
+    #[cfg(target_os = "linux")]
+    pub use epoll::*;
+
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(target_os = "linux")]
+    pub const O_CLOEXEC: c_int = 0o2000000;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: c_int = 0x0004;
+    #[cfg(not(target_os = "linux"))]
+    pub const F_GETFL: c_int = 3;
+    #[cfg(not(target_os = "linux"))]
+    pub const F_SETFL: c_int = 4;
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const SOL_SOCKET: c_int = 1;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const SO_SNDBUF: c_int = 7;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const SO_RCVBUF: c_int = 8;
+    // BSD-derived values (macOS, the BSDs, illumos).
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    pub const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    pub const SO_SNDBUF: c_int = 0x1001;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    pub const SO_RCVBUF: c_int = 0x1002;
+
+    extern "C" {
+        pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+        pub fn close(fd: RawFd) -> c_int;
+        pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+        pub fn setsockopt(
+            fd: RawFd,
+            level: c_int,
+            optname: c_int,
+            optval: *const u8,
+            optlen: socklen_t,
+        ) -> c_int;
+        pub fn getsockopt(
+            fd: RawFd,
+            level: c_int,
+            optname: c_int,
+            optval: *mut u8,
+            optlen: *mut socklen_t,
+        ) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn pipe2(fds: *mut RawFd, flags: c_int) -> c_int;
+        #[cfg(not(target_os = "linux"))]
+        pub fn pipe(fds: *mut RawFd) -> c_int;
+        // fcntl is variadic in C; a fixed three-int declaration matches
+        // the calling convention for integer arguments on the unix ABIs
+        // this fallback targets.
+        #[cfg(not(target_os = "linux"))]
+        pub fn fcntl(fd: RawFd, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    /// Maps a `-1` return to `io::Error::last_os_error()`.
+    pub fn check(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn backends() -> Vec<Poller> {
+        let mut v = vec![Poller::with_poll_backend().unwrap()];
+        if cfg!(target_os = "linux") {
+            v.push(Poller::new().unwrap());
+        }
+        v
+    }
+
+    #[test]
+    fn readable_after_peer_writes() {
+        for poller in backends() {
+            let (mut a, b) = pair();
+            b.set_nonblocking(true).unwrap();
+            poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+            let mut events = Vec::new();
+            // Nothing to read yet.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{}: spurious readiness", poller.backend_name());
+            a.write_all(b"hi").unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{}", poller.backend_name());
+            assert!(events[0].readable);
+            assert_eq!(events[0].key, 7);
+            let mut buf = [0u8; 8];
+            let got = (&b).read(&mut buf).unwrap();
+            assert_eq!(&buf[..got], b"hi");
+            poller.delete(b.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn write_interest_reports_writable_and_modify_disarms() {
+        for poller in backends() {
+            let (_a, b) = pair();
+            b.set_nonblocking(true).unwrap();
+            poller.add(b.as_raw_fd(), 3, Interest::READ_WRITE).unwrap();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{}", poller.backend_name());
+            assert!(events[0].writable);
+            // Drop write interest: an idle socket reports nothing.
+            poller.modify(b.as_raw_fd(), 3, Interest::READ).unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{}", poller.backend_name());
+            poller.delete(b.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn peer_close_wakes_reader() {
+        for poller in backends() {
+            let (a, b) = pair();
+            b.set_nonblocking(true).unwrap();
+            poller.add(b.as_raw_fd(), 1, Interest::READ).unwrap();
+            drop(a);
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{}", poller.backend_name());
+            assert!(events[0].readable, "close must surface as readable");
+            poller.delete(b.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn notify_interrupts_wait() {
+        for poller in backends() {
+            let poller = std::sync::Arc::new(poller);
+            let waker = std::sync::Arc::clone(&poller);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.notify().unwrap();
+            });
+            let start = Instant::now();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert_eq!(
+                n,
+                0,
+                "{}: waker must not surface as an event",
+                poller.backend_name()
+            );
+            assert!(start.elapsed() < Duration::from_secs(10));
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn notifies_coalesce() {
+        for poller in backends() {
+            for _ in 0..1000 {
+                poller.notify().unwrap();
+            }
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            // Drained: the next wait times out instead of waking hot.
+            let start = Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(
+                start.elapsed() >= Duration::from_millis(15),
+                "{}",
+                poller.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn socket_buffers_round_trip() {
+        let (a, _b) = pair();
+        let fd = a.as_raw_fd();
+        sockopt::set_send_buffer(fd, 64 * 1024).unwrap();
+        sockopt::set_recv_buffer(fd, 64 * 1024).unwrap();
+        // Kernels clamp and (on Linux) double the request; just check
+        // the knob moved the value somewhere sane.
+        assert!(sockopt::send_buffer(fd).unwrap() >= 16 * 1024);
+        assert!(sockopt::recv_buffer(fd).unwrap() >= 16 * 1024);
+    }
+
+    #[test]
+    fn zero_timeout_returns_immediately() {
+        for poller in backends() {
+            let mut events = Vec::new();
+            let start = Instant::now();
+            let n = poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+            assert_eq!(n, 0);
+            assert!(start.elapsed() < Duration::from_secs(1));
+        }
+    }
+}

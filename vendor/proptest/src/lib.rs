@@ -528,23 +528,15 @@ mod tests {
     #[test]
     fn same_name_same_sequence() {
         let mut first = Vec::new();
-        crate::run_proptest(
-            &ProptestConfig::with_cases(5),
-            "stable",
-            |rng| {
-                first.push((0u64..1000).gen_one(rng));
-                Ok(())
-            },
-        );
+        crate::run_proptest(&ProptestConfig::with_cases(5), "stable", |rng| {
+            first.push((0u64..1000).gen_one(rng));
+            Ok(())
+        });
         let mut second = Vec::new();
-        crate::run_proptest(
-            &ProptestConfig::with_cases(5),
-            "stable",
-            |rng| {
-                second.push((0u64..1000).gen_one(rng));
-                Ok(())
-            },
-        );
+        crate::run_proptest(&ProptestConfig::with_cases(5), "stable", |rng| {
+            second.push((0u64..1000).gen_one(rng));
+            Ok(())
+        });
         assert_eq!(first, second);
     }
 }

@@ -12,14 +12,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    emit_serialize(&item).parse().expect("generated impl parses")
+    emit_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
 }
 
 /// Derives `serde::Deserialize` (value-tree stand-in).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    emit_deserialize(&item).parse().expect("generated impl parses")
+    emit_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
 }
 
 enum Shape {
@@ -267,16 +271,9 @@ fn emit_serialize(item: &Item) -> String {
         Shape::NamedStruct { fields } => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
                 .collect();
-            format!(
-                "::serde::value::Value::Map(vec![{}])",
-                entries.join(", ")
-            )
+            format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
         }
         Shape::TupleStruct { arity: 1 } => {
             // Newtype structs serialize transparently, like real serde.

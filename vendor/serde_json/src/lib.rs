@@ -338,12 +338,7 @@ impl<'a> Parser<'a> {
                     char::from_u32(unit).ok_or_else(|| Error::msg("invalid \\u escape"))?
                 }
             }
-            other => {
-                return Err(Error::msg(format!(
-                    "unknown escape `\\{}`",
-                    other as char
-                )))
-            }
+            other => return Err(Error::msg(format!("unknown escape `\\{}`", other as char))),
         })
     }
 
@@ -375,8 +370,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if is_float {
             text.parse::<f64>()
                 .map(Value::F64)
@@ -415,7 +410,10 @@ mod tests {
         let s = "a \"quoted\"\\ line\nwith\ttabs and \u{1}control".to_string();
         let json = to_string(&s).unwrap();
         assert_eq!(from_str::<String>(&json).unwrap(), s);
-        assert_eq!(from_str::<String>("\"\\u00e9\\uD83D\\uDE00\"").unwrap(), "é😀");
+        assert_eq!(
+            from_str::<String>("\"\\u00e9\\uD83D\\uDE00\"").unwrap(),
+            "é😀"
+        );
     }
 
     #[test]
