@@ -1,0 +1,44 @@
+//! CI scale smoke: seeded 128-node in-process sims under the causal
+//! oracle, CI-sized op budget.
+//!
+//! Each cell builds a 128-node deterministic sim with hash-ring
+//! ownership and ring-local working sets, runs the seeded workload to
+//! completion, and checks the full recorded execution against the
+//! Definition-2 oracle — [`dsm_bench::hotpath::scale_cell`] panics on a
+//! wedged run or an oracle rejection, so any violation fails the build
+//! with the reproducing seed in the output. One scoped/dense pair runs
+//! per seed; the dense twin keeps the byte-identical Figure-4 wire
+//! shape covered at the same scale.
+//!
+//! Usage: `scale-smoke [SEED...]` (defaults to the two CI seeds).
+
+use dsm_bench::hotpath::{scale_cell, PerfConfig};
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| {
+            let a = a.trim_start_matches("0x");
+            u64::from_str_radix(a, 16)
+                .or_else(|_| a.parse())
+                .unwrap_or_else(|_| panic!("bad seed {a:?}"))
+        })
+        .collect();
+    let seeds: &[u64] = if args.is_empty() {
+        &[0xC0FFEE, 0x5EED]
+    } else {
+        &args
+    };
+
+    let cfg = PerfConfig { quick: true };
+    for &seed in seeds {
+        for scoped in [true, false] {
+            let cell = scale_cell(seed, &cfg, 128, scoped);
+            println!(
+                "{:<18} seed={seed:#x}: {} ops causal-checked, {:.1} metadata B/op",
+                cell.name, cell.ops, cell.metadata_bytes_per_op
+            );
+        }
+    }
+    println!("scale smoke: all cells passed the Definition-2 oracle");
+}

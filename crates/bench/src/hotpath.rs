@@ -141,6 +141,12 @@ pub struct WorkloadReport {
     /// push nothing through the kernel, so the estimate is 0 there.
     /// Defaults to 0 when read from a pre-event-loop report.
     pub syscalls_per_op: f64,
+    /// Causal-metadata wire bytes per measured op: the exact encoded size
+    /// of every vector timestamp shipped, honoring each stamp's
+    /// dense/sparse encoding. The `scale_n*` cells exist to plot this
+    /// against cluster size. Defaults to 0 when read from a
+    /// pre-interest-scoping report.
+    pub metadata_bytes_per_op: f64,
     /// Whether the CI regression gate applies to this cell.
     pub gated: bool,
 }
@@ -180,6 +186,7 @@ impl Deserialize for WorkloadReport {
             msgs_per_op: opt(v, "msgs_per_op")?,
             envelopes_per_op: opt(v, "envelopes_per_op")?,
             syscalls_per_op: opt(v, "syscalls_per_op")?,
+            metadata_bytes_per_op: opt(v, "metadata_bytes_per_op")?,
             gated: req(v, "gated")?,
         })
     }
@@ -310,6 +317,7 @@ fn report(
         msgs_per_op: delta.total() as f64 / executed,
         envelopes_per_op: envelopes.total() as f64 / executed,
         syscalls_per_op: 0.0,
+        metadata_bytes_per_op: 0.0,
         gated,
     }
 }
@@ -541,6 +549,7 @@ pub fn figure6_solver(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
         msgs_per_op: msgs as f64 / ops.max(1) as f64,
         envelopes_per_op: msgs as f64 / ops.max(1) as f64,
         syscalls_per_op: 0.0,
+        metadata_bytes_per_op: 0.0,
         gated: false,
     }
 }
@@ -756,6 +765,7 @@ pub fn failover_migration(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
         backoff_base: 2,
         backoff_max: 16,
         max_retries: 8,
+        heartbeat_fanout: 0,
     };
     let cluster = CausalCluster::<memcore::Word>::builder(3, LOCATIONS)
         .configure(|c| c.failover(fo))
@@ -912,6 +922,121 @@ fn tcp_report(name: &str, seed: u64, run: dsm_net::LoopbackReport) -> WorkloadRe
         msgs_per_op: msgs as f64 / ops as f64,
         envelopes_per_op: run.envelope_msgs as f64 / ops as f64,
         syscalls_per_op: run.wire.writev_calls as f64 / ops as f64,
+        metadata_bytes_per_op: 0.0,
+        gated: false,
+    }
+}
+
+/// Metadata cost at scale: an `n`-node deterministic simulation with
+/// hash-ring ownership and a ring-local share graph — each node touches
+/// only pages owned by itself and its two ring successors — reporting
+/// the causal-metadata wire bytes shipped per operation.
+///
+/// With `scoped` on, owner replies carry interest-scoped **sparse**
+/// timestamps: `8 + 12·nnz` bytes, where `nnz` is bounded by the share
+/// graph's causal closure, not by `n`. The `_dense` twin runs the
+/// *identical* seeded script with scoping off, paying the paper's flat
+/// `4 + 8·n` bytes per timestamp — so the cell pair plots the tentpole
+/// claim directly: dense metadata climbs linearly with cluster size,
+/// while scoped metadata saturates at the workload's causal-knowledge
+/// horizon (it grows with run length, not with `n`; below the
+/// crossover — small clusters, long runs — the pair encoding can even
+/// cost more than dense, which is the honest price of the feature).
+///
+/// Every run is checked against the Definition-2 oracle before it
+/// reports. Ungated: the cell measures simulated traffic, not wall
+/// clock, and new cells are absent from older baselines anyway.
+///
+/// # Panics
+///
+/// Panics if the simulation wedges or the oracle rejects the execution.
+#[must_use]
+pub fn scale_cell(seed: u64, cfg: &PerfConfig, n: u32, scoped: bool) -> WorkloadReport {
+    use dsm_sim::{CausalActor, ClientOp, Script, Sim, SimOpts};
+    use memcore::{NodeId, OwnerMap as _, Word};
+
+    const PAGES_PER_NODE: u32 = 2;
+    const VNODES: u32 = 32;
+    let locations = n * PAGES_PER_NODE;
+    let ops_per_node: u64 = if cfg.quick { 24 } else { 96 };
+
+    let recorder = memcore::Recorder::new(n as usize);
+    let config = causal_dsm::CausalConfig::<Word>::builder(n, locations)
+        .owners(memcore::HashRingOwners::new(n, 1, VNODES))
+        .interest_scoping(scoped)
+        .build();
+    let actors = (0..n)
+        .map(|i| CausalActor::new(causal_dsm::CausalState::new(NodeId::new(i), config.clone())))
+        .collect();
+    let mut sim = Sim::new(
+        actors,
+        SimOpts {
+            seed,
+            recorder: Some(recorder.clone()),
+            ..SimOpts::default()
+        },
+    );
+
+    let owners = config.owners();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (u64::from(n) << 8));
+    for node in 0..n {
+        let me = NodeId::new(node);
+        // The node's working set: every location owned by itself or its
+        // two ring successors. This is what keeps the interest closure —
+        // and therefore the sparse timestamps — O(neighborhood).
+        let group: Vec<NodeId> = std::iter::once(me)
+            .chain(owners.neighbors(me, 2))
+            .collect();
+        let working: Vec<Location> = (0..locations)
+            .map(Location::new)
+            .filter(|loc| group.contains(&owners.owner_of(*loc)))
+            .collect();
+        let mut script = Vec::with_capacity(ops_per_node as usize);
+        for op in 0..ops_per_node {
+            let loc = working[rng.gen_range(0..working.len())];
+            if rng.gen_range(0..100u32) < 40 {
+                let tag = i64::from(node) << 32 | op as i64;
+                script.push(ClientOp::Write(loc, Word::Int(tag)));
+            } else {
+                script.push(ClientOp::Read(loc));
+            }
+        }
+        sim.set_client(node as usize, Script::new(script));
+    }
+
+    let start = Instant::now();
+    let run = sim.run_to_completion();
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    assert!(run.all_done, "scale sim wedged: {:?}", run.stuck_nodes);
+
+    let exec = causal_spec::Execution::from_recorder(&recorder);
+    let verdict = causal_spec::check_causal(&exec).expect("well-formed execution");
+    assert!(verdict.is_correct(), "scale sim not causal: {verdict}");
+
+    let ops = recorder.total_ops() as u64;
+    let delta = sim.messages().snapshot();
+    let envelopes = sim.envelopes().snapshot();
+    let metadata = sim.metadata().snapshot().total();
+    let executed = ops.max(1) as f64;
+    let suffix = if scoped { "" } else { "_dense" };
+    WorkloadReport {
+        name: format!("scale_n{n}{suffix}"),
+        seed,
+        ops,
+        elapsed_ns,
+        ops_per_sec: ops as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        p50_ns: 0,
+        p99_ns: 0,
+        allocs_per_op: -1.0,
+        alloc_bytes_per_op: -1.0,
+        protocol_msgs: delta.protocol_total(),
+        overhead_msgs: delta.overhead_total(),
+        msgs_by_kind: delta.by_kind(),
+        envelope_msgs: envelopes.total(),
+        msgs_per_op: delta.total() as f64 / executed,
+        envelopes_per_op: envelopes.total() as f64 / executed,
+        syscalls_per_op: 0.0,
+        metadata_bytes_per_op: metadata as f64 / executed,
         gated: false,
     }
 }
@@ -952,6 +1077,13 @@ pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
         workloads.push(mixed_remote_tcp_batched(seed, cfg));
         for window in [0u32, 32] {
             workloads.push(write_pipeline_tcp(seed, cfg, window));
+        }
+        // One rep: fully seeded simulated traffic — repetition changes
+        // only wall clock, which these ungated cells don't gate on. The
+        // scoped/dense pair per size plots metadata bytes against n.
+        for n in [16u32, 64, 128] {
+            workloads.push(scale_cell(seed, cfg, n, true));
+            workloads.push(scale_cell(seed, cfg, n, false));
         }
     }
     PerfReport {
@@ -1011,7 +1143,7 @@ pub fn render_perf(report: &PerfReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<24} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "{:<24} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "workload",
         "seed",
         "ops/sec",
@@ -1022,12 +1154,13 @@ pub fn render_perf(report: &PerfReport) -> String {
         "overhead",
         "msgs/op",
         "envs/op",
-        "sys/op"
+        "sys/op",
+        "mdB/op"
     );
     for w in &report.workloads {
         let _ = writeln!(
             out,
-            "{:<24} {:>#10x} {:>12.0} {:>9} {:>9} {:>9.2} {:>9} {:>9} {:>9.3} {:>9.3} {:>9.3}",
+            "{:<24} {:>#10x} {:>12.0} {:>9} {:>9} {:>9.2} {:>9} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>9.1}",
             w.name,
             w.seed,
             w.ops_per_sec,
@@ -1038,7 +1171,8 @@ pub fn render_perf(report: &PerfReport) -> String {
             w.overhead_msgs,
             w.msgs_per_op,
             w.envelopes_per_op,
-            w.syscalls_per_op
+            w.syscalls_per_op,
+            w.metadata_bytes_per_op
         );
     }
     out
@@ -1082,6 +1216,7 @@ mod tests {
             msgs_per_op: 0.0,
             envelopes_per_op: 0.0,
             syscalls_per_op: 0.0,
+            metadata_bytes_per_op: 0.0,
             gated,
         };
         let base = PerfReport {
@@ -1157,6 +1292,34 @@ mod tests {
         assert!(w.overhead_msgs > 0, "failover overhead must be visible");
         let heartbeats = w.msgs_by_kind.get(memcore::kinds::HEARTBEAT);
         assert!(heartbeats.is_some_and(|&n| n > 0), "{:?}", w.msgs_by_kind);
+    }
+
+    #[test]
+    fn scale_cells_show_bounded_metadata_per_op() {
+        // The tentpole claim in one assertion pair: on the identical
+        // seeded script, dense timestamps pay O(n) bytes per message
+        // while interest-scoped sparse ones pay O(interest closure).
+        let scoped_16 = scale_cell(7, &tiny(), 16, true);
+        let dense_16 = scale_cell(7, &tiny(), 16, false);
+        let scoped_64 = scale_cell(7, &tiny(), 64, true);
+        let dense_64 = scale_cell(7, &tiny(), 64, false);
+        assert!(
+            scoped_64.metadata_bytes_per_op < dense_64.metadata_bytes_per_op,
+            "scoped {} vs dense {} at n=64",
+            scoped_64.metadata_bytes_per_op,
+            dense_64.metadata_bytes_per_op
+        );
+        // Dense grows linearly with n; scoped must grow strictly slower
+        // than the cluster (4x the nodes, well under 4x the bytes).
+        let dense_growth = dense_64.metadata_bytes_per_op / dense_16.metadata_bytes_per_op;
+        let scoped_growth = scoped_64.metadata_bytes_per_op / scoped_16.metadata_bytes_per_op;
+        assert!(
+            scoped_growth < dense_growth,
+            "scoped x{scoped_growth:.2} vs dense x{dense_growth:.2} from n=16 to n=64"
+        );
+        // Scoping must not change the protocol itself: same ops, and the
+        // Figure-4 message kinds are unchanged modulo INTEREST drops.
+        assert_eq!(scoped_64.ops, dense_64.ops);
     }
 
     #[test]

@@ -66,6 +66,17 @@ pub struct FailoverConfig {
     /// Retries (redirects or timeouts) an operation consumes before
     /// surfacing [`memcore::MemoryError::Timeout`].
     pub max_retries: u32,
+    /// How many ring successors each node probes with heartbeats.
+    ///
+    /// `0` (the default) probes every peer — the all-pairs detector the
+    /// failover layer shipped with, O(n²) heartbeats per interval. A
+    /// positive `k` scopes probing to the `k` successors in the owner
+    /// map's ring order ([`memcore::OwnerMap::neighbors`]), O(n·k) per
+    /// interval; each node is then monitored by exactly its `k`
+    /// predecessors. Owners a node talks to but does not monitor are still
+    /// covered by the request-timeout path, which suspects on evidence of
+    /// unresponsiveness rather than missed probes.
+    pub heartbeat_fanout: u32,
 }
 
 impl Default for FailoverConfig {
@@ -76,6 +87,7 @@ impl Default for FailoverConfig {
             backoff_base: 10,
             backoff_max: 400,
             max_retries: 8,
+            heartbeat_fanout: 0,
         }
     }
 }
@@ -114,6 +126,7 @@ pub struct CausalConfig<V> {
     pipeline_window: u32,
     batching: bool,
     failover: Option<FailoverConfig>,
+    interest_scoping: bool,
 }
 
 impl<V: Value> CausalConfig<V> {
@@ -243,6 +256,17 @@ impl<V: Value> CausalConfig<V> {
     pub fn failover(&self) -> Option<FailoverConfig> {
         self.failover
     }
+
+    /// Whether metadata is interest-scoped (the partial-replication
+    /// layer): owners track which nodes cache each page and ship
+    /// replications/interest messages only to them, and every timestamp
+    /// leaves the node in the sparse wire encoding
+    /// ([`crate::Stamp`]). `false` (the default) is byte-identical to
+    /// Figure 4.
+    #[must_use]
+    pub fn interest_scoping(&self) -> bool {
+        self.interest_scoping
+    }
 }
 
 impl<V> fmt::Debug for CausalConfig<V> {
@@ -260,6 +284,7 @@ impl<V> fmt::Debug for CausalConfig<V> {
             .field("pipeline_window", &self.pipeline_window)
             .field("batching", &self.batching)
             .field("failover", &self.failover)
+            .field("interest_scoping", &self.interest_scoping)
             .finish()
     }
 }
@@ -295,6 +320,7 @@ pub struct CausalConfigBuilder<V> {
     pipeline_window: u32,
     batching: bool,
     failover: Option<FailoverConfig>,
+    interest_scoping: bool,
 }
 
 impl<V: Value + Default> CausalConfigBuilder<V> {
@@ -316,6 +342,7 @@ impl<V: Value + Default> CausalConfigBuilder<V> {
             pipeline_window: 0,
             batching: false,
             failover: None,
+            interest_scoping: false,
         }
     }
 }
@@ -429,6 +456,16 @@ impl<V: Value> CausalConfigBuilder<V> {
         self
     }
 
+    /// Enables interest-scoped metadata: per-page interest sets at owners
+    /// and sparse timestamp encoding on the wire (default `false` —
+    /// byte-identical to Figure 4). See
+    /// [`CausalConfig::interest_scoping`].
+    #[must_use]
+    pub fn interest_scoping(mut self, on: bool) -> Self {
+        self.interest_scoping = on;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -458,6 +495,7 @@ impl<V: Value> CausalConfigBuilder<V> {
             pipeline_window: self.pipeline_window,
             batching: self.batching,
             failover: self.failover,
+            interest_scoping: self.interest_scoping,
         }
     }
 }
@@ -550,6 +588,21 @@ mod tests {
             fo.backoff(2, 2),
             "jitter must vary by salt"
         );
+    }
+
+    #[test]
+    fn interest_scoping_defaults_off() {
+        let config = CausalConfig::<Word>::builder(2, 4).build();
+        assert!(!config.interest_scoping(), "interest scoping must be opt-in");
+        assert_eq!(
+            FailoverConfig::default().heartbeat_fanout,
+            0,
+            "all-pairs probing must stay the default"
+        );
+        let config = CausalConfig::<Word>::builder(2, 4)
+            .interest_scoping(true)
+            .build();
+        assert!(config.interest_scoping());
     }
 
     #[test]

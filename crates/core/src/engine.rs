@@ -270,7 +270,13 @@ impl<V: Value> ServerCtx<V> {
                 slots,
                 origins,
             } => {
-                node.state.write().apply_replicate(page, vt, slots, origins);
+                node.state
+                    .write()
+                    .apply_replicate(page, vt.into_inner(), slots, origins);
+            }
+            Msg::Interest { page } => {
+                // A peer evicted its copy: stop counting it as interested.
+                node.state.write().handle_interest_drop(page, env.src);
             }
             Msg::Stamped { epoch, op, inner } if inner.is_request() => {
                 let mut st = node.state.write();
@@ -683,41 +689,44 @@ impl<V: Value> CausalCluster<V> {
                             // lets shutdown() interrupt a tick mid-wait.
                             while !stop.wait_for(interval) {
                                 let now = clock_start.elapsed().as_millis() as u64;
-                                let (hb, broadcasts, repl) = {
+                                let (hb, hb_targets, broadcasts, repl) = {
                                     let mut st = node.state.write();
                                     let hb = st.heartbeat_msg();
+                                    // All peers under all-pairs probing; the
+                                    // node's ring successors under a scoped
+                                    // heartbeat fanout.
+                                    let hb_targets = st.heartbeat_targets();
                                     let newly = st.check_suspicions(now);
                                     let mut broadcasts = Vec::new();
                                     for suspect in newly {
                                         let epochs = st.suspect(suspect);
                                         if !epochs.is_empty() {
-                                            broadcasts.push((suspect, epochs));
+                                            let targets = st.suspect_targets(suspect, &epochs);
+                                            broadcasts.push((suspect, epochs, targets));
                                         }
                                     }
-                                    (hb, broadcasts, st.take_replications())
+                                    (hb, hb_targets, broadcasts, st.take_replications())
                                 };
                                 let n = u32::try_from(net.len()).unwrap_or(0);
+                                let all_peers = || {
+                                    (0..n).map(NodeId::new).filter(|dst| *dst != me).collect()
+                                };
                                 if let Some(hb) = hb {
-                                    for j in 0..n {
-                                        let dst = NodeId::new(j);
-                                        if dst != me {
-                                            let _ = net.send(me, dst, hb.clone());
-                                        }
+                                    for dst in hb_targets {
+                                        let _ = net.send(me, dst, hb.clone());
                                     }
                                 }
-                                for (suspect, epochs) in broadcasts {
-                                    for j in 0..n {
-                                        let dst = NodeId::new(j);
-                                        if dst != me {
-                                            let _ = net.send(
-                                                me,
-                                                dst,
-                                                Msg::Suspect {
-                                                    suspect,
-                                                    epochs: epochs.clone(),
-                                                },
-                                            );
-                                        }
+                                for (suspect, epochs, targets) in broadcasts {
+                                    // `None` means broadcast (all-pairs mode).
+                                    for dst in targets.unwrap_or_else(all_peers) {
+                                        let _ = net.send(
+                                            me,
+                                            dst,
+                                            Msg::Suspect {
+                                                suspect,
+                                                epochs: epochs.clone(),
+                                            },
+                                        );
                                     }
                                 }
                                 for (dst, msg) in repl {
@@ -804,6 +813,15 @@ impl<V: Value> CausalCluster<V> {
     #[must_use]
     pub fn envelopes(&self) -> &NetStats {
         self.inner.net.envelopes()
+    }
+
+    /// Per-(node, kind) **causal-metadata** byte counters: the exact wire
+    /// bytes spent on vector timestamps (honoring each stamp's
+    /// dense/sparse encoding). Dividing by the operation count gives the
+    /// scale benches' `metadata_bytes_per_op`.
+    #[must_use]
+    pub fn metadata(&self) -> &NetStats {
+        self.inner.net.metadata()
     }
 
     /// Number of node `i`'s non-blocking or pipelined writes whose replies
@@ -992,14 +1010,21 @@ impl<V: Value> CausalHandle<V> {
         }
     }
 
-    /// Ships any pending hot-standby shadows after a locally-installed
-    /// write (no-op unless failover is enabled and pages are dirty).
-    fn replicate_after_local_write(&self, node: &NodeShared<V>) {
-        if self.inner.config.failover().is_none() {
+    /// Ships pending protocol side traffic: hot-standby shadows queued by
+    /// a locally-installed write (failover) and `[INTEREST]` drops queued
+    /// by cache eviction (interest scoping). A no-op — without touching
+    /// the state lock — unless one of those features is on.
+    fn drain_side_traffic(&self, node: &NodeShared<V>) {
+        let config = &self.inner.config;
+        if config.failover().is_none() && !config.interest_scoping() {
             return;
         }
-        let repl = node.state.write().take_replications();
+        let (repl, drops) = {
+            let mut st = node.state.write();
+            (st.take_replications(), st.take_interest_msgs())
+        };
         self.send_all(repl);
+        self.send_all(drops);
     }
 
     /// Puts a buffered run on the wire as one envelope (a single message,
@@ -1234,23 +1259,30 @@ impl<V: Value> CausalHandle<V> {
                 }
                 Ok(reply) => return Ok(reply),
                 Err(MemoryError::Timeout { .. }) => {
-                    let epochs = node.state.write().suspect(owner);
+                    let (epochs, targets, repl) = {
+                        let mut st = node.state.write();
+                        let epochs = st.suspect(owner);
+                        let targets = st.suspect_targets(owner, &epochs);
+                        (epochs, targets, st.take_replications())
+                    };
                     if !epochs.is_empty() {
-                        for j in 0..self.inner.config.nodes() {
-                            let dst = NodeId::new(j);
-                            if dst != self.node {
-                                let _ = self.inner.net.send(
-                                    self.node,
-                                    dst,
-                                    Msg::Suspect {
-                                        suspect: owner,
-                                        epochs: epochs.clone(),
-                                    },
-                                );
-                            }
+                        let dsts = targets.unwrap_or_else(|| {
+                            (0..self.inner.config.nodes())
+                                .map(NodeId::new)
+                                .filter(|dst| *dst != self.node)
+                                .collect()
+                        });
+                        for dst in dsts {
+                            let _ = self.inner.net.send(
+                                self.node,
+                                dst,
+                                Msg::Suspect {
+                                    suspect: owner,
+                                    epochs: epochs.clone(),
+                                },
+                            );
                         }
                     }
-                    let repl = node.state.write().take_replications();
                     self.send_all(repl);
                 }
                 Err(e) => return Err(e),
@@ -1297,7 +1329,7 @@ impl<V: Value> CausalHandle<V> {
                 drop(pipeline);
                 match step {
                     WriteStep::Done { wid } => {
-                        self.replicate_after_local_write(node);
+                        self.drain_side_traffic(node);
                         return Ok(WriteDone::Applied { wid });
                     }
                     WriteStep::Remote { .. } => {
@@ -1334,7 +1366,7 @@ impl<V: Value> CausalHandle<V> {
             .begin_write_shared(loc, Arc::clone(&value));
         let done = match step {
             WriteStep::Done { wid } => {
-                self.replicate_after_local_write(node);
+                self.drain_side_traffic(node);
                 WriteDone::Applied { wid }
             }
             WriteStep::Remote {
@@ -1356,9 +1388,12 @@ impl<V: Value> CausalHandle<V> {
                         self.await_reply(node, owner, &Expected { op: None, want })?
                     }
                 };
-                node.state
+                let done = node
+                    .state
                     .write()
-                    .finish_write(Arc::clone(&value), wid, reply)
+                    .finish_write(Arc::clone(&value), wid, reply);
+                self.drain_side_traffic(node);
+                done
             }
         };
         self.record_with(|| OpRecord::write(loc, (*value).clone(), done.wid()));
@@ -1425,6 +1460,7 @@ impl<V: Value> CausalHandle<V> {
                 wid
             }
         };
+        self.drain_side_traffic(node);
         self.record_with(|| OpRecord::write(loc, (*value).clone(), wid));
         Ok(wid)
     }
@@ -1530,6 +1566,7 @@ impl<V: Value> CausalHandle<V> {
             }
         };
         drop(p);
+        self.drain_side_traffic(node);
         self.record_with(|| OpRecord::write(loc, (*value).clone(), wid));
         Ok(wid)
     }
@@ -1634,7 +1671,9 @@ impl<V: Value> CausalHandle<V> {
                         self.await_reply(node, owner, &Expected { op: None, want })?
                     }
                 };
-                node.state.write().finish_read(loc, reply)
+                let hit = node.state.write().finish_read(loc, reply);
+                self.drain_side_traffic(node);
+                hit
             }
         };
         self.record_with(|| OpRecord::read(loc, (*value).clone(), wid));
@@ -1662,5 +1701,6 @@ impl<V: Value> SharedMemory<V> for CausalHandle<V> {
         let node = &self.inner.nodes[self.node.index()];
         let _op = node.op_lock.lock();
         node.state.write().discard(loc);
+        self.drain_side_traffic(node);
     }
 }

@@ -32,12 +32,16 @@ use vclock::VectorClock;
 use crate::config::FailoverConfig;
 use crate::fxmap::FastMap;
 
-/// The node serving `page` at `epoch`: the static owner rotated `epoch`
-/// steps around the ring. Epoch 0 is exactly the static assignment.
+/// The node serving `page` at `epoch` — delegated to the owner map's
+/// succession rule. Round-robin maps keep the historical
+/// `(static_owner + e) mod n` rotation; a
+/// [`memcore::HashRingOwners`] walks the `e`-th distinct node clockwise
+/// from the page's ring position. Epoch 0 is always the static
+/// assignment, so everything below this line is unchanged by the choice
+/// of map.
 #[must_use]
 pub fn owner_at(owners: &dyn OwnerMap, page: PageId, epoch: OwnerEpoch) -> NodeId {
-    let base = owners.owner_of_page(page).index() as u32;
-    NodeId::new((base + epoch.get()) % owners.nodes())
+    owners.owner_at_epoch(page, epoch.get())
 }
 
 /// A hot-standby copy of a page, shipped by the owner after each certified
@@ -104,7 +108,18 @@ impl<V> FailoverState<V> {
     /// Peers (other than `me`) whose silence now exceeds
     /// `heartbeat_interval × suspicion_threshold`; marks them suspected and
     /// returns only the *newly* suspected ones.
-    pub fn check_suspicions(&mut self, me: NodeId, now: u64) -> Vec<NodeId> {
+    ///
+    /// `monitored` restricts the probe-driven detector to the peers that
+    /// actually probe this node (its ring predecessors under a scoped
+    /// heartbeat fanout) — judging anyone else by probe silence would
+    /// suspect live nodes that were simply never asked to speak. `None`
+    /// judges every peer (all-pairs probing).
+    pub fn check_suspicions(
+        &mut self,
+        me: NodeId,
+        now: u64,
+        monitored: Option<&[NodeId]>,
+    ) -> Vec<NodeId> {
         let limit = self
             .config
             .heartbeat_interval
@@ -112,6 +127,9 @@ impl<V> FailoverState<V> {
         let mut newly = Vec::new();
         for i in 0..self.last_heard.len() {
             if i == me.index() || self.suspected[i] {
+                continue;
+            }
+            if monitored.is_some_and(|set| !set.contains(&NodeId::new(i as u32))) {
                 continue;
             }
             if now.saturating_sub(self.last_heard[i]) > limit {
@@ -156,16 +174,29 @@ mod tests {
         let mut fo: FailoverState<memcore::Word> = FailoverState::new(FailoverConfig::default(), 3);
         let me = NodeId::new(0);
         // interval 25 × threshold 4 = 100: silence of exactly 100 is fine.
-        assert!(fo.check_suspicions(me, 100).is_empty());
-        let newly = fo.check_suspicions(me, 101);
+        assert!(fo.check_suspicions(me, 100, None).is_empty());
+        let newly = fo.check_suspicions(me, 101, None);
         assert_eq!(newly, vec![NodeId::new(1), NodeId::new(2)]);
         // Already suspected: not reported again.
-        assert!(fo.check_suspicions(me, 500).is_empty());
+        assert!(fo.check_suspicions(me, 500, None).is_empty());
         assert!(fo.is_suspected(NodeId::new(1)));
         // Hearing from it clears the suspicion.
         fo.record_alive(NodeId::new(1), 600);
         assert!(!fo.is_suspected(NodeId::new(1)));
         assert!(fo.is_suspected(NodeId::new(2)));
+    }
+
+    #[test]
+    fn scoped_monitoring_only_suspects_the_monitored_set() {
+        let mut fo: FailoverState<memcore::Word> = FailoverState::new(FailoverConfig::default(), 4);
+        let me = NodeId::new(0);
+        let monitored = [NodeId::new(2)];
+        let newly = fo.check_suspicions(me, 101, Some(&monitored));
+        assert_eq!(newly, vec![NodeId::new(2)]);
+        assert!(
+            !fo.is_suspected(NodeId::new(1)),
+            "peers outside the monitored set must not be probe-suspected"
+        );
     }
 
     #[test]

@@ -68,5 +68,5 @@ pub use engine::{
     CausalCluster, CausalClusterBuilder, CausalHandle, ClusterSnapshot, InlineServer,
 };
 pub use failover::owner_at;
-pub use msg::{Msg, SlotData, WriteVerdict};
+pub use msg::{Msg, SlotData, Stamp, WriteVerdict};
 pub use state::{CausalState, ReadStep, WriteDone, WriteStep};

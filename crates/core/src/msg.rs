@@ -37,6 +37,167 @@ pub enum WriteVerdict<V> {
     },
 }
 
+/// The bit distinguishing a sparse stamp's leading word from a dense
+/// clock's length prefix (process counts stay far below 2^31).
+const SPARSE_BIT: u32 = 1 << 31;
+
+/// A vector timestamp as it travels in a message, tagged with the wire
+/// encoding it uses.
+///
+/// Dense (`u32` length + one `u64` per component) is Figure 4's historical
+/// shape and the default — every existing construction site goes through
+/// [`From<VectorClock>`], so configurations without interest scoping stay
+/// byte-identical to the paper's protocol. Sparse writes only the nonzero
+/// `(node, count)` pairs (see [`vclock::SparseClock`]); under interest
+/// scoping a node's clock is nonzero only for the interest closure of the
+/// pages it touched, so sparse stamps cost O(share graph) instead of O(n)
+/// on the wire.
+///
+/// The two encodings are distinguished by the high bit of the leading
+/// `u32` (`SPARSE_BIT`), carried per stamp, so a decoder reconstructs
+/// exactly what was sent and mixed traffic stays unambiguous.
+///
+/// Equality compares the timestamp only: which encoding a stamp rode in
+/// on is a transport detail, not protocol state.
+#[derive(Clone, Debug)]
+pub struct Stamp {
+    vt: VectorClock,
+    sparse: bool,
+}
+
+impl Stamp {
+    /// Wraps `vt` with an explicit encoding choice.
+    #[must_use]
+    pub fn new(vt: VectorClock, sparse: bool) -> Self {
+        Stamp { vt, sparse }
+    }
+
+    /// A dense stamp (the Figure-4 wire shape).
+    #[must_use]
+    pub fn dense(vt: VectorClock) -> Self {
+        Stamp { vt, sparse: false }
+    }
+
+    /// A sparse stamp (nonzero pairs only).
+    #[must_use]
+    pub fn sparse(vt: VectorClock) -> Self {
+        Stamp { vt, sparse: true }
+    }
+
+    /// The timestamp itself.
+    #[must_use]
+    pub fn clock(&self) -> &VectorClock {
+        &self.vt
+    }
+
+    /// Unwraps into the timestamp.
+    #[must_use]
+    pub fn into_inner(self) -> VectorClock {
+        self.vt
+    }
+
+    /// `true` if this stamp uses (or arrived in) the sparse encoding.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        self.sparse
+    }
+}
+
+impl From<VectorClock> for Stamp {
+    fn from(vt: VectorClock) -> Self {
+        Stamp::dense(vt)
+    }
+}
+
+impl std::ops::Deref for Stamp {
+    type Target = VectorClock;
+    fn deref(&self) -> &VectorClock {
+        &self.vt
+    }
+}
+
+impl PartialEq for Stamp {
+    fn eq(&self, other: &Self) -> bool {
+        self.vt == other.vt
+    }
+}
+
+impl Eq for Stamp {}
+
+impl PartialEq<VectorClock> for Stamp {
+    fn eq(&self, other: &VectorClock) -> bool {
+        self.vt == *other
+    }
+}
+
+impl PartialEq<Stamp> for VectorClock {
+    fn eq(&self, other: &Stamp) -> bool {
+        *self == other.vt
+    }
+}
+
+impl fmt::Display for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.vt.fmt(f)
+    }
+}
+
+impl Wire for Stamp {
+    fn encode(&self, buf: &mut BytesMut) {
+        if self.sparse {
+            ((self.vt.len() as u32) | SPARSE_BIT).encode(buf);
+            (self.vt.nonzero_count() as u32).encode(buf);
+            for (i, c) in self.vt.nonzero() {
+                i.encode(buf);
+                c.encode(buf);
+            }
+        } else {
+            self.vt.encode(buf);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let head = u32::decode(buf)?;
+        if head & SPARSE_BIT == 0 {
+            let len = head as usize;
+            let mut components = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                components.push(u64::decode(buf)?);
+            }
+            Ok(Stamp {
+                vt: VectorClock::from(components),
+                sparse: false,
+            })
+        } else {
+            let n = (head & !SPARSE_BIT) as usize;
+            let nnz = u32::decode(buf)? as usize;
+            let mut entries = Vec::with_capacity(nnz.min(1 << 16));
+            for _ in 0..nnz {
+                let i = u32::decode(buf)?;
+                let c = u64::decode(buf)?;
+                if i as usize >= n {
+                    // A pair naming a process outside the declared count is
+                    // malformed; fail cleanly rather than panic.
+                    return Err(CodecError::Truncated);
+                }
+                entries.push((i, c));
+            }
+            Ok(Stamp {
+                vt: VectorClock::from_sparse_entries(n, entries),
+                sparse: true,
+            })
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        if self.sparse {
+            8 + 12 * self.vt.nonzero_count()
+        } else {
+            self.vt.encoded_len()
+        }
+    }
+}
+
 /// A protocol message of the causal owner protocol.
 ///
 /// `Read`/`ReadReply` and `Write`/`WriteReply` correspond one-to-one to the
@@ -58,7 +219,7 @@ pub enum Msg<V> {
         /// The page transferred.
         page: PageId,
         /// The page's writestamp `VT'` at the owner.
-        vt: VectorClock,
+        vt: Stamp,
         /// Per-location values and write tags.
         slots: Vec<SlotData<V>>,
     },
@@ -71,7 +232,7 @@ pub enum Msg<V> {
         /// The unique tag of this write.
         wid: WriteId,
         /// The writer's incremented timestamp (the write's origin stamp).
-        vt: VectorClock,
+        vt: Stamp,
     },
     /// `[W_REPLY, x, v, VT]` — the owner's certification (or rejection).
     WriteReply {
@@ -81,7 +242,7 @@ pub enum Msg<V> {
         /// replies to outstanding writes, needed for non-blocking writes).
         wid: WriteId,
         /// The owner's merged timestamp after servicing the write.
-        vt: VectorClock,
+        vt: Stamp,
         /// Applied or rejected (owner-favored policy).
         verdict: WriteVerdict<V>,
     },
@@ -150,12 +311,23 @@ pub enum Msg<V> {
         /// The shadowed page.
         page: PageId,
         /// The page's writestamp at the owner.
-        vt: VectorClock,
+        vt: Stamp,
         /// Per-location values and write tags.
         slots: Vec<SlotData<V>>,
         /// Per-location origin stamps (the §4.2 concurrency evidence),
         /// parallel to `slots`.
         origins: Vec<VectorClock>,
+    },
+    /// An interest drop: the sender evicted its cached copy of `page`, so
+    /// the owner may remove it from the page's interest set and stop
+    /// shipping invalidations/replications there. Registration needs no
+    /// message — owners learn interest from the first `READ`/`WRITE` they
+    /// serve — so only the drop is wire traffic. Only ever sent when
+    /// [`interest_scoping`](crate::CausalConfig::interest_scoping) is on,
+    /// keeping default configurations byte-identical to Figure 4.
+    Interest {
+        /// The page the sender no longer caches.
+        page: PageId,
     },
 }
 
@@ -197,6 +369,7 @@ impl<V: Value> Tagged for Msg<V> {
             Msg::Suspect { .. } => memcore::kinds::SUSPECT,
             Msg::Nack { .. } => memcore::kinds::NACK,
             Msg::Replicate { .. } => memcore::kinds::REPL,
+            Msg::Interest { .. } => memcore::kinds::INTEREST,
         }
     }
 
@@ -240,7 +413,28 @@ impl<V: Value> Tagged for Msg<V> {
                     + 4
                     + origins.iter().map(VectorClock::encoded_len).sum::<usize>()
             }
+            Msg::Interest { .. } => 1 + 4,
         })
+    }
+
+    /// Exact causal-metadata bytes: the wire size of every timestamp the
+    /// message carries (honoring each stamp's dense/sparse encoding),
+    /// recursively through batches and failover envelopes. This is the
+    /// quantity the scale benches divide by operations.
+    fn metadata_size(&self) -> usize {
+        match self {
+            Msg::ReadReply { vt, .. } | Msg::Write { vt, .. } | Msg::WriteReply { vt, .. } => {
+                vt.encoded_len()
+            }
+            // Origin stamps are failover-only shadow state and always ride
+            // dense; they are metadata all the same.
+            Msg::Replicate { vt, origins, .. } => {
+                vt.encoded_len() + origins.iter().map(VectorClock::encoded_len).sum::<usize>()
+            }
+            Msg::Batch(parts) => parts.iter().map(Tagged::metadata_size).sum(),
+            Msg::Stamped { inner, .. } => inner.metadata_size(),
+            _ => 0,
+        }
     }
 
     fn batch_parts(&self) -> Option<Vec<(&'static str, Option<usize>)>> {
@@ -371,6 +565,10 @@ impl<V: Wire> Wire for Msg<V> {
                 }
                 origins.encode(buf);
             }
+            Msg::Interest { page } => {
+                buf.put_u8(11);
+                page.encode(buf);
+            }
         }
     }
 
@@ -381,7 +579,7 @@ impl<V: Wire> Wire for Msg<V> {
             }),
             1 => {
                 let page = PageId::decode(buf)?;
-                let vt = VectorClock::decode(buf)?;
+                let vt = Stamp::decode(buf)?;
                 let len = u32::decode(buf)? as usize;
                 let mut slots = Vec::with_capacity(len.min(1 << 16));
                 for _ in 0..len {
@@ -393,12 +591,12 @@ impl<V: Wire> Wire for Msg<V> {
                 loc: Location::decode(buf)?,
                 value: Arc::new(V::decode(buf)?),
                 wid: WriteId::decode(buf)?,
-                vt: VectorClock::decode(buf)?,
+                vt: Stamp::decode(buf)?,
             }),
             3 => Ok(Msg::WriteReply {
                 loc: Location::decode(buf)?,
                 wid: WriteId::decode(buf)?,
-                vt: VectorClock::decode(buf)?,
+                vt: Stamp::decode(buf)?,
                 verdict: WriteVerdict::decode(buf)?,
             }),
             4 => Ok(Msg::Halt),
@@ -423,7 +621,7 @@ impl<V: Wire> Wire for Msg<V> {
             }),
             10 => {
                 let page = PageId::decode(buf)?;
-                let vt = VectorClock::decode(buf)?;
+                let vt = Stamp::decode(buf)?;
                 let len = u32::decode(buf)? as usize;
                 let mut slots = Vec::with_capacity(len.min(1 << 16));
                 for _ in 0..len {
@@ -436,6 +634,9 @@ impl<V: Wire> Wire for Msg<V> {
                     origins: Vec::decode(buf)?,
                 })
             }
+            11 => Ok(Msg::Interest {
+                page: PageId::decode(buf)?,
+            }),
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
@@ -499,6 +700,7 @@ impl<V: Wire> Wire for Msg<V> {
                         .sum::<usize>()
                     + origins.encoded_len()
             }
+            Msg::Interest { page } => 1 + page.encoded_len(),
         }
     }
 }
@@ -530,6 +732,7 @@ impl<V: fmt::Display> fmt::Display for Msg<V> {
                 ..
             } => write!(f, "[NACK, {page}, {epoch} → {redirect}]"),
             Msg::Replicate { page, vt, .. } => write!(f, "[REPL, {page}, {vt}]"),
+            Msg::Interest { page } => write!(f, "[INTEREST, {page}]"),
         }
     }
 }
@@ -539,8 +742,12 @@ mod tests {
     use super::*;
     use memcore::{NodeId, Word};
 
-    fn vt(components: [u64; 2]) -> VectorClock {
-        VectorClock::from(components)
+    fn vt(components: [u64; 2]) -> Stamp {
+        Stamp::from(VectorClock::from(components))
+    }
+
+    fn sparse_vt(components: &[u64]) -> Stamp {
+        Stamp::sparse(VectorClock::from(components.to_vec()))
     }
 
     #[test]
@@ -584,13 +791,13 @@ mod tests {
             loc: Location::new(0),
             value: Arc::new(Word::Int(1)),
             wid: WriteId::new(NodeId::new(0), 0),
-            vt: VectorClock::new(2),
+            vt: VectorClock::new(2).into(),
         };
         let large: Msg<Word> = Msg::Write {
             loc: Location::new(0),
             value: Arc::new(Word::Int(1)),
             wid: WriteId::new(NodeId::new(0), 0),
-            vt: VectorClock::new(16),
+            vt: VectorClock::new(16).into(),
         };
         assert!(large.wire_size().unwrap() > small.wire_size().unwrap());
     }
@@ -652,7 +859,22 @@ mod tests {
                 page: PageId::new(3),
                 vt: vt([4, 2]),
                 slots: vec![(Arc::new(Word::Int(7)), WriteId::new(NodeId::new(1), 2))],
-                origins: vec![vt([4, 0])],
+                origins: vec![vt([4, 0]).into_inner()],
+            },
+            Msg::Interest {
+                page: PageId::new(5),
+            },
+            // Sparse stamps: a mostly-zero clock and an all-zero clock.
+            Msg::ReadReply {
+                page: PageId::new(9),
+                vt: sparse_vt(&[0, 0, 3, 0, 0, 0, 1, 0]),
+                slots: vec![(Arc::new(Word::Int(2)), WriteId::new(NodeId::new(2), 1))],
+            },
+            Msg::WriteReply {
+                loc: Location::new(1),
+                wid: WriteId::new(NodeId::new(2), 5),
+                vt: sparse_vt(&[0, 0, 0, 0]),
+                verdict: WriteVerdict::Applied,
             },
             Msg::Batch(vec![
                 Msg::Write {
@@ -784,5 +1006,107 @@ mod tests {
         assert_eq!(stamped.kind(), "READ");
         assert!(stamped.is_request());
         assert!(!memcore::kinds::is_overhead(stamped.kind()));
+    }
+
+    #[test]
+    fn dense_stamp_is_byte_identical_to_raw_clock() {
+        // The Figure-4 byte-identity guarantee: a dense stamp encodes
+        // exactly as the bare `VectorClock` always did, so wrapping every
+        // timestamp in `Stamp` changed no wire bytes in default configs.
+        let clock = VectorClock::from(vec![3, 0, 7, 0, 0, 1]);
+        let mut raw = BytesMut::new();
+        clock.encode(&mut raw);
+        let mut stamped = BytesMut::new();
+        Stamp::dense(clock.clone()).encode(&mut stamped);
+        assert_eq!(raw, stamped);
+        assert_eq!(Stamp::dense(clock.clone()).encoded_len(), clock.encoded_len());
+        let decoded = Stamp::decode(&mut stamped.freeze()).unwrap();
+        assert!(!decoded.is_sparse());
+        assert_eq!(decoded.clock(), &clock);
+    }
+
+    #[test]
+    fn sparse_stamp_shrinks_with_sparsity_and_round_trips() {
+        // A 128-component clock with 3 nonzero entries: dense pays
+        // 4 + 128*8 bytes, sparse pays 8 + 3*12.
+        let mut components = vec![0u64; 128];
+        components[5] = 2;
+        components[77] = 1;
+        components[127] = 9;
+        let clock = VectorClock::from(components);
+        let sparse = Stamp::sparse(clock.clone());
+        assert_eq!(sparse.encoded_len(), 8 + 3 * 12);
+        assert_eq!(Stamp::dense(clock.clone()).encoded_len(), 4 + 128 * 8);
+        let mut buf = BytesMut::new();
+        sparse.encode(&mut buf);
+        assert_eq!(buf.len(), sparse.encoded_len());
+        let decoded = Stamp::decode(&mut buf.freeze()).unwrap();
+        assert!(decoded.is_sparse());
+        assert_eq!(decoded.clock(), &clock);
+    }
+
+    #[test]
+    fn sparse_stamp_rejects_out_of_range_pair() {
+        let mut buf = BytesMut::new();
+        (4u32 | (1u32 << 31)).encode(&mut buf); // n = 4, sparse
+        1u32.encode(&mut buf); // one pair
+        9u32.encode(&mut buf); // index 9 >= n
+        5u64.encode(&mut buf);
+        assert!(Stamp::decode(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn metadata_size_counts_exactly_the_timestamp_bytes() {
+        let write: Msg<Word> = Msg::Write {
+            loc: Location::new(6),
+            value: Arc::new(Word::Int(3)),
+            wid: WriteId::new(NodeId::new(0), 11),
+            vt: vt([6, 0]),
+        };
+        assert_eq!(write.metadata_size(), 4 + 2 * 8);
+        // A sparse stamp reports its sparse cost.
+        let reply: Msg<Word> = Msg::ReadReply {
+            page: PageId::new(9),
+            vt: sparse_vt(&[0, 0, 3, 0, 0, 0, 1, 0]),
+            slots: vec![],
+        };
+        assert_eq!(reply.metadata_size(), 8 + 2 * 12);
+        // Envelopes aggregate recursively; plain requests carry none.
+        let stamped: Msg<Word> = Msg::Stamped {
+            epoch: memcore::OwnerEpoch::new(1),
+            op: 1,
+            inner: Box::new(write.clone()),
+        };
+        assert_eq!(stamped.metadata_size(), write.metadata_size());
+        let batch: Msg<Word> = Msg::Batch(vec![write.clone(), reply.clone()]);
+        assert_eq!(
+            batch.metadata_size(),
+            write.metadata_size() + reply.metadata_size()
+        );
+        assert_eq!(
+            Msg::<Word>::Read {
+                page: PageId::new(0)
+            }
+            .metadata_size(),
+            0
+        );
+        assert_eq!(
+            Msg::<Word>::Interest {
+                page: PageId::new(0)
+            }
+            .metadata_size(),
+            0
+        );
+    }
+
+    #[test]
+    fn interest_is_overhead_and_displays_its_page() {
+        let msg: Msg<Word> = Msg::Interest {
+            page: PageId::new(5),
+        };
+        assert_eq!(msg.kind(), memcore::kinds::INTEREST);
+        assert!(memcore::kinds::is_overhead(msg.kind()));
+        assert!(!msg.is_request() && !msg.is_reply());
+        assert_eq!(msg.to_string(), "[INTEREST, pg5]");
     }
 }

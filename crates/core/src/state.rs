@@ -20,7 +20,7 @@ use vclock::VectorClock;
 use crate::config::{CausalConfig, FailoverConfig, InvalidationMode, WritePolicy};
 use crate::failover::{owner_at, FailoverState, ShadowPage};
 use crate::fxmap::FastMap;
-use crate::msg::{Msg, SlotData, WriteVerdict};
+use crate::msg::{Msg, SlotData, Stamp, WriteVerdict};
 
 /// One location's content in local memory: the value, the unique tag of
 /// the write that produced it, and that write's *origin* stamp (the
@@ -74,6 +74,11 @@ pub enum ReadStep<V> {
 
 /// Result of starting a write: done locally (writer owns the location) or
 /// the `[WRITE, x, v, VT]` message that must be certified by the owner.
+// The size gap between `Done` and `Remote` is deliberate: boxing the
+// request would put a heap allocation on the remote-write path, which
+// the perf harness counts per op and gates. The enum lives for exactly
+// one dispatch, never in a collection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum WriteStep<V> {
     /// The writer owns the location; the write is installed.
@@ -183,6 +188,15 @@ pub struct CausalState<V> {
     /// [`FailoverConfig`] is attached — in which case nothing here ever
     /// touches the wire.
     failover: Option<FailoverState<V>>,
+    /// Owner-side interest sets: which peers cache (or once cached and
+    /// have not dropped) each page this node serves. Populated only under
+    /// [`CausalConfig::interest_scoping`]; membership is a safe
+    /// over-approximation — a stale entry costs scoping precision, never
+    /// correctness.
+    interest: FastMap<PageId, Vec<NodeId>>,
+    /// Outgoing `[INTEREST]` drops queued by cache evictions, drained by
+    /// the engine alongside replications.
+    pending_interest: Vec<(NodeId, Msg<V>)>,
 }
 
 impl<V: Value> CausalState<V> {
@@ -211,6 +225,8 @@ impl<V: Value> CausalState<V> {
             sweeps: 0,
             op_begin_vt: VectorClock::new(n),
             failover,
+            interest: FastMap::default(),
+            pending_interest: Vec::new(),
         }
     }
 
@@ -395,6 +411,7 @@ impl<V: Value> CausalState<V> {
         let Msg::ReadReply { page, vt, slots } = reply else {
             panic!("finish_read fed a non-ReadReply message");
         };
+        let vt = vt.into_inner();
         assert_eq!(page, self.page_of(loc), "reply for wrong page");
 
         // Staleness check BEFORE the merge: dangerous only if knowledge
@@ -487,6 +504,7 @@ impl<V: Value> CausalState<V> {
             WriteStep::Done { wid }
         } else {
             self.op_begin_vt = self.vt.clone();
+            let vt = self.stamp(self.vt.clone());
             WriteStep::Remote {
                 owner,
                 wid,
@@ -494,7 +512,7 @@ impl<V: Value> CausalState<V> {
                     loc,
                     value,
                     wid,
-                    vt: self.vt.clone(),
+                    vt,
                 },
             }
         }
@@ -502,7 +520,21 @@ impl<V: Value> CausalState<V> {
 
     /// Completes a remote write with the owner's `[W_REPLY, x, v, VT']`.
     ///
-    /// Figure 4: `VT_i := update(VT_i, VT')`; `M_i[x] := (v, VT_i)`.
+    /// Figure 4: `VT_i := update(VT_i, VT')`; the figure then caches under
+    /// the merged clock, `M_i[x] := (v, VT_i)`. This implementation caches
+    /// under the **sent** stamp instead — `M_i[x] := (v, VT')` — the same
+    /// deviation [`CausalState::finish_read`] makes, and for the same
+    /// reason: a writer that owns pages can absorb third-party knowledge
+    /// (by certifying peers' writes) while its own W_REPLY is in flight.
+    /// Caching under the merged clock would fold that unrelated knowledge
+    /// into the entry's stamp, and a later page stamp from the owner —
+    /// which causally dominates every overwrite of this value — could no
+    /// longer dominate the inflated entry, leaving a provably overwritten
+    /// value unsweepable. Caching under VT' keeps the entry exactly as
+    /// sweepable as the owner's history requires (the ring-ownership scale
+    /// sims hit this with concurrent writer/owner roles; see
+    /// `writer_owner_race_keeps_cache_sweepable`).
+    ///
     /// Under [`InvalidationMode::WriterInvalidate`] the cache sweep the
     /// paper's prose implies is also applied here (ablation A1).
     ///
@@ -516,13 +548,14 @@ impl<V: Value> CausalState<V> {
         else {
             panic!("finish_write fed a non-WriteReply message");
         };
+        let vt = vt.into_inner();
 
         // Same in-flight-reply guard as finish_read: if knowledge absorbed
         // while this reply travelled strictly dominates the owner's clock
         // at certification time, the certified value may already be
-        // overwritten by something this node knows — and caching it under
-        // the merged (inflated) stamp would make it unsweepable. Complete
-        // the write without caching.
+        // overwritten by something this node knows — and caching it (even
+        // under the sent stamp) could serve a provably overwritten value
+        // until the next sweep. Complete the write without caching.
         let overtaken = self.vt != self.op_begin_vt && vt.dominated_by(&self.vt);
 
         // VT_i := update(VT_i, VT')
@@ -539,10 +572,11 @@ impl<V: Value> CausalState<V> {
             };
         }
 
-        // M_i[x] := (v, VT_i) — cache the surviving value. At page
-        // granularity > 1 we cannot fabricate the rest of the page, so the
-        // update only applies if the page is already cached (the next read
-        // of an uncached page will fetch it whole).
+        // M_i[x] := (v, VT') — cache the surviving value under the owner's
+        // certification stamp (see the method docs for why not VT_i). At
+        // page granularity > 1 we cannot fabricate the rest of the page, so
+        // the update only applies if the page is already cached (the next
+        // read of an uncached page will fetch it whole).
         let (install_value, install_wid) = match &verdict {
             WriteVerdict::Applied => (value, wid),
             WriteVerdict::Rejected {
@@ -552,7 +586,7 @@ impl<V: Value> CausalState<V> {
         };
         let page = self.page_of(loc);
         let offset = self.offset_of(loc);
-        let vt_now = self.vt.clone();
+        let vt_now = vt;
         let origin = Arc::new(vt_now.clone());
         if let Some(entry) = self.pages.get_mut(&page) {
             entry.slots[offset] = Slot {
@@ -700,7 +734,11 @@ impl<V: Value> CausalState<V> {
                 value,
                 wid,
                 vt,
-            } => Some(self.serve_write(from, loc, value, wid, vt)),
+            } => Some(self.serve_write(from, loc, value, wid, vt.into_inner())),
+            Msg::Interest { page } => {
+                self.handle_interest_drop(page, from);
+                None
+            }
             _ => None,
         }
     }
@@ -729,7 +767,7 @@ impl<V: Value> CausalState<V> {
                     vt,
                 } => {
                     wrote = true;
-                    replies.push(self.serve_write_unswept(from, loc, value, wid, vt));
+                    replies.push(self.serve_write_unswept(from, loc, value, wid, vt.into_inner()));
                 }
                 _ => {}
             }
@@ -746,16 +784,17 @@ impl<V: Value> CausalState<V> {
     /// # Panics
     ///
     /// Panics if this node does not own `page` (a routing bug).
-    fn serve_read(&mut self, _from: NodeId, page: PageId) -> Msg<V> {
+    fn serve_read(&mut self, from: NodeId, page: PageId) -> Msg<V> {
         assert_eq!(
             self.current_owner(page),
             self.id,
             "READ routed to non-owner"
         );
+        self.register_interest(page, from);
         let entry = &self.pages[&page];
         Msg::ReadReply {
             page,
-            vt: entry.vt.clone(),
+            vt: self.stamp(entry.vt.clone()),
             slots: entry
                 .slots
                 .iter()
@@ -790,7 +829,8 @@ impl<V: Value> CausalState<V> {
         // ∀y ∈ C_i : M_i[y].VT < VT_i → M_i[y] := ⊥
         // (A potential causal interaction with the writer occurred, applied
         // or not — the owner's timestamp already merged the writer's.)
-        self.sweep_cache(&self.vt.clone());
+        let threshold = self.vt.clone();
+        self.sweep_cache(&threshold);
         reply
     }
 
@@ -799,7 +839,7 @@ impl<V: Value> CausalState<V> {
     /// yielding control (see [`serve_batch`](CausalState::serve_batch)).
     fn serve_write_unswept(
         &mut self,
-        _from: NodeId,
+        from: NodeId,
         loc: Location,
         value: Arc<V>,
         wid: WriteId,
@@ -811,6 +851,7 @@ impl<V: Value> CausalState<V> {
             self.id,
             "WRITE routed to non-owner"
         );
+        self.register_interest(page, from);
 
         // VT_i := update(VT_i, VT)
         self.vt.update(&vt);
@@ -861,7 +902,7 @@ impl<V: Value> CausalState<V> {
         Msg::WriteReply {
             loc,
             wid,
-            vt: self.vt.clone(),
+            vt: self.stamp(self.vt.clone()),
             verdict,
         }
     }
@@ -879,7 +920,11 @@ impl<V: Value> CausalState<V> {
         if self.current_owner(page) == self.id || self.config.is_const_page(page) {
             return false;
         }
-        self.pages.remove(&page).is_some()
+        let dropped = self.pages.remove(&page).is_some();
+        if dropped {
+            self.note_dropped(page);
+        }
+        dropped
     }
 
     /// Discards an arbitrary cached page (the paper's nondeterministic
@@ -893,6 +938,7 @@ impl<V: Value> CausalState<V> {
             .min_by_key(|(_, e)| e.installed_at)
             .map(|(p, _)| *p)?;
         self.pages.remove(&victim);
+        self.note_dropped(victim);
         Some(victim)
     }
 
@@ -939,10 +985,72 @@ impl<V: Value> CausalState<V> {
             match victim {
                 Some(page) => {
                     self.pages.remove(&page);
+                    self.note_dropped(page);
                 }
                 None => break,
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Interest scoping (inert unless `interest_scoping` is configured)
+    // ------------------------------------------------------------------
+
+    /// Wraps a timestamp for the wire: sparse under interest scoping,
+    /// dense (the Figure-4 byte-identical shape) otherwise.
+    fn stamp(&self, vt: VectorClock) -> Stamp {
+        Stamp::new(vt, self.config.interest_scoping())
+    }
+
+    /// Records that `peer` holds a copy of `page` — it was just served
+    /// one, or certified a write it will cache. Registration is implicit
+    /// in the request; no extra message exists for it.
+    fn register_interest(&mut self, page: PageId, peer: NodeId) {
+        if !self.config.interest_scoping() || peer == self.id {
+            return;
+        }
+        let set = self.interest.entry(page).or_default();
+        if !set.contains(&peer) {
+            set.push(peer);
+        }
+    }
+
+    /// Absorbs a peer's `[INTEREST]` drop: it evicted its copy of `page`
+    /// and no longer needs this node's scoped shipments for it.
+    pub fn handle_interest_drop(&mut self, page: PageId, peer: NodeId) {
+        if let Some(set) = self.interest.get_mut(&page) {
+            set.retain(|p| *p != peer);
+            if set.is_empty() {
+                self.interest.remove(&page);
+            }
+        }
+    }
+
+    /// The peers registered as caching `page` (always empty unless this
+    /// node serves the page under interest scoping).
+    #[must_use]
+    pub fn interested(&self, page: PageId) -> &[NodeId] {
+        self.interest.get(&page).map_or(&[], |set| set.as_slice())
+    }
+
+    /// Queues an `[INTEREST]` drop to `page`'s owner after evicting the
+    /// cached copy. Invalidation sweeps do not send drops: a swept page
+    /// is typically re-fetched promptly, and an over-full interest set is
+    /// a safe over-approximation.
+    fn note_dropped(&mut self, page: PageId) {
+        if !self.config.interest_scoping() {
+            return;
+        }
+        let owner = self.current_owner(page);
+        if owner != self.id {
+            self.pending_interest.push((owner, Msg::Interest { page }));
+        }
+    }
+
+    /// Drains the queued `[INTEREST]` drops; the engine sends each to the
+    /// page's owner.
+    pub fn take_interest_msgs(&mut self) -> Vec<(NodeId, Msg<V>)> {
+        std::mem::take(&mut self.pending_interest)
     }
 
     // ------------------------------------------------------------------
@@ -1181,7 +1289,7 @@ impl<V: Value> CausalState<V> {
                 successor,
                 Msg::Replicate {
                     page,
-                    vt: entry.vt.clone(),
+                    vt: self.stamp(entry.vt.clone()),
                     slots: entry
                         .slots
                         .iter()
@@ -1216,14 +1324,84 @@ impl<V: Value> CausalState<V> {
         Some(Msg::Heartbeat { seq })
     }
 
+    /// The peers this node probes with heartbeats: every peer under the
+    /// default all-pairs detector (`heartbeat_fanout == 0`, O(n²)
+    /// heartbeats per interval cluster-wide), or the `k` ring successors
+    /// when the fanout is scoped (O(n·k)). Empty with failover disabled.
+    #[must_use]
+    pub fn heartbeat_targets(&self) -> Vec<NodeId> {
+        let Some(fo) = self.failover_config() else {
+            return Vec::new();
+        };
+        if fo.heartbeat_fanout == 0 {
+            (0..self.config.nodes())
+                .map(NodeId::new)
+                .filter(|p| *p != self.id)
+                .collect()
+        } else {
+            self.config.owners().neighbors(self.id, fo.heartbeat_fanout)
+        }
+    }
+
+    /// The peers whose probe silence this node is entitled to judge:
+    /// `None` (everyone) under all-pairs probing, or the `k` ring
+    /// predecessors — exactly the nodes that probe *us* — when the
+    /// fanout is scoped.
+    fn monitored_peers(&self) -> Option<Vec<NodeId>> {
+        let fo = self.failover_config()?;
+        if fo.heartbeat_fanout == 0 {
+            None
+        } else {
+            Some(
+                self.config
+                    .owners()
+                    .predecessors(self.id, fo.heartbeat_fanout),
+            )
+        }
+    }
+
+    /// The peers that must hear this node's `[SUSPECT]` broadcast for
+    /// `suspect`, given the pages it migrated: `None` means broadcast to
+    /// every peer (the default all-pairs detector). Under a scoped
+    /// heartbeat fanout the set shrinks to the nodes that serve the
+    /// migrated pages at their new epochs, both ring neighborhoods, and
+    /// the suspect itself — everyone else learns the epochs lazily, via
+    /// NACK redirects or their own timeout-driven suspicion.
+    #[must_use]
+    pub fn suspect_targets(
+        &self,
+        suspect: NodeId,
+        migrated: &[(PageId, OwnerEpoch)],
+    ) -> Option<Vec<NodeId>> {
+        let fo = self.failover_config()?;
+        if fo.heartbeat_fanout == 0 {
+            return None;
+        }
+        let owners = self.config.owners();
+        let mut targets: Vec<NodeId> = migrated
+            .iter()
+            .map(|(page, epoch)| owner_at(owners.as_ref(), *page, *epoch))
+            .collect();
+        targets.extend(owners.neighbors(self.id, fo.heartbeat_fanout));
+        targets.extend(owners.neighbors(suspect, fo.heartbeat_fanout));
+        targets.push(suspect);
+        targets.sort_unstable();
+        targets.dedup();
+        targets.retain(|p| *p != self.id);
+        Some(targets)
+    }
+
     /// Peers whose silence now exceeds the suspicion budget
     /// (`heartbeat_interval × suspicion_threshold`); each is returned at
     /// most once. The caller follows up with [`CausalState::suspect`] and
-    /// broadcasts the result.
+    /// broadcasts the result. With a scoped heartbeat fanout only the
+    /// ring predecessors this node monitors are judged — other peers'
+    /// probes never come here, so their silence means nothing.
     pub fn check_suspicions(&mut self, now: u64) -> Vec<NodeId> {
         let id = self.id;
+        let monitored = self.monitored_peers();
         match &mut self.failover {
-            Some(fo) => fo.check_suspicions(id, now),
+            Some(fo) => fo.check_suspicions(id, now, monitored.as_deref()),
             None => Vec::new(),
         }
     }
@@ -1703,7 +1881,7 @@ mod tests {
                 Msg::WriteReply {
                     loc: loc(0),
                     wid: memcore::WriteId::new(p(1), 0),
-                    vt: VectorClock::new(2),
+                    vt: VectorClock::new(2).into(),
                     verdict: WriteVerdict::Applied,
                 }
             )
@@ -1817,6 +1995,66 @@ mod tests {
     }
 
     #[test]
+    fn writer_owner_race_keeps_cache_sweepable() {
+        // The race the ring-ownership scale sims caught: P0's write of x1
+        // is in flight at owner P1 while P0 — itself the owner of x0 —
+        // certifies a write from P2, inflating P0's clock with knowledge
+        // P1 never saw. The W_REPLY's stamp is then *concurrent* with
+        // P0's clock (neither dominates), so the overtaken guard cannot
+        // fire. Caching the written value under the merged clock would
+        // fold P2's unrelated component into the entry's stamp, and P1's
+        // later page stamps — which causally dominate every overwrite of
+        // x1 — could never dominate the inflated entry: the copy would be
+        // unsweepable, and P0 could read its own provably overwritten
+        // write forever. Caching under the sent stamp VT' keeps the sweep
+        // exact.
+        let config = CausalConfig::<Word>::builder(3, 6).build();
+        // Round-robin: P0 owns x0/x3, P1 owns x1/x4, P2 owns x2/x5.
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config.clone());
+        let mut p2 = CausalState::new(p(2), config);
+        let (x0, x1, x4) = (loc(0), loc(1), loc(4));
+
+        // P1 has local activity of its own, so its certification stamp
+        // will be concurrent with (not dominated by) P0's inflated clock.
+        p1.begin_write(x4, Word::Int(0));
+
+        // P0's remote write of x1 goes in flight.
+        let WriteStep::Remote { wid, request, .. } = p0.begin_write(x1, Word::Int(10)) else {
+            panic!("P0 does not own x1");
+        };
+
+        // While it travels, P0 (as owner of x0) certifies P2's write —
+        // absorbing P2's clock component, which P1 knows nothing about.
+        let done = remote_write(&mut p2, &mut p0, x0, Word::Int(99));
+        assert!(done.is_applied());
+
+        // P1 certifies P0's write and the reply lands: concurrent stamps,
+        // so the value caches — and must cache under P1's stamp.
+        let reply = p1.serve(p(0), request).expect("serve write");
+        let done = p0.finish_write(Arc::new(Word::Int(10)), wid, reply);
+        assert!(done.is_applied());
+        assert!(p0.has_valid_copy(x1), "certified write caches normally");
+
+        // P1 overwrites x1 locally, then touches x4 so its next page
+        // stamp carries the overwrite's causal footprint.
+        p1.begin_write(x1, Word::Int(20));
+        p1.begin_write(x4, Word::Int(1));
+
+        // P0 fetches x4: the reply stamp dominates P1's certification
+        // stamp for x1, so the sweep must evict P0's now-stale copy.
+        let _ = remote_read(&mut p0, &mut p1, x4);
+        assert!(
+            !p0.has_valid_copy(x1),
+            "stale copy survived the sweep under an inflated stamp"
+        );
+
+        // And the re-read observes the overwrite.
+        let (v, _) = remote_read(&mut p0, &mut p1, x1);
+        assert_eq!(v, Word::Int(20), "must observe P1's overwrite");
+    }
+
+    #[test]
     fn write_ids_are_unique_and_ordered_per_writer() {
         let (mut p0, _) = pair();
         let WriteStep::Done { wid: w1 } = p0.begin_write(loc(0), Word::Int(1)) else {
@@ -1827,5 +2065,91 @@ mod tests {
         };
         assert_ne!(w1, w2);
         assert!(w1.seq() < w2.seq());
+    }
+
+    #[test]
+    fn interest_registers_on_service_and_drops_on_eviction() {
+        // Registration is implicit in the request: serving a READ or a
+        // WRITE records the peer as holding a copy. Eviction queues the
+        // one explicit message the feature has, an [INTEREST] drop to the
+        // owner, and absorbing it removes the peer from the set.
+        let config = CausalConfig::<Word>::builder(2, 4)
+            .interest_scoping(true)
+            .cache_capacity(1)
+            .build();
+        let mut p0 = CausalState::new(p(0), config.clone());
+        let mut p1 = CausalState::new(p(1), config);
+        let (page0, page2) = (PageId::new(0), PageId::new(2));
+
+        assert!(p0.interested(page0).is_empty());
+
+        // A served READ registers the reader...
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        assert_eq!(p0.interested(page0), &[p(1)]);
+        // ...idempotently...
+        p1.discard(loc(0));
+        let _ = p1.take_interest_msgs(); // drop from the explicit discard
+        let _ = remote_read(&mut p1, &mut p0, loc(0));
+        assert_eq!(p0.interested(page0), &[p(1)]);
+        // ...and a certified WRITE registers the writer too.
+        let done = remote_write(&mut p1, &mut p0, loc(2), Word::Int(5));
+        assert!(done.is_applied());
+        assert_eq!(p0.interested(page2), &[p(1)]);
+
+        // Capacity 1: caching page 2 evicted page 0, queueing a drop.
+        let drops = p1.take_interest_msgs();
+        assert_eq!(drops.len(), 1);
+        let (to, msg) = &drops[0];
+        assert_eq!(*to, p(0));
+        assert!(matches!(msg, Msg::Interest { page } if *page == page0));
+        // The owner absorbs it and forgets the evicted copy — but keeps
+        // the page the peer still holds.
+        p0.handle_interest_drop(page0, p(1));
+        assert!(p0.interested(page0).is_empty());
+        assert_eq!(p0.interested(page2), &[p(1)]);
+    }
+
+    #[test]
+    fn heartbeat_fanout_pins_probe_bill_to_n_times_k() {
+        // The satellite claim: scoped probing sends n·k heartbeats per
+        // interval instead of all-pairs' n·(n−1) — at n=128, k=2 that is
+        // 256 probes instead of 16,256. Pinned exactly, per node, over
+        // the whole ring, with monit() as the inverse relation so every
+        // probe has a judge and nobody judges an unprobed peer.
+        let n = 128u32;
+        let k = 2u32;
+        let fanout = FailoverConfig {
+            heartbeat_fanout: k,
+            ..FailoverConfig::default()
+        };
+        let all_pairs = FailoverConfig::default();
+        let ring = memcore::HashRingOwners::new(n, 1, 16);
+
+        let mk = |fo: FailoverConfig| {
+            let config = CausalConfig::<Word>::builder(n, n)
+                .owners(ring.clone())
+                .failover(fo)
+                .build();
+            (0..n)
+                .map(|i| CausalState::new(p(i), config.clone()))
+                .collect::<Vec<_>>()
+        };
+
+        let scoped: usize = mk(fanout)
+            .iter()
+            .map(|node| {
+                let targets = node.heartbeat_targets();
+                assert_eq!(targets.len(), k as usize);
+                assert!(!targets.contains(&node.id()));
+                targets.len()
+            })
+            .sum();
+        assert_eq!(scoped, (n * k) as usize);
+
+        let unscoped: usize = mk(all_pairs)
+            .iter()
+            .map(|node| node.heartbeat_targets().len())
+            .sum();
+        assert_eq!(unscoped, (n * (n - 1)) as usize);
     }
 }

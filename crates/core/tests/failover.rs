@@ -224,7 +224,7 @@ fn shadow_replication_preserves_certified_writes_across_the_crash() {
             origins,
         } => {
             assert_eq!(p, page);
-            s[1].apply_replicate(p, vt, slots, origins);
+            s[1].apply_replicate(p, vt.into_inner(), slots, origins);
         }
         other => panic!("expected REPL, got {other:?}"),
     }
@@ -423,6 +423,7 @@ fn fast_failover() -> FailoverConfig {
         backoff_base: 1,
         backoff_max: 8,
         max_retries: 6,
+        heartbeat_fanout: 0,
     }
 }
 

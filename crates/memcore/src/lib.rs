@@ -32,6 +32,7 @@ mod error;
 mod ids;
 mod op;
 mod owner;
+mod ring;
 mod stats;
 mod value;
 
@@ -39,6 +40,7 @@ pub use error::MemoryError;
 pub use ids::{Location, NodeId, OwnerEpoch, PageId, RoundRobinOwners, WriteId};
 pub use op::{OpKind, OpRecord, Recorder};
 pub use owner::{ExplicitOwners, OwnerMap};
+pub use ring::HashRingOwners;
 pub use stats::{kinds, NetStats, StatsSnapshot};
 pub use value::{Value, Word};
 

@@ -38,6 +38,10 @@ pub mod kinds {
     pub const NACK: &str = "NACK";
     /// A hot-standby shadow copy shipped to a page's successor.
     pub const REPL: &str = "REPL";
+    /// An interest-set update: a node telling a page's owner it no longer
+    /// caches the page (partial-replication layer). Registration is
+    /// implicit in the first READ/WRITE, so only drops are messages.
+    pub const INTEREST: &str = "INTEREST";
     /// A transport envelope carrying several logical messages (batching).
     ///
     /// Never recorded in the *logical* per-kind counters — those always see
@@ -69,11 +73,13 @@ pub mod kinds {
         Nack,
         /// [`REPL`].
         Repl,
+        /// [`INTEREST`].
+        Interest,
     }
 
     impl Overhead {
         /// Number of overhead kinds.
-        pub const COUNT: usize = Overhead::Repl as usize + 1;
+        pub const COUNT: usize = Overhead::Interest as usize + 1;
 
         /// Every variant, in discriminant order (checked at compile time
         /// below).
@@ -86,6 +92,7 @@ pub mod kinds {
             Overhead::Suspect,
             Overhead::Nack,
             Overhead::Repl,
+            Overhead::Interest,
         ];
 
         /// The counter name this kind is recorded under. The match is
@@ -102,6 +109,7 @@ pub mod kinds {
                 Overhead::Suspect => SUSPECT,
                 Overhead::Nack => NACK,
                 Overhead::Repl => REPL,
+                Overhead::Interest => INTEREST,
             }
         }
     }
@@ -401,8 +409,9 @@ mod tests {
         stats.record(NodeId::new(0), kinds::SUSPECT);
         stats.record(NodeId::new(0), kinds::NACK);
         stats.record(NodeId::new(0), kinds::REPL);
+        stats.record(NodeId::new(0), kinds::INTEREST);
         let snap = stats.snapshot();
-        assert_eq!(snap.overhead_total(), 4);
+        assert_eq!(snap.overhead_total(), 5);
         assert_eq!(snap.protocol_total(), 1);
         for kind in kinds::ALL {
             assert!(kinds::is_overhead(kind), "{kind} misclassified");

@@ -432,11 +432,15 @@ impl<V: Value> CausalActor<V> {
         }
     }
 
-    /// Appends any pending hot-standby shadows to `out` (no-op without
-    /// failover).
+    /// Appends pending protocol side traffic to `out`: hot-standby
+    /// shadows (failover) and `[INTEREST]` drops queued by cache eviction
+    /// (interest scoping). A no-op when both features are off.
     fn drain_replications(&mut self, out: &mut Vec<(NodeId, causal_dsm::Msg<V>)>) {
         if self.fo.is_some() {
             out.extend(self.state.take_replications());
+        }
+        if self.state.config().interest_scoping() {
+            out.extend(self.state.take_interest_msgs());
         }
     }
 
@@ -525,15 +529,23 @@ impl<V: Value> CausalActor<V> {
             return self.redispatch_inflight();
         }
         let me = self.state.id();
+        // With a scoped heartbeat fanout the decision goes only to the
+        // parties that need it now (new owners, both ring neighborhoods,
+        // the suspect itself); everyone else learns lazily via NACK
+        // redirects. `None` means broadcast (all-pairs mode).
+        let targets = self.state.suspect_targets(node, &migrated).unwrap_or_else(|| {
+            (0..self.state.config().nodes())
+                .map(NodeId::new)
+                .filter(|peer| *peer != me)
+                .collect()
+        });
         let msg = causal_dsm::Msg::Suspect {
             suspect: node,
             epochs: migrated,
         };
         let mut effects = Effects::empty();
-        for peer in (0..self.state.config().nodes()).map(NodeId::new) {
-            if peer != me {
-                effects.outgoing.push((peer, msg.clone()));
-            }
+        for peer in targets {
+            effects.outgoing.push((peer, msg.clone()));
         }
         merge_effects(&mut effects, self.redispatch_inflight());
         effects
@@ -758,7 +770,12 @@ impl<V: Value> Actor<V> for CausalActor<V> {
                 slots,
                 origins,
             } => {
-                self.state.apply_replicate(page, vt, slots, origins);
+                self.state.apply_replicate(page, vt.into_inner(), slots, origins);
+                return Effects::empty();
+            }
+            causal_dsm::Msg::Interest { page } => {
+                // A peer evicted its copy: it is no longer interested.
+                self.state.handle_interest_drop(page, from);
                 return Effects::empty();
             }
             causal_dsm::Msg::Nack {
@@ -868,7 +885,6 @@ impl<V: Value> Actor<V> for CausalActor<V> {
         }
         self.fo.as_mut().expect("checked above").now = now;
         let mut effects = Effects::empty();
-        let me = self.state.id();
         let due = self.fo.as_ref().expect("checked above").next_heartbeat <= now;
         if due {
             {
@@ -876,10 +892,10 @@ impl<V: Value> Actor<V> for CausalActor<V> {
                 fo.next_heartbeat = now + fo.config.heartbeat_interval.max(1);
             }
             if let Some(hb) = self.state.heartbeat_msg() {
-                for peer in (0..self.state.config().nodes()).map(NodeId::new) {
-                    if peer != me {
-                        effects.outgoing.push((peer, hb.clone()));
-                    }
+                // All peers under all-pairs probing; this node's ring
+                // successors under a scoped heartbeat fanout.
+                for peer in self.state.heartbeat_targets() {
+                    effects.outgoing.push((peer, hb.clone()));
                 }
             }
             for suspect in self.state.check_suspicions(now) {

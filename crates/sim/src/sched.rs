@@ -158,6 +158,7 @@ pub struct Sim<V: Value, A: Actor<V>> {
     stats: NetStats,
     byte_stats: NetStats,
     envelope_stats: NetStats,
+    metadata_stats: NetStats,
     recorder: Option<Recorder<V>>,
     wait_mode: WaitMode,
     events_processed: u64,
@@ -193,6 +194,7 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
             stats: NetStats::new(n),
             byte_stats: NetStats::new(n),
             envelope_stats: NetStats::new(n),
+            metadata_stats: NetStats::new(n),
             recorder: opts.recorder,
             wait_mode: opts.wait_mode,
             events_processed: 0,
@@ -232,6 +234,16 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
     #[must_use]
     pub fn envelopes(&self) -> &NetStats {
         &self.envelope_stats
+    }
+
+    /// Per-(node, kind) **causal-metadata** byte counters: the exact wire
+    /// bytes spent on vector timestamps, honoring each stamp's
+    /// dense/sparse encoding (populated for payloads reporting a metadata
+    /// size). Dividing by the operation count gives the scale benches'
+    /// `metadata_bytes_per_op`.
+    #[must_use]
+    pub fn metadata(&self) -> &NetStats {
+        &self.metadata_stats
     }
 
     /// The actor for node `i` (inspection).
@@ -405,6 +417,10 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
                 self.envelope_stats.record(src, msg.kind());
             }
         }
+        let metadata = msg.metadata_size();
+        if metadata > 0 {
+            self.metadata_stats.record_n(src, msg.kind(), metadata as u64);
+        }
         let delay = self.latency.sample(&mut self.rng, src, dst).max(1);
         let Some(hook) = self.faults.clone() else {
             // Reliable FIFO path: clamp to the link's last delivery time.
@@ -569,7 +585,14 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
         wait.in_flight = true;
         let loc = wait.loc;
         let now = self.time;
-        self.actors[node].submit_at(now, &ClientOp::Discard(loc));
+        // The discard's side traffic (an `[INTEREST]` drop under interest
+        // scoping) still goes on the wire; its completion is the wait's
+        // own bookkeeping, not a client step.
+        let discard = self.actors[node].submit_at(now, &ClientOp::Discard(loc));
+        let me = self.actors[node].id();
+        for (dst, msg) in discard.outgoing {
+            self.send(me, dst, msg);
+        }
         let effects = self.actors[node].submit_at(now, &ClientOp::Read(loc));
         self.dispatch_submit(node, effects.outgoing, effects.completion);
     }

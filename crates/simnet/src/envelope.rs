@@ -21,6 +21,18 @@ pub trait Tagged {
         None
     }
 
+    /// Causal-metadata bytes this message carries on the wire: the encoded
+    /// size of its vector timestamps (recursively through batches and
+    /// envelopes), excluding values, ids and headers. `0` (the default) for
+    /// payloads without timestamps.
+    ///
+    /// Transports accumulate this into a dedicated counter so the scale
+    /// benches can report `metadata_bytes_per_op` — the quantity the
+    /// partial-replication layer exists to bound.
+    fn metadata_size(&self) -> usize {
+        0
+    }
+
     /// For a batch envelope, the `(kind, wire_size)` of every logical
     /// message it carries; `None` (the default) for ordinary payloads.
     ///

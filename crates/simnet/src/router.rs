@@ -56,6 +56,7 @@ struct Inner<M> {
     msgs: NetStats,
     bytes: NetStats,
     envelopes: NetStats,
+    metadata: NetStats,
     fault: Mutex<Option<Arc<dyn FaultHook>>>,
     // Logical clock for fault hooks: the thread transport has no simulated
     // time, so each send gets a fresh tick.
@@ -157,6 +158,7 @@ impl<M: Tagged> Network<M> {
                 msgs: NetStats::new(n),
                 bytes: NetStats::new(n),
                 envelopes: NetStats::new(n),
+                metadata: NetStats::new(n),
                 fault: Mutex::new(None),
                 ticks: AtomicU64::new(0),
             }),
@@ -275,6 +277,15 @@ impl<M: Tagged> Network<M> {
     pub fn envelopes(&self) -> &NetStats {
         &self.inner.envelopes
     }
+
+    /// The per-(node, kind) causal-metadata byte counters: encoded vector
+    /// timestamps only (see [`Tagged::metadata_size`]). Batches record
+    /// their total under the envelope's kind; without timestamps in
+    /// flight the counter stays empty.
+    #[must_use]
+    pub fn metadata(&self) -> &NetStats {
+        &self.inner.metadata
+    }
 }
 
 impl<M: Tagged + Clone> Network<M> {
@@ -320,6 +331,10 @@ impl<M: Tagged + Clone> Network<M> {
                 }
                 self.inner.envelopes.record(src, payload.kind());
             }
+        }
+        let meta = payload.metadata_size();
+        if meta > 0 {
+            self.inner.metadata.record_n(src, payload.kind(), meta as u64);
         }
         let hook = self.inner.fault.lock().clone();
         let Some(hook) = hook else {

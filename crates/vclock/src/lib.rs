@@ -362,6 +362,42 @@ impl VectorClock {
     pub fn weight(&self) -> u64 {
         self.as_slice().iter().sum()
     }
+
+    /// Iterates over the nonzero components as `(process, count)` pairs in
+    /// process order — the sparse projection of this clock.
+    ///
+    /// In an interest-scoped deployment a process's clock is nonzero only
+    /// for processes in the interest closure of the pages it has touched,
+    /// so this iterator is the share-graph-sized view of an O(n) stamp.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+    }
+
+    /// Number of nonzero components.
+    #[must_use]
+    pub fn nonzero_count(&self) -> usize {
+        self.as_slice().iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Reconstructs a dense clock of `n` processes from sparse
+    /// `(process, count)` entries; unlisted components are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry names a process `>= n`.
+    #[must_use]
+    pub fn from_sparse_entries<I: IntoIterator<Item = (u32, u64)>>(n: usize, entries: I) -> Self {
+        let mut vt = VectorClock::new(n);
+        let slots = vt.as_mut_slice();
+        for (i, c) in entries {
+            slots[i as usize] = c;
+        }
+        vt
+    }
 }
 
 impl PartialEq for VectorClock {
@@ -603,6 +639,469 @@ impl fmt::Display for VectorClockRef<'_> {
     }
 }
 
+/// Compares two sorted sparse entry lists in the paper's dominance order
+/// by a single merge walk; an entry missing on one side is a zero
+/// component there. Mirrors [`compare_components`] exactly (the property
+/// suite in `tests/sparse_property.rs` pins the agreement), including the
+/// rule that clocks over different process counts do not compare.
+fn compare_sparse(n_a: u32, a: &[(u32, u64)], n_b: u32, b: &[(u32, u64)]) -> Option<Ordering> {
+    if n_a != n_b {
+        return None;
+    }
+    let (mut less, mut greater) = (false, false);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let (x, y) = match (a.get(i), b.get(j)) {
+            (Some(&(ia, ca)), Some(&(ib, cb))) => match ia.cmp(&ib) {
+                Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                    (ca, cb)
+                }
+                Ordering::Less => {
+                    i += 1;
+                    (ca, 0)
+                }
+                Ordering::Greater => {
+                    j += 1;
+                    (0, cb)
+                }
+            },
+            (Some(&(_, ca)), None) => {
+                i += 1;
+                (ca, 0)
+            }
+            (None, Some(&(_, cb))) => {
+                j += 1;
+                (0, cb)
+            }
+            (None, None) => unreachable!(),
+        };
+        match x.cmp(&y) {
+            Ordering::Less => less = true,
+            Ordering::Greater => greater = true,
+            Ordering::Equal => {}
+        }
+        if less && greater {
+            return None;
+        }
+    }
+    match (less, greater) {
+        (false, false) => Some(Ordering::Equal),
+        (true, false) => Some(Ordering::Less),
+        (false, true) => Some(Ordering::Greater),
+        (true, true) => None,
+    }
+}
+
+/// An interest-scoped sparse vector timestamp: the nonzero components of a
+/// clock over `n` processes, stored as sorted `(process, count)` pairs.
+///
+/// This is the model object behind the sparse wire encoding: a clock whose
+/// nonzero support is bounded by the share graph costs O(interest) to ship
+/// rather than O(n), while remaining losslessly interconvertible with the
+/// dense [`VectorClock`]. Dense inline storage stays the fast path for
+/// small systems; this representation exists for the 100+-node regime
+/// where most components of any given stamp are still zero.
+///
+/// # Examples
+///
+/// ```
+/// use vclock::{SparseClock, VectorClock};
+///
+/// let dense = VectorClock::from_components([0, 3, 0, 1]);
+/// let sparse = SparseClock::from_dense(&dense);
+/// assert_eq!(sparse.nonzero_count(), 2);
+/// assert_eq!(sparse.get(1), 3);
+/// assert_eq!(sparse.to_dense(), dense);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SparseClock {
+    /// Total number of processes the clock covers (the dense length).
+    n: u32,
+    /// Sorted by process index; every count is nonzero.
+    entries: Vec<(u32, u64)>,
+}
+
+impl SparseClock {
+    /// The zero clock for a system of `n` processes (no entries at all).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        SparseClock {
+            n: n as u32,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Projects a dense clock onto its nonzero support.
+    #[must_use]
+    pub fn from_dense(vt: &VectorClock) -> Self {
+        SparseClock {
+            n: vt.len() as u32,
+            entries: vt.nonzero().collect(),
+        }
+    }
+
+    /// Builds a sparse clock from raw entries.
+    ///
+    /// Entries need not be sorted; zero counts are dropped and duplicate
+    /// process indices keep their maximum (so any entry list denotes a
+    /// well-formed clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry names a process `>= n`.
+    #[must_use]
+    pub fn from_entries<I: IntoIterator<Item = (u32, u64)>>(n: usize, entries: I) -> Self {
+        let mut list: Vec<(u32, u64)> = entries.into_iter().filter(|&(_, c)| c != 0).collect();
+        list.sort_unstable_by_key(|&(i, _)| i);
+        list.dedup_by(|next, kept| {
+            if next.0 == kept.0 {
+                kept.1 = kept.1.max(next.1);
+                true
+            } else {
+                false
+            }
+        });
+        if let Some(&(last, _)) = list.last() {
+            assert!((last as usize) < n, "sparse entry names process {last} >= n={n}");
+        }
+        SparseClock {
+            n: n as u32,
+            entries: list,
+        }
+    }
+
+    /// Expands back to the dense representation (lossless inverse of
+    /// [`SparseClock::from_dense`]).
+    #[must_use]
+    pub fn to_dense(&self) -> VectorClock {
+        VectorClock::from_sparse_entries(self.n as usize, self.entries.iter().copied())
+    }
+
+    /// Number of processes this clock covers (the dense length).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Returns `true` if the clock covers zero processes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of nonzero components actually stored.
+    #[must_use]
+    pub fn nonzero_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if every component is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`th component (zero unless an entry names it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.n as usize, "component {i} out of range");
+        match self.entries.binary_search_by_key(&(i as u32), |&(p, _)| p) {
+            Ok(at) => self.entries[at].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Adds one to the `i`th component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn increment(&mut self, i: usize) {
+        assert!(i < self.n as usize, "component {i} out of range");
+        match self.entries.binary_search_by_key(&(i as u32), |&(p, _)| p) {
+            Ok(at) => self.entries[at].1 += 1,
+            Err(at) => self.entries.insert(at, (i as u32, 1)),
+        }
+    }
+
+    /// Component-wise maximum in place — the paper's `update(VT, VT')` on
+    /// the sparse representation, by a sorted merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two clocks cover different numbers of processes.
+    pub fn update(&mut self, other: &SparseClock) {
+        assert_eq!(
+            self.n, other.n,
+            "vector clocks cover different process counts"
+        );
+        let mut merged = Vec::with_capacity(self.entries.len().max(other.entries.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(ia, ca)), Some(&(ib, cb))) => match ia.cmp(&ib) {
+                    Ordering::Equal => {
+                        merged.push((ia, ca.max(cb)));
+                        i += 1;
+                        j += 1;
+                    }
+                    Ordering::Less => {
+                        merged.push((ia, ca));
+                        i += 1;
+                    }
+                    Ordering::Greater => {
+                        merged.push((ib, cb));
+                        j += 1;
+                    }
+                },
+                (Some(&e), None) => {
+                    merged.push(e);
+                    i += 1;
+                }
+                (None, Some(&e)) => {
+                    merged.push(e);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.entries = merged;
+    }
+
+    /// `true` iff neither clock dominates the other and they differ.
+    #[must_use]
+    pub fn concurrent(&self, other: &SparseClock) -> bool {
+        self.partial_cmp(other).is_none()
+    }
+
+    /// `true` iff `self < other` in the paper's dominance order.
+    #[must_use]
+    pub fn dominated_by(&self, other: &SparseClock) -> bool {
+        matches!(self.partial_cmp(other), Some(Ordering::Less))
+    }
+
+    /// Borrows the sorted `(process, count)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(u32, u64)] {
+        &self.entries
+    }
+
+    /// A borrowed view for allocation-free comparison.
+    #[must_use]
+    pub fn as_ref(&self) -> SparseClockRef<'_> {
+        SparseClockRef {
+            n: self.n,
+            entries: &self.entries,
+        }
+    }
+
+    /// Sum of all components.
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+impl PartialOrd for SparseClock {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        compare_sparse(self.n, &self.entries, other.n, &other.entries)
+    }
+}
+
+impl From<&VectorClock> for SparseClock {
+    fn from(vt: &VectorClock) -> Self {
+        SparseClock::from_dense(vt)
+    }
+}
+
+impl From<&SparseClock> for VectorClock {
+    fn from(sc: &SparseClock) -> Self {
+        sc.to_dense()
+    }
+}
+
+impl fmt::Debug for SparseClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SVT(n={}){:?}", self.n, self.entries)
+    }
+}
+
+impl fmt::Display for SparseClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Same bracket notation as the dense clock, eliding zeros:
+        // `{1:3,3:1}/4` reads "components 1→3, 3→1 of a 4-process clock".
+        write!(f, "{{")?;
+        for (k, (i, c)) in self.entries.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}:{c}")?;
+        }
+        write!(f, "}}/{}", self.n)
+    }
+}
+
+/// A borrowed sparse timestamp: comparison over `(process, count)` entries
+/// that stay where they are — a decoded message buffer, a
+/// [`SparseClock`]'s storage — mirroring [`VectorClockRef`] for the sparse
+/// representation.
+///
+/// # Examples
+///
+/// ```
+/// use vclock::{SparseClock, SparseClockRef};
+///
+/// let a = SparseClock::from_entries(8, [(1, 2)]);
+/// let wire: &[(u32, u64)] = &[(1, 2), (5, 1)];
+/// let b = SparseClockRef::new(8, wire);
+/// assert!(a.as_ref() < b);
+/// assert_eq!(b.to_owned(), SparseClock::from_entries(8, wire.iter().copied()));
+/// ```
+#[derive(Clone, Copy)]
+pub struct SparseClockRef<'a> {
+    n: u32,
+    entries: &'a [(u32, u64)],
+}
+
+impl<'a> SparseClockRef<'a> {
+    /// Views sorted nonzero `(process, count)` entries as a clock over `n`
+    /// processes.
+    ///
+    /// The entries must be sorted by process index with no duplicates and
+    /// no zero counts (as produced by [`SparseClock::entries`] or a wire
+    /// decoder that enforces canonical form).
+    #[must_use]
+    pub fn new(n: u32, entries: &'a [(u32, u64)]) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.iter().all(|&(_, c)| c != 0));
+        SparseClockRef { n, entries }
+    }
+
+    /// Number of processes the viewed clock covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Returns `true` if the viewed clock covers zero processes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of nonzero components.
+    #[must_use]
+    pub fn nonzero_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if every component is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`th component (zero unless an entry names it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.n as usize, "component {i} out of range");
+        match self.entries.binary_search_by_key(&(i as u32), |&(p, _)| p) {
+            Ok(at) => self.entries[at].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Borrows the sorted `(process, count)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &'a [(u32, u64)] {
+        self.entries
+    }
+
+    /// `true` iff neither viewed clock dominates the other and they differ.
+    #[must_use]
+    pub fn concurrent(&self, other: &SparseClockRef<'_>) -> bool {
+        compare_sparse(self.n, self.entries, other.n, other.entries).is_none()
+    }
+
+    /// `true` iff `self < other` in the paper's dominance order.
+    #[must_use]
+    pub fn dominated_by(&self, other: &SparseClockRef<'_>) -> bool {
+        matches!(
+            compare_sparse(self.n, self.entries, other.n, other.entries),
+            Some(Ordering::Less)
+        )
+    }
+
+    /// Copies the viewed entries into an owned sparse clock.
+    #[must_use]
+    pub fn to_owned(&self) -> SparseClock {
+        SparseClock {
+            n: self.n,
+            entries: self.entries.to_vec(),
+        }
+    }
+
+    /// Expands to the dense representation.
+    #[must_use]
+    pub fn to_dense(&self) -> VectorClock {
+        VectorClock::from_sparse_entries(self.n as usize, self.entries.iter().copied())
+    }
+
+    /// Sum of all components.
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+impl<'a> From<&'a SparseClock> for SparseClockRef<'a> {
+    fn from(sc: &'a SparseClock) -> Self {
+        sc.as_ref()
+    }
+}
+
+impl PartialEq for SparseClockRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.entries == other.entries
+    }
+}
+
+impl Eq for SparseClockRef<'_> {}
+
+impl PartialOrd for SparseClockRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        compare_sparse(self.n, self.entries, other.n, other.entries)
+    }
+}
+
+impl PartialEq<SparseClock> for SparseClockRef<'_> {
+    fn eq(&self, other: &SparseClock) -> bool {
+        self.n == other.n && self.entries == other.entries
+    }
+}
+
+impl PartialEq<SparseClockRef<'_>> for SparseClock {
+    fn eq(&self, other: &SparseClockRef<'_>) -> bool {
+        self.n == other.n && self.entries == other.entries
+    }
+}
+
+impl fmt::Debug for SparseClockRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SVT(n={}){:?}", self.n, self.entries)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -768,6 +1267,95 @@ mod tests {
         assert_eq!(b.to_string(), "[2,2,0]");
         assert_eq!(format!("{b:?}"), "VT[2, 2, 0]");
         assert!(a == a.as_ref() && a.as_ref() == a);
+    }
+
+    #[test]
+    fn nonzero_projects_and_reconstructs() {
+        let vt = VectorClock::from_components([0, 3, 0, 0, 7]);
+        let pairs: Vec<(u32, u64)> = vt.nonzero().collect();
+        assert_eq!(pairs, vec![(1, 3), (4, 7)]);
+        assert_eq!(vt.nonzero_count(), 2);
+        assert_eq!(VectorClock::from_sparse_entries(5, pairs), vt);
+        assert!(VectorClock::new(4).nonzero().next().is_none());
+    }
+
+    #[test]
+    fn sparse_round_trips_through_dense() {
+        for n in [0usize, 1, 3, INLINE_PROCESSES, INLINE_PROCESSES + 9] {
+            let vt: VectorClock = (0..n as u64).map(|i| i % 3).collect();
+            let sc = SparseClock::from_dense(&vt);
+            assert_eq!(sc.len(), n);
+            assert_eq!(sc.to_dense(), vt);
+            assert_eq!(sc.weight(), vt.weight());
+            for i in 0..n {
+                assert_eq!(sc.get(i), vt.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_increment_and_update_match_dense() {
+        let mut dense = VectorClock::from_components([0, 2, 0, 5]);
+        let mut sparse = SparseClock::from_dense(&dense);
+        dense.increment(0);
+        sparse.increment(0);
+        dense.increment(1);
+        sparse.increment(1);
+        assert_eq!(sparse.to_dense(), dense);
+
+        let other_dense = VectorClock::from_components([4, 0, 1, 0]);
+        let other = SparseClock::from_dense(&other_dense);
+        dense.update(&other_dense);
+        sparse.update(&other);
+        assert_eq!(sparse.to_dense(), dense);
+        assert_eq!(sparse.nonzero_count(), 4);
+    }
+
+    #[test]
+    fn sparse_comparison_matches_paper_definition() {
+        let a = SparseClock::from_entries(4, [(0, 1), (2, 2)]);
+        let b = SparseClock::from_entries(4, [(0, 1), (2, 3)]);
+        assert!(a < b);
+        assert!(a.dominated_by(&b));
+        let c = SparseClock::from_entries(4, [(1, 1)]);
+        assert!(a.concurrent(&c));
+        assert_eq!(a.partial_cmp(&a.clone()), Some(Ordering::Equal));
+        // Different process counts never compare, exactly like dense.
+        assert_eq!(
+            SparseClock::new(2).partial_cmp(&SparseClock::new(3)),
+            None
+        );
+    }
+
+    #[test]
+    fn sparse_from_entries_canonicalizes() {
+        // Unsorted input, duplicate indices (max wins), zero counts dropped.
+        let sc = SparseClock::from_entries(6, [(4, 1), (1, 2), (4, 5), (3, 0)]);
+        assert_eq!(sc.entries(), &[(1, 2), (4, 5)]);
+        assert!(SparseClock::from_entries(3, [(0, 0)]).is_zero());
+    }
+
+    #[test]
+    fn sparse_ref_view_compares_without_owning() {
+        let a = SparseClock::from_entries(8, [(1, 2)]);
+        let raw: &[(u32, u64)] = &[(1, 2), (5, 1)];
+        let b = SparseClockRef::new(8, raw);
+        assert!(a.as_ref() < b);
+        assert!(a.as_ref().dominated_by(&b));
+        assert!(!a.as_ref().concurrent(&b));
+        assert_eq!(b.to_owned(), SparseClock::from_entries(8, raw.iter().copied()));
+        assert_eq!(b.to_dense(), VectorClock::from_components([0, 2, 0, 0, 0, 1, 0, 0]));
+        assert_eq!(b.get(5), 1);
+        assert_eq!(b.get(4), 0);
+        assert_eq!(b.weight(), 3);
+        assert!(a == a.as_ref() && a.as_ref() == a);
+    }
+
+    #[test]
+    fn sparse_display_elides_zeros() {
+        let sc = SparseClock::from_entries(5, [(1, 3), (4, 1)]);
+        assert_eq!(sc.to_string(), "{1:3,4:1}/5");
+        assert_eq!(format!("{sc:?}"), "SVT(n=5)[(1, 3), (4, 1)]");
     }
 
     #[test]

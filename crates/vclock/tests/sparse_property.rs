@@ -1,0 +1,139 @@
+//! Model equivalence across the dense↔sparse boundary: `SparseClock` (and
+//! its borrowed `SparseClockRef` view) must be observationally identical
+//! to the dense `VectorClock` it projects — round trip, merge, increment,
+//! the dominance comparison, and concurrency — across 10k random pairs,
+//! with lengths straddling the 16→17-process inline→heap spill boundary
+//! (so all three representations — inline dense, heap dense, sparse — are
+//! pinned to one model).
+
+use std::cmp::Ordering;
+
+use proptest::prelude::*;
+use vclock::{SparseClock, SparseClockRef, VectorClock, INLINE_PROCESSES};
+
+/// Component vectors with lengths clustered around the spill boundary and
+/// *mostly-zero* components (the regime sparse encoding exists for), plus
+/// a dense-ish arm so nonzero-heavy clocks are covered too.
+fn sparse_component() -> impl Strategy<Value = u64> {
+    // ~80% zeros: draw 0..80 and fold the bottom 64 values to zero.
+    (0u64..80).prop_map(|x| if x < 64 { 0 } else { x - 63 })
+}
+
+fn components() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        proptest::collection::vec(sparse_component(), 0..INLINE_PROCESSES + 8),
+        proptest::collection::vec(1u64..16, 0..INLINE_PROCESSES + 8),
+    ]
+}
+
+/// Same-length pairs, so merge and comparison are defined.
+fn pair() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    let widest = INLINE_PROCESSES + 8;
+    (
+        components(),
+        proptest::collection::vec(sparse_component(), widest..widest + 1),
+    )
+        .prop_map(|(a, mut b)| {
+            b.truncate(a.len());
+            (a, b)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2_000))]
+
+    /// Projection is lossless: dense → sparse → dense is the identity,
+    /// entries are canonical (sorted, nonzero), and every component
+    /// accessor agrees.
+    #[test]
+    fn projection_round_trips(a in components()) {
+        let dense = VectorClock::from_slice(&a);
+        let sparse = SparseClock::from_dense(&dense);
+        prop_assert_eq!(sparse.to_dense(), dense.clone());
+        prop_assert_eq!(sparse.len(), dense.len());
+        prop_assert_eq!(sparse.weight(), dense.weight());
+        prop_assert_eq!(sparse.is_zero(), dense.is_zero());
+        prop_assert_eq!(sparse.nonzero_count(), dense.nonzero_count());
+        prop_assert!(sparse.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        prop_assert!(sparse.entries().iter().all(|&(_, c)| c != 0));
+        for i in 0..a.len() {
+            prop_assert_eq!(sparse.get(i), dense.get(i));
+        }
+        // The iterator-based projection and the type-based one agree.
+        let via_pairs = VectorClock::from_sparse_entries(a.len(), dense.nonzero());
+        prop_assert_eq!(via_pairs, dense);
+    }
+
+    /// Comparison, dominance and concurrency agree with the dense model,
+    /// both for owned sparse clocks and for borrowed views.
+    #[test]
+    fn comparison_matches_dense((a, b) in pair()) {
+        let da = VectorClock::from_slice(&a);
+        let db = VectorClock::from_slice(&b);
+        let want = da.partial_cmp(&db);
+        let sa = SparseClock::from_dense(&da);
+        let sb = SparseClock::from_dense(&db);
+        prop_assert_eq!(sa.partial_cmp(&sb), want);
+        prop_assert_eq!(sa.dominated_by(&sb), want == Some(Ordering::Less));
+        prop_assert_eq!(sa.concurrent(&sb), want.is_none());
+        let ra = SparseClockRef::from(&sa);
+        let rb = sb.as_ref();
+        prop_assert_eq!(ra.partial_cmp(&rb), want);
+        prop_assert_eq!(ra.dominated_by(&rb), want == Some(Ordering::Less));
+        prop_assert_eq!(ra.concurrent(&rb), want.is_none());
+        prop_assert_eq!(sa == sb, da == db);
+    }
+
+    /// Merge commutes with projection: sparse update of projections equals
+    /// the projection of the dense update.
+    #[test]
+    fn merge_commutes_with_projection((a, b) in pair()) {
+        let da = VectorClock::from_slice(&a);
+        let db = VectorClock::from_slice(&b);
+        let mut sparse = SparseClock::from_dense(&da);
+        sparse.update(&SparseClock::from_dense(&db));
+        prop_assert_eq!(sparse, SparseClock::from_dense(&da.updated(&db)));
+    }
+
+    /// Increment commutes with projection at every index.
+    #[test]
+    fn increment_commutes_with_projection(a in components(), i in 0usize..INLINE_PROCESSES + 8) {
+        if !a.is_empty() {
+            let i = i % a.len();
+            let dense = VectorClock::from_slice(&a);
+            let mut sparse = SparseClock::from_dense(&dense);
+            sparse.increment(i);
+            prop_assert_eq!(sparse, SparseClock::from_dense(&dense.incremented(i)));
+        }
+    }
+
+    /// Mismatched process counts never compare, exactly like dense clocks.
+    #[test]
+    fn length_mismatch_is_unordered(a in components(), b in components()) {
+        if a.len() != b.len() {
+            let sa = SparseClock::from_dense(&VectorClock::from_slice(&a));
+            let sb = SparseClock::from_dense(&VectorClock::from_slice(&b));
+            prop_assert_eq!(sa.partial_cmp(&sb), None);
+            prop_assert!(sa.concurrent(&sb));
+            prop_assert!(!sa.dominated_by(&sb));
+        }
+    }
+}
+
+#[test]
+fn spill_boundary_is_exact_for_sparse() {
+    // 16 processes inline-dense, 17 heap-dense; the sparse projection is
+    // representation-blind on both sides of the boundary.
+    let at: VectorClock = (1..=INLINE_PROCESSES as u64).collect();
+    let over: VectorClock = (1..=INLINE_PROCESSES as u64 + 1).collect();
+    assert!(at.is_inline());
+    assert!(!over.is_inline());
+    let s_at = SparseClock::from_dense(&at);
+    let s_over = SparseClock::from_dense(&over);
+    assert_eq!(s_at.to_dense(), at);
+    assert_eq!(s_over.to_dense(), over);
+    assert_eq!(s_at.nonzero_count(), INLINE_PROCESSES);
+    assert_eq!(s_over.nonzero_count(), INLINE_PROCESSES + 1);
+    // A 16-clock and a 17-clock never compare, sparse or dense.
+    assert_eq!(s_at.partial_cmp(&s_over), None);
+}
