@@ -26,6 +26,12 @@
 //!   heartbeat traffic per post-crash op. Recovery time is dominated by
 //!   the configured suspicion/backoff budgets, not by hot-path code, so
 //!   this cell is excluded from the CI regression gate (`gated: false`).
+//! * `recovery_replay` — WAL replay time vs log length: a `MemDisk`-backed
+//!   owner logs thousands of certified writes with compaction off, and the
+//!   cell reports the median time to rebuild protocol state from the full
+//!   log (`ops` = records replayed, so `ops_per_sec` is replay throughput).
+//!   Ungated: the number tracks the durability layer's decode path, not
+//!   hot-path code.
 //! * `mixed_remote_tcp` — the `mixed_remote` script over `dsm-net`'s real
 //!   loopback TCP sockets (one thread per node, each with its own partial
 //!   network): every protocol message crosses the kernel. The cell also
@@ -817,6 +823,97 @@ pub fn failover_migration(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
     out
 }
 
+/// WAL recovery replay: how long a restarted node takes to rebuild its
+/// protocol state from a log of certified writes — replay time as a
+/// function of log length. The populate phase runs real engine writes
+/// against a `MemDisk`-backed owner with compaction pinned off
+/// (`checkpoint_every = MAX`), so the log length *is* the write count;
+/// the measured phase then replays the whole log (`Store::open` decode
+/// plus `CausalState::recover`) repeatedly on clones of the disk.
+///
+/// `ops` is the number of recovered WAL records (the log length),
+/// `elapsed_ns` the median full-log replay, so `ops_per_sec` reads as
+/// records replayed per second; p50/p99 cover the per-replay spread.
+/// Ungated (`gated: false`): replay cost tracks the durability layer's
+/// decode path, not the hot protocol path the regression gate protects,
+/// and the cell exists to plot the trend line against log length
+/// (quick mode replays a 4× shorter log than full mode).
+///
+/// # Panics
+///
+/// Panics if the cluster fails to build, a populate write errors, or
+/// recovery comes back at incarnation 0 (meaning the log lost the boot
+/// watermark — a durability bug).
+#[must_use]
+pub fn recovery_replay(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
+    use causal_dsm::{CausalConfig, CausalState, Disk, DurableConfig, MemDisk, Store, SyncPolicy};
+    use memcore::NodeId;
+
+    const LOCATIONS: u32 = 64;
+    let writes: u64 = if cfg.quick { 4_096 } else { 16_384 };
+    let reps: usize = if cfg.quick { 8 } else { 16 };
+    // `EveryOp` is the policy the durability tentpole defaults to; on a
+    // MemDisk a sync is a counter bump, so it costs the populate loop
+    // nothing while keeping the record stream identical to production.
+    let dcfg = DurableConfig {
+        sync: SyncPolicy::EveryOp,
+        checkpoint_every: u64::MAX,
+    };
+    let config = CausalConfig::<memcore::Word>::builder(2, LOCATIONS)
+        .durability(dcfg)
+        .build();
+    let disk = MemDisk::new();
+    let net = simnet::Network::new(2);
+    let local = [NodeId::new(0), NodeId::new(1)];
+    let cluster = causal_dsm::CausalCluster::with_durable_transport(
+        config.clone(),
+        None,
+        net,
+        &local,
+        vec![(NodeId::new(0), Box::new(disk.clone()) as Box<dyn Disk>)],
+    )
+    .expect("build cluster");
+
+    // Populate: node 0 writes its own (even) locations — zero-message
+    // certified writes, each appending one WAL record.
+    let h0 = cluster.handle(0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
+    for i in 0..writes {
+        let l = Location::new(rng.gen_range(0..LOCATIONS / 2) * 2);
+        h0.write(l, memcore::Word::Int(i as i64)).expect("populate");
+    }
+    let delta = cluster.messages().snapshot().since(&base);
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    cluster.shutdown();
+
+    // Measure: full-log recovery, repeatedly. `MemDisk` clones share
+    // their backing store, so every rep replays the identical log.
+    let mut lat: Vec<u64> = Vec::with_capacity(reps);
+    let mut records = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (_store, recovered) = Store::<memcore::Word>::open(Box::new(disk.clone()), dcfg);
+        records = recovered.records.len() as u64;
+        let incarnation = recovered.next_incarnation();
+        let state = CausalState::recover(NodeId::new(0), config.clone(), recovered.records, incarnation);
+        lat.push(t.elapsed().as_nanos() as u64);
+        assert!(state.incarnation() >= 1, "recovery lost the boot watermark");
+    }
+    lat.sort_unstable();
+    let m = Measured {
+        ops: records,
+        executed: records,
+        elapsed_ns: lat[lat.len() / 2],
+        p50_ns: percentile(&lat, 0.50),
+        p99_ns: percentile(&lat, 0.99),
+        allocs_per_op: -1.0,
+        alloc_bytes_per_op: -1.0,
+    };
+    report("recovery_replay", seed, m, delta, envs, false)
+}
+
 /// The mixed-remote workload over real loopback TCP: `dsm-net` spins up
 /// one thread per node, each with its own partial network, connected only
 /// through kernel sockets — the same data path `dsm-server` processes
@@ -1071,6 +1168,9 @@ pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
         // best-of selection over ops_per_sec would just pick the shortest
         // gap, and the cell is ungated anyway.
         workloads.push(failover_migration(seed, cfg));
+        // One rep: ungated; the cell's number is a median over its own
+        // internal replay repetitions already.
+        workloads.push(recovery_replay(seed, cfg));
         // One rep: ungated (real-socket wall-clock), and each run spins
         // up a full TCP mesh — repetition buys nothing the gate uses.
         workloads.push(mixed_remote_tcp(seed, cfg));
@@ -1292,6 +1392,21 @@ mod tests {
         assert!(w.overhead_msgs > 0, "failover overhead must be visible");
         let heartbeats = w.msgs_by_kind.get(memcore::kinds::HEARTBEAT);
         assert!(heartbeats.is_some_and(|&n| n > 0), "{:?}", w.msgs_by_kind);
+    }
+
+    #[test]
+    fn recovery_replay_reports_replay_time_against_log_length() {
+        let w = recovery_replay(7, &tiny());
+        assert!(!w.gated, "replay cost must stay outside the perf gate");
+        assert_eq!(w.name, "recovery_replay");
+        // The log holds at least one record per certified write plus the
+        // boot watermark — `ops` is the length the cell plots against.
+        assert!(w.ops > 4_096, "log too short to measure: {} records", w.ops);
+        assert!(w.elapsed_ns > 0, "replay is a real wall-clock interval");
+        assert!(w.p50_ns > 0 && w.p99_ns >= w.p50_ns);
+        // Owner-local certified writes send nothing: the populate phase
+        // must not have leaked protocol traffic into the cell.
+        assert_eq!(w.protocol_msgs, 0, "{:?}", w.msgs_by_kind);
     }
 
     #[test]

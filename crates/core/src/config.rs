@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+use dsm_durable::DurableConfig;
 use memcore::{OwnerMap, PageId, RoundRobinOwners, Value};
 
 /// Which cache sweeps run when a new value is introduced.
@@ -127,6 +128,7 @@ pub struct CausalConfig<V> {
     batching: bool,
     failover: Option<FailoverConfig>,
     interest_scoping: bool,
+    durability: Option<DurableConfig>,
 }
 
 impl<V: Value> CausalConfig<V> {
@@ -267,6 +269,15 @@ impl<V: Value> CausalConfig<V> {
     pub fn interest_scoping(&self) -> bool {
         self.interest_scoping
     }
+
+    /// The durability layer's tuning, or `None` (the default) when the
+    /// node journals nothing. Off ⇒ no write-ahead appends, no journal
+    /// records, and — like every gated layer — wire traffic
+    /// byte-identical to Figure 4.
+    #[must_use]
+    pub fn durability(&self) -> Option<DurableConfig> {
+        self.durability
+    }
 }
 
 impl<V> fmt::Debug for CausalConfig<V> {
@@ -285,6 +296,7 @@ impl<V> fmt::Debug for CausalConfig<V> {
             .field("batching", &self.batching)
             .field("failover", &self.failover)
             .field("interest_scoping", &self.interest_scoping)
+            .field("durability", &self.durability)
             .finish()
     }
 }
@@ -321,6 +333,7 @@ pub struct CausalConfigBuilder<V> {
     batching: bool,
     failover: Option<FailoverConfig>,
     interest_scoping: bool,
+    durability: Option<DurableConfig>,
 }
 
 impl<V: Value + Default> CausalConfigBuilder<V> {
@@ -343,6 +356,7 @@ impl<V: Value + Default> CausalConfigBuilder<V> {
             batching: false,
             failover: None,
             interest_scoping: false,
+            durability: None,
         }
     }
 }
@@ -466,6 +480,19 @@ impl<V: Value> CausalConfigBuilder<V> {
         self
     }
 
+    /// Enables the durability layer with the given tuning (default: off).
+    ///
+    /// With durability on, the engine appends every certified write (and
+    /// every epoch advance, page install, and interest change) to a
+    /// write-ahead log *before* replying, per the configured
+    /// [`SyncPolicy`](dsm_durable::SyncPolicy); see
+    /// [`CausalConfig::durability`].
+    #[must_use]
+    pub fn durability(mut self, durability: DurableConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -496,6 +523,7 @@ impl<V: Value> CausalConfigBuilder<V> {
             batching: self.batching,
             failover: self.failover,
             interest_scoping: self.interest_scoping,
+            durability: self.durability,
         }
     }
 }

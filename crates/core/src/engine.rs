@@ -18,11 +18,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use dsm_durable::{Disk, Store, WalRecord};
 use memcore::{
     Location, MemoryError, NetStats, NodeId, OpRecord, PageId, Recorder, SharedMemory, Value,
     WriteId,
 };
 use parking_lot::{Mutex, MutexGuard, RwLock};
+use simnet::codec::Wire;
 use simnet::{BatchPolicy, Batcher, Envelope, Network};
 use vclock::VectorClock;
 
@@ -61,6 +63,43 @@ struct PipelineState<V: Value> {
     owner: Option<NodeId>,
     in_flight: usize,
     batcher: Batcher<Msg<V>>,
+}
+
+/// Where a node's durability journal goes. A trait object so the engine
+/// itself needs no `Wire` bound on `V` — only the durable constructors
+/// (which open real [`Store`]s) do.
+trait JournalSink<V: Value>: Send + Sync {
+    /// Appends one batch of records, returning once they are as durable
+    /// as the store's sync policy promises.
+    fn persist(&self, records: &[WalRecord<V>]);
+    /// Whether enough records accumulated that the caller should
+    /// checkpoint.
+    fn wants_checkpoint(&self) -> bool;
+    /// Installs `image` as the new checkpoint, compacting the log.
+    fn checkpoint(&self, image: &[WalRecord<V>]);
+}
+
+struct StoreSink<V>(Mutex<Store<V>>);
+
+impl<V: Value + Wire> JournalSink<V> for StoreSink<V> {
+    fn persist(&self, records: &[WalRecord<V>]) {
+        self.0.lock().append(records);
+    }
+
+    fn wants_checkpoint(&self) -> bool {
+        self.0.lock().wants_checkpoint()
+    }
+
+    fn checkpoint(&self, image: &[WalRecord<V>]) {
+        self.0.lock().checkpoint(image);
+    }
+}
+
+/// Per-node boot material for a durable build: the WAL sink plus the
+/// state recovered from (or freshly created against) its disk.
+struct DurableBoot<V: Value> {
+    sink: Arc<dyn JournalSink<V>>,
+    state: CausalState<V>,
 }
 
 struct NodeShared<V: Value> {
@@ -115,6 +154,46 @@ struct NodeShared<V: Value> {
     /// pipelined reply and decrements `in_flight` — the wake-up edge for
     /// window backpressure and [`CausalHandle::flush`].
     pipeline_cv: Condvar,
+    /// The node's write-ahead log, if this is a durable build. `None`
+    /// keeps every journal hook on the zero-cost path.
+    wal: Option<Arc<dyn JournalSink<V>>>,
+}
+
+impl<V: Value> NodeShared<V> {
+    /// Runs `f` under the exclusive state lock and, on durable builds,
+    /// appends whatever it journaled *before* the lock is released.
+    ///
+    /// Holding the lock across the append is what makes the log's order
+    /// match the state-mutation order: the server thread and application
+    /// threads both mutate this node's state, and two installs to the
+    /// same slot must reach the log in install order or replay resurrects
+    /// the loser. Callers send replies only after this returns, so a
+    /// certified operation is as durable as the sync policy promises.
+    fn mutate<R>(&self, f: impl FnOnce(&mut CausalState<V>) -> R) -> R {
+        let mut st = self.state.write();
+        let r = f(&mut st);
+        if self.wal.is_some() {
+            self.persist_locked(&mut st);
+        }
+        r
+    }
+
+    /// Drains and appends the journal; caller holds the exclusive state
+    /// lock. Checkpoints are taken here too, still under the lock — every
+    /// append also requires the lock, so nothing can slip a record into
+    /// the log between the image capture and the commit that resets it.
+    fn persist_locked(&self, st: &mut CausalState<V>) {
+        let Some(wal) = &self.wal else { return };
+        let records = st.take_journal();
+        if records.is_empty() {
+            return;
+        }
+        wal.persist(&records);
+        if wal.wants_checkpoint() {
+            let image = st.durable_image();
+            wal.checkpoint(&image);
+        }
+    }
 }
 
 /// Shutdown latch for the heartbeat tickers: a flag under a mutex plus a
@@ -256,10 +335,10 @@ impl<V: Value> ServerCtx<V> {
             Msg::Halt => return false,
             Msg::Heartbeat { .. } => {}
             Msg::Suspect { suspect, epochs } => {
-                let mut st = node.state.write();
-                st.absorb_suspect(suspect, &epochs);
-                let repl = st.take_replications();
-                drop(st);
+                let repl = node.mutate(|st| {
+                    st.absorb_suspect(suspect, &epochs);
+                    st.take_replications()
+                });
                 for (dst, msg) in repl {
                     let _ = net.send(me, dst, msg);
                 }
@@ -270,19 +349,17 @@ impl<V: Value> ServerCtx<V> {
                 slots,
                 origins,
             } => {
-                node.state
-                    .write()
-                    .apply_replicate(page, vt.into_inner(), slots, origins);
+                node.mutate(|st| st.apply_replicate(page, vt.into_inner(), slots, origins));
             }
             Msg::Interest { page } => {
                 // A peer evicted its copy: stop counting it as interested.
-                node.state.write().handle_interest_drop(page, env.src);
+                node.mutate(|st| st.handle_interest_drop(page, env.src));
             }
             Msg::Stamped { epoch, op, inner } if inner.is_request() => {
-                let mut st = node.state.write();
-                let reply = st.serve_stamped(env.src, epoch, op, *inner);
-                let repl = st.take_replications();
-                drop(st);
+                let (reply, repl) = node.mutate(|st| {
+                    let reply = st.serve_stamped(env.src, epoch, op, *inner);
+                    (reply, st.take_replications())
+                });
                 if let Some(reply) = reply {
                     let _ = net.send(me, env.src, reply);
                 }
@@ -305,7 +382,7 @@ impl<V: Value> ServerCtx<V> {
                     }
                 }
                 if !requests.is_empty() {
-                    let mut replies = node.state.write().serve_batch(env.src, requests);
+                    let mut replies = node.mutate(|st| st.serve_batch(env.src, requests));
                     let reply = if replies.len() == 1 {
                         replies.pop().expect("length checked")
                     } else {
@@ -316,9 +393,7 @@ impl<V: Value> ServerCtx<V> {
             }
             request if request.is_request() => {
                 let reply = node
-                    .state
-                    .write()
-                    .serve(env.src, request)
+                    .mutate(|st| st.serve(env.src, request))
                     .expect("requests always produce replies");
                 // Best effort: the requester may already be shutting down.
                 let _ = net.send(me, env.src, reply);
@@ -569,7 +644,98 @@ impl<V: Value> CausalCluster<V> {
         net: Network<Msg<V>>,
         local: &[NodeId],
     ) -> Result<Self, MemoryError> {
-        Self::build_engine(config, recorder, net, local, false).map(|(cluster, _)| cluster)
+        Self::build_engine(config, recorder, net, local, false, HashMap::new())
+            .map(|(cluster, _)| cluster)
+    }
+
+    /// [`CausalCluster::with_transport`] plus a durability layer: each
+    /// `(node, disk)` pair gives a locally-hosted node a write-ahead log
+    /// (see `dsm_durable`). A disk that already holds state makes the
+    /// node *recover* — replaying its checkpoint and log tail into page
+    /// images, origin clocks, and the owner-epoch table — and rejoin as
+    /// a full peer under a bumped incarnation.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration carries no
+    /// [`durability`](crate::CausalConfigBuilder::durability) setting, a
+    /// disk is supplied for a node not in `local`, or any
+    /// [`CausalCluster::with_transport`] precondition fails.
+    pub fn with_durable_transport(
+        config: CausalConfig<V>,
+        recorder: Option<Recorder<V>>,
+        net: Network<Msg<V>>,
+        local: &[NodeId],
+        disks: Vec<(NodeId, Box<dyn Disk>)>,
+    ) -> Result<Self, MemoryError>
+    where
+        V: Wire,
+    {
+        let boots = Self::open_boots(&config, local, disks);
+        Self::build_engine(config, recorder, net, local, false, boots)
+            .map(|(cluster, _)| cluster)
+    }
+
+    /// [`CausalCluster::with_inline_transport`] plus a durability layer
+    /// for the hosted node — what `dsm-server --data-dir` builds.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CausalCluster::with_durable_transport`].
+    pub fn with_durable_inline_transport(
+        config: CausalConfig<V>,
+        recorder: Option<Recorder<V>>,
+        net: Network<Msg<V>>,
+        me: NodeId,
+        disk: Box<dyn Disk>,
+    ) -> Result<(Self, InlineServer<V>), MemoryError>
+    where
+        V: Wire,
+    {
+        let boots = Self::open_boots(&config, &[me], vec![(me, disk)]);
+        Self::build_engine(config, recorder, net, &[me], true, boots)
+            .map(|(cluster, server)| (cluster, server.expect("inline build yields a server")))
+    }
+
+    /// Opens each disk, recovering state where one holds any.
+    fn open_boots(
+        config: &CausalConfig<V>,
+        local: &[NodeId],
+        disks: Vec<(NodeId, Box<dyn Disk>)>,
+    ) -> HashMap<NodeId, DurableBoot<V>>
+    where
+        V: Wire,
+    {
+        let dcfg = config
+            .durability()
+            .expect("durable build requires a durability config");
+        let mut boots = HashMap::new();
+        for (id, disk) in disks {
+            assert!(local.contains(&id), "disk supplied for non-local node {id}");
+            let (store, recovered) = Store::open(disk, dcfg);
+            let incarnation = recovered.next_incarnation();
+            let state = if recovered.is_virgin() {
+                CausalState::new(id, config.clone())
+            } else {
+                CausalState::recover(id, config.clone(), recovered.records, incarnation)
+            };
+            boots.insert(
+                id,
+                DurableBoot {
+                    sink: Arc::new(StoreSink(Mutex::new(store))),
+                    state,
+                },
+            );
+        }
+        boots
     }
 
     /// Like [`CausalCluster::with_transport`] for a single local node,
@@ -594,7 +760,7 @@ impl<V: Value> CausalCluster<V> {
         net: Network<Msg<V>>,
         me: NodeId,
     ) -> Result<(Self, InlineServer<V>), MemoryError> {
-        Self::build_engine(config, recorder, net, &[me], true)
+        Self::build_engine(config, recorder, net, &[me], true, HashMap::new())
             .map(|(cluster, server)| (cluster, server.expect("inline build yields a server")))
     }
 
@@ -604,6 +770,7 @@ impl<V: Value> CausalCluster<V> {
         net: Network<Msg<V>>,
         local: &[NodeId],
         inline: bool,
+        mut boots: HashMap<NodeId, DurableBoot<V>>,
     ) -> Result<(Self, Option<InlineServer<V>>), MemoryError> {
         let n = config.nodes() as usize;
         assert_eq!(net.len(), n, "transport size mismatch");
@@ -617,8 +784,12 @@ impl<V: Value> CausalCluster<V> {
         for i in 0..n {
             let (tx, rx) = unbounded();
             reply_txs.push(tx);
-            nodes.push(Arc::new(NodeShared {
-                state: RwLock::new(CausalState::new(NodeId::new(i as u32), config.clone())),
+            let (state, wal) = match boots.remove(&NodeId::new(i as u32)) {
+                Some(boot) => (boot.state, Some(boot.sink)),
+                None => (CausalState::new(NodeId::new(i as u32), config.clone()), None),
+            };
+            let shared = Arc::new(NodeShared {
+                state: RwLock::new(state),
                 op_lock: Mutex::new(()),
                 replies: rx,
                 nonblocking: Mutex::new(HashMap::new()),
@@ -629,7 +800,15 @@ impl<V: Value> CausalCluster<V> {
                     batcher: Batcher::new(batch_policy),
                 }),
                 pipeline_cv: Condvar::new(),
-            }));
+                wal,
+            });
+            if shared.wal.is_some() {
+                // Persist the boot watermark (`CausalState::new`'s
+                // baseline, or recovery's rejoin record with the bumped
+                // incarnation) before any traffic can reference it.
+                shared.mutate(|_| ());
+            }
+            nodes.push(shared);
         }
 
         let mut servers = Vec::with_capacity(local.len());
@@ -689,8 +868,7 @@ impl<V: Value> CausalCluster<V> {
                             // lets shutdown() interrupt a tick mid-wait.
                             while !stop.wait_for(interval) {
                                 let now = clock_start.elapsed().as_millis() as u64;
-                                let (hb, hb_targets, broadcasts, repl) = {
-                                    let mut st = node.state.write();
+                                let (hb, hb_targets, broadcasts, repl) = node.mutate(|st| {
                                     let hb = st.heartbeat_msg();
                                     // All peers under all-pairs probing; the
                                     // node's ring successors under a scoped
@@ -706,7 +884,7 @@ impl<V: Value> CausalCluster<V> {
                                         }
                                     }
                                     (hb, hb_targets, broadcasts, st.take_replications())
-                                };
+                                });
                                 let n = u32::try_from(net.len()).unwrap_or(0);
                                 let all_peers = || {
                                     (0..n).map(NodeId::new).filter(|dst| *dst != me).collect()
@@ -858,6 +1036,18 @@ impl<V: Value> CausalCluster<V> {
     #[must_use]
     pub fn node_vt(&self, i: u32) -> vclock::VectorClock {
         self.inner.nodes[i as usize].state.read().vt().clone()
+    }
+
+    /// Node `i`'s incarnation number: 0 for a first life, the persisted
+    /// maximum plus one after a durable recovery (see
+    /// [`CausalCluster::with_durable_transport`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node_incarnation(&self, i: u32) -> u32 {
+        self.inner.nodes[i as usize].state.read().incarnation()
     }
 
     /// Total cache invalidations performed across all nodes (ablation
@@ -1231,10 +1421,10 @@ impl<V: Value> CausalHandle<V> {
             if owner == self.node {
                 // The page migrated to *us* mid-operation (we are its
                 // successor): serve our own request locally.
-                let mut st = node.state.write();
-                let served = st.serve_stamped(self.node, epoch, op, request.clone());
-                let repl = st.take_replications();
-                drop(st);
+                let (served, repl) = node.mutate(|st| {
+                    let served = st.serve_stamped(self.node, epoch, op, request.clone());
+                    (served, st.take_replications())
+                });
                 self.send_all(repl);
                 match served {
                     Some(Msg::Stamped { inner, .. }) => return Ok(*inner),
@@ -1255,16 +1445,15 @@ impl<V: Value> CausalHandle<V> {
                 Ok(Msg::Nack {
                     page: npage, epoch, ..
                 }) => {
-                    node.state.write().observe_epoch(npage, epoch);
+                    node.mutate(|st| st.observe_epoch(npage, epoch));
                 }
                 Ok(reply) => return Ok(reply),
                 Err(MemoryError::Timeout { .. }) => {
-                    let (epochs, targets, repl) = {
-                        let mut st = node.state.write();
+                    let (epochs, targets, repl) = node.mutate(|st| {
                         let epochs = st.suspect(owner);
                         let targets = st.suspect_targets(owner, &epochs);
                         (epochs, targets, st.take_replications())
-                    };
+                    });
                     if !epochs.is_empty() {
                         let dsts = targets.unwrap_or_else(|| {
                             (0..self.inner.config.nodes())
@@ -1325,7 +1514,7 @@ impl<V: Value> CausalHandle<V> {
             if pipeline.as_ref().is_none_or(|p| p.in_flight == 0) {
                 // `value` moves here; fine, because both arms below
                 // diverge — the non-idle fall-through never reaches this.
-                let step = node.state.write().begin_write_shared(loc, value);
+                let step = node.mutate(|st| st.begin_write_shared(loc, value));
                 drop(pipeline);
                 match step {
                     WriteStep::Done { wid } => {
@@ -1360,10 +1549,7 @@ impl<V: Value> CausalHandle<V> {
                 }
             }
         }
-        let step = node
-            .state
-            .write()
-            .begin_write_shared(loc, Arc::clone(&value));
+        let step = node.mutate(|st| st.begin_write_shared(loc, Arc::clone(&value)));
         let done = match step {
             WriteStep::Done { wid } => {
                 self.drain_side_traffic(node);
@@ -1435,10 +1621,7 @@ impl<V: Value> CausalHandle<V> {
         let node = &self.inner.nodes[self.node.index()];
         let value = Arc::new(value);
         let _op = node.op_lock.lock();
-        let step = node
-            .state
-            .write()
-            .begin_write_nonblocking_shared(loc, Arc::clone(&value));
+        let step = node.mutate(|st| st.begin_write_nonblocking_shared(loc, Arc::clone(&value)));
         let wid = match step {
             WriteStep::Done { wid } => wid,
             WriteStep::Remote {
@@ -1534,10 +1717,7 @@ impl<V: Value> CausalHandle<V> {
             self.flush_batcher(node, &mut p)?;
             p = self.pipeline_wait(node, p)?;
         }
-        let step = node
-            .state
-            .write()
-            .begin_write_nonblocking_shared(loc, Arc::clone(&value));
+        let step = node.mutate(|st| st.begin_write_nonblocking_shared(loc, Arc::clone(&value)));
         let wid = match step {
             WriteStep::Done { .. } => unreachable!("remote page cannot complete locally"),
             WriteStep::Remote { wid, request, .. } => {

@@ -67,6 +67,9 @@ pub use config::{
 pub use engine::{
     CausalCluster, CausalClusterBuilder, CausalHandle, ClusterSnapshot, InlineServer,
 };
+pub use dsm_durable::{
+    DirDisk, Disk, DurableConfig, MemDisk, Recovered, Store, SyncPolicy, WalRecord,
+};
 pub use failover::owner_at;
 pub use msg::{Msg, SlotData, Stamp, WriteVerdict};
 pub use state::{CausalState, ReadStep, WriteDone, WriteStep};

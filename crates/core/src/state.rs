@@ -17,6 +17,8 @@ use std::sync::Arc;
 use memcore::{Location, NodeId, OwnerEpoch, OwnerMap, PageId, Value, WriteId};
 use vclock::VectorClock;
 
+use dsm_durable::WalRecord;
+
 use crate::config::{CausalConfig, FailoverConfig, InvalidationMode, WritePolicy};
 use crate::failover::{owner_at, FailoverState, ShadowPage};
 use crate::fxmap::FastMap;
@@ -197,6 +199,15 @@ pub struct CausalState<V> {
     /// Outgoing `[INTEREST]` drops queued by cache evictions, drained by
     /// the engine alongside replications.
     pending_interest: Vec<(NodeId, Msg<V>)>,
+    /// Durability journal: records queued since the last
+    /// [`CausalState::take_journal`] drain. Always empty unless
+    /// [`CausalConfig::durability`] is set — the gate every hook below
+    /// checks before allocating anything.
+    journal: Vec<WalRecord<V>>,
+    /// Process incarnation: 0 for a first life, `persisted + 1` after
+    /// every crash recovery. Session layers stamp frames with it so a
+    /// previous life's traffic can be fenced.
+    incarnation: u32,
 }
 
 impl<V: Value> CausalState<V> {
@@ -214,7 +225,7 @@ impl<V: Value> CausalState<V> {
             }
         }
         let failover = config.failover().map(|fo| FailoverState::new(fo, n));
-        CausalState {
+        let mut state = CausalState {
             id,
             config,
             vt: VectorClock::new(n),
@@ -227,7 +238,19 @@ impl<V: Value> CausalState<V> {
             failover,
             interest: FastMap::default(),
             pending_interest: Vec::new(),
+            journal: Vec::new(),
+            incarnation: 0,
+        };
+        if state.journaling() {
+            // Baseline watermark: even a life that never writes leaves
+            // proof it existed, so the next life's incarnation is larger.
+            state.journal.push(WalRecord::Node {
+                vt: state.vt.clone(),
+                write_seq: 0,
+                incarnation: 0,
+            });
         }
+        state
     }
 
     fn initial_page(config: &CausalConfig<V>, page: PageId, n: usize) -> PageEntry<V> {
@@ -494,6 +517,16 @@ impl<V: Value> CausalState<V> {
             let offset = self.offset_of(loc);
             let vt = self.vt.clone();
             let origin = Arc::new(vt.clone());
+            if self.journaling() {
+                self.journal.push(WalRecord::Write {
+                    loc,
+                    value: Arc::clone(&value),
+                    wid,
+                    origin: vt.clone(),
+                    node_vt: vt.clone(),
+                    applied: true,
+                });
+            }
             let entry = self
                 .pages
                 .get_mut(&page)
@@ -503,6 +536,16 @@ impl<V: Value> CausalState<V> {
             self.note_owned_write(page);
             WriteStep::Done { wid }
         } else {
+            if self.journaling() {
+                // Watermark the minted WriteId: a recovered node must
+                // never reuse a sequence number, even for writes served
+                // (and journaled) elsewhere.
+                self.journal.push(WalRecord::Node {
+                    vt: self.vt.clone(),
+                    write_seq: self.write_seq,
+                    incarnation: self.incarnation,
+                });
+            }
             self.op_begin_vt = self.vt.clone();
             let vt = self.stamp(self.vt.clone());
             WriteStep::Remote {
@@ -874,6 +917,20 @@ impl<V: Value> CausalState<V> {
             )
         };
 
+        if self.journaling() {
+            // Append before the install (and the caller syncs before the
+            // reply leaves): a certified write is on disk first. Verdicts
+            // that install nothing still journal the clock merge.
+            self.journal.push(WalRecord::Write {
+                loc,
+                value: Arc::clone(&value),
+                wid,
+                origin: vt.clone(),
+                node_vt: self.vt.clone(),
+                applied: !reject && !stale,
+            });
+        }
+
         let verdict = if reject {
             let slot = &self.pages[&page].slots[offset];
             WriteVerdict::Rejected {
@@ -1010,19 +1067,37 @@ impl<V: Value> CausalState<V> {
             return;
         }
         let set = self.interest.entry(page).or_default();
-        if !set.contains(&peer) {
+        let newly = !set.contains(&peer);
+        if newly {
             set.push(peer);
+        }
+        if newly && self.journaling() {
+            self.journal.push(WalRecord::Interest {
+                page,
+                node: peer,
+                registered: true,
+            });
         }
     }
 
     /// Absorbs a peer's `[INTEREST]` drop: it evicted its copy of `page`
     /// and no longer needs this node's scoped shipments for it.
     pub fn handle_interest_drop(&mut self, page: PageId, peer: NodeId) {
+        let mut removed = false;
         if let Some(set) = self.interest.get_mut(&page) {
+            let before = set.len();
             set.retain(|p| *p != peer);
+            removed = set.len() != before;
             if set.is_empty() {
                 self.interest.remove(&page);
             }
+        }
+        if removed && self.journaling() {
+            self.journal.push(WalRecord::Interest {
+                page,
+                node: peer,
+                registered: false,
+            });
         }
     }
 
@@ -1093,6 +1168,9 @@ impl<V: Value> CausalState<V> {
             .expect("checked above")
             .epochs
             .insert(page, epoch);
+        if self.journaling() {
+            self.journal.push(WalRecord::Epoch { page, epoch });
+        }
         if !was_owner && self.current_owner(page) == self.id {
             self.promote(page);
         }
@@ -1146,6 +1224,25 @@ impl<V: Value> CausalState<V> {
             let n = self.config.nodes() as usize;
             let entry = Self::initial_page(&self.config, page, n);
             self.pages.insert(page, entry);
+        }
+        if self.journaling() {
+            // Journal the authoritative copy this promotion settled on —
+            // shadow, surviving local copy, or fabricated initial page —
+            // so recovery rebuilds exactly what this owner now serves.
+            if let Some(entry) = self.pages.get(&page) {
+                let record = WalRecord::PageInstall {
+                    page,
+                    vt: entry.vt.clone(),
+                    slots: entry
+                        .slots
+                        .iter()
+                        .map(|s| (Arc::clone(&s.value), s.wid))
+                        .collect(),
+                    origins: entry.slots.iter().map(|s| (*s.origin).clone()).collect(),
+                    shadow: false,
+                };
+                self.journal.push(record);
+            }
         }
     }
 
@@ -1245,14 +1342,28 @@ impl<V: Value> CausalState<V> {
         slots: Vec<SlotData<V>>,
         origins: Vec<VectorClock>,
     ) {
-        let Some(fo) = &mut self.failover else { return };
+        let Some(fo) = &self.failover else { return };
         let newer = match fo.shadows.get(&page) {
             Some(s) => !vt.dominated_by(&s.vt),
             None => true,
         };
-        if newer {
-            fo.shadows.insert(page, ShadowPage { vt, slots, origins });
+        if !newer {
+            return;
         }
+        if self.journaling() {
+            self.journal.push(WalRecord::PageInstall {
+                page,
+                vt: vt.clone(),
+                slots: slots.clone(),
+                origins: origins.clone(),
+                shadow: true,
+            });
+        }
+        self.failover
+            .as_mut()
+            .expect("checked above")
+            .shadows
+            .insert(page, ShadowPage { vt, slots, origins });
     }
 
     /// Drains the owned pages written since the last drain into one
@@ -1300,6 +1411,249 @@ impl<V: Value> CausalState<V> {
             ));
         }
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Durability (config-gated; see `dsm_durable`)
+    // ------------------------------------------------------------------
+
+    /// `true` iff a [`dsm_durable::DurableConfig`] is attached — the gate
+    /// every journal emission checks before allocating anything.
+    fn journaling(&self) -> bool {
+        self.config.durability().is_some()
+    }
+
+    /// This life's incarnation number (0 for a first life; recovered
+    /// lives get the persisted maximum plus one). Session layers stamp
+    /// frames with it to fence a previous life's traffic.
+    #[must_use]
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// Drains the records journaled since the last drain. Engines call
+    /// this inside the same lock scope as the mutation that produced
+    /// them and append the batch to the WAL *before* releasing any
+    /// reply — certification implies durability (to the extent the sync
+    /// policy promises). Always empty when durability is off.
+    pub fn take_journal(&mut self) -> Vec<WalRecord<V>> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// A self-contained record sequence reproducing this node's durable
+    /// state — what checkpoint compaction writes. Replaying it through
+    /// [`CausalState::recover`] on an empty state yields this state
+    /// minus the (always discardable) cache.
+    #[must_use]
+    pub fn durable_image(&self) -> Vec<WalRecord<V>> {
+        let mut out = vec![WalRecord::Node {
+            vt: self.vt.clone(),
+            write_seq: self.write_seq,
+            incarnation: self.incarnation,
+        }];
+        if let Some(fo) = &self.failover {
+            let mut epochs: Vec<_> = fo.epochs.iter().map(|(p, e)| (*p, *e)).collect();
+            epochs.sort_unstable_by_key(|(p, _)| *p);
+            for (page, epoch) in epochs {
+                out.push(WalRecord::Epoch { page, epoch });
+            }
+        }
+        let mut owned: Vec<_> = self
+            .pages
+            .iter()
+            .filter(|(p, _)| self.current_owner(**p) == self.id)
+            .collect();
+        owned.sort_unstable_by_key(|(p, _)| **p);
+        for (page, entry) in owned {
+            out.push(WalRecord::PageInstall {
+                page: *page,
+                vt: entry.vt.clone(),
+                slots: entry
+                    .slots
+                    .iter()
+                    .map(|s| (Arc::clone(&s.value), s.wid))
+                    .collect(),
+                origins: entry.slots.iter().map(|s| (*s.origin).clone()).collect(),
+                shadow: false,
+            });
+        }
+        if let Some(fo) = &self.failover {
+            let mut shadows: Vec<_> = fo.shadows.iter().collect();
+            shadows.sort_unstable_by_key(|(p, _)| **p);
+            for (page, sh) in shadows {
+                out.push(WalRecord::PageInstall {
+                    page: *page,
+                    vt: sh.vt.clone(),
+                    slots: sh.slots.clone(),
+                    origins: sh.origins.clone(),
+                    shadow: true,
+                });
+            }
+        }
+        let mut interest: Vec<_> = self.interest.iter().collect();
+        interest.sort_unstable_by_key(|(p, _)| **p);
+        for (page, peers) in interest {
+            for peer in peers {
+                out.push(WalRecord::Interest {
+                    page: *page,
+                    node: *peer,
+                    registered: true,
+                });
+            }
+        }
+        out
+    }
+
+    /// Rebuilds processor `id` from a recovered record stream
+    /// (checkpoint image followed by the surviving log tail, in append
+    /// order) as incarnation `incarnation`.
+    ///
+    /// Recovery is deliberately conservative: the cache is *not*
+    /// restored (a cold cache is always causally safe — refetching from
+    /// owners is monotone), and any owned page with no durable record
+    /// comes back as the initial page (possible only for pages never
+    /// written under a certifying sync policy). Replay is idempotent,
+    /// so records duplicated across a checkpoint image and the log tail
+    /// (the benign checkpoint race) are harmless.
+    #[must_use]
+    pub fn recover(
+        id: NodeId,
+        config: CausalConfig<V>,
+        records: Vec<WalRecord<V>>,
+        incarnation: u32,
+    ) -> Self {
+        let mut state = Self::new(id, config);
+        state.incarnation = incarnation;
+        for record in records {
+            state.replay(record);
+        }
+        // Drop everything this node does not currently own: cached
+        // copies may be stale relative to writes certified elsewhere
+        // while we were down, and shadow-promoted pages belong to the
+        // epoch table rebuilt above.
+        let owned: Vec<PageId> = state
+            .pages
+            .keys()
+            .filter(|p| state.current_owner(**p) == state.id)
+            .copied()
+            .collect();
+        state.pages.retain(|p, _| owned.contains(p));
+        // Safety net: an owned page with no durable record at all (never
+        // certified a write under `every_op`, or lost under a weaker
+        // policy) restarts from the initial image.
+        let n = state.config.nodes() as usize;
+        for page_index in 0..state.config.page_count() {
+            let page = PageId::new(page_index);
+            if state.current_owner(page) == state.id && !state.pages.contains_key(&page) {
+                let entry = Self::initial_page(&state.config, page, n);
+                state.pages.insert(page, entry);
+            }
+        }
+        state.op_begin_vt = state.vt.clone();
+        // The replay helpers above re-journal what they install; none of
+        // it is new information. Start this life's journal with a single
+        // rejoin watermark carrying the bumped incarnation.
+        state.journal.clear();
+        if state.journaling() {
+            state.journal.push(WalRecord::Node {
+                vt: state.vt.clone(),
+                write_seq: state.write_seq,
+                incarnation,
+            });
+        }
+        state
+    }
+
+    /// Applies one WAL record during [`CausalState::recover`].
+    fn replay(&mut self, record: WalRecord<V>) {
+        match record {
+            WalRecord::Node {
+                vt,
+                write_seq,
+                incarnation: _,
+            } => {
+                self.vt.update(&vt);
+                self.write_seq = self.write_seq.max(write_seq);
+            }
+            WalRecord::Write {
+                loc,
+                value,
+                wid,
+                origin,
+                node_vt,
+                applied,
+            } => {
+                self.vt.update(&node_vt);
+                if wid.writer() == Some(self.id) {
+                    self.write_seq = self.write_seq.max(wid.seq() + 1);
+                }
+                if !applied {
+                    return;
+                }
+                let page = self.page_of(loc);
+                let offset = self.offset_of(loc);
+                let n = self.config.nodes() as usize;
+                let entry = self
+                    .pages
+                    .entry(page)
+                    .or_insert_with(|| Self::initial_page(&self.config, page, n));
+                entry.slots[offset] = Slot {
+                    value,
+                    wid,
+                    origin: Arc::new(origin),
+                };
+                entry.vt.update(&node_vt);
+                self.note_owned_write(page);
+            }
+            WalRecord::PageInstall {
+                page,
+                vt,
+                slots,
+                origins,
+                shadow,
+            } => {
+                if shadow {
+                    self.apply_replicate(page, vt, slots, origins);
+                } else {
+                    let slots = slots
+                        .into_iter()
+                        .zip(origins)
+                        .map(|((value, wid), origin)| Slot {
+                            value,
+                            wid,
+                            origin: Arc::new(origin),
+                        })
+                        .collect();
+                    let installed_at = self.tick;
+                    self.pages.insert(
+                        page,
+                        PageEntry {
+                            vt,
+                            slots,
+                            installed_at,
+                        },
+                    );
+                    self.note_owned_write(page);
+                }
+            }
+            WalRecord::Epoch { page, epoch } => {
+                if let Some(fo) = &mut self.failover {
+                    let merged = fo.epoch_of(page).max(epoch);
+                    fo.epochs.insert(page, merged);
+                }
+            }
+            WalRecord::Interest {
+                page,
+                node,
+                registered,
+            } => {
+                if registered {
+                    self.register_interest(page, node);
+                } else {
+                    self.handle_interest_drop(page, node);
+                }
+            }
+        }
     }
 
     fn note_owned_write(&mut self, page: PageId) {

@@ -1,0 +1,103 @@
+//! Engine-level durability roundtrip: a threaded cluster writes through
+//! the full Figure-4 protocol with a WAL behind every owner, shuts
+//! down, and is rebuilt from the same disks. Everything certified in
+//! the first life must be readable in the second, and every node must
+//! come back under a bumped incarnation.
+
+use causal_dsm::{CausalCluster, CausalConfig, Disk, DurableConfig, MemDisk, SyncPolicy};
+use memcore::{Location, NodeId, SharedMemory, Word};
+use simnet::Network;
+
+fn loc(i: u32) -> Location {
+    Location::new(i)
+}
+
+/// A fully-local threaded cluster whose node `i` journals to `disks[i]`.
+/// `MemDisk` clones share their backing store, so rebuilding with the
+/// same slice *is* a restart from disk.
+fn durable_cluster(disks: &[MemDisk], config: DurableConfig) -> CausalCluster<Word> {
+    let n = disks.len() as u32;
+    let config = CausalConfig::<Word>::builder(n, 2 * n)
+        .durability(config)
+        .build();
+    let net = Network::new(disks.len());
+    let local: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let boxed = disks
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (NodeId::new(i as u32), Box::new(d.clone()) as Box<dyn Disk>))
+        .collect();
+    CausalCluster::with_durable_transport(config, None, net, &local, boxed)
+        .expect("engine rejected configuration")
+}
+
+#[test]
+fn certified_writes_survive_a_full_cluster_restart() {
+    let disks: Vec<MemDisk> = (0..3).map(|_| MemDisk::new()).collect();
+    let cluster = durable_cluster(&disks, DurableConfig::default());
+    for i in 0..3 {
+        assert_eq!(cluster.node_incarnation(i), 0, "first life of node {i}");
+    }
+
+    // Local writes, a remote write, and a cross-node read, so the logs
+    // hold certified writes from both the owner and the requester path.
+    cluster.handle(0).write(loc(0), Word::Int(10)).unwrap();
+    cluster.handle(1).write(loc(1), Word::Int(11)).unwrap();
+    cluster.handle(0).write(loc(2), Word::Int(12)).unwrap();
+    assert_eq!(cluster.handle(2).read(loc(0)).unwrap(), Word::Int(10));
+    cluster.shutdown();
+
+    // Second life: same disks, fresh everything else.
+    let cluster = durable_cluster(&disks, DurableConfig::default());
+    for i in 0..3 {
+        assert_eq!(cluster.node_incarnation(i), 1, "rebooted life of node {i}");
+    }
+    // Every certified write is served again — by its recovered owner,
+    // to a node whose cache is cold by construction.
+    assert_eq!(cluster.handle(1).read(loc(0)).unwrap(), Word::Int(10));
+    assert_eq!(cluster.handle(2).read(loc(1)).unwrap(), Word::Int(11));
+    assert_eq!(cluster.handle(1).read(loc(2)).unwrap(), Word::Int(12));
+    // And the recovered state is live, not a read-only fossil.
+    cluster.handle(2).write(loc(0), Word::Int(20)).unwrap();
+    assert_eq!(cluster.handle(0).read(loc(0)).unwrap(), Word::Int(20));
+    cluster.shutdown();
+}
+
+#[test]
+fn restart_after_checkpoint_compaction_recovers_the_same_state() {
+    // A checkpoint interval small enough that the write loop compacts
+    // several times: recovery then replays a checkpoint image plus a
+    // log tail rather than the full history.
+    let cfg = DurableConfig {
+        sync: SyncPolicy::EveryOp,
+        checkpoint_every: 8,
+    };
+    let disks: Vec<MemDisk> = (0..2).map(|_| MemDisk::new()).collect();
+    let cluster = durable_cluster(&disks, cfg);
+    for round in 0..16i64 {
+        for l in 0..4u32 {
+            let writer = cluster.handle(u32::from(l % 2 == 0));
+            writer.write(loc(l), Word::Int(round * 10 + i64::from(l))).unwrap();
+        }
+    }
+    cluster.shutdown();
+    let compacted = disks.iter().map(MemDisk::log_len).sum::<usize>();
+
+    let cluster = durable_cluster(&disks, cfg);
+    for l in 0..4u32 {
+        assert_eq!(
+            cluster.handle(1).read(loc(l)).unwrap(),
+            Word::Int(150 + i64::from(l)),
+            "location {l} after compacted recovery"
+        );
+    }
+    cluster.shutdown();
+
+    // The log really was compacted: its surviving length is far below
+    // what 64 certified writes plus page installs would occupy raw.
+    let raw = 64 * 64; // coarse lower bound per uncompacted write frame
+    assert!(
+        compacted < raw,
+        "no compaction happened: {compacted} bytes on disk"
+    );
+}

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use causal_dsm::{
-    owner_at, CausalCluster, CausalConfig, CausalState, FailoverConfig, Msg, ReadStep, WriteDone,
-    WriteStep,
+    owner_at, CausalCluster, CausalConfig, CausalState, DurableConfig, FailoverConfig, Msg,
+    ReadStep, WriteDone, WriteStep,
 };
 use memcore::{kinds, Location, MemoryError, NodeId, OwnerEpoch, PageId, SharedMemory, Word};
 use simnet::{FaultHook, SendFate};
@@ -288,6 +288,97 @@ fn recovered_ex_owner_serves_cache_only() {
         }
         other => panic!("expected NACK from ex-owner, got {other:?}"),
     }
+}
+
+#[test]
+fn durably_recovered_ex_owner_reconciles_via_nack_without_double_serving() {
+    // Recovery × failover: the ex-owner restarts *from disk* while its
+    // epoch already migrated. Its WAL faithfully says "I own page 0 at
+    // epoch 0", so the recovered life boots still believing it — the
+    // migration happened while it was dark and the log can't know. The
+    // first request stamped at the new epoch must re-educate it through
+    // the ordinary max-merge + NACK/redirect path; at no point may it
+    // certify under the superseded epoch again (double-serving would
+    // fork the page's history across epochs).
+    let config = CausalConfig::<Word>::builder(3, 6)
+        .failover(FailoverConfig::default())
+        .durability(DurableConfig::default())
+        .build();
+    let mut s: Vec<CausalState<Word>> =
+        (0..3).map(|i| CausalState::new(n(i), config.clone())).collect();
+    let page = PageId::new(0);
+
+    // Node 0 certifies a local write; its journal — boot watermark plus
+    // the write — is exactly what a WAL-backed engine would have synced
+    // before acknowledging.
+    assert!(matches!(
+        s[0].begin_write(loc(0), Word::Int(41)),
+        WriteStep::Done { .. }
+    ));
+    let log = s[0].take_journal();
+
+    // It crashes. The survivors migrate the page to the successor, and
+    // the new owner certifies a write of its own at epoch 1.
+    let epochs = s[2].suspect(n(0));
+    s[1].absorb_suspect(n(0), &epochs);
+    let step = s[2].begin_write_shared(loc(0), Arc::new(Word::Int(42)));
+    let (wid, request) = match step {
+        WriteStep::Remote { wid, request, .. } => (wid, request),
+        WriteStep::Done { .. } => panic!("remote page wrote locally"),
+    };
+    let op = s[2].next_op_id();
+    let epoch = s[2].epoch_of(page);
+    let inner = match s[1].serve_stamped(n(2), epoch, op, request) {
+        Some(Msg::Stamped { inner, .. }) => *inner,
+        other => panic!("expected stamped write reply, got {other:?}"),
+    };
+    assert_eq!(
+        s[2].finish_write(Arc::new(Word::Int(42)), wid, inner),
+        WriteDone::Applied { wid }
+    );
+
+    // The ex-owner replays its log and rejoins at a bumped incarnation.
+    // Nothing in the log mentions the migration: it recovers its
+    // certified state and (wrongly, but unavoidably) its ownership.
+    let mut back = CausalState::recover(n(0), config.clone(), log, 1);
+    assert_eq!(back.incarnation(), 1);
+    assert!(back.owns(loc(0)));
+    assert_eq!(*back.read_hit(loc(0)).unwrap().0, Word::Int(41));
+
+    // A current client's request carries epoch 1. The recovered node
+    // max-merges, discovers the page rotated away from it, and NACKs
+    // with a redirect to the live owner — it must NOT serve its stale
+    // epoch-0 image as if it were still authoritative.
+    let op = s[2].next_op_id();
+    let reply = back.serve_stamped(n(2), s[2].epoch_of(page), op, Msg::Read { page });
+    match reply {
+        Some(Msg::Nack {
+            redirect, epoch, ..
+        }) => {
+            assert_eq!(redirect, n(1));
+            assert_eq!(epoch, OwnerEpoch::new(1));
+        }
+        other => panic!("expected NACK from recovered ex-owner, got {other:?}"),
+    }
+    assert!(!back.owns(loc(0)), "the NACK must also re-educate the server");
+
+    // Once educated, even a straggler still stamping the old epoch is
+    // refused: certification authority never returns to the old life.
+    // (The request body is epoch-agnostic; the stamp carries the claim.)
+    let step = s[2].begin_write_shared(loc(0), Arc::new(Word::Int(43)));
+    let stale_write = match step {
+        WriteStep::Remote { request, .. } => request,
+        WriteStep::Done { .. } => panic!("remote page wrote locally"),
+    };
+    let reply = back.serve_stamped(n(2), OwnerEpoch::ZERO, 99, stale_write);
+    assert!(
+        matches!(reply, Some(Msg::Nack { .. })),
+        "ex-owner certified a write under a superseded epoch: {reply:?}"
+    );
+
+    // Its cached copy is still causally valid for *local* reads — the
+    // same cache-only service the non-durable recovery test pins.
+    assert_eq!(*back.read_hit(loc(0)).unwrap().0, Word::Int(41));
 }
 
 #[test]

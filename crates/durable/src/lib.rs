@@ -1,0 +1,58 @@
+//! # dsm-durable — write-ahead logging and crash recovery
+//!
+//! The paper's protocol assumes processes either run forever or
+//! fail-stop; `causal-dsm`'s failover layer (PR 4) honors exactly that —
+//! a crashed owner's certified state is gone and a restarted process
+//! rejoins cache-only. This crate supplies the stronger model:
+//! **detectable recoverability**, where a restarted process replays
+//! persisted state deterministically and rejoins as a full peer.
+//!
+//! The pieces, bottom to top:
+//!
+//! * [`crc32`] — the IEEE CRC-32 used to frame every log record, so a
+//!   torn or corrupted tail is *detected* rather than replayed.
+//! * [`WalRecord`] — the record vocabulary: certified writes,
+//!   origin-clock page installs, owner-epoch advances, interest-set
+//!   changes, and node watermarks (clock / write-sequence /
+//!   incarnation frontiers). Records reuse the workspace's
+//!   exact-`encoded_len` [`Wire`](simnet::codec::Wire) codec.
+//! * [`Disk`] — the tiny storage abstraction a [`Store`] writes
+//!   through: [`DirDisk`] (two files in a directory, `fsync` +
+//!   atomic-rename checkpointing) for real processes, [`MemDisk`] (a
+//!   shared in-memory "disk" with an explicit synced watermark and a
+//!   seeded crash operator) for deterministic simulation.
+//! * [`Store`] — the write-ahead log proper: CRC-framed appends, a
+//!   tunable [`SyncPolicy`] (`None` / `Interval(n)` / `EveryOp`), and
+//!   periodic checkpoint + log compaction. [`Store::open`] replays
+//!   checkpoint + log tail into a [`Recovered`] record stream for the
+//!   protocol layer (`causal-dsm`) to rebuild page images, origin
+//!   clocks, and the owner-epoch table from.
+//!
+//! What this crate deliberately does **not** know: the causal-memory
+//! state machine. Replaying a [`Recovered`] stream into protocol state
+//! lives in `causal-dsm` (`CausalState::recover`), keeping the
+//! dependency arrow pointing one way.
+//!
+//! ## Torn tails
+//!
+//! A record is only recovered if its length header, CRC, and payload
+//! decode all agree; recovery stops at the first frame that fails any
+//! of those checks. A write whose record was torn by the crash was, by
+//! construction, never certified (the protocol syncs *before* replying)
+//! — so stopping at the tear can never lose a certified write under
+//! [`SyncPolicy::EveryOp`]. Weaker policies trade exactly this
+//! guarantee for fewer `fsync`s; `docs/FAULTS.md` §5 spells out the
+//! trade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod disk;
+mod record;
+mod store;
+
+pub use crc::crc32;
+pub use disk::{DirDisk, Disk, DiskImage, MemDisk};
+pub use record::{decode_stream, frame_records, WalRecord, MAX_RECORD_LEN};
+pub use store::{DurableConfig, Recovered, Store, SyncPolicy};

@@ -1,0 +1,122 @@
+//! Torn-write handling, exhaustively: a log truncated at *every* byte
+//! offset — and corrupted by a bit-flip at every byte offset — must
+//! recover without panicking, recover exactly the frames that survived
+//! intact, and never resurrect a record past the tear.
+//!
+//! The durability contract this pins down: under `every_op` sync a
+//! write is certified only after its frame is fully synced, so a record
+//! that recovery drops at the tear was by construction never certified
+//! — "recovery never resurrects an uncertified write" is exactly
+//! "recovery returns a prefix of the fully-contained frames".
+
+use std::sync::Arc;
+
+use dsm_durable::{decode_stream, frame_records, Disk, DurableConfig, MemDisk, Store, WalRecord};
+use memcore::{Location, NodeId, PageId, Word, WriteId};
+use vclock::VectorClock;
+
+/// A mixed record stream touching every WAL record kind.
+fn sample_records() -> Vec<WalRecord<Word>> {
+    let mut records = Vec::new();
+    let mut vt = VectorClock::new(3);
+    records.push(WalRecord::Node {
+        vt: vt.clone(),
+        write_seq: 0,
+        incarnation: 0,
+    });
+    for seq in 0..6u64 {
+        vt.increment(0);
+        records.push(WalRecord::Write {
+            loc: Location::new((seq % 4) as u32),
+            value: Arc::new(Word::Int(seq as i64 * 11)),
+            wid: WriteId::new(NodeId::new(0), seq),
+            origin: vt.clone(),
+            node_vt: vt.clone(),
+            applied: seq % 3 != 2,
+        });
+    }
+    records.push(WalRecord::Epoch {
+        page: PageId::new(1),
+        epoch: memcore::OwnerEpoch::new(1),
+    });
+    records.push(WalRecord::Interest {
+        page: PageId::new(0),
+        node: NodeId::new(1),
+        registered: true,
+    });
+    records.push(WalRecord::PageInstall {
+        page: PageId::new(0),
+        vt: vt.clone(),
+        slots: vec![
+            (Arc::new(Word::Int(7)), WriteId::new(NodeId::new(0), 3)),
+            (Arc::new(Word::Int(0)), WriteId::initial(Location::new(1))),
+        ],
+        origins: vec![vt.clone(), VectorClock::new(3)],
+        shadow: false,
+    });
+    records
+}
+
+/// Byte offsets at which each frame ends (frame boundaries), so the
+/// expected recovery at any truncation point is computable exactly.
+fn frame_boundaries(records: &[WalRecord<Word>]) -> Vec<usize> {
+    let mut ends = Vec::with_capacity(records.len());
+    let mut total = 0;
+    for r in records {
+        total += frame_records(std::slice::from_ref(r)).len();
+        ends.push(total);
+    }
+    ends
+}
+
+#[test]
+fn truncation_at_every_offset_recovers_exactly_the_intact_prefix() {
+    let records = sample_records();
+    let bytes = frame_records(&records);
+    let ends = frame_boundaries(&records);
+    assert_eq!(*ends.last().unwrap(), bytes.len(), "framing is per-record");
+    for cut in 0..=bytes.len() {
+        let (got, consumed) = decode_stream::<Word>(&bytes[..cut]);
+        // Exactly the frames fully contained before the cut — never a
+        // record whose frame the tear bisected, never one past it.
+        let intact = ends.iter().filter(|&&e| e <= cut).count();
+        assert_eq!(got, records[..intact], "cut at {cut}");
+        assert_eq!(consumed, ends[..intact].last().copied().unwrap_or(0));
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_reopens_through_the_store() {
+    let records = sample_records();
+    let bytes = frame_records(&records);
+    let ends = frame_boundaries(&records);
+    for cut in 0..=bytes.len() {
+        // Prime a disk with the torn log exactly as a crash would leave
+        // it, and run the full open path.
+        let mut disk = MemDisk::new();
+        Disk::append(&mut disk, &bytes[..cut]);
+        Disk::sync(&mut disk);
+        let (_, rec) = Store::<Word>::open(Box::new(disk), DurableConfig::default());
+        let intact = ends.iter().filter(|&&e| e <= cut).count();
+        assert_eq!(rec.records, records[..intact], "cut at {cut}");
+        // The incarnation watermark survives iff its Node frame did.
+        assert_eq!(rec.incarnation, (intact >= 1).then_some(0));
+    }
+}
+
+#[test]
+fn bit_flip_at_every_offset_never_panics_and_never_invents_records() {
+    let records = sample_records();
+    let bytes = frame_records(&records);
+    for pos in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x10;
+        let (got, consumed) = decode_stream::<Word>(&corrupt);
+        assert!(consumed <= corrupt.len());
+        // CRC framing turns any single-bit corruption into a clean stop:
+        // everything recovered is an untouched prefix of what was
+        // appended — corrupted or fabricated records never replay.
+        assert!(got.len() <= records.len(), "flip at {pos}");
+        assert_eq!(got[..], records[..got.len()], "flip at {pos}");
+    }
+}

@@ -1,0 +1,47 @@
+//! CI smoke batch for the durability layer: fixed-seed restart-with-disk
+//! chaos runs. Each run crashes a durable owner at a seeded WAL offset
+//! (including mid-record torn tails), restarts it against the surviving
+//! bytes, and checks the extended oracle: termination, causality,
+//! incarnation bump, and — under `every_op` sync — that no certified
+//! write was lost at the recovery instant. A smaller second batch runs
+//! the same scenario under `interval(4)` sync, checking the liveness
+//! half only.
+//!
+//! Exits nonzero on any failure, printing the reproducing seed and plan.
+//!
+//! ```text
+//! cargo run -p dsm-faults --bin recovery-smoke [runs] [liveness_runs]
+//! ```
+
+use dsm_faults::{
+    run_recovery_chaos_batch, run_recovery_liveness_once, sample_recovery_config, ChaosConfig,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: usize = args
+        .next()
+        .map(|a| a.parse().expect("runs must be a number"))
+        .unwrap_or(100);
+    let liveness_runs: usize = args
+        .next()
+        .map(|a| a.parse().expect("liveness_runs must be a number"))
+        .unwrap_or(10);
+    let cfg = ChaosConfig::default();
+    let batch = run_recovery_chaos_batch(0, runs, &cfg);
+    print!("recovery {batch}");
+    let mut liveness_failures = 0usize;
+    for seed in 0..liveness_runs as u64 {
+        let outcome = run_recovery_liveness_once(seed, &sample_recovery_config(&cfg, seed));
+        if !outcome.ok() {
+            liveness_failures += 1;
+            print!("{outcome}");
+        }
+    }
+    println!(
+        "recovery-liveness: {liveness_runs} runs, {liveness_failures} failures (interval sync)"
+    );
+    if !batch.all_ok() || liveness_failures > 0 {
+        std::process::exit(1);
+    }
+}

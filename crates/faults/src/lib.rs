@@ -19,7 +19,13 @@
 //! * [`chaos`] — [`run_chaos_batch`]: random workloads under random
 //!   plans in the deterministic simulator, every execution fed to
 //!   [`causal_spec::check_causal`], failures reported with their
-//!   reproducing seed and plan.
+//!   reproducing seed and plan;
+//! * [`recovery`] — [`run_recovery_chaos_batch`]: restart-with-disk
+//!   chaos for the durability layer — a [`DurableActor`] journals into
+//!   a write-ahead log, crashes at an injected WAL offset (including
+//!   mid-record tears), recovers from the surviving bytes, and rejoins
+//!   under a bumped session incarnation; the extended oracle asserts no
+//!   certified write is lost under `every_op` sync.
 //!
 //! # Examples
 //!
@@ -38,6 +44,7 @@
 pub mod chaos;
 pub mod injector;
 pub mod plan;
+pub mod recovery;
 pub mod session;
 
 pub use chaos::{
@@ -45,5 +52,9 @@ pub use chaos::{
     sample_owner_crash_config, ChaosBatch, ChaosConfig, ChaosOutcome,
 };
 pub use injector::FaultInjector;
+pub use recovery::{
+    recovery_crash_plan, run_recovery_chaos_batch, run_recovery_chaos_once,
+    run_recovery_liveness_once, sample_recovery_config, DurableActor,
+};
 pub use plan::{Crash, FaultPlan, LinkFaults, Partition};
 pub use session::{session_causal_sim, ReliableLink, SessionActor, SessionMsg, SessionStats};

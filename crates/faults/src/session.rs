@@ -34,6 +34,15 @@ use simnet::codec::{CodecError, Wire};
 use simnet::Tagged;
 
 /// A session-layer frame wrapping the protocol's own message type `M`.
+///
+/// Sequenced frames are **incarnation-stamped**: `src_inc` is the
+/// sender's current incarnation (0 for a first life, bumped by every
+/// durable recovery), `dst_inc` the receiver's incarnation as the sender
+/// last learned it. The stamps fence a crashed life's traffic — a frame
+/// from or to a dead incarnation is dropped instead of corrupting the
+/// survivor's sequence space — and are how a recovered node is
+/// fast-forwarded by retransmission instead of re-educated via SUSPECT
+/// (see [`SessionMsg::Hello`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum SessionMsg<M> {
     /// A (possibly retransmitted) payload with its per-link sequence
@@ -44,6 +53,10 @@ pub enum SessionMsg<M> {
         /// `true` iff this is a retransmission (counted as
         /// [`kinds::RETX`] instead of the payload's own kind).
         retx: bool,
+        /// The sender's incarnation.
+        src_inc: u32,
+        /// The receiver's incarnation, as known to the sender.
+        dst_inc: u32,
         /// The protocol message being carried.
         payload: M,
     },
@@ -52,6 +65,10 @@ pub enum SessionMsg<M> {
     Ack {
         /// The next sequence number the receiver expects.
         cum: u64,
+        /// The sender's incarnation.
+        src_inc: u32,
+        /// The receiver's incarnation, as known to the sender.
+        dst_inc: u32,
     },
     /// An unsequenced, unacknowledged datagram. Used for liveness probes
     /// ([`kinds::HEARTBEAT`]): a lost heartbeat is superseded by the next
@@ -60,6 +77,17 @@ pub enum SessionMsg<M> {
     /// bound. Delivered to the protocol as-is — no dedup, no reordering
     /// repair — which heartbeats tolerate by construction.
     Raw(M),
+    /// An incarnation announcement. Broadcast by a restarted node so
+    /// peers rebase their sequence spaces toward it, and sent as the
+    /// reply to any frame stamped with a stale `dst_inc` — which makes
+    /// the retransmit/re-ack loop itself carry the news: a peer that
+    /// missed the broadcast keeps retransmitting, each retransmission
+    /// draws a `Hello`, and the first one to arrive resynchronizes the
+    /// link. Unsequenced and never retransmitted.
+    Hello {
+        /// The announcer's current incarnation.
+        inc: u32,
+    },
 }
 
 impl<M: Tagged> Tagged for SessionMsg<M> {
@@ -75,15 +103,18 @@ impl<M: Tagged> Tagged for SessionMsg<M> {
             SessionMsg::Data { retx: true, .. } => kinds::RETX,
             SessionMsg::Ack { .. } => kinds::ACK,
             SessionMsg::Raw(payload) => payload.kind(),
+            SessionMsg::Hello { .. } => kinds::HELLO,
         }
     }
 
     fn wire_size(&self) -> Option<usize> {
-        // seq (8) + flag (1), or cum (8) + tag (1), or tag (1).
+        // seq (8) + flag (1) + incarnations (4 + 4), or cum (8) + tag (1)
+        // + incarnations, or tag (1), or inc (4) + tag (1).
         match self {
-            SessionMsg::Data { payload, .. } => payload.wire_size().map(|s| s + 9),
-            SessionMsg::Ack { .. } => Some(9),
+            SessionMsg::Data { payload, .. } => payload.wire_size().map(|s| s + 17),
+            SessionMsg::Ack { .. } => Some(17),
             SessionMsg::Raw(payload) => payload.wire_size().map(|s| s + 1),
+            SessionMsg::Hello { .. } => Some(5),
         }
     }
 
@@ -105,19 +136,37 @@ impl<M: Tagged> Tagged for SessionMsg<M> {
 impl<M: Wire> Wire for SessionMsg<M> {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            SessionMsg::Data { seq, retx, payload } => {
+            SessionMsg::Data {
+                seq,
+                retx,
+                src_inc,
+                dst_inc,
+                payload,
+            } => {
                 buf.put_u8(0);
                 seq.encode(buf);
                 retx.encode(buf);
+                src_inc.encode(buf);
+                dst_inc.encode(buf);
                 payload.encode(buf);
             }
-            SessionMsg::Ack { cum } => {
+            SessionMsg::Ack {
+                cum,
+                src_inc,
+                dst_inc,
+            } => {
                 buf.put_u8(1);
                 cum.encode(buf);
+                src_inc.encode(buf);
+                dst_inc.encode(buf);
             }
             SessionMsg::Raw(payload) => {
                 buf.put_u8(2);
                 payload.encode(buf);
+            }
+            SessionMsg::Hello { inc } => {
+                buf.put_u8(3);
+                inc.encode(buf);
             }
         }
     }
@@ -127,21 +176,29 @@ impl<M: Wire> Wire for SessionMsg<M> {
             0 => Ok(SessionMsg::Data {
                 seq: u64::decode(buf)?,
                 retx: bool::decode(buf)?,
+                src_inc: u32::decode(buf)?,
+                dst_inc: u32::decode(buf)?,
                 payload: M::decode(buf)?,
             }),
             1 => Ok(SessionMsg::Ack {
                 cum: u64::decode(buf)?,
+                src_inc: u32::decode(buf)?,
+                dst_inc: u32::decode(buf)?,
             }),
             2 => Ok(SessionMsg::Raw(M::decode(buf)?)),
+            3 => Ok(SessionMsg::Hello {
+                inc: u32::decode(buf)?,
+            }),
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
 
     fn encoded_len(&self) -> usize {
         match self {
-            SessionMsg::Data { payload, .. } => 1 + 8 + 1 + payload.encoded_len(),
-            SessionMsg::Ack { .. } => 1 + 8,
+            SessionMsg::Data { payload, .. } => 1 + 8 + 1 + 4 + 4 + payload.encoded_len(),
+            SessionMsg::Ack { .. } => 1 + 8 + 4 + 4,
             SessionMsg::Raw(payload) => 1 + payload.encoded_len(),
+            SessionMsg::Hello { .. } => 1 + 4,
         }
     }
 }
@@ -195,6 +252,12 @@ impl<M> Default for RxPeer<M> {
 #[derive(Clone, Debug)]
 pub struct ReliableLink<M> {
     rto: u64,
+    /// This endpoint's incarnation (0 for a first life; a durable
+    /// recovery constructs the link with the bumped number).
+    inc: u32,
+    /// Each peer's incarnation, as last learned. Absent means "never
+    /// heard": the first stamped frame's `src_inc` is adopted as-is.
+    peer_inc: HashMap<u32, u32>,
     tx: HashMap<u32, TxPeer<M>>,
     rx: HashMap<u32, RxPeer<M>>,
     /// When the retransmission timer should next fire; `None` while
@@ -212,9 +275,25 @@ impl<M: Clone> ReliableLink<M> {
     /// Panics if `rto` is zero.
     #[must_use]
     pub fn new(rto: u64) -> Self {
+        Self::with_incarnation(rto, 0)
+    }
+
+    /// A fresh session endpoint running as incarnation `inc` — what a
+    /// node recovering from its write-ahead log constructs (the WAL
+    /// records which incarnations existed; the new life runs one past
+    /// the persisted maximum, fencing every frame its predecessor left
+    /// in flight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rto` is zero.
+    #[must_use]
+    pub fn with_incarnation(rto: u64, inc: u32) -> Self {
         assert!(rto > 0, "retransmission timeout must be positive");
         ReliableLink {
             rto,
+            inc,
+            peer_inc: HashMap::new(),
             tx: HashMap::new(),
             rx: HashMap::new(),
             deadline: None,
@@ -222,9 +301,24 @@ impl<M: Clone> ReliableLink<M> {
         }
     }
 
+    /// This endpoint's incarnation.
+    #[must_use]
+    pub fn incarnation(&self) -> u32 {
+        self.inc
+    }
+
+    /// The [`SessionMsg::Hello`] announcing this endpoint's incarnation.
+    /// A restarted node broadcasts it to every peer; lost copies are
+    /// compensated by the stale-`dst_inc` reply path.
+    #[must_use]
+    pub fn hello(&self) -> SessionMsg<M> {
+        SessionMsg::Hello { inc: self.inc }
+    }
+
     /// Wraps `payload` for transmission to `dst`, assigning the link's
     /// next sequence number and arming the retransmission timer.
     pub fn send(&mut self, now: u64, dst: NodeId, payload: M) -> SessionMsg<M> {
+        let dst_inc = self.known_inc(dst.index() as u32);
         let peer = self.tx.entry(dst.index() as u32).or_default();
         let seq = peer.next_seq;
         peer.next_seq += 1;
@@ -235,8 +329,58 @@ impl<M: Clone> ReliableLink<M> {
         SessionMsg::Data {
             seq,
             retx: false,
+            src_inc: self.inc,
+            dst_inc,
             payload,
         }
+    }
+
+    /// The incarnation this endpoint believes `peer` runs as (0 until a
+    /// stamped frame or Hello says otherwise — first lives are 0, so the
+    /// default is right for peers that never crashed).
+    fn known_inc(&self, peer: u32) -> u32 {
+        self.peer_inc.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Absorbs an incarnation claim from `peer`. A *newer* incarnation
+    /// means the peer crashed and restarted: its rx state is gone, so
+    /// every unacked frame we hold is resequenced from 0 (in order) and
+    /// returned for immediate retransmission — the recovered peer is
+    /// fast-forwarded by the retransmission window instead of waiting to
+    /// be re-educated through SUSPECT/failover. Our rx state for the
+    /// peer resets too (its old sequence space is dead). Returns `None`
+    /// if the claim was stale or already known.
+    fn adopt_inc(&mut self, now: u64, peer: u32, claimed: u32) -> Option<Vec<SessionMsg<M>>> {
+        match self.peer_inc.get(&peer) {
+            Some(&known) if claimed <= known => return None,
+            // First contact: adopt the claim without touching state —
+            // there is no stale sequence space to fence.
+            None => {
+                self.peer_inc.insert(peer, claimed);
+                return None;
+            }
+            Some(_) => {}
+        }
+        self.peer_inc.insert(peer, claimed);
+        self.rx.remove(&peer);
+        let mut rebased = Vec::new();
+        if let Some(tx) = self.tx.get_mut(&peer) {
+            let old = std::mem::take(&mut tx.unacked);
+            tx.next_seq = old.len() as u64;
+            for (new_seq, (_, (_, payload))) in old.into_iter().enumerate() {
+                rebased.push(SessionMsg::Data {
+                    seq: new_seq as u64,
+                    retx: true,
+                    src_inc: self.inc,
+                    dst_inc: claimed,
+                    payload: payload.clone(),
+                });
+                tx.unacked.insert(new_seq as u64, (now, payload));
+            }
+        }
+        self.stats.retransmits += rebased.len() as u64;
+        self.recompute_deadline();
+        Some(rebased)
     }
 
     /// Processes an incoming frame from `from`.
@@ -246,13 +390,58 @@ impl<M: Clone> ReliableLink<M> {
     /// per-link sequence order, each exactly once.
     pub fn on_receive(
         &mut self,
-        _now: u64,
+        now: u64,
         from: NodeId,
         msg: SessionMsg<M>,
     ) -> (Vec<SessionMsg<M>>, Vec<M>) {
+        let f = from.index() as u32;
+        // Incarnation fencing happens before any sequence-space state is
+        // touched: a frame from a dead life must not perturb the live
+        // link, and a frame *to* a dead life of ours proves the sender
+        // has not heard about our restart yet.
+        let (src_inc, dst_inc) = match &msg {
+            SessionMsg::Data {
+                src_inc, dst_inc, ..
+            }
+            | SessionMsg::Ack {
+                src_inc, dst_inc, ..
+            } => (*src_inc, *dst_inc),
+            SessionMsg::Raw(_) => {
+                let SessionMsg::Raw(payload) = msg else {
+                    unreachable!()
+                };
+                // Datagrams carry no session state: release immediately.
+                return (Vec::new(), vec![payload]);
+            }
+            SessionMsg::Hello { inc } => {
+                // A newer incarnation rebases the link toward the
+                // announcer; anything else is a duplicate announcement.
+                let rebased = self.adopt_inc(now, f, *inc).unwrap_or_default();
+                return (rebased, Vec::new());
+            }
+        };
+        let mut replies = Vec::new();
+        if src_inc < self.known_inc(f) {
+            // A dead life's leftover: drop silently (its ack would only
+            // confuse the old sequence space).
+            return (replies, Vec::new());
+        }
+        if let Some(rebased) = self.adopt_inc(now, f, src_inc) {
+            // The peer restarted: the frame itself is from the new life
+            // and processes below, against the freshly reset state.
+            replies.extend(rebased);
+        }
+        if dst_inc != self.inc {
+            // Addressed to a dead life of ours — its sequence numbers
+            // mean nothing here. Tell the sender who we are now; their
+            // retransmission loop re-drives the payload with fresh
+            // stamps.
+            replies.push(SessionMsg::Hello { inc: self.inc });
+            return (replies, Vec::new());
+        }
         match msg {
             SessionMsg::Data { seq, payload, .. } => {
-                let peer = self.rx.entry(from.index() as u32).or_default();
+                let peer = self.rx.entry(f).or_default();
                 let mut delivered = Vec::new();
                 if seq < peer.next_expected || peer.buffer.contains_key(&seq) {
                     // Already delivered or already buffered: suppress, but
@@ -267,17 +456,21 @@ impl<M: Clone> ReliableLink<M> {
                 }
                 let cum = peer.next_expected;
                 self.stats.acks_sent += 1;
-                (vec![SessionMsg::Ack { cum }], delivered)
+                replies.push(SessionMsg::Ack {
+                    cum,
+                    src_inc: self.inc,
+                    dst_inc: src_inc,
+                });
+                (replies, delivered)
             }
-            SessionMsg::Ack { cum } => {
-                if let Some(peer) = self.tx.get_mut(&(from.index() as u32)) {
+            SessionMsg::Ack { cum, .. } => {
+                if let Some(peer) = self.tx.get_mut(&f) {
                     peer.unacked = peer.unacked.split_off(&cum);
                 }
                 self.recompute_deadline();
-                (Vec::new(), Vec::new())
+                (replies, Vec::new())
             }
-            // Datagrams carry no session state: release immediately.
-            SessionMsg::Raw(payload) => (Vec::new(), vec![payload]),
+            SessionMsg::Raw(_) | SessionMsg::Hello { .. } => unreachable!("handled above"),
         }
     }
 
@@ -293,6 +486,7 @@ impl<M: Clone> ReliableLink<M> {
         let mut peers: Vec<u32> = self.tx.keys().copied().collect();
         peers.sort_unstable(); // deterministic iteration order
         for p in peers {
+            let dst_inc = self.peer_inc.get(&p).copied().unwrap_or(0);
             let peer = self.tx.get_mut(&p).expect("key from iteration");
             for (&seq, entry) in peer.unacked.iter_mut() {
                 if entry.0 + rto <= now {
@@ -302,6 +496,8 @@ impl<M: Clone> ReliableLink<M> {
                         SessionMsg::Data {
                             seq,
                             retx: true,
+                            src_inc: self.inc,
+                            dst_inc,
                             payload: entry.1.clone(),
                         },
                     ));
@@ -322,6 +518,8 @@ impl<M: Clone> ReliableLink<M> {
     /// the old socket's buffers, so it replays the whole unacked window
     /// and lets the receiver's duplicate suppression sort it out.
     pub fn retransmit_to(&mut self, now: u64, dst: NodeId) -> Vec<SessionMsg<M>> {
+        let dst_inc = self.known_inc(dst.index() as u32);
+        let src_inc = self.inc;
         let Some(peer) = self.tx.get_mut(&(dst.index() as u32)) else {
             return Vec::new();
         };
@@ -331,6 +529,8 @@ impl<M: Clone> ReliableLink<M> {
             out.push(SessionMsg::Data {
                 seq,
                 retx: true,
+                src_inc,
+                dst_inc,
                 payload: entry.1.clone(),
             });
         }
@@ -391,18 +591,45 @@ impl<V: Value, A: Actor<V>> SessionActor<V, A> {
     /// Panics if `rto` is zero.
     #[must_use]
     pub fn new(inner: A, rto: u64) -> Self {
+        Self::with_incarnation(inner, rto, 0)
+    }
+
+    /// Wraps `inner` with a session endpoint running as incarnation
+    /// `inc` — the constructor a durable recovery uses, so the new
+    /// life's frames fence its predecessor's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rto` is zero.
+    #[must_use]
+    pub fn with_incarnation(inner: A, rto: u64, inc: u32) -> Self {
         SessionActor {
             inner,
-            link: ReliableLink::new(rto),
+            link: ReliableLink::with_incarnation(rto, inc),
             now: 0,
             _marker: PhantomData,
         }
+    }
+
+    /// The [`SessionMsg::Hello`] announcing this endpoint's incarnation
+    /// (see [`ReliableLink::hello`]).
+    #[must_use]
+    pub fn hello(&self) -> SessionMsg<A::Msg> {
+        self.link.hello()
     }
 
     /// The wrapped protocol actor (inspection).
     #[must_use]
     pub fn inner(&self) -> &A {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped protocol actor — what a durability
+    /// wrapper needs to drain the protocol state's journal after each
+    /// event.
+    #[must_use]
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
     }
 
     /// The session endpoint's counters.
@@ -580,13 +807,35 @@ mod tests {
         let m1 = tx.send(0, n(1), P(1));
         let (acks, got) = rx.on_receive(1, n(0), m0);
         assert_eq!(got, vec![P(0)]);
-        assert_eq!(acks, vec![SessionMsg::Ack { cum: 1 }]);
+        assert_eq!(
+            acks,
+            vec![SessionMsg::Ack {
+                cum: 1,
+                src_inc: 0,
+                dst_inc: 0,
+            }]
+        );
         let (acks, got) = rx.on_receive(2, n(0), m1);
         assert_eq!(got, vec![P(1)]);
-        assert_eq!(acks, vec![SessionMsg::Ack { cum: 2 }]);
+        assert_eq!(
+            acks,
+            vec![SessionMsg::Ack {
+                cum: 2,
+                src_inc: 0,
+                dst_inc: 0,
+            }]
+        );
         // Acks drain the sender's unacked set and disarm the timer.
         assert_eq!(tx.unacked(), 2);
-        tx.on_receive(3, n(1), SessionMsg::Ack { cum: 2 });
+        tx.on_receive(
+            3,
+            n(1),
+            SessionMsg::Ack {
+                cum: 2,
+                src_inc: 0,
+                dst_inc: 0,
+            },
+        );
         assert_eq!(tx.unacked(), 0);
         assert_eq!(tx.next_timer(), None);
     }
@@ -601,12 +850,26 @@ mod tests {
         // Arrivals: 2, 0, 1 — released: [], [0], [1, 2].
         let (acks, got) = rx.on_receive(1, n(0), m2);
         assert!(got.is_empty());
-        assert_eq!(acks, vec![SessionMsg::Ack { cum: 0 }]);
+        assert_eq!(
+            acks,
+            vec![SessionMsg::Ack {
+                cum: 0,
+                src_inc: 0,
+                dst_inc: 0,
+            }]
+        );
         let (_, got) = rx.on_receive(2, n(0), m0);
         assert_eq!(got, vec![P(0)]);
         let (acks, got) = rx.on_receive(3, n(0), m1);
         assert_eq!(got, vec![P(1), P(2)]);
-        assert_eq!(acks, vec![SessionMsg::Ack { cum: 3 }]);
+        assert_eq!(
+            acks,
+            vec![SessionMsg::Ack {
+                cum: 3,
+                src_inc: 0,
+                dst_inc: 0,
+            }]
+        );
     }
 
     #[test]
@@ -618,7 +881,14 @@ mod tests {
         assert_eq!(got, vec![P(0)]);
         let (acks, got) = rx.on_receive(2, n(0), m0);
         assert!(got.is_empty());
-        assert_eq!(acks, vec![SessionMsg::Ack { cum: 1 }]);
+        assert_eq!(
+            acks,
+            vec![SessionMsg::Ack {
+                cum: 1,
+                src_inc: 0,
+                dst_inc: 0,
+            }]
+        );
         assert_eq!(rx.stats().duplicates_suppressed, 1);
     }
 
@@ -638,7 +908,15 @@ mod tests {
         assert_eq!(tx.next_timer(), Some(10)); // re-armed
         assert_eq!(tx.stats().retransmits, 2);
         // Partial ack: only peer 1's payload clears.
-        tx.on_receive(11, n(1), SessionMsg::Ack { cum: 1 });
+        tx.on_receive(
+            11,
+            n(1),
+            SessionMsg::Ack {
+                cum: 1,
+                src_inc: 0,
+                dst_inc: 0,
+            },
+        );
         assert_eq!(tx.unacked(), 1);
         assert!(tx.next_timer().is_some());
     }
@@ -678,23 +956,88 @@ mod tests {
     }
 
     #[test]
+    fn restart_rebases_the_window_and_fences_the_old_life() {
+        let mut a: ReliableLink<P> = ReliableLink::new(10);
+        let mut b: ReliableLink<P> = ReliableLink::new(10);
+        // A sends two frames; B delivers and acks the first, then
+        // crashes before seeing the second.
+        let m0 = a.send(0, n(1), P(0));
+        let m1 = a.send(0, n(1), P(1));
+        let (acks, got) = b.on_receive(1, n(0), m0);
+        assert_eq!(got, vec![P(0)]);
+        a.on_receive(1, n(1), acks[0].clone());
+        assert_eq!(a.unacked(), 1);
+        // B restarts as incarnation 1 (recovered from its WAL).
+        let mut b2: ReliableLink<P> = ReliableLink::with_incarnation(10, 1);
+        assert_eq!(b2.incarnation(), 1);
+        // Its Hello makes A rebase: the surviving unacked frame is
+        // resequenced from 0 and returned for immediate retransmission —
+        // the recovered node is fast-forwarded by the window.
+        let (rebased, got) = a.on_receive(2, n(1), b2.hello());
+        assert!(got.is_empty());
+        assert_eq!(rebased.len(), 1);
+        assert!(matches!(
+            rebased[0],
+            SessionMsg::Data {
+                seq: 0,
+                retx: true,
+                src_inc: 0,
+                dst_inc: 1,
+                ..
+            }
+        ));
+        let (_, got) = b2.on_receive(3, n(0), rebased[0].clone());
+        assert_eq!(got, vec![P(1)]);
+        // The old life's in-flight frame reaches the new life: dropped,
+        // answered with a Hello instead of corrupting the fresh space.
+        let (replies, got) = b2.on_receive(4, n(0), m1);
+        assert!(got.is_empty());
+        assert_eq!(replies, vec![SessionMsg::Hello { inc: 1 }]);
+        // And a dead life's ack reaching A is dropped silently.
+        let before = a.unacked();
+        let (replies, got) = a.on_receive(
+            5,
+            n(1),
+            SessionMsg::Ack {
+                cum: 99,
+                src_inc: 0,
+                dst_inc: 0,
+            },
+        );
+        assert!(replies.is_empty() && got.is_empty());
+        assert_eq!(a.unacked(), before);
+    }
+
+    #[test]
     fn session_kinds_separate_fresh_retx_and_acks() {
         let fresh = SessionMsg::Data {
             seq: 0,
             retx: false,
+            src_inc: 0,
+            dst_inc: 0,
             payload: P(1),
         };
         let again = SessionMsg::Data {
             seq: 0,
             retx: true,
+            src_inc: 0,
+            dst_inc: 0,
             payload: P(1),
         };
-        let ack: SessionMsg<P> = SessionMsg::Ack { cum: 1 };
+        let ack: SessionMsg<P> = SessionMsg::Ack {
+            cum: 1,
+            src_inc: 0,
+            dst_inc: 0,
+        };
+        let hello: SessionMsg<P> = SessionMsg::Hello { inc: 2 };
         assert_eq!(fresh.kind(), "P");
         assert_eq!(again.kind(), kinds::RETX);
         assert_eq!(ack.kind(), kinds::ACK);
-        assert_eq!(fresh.wire_size(), Some(13));
-        assert_eq!(ack.wire_size(), Some(9));
+        assert_eq!(hello.kind(), kinds::HELLO);
+        // Incarnation stamps cost 8 bytes per sequenced frame.
+        assert_eq!(fresh.wire_size(), Some(21));
+        assert_eq!(ack.wire_size(), Some(17));
+        assert_eq!(hello.wire_size(), Some(5));
     }
 
     #[test]
@@ -710,10 +1053,17 @@ mod tests {
         round_trip(SessionMsg::Data {
             seq: 42,
             retx: true,
+            src_inc: 3,
+            dst_inc: 1,
             payload: 7,
         });
-        round_trip(SessionMsg::Ack { cum: 9 });
+        round_trip(SessionMsg::Ack {
+            cum: 9,
+            src_inc: 2,
+            dst_inc: 0,
+        });
         round_trip(SessionMsg::Raw(3));
+        round_trip(SessionMsg::Hello { inc: 5 });
         let mut bad = Bytes::from(vec![9u8]);
         assert_eq!(
             SessionMsg::<u64>::decode(&mut bad),

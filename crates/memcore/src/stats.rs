@@ -42,6 +42,10 @@ pub mod kinds {
     /// caches the page (partial-replication layer). Registration is
     /// implicit in the first READ/WRITE, so only drops are messages.
     pub const INTEREST: &str = "INTEREST";
+    /// A session-layer incarnation announcement: a restarted node (or a
+    /// peer fencing its stale frames) advertising its current
+    /// incarnation so both ends rebase their sequence spaces.
+    pub const HELLO: &str = "HELLO";
     /// A transport envelope carrying several logical messages (batching).
     ///
     /// Never recorded in the *logical* per-kind counters — those always see
@@ -75,11 +79,13 @@ pub mod kinds {
         Repl,
         /// [`INTEREST`].
         Interest,
+        /// [`HELLO`].
+        Hello,
     }
 
     impl Overhead {
         /// Number of overhead kinds.
-        pub const COUNT: usize = Overhead::Interest as usize + 1;
+        pub const COUNT: usize = Overhead::Hello as usize + 1;
 
         /// Every variant, in discriminant order (checked at compile time
         /// below).
@@ -93,6 +99,7 @@ pub mod kinds {
             Overhead::Nack,
             Overhead::Repl,
             Overhead::Interest,
+            Overhead::Hello,
         ];
 
         /// The counter name this kind is recorded under. The match is
@@ -110,6 +117,7 @@ pub mod kinds {
                 Overhead::Nack => NACK,
                 Overhead::Repl => REPL,
                 Overhead::Interest => INTEREST,
+                Overhead::Hello => HELLO,
             }
         }
     }
@@ -410,8 +418,9 @@ mod tests {
         stats.record(NodeId::new(0), kinds::NACK);
         stats.record(NodeId::new(0), kinds::REPL);
         stats.record(NodeId::new(0), kinds::INTEREST);
+        stats.record(NodeId::new(0), kinds::HELLO);
         let snap = stats.snapshot();
-        assert_eq!(snap.overhead_total(), 5);
+        assert_eq!(snap.overhead_total(), 6);
         assert_eq!(snap.protocol_total(), 1);
         for kind in kinds::ALL {
             assert!(kinds::is_overhead(kind), "{kind} misclassified");

@@ -11,9 +11,12 @@
 
 use std::io;
 use std::net::TcpListener;
+use std::path::Path;
 use std::time::Duration;
 
-use causal_dsm::{CausalCluster, CausalConfig, CausalHandle, InlineServer, Msg};
+use causal_dsm::{
+    CausalCluster, CausalConfig, CausalHandle, DirDisk, DurableConfig, InlineServer, Msg,
+};
 use crossbeam_channel::Receiver;
 use memcore::{NodeId, Recorder};
 use simnet::{Envelope, Network};
@@ -49,6 +52,36 @@ impl EnvelopeSink<Msg<Payload>> for InlineSink {
 /// harness controls payload size exactly.
 pub type Payload = Vec<u8>;
 
+/// Binds `addr` for listening with `SO_REUSEADDR` set, so a restarted
+/// server can reclaim its fixed port while connections of its previous
+/// life still sit in TIME_WAIT (a plain `TcpListener::bind` refuses
+/// with `EADDRINUSE` for up to a minute). Non-IPv4 addresses fall back
+/// to a plain bind.
+///
+/// # Errors
+///
+/// Propagates resolution and bind failures.
+pub fn bind_reusable(addr: &str) -> io::Result<TcpListener> {
+    use std::net::{SocketAddr, ToSocketAddrs};
+    let mut last = None;
+    for sa in addr.to_socket_addrs()? {
+        let attempt = match sa {
+            SocketAddr::V4(v4) => polling::sockopt::listen_reusable(v4),
+            SocketAddr::V6(_) => TcpListener::bind(sa),
+        };
+        match attempt {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{addr}: no usable address"),
+        )
+    }))
+}
+
 /// A causal-memory node wired to its peers over TCP.
 pub struct NetCluster {
     cluster: CausalCluster<Payload>,
@@ -79,6 +112,47 @@ impl NetCluster {
         recorder: Option<Recorder<Payload>>,
         timeout: Duration,
     ) -> io::Result<Self> {
+        Self::bring_up(spec, me, listener, recorder, timeout, None)
+    }
+
+    /// [`NetCluster::start`] plus a write-ahead log under `data_dir`
+    /// (created if absent) — what `dsm-server --data-dir` builds.
+    ///
+    /// A directory that already holds state makes the node *recover*:
+    /// its page images, origin clocks, and owner epochs are replayed
+    /// from the checkpoint and log tail, and the node rejoins as a full
+    /// peer under a bumped incarnation, which the mesh's session layer
+    /// announces so peers fence the previous life's frames. The sync
+    /// policy is `every_op`: a write is certified (and its reply sent)
+    /// only once the WAL frame is synced, so a `kill -9` loses nothing
+    /// that was acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh-establishment failures and `data_dir` I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`NetCluster::start`].
+    pub fn start_durable(
+        spec: &ClusterSpec,
+        me: NodeId,
+        listener: TcpListener,
+        recorder: Option<Recorder<Payload>>,
+        timeout: Duration,
+        data_dir: &Path,
+    ) -> io::Result<Self> {
+        Self::bring_up(spec, me, listener, recorder, timeout, Some(data_dir))
+    }
+
+    fn bring_up(
+        spec: &ClusterSpec,
+        me: NodeId,
+        listener: TcpListener,
+        recorder: Option<Recorder<Payload>>,
+        timeout: Duration,
+        data_dir: Option<&Path>,
+    ) -> io::Result<Self> {
         let mesh = TcpMesh::establish(me, spec, listener, timeout)?;
         let net: Network<Msg<Payload>> =
             Network::partial(spec.nodes() as usize, &[me], mesh.link());
@@ -86,21 +160,48 @@ impl NetCluster {
         // a pipeline window lets writes overlap, and batching seals the
         // window's messages into Msg::Batch envelopes — which the mesh
         // then carries in single writev calls.
-        let config = CausalConfig::<Payload>::builder(spec.nodes(), spec.locations())
+        let mut builder = CausalConfig::<Payload>::builder(spec.nodes(), spec.locations())
             .pipeline_window(spec.net().pipeline)
-            .batching(spec.net().batching)
-            .build();
+            .batching(spec.net().batching);
+        if data_dir.is_some() {
+            builder = builder.durability(DurableConfig::default());
+        }
+        let config = builder.build();
         // Engine before poller: inbound frames that arrive in the gap sit
         // in the kernel's socket buffers (the same window they'd spend in
         // a mailbox) until the poller starts and serves them.
-        let (cluster, server) = CausalCluster::with_inline_transport(config, recorder, net, me)
-            .expect("engine rejected configuration");
+        let (cluster, server) = match data_dir {
+            None => CausalCluster::with_inline_transport(config, recorder, net, me)
+                .expect("engine rejected configuration"),
+            Some(dir) => {
+                let disk = DirDisk::open(dir)?;
+                let (cluster, server) = CausalCluster::with_durable_inline_transport(
+                    config,
+                    recorder,
+                    net,
+                    me,
+                    Box::new(disk),
+                )
+                .expect("engine rejected configuration");
+                // The sessions must speak for the recovered life before
+                // any frame leaves: peers fence on the incarnation.
+                mesh.set_incarnation(cluster.node_incarnation(me.index() as u32));
+                (cluster, server)
+            }
+        };
         mesh.start(InlineSink {
             server,
             nodes: spec.nodes() as usize,
             me,
         });
         Ok(NetCluster { cluster, mesh, me })
+    }
+
+    /// This node's incarnation: 0 for a first life, the persisted
+    /// maximum plus one after a durable recovery.
+    #[must_use]
+    pub fn incarnation(&self) -> u32 {
+        self.cluster.node_incarnation(self.me.index() as u32)
     }
 
     /// The node this process hosts.

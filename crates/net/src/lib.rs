@@ -31,7 +31,7 @@ pub mod harness;
 pub mod mesh;
 pub mod spec;
 
-pub use cluster::{NetCluster, Payload};
+pub use cluster::{bind_reusable, NetCluster, Payload};
 pub use ctrl::{CtrlMsg, WireOp};
 pub use harness::{
     mixed_script, run_loopback, run_loopback_with, run_loopback_workload, run_node, run_node_with,

@@ -712,6 +712,22 @@ impl<M: Wire + Tagged + Send + 'static> TcpMesh<M> {
         self.threads.lock().len()
     }
 
+    /// Rebases every peer session to speak for incarnation `inc` of this
+    /// node. No-op outside reconnect mode. Call between
+    /// [`establish`](TcpMesh::establish) and [`start`](TcpMesh::start),
+    /// before any traffic: a node that recovered its state from disk
+    /// announces the bumped incarnation so peers fence frames addressed
+    /// to — or leaking out of — its previous life, instead of feeding
+    /// the old sequence space.
+    pub fn set_incarnation(&self, inc: u32) {
+        let Some(rto) = self.shared.cfg.session else {
+            return;
+        };
+        for peer_tx in self.shared.peers.iter().flatten() {
+            peer_tx.lock().link = Some(ReliableLink::with_incarnation(rto, inc));
+        }
+    }
+
     /// Hard-drops the connection to `peer` (both directions), as if the
     /// socket died. Chaos hook: in reconnect mode the mesh heals via
     /// redial + session retransmission; otherwise the peer stays dead.
@@ -992,6 +1008,14 @@ fn install(
     let reconnected = !seen.insert(key);
     if reconnected {
         shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+    // Announce our incarnation before replaying the window: after a
+    // restart-from-disk this fences the peer's stale sequence space in
+    // one frame instead of waiting out an RTO round of rejected
+    // retransmissions. On an unchanged incarnation the peer treats it
+    // as a duplicate announcement and ignores it.
+    if let Some(hello) = tx.link.as_ref().map(|link| frame(&link.hello())) {
+        tx.queue.push_back(hello);
     }
     if let Some(link) = tx.link.as_mut() {
         // Replay the whole unacked window: frames that survived the old

@@ -106,6 +106,17 @@ pub trait Actor<V: Value>: Send {
         let _ = now;
         Effects::empty()
     }
+
+    /// Called once when this node comes back up after a crash window
+    /// (the fault model reported it down and the downtime elapsed),
+    /// before any other event reaches it. Actors that persist state
+    /// reload from disk here and may announce their new life (a session
+    /// HELLO broadcast); plain actors — which model the paper's
+    /// fail-stop world with no disk — restart empty and do nothing.
+    fn on_restart(&mut self, now: u64) -> Effects<V, Self::Msg> {
+        let _ = now;
+        Effects::empty()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -285,6 +296,13 @@ impl<V: Value> CausalActor<V> {
     #[must_use]
     pub fn state(&self) -> &causal_dsm::CausalState<V> {
         &self.state
+    }
+
+    /// Mutable access to the wrapped protocol state — what a durability
+    /// wrapper needs to drain the state's journal after each event.
+    #[must_use]
+    pub fn state_mut(&mut self) -> &mut causal_dsm::CausalState<V> {
+        &mut self.state
     }
 
     /// The node currently serving `loc`: the static owner until failover

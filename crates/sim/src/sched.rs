@@ -82,6 +82,11 @@ enum EventKind<M> {
     Timer {
         node: usize,
     },
+    /// Fires the actor's restart hook once its crash window elapses,
+    /// even if no other event targets the node.
+    Restart {
+        node: usize,
+    },
 }
 
 struct Wait<V> {
@@ -166,6 +171,10 @@ pub struct Sim<V: Value, A: Actor<V>> {
     /// Earliest queued `Timer` event per node (dedup; stale events
     /// revalidate against the actor and no-op).
     timer_scheduled: Vec<Option<u64>>,
+    /// Nodes observed down whose restart hook has not fired yet. Set on
+    /// the first event that finds the node crashed; cleared when
+    /// [`Actor::on_restart`] runs at the first post-crash event.
+    down_seen: Vec<bool>,
 }
 
 impl<V: Value, A: Actor<V>> Sim<V, A> {
@@ -200,6 +209,7 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
             events_processed: 0,
             faults: opts.faults,
             timer_scheduled: vec![None; n],
+            down_seen: vec![false; n],
         }
     }
 
@@ -291,8 +301,14 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
             match kind {
                 EventKind::Step { node } => match self.node_down_until(node) {
                     // A down node's own activity is deferred to its restart.
-                    Some(up) => self.schedule(up.max(t + 1), EventKind::Step { node }),
-                    None => self.step_client(node),
+                    Some(up) => {
+                        self.note_down(node, up);
+                        self.schedule(up.max(t + 1), EventKind::Step { node });
+                    }
+                    None => {
+                        self.maybe_restart(node);
+                        self.step_client(node);
+                    }
                 },
                 EventKind::Deliver {
                     src,
@@ -300,10 +316,12 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
                     msg,
                     duplicate,
                 } => {
-                    if self.node_down_until(dst.index()).is_some() {
+                    if let Some(up) = self.node_down_until(dst.index()) {
                         // A dead destination loses the message entirely.
+                        self.note_down(dst.index(), up);
                         self.stats.record(src, kinds::DROP);
                     } else {
+                        self.maybe_restart(dst.index());
                         if duplicate {
                             self.stats.record(src, kinds::DUP);
                         }
@@ -311,17 +329,25 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
                     }
                 }
                 EventKind::PollWait { node } => match self.node_down_until(node) {
-                    Some(up) => self.schedule(up.max(t + 1), EventKind::PollWait { node }),
-                    None => self.attempt_wait(node),
+                    Some(up) => {
+                        self.note_down(node, up);
+                        self.schedule(up.max(t + 1), EventKind::PollWait { node });
+                    }
+                    None => {
+                        self.maybe_restart(node);
+                        self.attempt_wait(node);
+                    }
                 },
                 EventKind::Timer { node } => {
                     self.timer_scheduled[node] = None;
                     match self.node_down_until(node) {
                         Some(up) => {
+                            self.note_down(node, up);
                             self.timer_scheduled[node] = Some(up.max(t + 1));
                             self.schedule(up.max(t + 1), EventKind::Timer { node });
                         }
                         None => {
+                            self.maybe_restart(node);
                             // Revalidate: the actor may have cancelled or
                             // moved its deadline since this was queued.
                             if self.actors[node].next_timer().is_some_and(|want| want <= t) {
@@ -331,6 +357,11 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
                         }
                     }
                 }
+                EventKind::Restart { node } => match self.node_down_until(node) {
+                    // The crash window grew since this was queued.
+                    Some(up) => self.schedule(up.max(t + 1), EventKind::Restart { node }),
+                    None => self.maybe_restart(node),
+                },
             }
             self.sync_timers();
             // Ideal-signal waits wake on any state change.
@@ -370,6 +401,27 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
         self.faults
             .as_ref()
             .and_then(|h| h.down_until(NodeId::new(i as u32), self.time))
+    }
+
+    /// Records that node `node` was observed down and queues a `Restart`
+    /// event at its scheduled up-time, so the restart hook fires even if
+    /// no other event ever targets the node again.
+    fn note_down(&mut self, node: usize, up: u64) {
+        if !self.down_seen[node] {
+            self.down_seen[node] = true;
+            self.schedule(up.max(self.time + 1), EventKind::Restart { node });
+        }
+    }
+
+    /// Runs the actor's restart hook if this is the first event to find
+    /// the node up after an observed crash window.
+    fn maybe_restart(&mut self, node: usize) {
+        if !std::mem::take(&mut self.down_seen[node]) {
+            return;
+        }
+        let now = self.time;
+        let effects = self.actors[node].on_restart(now);
+        self.dispatch_deliver(node, effects.outgoing, effects.completion);
     }
 
     /// Re-reads every actor's timer demand and queues `Timer` events so

@@ -47,6 +47,9 @@ pub use simnet;
 /// The paper's contribution: the Figure-4 owner protocol for causal DSM.
 pub use causal_dsm as causal;
 
+/// Durability: CRC-framed write-ahead log, checkpoints, crash recovery.
+pub use dsm_durable as durable;
+
 /// The strong-consistency baseline: a Li/Hudak-style atomic DSM.
 pub use atomic_dsm as atomic;
 

@@ -7,7 +7,8 @@
 //! `poll(2)` fallback (selectable at construction so tests can exercise
 //! both on one platform), plus a pipe-based waker so other threads can
 //! interrupt a blocked [`Poller::wait`]. A tiny [`sockopt`] module
-//! exposes the SO_SNDBUF/SO_RCVBUF knobs the cluster spec configures.
+//! exposes the SO_SNDBUF/SO_RCVBUF knobs the cluster spec configures,
+//! plus the SO_REUSEADDR bind a restarted server reclaims its port with.
 //!
 //! This crate is the workspace's one pocket of `unsafe`: raw syscall
 //! FFI. Everything above it (`dsm-net` included) stays
@@ -449,6 +450,56 @@ pub mod sockopt {
     pub fn recv_buffer(fd: RawFd) -> io::Result<usize> {
         get(fd, sys::SO_RCVBUF)
     }
+
+    /// Binds a listening TCP socket to `addr` with `SO_REUSEADDR` set
+    /// before the bind — the server-restart path: a respawned process
+    /// must reclaim its fixed port while the previous life's accepted
+    /// connections still sit in TIME_WAIT, which a plain
+    /// `TcpListener::bind` refuses with `EADDRINUSE`.
+    ///
+    /// Linux/Android only (the one place the repo's restart harness
+    /// runs); elsewhere this falls back to a plain bind.
+    pub fn listen_reusable(addr: std::net::SocketAddrV4) -> io::Result<std::net::TcpListener> {
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        {
+            use std::os::unix::io::FromRawFd;
+
+            struct Fd(RawFd);
+            impl Drop for Fd {
+                fn drop(&mut self) {
+                    if self.0 >= 0 {
+                        unsafe { sys::close(self.0) };
+                    }
+                }
+            }
+
+            let fd = Fd(sys::check(unsafe {
+                sys::socket(sys::AF_INET, sys::SOCK_STREAM | sys::SOCK_CLOEXEC, 0)
+            })?);
+            set(fd.0, sys::SO_REUSEADDR, 1)?;
+            let sin = sys::sockaddr_in {
+                sin_family: sys::AF_INET as u16,
+                sin_port: addr.port().to_be(),
+                sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            sys::check(unsafe {
+                sys::bind(
+                    fd.0,
+                    (&sin as *const sys::sockaddr_in).cast(),
+                    std::mem::size_of::<sys::sockaddr_in>() as sys::socklen_t,
+                )
+            })?;
+            sys::check(unsafe { sys::listen(fd.0, 128) })?;
+            let listener = unsafe { std::net::TcpListener::from_raw_fd(fd.0) };
+            std::mem::forget(fd);
+            Ok(listener)
+        }
+        #[cfg(not(any(target_os = "linux", target_os = "android")))]
+        {
+            std::net::TcpListener::bind(addr)
+        }
+    }
 }
 
 /// Raw syscall surface. `std` links libc, so these resolve without any
@@ -548,6 +599,27 @@ mod sys {
     pub const SO_SNDBUF: c_int = 7;
     #[cfg(any(target_os = "linux", target_os = "android"))]
     pub const SO_RCVBUF: c_int = 8;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const SO_REUSEADDR: c_int = 2;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const AF_INET: c_int = 2;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const SOCK_STREAM: c_int = 1;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub const SOCK_CLOEXEC: c_int = 0o2000000;
+
+    /// The kernel's IPv4 socket address, for the raw `bind` in
+    /// [`sockopt::listen_reusable`](crate::sockopt::listen_reusable).
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    #[repr(C)]
+    pub struct sockaddr_in {
+        pub sin_family: u16,
+        /// Network byte order.
+        pub sin_port: u16,
+        /// Network byte order.
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
     // BSD-derived values (macOS, the BSDs, illumos).
     #[cfg(not(any(target_os = "linux", target_os = "android")))]
     pub const SOL_SOCKET: c_int = 0xffff;
@@ -575,6 +647,12 @@ mod sys {
             optval: *mut u8,
             optlen: *mut socklen_t,
         ) -> c_int;
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        pub fn bind(fd: RawFd, addr: *const u8, addrlen: socklen_t) -> c_int;
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        pub fn listen(fd: RawFd, backlog: c_int) -> c_int;
         #[cfg(target_os = "linux")]
         pub fn pipe2(fds: *mut RawFd, flags: c_int) -> c_int;
         #[cfg(not(target_os = "linux"))]
@@ -743,6 +821,30 @@ mod tests {
         // the knob moved the value somewhere sane.
         assert!(sockopt::send_buffer(fd).unwrap() >= 16 * 1024);
         assert!(sockopt::recv_buffer(fd).unwrap() >= 16 * 1024);
+    }
+
+    #[test]
+    fn reusable_listener_accepts_and_rebinds() {
+        let listener = sockopt::listen_reusable("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        // Close everything server-side first, leaving the accepted
+        // connection's 4-tuple in TIME_WAIT on our port — the rebind a
+        // restarted server needs SO_REUSEADDR for.
+        drop(conn);
+        drop(listener);
+        drop(client);
+        match addr {
+            std::net::SocketAddr::V4(v4) => {
+                sockopt::listen_reusable(v4).expect("rebind through TIME_WAIT");
+            }
+            std::net::SocketAddr::V6(_) => unreachable!("bound v4"),
+        }
     }
 
     #[test]
