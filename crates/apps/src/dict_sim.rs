@@ -2,11 +2,19 @@
 //! scheduler drive dictionary workloads under controlled/adversarial
 //! interleavings, with the recorded execution checked against the
 //! specification.
+//!
+//! Since PR 10 the client is an adapter over the typed object layer's
+//! [`ObjectClient`]: each [`DictOp`] maps onto its observed-remove-set
+//! counterpart ([`ObjOp::SetAdd`]/[`ObjOp::SetRemove`]/
+//! [`ObjOp::SetContains`]/[`ObjOp::Refresh`]), and finished results flow
+//! back through the object client's finish hook. The register accesses
+//! issued are exactly those of the retired hand-rolled state machine
+//! (pinned by `tests/dict_port.rs`).
 
 use std::sync::Arc;
 
+use dsm_objects::{ObjOp, ObjRet, ObjVal, ObjectClient, PolicyKind};
 use dsm_sim::{Client, ClientOp, Outcome};
-use memcore::{Location, Word};
 use parking_lot::Mutex;
 
 use crate::dictionary::DictLayout;
@@ -24,18 +32,32 @@ pub enum DictOp {
     Refresh,
 }
 
+impl DictOp {
+    /// The observed-remove-set operation this dictionary op lowers to.
+    #[must_use]
+    pub fn to_obj(self) -> ObjOp {
+        match self {
+            DictOp::Insert(v) => ObjOp::SetAdd(v),
+            DictOp::Delete(v) => ObjOp::SetRemove(v),
+            DictOp::Lookup(v) => ObjOp::SetContains(v),
+            DictOp::Refresh => ObjOp::Refresh,
+        }
+    }
+
+    fn from_obj(op: ObjOp) -> Option<Self> {
+        match op {
+            ObjOp::SetAdd(v) => Some(DictOp::Insert(v)),
+            ObjOp::SetRemove(v) => Some(DictOp::Delete(v)),
+            ObjOp::SetContains(v) => Some(DictOp::Lookup(v)),
+            ObjOp::Refresh => Some(DictOp::Refresh),
+            _ => None,
+        }
+    }
+}
+
 /// The boolean results of each completed [`DictOp`], in script order
 /// (`Refresh` records `true`).
 pub type DictResults = Arc<Mutex<Vec<(DictOp, bool)>>>;
-
-enum Phase {
-    /// Scanning slots; `cursor` is the next flat slot index to read.
-    Scan { cursor: usize },
-    /// Writing the operation's final value to a found slot.
-    Commit,
-    /// Discarding non-owned slots starting at `cursor`.
-    Discarding { cursor: usize },
-}
 
 /// A scripted dictionary process for the deterministic simulator.
 ///
@@ -43,13 +65,7 @@ enum Phase {
 /// on the threaded engine: row-major reads, first match wins, inserts
 /// confined to the owner's row.
 pub struct DictClient {
-    layout: DictLayout,
-    row: usize,
-    script: std::vec::IntoIter<DictOp>,
-    current: Option<DictOp>,
-    phase: Phase,
-    target: Option<Location>,
-    results: DictResults,
+    inner: ObjectClient,
 }
 
 impl DictClient {
@@ -58,127 +74,24 @@ impl DictClient {
     #[must_use]
     pub fn new(layout: DictLayout, row: usize, script: Vec<DictOp>, results: DictResults) -> Self {
         assert!(row < layout.rows(), "row out of range");
-        DictClient {
-            layout,
-            row,
-            script: script.into_iter(),
-            current: None,
-            phase: Phase::Scan { cursor: 0 },
-            target: None,
-            results,
-        }
-    }
-
-    fn slot_at(&self, flat: usize) -> Location {
-        let (row, col) = (flat / self.layout.cols(), flat % self.layout.cols());
-        self.layout.slot(row, col)
-    }
-
-    fn total_slots(&self) -> usize {
-        self.layout.rows() * self.layout.cols()
-    }
-
-    /// The flat index range an operation scans: inserts stay in the own
-    /// row; lookups and deletes scan everything.
-    fn scan_range(&self, op: DictOp) -> (usize, usize) {
-        match op {
-            DictOp::Insert(_) => {
-                let start = self.row * self.layout.cols();
-                (start, start + self.layout.cols())
-            }
-            _ => (0, self.total_slots()),
-        }
-    }
-
-    fn finish(&mut self, outcome: bool) {
-        if let Some(op) = self.current.take() {
-            self.results.lock().push((op, outcome));
-        }
-        self.phase = Phase::Scan { cursor: 0 };
-        self.target = None;
+        let lowered = script.into_iter().map(DictOp::to_obj).collect();
+        let inner = ObjectClient::new(layout, row, lowered, PolicyKind::LastWriter)
+            .with_finish_hook(Box::new(move |op, ret| {
+                if let Some(op) = DictOp::from_obj(op) {
+                    let ok = match ret {
+                        ObjRet::Bool(b) => b,
+                        _ => true, // Refresh returns Unit; record `true`.
+                    };
+                    results.lock().push((op, ok));
+                }
+            }));
+        DictClient { inner }
     }
 }
 
-impl Client<Word> for DictClient {
-    fn next(&mut self, last: Option<&Outcome<Word>>) -> Option<ClientOp<Word>> {
-        loop {
-            let Some(op) = self.current else {
-                // Start the next scripted operation.
-                let op = self.script.next()?;
-                self.current = Some(op);
-                self.phase = match op {
-                    DictOp::Refresh => Phase::Discarding { cursor: 0 },
-                    _ => {
-                        let (start, _) = self.scan_range(op);
-                        Phase::Scan { cursor: start }
-                    }
-                };
-                continue;
-            };
-
-            match (&self.phase, op) {
-                (Phase::Discarding { cursor }, DictOp::Refresh) => {
-                    let mut cursor = *cursor;
-                    // Skip own-row slots (never discarded).
-                    while cursor < self.total_slots() && cursor / self.layout.cols() == self.row {
-                        cursor += 1;
-                    }
-                    if cursor >= self.total_slots() {
-                        self.finish(true);
-                        continue;
-                    }
-                    self.phase = Phase::Discarding { cursor: cursor + 1 };
-                    return Some(ClientOp::Discard(self.slot_at(cursor)));
-                }
-                (Phase::Scan { cursor }, op) => {
-                    let cursor = *cursor;
-                    let (_, end) = self.scan_range(op);
-                    // Interpret the previous read, if we were mid-scan.
-                    if cursor > self.scan_range(op).0 {
-                        let value = match last {
-                            Some(Outcome::Read { value, .. }) => *value,
-                            _ => panic!("scan step expects a read outcome"),
-                        };
-                        let hit = match op {
-                            DictOp::Insert(_) => matches!(value, Word::Zero),
-                            DictOp::Lookup(v) | DictOp::Delete(v) => value == Word::Int(v),
-                            DictOp::Refresh => unreachable!(),
-                        };
-                        if hit {
-                            let found = self.slot_at(cursor - 1);
-                            match op {
-                                DictOp::Lookup(_) => {
-                                    self.finish(true);
-                                    continue;
-                                }
-                                _ => {
-                                    self.target = Some(found);
-                                    self.phase = Phase::Commit;
-                                    continue;
-                                }
-                            }
-                        }
-                    }
-                    if cursor >= end {
-                        self.finish(false);
-                        continue;
-                    }
-                    self.phase = Phase::Scan { cursor: cursor + 1 };
-                    return Some(ClientOp::Read(self.slot_at(cursor)));
-                }
-                (Phase::Commit, op) => {
-                    let target = self.target.expect("commit follows a found slot");
-                    let value = match op {
-                        DictOp::Insert(v) => Word::Int(v),
-                        DictOp::Delete(_) => Word::Zero,
-                        _ => unreachable!("only inserts and deletes commit"),
-                    };
-                    self.finish(true);
-                    return Some(ClientOp::Write(target, value));
-                }
-                (Phase::Discarding { .. }, _) => unreachable!("discard phase is refresh-only"),
-            }
-        }
+impl Client<ObjVal> for DictClient {
+    fn next(&mut self, last: Option<&Outcome<ObjVal>>) -> Option<ClientOp<ObjVal>> {
+        self.inner.next(last)
     }
 }
 
@@ -197,13 +110,13 @@ mod tests {
 
     struct ScriptRun {
         log: Vec<(DictOp, bool)>,
-        slots: Vec<Option<Word>>,
-        exec: Execution<Word>,
+        slots: Vec<Option<ObjVal>>,
+        exec: Execution<ObjVal>,
     }
 
     fn run_scripts(layout: DictLayout, scripts: Vec<Vec<DictOp>>, seed: u64) -> ScriptRun {
-        let recorder: Recorder<Word> = Recorder::new(layout.rows());
-        let config = CausalConfig::<Word>::builder(layout.rows() as u32, layout.locations())
+        let recorder: Recorder<ObjVal> = Recorder::new(layout.rows());
+        let config = CausalConfig::<ObjVal>::builder(layout.rows() as u32, layout.locations())
             .owners(layout.owners())
             .policy(WritePolicy::OwnerFavored)
             .build();
@@ -257,7 +170,7 @@ mod tests {
             2
         );
         // The item sits in P0's row at the owner.
-        assert!(slots.contains(&Some(Word::Int(10))));
+        assert!(slots.contains(&Some(ObjVal::Item(10))));
         assert!(check_causal(&exec).unwrap().is_correct());
     }
 
@@ -310,7 +223,10 @@ mod tests {
             ];
             let ScriptRun { slots, exec, .. } = run_scripts(layout, scripts, seed);
             assert!(check_causal(&exec).unwrap().is_correct(), "seed {seed}");
-            let sevens = slots.iter().filter(|s| **s == Some(Word::Int(7))).count();
+            let sevens = slots
+                .iter()
+                .filter(|s| **s == Some(ObjVal::Item(7)))
+                .count();
             assert!(sevens <= 1, "seed {seed}: duplicate item after races");
         }
     }

@@ -1,4 +1,4 @@
-//! The distributed dictionary of §4.2.
+//! The distributed dictionary of §4.2, as a typed causal object.
 //!
 //! An association table maintained cooperatively by `n` processes with
 //! *no synchronization around operations*: the dictionary is an `n × m`
@@ -9,76 +9,25 @@
 //! owner-favored write policy ("writes by the owner are always favored"),
 //! which is exactly why the paper introduces that policy.
 //!
+//! Since PR 10 the dictionary is a thin veneer over the typed object
+//! layer's observed-remove set ([`dsm_objects::CausalSet`]), which issues
+//! the same register accesses the hand-rolled version did (own-row
+//! first-free inserts, row-major first-match deletes, early-exit
+//! lookups) — the logical message bill is unchanged, and the port is
+//! pinned by `tests/dict_port.rs`. What the dictionary adds on top of
+//! the raw set is the §4.2 interface contract: item `0` is reserved as
+//! the free marker `λ` and inserts of it are rejected.
+//!
 //! Restrictions R1/R2 from the paper (items unique; deletes follow their
 //! inserts) are the caller's responsibility, as in Fischer & Michael.
 
-use memcore::{ExplicitOwners, Location, MemoryError, NodeId, SharedMemory, Word};
+use dsm_objects::{CausalSet, ObjVal};
+use memcore::{MemoryError, SharedMemory};
 
 /// The dictionary's shared-memory layout: `n` rows of `m` slots, row `i`
-/// owned by `P_i`, page size 1.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct DictLayout {
-    n: usize,
-    m: usize,
-}
-
-impl DictLayout {
-    /// A layout for `n` processes with `m` slots per row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` or `m` is zero.
-    #[must_use]
-    pub fn new(n: usize, m: usize) -> Self {
-        assert!(n > 0, "dictionary needs at least one process");
-        assert!(m > 0, "dictionary rows need at least one slot");
-        DictLayout { n, m }
-    }
-
-    /// Number of processes (rows).
-    #[must_use]
-    pub fn rows(&self) -> usize {
-        self.n
-    }
-
-    /// Slots per row.
-    #[must_use]
-    pub fn cols(&self) -> usize {
-        self.m
-    }
-
-    /// The location of slot `(row, col)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if out of range.
-    #[must_use]
-    pub fn slot(&self, row: usize, col: usize) -> Location {
-        assert!(row < self.n && col < self.m, "slot out of range");
-        Location::new((row * self.m + col) as u32)
-    }
-
-    /// Total locations.
-    #[must_use]
-    pub fn locations(&self) -> u32 {
-        (self.n * self.m) as u32
-    }
-
-    /// Owner map: `P_i` owns every slot of row `i`.
-    #[must_use]
-    pub fn owners(&self) -> ExplicitOwners {
-        let table = (0..self.n)
-            .flat_map(|row| std::iter::repeat_n(NodeId::new(row as u32), self.m))
-            .collect();
-        ExplicitOwners::new(self.n as u32, 1, table)
-    }
-}
-
-/// The free marker `λ`: a slot holding this (or the initial 0) is empty.
-#[must_use]
-pub fn is_free(w: &Word) -> bool {
-    matches!(w, Word::Zero)
-}
+/// owned by `P_i`, page size 1. Identical to (and now an alias of) the
+/// object layer's row grid.
+pub use dsm_objects::GridLayout as DictLayout;
 
 /// One process's interface to the shared dictionary.
 ///
@@ -91,11 +40,11 @@ pub fn is_free(w: &Word) -> bool {
 /// ```
 /// use causal_dsm::{CausalCluster, WritePolicy};
 /// use dsm_apps::{DictLayout, Dictionary};
-/// use memcore::Word;
+/// use dsm_objects::ObjVal;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let layout = DictLayout::new(2, 4);
-/// let cluster = CausalCluster::<Word>::builder(2, layout.locations())
+/// let cluster = CausalCluster::<ObjVal>::builder(2, layout.locations())
 ///     .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
 ///     .build()?;
 /// let d0 = Dictionary::new(cluster.handle(0), layout);
@@ -110,12 +59,11 @@ pub fn is_free(w: &Word) -> bool {
 /// ```
 #[derive(Debug)]
 pub struct Dictionary<M> {
-    mem: M,
-    layout: DictLayout,
+    set: CausalSet<M>,
     row: usize,
 }
 
-impl<M: SharedMemory<Word>> Dictionary<M> {
+impl<M: SharedMemory<ObjVal>> Dictionary<M> {
     /// Wraps `mem` (whose node index selects this process's row).
     ///
     /// # Panics
@@ -125,7 +73,10 @@ impl<M: SharedMemory<Word>> Dictionary<M> {
     pub fn new(mem: M, layout: DictLayout) -> Self {
         let row = mem.node().index();
         assert!(row < layout.rows(), "node outside dictionary layout");
-        Dictionary { mem, layout, row }
+        Dictionary {
+            set: CausalSet::new(mem, layout),
+            row,
+        }
     }
 
     /// This process's row.
@@ -148,15 +99,7 @@ impl<M: SharedMemory<Word>> Dictionary<M> {
     /// Panics if `item` is zero (reserved for the free marker `λ`).
     pub fn insert(&self, item: i64) -> Result<bool, MemoryError> {
         assert_ne!(item, 0, "item 0 is reserved for the free marker");
-        for col in 0..self.layout.cols() {
-            let loc = self.layout.slot(self.row, col);
-            // Own row: reads are local and authoritative.
-            if is_free(&self.mem.read(loc)?) {
-                self.mem.write(loc, Word::Int(item))?;
-                return Ok(true);
-            }
-        }
-        Ok(false)
+        self.set.add(item)
     }
 
     /// `true` iff `item` has been inserted and not deleted, *according to
@@ -168,7 +111,7 @@ impl<M: SharedMemory<Word>> Dictionary<M> {
     ///
     /// Propagates memory errors.
     pub fn lookup(&self, item: i64) -> Result<bool, MemoryError> {
-        Ok(self.find(item)?.is_some())
+        self.set.contains(item)
     }
 
     /// Deletes `item` wherever it is found in this process's view (R2:
@@ -182,13 +125,7 @@ impl<M: SharedMemory<Word>> Dictionary<M> {
     ///
     /// Propagates memory errors.
     pub fn delete(&self, item: i64) -> Result<bool, MemoryError> {
-        match self.find(item)? {
-            Some(loc) => {
-                self.mem.write(loc, Word::Zero)?;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+        self.set.remove(item)
     }
 
     /// All items in this process's current view, row by row.
@@ -197,41 +134,14 @@ impl<M: SharedMemory<Word>> Dictionary<M> {
     ///
     /// Propagates memory errors.
     pub fn items(&self) -> Result<Vec<i64>, MemoryError> {
-        let mut out = Vec::new();
-        for row in 0..self.layout.rows() {
-            for col in 0..self.layout.cols() {
-                if let Word::Int(v) = self.mem.read(self.layout.slot(row, col))? {
-                    out.push(v);
-                }
-            }
-        }
-        Ok(out)
+        self.set.items()
     }
 
     /// Discards every cached (non-owned) slot, forcing the next scan to
     /// fetch fresh copies — the paper's `discard`-based liveness: views
     /// converge after quiescence once processes refresh.
     pub fn refresh(&self) {
-        for row in 0..self.layout.rows() {
-            if row == self.row {
-                continue;
-            }
-            for col in 0..self.layout.cols() {
-                self.mem.discard(self.layout.slot(row, col));
-            }
-        }
-    }
-
-    fn find(&self, item: i64) -> Result<Option<Location>, MemoryError> {
-        for row in 0..self.layout.rows() {
-            for col in 0..self.layout.cols() {
-                let loc = self.layout.slot(row, col);
-                if self.mem.read(loc)? == Word::Int(item) {
-                    return Ok(Some(loc));
-                }
-            }
-        }
-        Ok(None)
+        self.set.refresh();
     }
 }
 
@@ -239,9 +149,10 @@ impl<M: SharedMemory<Word>> Dictionary<M> {
 mod tests {
     use super::*;
     use causal_dsm::{CausalCluster, WritePolicy};
+    use memcore::NodeId;
 
-    fn cluster(layout: DictLayout) -> CausalCluster<Word> {
-        CausalCluster::<Word>::builder(layout.rows() as u32, layout.locations())
+    fn cluster(layout: DictLayout) -> CausalCluster<ObjVal> {
+        CausalCluster::<ObjVal>::builder(layout.rows() as u32, layout.locations())
             .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
             .build()
             .expect("cluster")

@@ -8,8 +8,9 @@
 //!   ([`run_causal_solver_sim`] / [`run_atomic_solver_sim`]).
 //! * [`run_async_worker`] / [`AsyncWorker`] — the asynchronous,
 //!   handshake-free solver variant (§4.1 last paragraph, E7).
-//! * [`Dictionary`] — the §4.2 distributed dictionary, relying on the
-//!   causal engine's owner-favored write policy (E8).
+//! * [`Dictionary`] — the §4.2 distributed dictionary, a veneer over the
+//!   typed object layer's observed-remove set (`dsm-objects`), relying on
+//!   the causal engine's owner-favored write policy (E8).
 //! * [`WorkloadSpec`] — synthetic read/write mixes for throughput benches.
 
 #![forbid(unsafe_code)]
@@ -28,7 +29,7 @@ pub use async_solver::{
     run_async_solver_sim, run_async_worker, AsyncLayout, AsyncRun, AsyncWorker,
 };
 pub use dict_sim::{DictClient, DictOp, DictResults};
-pub use dictionary::{is_free, DictLayout, Dictionary};
+pub use dictionary::{DictLayout, Dictionary};
 pub use solver::{publish_system, run_coordinator, run_worker, SolverLayout};
 pub use solver_sim::{
     run_atomic_solver_sim, run_broadcast_solver_sim, run_causal_solver_sim, SolverCoordinator,

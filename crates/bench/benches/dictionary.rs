@@ -4,7 +4,7 @@
 use causal_dsm::{CausalCluster, WritePolicy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dsm_apps::{DictLayout, Dictionary};
-use memcore::Word;
+use dsm_objects::ObjVal;
 use std::hint::black_box;
 
 fn bench_dictionary(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench_dictionary(c: &mut Criterion) {
             &nodes,
             |b, &nodes| {
                 b.iter(|| {
-                    let cluster = CausalCluster::<Word>::builder(nodes as u32, layout.locations())
+                    let cluster = CausalCluster::<ObjVal>::builder(nodes as u32, layout.locations())
                         .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
                         .build()
                         .expect("cluster");

@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 
 use causal_dsm::{CausalCluster, WritePolicy};
 use dsm_apps::{run_causal_solver_sim, DictLayout, Dictionary, LinearSystem, SolverSimConfig};
+use dsm_objects::ObjVal;
 use memcore::Word;
 
 /// Message cost of each dictionary operation kind on the causal engine
@@ -30,7 +31,7 @@ pub struct DictCosts {
 #[must_use]
 pub fn dictionary_costs(n: usize, m: usize) -> DictCosts {
     let layout = DictLayout::new(n, m);
-    let cluster = CausalCluster::<Word>::builder(n as u32, layout.locations())
+    let cluster = CausalCluster::<ObjVal>::builder(n as u32, layout.locations())
         .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
         .build()
         .expect("cluster");

@@ -32,6 +32,12 @@
 //!   log (`ops` = records replayed, so `ops_per_sec` is replay throughput).
 //!   Ungated: the number tracks the durability layer's decode path, not
 //!   hot-path code.
+//! * `counter_inc` / `set_churn` / `queue_pipe` — the PR-10 typed-object
+//!   family over the same engine: PN-counter bumps on owned cells
+//!   (message-free, gated), observed-remove-set churn in the owner's row
+//!   with periodic remote audits (gated), and a producer/consumer FIFO
+//!   drain whose bill is 1.0 msgs/op by construction (ungated — one
+//!   short append-only pass per cluster).
 //! * `mixed_remote_tcp` — the `mixed_remote` script over `dsm-net`'s real
 //!   loopback TCP sockets (one thread per node, each with its own partial
 //!   network): every protocol message crosses the kernel. The cell also
@@ -730,6 +736,169 @@ pub fn bursty_invalidate(
     )
 }
 
+/// PN-counter object workload: node 0 hammers `add` on the cells it owns
+/// — the typed layer's message-free hot path (each bump is one local
+/// read-modify-write of an owned single-cell page) — while node 1
+/// periodically refreshes and reads the merged `value()`, paying two
+/// remote fetches per sample. Single-driver and seeded, so the message
+/// bill is deterministic and the cell is gated: the object veneer must
+/// not tax the register fast path.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to build or an operation errors.
+#[must_use]
+pub fn counter_inc(seed: u64, cfg: &PerfConfig, probe: Option<AllocProbe>) -> WorkloadReport {
+    use dsm_objects::{ObjVal, PnCounter};
+
+    let ops: u64 = if cfg.quick { 200_000 } else { 400_000 };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0C0_47E6);
+
+    let layout = dsm_objects::GridLayout::new(2, 2);
+    let cluster = CausalCluster::<ObjVal>::builder(2, layout.locations())
+        .configure(|c| {
+            c.owners(layout.owners())
+                .policy(causal_dsm::WritePolicy::OwnerFavored)
+        })
+        .build()
+        .expect("build cluster");
+    let c0 = PnCounter::new(cluster.handle(0), layout);
+    let c1 = PnCounter::new(cluster.handle(1), layout);
+
+    // Pre-draw signed deltas so the RNG stays outside the hot loop.
+    let deltas: Vec<i64> = (0..4096)
+        .map(|_| {
+            let d = rng.gen_range(1..=5i64);
+            if rng.gen_bool(0.25) {
+                -d
+            } else {
+                d
+            }
+        })
+        .collect();
+
+    let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
+    let m = measure(ops, probe, |i| {
+        c0.add(deltas[(i as usize) & 4095]).expect("counter add");
+        // Periodic cross-node audit: refresh + merged read (remote).
+        if (i + 1) % 64 == 0 {
+            c1.refresh();
+            std::hint::black_box(c1.value().expect("counter value"));
+        }
+    });
+    let delta = cluster.messages().snapshot().since(&base);
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    report("counter_inc", seed, m, delta, envs, true)
+}
+
+/// Observed-remove-set churn: node 0 alternates `add`/`remove` of a
+/// cycling item window — both stay inside its own row, so the steady
+/// state is local read + local write per op — while node 1 periodically
+/// refreshes and scans `contains`, paying a full remote row fetch.
+/// Single-driver and seeded ⇒ deterministic bill; gated like
+/// `counter_inc`.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to build or an operation errors.
+#[must_use]
+pub fn set_churn(seed: u64, cfg: &PerfConfig, probe: Option<AllocProbe>) -> WorkloadReport {
+    use dsm_objects::{CausalSet, ObjVal};
+
+    let ops: u64 = if cfg.quick { 120_000 } else { 240_000 };
+
+    let layout = dsm_objects::GridLayout::new(2, 32);
+    let cluster = CausalCluster::<ObjVal>::builder(2, layout.locations())
+        .configure(|c| {
+            c.owners(layout.owners())
+                .policy(causal_dsm::WritePolicy::OwnerFavored)
+        })
+        .build()
+        .expect("build cluster");
+    let s0 = CausalSet::new(cluster.handle(0), layout);
+    let s1 = CausalSet::new(cluster.handle(1), layout);
+
+    let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
+    let m = measure(ops, probe, |i| {
+        let item = ((i / 2) % 16 + 1) as i64;
+        if i % 2 == 0 {
+            s0.add(item).expect("set add");
+        } else {
+            s0.remove(item).expect("set remove");
+        }
+        if (i + 1) % 64 == 0 {
+            s1.refresh();
+            std::hint::black_box(s1.contains(item).expect("set contains"));
+        }
+    });
+    let delta = cluster.messages().snapshot().since(&base);
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    report("set_churn", seed, m, delta, envs, true)
+}
+
+/// FIFO append-queue pipe: node 0 fills its append-only row, then node 1
+/// drains it — every pop a cold fetch of the next producer cell (one
+/// READ/READ_REPLY round trip), so the cell's logical bill is exactly
+/// 1.0 msgs/op by construction. Ungated: the append-only grid allows one
+/// drain per cluster, so the pass is wall-clock short and too brief for
+/// a stable throughput gate — the cell exists to pin the pipe's message
+/// bill and plot pop latency.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to build, an operation errors, or the
+/// consumer fails to drain everything the producer pushed.
+#[must_use]
+pub fn queue_pipe(seed: u64, cfg: &PerfConfig) -> WorkloadReport {
+    use dsm_objects::{FifoQueue, ObjVal};
+
+    let depth: usize = if cfg.quick { 1_024 } else { 2_048 };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0F1F_00D1);
+
+    let layout = dsm_objects::GridLayout::new(2, depth);
+    let cluster = CausalCluster::<ObjVal>::builder(2, layout.locations())
+        .configure(|c| {
+            c.owners(layout.owners())
+                .policy(causal_dsm::WritePolicy::OwnerFavored)
+        })
+        .build()
+        .expect("build cluster");
+    let producer = FifoQueue::new(cluster.handle(0), layout);
+    let consumer = FifoQueue::new(cluster.handle(1), layout);
+
+    let items: Vec<i64> = (0..depth).map(|_| rng.gen_range(1..=i64::MAX)).collect();
+
+    let base = cluster.messages().snapshot();
+    let env_base = cluster.envelopes().snapshot();
+    let mut lat: Vec<u64> = Vec::with_capacity(depth);
+    let start = Instant::now();
+    for &item in &items {
+        assert!(producer.push(item).expect("push"), "row filled early");
+    }
+    for expected in &items {
+        let t = Instant::now();
+        let got = consumer.pop().expect("pop");
+        lat.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(got.as_ref(), Some(expected), "pipe reordered or dropped");
+    }
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let delta = cluster.messages().snapshot().since(&base);
+    let envs = cluster.envelopes().snapshot().since(&env_base);
+    lat.sort_unstable();
+    let m = Measured {
+        ops: 2 * depth as u64, // pushes + pops
+        executed: 2 * depth as u64,
+        elapsed_ns,
+        p50_ns: percentile(&lat, 0.50),
+        p99_ns: percentile(&lat, 0.99),
+        allocs_per_op: -1.0,
+        alloc_bytes_per_op: -1.0,
+    };
+    report("queue_pipe", seed, m, delta, envs, false)
+}
+
 /// `node` is unreachable forever — the bench's fail-stop model (the
 /// node's threads keep running; the transport discards everything
 /// addressed to it, which is indistinguishable from death to its peers).
@@ -1164,6 +1333,12 @@ pub fn run_suite(cfg: &PerfConfig, probe: Option<AllocProbe>) -> PerfReport {
                 bursty_invalidate(seed, cfg, probe, batching)
             }));
         }
+        // Typed-object workload family (PR 10): the object veneer on the
+        // same engine paths the register cells cover.
+        workloads.push(best_of(reps, || counter_inc(seed, cfg, probe)));
+        workloads.push(best_of(reps, || set_churn(seed, cfg, probe)));
+        // One rep: ungated (single short drain per cluster; see the cell).
+        workloads.push(queue_pipe(seed, cfg));
         // One rep: the cell reports a recovery *gap*, not a throughput —
         // best-of selection over ops_per_sec would just pick the shortest
         // gap, and the cell is ungated anyway.
@@ -1380,6 +1555,36 @@ mod tests {
             batched.envelopes_per_op,
             plain.envelopes_per_op
         );
+    }
+
+    #[test]
+    fn object_cells_pay_deterministic_bills() {
+        // The gated object cells are single-driver and seeded: two runs
+        // at the same seed must produce the identical per-kind bill.
+        let a = counter_inc(7, &tiny(), None);
+        let b = counter_inc(7, &tiny(), None);
+        assert_eq!(a.msgs_by_kind, b.msgs_by_kind);
+        assert!(a.gated);
+        // The hot path is owner-local; only the periodic audits pay.
+        assert!(a.msgs_per_op < 0.2, "{} msgs/op", a.msgs_per_op);
+        let c = set_churn(7, &tiny(), None);
+        let d = set_churn(7, &tiny(), None);
+        assert_eq!(c.msgs_by_kind, d.msgs_by_kind);
+        assert!(c.gated);
+    }
+
+    #[test]
+    fn queue_pipe_pays_one_message_per_op() {
+        let w = queue_pipe(7, &tiny());
+        assert!(!w.gated, "one short drain is too brief to gate");
+        // D pushes are owner-local appends (free); D pops are one cold
+        // READ/READ_REPLY each — exactly 1.0 logical msgs per op.
+        assert!(
+            (w.msgs_per_op - 1.0).abs() < 1e-9,
+            "{} msgs/op",
+            w.msgs_per_op
+        );
+        assert!(w.p50_ns > 0 && w.p99_ns >= w.p50_ns);
     }
 
     #[test]

@@ -1883,4 +1883,17 @@ impl<V: Value> SharedMemory<V> for CausalHandle<V> {
         node.state.write().discard(loc);
         self.drain_side_traffic(node);
     }
+
+    fn read_tagged(&self, loc: Location) -> Result<(V, Option<memcore::WriteId>), MemoryError> {
+        self.read_full(loc)
+            .map(|(value, wid)| ((*value).clone(), Some(wid)))
+    }
+
+    fn write_tagged(
+        &self,
+        loc: Location,
+        value: V,
+    ) -> Result<Option<memcore::WriteId>, MemoryError> {
+        self.write_resolved(loc, value).map(|done| Some(done.wid()))
+    }
 }

@@ -1,0 +1,34 @@
+//! CI smoke batch for the typed-object layer: fixed-seed object chaos
+//! runs (family cycles counter → set → map → queue with the seed) under
+//! random drop/partition/crash plans, each run checked by the causal
+//! oracle *and* its family's per-object sequential-spec oracle, plus a
+//! smaller owner-crash batch with failover enabled.
+//!
+//! Exits nonzero if any run wedges or violates either oracle, printing
+//! the reproducing seed and fault plan.
+//!
+//! ```text
+//! cargo run -p dsm-faults --bin objects-smoke [runs] [owner_crash_runs]
+//! ```
+
+use dsm_faults::{run_object_chaos_batch, run_object_owner_crash_batch, ChaosConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: usize = args
+        .next()
+        .map(|a| a.parse().expect("runs must be a number"))
+        .unwrap_or(100);
+    let owner_crash_runs: usize = args
+        .next()
+        .map(|a| a.parse().expect("owner_crash_runs must be a number"))
+        .unwrap_or(8);
+    let cfg = ChaosConfig::default(); // 3 nodes, random drops/partitions/crashes
+    let batch = run_object_chaos_batch(0, runs, &cfg);
+    print!("objects {batch}");
+    let owner_batch = run_object_owner_crash_batch(0, owner_crash_runs, &cfg);
+    print!("objects owner-crash {owner_batch}");
+    if !batch.all_ok() || !owner_batch.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -21,8 +21,8 @@ use std::sync::Arc;
 use causal_dsm::CausalConfig;
 use causal_spec::{check_causal, Execution};
 use dsm_apps::{WorkloadOp, WorkloadSpec};
-use dsm_sim::{ClientOp, RunLimits, Script, SimOpts};
-use memcore::{Recorder, StatsSnapshot, Word};
+use dsm_sim::{Client, ClientOp, RunLimits, Script, SimOpts};
+use memcore::{Recorder, StatsSnapshot, Value, Word};
 use simnet::latency::Uniform;
 
 use crate::injector::FaultInjector;
@@ -83,8 +83,12 @@ impl Default for ChaosConfig {
 }
 
 /// Everything needed to understand — and reproduce — one chaos run.
+///
+/// Generic over the cell value type so object workloads (`ObjVal` cells)
+/// and register workloads (the default, [`Word`]) share one outcome and
+/// one batch shape.
 #[derive(Clone, Debug)]
-pub struct ChaosOutcome {
+pub struct ChaosOutcome<V: Value = Word> {
     /// The seed that determines the whole run.
     pub seed: u64,
     /// The fault plan the run executed under.
@@ -102,7 +106,7 @@ pub struct ChaosOutcome {
     pub ops_recorded: usize,
     /// The recorded per-process operation logs — two runs of the same
     /// seed must produce these byte-for-byte identical.
-    pub ops: Vec<Vec<memcore::OpRecord<Word>>>,
+    pub ops: Vec<Vec<memcore::OpRecord<V>>>,
     /// Pipeline window the run executed under (part of the reproduction
     /// recipe: [`run_chaos_batch`] samples it per seed).
     pub pipeline_window: u32,
@@ -110,7 +114,7 @@ pub struct ChaosOutcome {
     pub batching: bool,
 }
 
-impl ChaosOutcome {
+impl<V: Value> ChaosOutcome<V> {
     /// `true` iff the run terminated and the oracle found no violations.
     #[must_use]
     pub fn ok(&self) -> bool {
@@ -118,7 +122,7 @@ impl ChaosOutcome {
     }
 }
 
-impl fmt::Display for ChaosOutcome {
+impl<V: Value> fmt::Display for ChaosOutcome<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.ok() {
             return write!(
@@ -151,40 +155,84 @@ impl fmt::Display for ChaosOutcome {
     }
 }
 
-/// Runs one seeded chaos execution: a random workload under a random
-/// fault plan, replayed through the session-layered causal protocol in
-/// the deterministic simulator, then checked against the causal
-/// specification.
+/// The per-node client roster a chaos setup runs: one entry per node in
+/// node order, `None` leaving the node clientless (a pure server).
+pub type ClientRoster<V> = Vec<Option<Box<dyn Client<V>>>>;
+
+/// A workload-specific check run on the recorded execution *after* the
+/// causal oracle, returning rendered violations.
+pub type ExtraCheck<V> = Box<dyn FnOnce(&Execution<V>) -> Vec<String> + Send>;
+
+/// One fully-assembled chaos workload, ready for [`run_chaos_shaped`]:
+/// the protocol configuration, the per-node clients (`None` leaves a node
+/// clientless — a pure server, as owner-crash victims are), and any
+/// workload-specific checks to run *on top of* the causal oracle.
 ///
-/// Identical `(seed, cfg)` always produce an identical execution —
-/// identical message counts and identical recorded operations.
+/// This is the seam that makes chaos plans generic over workload: the
+/// register path, the owner-crash path, and the typed-object workloads
+/// all reduce to building one of these.
+pub struct ChaosSetup<V: Value> {
+    /// The protocol configuration the cluster runs under.
+    pub config: CausalConfig<V>,
+    /// One client per node, in node order; `None` = no client.
+    pub clients: ClientRoster<V>,
+    /// Workload-specific violations (e.g. a per-object sequential-spec
+    /// check), appended after the causal check. Receives the recorded
+    /// execution.
+    pub check: ExtraCheck<V>,
+}
+
+impl<V: Value> ChaosSetup<V> {
+    /// A setup running `clients` under `config` with no checks beyond the
+    /// causal oracle.
+    #[must_use]
+    pub fn new(config: CausalConfig<V>, clients: ClientRoster<V>) -> Self {
+        ChaosSetup {
+            config,
+            clients,
+            check: Box::new(|_| Vec::new()),
+        }
+    }
+
+    /// Adds a workload-specific check (run after the causal oracle).
+    #[must_use]
+    pub fn with_check(
+        mut self,
+        check: impl FnOnce(&Execution<V>) -> Vec<String> + Send + 'static,
+    ) -> Self {
+        self.check = Box::new(check);
+        self
+    }
+}
+
+/// The generic chaos engine every workload family shares: replays
+/// `setup`'s clients through the session-layered causal protocol under
+/// `plan`, in the deterministic simulator, then runs the causal oracle
+/// plus the setup's own checks.
+///
+/// `clamp_time` bounds the run to `10 × horizon` simulated time —
+/// required whenever the configuration arms heartbeat timers (failover),
+/// which never let the event queue drain on its own.
+///
+/// Identical `(seed, cfg, plan, setup)` always produce an identical
+/// execution — identical message counts and identical recorded
+/// operations.
 #[must_use]
-pub fn run_chaos_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
-    let spec = WorkloadSpec {
-        nodes: cfg.nodes as usize,
-        locations_per_node: cfg.locations_per_node as usize,
-        ops_per_node: cfg.ops_per_node,
-        read_ratio: cfg.read_ratio,
-        locality: cfg.locality,
-        seed,
-    };
-    let plan = if cfg.fault_free {
-        FaultPlan::none()
-    } else {
-        FaultPlan::random(seed, cfg.nodes, cfg.horizon)
-    };
+pub fn run_chaos_shaped<V: Value>(
+    seed: u64,
+    cfg: &ChaosConfig,
+    plan: FaultPlan,
+    setup: ChaosSetup<V>,
+    clamp_time: bool,
+) -> ChaosOutcome<V> {
     let faults: Option<Arc<dyn simnet::FaultHook>> = if cfg.fault_free {
         None
     } else {
         Some(Arc::new(FaultInjector::new(seed, plan.clone())))
     };
-    let recorder: Recorder<Word> = Recorder::new(cfg.nodes as usize);
-    let config = CausalConfig::<Word>::builder(cfg.nodes, spec.locations())
-        .pipeline_window(cfg.pipeline_window)
-        .batching(cfg.batching)
-        .build();
+    let recorder: Recorder<V> = Recorder::new(cfg.nodes as usize);
     let mut sim = session_causal_sim(
-        &config,
+        &setup.config,
         cfg.rto,
         SimOpts {
             latency: Box::new(Uniform::new(1, 8)),
@@ -194,22 +242,26 @@ pub fn run_chaos_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
             ..SimOpts::default()
         },
     );
-    for (node, ops) in spec.generate().into_iter().enumerate() {
-        let script: Vec<ClientOp<Word>> = ops
-            .into_iter()
-            .map(|op| match op {
-                WorkloadOp::Read(l) => ClientOp::Read(l),
-                WorkloadOp::Write(l, v) => ClientOp::Write(l, Word::Int(v)),
-            })
-            .collect();
-        sim.set_client(node, Script::new(script));
+    for (node, client) in setup.clients.into_iter().enumerate() {
+        if let Some(client) = client {
+            sim.set_client_boxed(node, client);
+        }
     }
-    let report = sim.run(cfg.limits);
+    let limits = if clamp_time {
+        RunLimits {
+            max_events: cfg.limits.max_events,
+            max_time: cfg.limits.max_time.min(cfg.horizon.saturating_mul(10)),
+        }
+    } else {
+        cfg.limits
+    };
+    let report = sim.run(limits);
     let exec = Execution::from_recorder(&recorder);
-    let violations = match check_causal(&exec) {
+    let mut violations: Vec<String> = match check_causal(&exec) {
         Ok(causal) => causal.violations.iter().map(ToString::to_string).collect(),
         Err(err) => vec![format!("execution graph error: {err}")],
     };
+    violations.extend((setup.check)(&exec));
     ChaosOutcome {
         seed,
         plan,
@@ -224,13 +276,63 @@ pub fn run_chaos_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
     }
 }
 
+/// The seeded register workload both register-path runners share, as
+/// boxed scripts (one per node).
+fn register_clients(seed: u64, cfg: &ChaosConfig) -> (WorkloadSpec, ClientRoster<Word>) {
+    let spec = WorkloadSpec {
+        nodes: cfg.nodes as usize,
+        locations_per_node: cfg.locations_per_node as usize,
+        ops_per_node: cfg.ops_per_node,
+        read_ratio: cfg.read_ratio,
+        locality: cfg.locality,
+        seed,
+    };
+    let clients = spec
+        .generate()
+        .into_iter()
+        .map(|ops| {
+            let script: Vec<ClientOp<Word>> = ops
+                .into_iter()
+                .map(|op| match op {
+                    WorkloadOp::Read(l) => ClientOp::Read(l),
+                    WorkloadOp::Write(l, v) => ClientOp::Write(l, Word::Int(v)),
+                })
+                .collect();
+            Some(Box::new(Script::new(script)) as Box<dyn Client<Word>>)
+        })
+        .collect();
+    (spec, clients)
+}
+
+/// Runs one seeded chaos execution: a random workload under a random
+/// fault plan, replayed through the session-layered causal protocol in
+/// the deterministic simulator, then checked against the causal
+/// specification.
+///
+/// Identical `(seed, cfg)` always produce an identical execution —
+/// identical message counts and identical recorded operations.
+#[must_use]
+pub fn run_chaos_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
+    let (spec, clients) = register_clients(seed, cfg);
+    let plan = if cfg.fault_free {
+        FaultPlan::none()
+    } else {
+        FaultPlan::random(seed, cfg.nodes, cfg.horizon)
+    };
+    let config = CausalConfig::<Word>::builder(cfg.nodes, spec.locations())
+        .pipeline_window(cfg.pipeline_window)
+        .batching(cfg.batching)
+        .build();
+    run_chaos_shaped(seed, cfg, plan, ChaosSetup::new(config, clients), false)
+}
+
 /// Result of a batch of chaos runs.
 #[derive(Clone, Debug)]
-pub struct ChaosBatch {
+pub struct ChaosBatch<V: Value = Word> {
     /// Runs executed.
     pub runs: usize,
     /// Outcomes that wedged or violated causality (empty on success).
-    pub failures: Vec<ChaosOutcome>,
+    pub failures: Vec<ChaosOutcome<V>>,
     /// Protocol messages across all runs (payload kinds only).
     pub protocol_messages: u64,
     /// Session/fault overhead messages across all runs (retransmissions,
@@ -238,15 +340,36 @@ pub struct ChaosBatch {
     pub overhead_messages: u64,
 }
 
-impl ChaosBatch {
+impl<V: Value> ChaosBatch<V> {
     /// `true` iff every run terminated correctly.
     #[must_use]
     pub fn all_ok(&self) -> bool {
         self.failures.is_empty()
     }
+
+    /// Folds `outcome` into the batch, keeping failures for reproduction.
+    pub fn absorb(&mut self, outcome: ChaosOutcome<V>) {
+        self.runs += 1;
+        self.protocol_messages += outcome.messages.protocol_total();
+        self.overhead_messages += outcome.messages.overhead_total();
+        if !outcome.ok() {
+            self.failures.push(outcome);
+        }
+    }
 }
 
-impl fmt::Display for ChaosBatch {
+impl<V: Value> Default for ChaosBatch<V> {
+    fn default() -> Self {
+        ChaosBatch {
+            runs: 0,
+            failures: Vec::new(),
+            protocol_messages: 0,
+            overhead_messages: 0,
+        }
+    }
+}
+
+impl<V: Value> fmt::Display for ChaosBatch<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
@@ -282,23 +405,11 @@ pub fn sample_throughput_config(base: &ChaosConfig, seed: u64) -> ChaosConfig {
 /// whole pipelining/batching grid under faults.
 #[must_use]
 pub fn run_chaos_batch(first_seed: u64, count: usize, cfg: &ChaosConfig) -> ChaosBatch {
-    let mut failures = Vec::new();
-    let mut protocol_messages = 0;
-    let mut overhead_messages = 0;
+    let mut batch = ChaosBatch::default();
     for seed in first_seed..first_seed + count as u64 {
-        let outcome = run_chaos_once(seed, &sample_throughput_config(cfg, seed));
-        protocol_messages += outcome.messages.protocol_total();
-        overhead_messages += outcome.messages.overhead_total();
-        if !outcome.ok() {
-            failures.push(outcome);
-        }
+        batch.absorb(run_chaos_once(seed, &sample_throughput_config(cfg, seed)));
     }
-    ChaosBatch {
-        runs: count,
-        failures,
-        protocol_messages,
-        overhead_messages,
-    }
+    batch
 }
 
 // ---------------------------------------------------------------------
@@ -350,67 +461,20 @@ pub fn owner_crash_plan(seed: u64, cfg: &ChaosConfig, pages: u32) -> (FaultPlan,
 /// let the event queue drain on their own.
 #[must_use]
 pub fn run_owner_crash_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
-    let spec = WorkloadSpec {
-        nodes: cfg.nodes as usize,
-        locations_per_node: cfg.locations_per_node as usize,
-        ops_per_node: cfg.ops_per_node,
-        read_ratio: cfg.read_ratio,
-        locality: cfg.locality,
-        seed,
+    // The failover layer sends each pipelined write in its own stamped
+    // envelope, so batching is forced off for the run and its recipe.
+    let cfg = ChaosConfig {
+        batching: false,
+        ..cfg.clone()
     };
-    let (plan, victim) = owner_crash_plan(seed, cfg, spec.locations());
-    let faults: Arc<dyn simnet::FaultHook> = Arc::new(FaultInjector::new(seed, plan.clone()));
-    let recorder: Recorder<Word> = Recorder::new(cfg.nodes as usize);
+    let (spec, mut clients) = register_clients(seed, &cfg);
+    let (plan, victim) = owner_crash_plan(seed, &cfg, spec.locations());
+    clients[victim as usize] = None;
     let config = CausalConfig::<Word>::builder(cfg.nodes, spec.locations())
         .pipeline_window(cfg.pipeline_window)
         .failover(causal_dsm::FailoverConfig::default())
         .build();
-    let mut sim = session_causal_sim(
-        &config,
-        cfg.rto,
-        SimOpts {
-            latency: Box::new(Uniform::new(1, 8)),
-            seed,
-            recorder: Some(recorder.clone()),
-            faults: Some(faults),
-            ..SimOpts::default()
-        },
-    );
-    for (node, ops) in spec.generate().into_iter().enumerate() {
-        if node == victim as usize {
-            continue;
-        }
-        let script: Vec<ClientOp<Word>> = ops
-            .into_iter()
-            .map(|op| match op {
-                WorkloadOp::Read(l) => ClientOp::Read(l),
-                WorkloadOp::Write(l, v) => ClientOp::Write(l, Word::Int(v)),
-            })
-            .collect();
-        sim.set_client(node, Script::new(script));
-    }
-    let limits = RunLimits {
-        max_events: cfg.limits.max_events,
-        max_time: cfg.limits.max_time.min(cfg.horizon.saturating_mul(10)),
-    };
-    let report = sim.run(limits);
-    let exec = Execution::from_recorder(&recorder);
-    let violations = match check_causal(&exec) {
-        Ok(causal) => causal.violations.iter().map(ToString::to_string).collect(),
-        Err(err) => vec![format!("execution graph error: {err}")],
-    };
-    ChaosOutcome {
-        seed,
-        plan,
-        wedged: !report.all_done,
-        violations,
-        time: report.time,
-        messages: sim.messages().snapshot(),
-        ops_recorded: recorder.total_ops(),
-        ops: recorder.processes(),
-        pipeline_window: cfg.pipeline_window,
-        batching: false,
-    }
+    run_chaos_shaped(seed, &cfg, plan, ChaosSetup::new(config, clients), true)
 }
 
 /// The owner-crash grid: the pipeline window alternates between `0` (the
@@ -431,23 +495,14 @@ pub fn sample_owner_crash_config(base: &ChaosConfig, seed: u64) -> ChaosConfig {
 /// with its reproduction recipe.
 #[must_use]
 pub fn run_owner_crash_batch(first_seed: u64, count: usize, cfg: &ChaosConfig) -> ChaosBatch {
-    let mut failures = Vec::new();
-    let mut protocol_messages = 0;
-    let mut overhead_messages = 0;
+    let mut batch = ChaosBatch::default();
     for seed in first_seed..first_seed + count as u64 {
-        let outcome = run_owner_crash_once(seed, &sample_owner_crash_config(cfg, seed));
-        protocol_messages += outcome.messages.protocol_total();
-        overhead_messages += outcome.messages.overhead_total();
-        if !outcome.ok() {
-            failures.push(outcome);
-        }
+        batch.absorb(run_owner_crash_once(
+            seed,
+            &sample_owner_crash_config(cfg, seed),
+        ));
     }
-    ChaosBatch {
-        runs: count,
-        failures,
-        protocol_messages,
-        overhead_messages,
-    }
+    batch
 }
 
 #[cfg(test)]

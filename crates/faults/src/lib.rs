@@ -25,7 +25,13 @@
 //!   a write-ahead log, crashes at an injected WAL offset (including
 //!   mid-record tears), recovers from the surviving bytes, and rejoins
 //!   under a bumped session incarnation; the extended oracle asserts no
-//!   certified write is lost under `every_op` sync.
+//!   certified write is lost under `every_op` sync;
+//! * [`objects`] — [`run_object_chaos_batch`]: typed-object workloads
+//!   (counter/set/map/queue from `dsm-objects`) under the same seeded
+//!   plans, with each family's sequential-spec oracle
+//!   ([`causal_spec::check_object`]) layered on the causal checker —
+//!   plus owner-crash, kill-9 + WAL recovery, and broken-merge-policy
+//!   mutation gates for the object layer.
 //!
 //! # Examples
 //!
@@ -43,15 +49,22 @@
 
 pub mod chaos;
 pub mod injector;
+pub mod objects;
 pub mod plan;
 pub mod recovery;
 pub mod session;
 
 pub use chaos::{
-    owner_crash_plan, run_chaos_batch, run_chaos_once, run_owner_crash_batch, run_owner_crash_once,
-    sample_owner_crash_config, ChaosBatch, ChaosConfig, ChaosOutcome,
+    owner_crash_plan, run_chaos_batch, run_chaos_once, run_chaos_shaped, run_owner_crash_batch,
+    run_owner_crash_once, sample_owner_crash_config, sample_throughput_config, ChaosBatch,
+    ChaosConfig, ChaosOutcome, ChaosSetup,
 };
 pub use injector::FaultInjector;
+pub use objects::{
+    object_family, object_workload, run_object_chaos_batch, run_object_chaos_once,
+    run_object_mutation_once, run_object_owner_crash_batch, run_object_owner_crash_once,
+    run_object_recovery_once,
+};
 pub use recovery::{
     recovery_crash_plan, run_recovery_chaos_batch, run_recovery_chaos_once,
     run_recovery_liveness_once, sample_recovery_config, DurableActor,

@@ -1,0 +1,485 @@
+//! Object chaos: typed-object workloads (PN-counter, set, map, FIFO
+//! queue) under the same seeded fault plans as the register suite, with
+//! the **per-object sequential-spec oracle** layered on top of the
+//! causal checker.
+//!
+//! Everything here reduces to [`ChaosSetup`] + [`run_chaos_shaped`]: a
+//! seeded [`object_workload`] picks the family (cycling with the seed),
+//! its grid layout, its merge policy, and per-node [`ObjOp`] scripts;
+//! [`ObjectClient`]s execute them over the session-layered protocol
+//! while recording typed traces; and the setup's check hands the traces
+//! to [`causal_spec::check_object`] with the family's
+//! [`ObjectOracle`]. Four gates on top of the plain batch:
+//!
+//! * [`run_object_chaos_batch`] — the drop/partition/crash sweep across
+//!   the pipelining/batching grid, all families;
+//! * [`run_object_owner_crash_once`] — a typed object surviving
+//!   permanent owner fail-stop via epoch-stamped failover;
+//! * [`run_object_recovery_once`] — kill -9 + write-ahead-log recovery
+//!   ([`DurableActor`]) with the object oracle as acceptance;
+//! * [`run_object_mutation_once`] — a deliberately broken merge policy
+//!   ([`BrokenFirstObserved`]) that the oracle must reject, proving the
+//!   checker actually distinguishes right from wrong answers.
+
+use std::sync::Arc;
+
+use causal_dsm::{CausalConfig, DurableConfig, FailoverConfig, SyncPolicy, WritePolicy};
+use causal_spec::{check_causal, check_object, Execution};
+use dsm_objects::{
+    BrokenFirstObserved, Family, GridLayout, MergePolicy, ObjOp, ObjRecorder, ObjVal,
+    ObjectClient, ObjectOracle, PolicyKind,
+};
+use dsm_sim::{Client, RunLimits, Sim, SimOpts};
+use memcore::{NodeId, Recorder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simnet::latency::Uniform;
+
+use crate::chaos::{
+    run_chaos_shaped, sample_throughput_config, ChaosBatch, ChaosConfig, ChaosOutcome, ChaosSetup,
+};
+use crate::injector::FaultInjector;
+use crate::plan::{FaultPlan, LinkFaults};
+use crate::recovery::DurableActor;
+
+/// The canonical family rotation: `seed % 4` picks the object family, so
+/// any contiguous seed range covers all four.
+#[must_use]
+pub fn object_family(seed: u64) -> Family {
+    [Family::Counter, Family::Set, Family::Map, Family::Queue][(seed % 4) as usize]
+}
+
+/// The seeded object workload for `seed`: the family (from
+/// [`object_family`]), its grid layout, the merge policy the run
+/// declares (maps cycle through all three canonical policies with
+/// `seed / 4`), and one [`ObjOp`] script per node, drawn from a
+/// seed-keyed RNG stream distinct from the fault/latency streams.
+///
+/// Every script ends with a `Refresh` + final query, so each run
+/// exercises the read-your-refreshed-view path the §4.2 dictionary
+/// relies on.
+#[must_use]
+pub fn object_workload(
+    seed: u64,
+    cfg: &ChaosConfig,
+) -> (Family, GridLayout, PolicyKind, Vec<Vec<ObjOp>>) {
+    let family = object_family(seed);
+    let nodes = cfg.nodes as usize;
+    let ops = cfg.ops_per_node.max(2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0B1E_C7F0_0D5E_ED01);
+    let policy = match family {
+        Family::Map => [
+            PolicyKind::LastWriter,
+            PolicyKind::OwnerWins { rows: nodes },
+            PolicyKind::Commutative,
+        ][((seed / 4) % 3) as usize],
+        _ => PolicyKind::LastWriter,
+    };
+    let layout = match family {
+        Family::Counter => GridLayout::new(nodes, 2),
+        // Rows sized so a node appending on every op never runs out.
+        Family::Set | Family::Queue => GridLayout::new(nodes, ops),
+        Family::Map => GridLayout::new(nodes, 4),
+    };
+    let scripts = (0..nodes)
+        .map(|row| {
+            let mut script = Vec::with_capacity(ops + 2);
+            let mut pushed = 0i64;
+            for _ in 0..ops.saturating_sub(2) {
+                let op = match family {
+                    Family::Counter => match rng.gen_range(0..6u32) {
+                        0..=2 => {
+                            let d = rng.gen_range(1..=5i64);
+                            ObjOp::CtrAdd(if rng.gen_bool(0.3) { -d } else { d })
+                        }
+                        3 => ObjOp::Refresh,
+                        _ => ObjOp::CtrValue,
+                    },
+                    Family::Set => match rng.gen_range(0..6u32) {
+                        0..=2 => ObjOp::SetAdd(rng.gen_range(0..6i64)),
+                        3 => ObjOp::SetRemove(rng.gen_range(0..6i64)),
+                        4 => ObjOp::SetContains(rng.gen_range(0..6i64)),
+                        _ => ObjOp::Refresh,
+                    },
+                    Family::Map => match rng.gen_range(0..6u32) {
+                        0..=2 => ObjOp::MapPut(rng.gen_range(0..4i64), rng.gen_range(1..100i64)),
+                        3 => ObjOp::MapGet(rng.gen_range(0..4i64)),
+                        4 => ObjOp::MapRemove(rng.gen_range(0..4i64)),
+                        _ => ObjOp::Refresh,
+                    },
+                    Family::Queue => match rng.gen_range(0..6u32) {
+                        0..=2 => {
+                            pushed += 1;
+                            ObjOp::QPush(row as i64 * 1_000 + pushed)
+                        }
+                        3..=4 => ObjOp::QPop,
+                        _ => ObjOp::Refresh,
+                    },
+                };
+                script.push(op);
+            }
+            script.push(ObjOp::Refresh);
+            script.push(match family {
+                Family::Counter => ObjOp::CtrValue,
+                Family::Set => ObjOp::SetContains(rng.gen_range(0..6i64)),
+                Family::Map => ObjOp::MapGet(rng.gen_range(0..4i64)),
+                Family::Queue => ObjOp::QPop,
+            });
+            script
+        })
+        .collect();
+    (family, layout, policy, scripts)
+}
+
+/// Assembles the [`ChaosSetup`] every object runner shares: clients on
+/// the grid (optionally leaving `skip` clientless — the crash victim),
+/// the grid-owned protocol configuration, and the per-object oracle as
+/// the workload-specific check.
+fn object_setup(
+    cfg: &ChaosConfig,
+    layout: GridLayout,
+    scripts: Vec<Vec<ObjOp>>,
+    runtime: impl MergePolicy + Clone,
+    oracle: ObjectOracle,
+    skip: Option<usize>,
+    failover: bool,
+) -> ChaosSetup<ObjVal> {
+    let typed = ObjRecorder::new(layout.rows());
+    let clients = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(row, script)| {
+            if Some(row) == skip {
+                return None;
+            }
+            Some(Box::new(
+                ObjectClient::new(layout, row, script, runtime.clone())
+                    .with_recorder(typed.clone()),
+            ) as Box<dyn Client<ObjVal>>)
+        })
+        .collect();
+    let mut builder = CausalConfig::<ObjVal>::builder(layout.rows() as u32, layout.locations())
+        .owners(layout.owners())
+        .policy(WritePolicy::OwnerFavored)
+        .pipeline_window(cfg.pipeline_window)
+        .batching(cfg.batching);
+    if failover {
+        builder = builder.failover(FailoverConfig::default());
+    }
+    ChaosSetup::new(builder.build(), clients)
+        .with_check(move |_| check_object(&typed.processes(), &oracle).violations)
+}
+
+/// Runs one seeded **object** chaos execution: the seed's family and
+/// scripts (from [`object_workload`]) under the seed's random fault
+/// plan, checked by the causal oracle *and* the family's sequential-spec
+/// oracle. Identical `(seed, cfg)` reproduce the execution exactly.
+#[must_use]
+pub fn run_object_chaos_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome<ObjVal> {
+    let (family, layout, policy, scripts) = object_workload(seed, cfg);
+    let plan = if cfg.fault_free {
+        FaultPlan::none()
+    } else {
+        FaultPlan::random(seed, cfg.nodes, cfg.horizon)
+    };
+    let oracle = ObjectOracle::new(family, layout).with_policy(policy);
+    let setup = object_setup(cfg, layout, scripts, policy, oracle, None, false);
+    run_chaos_shaped(seed, cfg, plan, setup, false)
+}
+
+/// Runs `count` object chaos executions with seeds `first_seed..`, each
+/// under [`sample_throughput_config`] — one batch sweeps all four
+/// families across the pipelining/batching grid under faults.
+#[must_use]
+pub fn run_object_chaos_batch(first_seed: u64, count: usize, cfg: &ChaosConfig) -> ChaosBatch<ObjVal> {
+    let mut batch = ChaosBatch::default();
+    for seed in first_seed..first_seed + count as u64 {
+        batch.absorb(run_object_chaos_once(seed, &sample_throughput_config(cfg, seed)));
+    }
+    batch
+}
+
+/// Deterministically derives the object-grid crash scenario for `seed`:
+/// a seed-chosen page's row owner crashes inside `[horizon/4,
+/// horizon/2)` (restarting a quarter-horizon later iff `restart`), over
+/// links with a light seed-derived drop rate. Returns the plan and the
+/// victim's index.
+fn object_crash_plan(
+    seed: u64,
+    cfg: &ChaosConfig,
+    layout: GridLayout,
+    restart: bool,
+) -> (FaultPlan, u32) {
+    use memcore::OwnerMap as _;
+    let owners = layout.owners();
+    let page = memcore::PageId::new((seed % u64::from(layout.locations())) as u32);
+    let victim = owners.owner_of_page(page).index() as u32;
+    let quarter = (cfg.horizon / 4).max(1);
+    let crash_at = quarter + seed.wrapping_mul(7919) % quarter;
+    let drop = (seed % 8) as f64 * 0.01;
+    let mut plan =
+        FaultPlan::uniform(LinkFaults::dropping(drop)).crash_owner_at(&owners, page, crash_at);
+    if restart {
+        plan = plan.restart_at(crash_at + quarter.max(2));
+    }
+    (plan, victim)
+}
+
+/// Runs one seeded object **owner-crash** execution: the seed's object
+/// workload with failover enabled and a permanent fail-stop of a
+/// seed-chosen row's owner mid-run. The victim gets no client (it is a
+/// pure server), so `wedged == false` states that every surviving
+/// process drove its typed object to completion across the migration —
+/// and the per-object oracle accepts the recorded history.
+#[must_use]
+pub fn run_object_owner_crash_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome<ObjVal> {
+    // Stamped failover envelopes travel solo (see `run_owner_crash_once`).
+    let cfg = ChaosConfig {
+        batching: false,
+        ..cfg.clone()
+    };
+    let (family, layout, policy, scripts) = object_workload(seed, &cfg);
+    let (plan, victim) = object_crash_plan(seed, &cfg, layout, false);
+    let oracle = ObjectOracle::new(family, layout).with_policy(policy);
+    let setup = object_setup(
+        &cfg,
+        layout,
+        scripts,
+        policy,
+        oracle,
+        Some(victim as usize),
+        true,
+    );
+    run_chaos_shaped(seed, &cfg, plan, setup, true)
+}
+
+/// Runs `count` object owner-crash executions with seeds `first_seed..`
+/// (pipeline window alternating `{0, 32}` with seed parity, as in the
+/// register owner-crash grid).
+#[must_use]
+pub fn run_object_owner_crash_batch(
+    first_seed: u64,
+    count: usize,
+    cfg: &ChaosConfig,
+) -> ChaosBatch<ObjVal> {
+    let mut batch = ChaosBatch::default();
+    for seed in first_seed..first_seed + count as u64 {
+        batch.absorb(run_object_owner_crash_once(
+            seed,
+            &crate::chaos::sample_owner_crash_config(cfg, seed),
+        ));
+    }
+    batch
+}
+
+/// The mutation run: the seed's fault plan over a map workload whose
+/// **runtime** resolves conflicts with the deliberately broken
+/// order-dependent [`BrokenFirstObserved`] policy while the **oracle**
+/// checks against the declared [`PolicyKind::Commutative`] spec.
+///
+/// Every node binds key 0 to its own value and then repeatedly
+/// refreshes and looks the key up, so views with two or more visible
+/// bindings are common; any such lookup whose first-observed binding is
+/// not the maximum diverges from the spec and must be flagged. The test
+/// suite asserts a known seed is rejected — the oracle's teeth.
+#[must_use]
+pub fn run_object_mutation_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome<ObjVal> {
+    let nodes = cfg.nodes as usize;
+    let layout = GridLayout::new(nodes, 2);
+    let scripts: Vec<Vec<ObjOp>> = (0..nodes)
+        .map(|row| {
+            let mut script = vec![ObjOp::MapPut(0, row as i64 + 1)];
+            for _ in 0..4 {
+                script.push(ObjOp::Refresh);
+                script.push(ObjOp::MapGet(0));
+            }
+            script
+        })
+        .collect();
+    let plan = if cfg.fault_free {
+        FaultPlan::none()
+    } else {
+        FaultPlan::random(seed, cfg.nodes, cfg.horizon)
+    };
+    let oracle = ObjectOracle::new(Family::Map, layout).with_policy(PolicyKind::Commutative);
+    let setup = object_setup(cfg, layout, scripts, BrokenFirstObserved, oracle, None, false);
+    run_chaos_shaped(seed, cfg, plan, setup, false)
+}
+
+/// Runs one seeded object **kill -9 + recovery** execution: the seed's
+/// object workload on a durable cluster ([`DurableActor`], write-ahead
+/// log under [`SyncPolicy::EveryOp`]) whose seed-chosen row owner is
+/// killed mid-run — losing its unsynced WAL tail plus a seeded
+/// mid-record tear — and restarted against the surviving bytes.
+///
+/// Acceptance is the full stack: termination of every surviving client,
+/// causality of the recorded register execution, the victim's
+/// incarnation bump, no certified write lost at the recovery instant
+/// (the durability oracle), **and** the per-object sequential-spec
+/// oracle over the typed traces.
+#[must_use]
+pub fn run_object_recovery_once(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome<ObjVal> {
+    let cfg = ChaosConfig {
+        batching: false,
+        ..cfg.clone()
+    };
+    let (family, layout, policy, scripts) = object_workload(seed, &cfg);
+    let (plan, victim) = object_crash_plan(seed, &cfg, layout, true);
+    let faults: Arc<dyn simnet::FaultHook> = Arc::new(FaultInjector::new(seed, plan.clone()));
+    let recorder: Recorder<ObjVal> = Recorder::new(cfg.nodes as usize);
+    let typed = ObjRecorder::new(layout.rows());
+    let config = CausalConfig::<ObjVal>::builder(cfg.nodes, layout.locations())
+        .owners(layout.owners())
+        .policy(WritePolicy::OwnerFavored)
+        .pipeline_window(cfg.pipeline_window)
+        .failover(FailoverConfig::default())
+        .durability(DurableConfig {
+            sync: SyncPolicy::EveryOp,
+            checkpoint_every: 32,
+        })
+        .build();
+    let actors = (0..cfg.nodes)
+        .map(|i| {
+            DurableActor::new(
+                NodeId::new(i),
+                config.clone(),
+                cfg.rto,
+                seed ^ u64::from(i).wrapping_mul(0xA24B_AED4_963E_E407),
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(
+        actors,
+        SimOpts {
+            latency: Box::new(Uniform::new(1, 8)),
+            seed,
+            recorder: Some(recorder.clone()),
+            faults: Some(faults),
+            ..SimOpts::default()
+        },
+    );
+    for (row, script) in scripts.into_iter().enumerate() {
+        if row == victim as usize {
+            continue;
+        }
+        sim.set_client(
+            row,
+            ObjectClient::new(layout, row, script, policy).with_recorder(typed.clone()),
+        );
+    }
+    let limits = RunLimits {
+        max_events: cfg.limits.max_events,
+        max_time: cfg.limits.max_time.min(cfg.horizon.saturating_mul(10)),
+    };
+    let report = sim.run(limits);
+    let exec = Execution::from_recorder(&recorder);
+    let mut violations: Vec<String> = match check_causal(&exec) {
+        Ok(causal) => causal.violations.iter().map(ToString::to_string).collect(),
+        Err(err) => vec![format!("execution graph error: {err}")],
+    };
+    let victim_actor = sim.actor(victim as usize);
+    if victim_actor.restarts() == 0 {
+        violations.push(format!("victim {victim} never restarted"));
+    } else if victim_actor.incarnation() == 0 {
+        violations.push(format!(
+            "victim {victim} restarted without bumping incarnation"
+        ));
+    }
+    violations.extend(victim_actor.violations().iter().cloned());
+    let oracle = ObjectOracle::new(family, layout).with_policy(policy);
+    violations.extend(check_object(&typed.processes(), &oracle).violations);
+    ChaosOutcome {
+        seed,
+        plan,
+        wedged: !report.all_done,
+        violations,
+        time: report.time,
+        messages: sim.messages().snapshot(),
+        ops_recorded: recorder.total_ops(),
+        ops: recorder.processes(),
+        pipeline_window: cfg.pipeline_window,
+        batching: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_chaos_covers_every_family_cleanly() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..4u64 {
+            let (family, ..) = object_workload(seed, &cfg);
+            assert_eq!(family, object_family(seed));
+            let outcome = run_object_chaos_once(seed, &cfg);
+            assert!(outcome.ok(), "family {}: {outcome}", family.name());
+            assert!(outcome.ops_recorded > 0);
+        }
+    }
+
+    #[test]
+    fn object_runs_reproduce_exactly() {
+        let cfg = sample_throughput_config(&ChaosConfig::default(), 5);
+        let a = run_object_chaos_once(5, &cfg);
+        let b = run_object_chaos_once(5, &cfg);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.messages.by_kind(), b.messages.by_kind());
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn object_batch_sweeps_the_grid_green() {
+        let batch = run_object_chaos_batch(0, 8, &ChaosConfig::default());
+        assert_eq!(batch.runs, 8);
+        assert!(batch.all_ok(), "{batch}");
+        assert!(batch.protocol_messages > 0);
+    }
+
+    #[test]
+    fn broken_merge_policy_is_rejected_by_the_oracle() {
+        // A seeded chaos run whose views are known to observe concurrent
+        // bindings: the broken first-observed runtime answer diverges
+        // from the declared commutative spec and must be flagged.
+        let outcome = run_object_mutation_once(1, &ChaosConfig::default());
+        assert!(!outcome.ok(), "mutation escaped the oracle: {outcome}");
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.contains("sequential spec")),
+            "{outcome}"
+        );
+    }
+
+    #[test]
+    fn typed_object_survives_owner_failover() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..2u64 {
+            let outcome = run_object_owner_crash_once(seed, &cfg);
+            assert!(outcome.ok(), "seed {seed}: {outcome}");
+            // The plan really contains a permanent owner crash.
+            assert!(outcome.plan.crashes.iter().any(|c| c.restart == u64::MAX));
+        }
+    }
+
+    #[test]
+    fn typed_object_survives_kill_and_wal_recovery() {
+        let cfg = ChaosConfig::default();
+        let outcome = run_object_recovery_once(0, &cfg);
+        assert!(outcome.ok(), "{outcome}");
+        // The plan crashes *and* restarts the victim.
+        assert!(outcome.plan.crashes.iter().all(|c| c.restart != u64::MAX));
+    }
+
+    #[test]
+    fn object_owner_crash_runs_reproduce_exactly() {
+        let cfg = crate::chaos::sample_owner_crash_config(&ChaosConfig::default(), 3);
+        let a = run_object_owner_crash_once(3, &cfg);
+        let b = run_object_owner_crash_once(3, &cfg);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.ops, b.ops);
+    }
+}

@@ -91,6 +91,37 @@ pub trait SharedMemory<V: Value> {
     /// paper; discarding them is a no-op.
     fn discard(&self, loc: Location);
 
+    /// Performs `r_i(x)` and also reports which write the returned value
+    /// came from, when the engine tracks write tags.
+    ///
+    /// Typed object layers (`dsm-objects`) use the tag to log which
+    /// concrete writes each high-level operation observed, which is what
+    /// lets the per-object sequential-spec checker reconstruct an
+    /// operation's view. Engines without write tagging fall back to this
+    /// default and report `None`; the causal engine overrides it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SharedMemory::read`].
+    fn read_tagged(&self, loc: Location) -> Result<(V, Option<WriteId>), MemoryError> {
+        Ok((self.read(loc)?, None))
+    }
+
+    /// Performs `w_i(x)v` and reports the write's unique tag, when the
+    /// engine assigns one.
+    ///
+    /// The counterpart to [`SharedMemory::read_tagged`]: typed object
+    /// layers log the tag of every write an operation issued so the
+    /// checker can match observations to their originating operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SharedMemory::write`].
+    fn write_tagged(&self, loc: Location, value: V) -> Result<Option<WriteId>, MemoryError> {
+        self.write(loc, value)?;
+        Ok(None)
+    }
+
     /// Discards then reads: forces the next read to consult the owner.
     ///
     /// This is the idiom the paper's liveness discussion calls for —

@@ -1,0 +1,122 @@
+//! The shared row-grid layout every object family encodes into.
+//!
+//! All four object types use the §4.2 dictionary's shape: an `n × m`
+//! grid of single-cell pages in which **process `P_i` owns row `i`** and
+//! performs its state-changing appends only there, so concurrent updates
+//! by different processes land in different single-writer cells and never
+//! conflict at the register level. The remaining cross-row conflicts
+//! (deletes, map removals) are what the per-type merge policies resolve.
+
+use memcore::{ExplicitOwners, Location, NodeId};
+
+/// An `n`-row × `m`-column grid of locations, row `i` owned by `P_i`,
+/// page size 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridLayout {
+    n: usize,
+    m: usize,
+}
+
+impl GridLayout {
+    /// A layout for `n` processes with `m` cells per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `m` is zero.
+    #[must_use]
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n > 0, "grid needs at least one process");
+        assert!(m > 0, "grid rows need at least one cell");
+        GridLayout { n, m }
+    }
+
+    /// Number of processes (rows).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Cells per row.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    /// The location of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn slot(&self, row: usize, col: usize) -> Location {
+        assert!(row < self.n && col < self.m, "slot out of range");
+        Location::new((row * self.m + col) as u32)
+    }
+
+    /// Total locations.
+    #[must_use]
+    pub fn locations(&self) -> u32 {
+        (self.n * self.m) as u32
+    }
+
+    /// The location of flat cell index `flat` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn slot_flat(&self, flat: usize) -> Location {
+        self.slot(flat / self.m, flat % self.m)
+    }
+
+    /// The `(row, col)` of a location in this grid.
+    #[must_use]
+    pub fn coords(&self, loc: Location) -> (usize, usize) {
+        (loc.index() / self.m, loc.index() % self.m)
+    }
+
+    /// Owner map: `P_i` owns every cell of row `i`.
+    #[must_use]
+    pub fn owners(&self) -> ExplicitOwners {
+        let table = (0..self.n)
+            .flat_map(|row| std::iter::repeat_n(NodeId::new(row as u32), self.m))
+            .collect();
+        ExplicitOwners::new(self.n as u32, 1, table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcore::OwnerMap;
+
+    #[test]
+    fn rows_map_to_their_owners() {
+        let layout = GridLayout::new(3, 4);
+        for row in 0..3 {
+            for col in 0..4 {
+                assert_eq!(
+                    layout.owners().owner_of(layout.slot(row, col)),
+                    NodeId::new(row as u32)
+                );
+            }
+        }
+        assert_eq!(layout.locations(), 12);
+    }
+
+    #[test]
+    fn flat_and_coords_round_trip() {
+        let layout = GridLayout::new(2, 3);
+        for flat in 0..6 {
+            let loc = layout.slot_flat(flat);
+            let (r, c) = layout.coords(loc);
+            assert_eq!(layout.slot(r, c), loc);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        let _ = GridLayout::new(2, 2).slot(2, 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The typed-operation alphabet shared by all object families.
+//!
+//! One enum covers every family so a single recorder, client, and oracle
+//! type parameterization serves the whole crate; each concrete object
+//! only ever emits its own subset.
+
+use causal_spec::{TypedOp, TypedRecorder};
+
+use crate::value::ObjVal;
+
+/// A high-level object operation (kind + arguments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjOp {
+    /// PN-counter: add `delta` (negative deltas decrement).
+    CtrAdd(i64),
+    /// PN-counter: read the current value.
+    CtrValue,
+    /// OR-set: add an item to this process's own row.
+    SetAdd(i64),
+    /// OR-set: observed-remove an item wherever this view finds it.
+    SetRemove(i64),
+    /// OR-set: membership query on this process's view.
+    SetContains(i64),
+    /// Map: bind `key → val` in this process's own row.
+    MapPut(i64, i64),
+    /// Map: look a key up, resolving concurrent bindings by policy.
+    MapGet(i64),
+    /// Map: remove every observed binding of a key.
+    MapRemove(i64),
+    /// FIFO queue: append an item to this producer's row.
+    QPush(i64),
+    /// FIFO queue: consume the next visible item (per-producer FIFO).
+    QPop,
+    /// Discard all non-owned cells (the paper's view-liveness `discard`).
+    Refresh,
+}
+
+/// The abstract return value of a typed operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjRet {
+    /// No payload (updates, refresh).
+    Unit,
+    /// Success / membership flags.
+    Bool(bool),
+    /// Counter values.
+    Int(i64),
+    /// Lookup / pop results.
+    Opt(Option<i64>),
+}
+
+/// The typed-operation recorder all object clients share.
+pub type ObjRecorder = TypedRecorder<ObjVal, ObjOp, ObjRet>;
+
+/// One recorded typed operation.
+pub type ObjTypedOp = TypedOp<ObjVal, ObjOp, ObjRet>;

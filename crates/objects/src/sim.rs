@@ -1,0 +1,554 @@
+//! The typed objects as a simulator client — one resumable state machine
+//! covering every family, so chaos plans and adversarial schedules can
+//! drive object workloads exactly as they drive register scripts.
+//!
+//! [`ObjectClient`] performs each [`ObjOp`] with the same register
+//! accesses the threaded objects issue (own-row appends, row-major
+//! scans, cursor probes, discard sweeps), records the tagged
+//! observations into an [`ObjRecorder`], and hands the recorded history
+//! to [`causal_spec::check_object`] via the family's
+//! [`ObjectOracle`](crate::ObjectOracle).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use causal_spec::{Obs, TypedOp};
+use dsm_sim::{Client, ClientOp, Outcome};
+use memcore::{Location, NodeId, WriteId};
+
+use crate::layout::GridLayout;
+use crate::ops::{ObjOp, ObjRecorder, ObjRet};
+use crate::policy::{Candidate, MergePolicy};
+use crate::value::ObjVal;
+
+/// Observes every finished `(op, ret)` pair, in program order (used by
+/// ports that keep their own result logs).
+pub type FinishHook = Box<dyn FnMut(ObjOp, ObjRet) + Send>;
+
+enum Phase {
+    /// Reading flat slots `cursor..end` (semantics depend on the op).
+    Scan { cursor: usize, end: usize },
+    /// Queue pop: awaiting the cell under producer `reading`'s cursor.
+    Probe { reading: usize },
+    /// Draining the op's pending writes.
+    Commit,
+    /// Discarding non-owned slots starting at flat `cursor`.
+    Discard { cursor: usize },
+}
+
+enum Awaiting {
+    None,
+    Read(Location),
+    Write(Location, ObjVal),
+    Discard,
+}
+
+/// A scripted object process for the deterministic simulator.
+pub struct ObjectClient {
+    layout: GridLayout,
+    row: usize,
+    policy: Arc<dyn MergePolicy>,
+    script: std::vec::IntoIter<ObjOp>,
+    current: Option<ObjOp>,
+    phase: Phase,
+    awaiting: Awaiting,
+    heads: Vec<usize>,
+    // Per-operation scratch state, reset by `finish`.
+    observed: Vec<Obs<ObjVal>>,
+    wrote: Vec<Obs<ObjVal>>,
+    last_read: Option<(Location, ObjVal, WriteId)>,
+    first_free: Option<Location>,
+    candidates: Vec<Candidate>,
+    pending: VecDeque<(Location, ObjVal)>,
+    total: i64,
+    rec: Option<ObjRecorder>,
+    on_finish: Option<FinishHook>,
+}
+
+impl ObjectClient {
+    /// A client for process `row` of `layout`, running `script`; map
+    /// lookups resolve concurrent bindings with `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn new(
+        layout: GridLayout,
+        row: usize,
+        script: Vec<ObjOp>,
+        policy: impl MergePolicy,
+    ) -> Self {
+        assert!(row < layout.rows(), "row out of range");
+        ObjectClient {
+            layout,
+            row,
+            policy: Arc::new(policy),
+            script: script.into_iter(),
+            current: None,
+            phase: Phase::Scan { cursor: 0, end: 0 },
+            awaiting: Awaiting::None,
+            heads: vec![0; layout.rows()],
+            observed: Vec::new(),
+            wrote: Vec::new(),
+            last_read: None,
+            first_free: None,
+            candidates: Vec::new(),
+            pending: VecDeque::new(),
+            total: 0,
+            rec: None,
+            on_finish: None,
+        }
+    }
+
+    /// Records every finished operation's typed trace into `rec`.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: ObjRecorder) -> Self {
+        self.rec = Some(rec);
+        self
+    }
+
+    /// Calls `hook` with every finished `(op, ret)` pair.
+    #[must_use]
+    pub fn with_finish_hook(mut self, hook: FinishHook) -> Self {
+        self.on_finish = Some(hook);
+        self
+    }
+
+    fn flat(&self, flat: usize) -> Location {
+        self.layout.slot_flat(flat)
+    }
+
+    /// The flat scan range an operation covers: own-row for appends and
+    /// counter bumps, the whole grid for queries and removes.
+    fn scan_range(&self, op: ObjOp) -> (usize, usize) {
+        let own_start = self.row * self.layout.cols();
+        match op {
+            ObjOp::CtrAdd(delta) => {
+                let cell = own_start + usize::from(delta < 0);
+                (cell, cell + 1)
+            }
+            ObjOp::SetAdd(_) | ObjOp::QPush(_) | ObjOp::MapPut(..) => {
+                (own_start, own_start + self.layout.cols())
+            }
+            _ => (0, self.layout.rows() * self.layout.cols()),
+        }
+    }
+
+    fn begin(&mut self, op: ObjOp) {
+        self.current = Some(op);
+        match op {
+            ObjOp::Refresh => self.phase = Phase::Discard { cursor: 0 },
+            ObjOp::QPop => match self.eligible_producer(0) {
+                Some(p) => self.phase = Phase::Probe { reading: p },
+                None => {
+                    self.finish(ObjRet::Opt(None));
+                }
+            },
+            _ => {
+                let (start, end) = self.scan_range(op);
+                self.phase = Phase::Scan { cursor: start, end };
+            }
+        }
+    }
+
+    /// The first producer row at or after `from` whose cursor still has
+    /// cells left to poll.
+    fn eligible_producer(&self, from: usize) -> Option<usize> {
+        (from..self.layout.rows()).find(|&p| self.heads[p] < self.layout.cols())
+    }
+
+    fn finish(&mut self, ret: ObjRet) {
+        let op = self.current.take().expect("finish mid-operation");
+        if let Some(rec) = &self.rec {
+            rec.record(
+                NodeId::new(self.row as u32),
+                TypedOp {
+                    desc: op,
+                    returned: ret,
+                    observed: std::mem::take(&mut self.observed),
+                    wrote: std::mem::take(&mut self.wrote),
+                },
+            );
+        } else {
+            self.observed.clear();
+            self.wrote.clear();
+        }
+        if let Some(hook) = &mut self.on_finish {
+            hook(op, ret);
+        }
+        self.first_free = None;
+        self.candidates.clear();
+        self.pending.clear();
+        self.total = 0;
+        self.last_read = None;
+    }
+
+    /// Folds the previous read into the scan: records candidates and
+    /// running sums, and returns `Some(ret)` when the op resolves early,
+    /// or commits pending writes by switching phase.
+    fn interpret(&mut self, op: ObjOp, loc: Location, value: ObjVal) -> Option<ObjRet> {
+        match op {
+            ObjOp::CtrAdd(delta) => {
+                let old = value.as_count().unwrap_or(0);
+                self.pending
+                    .push_back((loc, ObjVal::Count(old + delta.unsigned_abs())));
+                self.phase = Phase::Commit;
+            }
+            ObjOp::CtrValue => {
+                let count = value.as_count().unwrap_or(0) as i64;
+                let (_, col) = self.layout.coords(loc);
+                self.total += if col == crate::counter::POS { count } else { -count };
+            }
+            ObjOp::SetAdd(item) | ObjOp::QPush(item) => {
+                if value.is_free() {
+                    self.pending.push_back((loc, ObjVal::Item(item)));
+                    self.phase = Phase::Commit;
+                }
+            }
+            ObjOp::SetRemove(item) => {
+                if value == ObjVal::Item(item) {
+                    self.pending.push_back((loc, ObjVal::Free));
+                    self.phase = Phase::Commit;
+                }
+            }
+            ObjOp::SetContains(item) => {
+                if value == ObjVal::Item(item) {
+                    return Some(ObjRet::Bool(true));
+                }
+            }
+            ObjOp::MapPut(key, val) => match value {
+                ObjVal::Entry(k, _) if k == key => {
+                    self.pending.push_back((loc, ObjVal::Entry(key, val)));
+                    self.phase = Phase::Commit;
+                }
+                ObjVal::Free if self.first_free.is_none() => self.first_free = Some(loc),
+                _ => {}
+            },
+            ObjOp::MapGet(key) => {
+                if let ObjVal::Entry(k, val) = value {
+                    if k == key {
+                        let wid = self
+                            .observed
+                            .last()
+                            .map_or_else(|| WriteId::initial(loc), |o| o.wid);
+                        self.candidates.push(Candidate {
+                            row: self.layout.coords(loc).0,
+                            wid,
+                            val,
+                        });
+                    }
+                }
+            }
+            ObjOp::MapRemove(key) => {
+                if matches!(value, ObjVal::Entry(k, _) if k == key) {
+                    self.pending.push_back((loc, ObjVal::Free));
+                }
+            }
+            ObjOp::QPop | ObjOp::Refresh => unreachable!("not scan operations"),
+        }
+        None
+    }
+
+    /// The result of a scan that reached its end without resolving.
+    fn scan_exhausted(&mut self, op: ObjOp) -> Option<ObjRet> {
+        match op {
+            ObjOp::CtrValue => Some(ObjRet::Int(self.total)),
+            ObjOp::SetAdd(_) | ObjOp::QPush(_) | ObjOp::SetRemove(_) | ObjOp::SetContains(_) => {
+                Some(ObjRet::Bool(false))
+            }
+            ObjOp::MapPut(key, val) => match self.first_free.take() {
+                Some(loc) => {
+                    self.pending.push_back((loc, ObjVal::Entry(key, val)));
+                    self.phase = Phase::Commit;
+                    None
+                }
+                None => Some(ObjRet::Bool(false)),
+            },
+            ObjOp::MapGet(key) => Some(ObjRet::Opt(if self.candidates.is_empty() {
+                None
+            } else {
+                Some(self.policy.resolve(key, &self.candidates))
+            })),
+            ObjOp::MapRemove(_) => {
+                if self.pending.is_empty() {
+                    Some(ObjRet::Bool(false))
+                } else {
+                    self.phase = Phase::Commit;
+                    None
+                }
+            }
+            _ => unreachable!("ops with early exits never exhaust"),
+        }
+    }
+
+    /// The return value a committed (write-completing) operation reports.
+    fn commit_ret(op: ObjOp) -> ObjRet {
+        match op {
+            ObjOp::CtrAdd(_) => ObjRet::Unit,
+            _ => ObjRet::Bool(true),
+        }
+    }
+
+    /// Absorbs the previous operation's outcome into the typed trace.
+    fn absorb(&mut self, last: Option<&Outcome<ObjVal>>) {
+        match std::mem::replace(&mut self.awaiting, Awaiting::None) {
+            Awaiting::None => {}
+            Awaiting::Read(loc) => {
+                let Some(Outcome::Read { value, wid }) = last else {
+                    panic!("scan step expects a read outcome");
+                };
+                self.observed.push(Obs::new(loc, *wid, *value));
+                self.last_read = Some((loc, *value, *wid));
+            }
+            Awaiting::Write(loc, value) => {
+                let Some(Outcome::Wrote { wid, .. }) = last else {
+                    panic!("commit step expects a write outcome");
+                };
+                self.wrote.push(Obs::new(loc, *wid, value));
+            }
+            Awaiting::Discard => {}
+        }
+    }
+}
+
+impl Client<ObjVal> for ObjectClient {
+    fn next(&mut self, last: Option<&Outcome<ObjVal>>) -> Option<ClientOp<ObjVal>> {
+        self.absorb(last);
+        loop {
+            let Some(op) = self.current else {
+                let op = self.script.next()?;
+                self.begin(op);
+                continue;
+            };
+
+            match self.phase {
+                Phase::Scan { cursor, end } => {
+                    if let Some((loc, value, _)) = self.last_read.take() {
+                        if let Some(ret) = self.interpret(op, loc, value) {
+                            self.finish(ret);
+                            continue;
+                        }
+                        if !matches!(self.phase, Phase::Scan { .. }) {
+                            continue; // the scan resolved into a commit
+                        }
+                    }
+                    if cursor >= end {
+                        if let Some(ret) = self.scan_exhausted(op) {
+                            self.finish(ret);
+                        }
+                        continue;
+                    }
+                    self.phase = Phase::Scan {
+                        cursor: cursor + 1,
+                        end,
+                    };
+                    let loc = self.flat(cursor);
+                    self.awaiting = Awaiting::Read(loc);
+                    return Some(ClientOp::Read(loc));
+                }
+                Phase::Probe { reading } => {
+                    if let Some((_, value, _)) = self.last_read.take() {
+                        if let ObjVal::Item(item) = value {
+                            self.heads[reading] += 1;
+                            self.finish(ObjRet::Opt(Some(item)));
+                            continue;
+                        }
+                        match self.eligible_producer(reading + 1) {
+                            Some(p) => self.phase = Phase::Probe { reading: p },
+                            None => {
+                                self.finish(ObjRet::Opt(None));
+                                continue;
+                            }
+                        }
+                    }
+                    let Phase::Probe { reading } = self.phase else {
+                        unreachable!()
+                    };
+                    let loc = self.layout.slot(reading, self.heads[reading]);
+                    self.awaiting = Awaiting::Read(loc);
+                    return Some(ClientOp::Read(loc));
+                }
+                Phase::Commit => {
+                    let Some((loc, value)) = self.pending.pop_front() else {
+                        self.finish(Self::commit_ret(op));
+                        continue;
+                    };
+                    self.awaiting = Awaiting::Write(loc, value);
+                    return Some(ClientOp::Write(loc, value));
+                }
+                Phase::Discard { cursor } => {
+                    let mut cursor = cursor;
+                    let total = self.layout.rows() * self.layout.cols();
+                    while cursor < total && cursor / self.layout.cols() == self.row {
+                        cursor += 1;
+                    }
+                    if cursor >= total {
+                        self.finish(ObjRet::Unit);
+                        continue;
+                    }
+                    self.phase = Phase::Discard { cursor: cursor + 1 };
+                    self.awaiting = Awaiting::Discard;
+                    return Some(ClientOp::Discard(self.flat(cursor)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_dsm::{CausalConfig, WritePolicy};
+    use causal_spec::{check_causal, check_object, Execution};
+    use dsm_sim::{causal_sim, RunLimits, SimOpts};
+    use memcore::Recorder;
+    use simnet::latency::Uniform;
+
+    use crate::oracle::{Family, ObjectOracle};
+    use crate::policy::PolicyKind;
+
+    fn run_scripts(
+        layout: GridLayout,
+        policy: PolicyKind,
+        scripts: Vec<Vec<ObjOp>>,
+        seed: u64,
+    ) -> (Vec<Vec<crate::ops::ObjTypedOp>>, Execution<ObjVal>) {
+        let recorder: Recorder<ObjVal> = Recorder::new(layout.rows());
+        let typed = ObjRecorder::new(layout.rows());
+        let config = CausalConfig::<ObjVal>::builder(layout.rows() as u32, layout.locations())
+            .owners(layout.owners())
+            .policy(WritePolicy::OwnerFavored)
+            .build();
+        let mut sim = causal_sim(
+            &config,
+            SimOpts {
+                latency: Box::new(Uniform::new(1, 12)),
+                seed,
+                recorder: Some(recorder.clone()),
+                ..SimOpts::default()
+            },
+        );
+        for (row, script) in scripts.into_iter().enumerate() {
+            sim.set_client(
+                row,
+                ObjectClient::new(layout, row, script, policy).with_recorder(typed.clone()),
+            );
+        }
+        let report = sim.run(RunLimits::default());
+        assert!(report.all_done, "{report:?}");
+        (typed.processes(), Execution::from_recorder(&recorder))
+    }
+
+    #[test]
+    fn simulated_counter_history_passes_its_oracle() {
+        let layout = GridLayout::new(2, 2);
+        for seed in 0..10u64 {
+            let scripts = vec![
+                vec![ObjOp::CtrAdd(5), ObjOp::CtrAdd(-2), ObjOp::Refresh, ObjOp::CtrValue],
+                vec![ObjOp::CtrAdd(3), ObjOp::Refresh, ObjOp::CtrValue],
+            ];
+            let (history, exec) = run_scripts(layout, PolicyKind::LastWriter, scripts, seed);
+            assert!(check_causal(&exec).unwrap().is_correct(), "seed {seed}");
+            let oracle = ObjectOracle::new(Family::Counter, layout);
+            let report = check_object(&history, &oracle);
+            assert!(report.is_correct(), "seed {seed}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn simulated_set_history_passes_its_oracle() {
+        let layout = GridLayout::new(3, 4);
+        for seed in 0..10u64 {
+            let scripts = vec![
+                vec![ObjOp::SetAdd(1), ObjOp::SetAdd(2), ObjOp::Refresh, ObjOp::SetContains(10)],
+                vec![ObjOp::SetAdd(10), ObjOp::Refresh, ObjOp::SetRemove(1)],
+                vec![ObjOp::Refresh, ObjOp::SetContains(2), ObjOp::SetRemove(10)],
+            ];
+            let (history, exec) = run_scripts(layout, PolicyKind::LastWriter, scripts, seed);
+            assert!(check_causal(&exec).unwrap().is_correct(), "seed {seed}");
+            let oracle = ObjectOracle::new(Family::Set, layout);
+            let report = check_object(&history, &oracle);
+            assert!(report.is_correct(), "seed {seed}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn simulated_map_history_passes_its_oracle() {
+        let layout = GridLayout::new(2, 3);
+        let policy = PolicyKind::OwnerWins { rows: 2 };
+        for seed in 0..10u64 {
+            let scripts = vec![
+                vec![ObjOp::MapPut(1, 10), ObjOp::Refresh, ObjOp::MapGet(1), ObjOp::MapGet(2)],
+                vec![ObjOp::MapPut(1, 20), ObjOp::MapPut(2, 5), ObjOp::Refresh, ObjOp::MapRemove(2)],
+            ];
+            let (history, exec) = run_scripts(layout, policy, scripts, seed);
+            assert!(check_causal(&exec).unwrap().is_correct(), "seed {seed}");
+            let oracle = ObjectOracle::new(Family::Map, layout).with_policy(policy);
+            let report = check_object(&history, &oracle);
+            assert!(report.is_correct(), "seed {seed}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn simulated_queue_history_passes_its_oracle() {
+        let layout = GridLayout::new(2, 4);
+        for seed in 0..10u64 {
+            let scripts = vec![
+                vec![ObjOp::QPush(10), ObjOp::QPush(11), ObjOp::QPush(12)],
+                vec![
+                    ObjOp::Refresh,
+                    ObjOp::QPop,
+                    ObjOp::Refresh,
+                    ObjOp::QPop,
+                    ObjOp::Refresh,
+                    ObjOp::QPop,
+                ],
+            ];
+            let (history, exec) = run_scripts(layout, PolicyKind::LastWriter, scripts, seed);
+            assert!(check_causal(&exec).unwrap().is_correct(), "seed {seed}");
+            let oracle = ObjectOracle::new(Family::Queue, layout);
+            let report = check_object(&history, &oracle);
+            assert!(report.is_correct(), "seed {seed}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn finish_hook_sees_every_result() {
+        let layout = GridLayout::new(1, 2);
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let recorder: Recorder<ObjVal> = Recorder::new(1);
+        let config = CausalConfig::<ObjVal>::builder(1, layout.locations())
+            .owners(layout.owners())
+            .build();
+        let mut sim = causal_sim(
+            &config,
+            SimOpts {
+                latency: Box::new(Uniform::new(1, 2)),
+                seed: 0,
+                recorder: Some(recorder.clone()),
+                ..SimOpts::default()
+            },
+        );
+        sim.set_client(
+            0,
+            ObjectClient::new(
+                layout,
+                0,
+                vec![ObjOp::SetAdd(4), ObjOp::SetContains(4)],
+                PolicyKind::LastWriter,
+            )
+            .with_finish_hook(Box::new(move |op, ret| sink.lock().push((op, ret)))),
+        );
+        let report = sim.run(RunLimits::default());
+        assert!(report.all_done);
+        assert_eq!(
+            log.lock().as_slice(),
+            &[
+                (ObjOp::SetAdd(4), ObjRet::Bool(true)),
+                (ObjOp::SetContains(4), ObjRet::Bool(true)),
+            ]
+        );
+    }
+}

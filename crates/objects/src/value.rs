@@ -1,0 +1,213 @@
+//! The cell value type objects store in shared-memory locations.
+//!
+//! Every typed object encodes its state into plain causal registers
+//! holding [`ObjVal`] cells; the protocol underneath moves cells without
+//! interpreting them, so objects ride every gated layer (pipelining,
+//! batching, failover, interest scoping, durability) unchanged. The
+//! [`Wire`] implementation gives cells a realistic byte representation on
+//! the real transports, exactly as [`memcore::Word`] has — registers keep
+//! their own type, so the paper's Figure-4 traffic is untouched.
+
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::value::Value;
+use serde::{DeError, Deserialize, Serialize};
+use simnet::codec::{CodecError, Wire};
+
+/// One shared-memory cell of a typed object.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ObjVal {
+    /// The free marker `λ` — doubles as the paper's initial value 0.
+    #[default]
+    Free,
+    /// A monotone event count (one PN-counter component cell).
+    Count(u64),
+    /// A set element or queue item.
+    Item(i64),
+    /// A map binding `(key, value)`.
+    Entry(i64, i64),
+}
+
+impl ObjVal {
+    /// `true` iff the cell is free (or still holds the initial value).
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        matches!(self, ObjVal::Free)
+    }
+
+    /// The count payload, treating `Free` as 0 (the initial count).
+    ///
+    /// Returns `None` for non-count cells.
+    #[must_use]
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            ObjVal::Free => Some(0),
+            ObjVal::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The item payload, or `None` for anything else.
+    #[must_use]
+    pub fn as_item(&self) -> Option<i64> {
+        match self {
+            ObjVal::Item(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The binding payload, or `None` for anything else.
+    #[must_use]
+    pub fn as_entry(&self) -> Option<(i64, i64)> {
+        match self {
+            ObjVal::Entry(key, val) => Some((*key, *val)),
+            _ => None,
+        }
+    }
+}
+
+// Hand-rolled (de)serialization in the same tagged shape the derive
+// produces for single-payload variants: the two-field `Entry` carries
+// its payload as one `(key, val)` tuple.
+impl Serialize for ObjVal {
+    fn to_value(&self) -> Value {
+        match self {
+            ObjVal::Free => Value::Str("Free".into()),
+            ObjVal::Count(n) => Value::Map(vec![("Count".into(), n.to_value())]),
+            ObjVal::Item(v) => Value::Map(vec![("Item".into(), v.to_value())]),
+            ObjVal::Entry(key, val) => {
+                Value::Map(vec![("Entry".into(), (*key, *val).to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for ObjVal {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(tag) if tag == "Free" => Ok(ObjVal::Free),
+            Value::Map(entries) if entries.len() == 1 => match entries[0].0.as_str() {
+                "Count" => Ok(ObjVal::Count(u64::from_value(&entries[0].1)?)),
+                "Item" => Ok(ObjVal::Item(i64::from_value(&entries[0].1)?)),
+                "Entry" => {
+                    let (key, val) = <(i64, i64)>::from_value(&entries[0].1)?;
+                    Ok(ObjVal::Entry(key, val))
+                }
+                _ => Err(DeError::msg("unknown variant of ObjVal")),
+            },
+            _ => Err(DeError::msg("expected ObjVal")),
+        }
+    }
+}
+
+impl fmt::Display for ObjVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjVal::Free => write!(f, "λ"),
+            ObjVal::Count(n) => write!(f, "#{n}"),
+            ObjVal::Item(v) => write!(f, "{v}"),
+            ObjVal::Entry(key, val) => write!(f, "{key}→{val}"),
+        }
+    }
+}
+
+impl Wire for ObjVal {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ObjVal::Free => buf.put_u8(0),
+            ObjVal::Count(n) => {
+                buf.put_u8(1);
+                n.encode(buf);
+            }
+            ObjVal::Item(v) => {
+                buf.put_u8(2);
+                v.encode(buf);
+            }
+            ObjVal::Entry(key, val) => {
+                buf.put_u8(3);
+                key.encode(buf);
+                val.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(ObjVal::Free),
+            1 => Ok(ObjVal::Count(u64::decode(buf)?)),
+            2 => Ok(ObjVal::Item(i64::decode(buf)?)),
+            3 => {
+                let key = i64::decode(buf)?;
+                let val = i64::decode(buf)?;
+                Ok(ObjVal::Entry(key, val))
+            }
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            ObjVal::Free => 1,
+            ObjVal::Count(_) | ObjVal::Item(_) => 1 + 8,
+            ObjVal::Entry(..) => 1 + 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_free() {
+        assert_eq!(ObjVal::default(), ObjVal::Free);
+        assert!(ObjVal::Free.is_free());
+        assert!(!ObjVal::Item(1).is_free());
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(ObjVal::Free.as_count(), Some(0));
+        assert_eq!(ObjVal::Count(4).as_count(), Some(4));
+        assert_eq!(ObjVal::Item(9).as_count(), None);
+        assert_eq!(ObjVal::Item(9).as_item(), Some(9));
+        assert_eq!(ObjVal::Entry(1, 2).as_entry(), Some((1, 2)));
+        assert_eq!(ObjVal::Free.as_item(), None);
+    }
+
+    #[test]
+    fn wire_round_trips_every_variant() {
+        for v in [
+            ObjVal::Free,
+            ObjVal::Count(42),
+            ObjVal::Item(-7),
+            ObjVal::Entry(3, -4),
+        ] {
+            let mut buf = BytesMut::new();
+            v.encode(&mut buf);
+            assert_eq!(buf.len(), v.encoded_len());
+            let mut bytes = buf.freeze();
+            assert_eq!(ObjVal::decode(&mut bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn wire_rejects_bad_discriminant() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            ObjVal::decode(&mut bytes),
+            Err(CodecError::BadDiscriminant(9))
+        ));
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(ObjVal::Free.to_string(), "λ");
+        assert_eq!(ObjVal::Count(3).to_string(), "#3");
+        assert_eq!(ObjVal::Item(5).to_string(), "5");
+        assert_eq!(ObjVal::Entry(1, 2).to_string(), "1→2");
+    }
+}

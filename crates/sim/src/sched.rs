@@ -219,8 +219,18 @@ impl<V: Value, A: Actor<V>> Sim<V, A> {
     ///
     /// Panics if `node` is out of range.
     pub fn set_client(&mut self, node: usize, client: impl Client<V> + 'static) {
+        self.set_client_boxed(node, Box::new(client));
+    }
+
+    /// Installs an already-boxed client — the form harnesses generic over
+    /// workload hold them in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_client_boxed(&mut self, node: usize, client: Box<dyn Client<V>>) {
         assert!(node < self.actors.len(), "node out of range");
-        self.clients[node] = Some(Box::new(client));
+        self.clients[node] = Some(client);
     }
 
     /// Per-(node, kind) protocol message counters.

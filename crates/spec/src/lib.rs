@@ -48,6 +48,7 @@ mod checker;
 mod dot;
 mod exec;
 mod graph;
+pub mod objects;
 pub mod paper;
 mod sc;
 mod sessions;
@@ -59,5 +60,6 @@ pub use checker::{
 pub use dot::render_dot;
 pub use exec::{Execution, ExecutionBuilder, OpRef};
 pub use graph::{CausalGraph, GraphError};
+pub use objects::{check_object, ObjectReport, ObjectSpec, Obs, TypedOp, TypedRecorder};
 pub use sc::{check_sequential, ScVerdict};
 pub use sessions::{check_sessions, SessionGuarantee, SessionViolation};

@@ -1,0 +1,378 @@
+//! Per-object sequential-spec checking: the oracle layer for typed
+//! objects built over causal registers.
+//!
+//! The register checker ([`crate::check_causal`]) certifies Definition 2 —
+//! every *read* returns a live value. Objects (counters, sets, maps,
+//! queues) are programs over those registers, so register-level causality
+//! is necessary but not sufficient: a buggy merge policy can return a
+//! wrong *object-level* answer from perfectly causal register reads.
+//! Following Mostéfaoui, Perrin & Raynal (arXiv:1802.00706), an object
+//! defined by a sequential specification is causally consistent when each
+//! process's observed history is explained by the specification applied
+//! to the writes in its causal past.
+//!
+//! This module provides the framework, generic over the cell value type
+//! and the object's operation alphabet:
+//!
+//! * [`TypedOp`] — one completed high-level operation, carrying its
+//!   descriptor, abstract return value, and the tagged register
+//!   observations ([`Obs`]) and writes that implemented it;
+//! * [`TypedRecorder`] — clone-shared per-process collection of typed
+//!   operations, the object-layer analogue of [`memcore::Recorder`];
+//! * [`ObjectSpec`] — an object's sequential specification as a decision
+//!   procedure: given what an operation *observed*, what must it have
+//!   *returned*? Concrete specs (PN-counter, OR-set, map, FIFO queue)
+//!   live in `dsm-objects`, next to their runtime implementations.
+//! * [`check_object`] — runs a recorded typed history against a spec,
+//!   plus the generic causal-past checks every object inherits from the
+//!   registers underneath (same-writer observation monotonicity; no
+//!   resurrection of the initial value).
+//!
+//! The register execution recorded alongside (via [`memcore::Recorder`])
+//! should still be fed to [`crate::check_causal`]; `check_object` layers
+//! the object semantics on top of, not instead of, Definition 2.
+
+use std::fmt;
+use std::sync::Arc;
+
+use memcore::{Location, NodeId, WriteId};
+use parking_lot::Mutex;
+
+/// One tagged register access made while executing a typed operation: the
+/// cell read (or written), the write tag the engine reported, and the
+/// cell value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Obs<V> {
+    /// The location accessed.
+    pub loc: Location,
+    /// The write the access observed (for reads) or issued (for writes).
+    pub wid: WriteId,
+    /// The cell value read or written.
+    pub value: V,
+}
+
+impl<V> Obs<V> {
+    /// Creates an observation record.
+    pub fn new(loc: Location, wid: WriteId, value: V) -> Self {
+        Obs { loc, wid, value }
+    }
+}
+
+/// One completed typed operation, as recorded by an object client.
+///
+/// `desc` names the operation and its arguments (the object's alphabet),
+/// `returned` its abstract result; `observed` lists every tagged register
+/// read the operation performed, in program order, and `wrote` every
+/// register write it issued. The observations are the operation's *view*:
+/// the spec checker reconstructs the expected return from them alone.
+#[derive(Clone, Debug)]
+pub struct TypedOp<V, D, R> {
+    /// The operation descriptor (kind + arguments).
+    pub desc: D,
+    /// The abstract value the operation returned to the application.
+    pub returned: R,
+    /// Tagged register reads underpinning the operation, in issue order.
+    pub observed: Vec<Obs<V>>,
+    /// Tagged register writes the operation issued, in issue order.
+    pub wrote: Vec<Obs<V>>,
+}
+
+/// One process's typed-operation log in issue order.
+pub type TypedLog<V, D, R> = Vec<TypedOp<V, D, R>>;
+
+/// Collects per-process typed-operation logs from running object clients.
+///
+/// Cheap to clone (internally shared), mirroring [`memcore::Recorder`].
+#[derive(Debug)]
+pub struct TypedRecorder<V, D, R> {
+    procs: Arc<Vec<Mutex<TypedLog<V, D, R>>>>,
+}
+
+impl<V, D, R> Clone for TypedRecorder<V, D, R> {
+    fn clone(&self) -> Self {
+        TypedRecorder {
+            procs: Arc::clone(&self.procs),
+        }
+    }
+}
+
+impl<V: Clone, D: Clone, R: Clone> TypedRecorder<V, D, R> {
+    /// Creates a recorder for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        TypedRecorder {
+            procs: Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect()),
+        }
+    }
+
+    /// Appends `op` to `node`'s program-order log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this recorder.
+    pub fn record(&self, node: NodeId, op: TypedOp<V, D, R>) {
+        self.procs[node.index()].lock().push(op);
+    }
+
+    /// Snapshots all per-process logs, in process order.
+    #[must_use]
+    pub fn processes(&self) -> Vec<TypedLog<V, D, R>> {
+        self.procs.iter().map(|m| m.lock().clone()).collect()
+    }
+
+    /// Total typed operations recorded across all processes.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.procs.iter().map(|m| m.lock().len()).sum()
+    }
+}
+
+/// An object's sequential specification as a decision procedure over
+/// recorded operations.
+///
+/// The contract ties the *abstract* level to the *register* level: every
+/// typed operation records the cell snapshot it observed, and the spec
+/// answers "given that view, what return does the sequential
+/// specification dictate?" — independently re-deriving the answer the
+/// runtime computed, so a broken runtime merge/conflict policy diverges
+/// from its spec and is caught (the mutation tests rely on exactly this).
+pub trait ObjectSpec<V> {
+    /// The operation alphabet (kind + arguments).
+    type Desc: Clone + fmt::Debug;
+    /// Abstract return values.
+    type Ret: Clone + fmt::Debug + PartialEq;
+
+    /// The return value the sequential specification dictates for `op`,
+    /// given the cell snapshot it observed — or `None` when the spec has
+    /// nothing to say (e.g. pure update operations).
+    fn expected(&self, op: &TypedOp<V, Self::Desc, Self::Ret>) -> Option<Self::Ret>;
+
+    /// Per-process stream invariants beyond single-op correctness
+    /// (per-producer FIFO order, monotone counter components, …).
+    /// Returns rendered violations.
+    fn check_stream(
+        &self,
+        process: usize,
+        ops: &[TypedOp<V, Self::Desc, Self::Ret>],
+    ) -> Vec<String> {
+        let _ = (process, ops);
+        Vec::new()
+    }
+
+    /// Whole-history invariants needing every process's log at once
+    /// (cross-process FIFO prefix agreement, convergence after
+    /// quiescence, …). Returns rendered violations.
+    fn check_history(&self, history: &[TypedLog<V, Self::Desc, Self::Ret>]) -> Vec<String> {
+        let _ = history;
+        Vec::new()
+    }
+}
+
+/// The verdict of [`check_object`].
+#[derive(Clone, Debug)]
+pub struct ObjectReport {
+    /// Rendered violations (empty for correct histories).
+    pub violations: Vec<String>,
+    /// Typed operations checked.
+    pub ops_checked: usize,
+}
+
+impl ObjectReport {
+    /// `true` iff no violation was found.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ObjectReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_correct() {
+            return write!(f, "object history ok ({} ops)", self.ops_checked);
+        }
+        writeln!(f, "object history REJECTED ({} ops):", self.ops_checked)?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks a recorded typed history against an object's sequential
+/// specification, plus the causality checks every object inherits from
+/// its registers:
+///
+/// 1. **Spec conformance** — each operation's `returned` must equal the
+///    spec's [`expected`](ObjectSpec::expected) answer for its view.
+/// 2. **Observation monotonicity** — within one process, successive
+///    observations of the same cell must never regress to an *earlier
+///    write of the same writer*, nor resurrect the initial value after
+///    any write was observed (both are dead under Definition 2: the
+///    earlier write is in the later one's causal past).
+/// 3. The spec's own [`check_stream`](ObjectSpec::check_stream) and
+///    [`check_history`](ObjectSpec::check_history) invariants.
+#[must_use]
+pub fn check_object<V, S: ObjectSpec<V>>(
+    history: &[TypedLog<V, S::Desc, S::Ret>],
+    spec: &S,
+) -> ObjectReport {
+    let mut violations = Vec::new();
+    let mut ops_checked = 0;
+    for (p, ops) in history.iter().enumerate() {
+        // Per-location observation front: (writers' max seq, any write seen).
+        let mut front: std::collections::HashMap<Location, std::collections::HashMap<NodeId, u64>> =
+            std::collections::HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            ops_checked += 1;
+            if let Some(exp) = spec.expected(op) {
+                if exp != op.returned {
+                    violations.push(format!(
+                        "P{p}[{i}] {:?}: returned {:?}, but the sequential spec \
+                         dictates {:?} for the observed snapshot",
+                        op.desc, op.returned, exp
+                    ));
+                }
+            }
+            for obs in &op.observed {
+                let seen = front.entry(obs.loc).or_default();
+                if obs.wid.is_initial() {
+                    if !seen.is_empty() {
+                        violations.push(format!(
+                            "P{p}[{i}] {:?}: observed the initial value of {} after \
+                             observing a write to it (dead under Definition 2)",
+                            op.desc, obs.loc
+                        ));
+                    }
+                } else {
+                    let writer = obs.wid.writer().expect("non-initial write has a writer");
+                    let seq = obs.wid.seq();
+                    let max = seen.entry(writer).or_insert(seq);
+                    if seq < *max {
+                        violations.push(format!(
+                            "P{p}[{i}] {:?}: observation of {} regressed to {}'s \
+                             write #{seq} after #{max} (overwritten in its causal past)",
+                            op.desc, obs.loc, writer
+                        ));
+                    } else {
+                        *max = seq;
+                    }
+                }
+            }
+        }
+        violations.extend(spec.check_stream(p, ops));
+    }
+    violations.extend(spec.check_history(history));
+    ObjectReport {
+        violations,
+        ops_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A toy register spec: cells are i64, `desc` is the location read,
+    // `returned` must equal the observed cell value.
+    struct RegSpec;
+    impl ObjectSpec<i64> for RegSpec {
+        type Desc = u32;
+        type Ret = i64;
+        fn expected(&self, op: &TypedOp<i64, u32, i64>) -> Option<i64> {
+            op.observed.last().map(|o| o.value)
+        }
+    }
+
+    fn obs(loc: u32, node: u32, seq: u64, value: i64) -> Obs<i64> {
+        Obs::new(
+            Location::new(loc),
+            WriteId::new(NodeId::new(node), seq),
+            value,
+        )
+    }
+
+    #[test]
+    fn conforming_history_passes() {
+        let history = vec![vec![TypedOp {
+            desc: 0u32,
+            returned: 7i64,
+            observed: vec![obs(0, 1, 0, 7)],
+            wrote: vec![],
+        }]];
+        let report = check_object(&history, &RegSpec);
+        assert!(report.is_correct(), "{report}");
+        assert_eq!(report.ops_checked, 1);
+    }
+
+    #[test]
+    fn spec_divergence_is_reported() {
+        let history = vec![vec![TypedOp {
+            desc: 0u32,
+            returned: 8i64,
+            observed: vec![obs(0, 1, 0, 7)],
+            wrote: vec![],
+        }]];
+        let report = check_object(&history, &RegSpec);
+        assert!(!report.is_correct());
+        assert!(report.violations[0].contains("sequential spec"), "{report}");
+    }
+
+    #[test]
+    fn same_writer_regression_is_reported() {
+        let history = vec![vec![
+            TypedOp {
+                desc: 0u32,
+                returned: 9i64,
+                observed: vec![obs(0, 1, 5, 9)],
+                wrote: vec![],
+            },
+            TypedOp {
+                desc: 0u32,
+                returned: 7i64,
+                observed: vec![obs(0, 1, 2, 7)],
+                wrote: vec![],
+            },
+        ]];
+        let report = check_object(&history, &RegSpec);
+        assert!(report.violations.iter().any(|v| v.contains("regressed")));
+    }
+
+    #[test]
+    fn initial_resurrection_is_reported() {
+        let initial = Obs::new(Location::new(0), WriteId::initial(Location::new(0)), 0i64);
+        let history = vec![vec![
+            TypedOp {
+                desc: 0u32,
+                returned: 9i64,
+                observed: vec![obs(0, 1, 5, 9)],
+                wrote: vec![],
+            },
+            TypedOp {
+                desc: 0u32,
+                returned: 0i64,
+                observed: vec![initial],
+                wrote: vec![],
+            },
+        ]];
+        let report = check_object(&history, &RegSpec);
+        assert!(report.violations.iter().any(|v| v.contains("initial")));
+    }
+
+    #[test]
+    fn recorder_collects_per_process() {
+        let rec: TypedRecorder<i64, u32, i64> = TypedRecorder::new(2);
+        rec.record(
+            NodeId::new(1),
+            TypedOp {
+                desc: 0u32,
+                returned: 1i64,
+                observed: vec![],
+                wrote: vec![],
+            },
+        );
+        let procs = rec.clone().processes();
+        assert_eq!(procs[0].len(), 0);
+        assert_eq!(procs[1].len(), 1);
+        assert_eq!(rec.total_ops(), 1);
+    }
+}

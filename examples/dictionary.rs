@@ -8,12 +8,12 @@
 
 use causalmem::apps::{DictLayout, Dictionary};
 use causalmem::causal::{CausalCluster, WritePolicy};
+use causalmem::objects::ObjVal;
 use causalmem::sim::witness::dictionary_conflict_witness;
-use memcore::Word;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layout = DictLayout::new(3, 16);
-    let cluster = CausalCluster::<Word>::builder(3, layout.locations())
+    let cluster = CausalCluster::<ObjVal>::builder(3, layout.locations())
         .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
         .build()?;
 

@@ -62,6 +62,11 @@ pub use causal_spec as spec;
 /// Deterministic discrete-event protocol simulator.
 pub use dsm_sim as sim;
 
+/// Typed causal objects over `SharedMemory`: PN-counter, observed-remove
+/// set, map with pluggable merge policies, FIFO append-queue, and their
+/// per-object sequential-spec oracles.
+pub use dsm_objects as objects;
+
 /// The paper's applications: linear solvers and the distributed dictionary.
 pub use dsm_apps as apps;
 

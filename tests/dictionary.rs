@@ -4,11 +4,12 @@
 
 use causalmem::apps::{DictLayout, Dictionary};
 use causalmem::causal::{CausalCluster, WritePolicy};
+use causalmem::objects::ObjVal;
 use causalmem::sim::witness::dictionary_conflict_witness;
 use memcore::Word;
 
-fn cluster(layout: DictLayout) -> CausalCluster<Word> {
-    CausalCluster::<Word>::builder(layout.rows() as u32, layout.locations())
+fn cluster(layout: DictLayout) -> CausalCluster<ObjVal> {
+    CausalCluster::<ObjVal>::builder(layout.rows() as u32, layout.locations())
         .configure(|c| c.owners(layout.owners()).policy(WritePolicy::OwnerFavored))
         .build()
         .expect("cluster")
